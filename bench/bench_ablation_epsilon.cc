@@ -1,0 +1,54 @@
+// Experiment E7: the ε ablation. The paper fixes ε = 1/(48k⁴) so that the
+// per-level (1+O(ε)) stretch losses accumulate to an additive o(1); larger
+// practical ε weakens the bound but cheapens source detection (fewer
+// quantization scales ⇒ fewer rounds). This bench sweeps ε and reports the
+// analytic bound, measured stretch, and construction rounds.
+
+#include "common.h"
+#include "core/scheme.h"
+
+int main() {
+  using namespace nors;
+  const int n = bench::env_n(1024);
+  const int k = 3;
+  bench::print_header("E7 / epsilon ablation",
+                      "stretch bound and rounds vs eps (k=3)");
+  // Heavy weights so the quantized source-detection scales actually differ.
+  const auto g = bench::bench_graph(n, 2718, /*max_w=*/50000);
+  std::printf("graph: n=%d m=%lld max_w=50000\n\n", g.n(),
+              static_cast<long long>(g.m()));
+
+  util::TextTable table({"eps", "bound", "stretch avg", "stretch max",
+                         "rounds", "beta"});
+  std::vector<util::Epsilon> epss{util::Epsilon::paper_value(k),
+                                  util::Epsilon(1, 1000),
+                                  util::Epsilon(1, 100),
+                                  util::Epsilon(1, 20),
+                                  util::Epsilon(1, 8),
+                                  util::Epsilon(1, 4)};
+  for (const auto& eps : epss) {
+    core::SchemeParams p;
+    p.k = k;
+    p.seed = 10;
+    p.eps = eps;
+    const auto s = core::RoutingScheme::build(g, p);
+    const auto st = bench::measure_stretch(
+        g, [&](graph::Vertex u, graph::Vertex v) {
+          return s.route(u, v).length;
+        });
+    table.add_row({eps.to_string(), util::TextTable::fmt(s.stretch_bound()),
+                   util::TextTable::fmt(st.avg),
+                   util::TextTable::fmt(st.max),
+                   util::TextTable::fmt(s.total_rounds()),
+                   std::to_string(s.beta())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "shape checks: the analytic bound tightens toward 4k-5 as eps -> the\n"
+      "paper value and degrades fast for coarse eps — that asymmetry is why\n"
+      "the paper can afford eps = 1/(48k^4): at simulator scale the virtual\n"
+      "graph is nearly complete (beta = 1), so the *measured* stretch and\n"
+      "rounds barely move, and the only cost of a tiny eps is hidden in the\n"
+      "n^{o(1)} factors that a laptop-scale n cannot surface.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Experiment E4 (paper Theorem 6): the distance-estimation scheme —
+// sketches O(n^{1/k} log n) words, stretch 2k-1+o(1), O(k)-time queries —
+// against (a) the sequential TZ05 oracle it matches in size/stretch and
+// (b) the [SDP15]-style distributed construction it beats in rounds
+// (Õ(S·n^{1/k}) vs Õ(n^{1/2+1/k}+D) — the Izumi–Wattenhofer gap the paper
+// closes). The rounds column compares both distributed constructions on a
+// high-S graph appended below the main table.
+
+#include <chrono>
+#include <cmath>
+
+#include "baselines/sdp15_sketches.h"
+#include "common.h"
+#include "core/distance_estimation.h"
+#include "core/scheme.h"
+#include "tz/tz_oracle.h"
+
+int main() {
+  using namespace nors;
+  const int n = bench::env_n(1024);
+  bench::print_header("E4 / distance estimation",
+                      "sketch size, 2k-1+o(1) stretch, O(k) queries");
+  const auto g = bench::bench_graph(n, 5150);
+  std::printf("graph: n=%d m=%lld\n\n", g.n(), static_cast<long long>(g.m()));
+
+  util::TextTable table({"k", "scheme", "sketch avg", "sketch max",
+                         "stretch avg", "stretch max", "bound", "iters max",
+                         "query ns"});
+  for (int k : {2, 3, 4, 5}) {
+    {
+      core::SchemeParams p;
+      p.k = k;
+      p.seed = 616;
+      const auto s = core::RoutingScheme::build(g, p);
+      const auto de = core::DistanceEstimation::build(s);
+      int iters_max = 0;
+      const auto st = bench::measure_stretch(
+          g, [&](graph::Vertex u, graph::Vertex v) {
+            const auto q = de.estimate(u, v);
+            iters_max = std::max(iters_max, q.iterations);
+            return q.estimate;
+          });
+      const auto [savg, smax] = bench::avg_max(
+          n, [&](graph::Vertex v) { return de.sketch_words(v); });
+      // Query latency (O(k) sketch lookups).
+      const auto t0 = std::chrono::steady_clock::now();
+      std::int64_t sink = 0;
+      const int reps = 200000;
+      util::Rng qr(1);
+      for (int i = 0; i < reps; ++i) {
+        const auto u = static_cast<graph::Vertex>(qr.uniform(n));
+        const auto v = static_cast<graph::Vertex>(qr.uniform(n));
+        sink += de.estimate(u, v).estimate;
+      }
+      const double ns =
+          std::chrono::duration<double, std::nano>(
+              std::chrono::steady_clock::now() - t0)
+              .count() /
+          reps;
+      if (sink == 42) std::printf("(unlikely)\n");
+      table.add_row({std::to_string(k), "this paper (Thm 6)",
+                     util::TextTable::fmt(savg, 0),
+                     util::TextTable::fmt(smax),
+                     util::TextTable::fmt(st.avg),
+                     util::TextTable::fmt(st.max),
+                     util::TextTable::fmt(de.stretch_bound()),
+                     std::to_string(iters_max),
+                     util::TextTable::fmt(ns, 0)});
+    }
+    {
+      const auto o = tz::TzDistanceOracle::build(g, {k, 616});
+      int iters_max = 0;
+      const auto st = bench::measure_stretch(
+          g, [&](graph::Vertex u, graph::Vertex v) {
+            const auto q = o.query(u, v);
+            iters_max = std::max(iters_max, q.iterations);
+            return q.estimate;
+          });
+      const auto [savg, smax] = bench::avg_max(
+          n, [&](graph::Vertex v) { return o.sketch_words(v); });
+      table.add_row({std::to_string(k), "TZ05 sequential",
+                     util::TextTable::fmt(savg, 0),
+                     util::TextTable::fmt(smax),
+                     util::TextTable::fmt(st.avg),
+                     util::TextTable::fmt(st.max),
+                     std::to_string(2 * k - 1), std::to_string(iters_max),
+                     "-"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Rounds head-to-head on S >> D graphs (unit path + heavy star hub):
+  // [SDP15]'s exact explorations must walk the shortest-path diameter S,
+  // so a real deployment runs an Õ(S·n^{1/k}) synchronous schedule (a
+  // simulator converges earlier only because quiescence detection is
+  // free); the paper's construction is hop-bounded by B = Õ(√n). S doubles
+  // with n here while B grows like √n — the growth gap is the claim.
+  {
+    util::TextTable rounds_t({"n (S=n-2, D=2)", "SDP15 schedule",
+                              "SDP15 measured", "this paper total",
+                              "exploration depth: S vs B"});
+    for (int sn : {1024, 2048, 4096}) {
+      graph::WeightedGraph sg(sn);
+      for (graph::Vertex v = 0; v + 2 < sn; ++v) sg.add_edge(v, v + 1, 1);
+      for (graph::Vertex v = 0; v + 1 < sn; ++v) {
+        sg.add_edge(v, static_cast<graph::Vertex>(sn - 1), 4LL * sn);
+      }
+      // k=2: our exploration bound B = 4·√n·ln n is already below S = n-2
+      // at these sizes, and the gap widens (√n vs n).
+      const auto b = baselines::Sdp15Sketches::build(sg, {2, 616, 1});
+      core::SchemeParams p;
+      p.k = 2;
+      p.seed = 616;
+      const auto s = core::RoutingScheme::build(sg, p);
+      const double log_n = std::log(static_cast<double>(sn));
+      const double schedule =
+          4.0 * (sn - 2) * std::sqrt(static_cast<double>(sn)) * log_n;
+      const std::int64_t b_hops = std::min<std::int64_t>(
+          sn, static_cast<std::int64_t>(
+                  4.0 * std::sqrt(static_cast<double>(sn)) * log_n));
+      rounds_t.add_row(
+          {std::to_string(sn), util::TextTable::fmt(schedule, 0),
+           util::TextTable::fmt(b.ledger().total_rounds()),
+           util::TextTable::fmt(s.total_rounds()),
+           std::to_string(sn - 2) + " vs " + std::to_string(b_hops)});
+    }
+    std::printf("rounds on S>>D graphs (k=2):\n%s\n",
+                rounds_t.render().c_str());
+  }
+  std::printf(
+      "shape checks: stretch max <= bound (2k-1+o(1)); sketch sizes track\n"
+      "TZ05; query iterations <= k and latency is size-independent; on the\n"
+      "S>>D graphs the SDP15-style schedule scales with S (= n) while the\n"
+      "paper's exploration depth B does not (the gap Theorem 6 closes).\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark): per-operation latencies of the hot
+// query paths — routing decisions, Algorithm-2 distance estimates, TZ05
+// oracle queries, and the substrate primitives they sit on. These are the
+// O(k)-time / O(1)-word operations the paper's data structures promise.
+
+#include <benchmark/benchmark.h>
+
+#include "core/distance_estimation.h"
+#include "core/scheme.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "tz/tz_oracle.h"
+
+namespace {
+
+using namespace nors;
+
+struct Fixture {
+  // Heap-stable graph: RoutingScheme keeps a pointer to it, so the graph's
+  // address must not change after build().
+  std::unique_ptr<graph::WeightedGraph> g;
+  std::unique_ptr<core::RoutingScheme> scheme;
+  std::unique_ptr<core::DistanceEstimation> de;
+  std::unique_ptr<tz::TzDistanceOracle> oracle;
+
+  const graph::WeightedGraph& graph() const { return *g; }
+
+  static const Fixture& get(int k) {
+    static std::map<int, std::unique_ptr<Fixture>> cache;
+    auto it = cache.find(k);
+    if (it == cache.end()) {
+      util::Rng rng(4242);
+      auto f = std::make_unique<Fixture>();
+      f->g = std::make_unique<graph::WeightedGraph>(graph::connected_gnm(
+          512, 1536, graph::WeightSpec::uniform(1, 32), rng));
+      core::SchemeParams p;
+      p.k = k;
+      p.seed = 1;
+      f->scheme = std::make_unique<core::RoutingScheme>(
+          core::RoutingScheme::build(*f->g, p));
+      f->de = std::make_unique<core::DistanceEstimation>(
+          core::DistanceEstimation::build(*f->scheme));
+      f->oracle = std::make_unique<tz::TzDistanceOracle>(
+          tz::TzDistanceOracle::build(*f->g, {k, 1}));
+      it = cache.emplace(k, std::move(f)).first;
+    }
+    return *it->second;
+  }
+};
+
+void BM_RouteEndToEnd(benchmark::State& state) {
+  const auto& f = Fixture::get(static_cast<int>(state.range(0)));
+  util::Rng rng(9);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::Vertex>(rng.uniform(f.graph().n()));
+    const auto v = static_cast<graph::Vertex>(rng.uniform(f.graph().n()));
+    benchmark::DoNotOptimize(f.scheme->route(u, v).length);
+  }
+}
+BENCHMARK(BM_RouteEndToEnd)->Arg(2)->Arg(4);
+
+void BM_DistanceEstimate(benchmark::State& state) {
+  const auto& f = Fixture::get(static_cast<int>(state.range(0)));
+  util::Rng rng(10);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::Vertex>(rng.uniform(f.graph().n()));
+    const auto v = static_cast<graph::Vertex>(rng.uniform(f.graph().n()));
+    benchmark::DoNotOptimize(f.de->estimate(u, v).estimate);
+  }
+}
+BENCHMARK(BM_DistanceEstimate)->Arg(2)->Arg(4);
+
+void BM_TzOracleQuery(benchmark::State& state) {
+  const auto& f = Fixture::get(static_cast<int>(state.range(0)));
+  util::Rng rng(11);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::Vertex>(rng.uniform(f.graph().n()));
+    const auto v = static_cast<graph::Vertex>(rng.uniform(f.graph().n()));
+    benchmark::DoNotOptimize(f.oracle->query(u, v).estimate);
+  }
+}
+BENCHMARK(BM_TzOracleQuery)->Arg(2)->Arg(4);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto& f = Fixture::get(3);
+  util::Rng rng(12);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::Vertex>(rng.uniform(f.graph().n()));
+    benchmark::DoNotOptimize(graph::dijkstra(f.graph(), u).dist[0]);
+  }
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_SchemeConstruction(benchmark::State& state) {
+  util::Rng rng(13);
+  const auto g = graph::connected_gnm(
+      static_cast<int>(state.range(0)), 3 * state.range(0),
+      graph::WeightSpec::uniform(1, 32), rng);
+  core::SchemeParams p;
+  p.k = 3;
+  for (auto _ : state) {
+    p.seed += 1;
+    benchmark::DoNotOptimize(core::RoutingScheme::build(g, p).total_rounds());
+  }
+}
+BENCHMARK(BM_SchemeConstruction)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Experiment E8 (paper §3.2 "The middle level"): for odd k, level (k-1)/2
+// is built with Theorem-1 source detection instead of plain bounded
+// Bellman–Ford, shaving the round exponent from n^{1/2+3/(2k)} to
+// n^{1/2+1/(2k)}. This ablation builds the same scheme with the
+// optimization on and off and compares the level's round cost and the
+// end-to-end stretch (which must be unaffected — only rounds change).
+
+#include <cmath>
+
+#include "common.h"
+#include "core/scheme.h"
+
+namespace {
+
+std::int64_t middle_level_rounds(const nors::congest::RoundLedger& ledger,
+                                 int level) {
+  std::int64_t total = 0;
+  const std::string mid = "level " + std::to_string(level);
+  for (const auto& e : ledger.entries()) {
+    if (e.phase.find("clusters/") == 0 &&
+        e.phase.find(mid) != std::string::npos) {
+      total += e.rounds;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nors;
+  const int n = bench::env_n(2048);
+  bench::print_header("E8 / odd-k middle level",
+                      "source detection vs Bellman-Ford at level (k-1)/2");
+  // The middle-level optimization pays off when the naive exploration is
+  // deep: a weighted torus has a large shortest-path diameter S, so the
+  // 4·n^{(i+1)/k}·ln n Bellman–Ford iterations are really walked, while
+  // Theorem 1 pipelines all |S| sources in one sweep.
+  util::Rng grng(1312);
+  int rows = 32;
+  while (rows * rows * 2 < n) rows *= 2;
+  const auto g = graph::torus(rows, std::max(3, n / rows),
+                              graph::WeightSpec::uniform(1, 100), grng);
+  std::printf("graph: torus n=%d m=%lld\n\n", g.n(),
+              static_cast<long long>(g.m()));
+
+  util::TextTable table({"k", "variant", "mid rounds", "sync schedule",
+                         "total rounds", "stretch max"});
+  for (int k : {3, 5}) {
+    const int mid = (k - 1) / 2;
+    // A real CONGEST deployment of the naive variant cannot detect global
+    // convergence locally: it must run the full Corollary-4 schedule of
+    // 4·n^{(i+1)/k}·ln n Bellman–Ford iterations. The simulator's
+    // message-driven count (mid rounds) is therefore a best case; the
+    // schedule column is what the paper's analysis charges.
+    const double schedule =
+        4.0 * std::pow(static_cast<double>(n),
+                       static_cast<double>(mid + 1) / k) *
+        std::log(static_cast<double>(n));
+    for (const bool opt : {true, false}) {
+      core::SchemeParams p;
+      p.k = k;
+      p.seed = 14;
+      p.middle_level_opt = opt;
+      const auto s = core::RoutingScheme::build(g, p);
+      const auto st = bench::measure_stretch(
+          g, [&](graph::Vertex u, graph::Vertex v) {
+            return s.route(u, v).length;
+          });
+      table.add_row({std::to_string(k),
+                     opt ? "Theorem 1 (paper)" : "naive Bellman-Ford",
+                     util::TextTable::fmt(middle_level_rounds(s.ledger(), mid)),
+                     opt ? "-" : util::TextTable::fmt(schedule, 0),
+                     util::TextTable::fmt(s.total_rounds()),
+                     util::TextTable::fmt(st.max)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "shape checks: Theorem-1 'mid rounds' is far below the synchronous\n"
+      "schedule the naive variant must run in a real network (the simulated\n"
+      "naive count benefits from free quiescence detection); stretch is\n"
+      "unaffected by the choice.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Experiment T1 (paper Table 1): compact routing schemes compared on the
+// same graphs — rounds to construct, table size, label size, stretch.
+//
+// Paper rows reproduced:
+//   [TZ01]        sequential baseline: O(m) "rounds", Õ(n^{1/k}) tables,
+//                 stretch 4k-5.
+//   [LP13a]-style skeleton-spanner baseline: Õ(n^{1/2+1/k}+D) rounds but
+//                 Ω(√n) tables.
+//   This paper    (even and odd k): Õ(n^{1/2+1/k}+D) (resp. n^{1/2+1/(2k)})
+//                 rounds with Õ(n^{1/k}) tables, stretch 4k-5+o(1).
+//
+// Absolute numbers are simulator-scale; the *shape* to check is:
+// our tables ≈ TZ01 tables ≪ LP13a tables, our rounds ≪ m (=TZ01), and all
+// stretches within their class bounds.
+
+#include "baselines/lp_baseline.h"
+#include "common.h"
+#include "core/scheme.h"
+#include "tz/tz_routing.h"
+
+int main() {
+  using namespace nors;
+  const int n = bench::env_n(1024);
+  const std::uint64_t seed = 20160725;  // PODC'16
+  const auto g = bench::bench_graph(n, seed);
+  const int diameter = graph::hop_diameter(g);
+  bench::print_header("T1 / Table 1",
+                      "rounds, table words, label words, stretch");
+  std::printf("graph: connected G(n,m) n=%d m=%lld D=%d\n\n", g.n(),
+              static_cast<long long>(g.m()), diameter);
+
+  util::TextTable table({"k", "scheme", "rounds", "tbl avg", "tbl max",
+                         "lbl max", "stretch avg", "stretch max", "bound"});
+
+  for (int k : {2, 3, 4, 5}) {
+    // --- TZ01 sequential baseline (rounds = m, the paper's Table 1 row).
+    {
+      const auto s = tz::TzRoutingScheme::build(g, {k, seed, true});
+      const auto st = bench::measure_stretch(
+          g, [&](graph::Vertex u, graph::Vertex v) {
+            return s.route(u, v).length;
+          });
+      const auto [tavg, tmax] =
+          bench::avg_max(n, [&](graph::Vertex v) { return s.table_words(v); });
+      const auto [lavg, lmax] =
+          bench::avg_max(n, [&](graph::Vertex v) { return s.label_words(v); });
+      (void)lavg;
+      table.add_row({std::to_string(k), "TZ01 (sequential)",
+                     util::TextTable::fmt(g.m()),
+                     util::TextTable::fmt(tavg, 0),
+                     util::TextTable::fmt(tmax),
+                     util::TextTable::fmt(lmax),
+                     util::TextTable::fmt(st.avg),
+                     util::TextTable::fmt(st.max),
+                     std::to_string(std::max(1, 4 * k - 5))});
+    }
+    // --- LP13a-style baseline.
+    {
+      const auto s = baselines::LpBaselineScheme::build(
+          g, {k, seed, 1.0}, diameter);
+      const auto st = bench::measure_stretch(
+          g, [&](graph::Vertex u, graph::Vertex v) {
+            return s.route(u, v).length;
+          });
+      const auto [tavg, tmax] =
+          bench::avg_max(n, [&](graph::Vertex v) { return s.table_words(v); });
+      const auto [lavg, lmax] =
+          bench::avg_max(n, [&](graph::Vertex v) { return s.label_words(v); });
+      (void)lavg;
+      table.add_row({std::to_string(k), "LP13a-style",
+                     util::TextTable::fmt(s.ledger().total_rounds()),
+                     util::TextTable::fmt(tavg, 0),
+                     util::TextTable::fmt(tmax),
+                     util::TextTable::fmt(lmax),
+                     util::TextTable::fmt(st.avg),
+                     util::TextTable::fmt(st.max), "O(k log k)"});
+    }
+    // --- This paper.
+    {
+      core::SchemeParams p;
+      p.k = k;
+      p.seed = seed;
+      const auto s = core::RoutingScheme::build(g, p);
+      const auto st = bench::measure_stretch(
+          g, [&](graph::Vertex u, graph::Vertex v) {
+            return s.route(u, v).length;
+          });
+      const auto [tavg, tmax] =
+          bench::avg_max(n, [&](graph::Vertex v) { return s.table_words(v); });
+      const auto [lavg, lmax] =
+          bench::avg_max(n, [&](graph::Vertex v) { return s.label_words(v); });
+      (void)lavg;
+      const std::string name = std::string("This paper (") +
+                               (k % 2 == 0 ? "even" : "odd") + " k)";
+      table.add_row({std::to_string(k), name,
+                     util::TextTable::fmt(s.total_rounds()),
+                     util::TextTable::fmt(tavg, 0),
+                     util::TextTable::fmt(tmax),
+                     util::TextTable::fmt(lmax),
+                     util::TextTable::fmt(st.avg),
+                     util::TextTable::fmt(st.max),
+                     util::TextTable::fmt(s.stretch_bound())});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "shape checks: (1) our 'tbl max' tracks TZ01, both << LP13a-style;\n"
+      "              (2) our stretch tracks TZ01's (the paper's point: the\n"
+      "                  distributed construction matches the sequential\n"
+      "                  state of the art up to o(1));\n"
+      "              (3) every 'stretch max' <= its bound column.\n"
+      "Round counts at n=10^3 are dominated by the Õ(·) polylog constants;\n"
+      "bench_rounds_scaling (E1) shows the n^{1/2+1/k}+D growth and the\n"
+      "rounds/m trend that make the distributed construction win at scale.\n");
+  return 0;
+}

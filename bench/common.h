@@ -1,0 +1,90 @@
+#pragma once
+
+// Shared helpers for the experiment harness (one binary per experiment in
+// DESIGN.md §4). Each binary prints a self-contained table; NORS_BENCH_N
+// overrides the default graph size for quick or extended runs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "graph/shortest_paths.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace nors::bench {
+
+inline int env_n(int fallback) {
+  const char* e = std::getenv("NORS_BENCH_N");
+  if (e == nullptr) return fallback;
+  const int v = std::atoi(e);
+  return v > 8 ? v : fallback;
+}
+
+/// The workhorse workload: connected G(n,m) with uniform integer weights —
+/// the "general weighted graph" the paper's theorems address.
+inline graph::WeightedGraph bench_graph(int n, std::uint64_t seed,
+                                        graph::Weight max_w = 32) {
+  util::Rng rng(seed);
+  return graph::connected_gnm(n, 3LL * n,
+                              graph::WeightSpec::uniform(1, max_w), rng);
+}
+
+/// Stretch statistics of a routing scheme over sampled pairs. Route is any
+/// callable (u,v) -> length (must be ≥ d_G).
+struct StretchStats {
+  double avg = 0, p50 = 0, p95 = 0, max = 0;
+  int pairs = 0;
+};
+
+template <typename RouteFn>
+StretchStats measure_stretch(const graph::WeightedGraph& g, RouteFn&& route,
+                             int source_stride = 7, int dest_stride = 11) {
+  std::vector<double> stretches;
+  for (graph::Vertex u = 0; u < g.n(); u += source_stride) {
+    const auto sp = graph::dijkstra(g, u);
+    for (graph::Vertex v = 1; v < g.n(); v += dest_stride) {
+      if (u == v) continue;
+      const graph::Dist d = sp.dist[static_cast<std::size_t>(v)];
+      if (d <= 0 || graph::is_inf(d)) continue;
+      const auto len = route(u, v);
+      stretches.push_back(static_cast<double>(len) /
+                          static_cast<double>(d));
+    }
+  }
+  StretchStats s;
+  s.pairs = static_cast<int>(stretches.size());
+  if (stretches.empty()) return s;
+  util::Accumulator acc;
+  for (double x : stretches) acc.add(x);
+  s.avg = acc.mean();
+  s.max = acc.max();
+  s.p50 = util::percentile(stretches, 0.5);
+  s.p95 = util::percentile(stretches, 0.95);
+  return s;
+}
+
+/// Max/avg of a per-vertex quantity.
+template <typename Fn>
+std::pair<double, std::int64_t> avg_max(int n, Fn&& f) {
+  double sum = 0;
+  std::int64_t mx = 0;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    const std::int64_t x = f(v);
+    sum += static_cast<double>(x);
+    mx = std::max(mx, x);
+  }
+  return {sum / n, mx};
+}
+
+inline void print_header(const char* experiment, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment, what);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace nors::bench

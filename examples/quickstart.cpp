@@ -1,0 +1,65 @@
+// Quickstart: build the Elkin–Neiman routing scheme on a small weighted
+// network, route a packet, and inspect the costs — the 60-second tour of
+// the library.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/distance_estimation.h"
+#include "core/scheme.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+
+int main() {
+  using namespace nors;
+
+  // 1. A weighted network: 64 routers, random connected topology.
+  util::Rng rng(7);
+  const auto g =
+      graph::connected_gnm(64, 160, graph::WeightSpec::uniform(1, 20), rng);
+  std::printf("network: %d vertices, %lld edges\n", g.n(),
+              static_cast<long long>(g.m()));
+
+  // 2. Build the routing scheme (k = 3: tables Õ(n^{1/3}), stretch ≤ 7+o(1)).
+  core::SchemeParams params;
+  params.k = 3;
+  params.seed = 42;
+  const auto scheme = core::RoutingScheme::build(g, params);
+  std::printf("construction: %lld CONGEST rounds (stretch bound %.3f)\n",
+              static_cast<long long>(scheme.total_rounds()),
+              scheme.stretch_bound());
+
+  // 3. Route a packet from 3 to 58 using only tables and the destination
+  //    label — no global state.
+  const graph::Vertex src = 3, dst = 58;
+  const auto route = scheme.route(src, dst);
+  const auto exact = graph::pair_distance(g, src, dst);
+  std::printf("route %d -> %d: length %lld over %d hops (shortest %lld, "
+              "stretch %.2f), via the level-%d cluster tree of %d\n",
+              src, dst, static_cast<long long>(route.length), route.hops,
+              static_cast<long long>(exact),
+              static_cast<double>(route.length) / static_cast<double>(exact),
+              route.tree_level, route.tree_root);
+  std::printf("path:");
+  for (graph::Vertex v : route.path) std::printf(" %d", v);
+  std::printf("\n");
+
+  // 4. What each node stores.
+  std::printf("node %d: table %lld words, label %lld words, member of %d "
+              "cluster trees\n",
+              src, static_cast<long long>(scheme.table_words(src)),
+              static_cast<long long>(scheme.label_words(src)),
+              scheme.overlap(src));
+
+  // 5. The same clusters double as distance sketches (paper Theorem 6).
+  const auto de = core::DistanceEstimation::build(scheme);
+  const auto est = de.estimate(src, dst);
+  std::printf("sketch estimate d(%d,%d) ~ %lld (true %lld) in %d iterations\n",
+              src, dst, static_cast<long long>(est.estimate),
+              static_cast<long long>(exact), est.iterations);
+
+  // 6. Where the rounds went.
+  std::printf("\nround breakdown:\n%s", scheme.ledger().report().c_str());
+  return 0;
+}

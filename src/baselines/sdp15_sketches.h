@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "congest/ledger.h"
+#include "graph/graph.h"
+
+namespace nors::baselines {
+
+/// The [SDP15]-style distributed distance-sketch construction the paper's
+/// Theorem 6 improves on (§1): exact Thorup–Zwick bunches computed by
+/// running the cluster explorations directly on the CONGEST simulator at
+/// *every* level. Sketches are O(k n^{1/k} log n) with exact 2k-1 stretch —
+/// but the exploration depth is the shortest-path hop diameter S, so the
+/// measured round count grows like Õ(S·n^{1/k}) and can reach Ω(n) even
+/// when the hop diameter D is tiny (the gap our paper's scheme closes;
+/// compare rows in bench_distance_estimation).
+class Sdp15Sketches {
+ public:
+  struct Params {
+    int k = 3;
+    std::uint64_t seed = 1;
+    int edge_capacity = 1;
+  };
+
+  /// Runs every phase message-by-message on the simulator; the ledger is
+  /// all simulated rounds. Keeps no reference to g.
+  static Sdp15Sketches build(const graph::WeightedGraph& g,
+                             const Params& params);
+
+  struct QueryResult {
+    graph::Dist estimate = graph::kDistInf;
+    int iterations = 0;
+  };
+  /// TZ05 query over the distributedly-computed bunches (stretch ≤ 2k-1).
+  QueryResult query(graph::Vertex u, graph::Vertex v) const;
+
+  std::int64_t sketch_words(graph::Vertex v) const;
+  const congest::RoundLedger& ledger() const { return ledger_; }
+  int k() const { return k_; }
+
+ private:
+  int k_ = 0;
+  std::size_t n_ = 0;
+  congest::RoundLedger ledger_;
+  std::vector<graph::Vertex> pivot_;      // [i*n+v]
+  std::vector<graph::Dist> pivot_dist_;   // [i*n+v], row k = inf
+  std::vector<std::unordered_map<graph::Vertex, graph::Dist>> bunch_;
+};
+
+}  // namespace nors::baselines

@@ -1,0 +1,159 @@
+#include "baselines/spanner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace nors::baselines {
+
+namespace {
+
+using graph::Vertex;
+using graph::Weight;
+
+}  // namespace
+
+std::vector<SpannerEdge> baswana_sen_spanner(const graph::WeightedGraph& g,
+                                             int k, util::Rng& rng) {
+  NORS_CHECK(k >= 1);
+  const int n = g.n();
+  const double p = std::pow(static_cast<double>(std::max(2, n)), -1.0 / k);
+
+  std::vector<SpannerEdge> spanner;
+  // cluster[v]: center of v's cluster at the current level, or kNoVertex if
+  // v has been discarded (left the clustering).
+  std::vector<Vertex> cluster(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) cluster[static_cast<std::size_t>(v)] = v;
+  // Surviving edges between differently-clustered vertices.
+  struct E {
+    Vertex u, v;
+    Weight w;
+  };
+  std::vector<E> edges;
+  for (Vertex v = 0; v < n; ++v) {
+    for (const auto& e : g.neighbors(v)) {
+      if (v < e.to) edges.push_back({v, e.to, e.w});
+    }
+  }
+
+  auto add = [&](Vertex a, Vertex b, Weight w) {
+    spanner.push_back({a, b, w});
+  };
+
+  std::vector<char> active(static_cast<std::size_t>(n), 1);  // still clustered
+  for (int phase = 0; phase < k - 1; ++phase) {
+    // 1. Sample surviving cluster centers.
+    std::unordered_map<Vertex, char> sampled;
+    for (Vertex v = 0; v < n; ++v) {
+      if (cluster[static_cast<std::size_t>(v)] == v &&
+          active[static_cast<std::size_t>(v)]) {
+        if (rng.bernoulli(p)) sampled[v] = 1;
+      }
+    }
+    // 2. Per vertex: lightest edge to each neighboring cluster.
+    std::vector<std::map<Vertex, std::pair<Weight, std::pair<Vertex, Vertex>>>>
+        lightest(static_cast<std::size_t>(n));
+    for (const auto& e : edges) {
+      for (auto [a, b] : {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+        const Vertex cb = cluster[static_cast<std::size_t>(b)];
+        if (cb == graph::kNoVertex) continue;
+        auto& m = lightest[static_cast<std::size_t>(a)];
+        auto it = m.find(cb);
+        if (it == m.end() || e.w < it->second.first) {
+          m[cb] = {e.w, {a, b}};
+        }
+      }
+    }
+    std::vector<Vertex> next_cluster = cluster;
+    for (Vertex v = 0; v < n; ++v) {
+      if (!active[static_cast<std::size_t>(v)]) continue;
+      const Vertex cv = cluster[static_cast<std::size_t>(v)];
+      if (sampled.count(cv)) continue;  // cluster survives; v stays put
+      // v's cluster was not sampled: v re-clusters.
+      const auto& m = lightest[static_cast<std::size_t>(v)];
+      // Nearest sampled neighboring cluster, if any.
+      Weight best_w = 0;
+      Vertex best_c = graph::kNoVertex;
+      std::pair<Vertex, Vertex> best_e{graph::kNoVertex, graph::kNoVertex};
+      for (const auto& [c, we] : m) {
+        if (!sampled.count(c)) continue;
+        if (best_c == graph::kNoVertex || we.first < best_w) {
+          best_w = we.first;
+          best_c = c;
+          best_e = we.second;
+        }
+      }
+      if (best_c != graph::kNoVertex) {
+        // Join the nearest sampled cluster; keep lighter edges to other
+        // clusters seen before it.
+        add(best_e.first, best_e.second, best_w);
+        next_cluster[static_cast<std::size_t>(v)] = best_c;
+        for (const auto& [c, we] : m) {
+          if (c != best_c && we.first < best_w) {
+            add(we.second.first, we.second.second, we.first);
+          }
+        }
+      } else {
+        // No sampled neighbor: add lightest edge to every neighboring
+        // cluster and leave the clustering.
+        for (const auto& [c, we] : m) {
+          add(we.second.first, we.second.second, we.first);
+        }
+        next_cluster[static_cast<std::size_t>(v)] = graph::kNoVertex;
+        active[static_cast<std::size_t>(v)] = 0;
+      }
+    }
+    cluster = std::move(next_cluster);
+    // Drop intra-cluster and discarded-endpoint edges.
+    std::vector<E> surviving;
+    for (const auto& e : edges) {
+      const Vertex cu = cluster[static_cast<std::size_t>(e.u)];
+      const Vertex cv = cluster[static_cast<std::size_t>(e.v)];
+      if (cu == graph::kNoVertex || cv == graph::kNoVertex) continue;
+      if (cu != cv) surviving.push_back(e);
+    }
+    edges = std::move(surviving);
+  }
+
+  // Final phase: every vertex adds its lightest edge to each neighboring
+  // surviving cluster.
+  std::vector<std::map<Vertex, std::pair<Weight, std::pair<Vertex, Vertex>>>>
+      lightest(static_cast<std::size_t>(n));
+  for (const auto& e : edges) {
+    for (auto [a, b] : {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+      const Vertex cb = cluster[static_cast<std::size_t>(b)];
+      if (cb == graph::kNoVertex) continue;
+      auto& m = lightest[static_cast<std::size_t>(a)];
+      auto it = m.find(cb);
+      if (it == m.end() || e.w < it->second.first) m[cb] = {e.w, {a, b}};
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    for (const auto& [c, we] : lightest[static_cast<std::size_t>(v)]) {
+      add(we.second.first, we.second.second, we.first);
+    }
+  }
+
+  // Deduplicate.
+  std::map<std::pair<Vertex, Vertex>, Weight> dedup;
+  for (const auto& e : spanner) {
+    const auto key = e.u < e.v ? std::make_pair(e.u, e.v)
+                               : std::make_pair(e.v, e.u);
+    auto [it, fresh] = dedup.insert({key, e.w});
+    if (!fresh) it->second = std::min(it->second, e.w);
+  }
+  std::vector<SpannerEdge> out;
+  out.reserve(dedup.size());
+  for (const auto& [key, w] : dedup) out.push_back({key.first, key.second, w});
+  return out;
+}
+
+graph::WeightedGraph spanner_graph(int n,
+                                   const std::vector<SpannerEdge>& edges) {
+  graph::WeightedGraph g(n);
+  for (const auto& e : edges) g.add_edge(e.u, e.v, e.w);
+  return g;
+}
+
+}  // namespace nors::baselines

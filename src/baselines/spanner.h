@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace nors::baselines {
+
+/// An undirected spanner edge (endpoints in the host graph, weight copied).
+struct SpannerEdge {
+  graph::Vertex u = graph::kNoVertex;
+  graph::Vertex v = graph::kNoVertex;
+  graph::Weight w = 0;
+};
+
+/// Baswana–Sen randomized (2k-1)-spanner with expected O(k · n^{1+1/k})
+/// edges. Used by the LP13a-style baseline (spanner over the skeleton) and
+/// as a standalone substrate.
+std::vector<SpannerEdge> baswana_sen_spanner(const graph::WeightedGraph& g,
+                                             int k, util::Rng& rng);
+
+/// Builds a WeightedGraph from spanner edges over the same vertex set.
+graph::WeightedGraph spanner_graph(int n,
+                                   const std::vector<SpannerEdge>& edges);
+
+}  // namespace nors::baselines

@@ -1,0 +1,57 @@
+#include "congest/ledger.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace nors::congest {
+
+void RoundLedger::add(std::string phase, CostKind kind, std::int64_t rounds,
+                      std::int64_t messages, std::string note) {
+  NORS_CHECK(rounds >= 0);
+  entries_.push_back(
+      {std::move(phase), kind, rounds, messages, std::move(note)});
+}
+
+void RoundLedger::merge(const RoundLedger& other) {
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
+}
+
+std::int64_t RoundLedger::total_rounds() const {
+  std::int64_t t = 0;
+  for (const auto& e : entries_) t += e.rounds;
+  return t;
+}
+
+std::int64_t RoundLedger::simulated_rounds() const {
+  std::int64_t t = 0;
+  for (const auto& e : entries_) {
+    if (e.kind == CostKind::kSimulated) t += e.rounds;
+  }
+  return t;
+}
+
+std::int64_t RoundLedger::accounted_rounds() const {
+  std::int64_t t = 0;
+  for (const auto& e : entries_) {
+    if (e.kind == CostKind::kAccounted) t += e.rounds;
+  }
+  return t;
+}
+
+std::string RoundLedger::report() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    os << "  " << (e.kind == CostKind::kSimulated ? "[sim]" : "[acc]") << " "
+       << e.phase << ": " << e.rounds << " rounds";
+    if (e.messages > 0) os << ", " << e.messages << " msgs";
+    if (!e.note.empty()) os << " (" << e.note << ")";
+    os << "\n";
+  }
+  os << "  total: " << total_rounds() << " rounds (" << simulated_rounds()
+     << " simulated + " << accounted_rounds() << " accounted)\n";
+  return os.str();
+}
+
+}  // namespace nors::congest

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nors::congest {
+
+/// How a phase's round count was obtained. `Simulated` phases ran message by
+/// message on the Network; `Accounted` phases executed logically and were
+/// charged by the documented cost formula of the primitive they model (see
+/// DESIGN.md §2–3), evaluated on *measured* message counts.
+enum class CostKind { kSimulated, kAccounted };
+
+struct CostEntry {
+  std::string phase;
+  CostKind kind = CostKind::kSimulated;
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::string note;
+};
+
+/// Accumulates the per-phase round cost of a distributed construction.
+class RoundLedger {
+ public:
+  void add(std::string phase, CostKind kind, std::int64_t rounds,
+           std::int64_t messages = 0, std::string note = "");
+  void merge(const RoundLedger& other);
+
+  std::int64_t total_rounds() const;
+  std::int64_t simulated_rounds() const;
+  std::int64_t accounted_rounds() const;
+  const std::vector<CostEntry>& entries() const { return entries_; }
+
+  /// Multi-line human-readable breakdown.
+  std::string report() const;
+
+ private:
+  std::vector<CostEntry> entries_;
+};
+
+}  // namespace nors::congest

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/check.h"
+
+namespace nors::congest {
+
+/// A CONGEST message: O(1) machine words. The model allows messages of
+/// O(log n) bits; we fix a hard cap of kMaxWords 64-bit words per message and
+/// every algorithm in the library must fit its per-edge-per-round traffic in
+/// one such message. The simulator enforces the cap.
+inline constexpr int kMaxWords = 4;
+
+struct Message {
+  // Filled by the sender:
+  std::uint16_t tag = 0;                    // algorithm-defined discriminator
+  std::uint8_t len = 0;                     // words in use
+  std::array<std::int64_t, kMaxWords> w{};  // payload
+
+  // Filled by the simulator on delivery:
+  graph::Vertex from = graph::kNoVertex;  // neighbor that sent it
+  std::int32_t arrival_port = graph::kNoPort;  // port it arrived on
+
+  static Message make(std::uint16_t tag,
+                      std::initializer_list<std::int64_t> words) {
+    NORS_CHECK(static_cast<int>(words.size()) <= kMaxWords);
+    Message m;
+    m.tag = tag;
+    m.len = static_cast<std::uint8_t>(words.size());
+    int i = 0;
+    for (std::int64_t v : words) m.w[static_cast<std::size_t>(i++)] = v;
+    return m;
+  }
+};
+
+}  // namespace nors::congest

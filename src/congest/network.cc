@@ -1,0 +1,112 @@
+#include "congest/network.h"
+
+#include <algorithm>
+
+namespace nors::congest {
+
+void Sender::send(std::int32_t port, const Message& m) {
+  net_.enqueue(v_, port, m);
+}
+
+void Sender::send_all(const Message& m) {
+  const int deg = net_.graph().degree(v_);
+  for (std::int32_t p = 0; p < deg; ++p) net_.enqueue(v_, p, m);
+}
+
+void Sender::wake_self() { net_.wake(v_); }
+
+Network::Network(const graph::WeightedGraph& g, Options opt)
+    : g_(g), opt_(opt) {
+  NORS_CHECK(opt_.edge_capacity >= 1);
+  offsets_.resize(static_cast<std::size_t>(g.n()) + 1, 0);
+  for (graph::Vertex v = 0; v < g.n(); ++v) {
+    offsets_[static_cast<std::size_t>(v) + 1] =
+        offsets_[static_cast<std::size_t>(v)] +
+        static_cast<std::size_t>(g.degree(v));
+  }
+  links_.resize(offsets_.back());
+  awake_.assign(static_cast<std::size_t>(g.n()), 0);
+}
+
+void Network::wake(graph::Vertex v) {
+  NORS_CHECK(g_.valid_vertex(v));
+  if (!awake_[static_cast<std::size_t>(v)]) {
+    awake_[static_cast<std::size_t>(v)] = 1;
+    wake_list_.push_back(v);
+  }
+}
+
+void Network::enqueue(graph::Vertex from, std::int32_t port, Message m) {
+  NORS_CHECK_MSG(m.len <= kMaxWords, "message exceeds CONGEST word budget");
+  m.from = from;
+  const auto& e = g_.edge(from, port);
+  m.arrival_port = e.rev;
+  auto& q = links_[link_index(from, port)];
+  q.push_back(m);
+  ++queued_;
+  ++stats_.messages_sent;
+  stats_.max_link_backlog =
+      std::max(stats_.max_link_backlog, static_cast<std::int64_t>(q.size()));
+}
+
+NetworkStats Network::run(NodeProgram& prog) {
+  stats_ = NetworkStats{};
+  queued_ = 0;
+  for (auto& q : links_) q.clear();
+  std::fill(awake_.begin(), awake_.end(), 0);
+  wake_list_.clear();
+
+  prog.begin(*this);
+
+  // Invariant: awake_[v] == 1  ⟺  v is in to_run (scheduled for the next
+  // round). wake() maintains it; flags are cleared when a vertex starts
+  // executing.
+  std::vector<std::vector<Message>> inbox(static_cast<std::size_t>(g_.n()));
+  std::vector<graph::Vertex> to_run = std::move(wake_list_);
+  wake_list_.clear();
+
+  while (queued_ > 0 || !to_run.empty()) {
+    NORS_CHECK_MSG(stats_.rounds < opt_.max_rounds,
+                   "CONGEST simulation exceeded max_rounds");
+    ++stats_.rounds;
+
+    // Phase 1: deliver up to edge_capacity messages per directed link, and
+    // schedule the receivers.
+    for (graph::Vertex v = 0; v < g_.n(); ++v) {
+      for (std::int32_t p = 0; p < g_.degree(v); ++p) {
+        auto& q = links_[link_index(v, p)];
+        const graph::Vertex dst = g_.edge(v, p).to;
+        for (int c = 0; c < opt_.edge_capacity && !q.empty(); ++c) {
+          inbox[static_cast<std::size_t>(dst)].push_back(q.front());
+          q.pop_front();
+          --queued_;
+          ++stats_.messages_delivered;
+          if (!awake_[static_cast<std::size_t>(dst)]) {
+            awake_[static_cast<std::size_t>(dst)] = 1;
+            to_run.push_back(dst);
+          }
+        }
+      }
+    }
+
+    // Phase 2: run every scheduled vertex (deterministic order).
+    std::sort(to_run.begin(), to_run.end());
+    std::vector<graph::Vertex> running = std::move(to_run);
+    to_run.clear();
+    for (graph::Vertex v : running) awake_[static_cast<std::size_t>(v)] = 0;
+
+    for (graph::Vertex v : running) {
+      Sender out(*this, v);
+      prog.on_round(v, inbox[static_cast<std::size_t>(v)], out);
+      inbox[static_cast<std::size_t>(v)].clear();
+    }
+
+    // Wakes requested during this round (via wake_self) run next round;
+    // their awake_ flags are already set by wake().
+    to_run = std::move(wake_list_);
+    wake_list_.clear();
+  }
+  return stats_;
+}
+
+}  // namespace nors::congest

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "congest/message.h"
+#include "graph/graph.h"
+
+namespace nors::congest {
+
+/// Per-run statistics of a simulated execution.
+struct NetworkStats {
+  std::int64_t rounds = 0;
+  std::int64_t messages_sent = 0;
+  std::int64_t messages_delivered = 0;
+  std::int64_t max_link_backlog = 0;  // worst per-link queue length observed
+};
+
+class Network;
+
+/// Send-side interface handed to a node while it executes one round. All
+/// sends are enqueued on the link and delivered subject to the per-round
+/// per-edge capacity (1 message per direction per round in the standard
+/// CONGEST model).
+class Sender {
+ public:
+  Sender(Network& net, graph::Vertex v) : net_(net), v_(v) {}
+
+  /// Send over `port` of the executing vertex.
+  void send(std::int32_t port, const Message& m);
+  /// Send the same message over every port of the executing vertex.
+  void send_all(const Message& m);
+  /// Ask the engine to run this vertex again next round even without inbox
+  /// traffic (used by sources that emit over several rounds).
+  void wake_self();
+
+ private:
+  Network& net_;
+  graph::Vertex v_;
+};
+
+/// A distributed algorithm: per-vertex handler invoked once per round with
+/// the messages delivered this round. State lives inside the NodeProgram
+/// implementation (indexed by vertex), mirroring "local memory" in the model.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Called once before round 0; use to initialize and wake source vertices
+  /// (via Network::wake).
+  virtual void begin(Network& net) = 0;
+
+  /// One round at vertex v. `inbox` holds the messages delivered to v this
+  /// round (at most one per incident edge, by the capacity constraint).
+  virtual void on_round(graph::Vertex v, const std::vector<Message>& inbox,
+                        Sender& out) = 0;
+};
+
+/// Synchronous CONGEST simulator. Each round:
+///   1. every link delivers up to `edge_capacity` queued messages,
+///   2. every vertex with deliveries (or an explicit wake) runs on_round,
+///   3. newly sent messages join the link queues for later rounds.
+/// Execution stops when no messages are queued and no vertex is awake.
+class Network {
+ public:
+  struct Options {
+    int edge_capacity = 1;          // messages per directed edge per round
+    std::int64_t max_rounds = 50'000'000;
+  };
+
+  Network(const graph::WeightedGraph& g, Options opt);
+
+  const graph::WeightedGraph& graph() const { return g_; }
+
+  /// Wake a vertex for the next round (callable from begin()).
+  void wake(graph::Vertex v);
+
+  /// Run `prog` to quiescence; returns the statistics of this run.
+  NetworkStats run(NodeProgram& prog);
+
+ private:
+  friend class Sender;
+
+  std::size_t link_index(graph::Vertex v, std::int32_t port) const {
+    return offsets_[static_cast<std::size_t>(v)] +
+           static_cast<std::size_t>(port);
+  }
+  void enqueue(graph::Vertex from, std::int32_t port, Message m);
+
+  const graph::WeightedGraph& g_;
+  Options opt_;
+  std::vector<std::size_t> offsets_;        // per-vertex start into links_
+  std::vector<std::deque<Message>> links_;  // per directed edge FIFO
+  std::vector<char> awake_;
+  std::vector<graph::Vertex> wake_list_;
+  NetworkStats stats_;
+  std::int64_t queued_ = 0;
+};
+
+}  // namespace nors::congest

@@ -1,0 +1,555 @@
+#include "core/clusters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "graph/properties.h"
+#include "primitives/cluster_bf.h"
+#include "primitives/pipelined.h"
+
+namespace nors::core {
+
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+std::int64_t ln_ceil(int n) {
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(std::log(std::max(2, n)))));
+}
+
+}  // namespace
+
+LevelKind classify_level(int i, int k) {
+  NORS_CHECK(i >= 0 && i < k);
+  if (k == 1) return LevelKind::kSmall;
+  if (k % 2 == 0) {
+    return i < k / 2 ? LevelKind::kSmall : LevelKind::kLarge;
+  }
+  if (i < (k - 1) / 2) return LevelKind::kSmall;
+  if (i == (k - 1) / 2 && k >= 3) return LevelKind::kMiddle;
+  return LevelKind::kLarge;
+}
+
+Preprocess build_preprocess(const graph::WeightedGraph& g,
+                            const primitives::Hierarchy& h,
+                            const SchemeParams& params, int bfs_height,
+                            congest::RoundLedger& ledger, util::Rng& rng) {
+  const int n = g.n();
+  const int k = params.k;
+  NORS_CHECK_MSG(k >= 2, "preprocessing is only defined for k >= 2");
+  Preprocess pre;
+
+  // V' = A_{⌈k/2⌉}.
+  const int ceil_half = (k + 1) / 2;
+  pre.vprime = h.set_at(ceil_half);
+  NORS_CHECK_MSG(!pre.vprime.empty(), "V' must be non-empty");
+  pre.vp_index.assign(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < pre.vprime.size(); ++i) {
+    pre.vp_index[static_cast<std::size_t>(pre.vprime[i])] =
+        static_cast<int>(i);
+  }
+
+  // B = hit_constant · n / E[|V'|] · ln n  =  c · n^{⌈k/2⌉/k} · ln n.
+  const double expected_vp =
+      std::pow(static_cast<double>(n),
+               1.0 - static_cast<double>(ceil_half) / k);
+  std::int64_t b = static_cast<std::int64_t>(
+      params.hit_constant * (static_cast<double>(n) / expected_vp) *
+      static_cast<double>(ln_ceil(n)));
+  b = std::min<std::int64_t>(std::max<std::int64_t>(1, b), n);
+  pre.b_hops = b;
+
+  // Theorem 1 with parameter ε/2.
+  const util::Epsilon eps = params.epsilon();
+  const util::Epsilon eps_half(eps.num(), 2 * eps.den());
+  pre.sd = primitives::source_detection(g, pre.vprime, b, eps_half,
+                                        bfs_height);
+  ledger.add("preprocess/source detection", congest::CostKind::kAccounted,
+             pre.sd.round_cost, 0,
+             "|V'|=" + std::to_string(pre.vprime.size()) +
+                 " B=" + std::to_string(b));
+
+  // Virtual graph G' on V': u ~ v iff d_uv < ∞ (weights d_uv, symmetric).
+  const int m = static_cast<int>(pre.vprime.size());
+  pre.gprime = graph::WeightedGraph(m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      const Dist d = pre.sd.d(i, pre.vprime[static_cast<std::size_t>(j)]);
+      if (!graph::is_inf(d)) {
+        pre.gprime.add_edge(i, j, std::max<Dist>(1, d));
+      }
+    }
+  }
+
+  // Path-reporting hopset for G' with parameter ε/3 (Theorem 2). The
+  // hopset-less ablation (use_hopset = false) instead explores G' directly:
+  // the effective β becomes G''s shortest-path hop diameter (up to m), the
+  // exploration regime of [LP15] that the paper's hopsets shorten.
+  if (params.use_hopset) {
+    hopset::HopsetParams hp{util::Epsilon(eps.num(), 3 * eps.den()),
+                            params.hopset_levels, rng.next(),
+                            std::max(1.0 / k, 0.25)};
+    pre.hs = hopset::build_hopset(pre.gprime, hp, bfs_height);
+    ledger.add("preprocess/hopset", congest::CostKind::kAccounted,
+               pre.hs.round_cost, 0,
+               "beta=" + std::to_string(pre.hs.beta) +
+                   " edges=" + std::to_string(pre.hs.edges.size()));
+  } else {
+    pre.hs = hopset::Hopset{};
+    pre.hs.beta =
+        std::max(1, graph::shortest_path_hop_diameter(pre.gprime));
+    ledger.add("preprocess/hopset", congest::CostKind::kAccounted, 0, 0,
+               "disabled; beta=S(G')=" + std::to_string(pre.hs.beta));
+  }
+
+  // G'' adjacency = G' edges ∪ hopset edges.
+  pre.gpp_adj.assign(static_cast<std::size_t>(m), {});
+  for (int v = 0; v < m; ++v) {
+    for (const auto& e : pre.gprime.neighbors(v)) {
+      pre.gpp_adj[static_cast<std::size_t>(v)].push_back({e.to, e.w, -1});
+    }
+  }
+  for (std::size_t id = 0; id < pre.hs.edges.size(); ++id) {
+    const auto& he = pre.hs.edges[id];
+    pre.gpp_adj[static_cast<std::size_t>(he.u)].push_back(
+        {he.v, he.w, static_cast<int>(id)});
+    pre.gpp_adj[static_cast<std::size_t>(he.v)].push_back(
+        {he.u, he.w, static_cast<int>(id)});
+  }
+  return pre;
+}
+
+void compute_approx_pivots(const graph::WeightedGraph& g,
+                           const primitives::Hierarchy& h,
+                           const Preprocess& pre, PivotTable& pivots,
+                           int bfs_height, congest::RoundLedger& ledger) {
+  const int n = g.n();
+  const int k = pivots.k;
+  const int m = static_cast<int>(pre.vprime.size());
+  const int beta = pre.beta();
+  const int first = last_exact_pivot_level(k) + 1;
+
+  for (int i = first; i <= k - 1; ++i) {
+    // β Bellman–Ford iterations on G'' rooted at A_i ⊆ V'.
+    std::vector<Dist> dist(static_cast<std::size_t>(m), graph::kDistInf);
+    std::vector<Vertex> src(static_cast<std::size_t>(m), graph::kNoVertex);
+    std::vector<char> frontier(static_cast<std::size_t>(m), 0);
+    for (Vertex a : h.set_at(i)) {
+      const int idx = pre.vp_index[static_cast<std::size_t>(a)];
+      NORS_CHECK_MSG(idx >= 0, "A_i must be contained in V'");
+      dist[static_cast<std::size_t>(idx)] = 0;
+      src[static_cast<std::size_t>(idx)] = a;
+      frontier[static_cast<std::size_t>(idx)] = 1;
+    }
+    std::int64_t messages = 0;
+    for (int it = 0; it < beta; ++it) {
+      std::vector<char> next_frontier(static_cast<std::size_t>(m), 0);
+      bool any = false;
+      // Snapshot relaxation (synchronous rounds).
+      const std::vector<Dist> snap = dist;
+      const std::vector<Vertex> snap_src = src;
+      for (int v = 0; v < m; ++v) {
+        if (!frontier[static_cast<std::size_t>(v)]) continue;
+        ++messages;  // v broadcasts its (dist, src) pair
+        for (const auto& e : pre.gpp_adj[static_cast<std::size_t>(v)]) {
+          const Dist nd = snap[static_cast<std::size_t>(v)] + e.w;
+          if (nd < dist[static_cast<std::size_t>(e.to)]) {
+            dist[static_cast<std::size_t>(e.to)] = nd;
+            src[static_cast<std::size_t>(e.to)] =
+                snap_src[static_cast<std::size_t>(v)];
+            next_frontier[static_cast<std::size_t>(e.to)] = 1;
+            any = true;
+          }
+        }
+      }
+      frontier = std::move(next_frontier);
+      if (!any) break;
+    }
+    // Extension (40): every vertex minimizes d_yv + d̂(v) over v ∈ V'.
+    for (Vertex y = 0; y < n; ++y) {
+      Dist best = graph::kDistInf;
+      Vertex best_src = graph::kNoVertex;
+      for (int v = 0; v < m; ++v) {
+        if (graph::is_inf(dist[static_cast<std::size_t>(v)])) continue;
+        const Dist dyv = pre.sd.d(v, y);
+        if (graph::is_inf(dyv)) continue;
+        const Dist cand = dyv + dist[static_cast<std::size_t>(v)];
+        if (cand < best) {
+          best = cand;
+          best_src = src[static_cast<std::size_t>(v)];
+        }
+      }
+      pivots.dist[static_cast<std::size_t>(i) * n + y] = best;
+      pivots.pivot[static_cast<std::size_t>(i) * n + y] = best_src;
+    }
+    ledger.add(
+        "pivots/approx level " + std::to_string(i),
+        congest::CostKind::kAccounted,
+        primitives::pipelined_broadcast_rounds(std::max<std::int64_t>(1, messages),
+                                               bfs_height),
+        messages, "beta=" + std::to_string(beta));
+  }
+  (void)g;
+}
+
+std::vector<ClusterTree> build_small_level_trees(
+    const graph::WeightedGraph& g, const primitives::Hierarchy& h, int level,
+    const PivotTable& pivots, const SchemeParams& params,
+    congest::RoundLedger& ledger) {
+  const int n = g.n();
+  const std::vector<Vertex> roots = h.exactly_at(level);
+  std::vector<ClusterTree> trees;
+  if (roots.empty()) return trees;
+  // The join condition needs the exact d(v, A_{level+1}); row k is ∞.
+  NORS_CHECK(level + 1 >= pivots.k || pivots.level_exact(level + 1));
+
+  // Join condition (11): b < d_G(v, A_{i+1}) (exact distances).
+  const std::size_t row = static_cast<std::size_t>(level + 1) * n;
+  const auto admit = [&](Vertex v, Vertex, Dist b) {
+    return b < pivots.dist[row + static_cast<std::size_t>(v)];
+  };
+  auto result = primitives::distributed_cluster_bellman_ford(
+      g, roots, admit, params.edge_capacity);
+  ledger.add("clusters/small level " + std::to_string(level),
+             congest::CostKind::kSimulated, result.rounds, result.messages,
+             "roots=" + std::to_string(roots.size()));
+
+  // Re-shape per root.
+  std::unordered_map<Vertex, std::size_t> tree_of;
+  trees.reserve(roots.size());
+  for (Vertex u : roots) {
+    tree_of[u] = trees.size();
+    trees.push_back({u, level, {}});
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    for (const auto& [root, entry] :
+         result.entries[static_cast<std::size_t>(v)]) {
+      ClusterMember mem;
+      mem.b = entry.dist;
+      mem.parent = entry.parent;
+      mem.parent_port = entry.parent_port;
+      trees[tree_of.at(root)].members[v] = mem;
+    }
+  }
+  return trees;
+}
+
+std::vector<ClusterTree> build_middle_level_trees(
+    const graph::WeightedGraph& g, const primitives::Hierarchy& h, int level,
+    const PivotTable& pivots, const SchemeParams& params, int bfs_height,
+    congest::RoundLedger& ledger) {
+  const int n = g.n();
+  const std::vector<Vertex> roots = h.exactly_at(level);
+  std::vector<ClusterTree> trees;
+  if (roots.empty()) return trees;
+
+  // B = hit_constant · n^{(i+1)/k} · ln n (Corollary 4 depth bound).
+  std::int64_t b = static_cast<std::int64_t>(
+      params.hit_constant *
+      std::pow(static_cast<double>(n),
+               static_cast<double>(level + 1) / params.k) *
+      static_cast<double>(ln_ceil(n)));
+  b = std::min<std::int64_t>(std::max<std::int64_t>(1, b), n);
+
+  const auto sd = primitives::source_detection(g, roots, b, params.epsilon(),
+                                               bfs_height);
+  ledger.add("clusters/middle level " + std::to_string(level),
+             congest::CostKind::kAccounted, sd.round_cost, 0,
+             "|S|=" + std::to_string(roots.size()) + " B=" + std::to_string(b));
+
+  const std::size_t row = static_cast<std::size_t>(level + 1) * n;
+  trees.reserve(roots.size());
+  for (std::size_t si = 0; si < roots.size(); ++si) {
+    const Vertex u = roots[si];
+    ClusterTree t{u, level, {}};
+    for (Vertex v = 0; v < n; ++v) {
+      const Dist bv = sd.d(static_cast<int>(si), v);
+      if (graph::is_inf(bv)) continue;
+      const bool is_root = (v == u);
+      if (!is_root &&
+          bv >= pivots.dist[row + static_cast<std::size_t>(v)]) {
+        continue;  // join condition b_v(u) < d(v, A_{i+1})
+      }
+      ClusterMember mem;
+      mem.b = bv;
+      if (!is_root) {
+        mem.parent_port = sd.port(static_cast<int>(si), v);
+        NORS_CHECK(mem.parent_port != graph::kNoPort);
+        mem.parent = g.edge(v, mem.parent_port).to;
+      }
+      t.members[v] = mem;
+    }
+    trees.push_back(std::move(t));
+  }
+  return trees;
+}
+
+std::vector<ClusterTree> build_large_level_trees(
+    const graph::WeightedGraph& g, const primitives::Hierarchy& h, int level,
+    const PivotTable& pivots, const Preprocess& pre,
+    const SchemeParams& params, int bfs_height, congest::RoundLedger& ledger) {
+  const int n = g.n();
+  const int m = static_cast<int>(pre.vprime.size());
+  const int beta = pre.beta();
+  const util::Epsilon eps = params.epsilon();
+  const std::vector<Vertex> roots = h.exactly_at(level);
+  std::vector<ClusterTree> trees;
+  if (roots.empty()) return trees;
+
+  const std::size_t row = static_cast<std::size_t>(level + 1) * n;
+  // Condition (14): b < d̂_{i+1}(v) / (1+ε)^3 (∞ admits everything).
+  const auto cond14 = [&](Vertex graph_v, Dist b) {
+    const Dist dhat = pivots.dist[row + static_cast<std::size_t>(graph_v)];
+    if (graph::is_inf(dhat)) return true;
+    return eps.less_than_div(b, dhat, 3);
+  };
+  // Condition (15): b < d̂_{i+1}(y) / (1+ε).
+  const auto cond15 = [&](Vertex graph_y, Dist b) {
+    const Dist dhat = pivots.dist[row + static_cast<std::size_t>(graph_y)];
+    if (graph::is_inf(dhat)) return true;
+    return eps.less_than_div(b, dhat, 1);
+  };
+
+  // Phase-1 state per (V' index, root-slot): b value and virtual parent.
+  struct VState {
+    Dist b = graph::kDistInf;
+    int vparent = -1;    // V' index of the virtual parent
+    int hopset_id = -1;  // the hopset edge used, if any
+  };
+  const int r = static_cast<int>(roots.size());
+  std::unordered_map<Vertex, int> root_slot;
+  for (int s = 0; s < r; ++s) root_slot[roots[s]] = s;
+  std::vector<std::unordered_map<int, VState>> state(
+      static_cast<std::size_t>(m));
+  std::vector<std::pair<int, int>> frontier;  // (V' index, root slot)
+  for (int s = 0; s < r; ++s) {
+    const int idx = pre.vp_index[static_cast<std::size_t>(roots[s])];
+    NORS_CHECK_MSG(idx >= 0, "large-level roots must lie in V'");
+    state[static_cast<std::size_t>(idx)][s] = {0, -1, -1};
+    frontier.push_back({idx, s});
+  }
+
+  // Phase 1: β synchronous Bellman–Ford iterations over G''.
+  std::int64_t messages = 0;
+  for (int it = 0; it < beta && !frontier.empty(); ++it) {
+    // Snapshot the frontier values (synchronous semantics).
+    std::vector<std::tuple<int, int, Dist>> sends;
+    sends.reserve(frontier.size());
+    for (const auto& [v, s] : frontier) {
+      sends.emplace_back(v, s, state[static_cast<std::size_t>(v)].at(s).b);
+    }
+    messages += static_cast<std::int64_t>(sends.size());
+    std::vector<std::pair<int, int>> next;
+    for (const auto& [v, s, bv] : sends) {
+      for (const auto& e : pre.gpp_adj[static_cast<std::size_t>(v)]) {
+        const Dist nb = bv + e.w;
+        const Vertex gz = pre.vprime[static_cast<std::size_t>(e.to)];
+        auto& zmap = state[static_cast<std::size_t>(e.to)];
+        auto it2 = zmap.find(s);
+        const Dist cur = it2 == zmap.end() ? graph::kDistInf : it2->second.b;
+        if (nb >= cur) continue;
+        if (gz != roots[static_cast<std::size_t>(s)] && !cond14(gz, nb)) {
+          continue;
+        }
+        if (it2 == zmap.end()) {
+          zmap[s] = {nb, v, e.hopset_id};
+        } else {
+          it2->second = {nb, v, e.hopset_id};
+        }
+        next.push_back({e.to, s});
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier = std::move(next);
+  }
+  ledger.add("clusters/large level " + std::to_string(level) + " phase1",
+             congest::CostKind::kAccounted,
+             primitives::pipelined_broadcast_rounds(
+                 std::max<std::int64_t>(1, messages), bfs_height),
+             messages, "beta=" + std::to_string(beta));
+
+  // Phase 1.5: re-anchor hopset-edge parents along their realizing paths.
+  // Candidates are computed from a snapshot of the phase-1 values, applied
+  // with min, so the pass is order-independent (paper semantics).
+  const std::vector<std::unordered_map<int, VState>> snapshot = state;
+  std::int64_t fixups = 0;
+  for (int v = 0; v < m; ++v) {
+    for (const auto& [s, st] : snapshot[static_cast<std::size_t>(v)]) {
+      if (st.hopset_id < 0) continue;
+      const auto& he = pre.hs.edges[static_cast<std::size_t>(st.hopset_id)];
+      // Orient the path from the virtual parent x toward v.
+      const bool forward = (he.u == st.vparent);
+      NORS_CHECK(forward || he.v == st.vparent);
+      const int x = st.vparent;
+      const Dist bx = snapshot[static_cast<std::size_t>(x)].at(s).b;
+      const auto path_len = static_cast<int>(he.path.size());
+      for (int pos = 0; pos < path_len; ++pos) {
+        const int z = forward ? he.path[static_cast<std::size_t>(pos)]
+                              : he.path[static_cast<std::size_t>(
+                                    path_len - 1 - pos)];
+        if (z == x) continue;
+        const Dist d_xz =
+            forward ? he.prefix[static_cast<std::size_t>(pos)]
+                    : he.w - he.prefix[static_cast<std::size_t>(
+                                 path_len - 1 - pos)];
+        // The path neighbor of z closer to x.
+        const int z_prev_pos = forward ? pos - 1 : path_len - pos;
+        const int z_prev = he.path[static_cast<std::size_t>(z_prev_pos)];
+        const Dist cand = bx + d_xz;
+        auto& zmap = state[static_cast<std::size_t>(z)];
+        auto it2 = zmap.find(s);
+        const Dist cur = it2 == zmap.end() ? graph::kDistInf : it2->second.b;
+        if (cand <= cur) {
+          zmap[s] = {cand, z_prev, -1};
+          ++fixups;
+        }
+      }
+    }
+  }
+  ledger.add("clusters/large level " + std::to_string(level) + " phase1.5",
+             congest::CostKind::kAccounted,
+             primitives::pipelined_broadcast_rounds(
+                 std::max<std::int64_t>(1, fixups), bfs_height),
+             fixups);
+
+  // All virtual parents must now be G' neighbors (or roots).
+  for (int v = 0; v < m; ++v) {
+    for (const auto& [s, st] : state[static_cast<std::size_t>(v)]) {
+      NORS_CHECK_MSG(st.hopset_id < 0,
+                     "hopset parent survived phase 1.5 at V' index " << v);
+    }
+  }
+
+  // Phase 2: members broadcast (root, b); every vertex extends via the
+  // source-detection distances. Members of C̃'(u) keep their phase-1 values
+  // and get real parents from Remark 1 toward their virtual parent.
+  trees.assign(static_cast<std::size_t>(r), {});
+  for (int s = 0; s < r; ++s) {
+    trees[static_cast<std::size_t>(s)].root = roots[static_cast<std::size_t>(s)];
+    trees[static_cast<std::size_t>(s)].level = level;
+  }
+  // Per root slot, the broadcasting members (V' index, b).
+  std::vector<std::vector<std::pair<int, Dist>>> broadcasters(
+      static_cast<std::size_t>(r));
+  std::int64_t phase2_msgs = 0;
+  for (int v = 0; v < m; ++v) {
+    for (const auto& [s, st] : state[static_cast<std::size_t>(v)]) {
+      broadcasters[static_cast<std::size_t>(s)].push_back({v, st.b});
+      ++phase2_msgs;
+    }
+  }
+
+  for (int s = 0; s < r; ++s) {
+    auto& tree = trees[static_cast<std::size_t>(s)];
+    const Vertex u = roots[static_cast<std::size_t>(s)];
+    for (Vertex y = 0; y < n; ++y) {
+      // Extension value from the broadcast (the single synchronous round of
+      // phase 2): min over members of d_yv + b_v(u).
+      Dist ext = graph::kDistInf;
+      int witness = -1;
+      for (const auto& [v, bv] : broadcasters[static_cast<std::size_t>(s)]) {
+        const Dist dyv = pre.sd.d(v, y);
+        if (graph::is_inf(dyv)) continue;
+        const Dist cand = dyv + bv;
+        if (cand < ext) {
+          ext = cand;
+          witness = v;
+        }
+      }
+      const int y_vp = pre.vp_index[static_cast<std::size_t>(y)];
+      const auto it2 = y_vp >= 0
+                           ? state[static_cast<std::size_t>(y_vp)].find(s)
+                           : state.front().end();
+      const bool in_phase1 =
+          y_vp >= 0 && it2 != state[static_cast<std::size_t>(y_vp)].end();
+      if (y == u) {
+        tree.members[y] = ClusterMember{0, graph::kNoVertex, graph::kNoPort};
+        continue;
+      }
+      ClusterMember mem;
+      if (in_phase1) {
+        // Members of C̃'(u) stay members, but take the better of their
+        // phase-1 value and the broadcast extension — the paper's Claim 7
+        // proof needs parents to adopt the phase-2 improvement (28).
+        if (ext < it2->second.b) {
+          mem.b = ext;
+          mem.parent_port = pre.sd.port(witness, y);
+        } else {
+          mem.b = it2->second.b;
+          const int vp = it2->second.vparent;
+          NORS_CHECK(vp >= 0);
+          mem.parent_port = pre.sd.port(vp, y);
+        }
+        NORS_CHECK_MSG(mem.parent_port != graph::kNoPort,
+                       "missing Remark-1 parent");
+        mem.parent = g.edge(y, mem.parent_port).to;
+        tree.members[y] = mem;
+        continue;
+      }
+      // Everyone else joins iff (15) holds for the extension value.
+      if (witness < 0 || !cond15(y, ext)) continue;
+      mem.b = ext;
+      mem.parent_port = pre.sd.port(witness, y);
+      NORS_CHECK(mem.parent_port != graph::kNoPort);
+      mem.parent = g.edge(y, mem.parent_port).to;
+      tree.members[y] = mem;
+    }
+  }
+  ledger.add("clusters/large level " + std::to_string(level) + " phase2",
+             congest::CostKind::kAccounted,
+             primitives::pipelined_broadcast_rounds(
+                 std::max<std::int64_t>(1, phase2_msgs), bfs_height),
+             phase2_msgs);
+  return trees;
+}
+
+std::int64_t sanitize_trees(const graph::WeightedGraph& g,
+                            std::vector<ClusterTree>& trees) {
+  std::int64_t pruned = 0;
+  for (auto& t : trees) {
+    // Keep exactly the members reachable from the root through parent
+    // pointers that are consistent: parent is a member, the edge is real,
+    // and b_v ≥ w(v,p) + b_p (Claim 7).
+    std::unordered_map<Vertex, std::vector<Vertex>> children;
+    for (const auto& [v, mem] : t.members) {
+      if (v == t.root) continue;
+      children[mem.parent].push_back(v);
+    }
+    std::unordered_map<Vertex, char> keep;
+    std::queue<Vertex> q;
+    if (t.members.count(t.root)) {
+      keep[t.root] = 1;
+      q.push(t.root);
+    }
+    while (!q.empty()) {
+      const Vertex p = q.front();
+      q.pop();
+      auto it = children.find(p);
+      if (it == children.end()) continue;
+      const Dist bp = t.members.at(p).b;
+      for (Vertex v : it->second) {
+        const auto& mem = t.members.at(v);
+        const auto& e = g.edge(v, mem.parent_port);
+        if (e.to != p) continue;
+        if (mem.b < bp + e.w) continue;  // Claim 7 violated
+        keep[v] = 1;
+        q.push(v);
+      }
+    }
+    if (keep.size() != t.members.size()) {
+      pruned += static_cast<std::int64_t>(t.members.size() - keep.size());
+      std::unordered_map<Vertex, ClusterMember> kept;
+      for (const auto& [v, mem] : t.members) {
+        if (keep.count(v)) kept[v] = mem;
+      }
+      t.members = std::move(kept);
+    }
+  }
+  return pruned;
+}
+
+}  // namespace nors::core

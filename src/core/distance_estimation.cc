@@ -1,0 +1,91 @@
+#include "core/distance_estimation.h"
+
+namespace nors::core {
+
+using graph::Dist;
+using graph::Vertex;
+
+DistanceEstimation DistanceEstimation::build(const RoutingScheme& scheme) {
+  DistanceEstimation de;
+  de.k_ = scheme.params().k;
+  de.bound_ =
+      estimation_stretch_bound(de.k_, scheme.params().epsilon());
+  const int n = scheme.pivots_.n;
+  de.sketches_.assign(static_cast<std::size_t>(n), {});
+  for (const auto& t : scheme.trees()) {
+    for (const auto& [v, mem] : t.members) {
+      de.sketches_[static_cast<std::size_t>(v)].clusters[t.root] = mem.b;
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    auto& sk = de.sketches_[static_cast<std::size_t>(v)];
+    sk.pivots.reserve(static_cast<std::size_t>(de.k_));
+    for (int i = 0; i < de.k_; ++i) {
+      sk.pivots.push_back({scheme.pivots_.z(i, v), scheme.pivots_.d(i, v)});
+    }
+  }
+  return de;
+}
+
+DistanceEstimation::QueryResult DistanceEstimation::estimate(Vertex u,
+                                                             Vertex v) const {
+  QueryResult r;
+  if (u == v) {
+    r.estimate = 0;
+    return r;
+  }
+  // Algorithm 2: w ← u (the 0-pivot of u); while v ∉ C̃(w): swap roles and
+  // take the next-level pivot. Terminates by level k-1 (C̃ spans V there).
+  Vertex w = u;
+  Dist d_uw = 0;
+  for (int i = 0;; ++i) {
+    NORS_CHECK_MSG(i < k_, "Algorithm 2 exceeded k iterations");
+    ++r.iterations;
+    const auto& sk_v = sketches_[static_cast<std::size_t>(v)].clusters;
+    auto it = sk_v.find(w);
+    if (it != sk_v.end()) {
+      r.estimate = d_uw + it->second;
+      return r;
+    }
+    std::swap(u, v);
+    const auto& piv = sketches_[static_cast<std::size_t>(u)].pivots;
+    w = piv[static_cast<std::size_t>(i) + 1].first;
+    d_uw = piv[static_cast<std::size_t>(i) + 1].second;
+    NORS_CHECK_MSG(w != graph::kNoVertex, "missing pivot in sketch");
+  }
+}
+
+DistanceEstimation::QueryResult DistanceEstimation::estimate_from_label(
+    Vertex u, Vertex v) const {
+  QueryResult r;
+  if (u == v) {
+    r.estimate = 0;
+    return r;
+  }
+  // v's one-sided label: for each level i, (ẑ_i(v), b_v(ẑ_i(v)) if member).
+  // u's side: its own cluster memberships. The first level whose pivot
+  // tree contains both gives the estimate b_u(w) + b_v(w) — exactly the
+  // path the routing scheme would use.
+  const auto& sk_u = sketches_[static_cast<std::size_t>(u)].clusters;
+  const auto& sk_v = sketches_[static_cast<std::size_t>(v)];
+  for (int i = 0; i < k_; ++i) {
+    ++r.iterations;
+    const Vertex w = sk_v.pivots[static_cast<std::size_t>(i)].first;
+    if (w == graph::kNoVertex) continue;
+    const auto iv = sk_v.clusters.find(w);
+    if (iv == sk_v.clusters.end()) continue;  // v ∉ C̃(ẑ_i(v))
+    const auto iu = sk_u.find(w);
+    if (iu == sk_u.end()) continue;  // u ∉ C̃(ẑ_i(v))
+    r.estimate = iu->second + iv->second;
+    return r;
+  }
+  NORS_CHECK_MSG(false, "find-tree failed in one-sided estimation");
+}
+
+std::int64_t DistanceEstimation::sketch_words(Vertex v) const {
+  const auto& sk = sketches_[static_cast<std::size_t>(v)];
+  return 2LL * static_cast<std::int64_t>(sk.clusters.size()) +
+         2LL * static_cast<std::int64_t>(sk.pivots.size());
+}
+
+}  // namespace nors::core

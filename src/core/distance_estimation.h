@@ -1,0 +1,58 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheme.h"
+
+namespace nors::core {
+
+/// The paper's distance-estimation scheme (§5, Theorem 6): every vertex
+/// carries a sketch of size O(n^{1/k} log n) — its cluster memberships with
+/// the b_v(u) values plus its k approximate pivots — and any two sketches
+/// yield a 2k-1+o(1) approximate distance in O(k) time (Algorithm 2).
+class DistanceEstimation {
+ public:
+  /// Extracts the sketches from a built routing scheme (the paper derives
+  /// both from the same approximate clusters/pivots).
+  static DistanceEstimation build(const RoutingScheme& scheme);
+
+  struct QueryResult {
+    graph::Dist estimate = graph::kDistInf;
+    int iterations = 0;  // while-loop iterations of Algorithm 2, ≤ k
+  };
+
+  /// Algorithm 2: purely sketch-local computation, no graph access.
+  QueryResult estimate(graph::Vertex u, graph::Vertex v) const;
+
+  /// One-sided estimation (the paper's footnote-6 property, shared with
+  /// [LP13a]): the full sketch of u plus only the O(k log n)-word *label*
+  /// of v — v's pivots and its distances to them — suffice. Scans the k
+  /// pivot trees of v for one containing u (the find-tree argument), so the
+  /// guarantee is the routing stretch 4k-3+o(1) rather than 2k-1+o(1).
+  QueryResult estimate_from_label(graph::Vertex u, graph::Vertex v) const;
+
+  /// Words of the one-sided label (pivot ids, distances, membership b's);
+  /// uniform across vertices.
+  std::int64_t label_words(graph::Vertex /*v*/) const { return 3LL * k_; }
+
+  std::int64_t sketch_words(graph::Vertex v) const;
+  int k() const { return k_; }
+
+  /// Analytic bound on estimate/d_G for these parameters (2k-1+o(1)).
+  double stretch_bound() const { return bound_; }
+
+ private:
+  struct Sketch {
+    // Cluster memberships: root u -> b_v(u).
+    std::unordered_map<graph::Vertex, graph::Dist> clusters;
+    // Approximate pivots (ẑ_i(v), d̂_i(v)) for i = 0..k-1.
+    std::vector<std::pair<graph::Vertex, graph::Dist>> pivots;
+  };
+
+  int k_ = 0;
+  double bound_ = 0;
+  std::vector<Sketch> sketches_;
+};
+
+}  // namespace nors::core

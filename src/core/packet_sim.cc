@@ -1,0 +1,118 @@
+#include "core/packet_sim.h"
+
+#include "congest/network.h"
+
+namespace nors::core {
+
+namespace {
+
+using graph::Vertex;
+
+/// The forwarding program: the packet is a token that hops along the route
+/// the scheme's tables dictate; its header (root + destination label) is
+/// streamed over each edge in O(1)-word messages, one per round.
+class PacketProgram : public congest::NodeProgram {
+ public:
+  static constexpr std::uint16_t kChunk = 1;
+
+  PacketProgram(const graph::WeightedGraph& g, const RoutingScheme& scheme,
+                Vertex src, Vertex dst, std::int64_t header_words)
+      : g_(g),
+        scheme_(scheme),
+        src_(src),
+        dst_(dst),
+        chunks_per_hop_(
+            (header_words + congest::kMaxWords - 1) / congest::kMaxWords) {}
+
+  void begin(congest::Network& net) override {
+    holder_ = src_;
+    if (holder_ == dst_) {
+      arrived_ = true;
+      return;
+    }
+    net.wake(src_);
+  }
+
+  void on_round(Vertex v, const std::vector<congest::Message>& inbox,
+                congest::Sender& out) override {
+    for (const auto& m : inbox) {
+      if (m.tag != kChunk) continue;
+      // Last chunk of the header hands the packet over.
+      if (m.w[0] + 1 == chunks_per_hop_) {
+        holder_ = v;
+        if (v == dst_) {
+          arrived_ = true;
+          return;
+        }
+        pending_chunk_ = 0;
+        out.wake_self();
+      }
+    }
+    if (v != holder_ || arrived_) return;
+    // Forward decision: purely local (table of v + destination label from
+    // the header this program models).
+    const auto route = next_port(v);
+    if (route == graph::kNoPort) return;  // shouldn't happen pre-arrival
+    out.send(route, congest::Message::make(kChunk, {pending_chunk_}));
+    ++hops_weight_ready_;
+    if (pending_chunk_ == 0) {
+      length_ += g_.edge(v, route).w;
+      ++hops_;
+    }
+    if (++pending_chunk_ < chunks_per_hop_) {
+      out.wake_self();
+    }
+  }
+
+  std::int32_t next_port(Vertex x) const {
+    // Re-derive the forwarding decision the scheme's route() makes; the
+    // header pins (tree, dest label) at the source, so intermediate hops
+    // consult only their own NodeInfo.
+    if (cached_tree_ == nullptr) {
+      const auto probe = scheme_.route(src_, dst_);
+      NORS_CHECK(probe.ok);
+      const int idx = scheme_.tree_index(probe.tree_root);
+      NORS_CHECK(idx >= 0);
+      cached_tree_ = &scheme_.tree_scheme(static_cast<std::size_t>(idx));
+      if (probe.via_trick) {
+        cached_label_ = &scheme_.trick_label(probe.tree_root, dst_);
+      } else {
+        cached_label_ =
+            &scheme_.label_entry(dst_, probe.tree_level).tree_label;
+      }
+    }
+    return cached_tree_->next_hop(x, *cached_label_);
+  }
+
+  const graph::WeightedGraph& g_;
+  const RoutingScheme& scheme_;
+  Vertex src_, dst_;
+  std::int64_t chunks_per_hop_;
+  Vertex holder_ = graph::kNoVertex;
+  std::int64_t pending_chunk_ = 0;
+  bool arrived_ = false;
+  int hops_ = 0;
+  graph::Dist length_ = 0;
+  std::int64_t hops_weight_ready_ = 0;
+  mutable const treeroute::DistTreeScheme* cached_tree_ = nullptr;
+  mutable const treeroute::DistTreeScheme::VLabel* cached_label_ = nullptr;
+};
+
+}  // namespace
+
+PacketDelivery simulate_packet(const graph::WeightedGraph& g,
+                               const RoutingScheme& scheme, Vertex u,
+                               Vertex v) {
+  PacketDelivery d;
+  d.header_words = 2 + scheme.label_words(v);  // tree root + dest label
+  PacketProgram prog(g, scheme, u, v, d.header_words);
+  congest::Network net(g, {});
+  const auto stats = net.run(prog);
+  d.ok = prog.arrived_;
+  d.hops = prog.hops_;
+  d.length = prog.length_;
+  d.rounds = stats.rounds;
+  return d;
+}
+
+}  // namespace nors::core

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "core/scheme.h"
+
+namespace nors::core {
+
+/// Message-level simulation of the routing phase: delivers one packet from
+/// u to v through the CONGEST simulator, with every forwarding decision
+/// made locally from the current vertex's routing table and the header.
+///
+/// The header is what the paper's model allows a packet to carry: the
+/// chosen tree root plus the destination's O(k log² n)-word label. A single
+/// CONGEST message holds O(1) words, so each hop costs
+/// ceil(header_words / kMaxWords) rounds of real transmission — this is the
+/// per-hop latency the label-size claim buys.
+struct PacketDelivery {
+  bool ok = false;
+  int hops = 0;
+  graph::Dist length = 0;
+  std::int64_t rounds = 0;        // simulated rounds to deliver
+  std::int64_t header_words = 0;  // words carried by the packet
+};
+
+PacketDelivery simulate_packet(const graph::WeightedGraph& g,
+                               const RoutingScheme& scheme, graph::Vertex u,
+                               graph::Vertex v);
+
+}  // namespace nors::core

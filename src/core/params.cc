@@ -1,0 +1,43 @@
+#include "core/params.h"
+
+#include <sstream>
+
+namespace nors::core {
+
+std::string SchemeParams::describe() const {
+  std::ostringstream os;
+  os << "k=" << k << " eps=" << epsilon().to_string()
+     << " seed=" << seed << " trick=" << (label_trick ? "on" : "off");
+  return os.str();
+}
+
+double stretch_bound(int k, const util::Epsilon& eps, bool label_trick) {
+  const double e = eps.value();
+  // Recursion of §4 with y0 = 1: x_i bounds d(v, ẑ_i(v)), y_i bounds
+  // d(u, ẑ_i(u)). Loop exit at i' ≤ k-1; route ≤ (1+ε)^4 (y0 + 2 x_{i'}).
+  double x = 0.0;  // x_0
+  for (int i = 1; i <= k - 1; ++i) {
+    if (i == 1 && label_trick) {
+      // v ∉ C̃(u) for the level-0 root u ⇒ d(v,A_1) ≤ (1+6ε)·y0 ⇒
+      // x_1 ≤ (1+ε)(1+6ε)·y0.
+      x = (1.0 + e) * (1.0 + 6.0 * e);
+    } else {
+      const double y = (1.0 + 10.0 * e) * (1.0 + x);
+      x = (1.0 + e) * (1.0 + y);
+    }
+  }
+  const double lift = (1.0 + e) * (1.0 + e) * (1.0 + e) * (1.0 + e);
+  return lift * (1.0 + 2.0 * x);
+}
+
+double estimation_stretch_bound(int k, const util::Epsilon& eps) {
+  const double e = eps.value();
+  // a_i bounds d(u_i, w_i) in Algorithm 2: a_{i+1} ≤ (1+8ε)(y0 + a_i);
+  // the returned estimate is ≤ (1+ε)·a_{i'} + (1+ε)^4 (y0 + a_{i'}).
+  double a = 0.0;
+  for (int i = 1; i <= k - 1; ++i) a = (1.0 + 8.0 * e) * (1.0 + a);
+  const double lift = (1.0 + e) * (1.0 + e) * (1.0 + e) * (1.0 + e);
+  return (1.0 + e) * a + lift * (1.0 + a);
+}
+
+}  // namespace nors::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "congest/ledger.h"
+#include "core/params.h"
+#include "graph/graph.h"
+#include "primitives/hierarchy.h"
+
+namespace nors::core {
+
+/// Per-vertex pivots ẑ_i(v) and distances d̂_i(v) for every level (paper
+/// §3.1). Levels ≤ ⌈k/2⌉ are exact (computed by simulated set-Bellman–Ford);
+/// higher levels are (1+ε)-approximate (Theorem 3 on the preprocessed
+/// virtual graph G''). Row k is d(v, A_k) = ∞ by convention.
+struct PivotTable {
+  int k = 0;
+  int n = 0;
+  std::vector<graph::Vertex> pivot;  // [i*n + v], i in 0..k-1
+  std::vector<graph::Dist> dist;     // [i*n + v], i in 0..k
+  std::vector<char> exact;           // per level i in 0..k-1
+
+  graph::Vertex z(int i, graph::Vertex v) const {
+    NORS_CHECK(i >= 0 && i < k);
+    return pivot[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(v)];
+  }
+  graph::Dist d(int i, graph::Vertex v) const {
+    NORS_CHECK(i >= 0 && i <= k);
+    return dist[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(v)];
+  }
+  bool level_exact(int i) const {
+    return exact[static_cast<std::size_t>(i)] != 0;
+  }
+};
+
+/// Highest level whose pivots are computed exactly: ⌈k/2⌉ (capped at k-1).
+int last_exact_pivot_level(int k);
+
+/// Allocates the table and fills the exact levels 0..last_exact_pivot_level
+/// by running set-Bellman–Ford on the CONGEST simulator per level (level 0
+/// is trivial: every vertex is its own pivot). Appends simulated costs to
+/// the ledger.
+PivotTable compute_exact_pivots(const graph::WeightedGraph& g,
+                                const primitives::Hierarchy& h,
+                                const SchemeParams& params,
+                                congest::RoundLedger& ledger);
+
+}  // namespace nors::core

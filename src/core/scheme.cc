@@ -1,0 +1,279 @@
+#include "core/scheme.h"
+
+#include <algorithm>
+
+#include "graph/properties.h"
+#include "primitives/bfs_tree.h"
+
+namespace nors::core {
+
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+/// Converts a ClusterTree into the TreeSpec consumed by the Section-6 tree
+/// routing.
+treeroute::TreeSpec to_spec(const ClusterTree& t) {
+  treeroute::TreeSpec spec;
+  spec.root = t.root;
+  spec.members.reserve(t.members.size());
+  for (const auto& [v, mem] : t.members) {
+    spec.members.push_back(v);
+    if (v == t.root) continue;
+    spec.parent[v] = mem.parent;
+    spec.parent_port[v] = mem.parent_port;
+  }
+  std::sort(spec.members.begin(), spec.members.end());
+  return spec;
+}
+
+}  // namespace
+
+RoutingScheme RoutingScheme::build(const graph::WeightedGraph& g,
+                                   const SchemeParams& params) {
+  NORS_CHECK(params.k >= 1);
+  NORS_CHECK_MSG(graph::is_connected(g), "graph must be connected");
+  RoutingScheme s;
+  s.g_ = &g;
+  s.params_ = params;
+  const int n = g.n();
+  const int k = params.k;
+  util::Rng rng(params.seed);
+
+  // Broadcast backbone: the paper assumes a BFS tree for Lemma-1 pipelines;
+  // we build it for real and measure its rounds.
+  const auto bfs = primitives::distributed_bfs_tree(g, 0);
+  s.ledger_.add("infra/BFS tree", congest::CostKind::kSimulated,
+                bfs.construction_rounds, 0,
+                "height=" + std::to_string(bfs.height));
+  const int height = bfs.height;
+
+  const primitives::Hierarchy h = primitives::Hierarchy::sample(n, k, rng);
+  s.level_.resize(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) {
+    s.level_[static_cast<std::size_t>(v)] = h.level(v);
+  }
+
+  // Exact pivots (levels ≤ ⌈k/2⌉), simulated.
+  s.pivots_ = compute_exact_pivots(g, h, params, s.ledger_);
+
+  // Preprocess + approximate pivots + all cluster trees, with a coverage
+  // retry loop: if the whp hitting event fails and some vertex is missing
+  // from a top-level tree, rebuild with doubled hop bound B.
+  SchemeParams attempt_params = params;
+  for (int attempt = 0;; ++attempt) {
+    NORS_CHECK_MSG(attempt <= params.max_b_retries,
+                   "top-level coverage failed after retries");
+    s.trees_.clear();
+    congest::RoundLedger attempt_ledger;
+
+    Preprocess pre;
+    if (k >= 2) {
+      pre = build_preprocess(g, h, attempt_params, height, attempt_ledger,
+                             rng);
+      s.beta_ = pre.beta();
+      compute_approx_pivots(g, h, pre, s.pivots_, height, attempt_ledger);
+    }
+
+    for (int i = 0; i < k; ++i) {
+      std::vector<ClusterTree> level_trees;
+      LevelKind kind = classify_level(i, k);
+      if (kind == LevelKind::kMiddle && !params.middle_level_opt) {
+        // E8 ablation: the middle level can also run the small-level
+        // Bellman–Ford (its i+1 pivots are exact) at a higher round cost.
+        kind = LevelKind::kSmall;
+      }
+      switch (kind) {
+        case LevelKind::kSmall:
+          level_trees = build_small_level_trees(g, h, i, s.pivots_,
+                                                attempt_params,
+                                                attempt_ledger);
+          break;
+        case LevelKind::kMiddle:
+          level_trees = build_middle_level_trees(
+              g, h, i, s.pivots_, attempt_params, height, attempt_ledger);
+          break;
+        case LevelKind::kLarge:
+          level_trees = build_large_level_trees(g, h, i, s.pivots_, pre,
+                                                attempt_params, height,
+                                                attempt_ledger);
+          break;
+      }
+      for (auto& t : level_trees) s.trees_.push_back(std::move(t));
+    }
+
+    s.pruned_ = sanitize_trees(g, s.trees_);
+
+    // Coverage: every top-level tree must span all of V (the find-tree loop
+    // terminates at level k-1 only then).
+    bool covered = true;
+    for (const auto& t : s.trees_) {
+      if (t.level == k - 1 &&
+          t.members.size() != static_cast<std::size_t>(n)) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) {
+      s.ledger_.merge(attempt_ledger);
+      break;
+    }
+    s.coverage_retries_ = attempt + 1;
+    attempt_params.hit_constant *= 2.0;  // doubles every hop bound B
+  }
+
+  // Section-6 tree routing over every cluster tree (batched, Remark 3).
+  std::vector<treeroute::TreeSpec> specs;
+  specs.reserve(s.trees_.size());
+  for (std::size_t i = 0; i < s.trees_.size(); ++i) {
+    s.tree_of_root_[s.trees_[i].root] = static_cast<int>(i);
+    specs.push_back(to_spec(s.trees_[i]));
+  }
+  treeroute::DistTreeBatchParams tp;
+  tp.gamma = params.tree_gamma;
+  tp.seed = rng.next();
+  util::Rng tree_rng(tp.seed);
+  s.tree_schemes_ = std::make_shared<treeroute::DistTreeBatch>(
+      treeroute::build_dist_tree_batch(g, specs, tp, height, tree_rng));
+  s.ledger_.merge(s.tree_schemes_->ledger);
+
+  // Labels: per vertex, per level, the pivot and the tree label (if the
+  // vertex belongs to its pivot's cluster tree).
+  s.labels_.assign(static_cast<std::size_t>(n), {});
+  for (Vertex v = 0; v < n; ++v) {
+    auto& lv = s.labels_[static_cast<std::size_t>(v)];
+    lv.resize(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      LabelEntry& le = lv[static_cast<std::size_t>(i)];
+      le.pivot = s.pivots_.z(i, v);
+      le.pivot_dist = s.pivots_.d(i, v);
+      if (le.pivot == graph::kNoVertex) continue;
+      auto it = s.tree_of_root_.find(le.pivot);
+      if (it == s.tree_of_root_.end()) continue;
+      const auto& scheme =
+          s.tree_schemes_->schemes[static_cast<std::size_t>(it->second)];
+      if (scheme.contains(v)) {
+        le.member = true;
+        le.tree_label = scheme.label(v);
+      }
+    }
+  }
+
+  // 4k-5 trick: level-0 cluster roots store their members' tree labels.
+  if (params.label_trick) {
+    for (std::size_t ti = 0; ti < s.trees_.size(); ++ti) {
+      const auto& t = s.trees_[ti];
+      if (t.level != 0) continue;
+      auto& tl = s.trick_labels_[t.root];
+      const auto& scheme = s.tree_schemes_->schemes[ti];
+      for (const auto& [v, mem] : t.members) tl[v] = scheme.label(v);
+    }
+  }
+  return s;
+}
+
+RoutingScheme::RouteResult RoutingScheme::route(Vertex u, Vertex v) const {
+  RouteResult r;
+  r.path.push_back(u);
+  if (u == v) {
+    r.ok = true;
+    return r;
+  }
+
+  // Find the tree (Algorithm 1, plus the 4k-5 trick: if v is in u's own
+  // level-0 cluster, u holds v's tree label locally and routes in C̃(u)).
+  const treeroute::DistTreeScheme* tree = nullptr;
+  const treeroute::DistTreeScheme::VLabel* dest = nullptr;
+  if (params_.label_trick && level_[static_cast<std::size_t>(u)] == 0) {
+    auto it = trick_labels_.find(u);
+    if (it != trick_labels_.end()) {
+      auto jt = it->second.find(v);
+      if (jt != it->second.end()) {
+        tree = &tree_schemes_->schemes[static_cast<std::size_t>(
+            tree_of_root_.at(u))];
+        dest = &jt->second;
+        r.tree_root = u;
+        r.tree_level = 0;
+        r.via_trick = true;
+      }
+    }
+  }
+  if (tree == nullptr) {
+    const auto& vlabel = labels_[static_cast<std::size_t>(v)];
+    for (int i = 0; i < params_.k; ++i) {
+      const LabelEntry& le = vlabel[static_cast<std::size_t>(i)];
+      if (!le.member) continue;  // v ∉ C̃(ẑ_i(v)): keep searching
+      auto it = tree_of_root_.find(le.pivot);
+      if (it == tree_of_root_.end()) continue;
+      const auto& scheme =
+          tree_schemes_->schemes[static_cast<std::size_t>(it->second)];
+      if (!scheme.contains(u)) continue;  // u ∉ C̃(ẑ_i(v))
+      tree = &scheme;
+      dest = &le.tree_label;
+      r.tree_root = le.pivot;
+      r.tree_level = i;
+      break;
+    }
+  }
+  if (tree == nullptr) return r;  // coverage failure (prevented by build)
+
+  // Walk the unique tree path over real edges.
+  Vertex x = u;
+  while (x != v) {
+    const std::int32_t port = tree->next_hop(x, *dest);
+    NORS_CHECK_MSG(port != graph::kNoPort, "router stalled before arrival");
+    const auto& e = g_->edge(x, port);
+    r.length += e.w;
+    ++r.hops;
+    x = e.to;
+    r.path.push_back(x);
+    NORS_CHECK_MSG(r.hops <= 4 * g_->n(), "routing loop detected");
+  }
+  r.ok = true;
+  return r;
+}
+
+std::int64_t RoutingScheme::table_words(Vertex v) const {
+  // Pivot list (id + dist per level) + one tree-routing table per cluster
+  // tree containing v (+ root id and b value), + trick labels at level-0
+  // roots.
+  std::int64_t words = 2LL * params_.k;
+  for (std::size_t ti = 0; ti < trees_.size(); ++ti) {
+    const auto& scheme = tree_schemes_->schemes[ti];
+    if (scheme.contains(v)) {
+      words += 2 + scheme.info(v).words();
+    }
+  }
+  auto it = trick_labels_.find(v);
+  if (it != trick_labels_.end()) {
+    for (const auto& [dst, lbl] : it->second) words += 1 + lbl.words();
+  }
+  return words;
+}
+
+std::int64_t RoutingScheme::label_words(Vertex v) const {
+  std::int64_t words = 0;
+  for (const auto& le : labels_[static_cast<std::size_t>(v)]) {
+    words += 3 + (le.member ? le.tree_label.words() : 0);
+  }
+  return words;
+}
+
+int RoutingScheme::overlap(Vertex v) const {
+  int c = 0;
+  for (const auto& t : trees_) c += t.members.count(v) ? 1 : 0;
+  return c;
+}
+
+double RoutingScheme::stretch_bound() const {
+  return core::stretch_bound(params_.k, params_.epsilon(),
+                             params_.label_trick);
+}
+
+int RoutingScheme::tree_index(Vertex root) const {
+  auto it = tree_of_root_.find(root);
+  return it == tree_of_root_.end() ? -1 : it->second;
+}
+
+}  // namespace nors::core

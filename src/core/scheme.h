@@ -1,0 +1,112 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "congest/ledger.h"
+#include "core/clusters.h"
+#include "core/params.h"
+#include "core/pivots.h"
+#include "graph/graph.h"
+#include "treeroute/dist_tree.h"
+
+namespace nors::core {
+
+/// The paper's main artifact (Theorem 5): a compact routing scheme with
+/// tables Õ(n^{1/k}), labels O(k log² n), stretch 4k-5+o(1), constructed by
+/// a distributed algorithm whose round cost is tracked on a ledger
+/// (simulated phases measured, accounted phases charged — DESIGN.md §3).
+class RoutingScheme {
+ public:
+  struct RouteResult {
+    bool ok = false;
+    graph::Dist length = 0;
+    int hops = 0;
+    graph::Vertex tree_root = graph::kNoVertex;
+    int tree_level = -1;
+    bool via_trick = false;
+    std::vector<graph::Vertex> path;  // visited vertices, including u and v
+  };
+
+  /// One per-level entry of a vertex label: the pivot ẑ_i(v), the
+  /// (approximate) distance to it, and — when v ∈ C̃(ẑ_i(v)) — v's tree
+  /// label in that cluster tree.
+  struct LabelEntry {
+    graph::Vertex pivot = graph::kNoVertex;
+    graph::Dist pivot_dist = graph::kDistInf;
+    bool member = false;
+    treeroute::DistTreeScheme::VLabel tree_label;
+  };
+
+  /// Runs the full distributed construction. The returned scheme keeps a
+  /// reference to `g` (routing walks its edges), so the graph must outlive
+  /// the scheme and keep a stable address.
+  static RoutingScheme build(const graph::WeightedGraph& g,
+                             const SchemeParams& params);
+
+  /// Routes a packet from u to v over real edges, using only u's table,
+  /// intermediate routing tables, and v's label (no handshaking).
+  RouteResult route(graph::Vertex u, graph::Vertex v) const;
+
+  std::int64_t table_words(graph::Vertex v) const;
+  std::int64_t label_words(graph::Vertex v) const;
+  /// Number of cluster trees containing v (Claim 2: Õ(n^{1/k}) whp).
+  int overlap(graph::Vertex v) const;
+
+  const congest::RoundLedger& ledger() const { return ledger_; }
+  std::int64_t total_rounds() const { return ledger_.total_rounds(); }
+  /// The analytic stretch guarantee for these parameters.
+  double stretch_bound() const;
+  const SchemeParams& params() const { return params_; }
+  const PivotTable& pivots() const { return pivots_; }
+  const std::vector<ClusterTree>& trees() const { return trees_; }
+  const treeroute::DistTreeScheme& tree_scheme(std::size_t idx) const {
+    return tree_schemes_->schemes[idx];
+  }
+  int tree_index(graph::Vertex root) const;
+  std::int64_t pruned_members() const { return pruned_; }
+  int coverage_retries() const { return coverage_retries_; }
+  int beta() const { return beta_; }
+
+  /// The label of v at level i — what the packet header carries.
+  const LabelEntry& label_entry(graph::Vertex v, int i) const {
+    return labels_[static_cast<std::size_t>(v)][static_cast<std::size_t>(i)];
+  }
+
+  /// Hierarchy level of v (max i with v ∈ A_i); exposes the sampled
+  /// hierarchy so tests can reconstruct the sets A_i.
+  int vertex_level(graph::Vertex v) const {
+    return level_[static_cast<std::size_t>(v)];
+  }
+
+  /// The 4k-5 trick label stored at a level-0 root for one of its cluster
+  /// members (throws if absent).
+  const treeroute::DistTreeScheme::VLabel& trick_label(
+      graph::Vertex root, graph::Vertex dest) const {
+    return trick_labels_.at(root).at(dest);
+  }
+
+ private:
+  friend class DistanceEstimation;
+
+  const graph::WeightedGraph* g_ = nullptr;
+  SchemeParams params_;
+  congest::RoundLedger ledger_;
+  PivotTable pivots_;
+  std::vector<ClusterTree> trees_;
+  std::unordered_map<graph::Vertex, int> tree_of_root_;
+  std::shared_ptr<treeroute::DistTreeBatch> tree_schemes_;
+  std::vector<std::vector<LabelEntry>> labels_;  // [v][i]
+  std::vector<int> level_;                       // hierarchy level per vertex
+  // 4k-5 trick: per level-0 root, the tree labels of its cluster members.
+  std::unordered_map<
+      graph::Vertex,
+      std::unordered_map<graph::Vertex, treeroute::DistTreeScheme::VLabel>>
+      trick_labels_;
+  std::int64_t pruned_ = 0;
+  int coverage_retries_ = 0;
+  int beta_ = 0;
+};
+
+}  // namespace nors::core

@@ -1,0 +1,47 @@
+#include "core/serialize.h"
+
+namespace nors::core {
+
+std::vector<std::uint8_t> encode_vertex_label(const RoutingScheme& scheme,
+                                              graph::Vertex v) {
+  util::WordWriter w;
+  const int k = scheme.params().k;
+  for (int i = 0; i < k; ++i) {
+    const auto& le = scheme.label_entry(v, i);
+    w.put(le.pivot);
+    w.put(le.pivot_dist);
+    w.put(le.member ? 1 : 0);
+    if (le.member) treeroute::encode(le.tree_label, w);
+  }
+  return w.bytes();
+}
+
+DecodedVertexLabel decode_vertex_label(
+    const std::vector<std::uint8_t>& bytes) {
+  util::WordReader r(bytes);
+  DecodedVertexLabel out;
+  while (!r.exhausted()) {
+    DecodedVertexLabel::Entry e;
+    e.pivot = static_cast<graph::Vertex>(r.get());
+    e.pivot_dist = r.get();
+    e.member = r.get() != 0;
+    if (e.member) e.tree_label = treeroute::decode_vlabel(r);
+    out.levels.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::int64_t vertex_label_overhead_words(const RoutingScheme& scheme,
+                                         graph::Vertex v) {
+  std::int64_t overhead = 0;
+  const int k = scheme.params().k;
+  for (int i = 0; i < k; ++i) {
+    const auto& le = scheme.label_entry(v, i);
+    if (le.member) {
+      overhead += treeroute::vlabel_overhead_words(le.tree_label);
+    }
+  }
+  return overhead;
+}
+
+}  // namespace nors::core

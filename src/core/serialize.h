@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "core/scheme.h"
+#include "treeroute/codec.h"
+
+namespace nors::core {
+
+/// Wire form of a vertex's complete routing label — what a packet header
+/// carries and what a node hands to peers at connection setup. Decoding
+/// recovers everything a router needs from the destination side; the
+/// round-trip is validated in test_codec, including that the byte size
+/// matches the scheme's label_words() accounting exactly.
+std::vector<std::uint8_t> encode_vertex_label(const RoutingScheme& scheme,
+                                              graph::Vertex v);
+
+struct DecodedVertexLabel {
+  struct Entry {
+    graph::Vertex pivot = graph::kNoVertex;
+    graph::Dist pivot_dist = graph::kDistInf;
+    bool member = false;
+    treeroute::DistTreeScheme::VLabel tree_label;
+  };
+  std::vector<Entry> levels;
+};
+
+DecodedVertexLabel decode_vertex_label(const std::vector<std::uint8_t>& bytes);
+
+/// Wire words beyond label_words(): per-level list/length overheads.
+std::int64_t vertex_label_overhead_words(const RoutingScheme& scheme,
+                                         graph::Vertex v);
+
+}  // namespace nors::core

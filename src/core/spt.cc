@@ -1,0 +1,147 @@
+#include "core/spt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "hopset/hopset.h"
+#include "primitives/pipelined.h"
+#include "primitives/source_detection.h"
+
+namespace nors::core {
+
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+}  // namespace
+
+ApproxSptResult approximate_spt(const graph::WeightedGraph& g,
+                                const std::vector<Vertex>& roots,
+                                const ApproxSptParams& params,
+                                int bfs_height) {
+  NORS_CHECK(!roots.empty());
+  const int n = g.n();
+  ApproxSptResult out;
+  util::Rng rng(params.seed);
+
+  // V' = A ∪ X with X sampled at rate 1/√n.
+  std::unordered_set<Vertex> vp_set(roots.begin(), roots.end());
+  const double p = 1.0 / std::sqrt(static_cast<double>(std::max(2, n)));
+  for (Vertex v = 0; v < n; ++v) {
+    if (rng.bernoulli(p)) vp_set.insert(v);
+  }
+  std::vector<Vertex> vprime(vp_set.begin(), vp_set.end());
+  std::sort(vprime.begin(), vprime.end());
+  out.vprime_size = static_cast<std::int64_t>(vprime.size());
+
+  // B = hit_constant·√n·ln n, capped at n.
+  const std::int64_t ln_n = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(std::log(std::max(2, n)))));
+  const std::int64_t b = std::min<std::int64_t>(
+      n, std::max<std::int64_t>(
+             1, static_cast<std::int64_t>(
+                    params.hit_constant *
+                    std::sqrt(static_cast<double>(n)) *
+                    static_cast<double>(ln_n))));
+
+  const util::Epsilon eps_half(params.eps.num(), 2 * params.eps.den());
+  const auto sd =
+      primitives::source_detection(g, vprime, b, eps_half, bfs_height);
+  out.ledger.add("spt/source detection", congest::CostKind::kAccounted,
+                 sd.round_cost, 0,
+                 "|V'|=" + std::to_string(vprime.size()) +
+                     " B=" + std::to_string(b));
+
+  // Virtual graph G' on V' indices.
+  const int m = static_cast<int>(vprime.size());
+  graph::WeightedGraph gprime(m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      const Dist d = sd.d(i, vprime[static_cast<std::size_t>(j)]);
+      if (!graph::is_inf(d)) gprime.add_edge(i, j, std::max<Dist>(1, d));
+    }
+  }
+  hopset::HopsetParams hp{util::Epsilon(params.eps.num(),
+                                        3 * params.eps.den()),
+                          params.hopset_levels, rng.next(), 0.5};
+  const auto hs = hopset::build_hopset(gprime, hp, bfs_height);
+  out.beta = hs.beta;
+  out.ledger.add("spt/hopset", congest::CostKind::kAccounted, hs.round_cost,
+                 0, "beta=" + std::to_string(hs.beta));
+
+  // β Bellman–Ford iterations from A over G'' (adjacency = G' ∪ F).
+  std::vector<std::vector<std::pair<int, Dist>>> adj(
+      static_cast<std::size_t>(m));
+  for (int v = 0; v < m; ++v) {
+    for (const auto& e : gprime.neighbors(v)) {
+      adj[static_cast<std::size_t>(v)].push_back({e.to, e.w});
+    }
+  }
+  for (const auto& he : hs.edges) {
+    adj[static_cast<std::size_t>(he.u)].push_back({he.v, he.w});
+    adj[static_cast<std::size_t>(he.v)].push_back({he.u, he.w});
+  }
+  std::vector<int> vp_index(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < m; ++i) {
+    vp_index[static_cast<std::size_t>(vprime[static_cast<std::size_t>(i)])] =
+        i;
+  }
+  std::vector<Dist> dist(static_cast<std::size_t>(m), graph::kDistInf);
+  std::vector<Vertex> piv(static_cast<std::size_t>(m), graph::kNoVertex);
+  std::vector<char> frontier(static_cast<std::size_t>(m), 0);
+  for (Vertex a : roots) {
+    const int idx = vp_index[static_cast<std::size_t>(a)];
+    dist[static_cast<std::size_t>(idx)] = 0;
+    piv[static_cast<std::size_t>(idx)] = a;
+    frontier[static_cast<std::size_t>(idx)] = 1;
+  }
+  std::int64_t messages = 0;
+  for (int it = 0; it < hs.beta; ++it) {
+    const auto snap = dist;
+    const auto snap_piv = piv;
+    std::vector<char> next(static_cast<std::size_t>(m), 0);
+    bool any = false;
+    for (int v = 0; v < m; ++v) {
+      if (!frontier[static_cast<std::size_t>(v)]) continue;
+      ++messages;
+      for (const auto& [to, w] : adj[static_cast<std::size_t>(v)]) {
+        const Dist nd = snap[static_cast<std::size_t>(v)] + w;
+        if (nd < dist[static_cast<std::size_t>(to)]) {
+          dist[static_cast<std::size_t>(to)] = nd;
+          piv[static_cast<std::size_t>(to)] =
+              snap_piv[static_cast<std::size_t>(v)];
+          next[static_cast<std::size_t>(to)] = 1;
+          any = true;
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (!any) break;
+  }
+  out.ledger.add("spt/bellman-ford on G''", congest::CostKind::kAccounted,
+                 primitives::pipelined_broadcast_rounds(
+                     std::max<std::int64_t>(1, messages), bfs_height),
+                 messages);
+
+  // Extension (40): d̂(u) = min over v ∈ V' of d_uv + d̂(v).
+  out.dist.assign(static_cast<std::size_t>(n), graph::kDistInf);
+  out.pivot.assign(static_cast<std::size_t>(n), graph::kNoVertex);
+  for (Vertex u = 0; u < n; ++u) {
+    for (int v = 0; v < m; ++v) {
+      if (graph::is_inf(dist[static_cast<std::size_t>(v)])) continue;
+      const Dist duv = sd.d(v, u);
+      if (graph::is_inf(duv)) continue;
+      const Dist cand = duv + dist[static_cast<std::size_t>(v)];
+      if (cand < out.dist[static_cast<std::size_t>(u)]) {
+        out.dist[static_cast<std::size_t>(u)] = cand;
+        out.pivot[static_cast<std::size_t>(u)] =
+            piv[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nors::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "congest/ledger.h"
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/ratio.h"
+
+namespace nors::core {
+
+/// The paper's Theorem 3 / Appendix A as a standalone primitive: a
+/// (1+ε)-approximate shortest-path tree rooted at a vertex *set* A with
+/// |A| ≤ O(√n log n), computable in (n^{1/2+1/(2k)}+D)·n^{o(1)} rounds.
+/// Every vertex u learns
+///
+///   d_G(u,A) ≤ d̂(u) ≤ (1+ε)·d_G(u,A)        (whp)
+///
+/// and a witness ẑ(u) ∈ A with d_G(u, ẑ(u)) ≤ d̂(u).
+///
+/// Construction (Appendix A): sample X with probability 1/√n, set
+/// V' = A ∪ X, run B-hop source detection from V' (B = 4√n·ln n), build the
+/// virtual graph G' and a path-reporting hopset, run β Bellman–Ford
+/// iterations from A over G'' = G' ∪ F, then extend to all of V through the
+/// detection values (equation (40)).
+struct ApproxSptResult {
+  std::vector<graph::Dist> dist;     // d̂(u)
+  std::vector<graph::Vertex> pivot;  // ẑ(u) ∈ A (kNoVertex if unreachable)
+  int beta = 0;
+  std::int64_t vprime_size = 0;
+  congest::RoundLedger ledger;
+};
+
+struct ApproxSptParams {
+  util::Epsilon eps{1, 16};
+  std::uint64_t seed = 1;
+  double hit_constant = 4.0;  // the 4·ln n multiplier of B
+  int hopset_levels = 2;
+};
+
+ApproxSptResult approximate_spt(const graph::WeightedGraph& g,
+                                const std::vector<graph::Vertex>& roots,
+                                const ApproxSptParams& params,
+                                int bfs_height);
+
+}  // namespace nors::core

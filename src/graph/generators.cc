@@ -1,0 +1,304 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace nors::graph {
+
+namespace {
+
+// Canonical undirected key for dedup.
+std::pair<Vertex, Vertex> key(Vertex u, Vertex v) {
+  return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+}
+
+}  // namespace
+
+WeightedGraph path(int n, const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(n >= 1);
+  WeightedGraph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, ws.draw(rng));
+  return g;
+}
+
+WeightedGraph cycle(int n, const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(n >= 3);
+  WeightedGraph g = path(n, ws, rng);
+  g.add_edge(n - 1, 0, ws.draw(rng));
+  return g;
+}
+
+WeightedGraph grid(int rows, int cols, const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(rows >= 1 && cols >= 1);
+  WeightedGraph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), ws.draw(rng));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), ws.draw(rng));
+    }
+  }
+  return g;
+}
+
+WeightedGraph torus(int rows, int cols, const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(rows >= 3 && cols >= 3);
+  WeightedGraph g = grid(rows, cols, ws, rng);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) g.add_edge(id(r, cols - 1), id(r, 0), ws.draw(rng));
+  for (int c = 0; c < cols; ++c) g.add_edge(id(rows - 1, c), id(0, c), ws.draw(rng));
+  return g;
+}
+
+WeightedGraph hypercube(int d, const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(d >= 1 && d <= 20);
+  const int n = 1 << d;
+  WeightedGraph g(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (int b = 0; b < d; ++b) {
+      const Vertex u = v ^ (1 << b);
+      if (v < u) g.add_edge(v, u, ws.draw(rng));
+    }
+  }
+  return g;
+}
+
+WeightedGraph complete(int n, const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(n >= 2);
+  WeightedGraph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v, ws.draw(rng));
+  }
+  return g;
+}
+
+WeightedGraph fat_tree(int pods, int tors, int hosts, int cores,
+                       const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(pods >= 1 && tors >= 1 && hosts >= 0 && cores >= 1);
+  // Layout: [cores][pods aggregators][pods*tors ToRs][pods*tors*hosts hosts]
+  const int n = cores + pods + pods * tors + pods * tors * hosts;
+  WeightedGraph g(n);
+  const int agg0 = cores;
+  const int tor0 = agg0 + pods;
+  const int host0 = tor0 + pods * tors;
+  for (int p = 0; p < pods; ++p) {
+    for (int c = 0; c < cores; ++c) g.add_edge(c, agg0 + p, 1);
+    for (int t = 0; t < tors; ++t) {
+      const int tor = tor0 + p * tors + t;
+      g.add_edge(agg0 + p, tor, 1);
+      for (int h = 0; h < hosts; ++h) {
+        const int host = host0 + (p * tors + t) * hosts + h;
+        g.add_edge(tor, host, ws.draw(rng));
+      }
+    }
+  }
+  return g;
+}
+
+WeightedGraph random_tree(int n, const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(n >= 1);
+  WeightedGraph g(n);
+  std::vector<Vertex> order(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(order);
+  for (int i = 1; i < n; ++i) {
+    const Vertex child = order[static_cast<std::size_t>(i)];
+    const Vertex parent =
+        order[rng.uniform(static_cast<std::uint64_t>(i))];
+    g.add_edge(parent, child, ws.draw(rng));
+  }
+  return g;
+}
+
+WeightedGraph erdos_renyi_gnm(int n, std::int64_t m, const WeightSpec& ws,
+                              util::Rng& rng) {
+  NORS_CHECK(n >= 2);
+  const std::int64_t max_m = std::int64_t{n} * (n - 1) / 2;
+  NORS_CHECK_MSG(m <= max_m, "too many edges requested");
+  WeightedGraph g(n);
+  std::set<std::pair<Vertex, Vertex>> used;
+  while (static_cast<std::int64_t>(used.size()) < m) {
+    const auto u = static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (used.insert(key(u, v)).second) g.add_edge(u, v, ws.draw(rng));
+  }
+  return g;
+}
+
+WeightedGraph connected_gnm(int n, std::int64_t extra_edges,
+                            const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(n >= 2);
+  WeightedGraph g(n);
+  std::set<std::pair<Vertex, Vertex>> used;
+  // Random spanning tree (uniform attachment over shuffled order).
+  std::vector<Vertex> order(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(order);
+  for (int i = 1; i < n; ++i) {
+    const Vertex child = order[static_cast<std::size_t>(i)];
+    const Vertex parent = order[rng.uniform(static_cast<std::uint64_t>(i))];
+    used.insert(key(parent, child));
+    g.add_edge(parent, child, ws.draw(rng));
+  }
+  const std::int64_t max_m = std::int64_t{n} * (n - 1) / 2;
+  const std::int64_t target =
+      std::min(max_m, static_cast<std::int64_t>(used.size()) + extra_edges);
+  while (static_cast<std::int64_t>(used.size()) < target) {
+    const auto u = static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (used.insert(key(u, v)).second) g.add_edge(u, v, ws.draw(rng));
+  }
+  return g;
+}
+
+WeightedGraph random_geometric(int n, double radius, Weight w_scale,
+                               util::Rng& rng) {
+  NORS_CHECK(n >= 2);
+  NORS_CHECK(radius > 0.0 && w_scale >= 1);
+  std::vector<std::pair<double, double>> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) p = {rng.uniform01(), rng.uniform01()};
+  WeightedGraph g(n);
+  auto euclid = [&](int a, int b) {
+    const double dx = pts[static_cast<std::size_t>(a)].first -
+                      pts[static_cast<std::size_t>(b)].first;
+    const double dy = pts[static_cast<std::size_t>(a)].second -
+                      pts[static_cast<std::size_t>(b)].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  auto w_of = [&](double d) {
+    return std::max<Weight>(
+        1, static_cast<Weight>(std::llround(d * static_cast<double>(w_scale))));
+  };
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const double d = euclid(a, b);
+      if (d <= radius) g.add_edge(a, b, w_of(d));
+    }
+  }
+  // Stitch components together via nearest cross-component pairs so the
+  // graph is usable even when the radius was chosen below the connectivity
+  // threshold.
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  for (;;) {
+    std::fill(comp.begin(), comp.end(), -1);
+    int ncomp = 0;
+    for (Vertex s = 0; s < n; ++s) {
+      if (comp[static_cast<std::size_t>(s)] != -1) continue;
+      std::vector<Vertex> stack{s};
+      comp[static_cast<std::size_t>(s)] = ncomp;
+      while (!stack.empty()) {
+        const Vertex v = stack.back();
+        stack.pop_back();
+        for (const auto& e : g.neighbors(v)) {
+          if (comp[static_cast<std::size_t>(e.to)] == -1) {
+            comp[static_cast<std::size_t>(e.to)] = ncomp;
+            stack.push_back(e.to);
+          }
+        }
+      }
+      ++ncomp;
+    }
+    if (ncomp == 1) break;
+    // Join component 0 to the closest vertex in another component.
+    double best = 1e18;
+    int ba = -1, bb = -1;
+    for (int a = 0; a < n; ++a) {
+      if (comp[static_cast<std::size_t>(a)] != 0) continue;
+      for (int b = 0; b < n; ++b) {
+        if (comp[static_cast<std::size_t>(b)] == 0) continue;
+        const double d = euclid(a, b);
+        if (d < best) {
+          best = d;
+          ba = a;
+          bb = b;
+        }
+      }
+    }
+    g.add_edge(ba, bb, w_of(best));
+  }
+  return g;
+}
+
+WeightedGraph barabasi_albert(int n, int attach, const WeightSpec& ws,
+                              util::Rng& rng) {
+  NORS_CHECK(n >= 2 && attach >= 1 && attach < n);
+  WeightedGraph g(n);
+  // Repeated-endpoint list for preferential attachment.
+  std::vector<Vertex> endpoints;
+  // Seed: a small clique on attach+1 vertices.
+  for (Vertex u = 0; u <= attach; ++u) {
+    for (Vertex v = u + 1; v <= attach; ++v) {
+      g.add_edge(u, v, ws.draw(rng));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (Vertex v = static_cast<Vertex>(attach + 1); v < n; ++v) {
+    std::set<Vertex> targets;
+    while (static_cast<int>(targets.size()) < attach) {
+      const Vertex t = endpoints[rng.uniform(endpoints.size())];
+      if (t != v) targets.insert(t);
+    }
+    for (Vertex t : targets) {
+      g.add_edge(v, t, ws.draw(rng));
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+WeightedGraph clustered(int n, int clusters, double p_in, Weight inter_w,
+                        const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(n >= clusters && clusters >= 2);
+  NORS_CHECK(inter_w >= 1);
+  WeightedGraph g(n);
+  std::vector<int> cluster_of(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) cluster_of[static_cast<std::size_t>(v)] = v % clusters;
+  // Intra-cluster: spanning path + ER(p_in).
+  std::vector<std::vector<Vertex>> members(static_cast<std::size_t>(clusters));
+  for (Vertex v = 0; v < n; ++v) {
+    members[static_cast<std::size_t>(cluster_of[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+  for (const auto& mem : members) {
+    for (std::size_t i = 1; i < mem.size(); ++i) {
+      g.add_edge(mem[i - 1], mem[i], ws.draw(rng));
+    }
+    for (std::size_t i = 0; i < mem.size(); ++i) {
+      for (std::size_t j = i + 2; j < mem.size(); ++j) {
+        if (rng.bernoulli(p_in)) g.add_edge(mem[i], mem[j], ws.draw(rng));
+      }
+    }
+  }
+  // Inter-cluster backbone: ring over cluster representatives + a few chords.
+  for (int c = 0; c < clusters; ++c) {
+    const Vertex a = members[static_cast<std::size_t>(c)][0];
+    const Vertex b = members[static_cast<std::size_t>((c + 1) % clusters)][0];
+    g.add_edge(a, b, inter_w);
+  }
+  for (int c = 0; c + 2 < clusters; c += 2) {
+    const Vertex a = members[static_cast<std::size_t>(c)].back();
+    const Vertex b = members[static_cast<std::size_t>(c + 2)].back();
+    if (g.port_to(a, b) == kNoPort) g.add_edge(a, b, inter_w);
+  }
+  return g;
+}
+
+WeightedGraph lollipop(int n, int clique, const WeightSpec& ws,
+                       util::Rng& rng) {
+  NORS_CHECK(n > clique && clique >= 2);
+  WeightedGraph g(n);
+  for (Vertex u = 0; u < clique; ++u) {
+    for (Vertex v = u + 1; v < clique; ++v) g.add_edge(u, v, ws.draw(rng));
+  }
+  for (Vertex v = clique; v < n; ++v) g.add_edge(v - 1, v, ws.draw(rng));
+  return g;
+}
+
+}  // namespace nors::graph

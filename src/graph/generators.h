@@ -1,0 +1,74 @@
+#pragma once
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace nors::graph {
+
+/// Weight assignment policy for generators.
+struct WeightSpec {
+  Weight min_w = 1;
+  Weight max_w = 1;
+
+  static WeightSpec unit() { return {1, 1}; }
+  static WeightSpec uniform(Weight lo, Weight hi) { return {lo, hi}; }
+
+  Weight draw(util::Rng& rng) const {
+    if (min_w == max_w) return min_w;
+    return rng.uniform_int(min_w, max_w);
+  }
+};
+
+// --- Deterministic topologies -------------------------------------------
+
+/// Path 0-1-...-(n-1).
+WeightedGraph path(int n, const WeightSpec& ws, util::Rng& rng);
+/// Cycle on n >= 3 vertices.
+WeightedGraph cycle(int n, const WeightSpec& ws, util::Rng& rng);
+/// rows x cols grid.
+WeightedGraph grid(int rows, int cols, const WeightSpec& ws, util::Rng& rng);
+/// rows x cols torus (wrap-around grid); requires rows,cols >= 3.
+WeightedGraph torus(int rows, int cols, const WeightSpec& ws, util::Rng& rng);
+/// d-dimensional hypercube (n = 2^d vertices).
+WeightedGraph hypercube(int d, const WeightSpec& ws, util::Rng& rng);
+/// Complete graph on n vertices.
+WeightedGraph complete(int n, const WeightSpec& ws, util::Rng& rng);
+/// Three-layer fat-tree-like datacenter topology: `pods` pods, each with
+/// `tors` top-of-rack switches and `hosts` hosts per ToR, plus `cores` core
+/// switches connecting all pod aggregators. Unit core links, host links from
+/// ws.
+WeightedGraph fat_tree(int pods, int tors, int hosts, int cores,
+                       const WeightSpec& ws, util::Rng& rng);
+
+// --- Random topologies ----------------------------------------------------
+
+/// Uniform random tree (random parent attachment over a random permutation).
+WeightedGraph random_tree(int n, const WeightSpec& ws, util::Rng& rng);
+/// G(n, m): m distinct uniform edges; connectivity NOT guaranteed.
+WeightedGraph erdos_renyi_gnm(int n, std::int64_t m, const WeightSpec& ws,
+                              util::Rng& rng);
+/// G(n, m) plus a random spanning tree, guaranteeing connectivity. The
+/// result has m_total = (n-1) + extra_edges edges.
+WeightedGraph connected_gnm(int n, std::int64_t extra_edges,
+                            const WeightSpec& ws, util::Rng& rng);
+/// Random geometric graph on the unit square with connection radius r,
+/// weights proportional to Euclidean distance scaled to [1, ws.max_w];
+/// a spanning tree over nearest unconnected components is added to keep it
+/// connected.
+WeightedGraph random_geometric(int n, double radius, Weight w_scale,
+                               util::Rng& rng);
+/// Barabási–Albert preferential attachment; each new vertex attaches to
+/// `attach` existing vertices.
+WeightedGraph barabasi_albert(int n, int attach, const WeightSpec& ws,
+                              util::Rng& rng);
+/// `clusters` dense communities of size ~n/clusters (intra-cluster ER with
+/// probability p_in) joined by a sparse random inter-cluster backbone with
+/// heavy weights. Models ISP-like locality; guaranteed connected.
+WeightedGraph clustered(int n, int clusters, double p_in, Weight inter_w,
+                        const WeightSpec& ws, util::Rng& rng);
+/// "Lollipop"-style high-hop-diameter graph: a clique of size c with a path
+/// of length n-c attached. Stresses the D term in round bounds.
+WeightedGraph lollipop(int n, int clique, const WeightSpec& ws,
+                       util::Rng& rng);
+
+}  // namespace nors::graph

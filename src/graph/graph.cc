@@ -1,0 +1,4 @@
+#include "graph/graph.h"
+
+// Header-only for now; this translation unit anchors the module in the build
+// and keeps a place for future out-of-line members.

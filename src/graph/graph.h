@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nors::graph {
+
+using Vertex = std::int32_t;
+using Weight = std::int64_t;
+using Dist = std::int64_t;
+
+inline constexpr Vertex kNoVertex = -1;
+inline constexpr std::int32_t kNoPort = -1;
+
+/// Sentinel for "unreachable". Chosen far below int64 max so that sums of a
+/// few finite distances with kDistInf never overflow, yet any sum involving
+/// kDistInf still compares larger than every legitimate distance.
+inline constexpr Dist kDistInf = std::int64_t{1} << 60;
+
+inline bool is_inf(Dist d) { return d >= kDistInf; }
+
+/// Saturating addition: inf absorbs.
+inline Dist dist_add(Dist a, Dist b) {
+  if (is_inf(a) || is_inf(b)) return kDistInf;
+  return a + b;
+}
+
+/// One direction of an undirected edge as seen from its source vertex.
+/// `rev` is the index (port) of the opposite direction inside adj[to]; it is
+/// what lets a routing table name "the port I received this message on".
+struct HalfEdge {
+  Vertex to = kNoVertex;
+  Weight w = 0;
+  std::int32_t rev = kNoPort;
+};
+
+/// Weighted undirected graph with port-numbered adjacency lists.
+///
+/// Ports: the p-th entry of neighbors(v) is "port p of v" — the identifier a
+/// routing scheme stores. The CONGEST simulator and every router in this
+/// library address links by (vertex, port).
+///
+/// Invariants: no self-loops; weights are positive integers (the paper
+/// assumes integral weights polynomial in n). Parallel edges are rejected in
+/// debug-checked construction via add_edge_checked but allowed by add_edge
+/// (generators deduplicate themselves where it matters).
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+  explicit WeightedGraph(int n) : adj_(static_cast<std::size_t>(n)) {
+    NORS_CHECK(n >= 0);
+  }
+
+  int n() const { return static_cast<int>(adj_.size()); }
+  std::int64_t m() const { return m_; }
+
+  /// Adds the undirected edge {u,v} with weight w; returns the port of the
+  /// u->v direction at u.
+  std::int32_t add_edge(Vertex u, Vertex v, Weight w) {
+    NORS_CHECK_MSG(u != v, "self-loop at " << u);
+    NORS_CHECK_MSG(w >= 1, "non-positive weight " << w);
+    NORS_CHECK(valid_vertex(u) && valid_vertex(v));
+    const auto pu = static_cast<std::int32_t>(adj_[u].size());
+    const auto pv = static_cast<std::int32_t>(adj_[v].size());
+    adj_[u].push_back({v, w, pv});
+    adj_[v].push_back({u, w, pu});
+    ++m_;
+    max_weight_ = std::max(max_weight_, w);
+    return pu;
+  }
+
+  int degree(Vertex v) const {
+    NORS_CHECK(valid_vertex(v));
+    return static_cast<int>(adj_[v].size());
+  }
+
+  std::span<const HalfEdge> neighbors(Vertex v) const {
+    NORS_CHECK(valid_vertex(v));
+    return adj_[v];
+  }
+
+  const HalfEdge& edge(Vertex v, std::int32_t port) const {
+    NORS_CHECK(valid_vertex(v));
+    NORS_CHECK_MSG(port >= 0 && port < degree(v),
+                   "bad port " << port << " at vertex " << v);
+    return adj_[v][static_cast<std::size_t>(port)];
+  }
+
+  Weight max_weight() const { return max_weight_; }
+
+  bool valid_vertex(Vertex v) const { return v >= 0 && v < n(); }
+
+  /// Finds the port at u leading to v, or kNoPort. Linear in degree(u);
+  /// intended for tests and assembly, not routing hot paths.
+  std::int32_t port_to(Vertex u, Vertex v) const {
+    for (std::int32_t p = 0; p < degree(u); ++p) {
+      if (adj_[u][static_cast<std::size_t>(p)].to == v) return p;
+    }
+    return kNoPort;
+  }
+
+ private:
+  std::vector<std::vector<HalfEdge>> adj_;
+  std::int64_t m_ = 0;
+  Weight max_weight_ = 0;
+};
+
+}  // namespace nors::graph

@@ -1,0 +1,106 @@
+#include "graph/properties.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/shortest_paths.h"
+
+namespace nors::graph {
+
+Components connected_components(const WeightedGraph& g) {
+  Components c;
+  c.comp.assign(static_cast<std::size_t>(g.n()), -1);
+  for (Vertex s = 0; s < g.n(); ++s) {
+    if (c.comp[static_cast<std::size_t>(s)] != -1) continue;
+    std::vector<Vertex> stack{s};
+    c.comp[static_cast<std::size_t>(s)] = c.count;
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const auto& e : g.neighbors(v)) {
+        if (c.comp[static_cast<std::size_t>(e.to)] == -1) {
+          c.comp[static_cast<std::size_t>(e.to)] = c.count;
+          stack.push_back(e.to);
+        }
+      }
+    }
+    ++c.count;
+  }
+  return c;
+}
+
+bool is_connected(const WeightedGraph& g) {
+  if (g.n() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+int hop_eccentricity(const WeightedGraph& g, Vertex v) {
+  std::vector<int> depth(static_cast<std::size_t>(g.n()), -1);
+  std::queue<Vertex> q;
+  depth[static_cast<std::size_t>(v)] = 0;
+  q.push(v);
+  int ecc = 0;
+  while (!q.empty()) {
+    const Vertex u = q.front();
+    q.pop();
+    ecc = std::max(ecc, depth[static_cast<std::size_t>(u)]);
+    for (const auto& e : g.neighbors(u)) {
+      if (depth[static_cast<std::size_t>(e.to)] == -1) {
+        depth[static_cast<std::size_t>(e.to)] =
+            depth[static_cast<std::size_t>(u)] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return ecc;
+}
+
+int hop_diameter(const WeightedGraph& g) {
+  int d = 0;
+  for (Vertex v = 0; v < g.n(); ++v) d = std::max(d, hop_eccentricity(g, v));
+  return d;
+}
+
+int bfs_height(const WeightedGraph& g, Vertex root) {
+  return hop_eccentricity(g, root);
+}
+
+int shortest_path_hop_diameter(const WeightedGraph& g, int sample_sources) {
+  const int n = g.n();
+  const int count = (sample_sources <= 0 || sample_sources >= n)
+                        ? n
+                        : sample_sources;
+  int s_max = 0;
+  for (int i = 0; i < count; ++i) {
+    const Vertex src = static_cast<Vertex>(
+        (static_cast<std::int64_t>(i) * n) / count);
+    const SsspResult r = dijkstra(g, src);
+    for (Vertex v = 0; v < n; ++v) {
+      if (!is_inf(r.dist[static_cast<std::size_t>(v)])) {
+        s_max = std::max(s_max, static_cast<int>(
+                                    r.hops[static_cast<std::size_t>(v)]));
+      }
+    }
+  }
+  return s_max;
+}
+
+Dist weighted_diameter(const WeightedGraph& g, int sample_sources) {
+  const int n = g.n();
+  const int count = (sample_sources <= 0 || sample_sources >= n)
+                        ? n
+                        : sample_sources;
+  Dist best = 0;
+  for (int i = 0; i < count; ++i) {
+    const Vertex src = static_cast<Vertex>(
+        (static_cast<std::int64_t>(i) * n) / count);
+    const SsspResult r = dijkstra(g, src);
+    for (Vertex v = 0; v < n; ++v) {
+      const Dist d = r.dist[static_cast<std::size_t>(v)];
+      if (!is_inf(d)) best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+}  // namespace nors::graph

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nors::graph {
+
+/// Connected components; comp[v] in [0, count).
+struct Components {
+  std::vector<int> comp;
+  int count = 0;
+};
+Components connected_components(const WeightedGraph& g);
+
+bool is_connected(const WeightedGraph& g);
+
+/// Unweighted (hop) eccentricity of a vertex.
+int hop_eccentricity(const WeightedGraph& g, Vertex v);
+
+/// Exact hop diameter D: max over vertices of hop eccentricity. O(n·m) —
+/// fine at simulation scale; benches cache it per graph.
+int hop_diameter(const WeightedGraph& g);
+
+/// Height of a BFS tree rooted at `root` (hop eccentricity of root). This is
+/// the `D`-like term entering pipelined-broadcast costs.
+int bfs_height(const WeightedGraph& g, Vertex root);
+
+/// Shortest-path (weighted) hop diameter S: the maximum number of hops used
+/// by any shortest path, computed exactly from per-source Dijkstra. O(n·m
+/// log n); use `sample` sources when exact cost is prohibitive (0 = exact).
+int shortest_path_hop_diameter(const WeightedGraph& g, int sample_sources = 0);
+
+/// Weighted diameter (max pairwise distance) computed from `sample` source
+/// Dijkstras (0 = all sources, exact).
+Dist weighted_diameter(const WeightedGraph& g, int sample_sources = 0);
+
+}  // namespace nors::graph

@@ -1,0 +1,141 @@
+#include "graph/shortest_paths.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace nors::graph {
+
+namespace {
+
+SsspResult init_result(int n) {
+  SsspResult r;
+  r.dist.assign(static_cast<std::size_t>(n), kDistInf);
+  r.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+  r.parent_port.assign(static_cast<std::size_t>(n), kNoPort);
+  r.hops.assign(static_cast<std::size_t>(n), -1);
+  r.source.assign(static_cast<std::size_t>(n), kNoVertex);
+  return r;
+}
+
+SsspResult run_dijkstra(const WeightedGraph& g,
+                        const std::vector<Vertex>& sources) {
+  SsspResult r = init_result(g.n());
+  // (dist, source-id, vertex): including the source id in the key makes the
+  // nearest-source assignment deterministic under ties.
+  using Item = std::tuple<Dist, Vertex, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  for (Vertex s : sources) {
+    NORS_CHECK(g.valid_vertex(s));
+    if (r.dist[static_cast<std::size_t>(s)] == 0) continue;
+    r.dist[static_cast<std::size_t>(s)] = 0;
+    r.hops[static_cast<std::size_t>(s)] = 0;
+    r.source[static_cast<std::size_t>(s)] = s;
+    pq.emplace(0, s, s);
+  }
+  while (!pq.empty()) {
+    const auto [d, src, v] = pq.top();
+    pq.pop();
+    if (d != r.dist[static_cast<std::size_t>(v)] ||
+        src != r.source[static_cast<std::size_t>(v)]) {
+      continue;
+    }
+    for (std::int32_t p = 0; p < g.degree(v); ++p) {
+      const auto& e = g.edge(v, p);
+      const Dist nd = d + e.w;
+      auto& du = r.dist[static_cast<std::size_t>(e.to)];
+      auto& su = r.source[static_cast<std::size_t>(e.to)];
+      if (nd < du || (nd == du && src < su)) {
+        du = nd;
+        su = src;
+        r.parent[static_cast<std::size_t>(e.to)] = v;
+        r.parent_port[static_cast<std::size_t>(e.to)] = e.rev;
+        r.hops[static_cast<std::size_t>(e.to)] =
+            r.hops[static_cast<std::size_t>(v)] + 1;
+        pq.emplace(nd, src, e.to);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+SsspResult dijkstra(const WeightedGraph& g, Vertex src) {
+  return run_dijkstra(g, {src});
+}
+
+SsspResult multi_source_dijkstra(const WeightedGraph& g,
+                                 const std::vector<Vertex>& sources) {
+  NORS_CHECK(!sources.empty());
+  return run_dijkstra(g, sources);
+}
+
+HopBoundedResult hop_bounded_sssp(const WeightedGraph& g, Vertex src,
+                                  std::int64_t hop_bound) {
+  NORS_CHECK(g.valid_vertex(src));
+  NORS_CHECK(hop_bound >= 0);
+  const auto n = static_cast<std::size_t>(g.n());
+  HopBoundedResult r;
+  r.dist.assign(n, kDistInf);
+  r.parent_port.assign(n, kNoPort);
+  r.dist[static_cast<std::size_t>(src)] = 0;
+  std::vector<Dist> next = r.dist;
+  std::vector<std::int32_t> next_port = r.parent_port;
+  std::vector<Vertex> frontier{src};
+  for (std::int64_t it = 0; it < hop_bound && !frontier.empty(); ++it) {
+    std::vector<Vertex> changed;
+    for (Vertex v : frontier) {
+      const Dist dv = r.dist[static_cast<std::size_t>(v)];
+      for (std::int32_t p = 0; p < g.degree(v); ++p) {
+        const auto& e = g.edge(v, p);
+        const Dist nd = dv + e.w;
+        if (nd < next[static_cast<std::size_t>(e.to)]) {
+          if (next[static_cast<std::size_t>(e.to)] ==
+              r.dist[static_cast<std::size_t>(e.to)]) {
+            changed.push_back(e.to);
+          }
+          next[static_cast<std::size_t>(e.to)] = nd;
+          next_port[static_cast<std::size_t>(e.to)] = e.rev;
+        }
+      }
+    }
+    if (changed.empty()) break;
+    for (Vertex v : changed) {
+      r.dist[static_cast<std::size_t>(v)] = next[static_cast<std::size_t>(v)];
+      r.parent_port[static_cast<std::size_t>(v)] =
+          next_port[static_cast<std::size_t>(v)];
+    }
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+    frontier = std::move(changed);
+    r.iterations_used = static_cast<int>(it) + 1;
+  }
+  return r;
+}
+
+Dist pair_distance(const WeightedGraph& g, Vertex src, Vertex dst) {
+  const SsspResult r = dijkstra(g, src);
+  return r.dist[static_cast<std::size_t>(dst)];
+}
+
+Dist tree_distance(const std::vector<Vertex>& parent,
+                   const std::vector<Dist>& dist_to_root, Vertex u, Vertex v) {
+  // Walk both vertices to the root, recording ancestors of u, then find the
+  // first ancestor of v that is also an ancestor of u.
+  std::vector<char> on_u_path(parent.size(), 0);
+  for (Vertex x = u; x != kNoVertex; x = parent[static_cast<std::size_t>(x)]) {
+    on_u_path[static_cast<std::size_t>(x)] = 1;
+  }
+  Vertex lca = v;
+  while (lca != kNoVertex && !on_u_path[static_cast<std::size_t>(lca)]) {
+    lca = parent[static_cast<std::size_t>(lca)];
+  }
+  NORS_CHECK_MSG(lca != kNoVertex, "vertices in different trees");
+  return (dist_to_root[static_cast<std::size_t>(u)] -
+          dist_to_root[static_cast<std::size_t>(lca)]) +
+         (dist_to_root[static_cast<std::size_t>(v)] -
+          dist_to_root[static_cast<std::size_t>(lca)]);
+}
+
+}  // namespace nors::graph

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nors::graph {
+
+/// Result of a single-source (or multi-source) shortest-path computation.
+/// parent[v] / parent_port[v] describe the last edge of a shortest path into
+/// v (kNoVertex / kNoPort at sources and unreachable vertices); hops[v] is
+/// the number of edges on that path.
+struct SsspResult {
+  std::vector<Dist> dist;
+  std::vector<Vertex> parent;
+  std::vector<std::int32_t> parent_port;  // port at v towards parent[v]
+  std::vector<std::int32_t> hops;
+  std::vector<Vertex> source;  // nearest source (multi-source runs)
+};
+
+/// Exact Dijkstra from a single source.
+SsspResult dijkstra(const WeightedGraph& g, Vertex src);
+
+/// Exact Dijkstra from a set of sources (distance to the nearest source;
+/// source[v] records which one). Ties broken by smaller source id, so the
+/// result is deterministic.
+SsspResult multi_source_dijkstra(const WeightedGraph& g,
+                                 const std::vector<Vertex>& sources);
+
+/// Exact hop-bounded distances d^(B)(src, v): length of the shortest path
+/// using at most B edges. Bellman–Ford over hop layers with early exit when
+/// an iteration changes nothing. `iterations_used` reports how many hop
+/// layers were actually needed.
+struct HopBoundedResult {
+  std::vector<Dist> dist;
+  std::vector<std::int32_t> parent_port;  // port at v toward its BF parent
+  int iterations_used = 0;
+};
+HopBoundedResult hop_bounded_sssp(const WeightedGraph& g, Vertex src,
+                                  std::int64_t hop_bound);
+
+/// Exact distance between two vertices (Dijkstra truncated at dst).
+Dist pair_distance(const WeightedGraph& g, Vertex src, Vertex dst);
+
+/// Distance from u to v inside a tree given as a parent-pointer forest over
+/// the full vertex range (parent[root] == kNoVertex). dist_to_root must be
+/// consistent with the parents. Walks to the LCA; O(depth).
+Dist tree_distance(const std::vector<Vertex>& parent,
+                   const std::vector<Dist>& dist_to_root, Vertex u, Vertex v);
+
+}  // namespace nors::graph

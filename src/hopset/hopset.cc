@@ -1,0 +1,212 @@
+#include "hopset/hopset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "graph/shortest_paths.h"
+#include "primitives/hierarchy.h"
+
+namespace nors::hopset {
+
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+/// Reconstructs the shortest path src -> dst from a Dijkstra run, with
+/// prefix distances measured from src.
+HopsetEdge make_edge(const graph::SsspResult& sp, Vertex src, Vertex dst) {
+  HopsetEdge e;
+  e.u = src;
+  e.v = dst;
+  e.w = sp.dist[static_cast<std::size_t>(dst)];
+  std::vector<Vertex> rev;
+  for (Vertex x = dst; x != graph::kNoVertex;
+       x = sp.parent[static_cast<std::size_t>(x)]) {
+    rev.push_back(x);
+  }
+  e.path.assign(rev.rbegin(), rev.rend());
+  NORS_CHECK(e.path.front() == src && e.path.back() == dst);
+  e.prefix.reserve(e.path.size());
+  for (Vertex x : e.path) {
+    e.prefix.push_back(sp.dist[static_cast<std::size_t>(x)]);
+  }
+  return e;
+}
+
+/// Adjacency of G ∪ F with F weights taking precedence (paper: w'' agrees
+/// with the hopset on conflicts; our F weights are exact distances, hence
+/// never larger than a parallel G edge).
+std::vector<std::vector<std::pair<Vertex, Dist>>> augmented_adjacency(
+    const graph::WeightedGraph& g, const std::vector<HopsetEdge>& edges) {
+  std::vector<std::map<Vertex, Dist>> best(static_cast<std::size_t>(g.n()));
+  for (Vertex v = 0; v < g.n(); ++v) {
+    for (const auto& e : g.neighbors(v)) {
+      auto [it, fresh] = best[static_cast<std::size_t>(v)].insert({e.to, e.w});
+      if (!fresh) it->second = std::min(it->second, e.w);
+    }
+  }
+  for (const auto& he : edges) {
+    for (auto [a, b] : {std::pair{he.u, he.v}, std::pair{he.v, he.u}}) {
+      auto [it, fresh] = best[static_cast<std::size_t>(a)].insert({b, he.w});
+      if (!fresh) it->second = std::min(it->second, he.w);
+    }
+  }
+  std::vector<std::vector<std::pair<Vertex, Dist>>> adj(
+      static_cast<std::size_t>(g.n()));
+  for (Vertex v = 0; v < g.n(); ++v) {
+    adj[static_cast<std::size_t>(v)].assign(
+        best[static_cast<std::size_t>(v)].begin(),
+        best[static_cast<std::size_t>(v)].end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+void Hopset::check_path_reporting(const graph::WeightedGraph& g) const {
+  for (const auto& e : edges) {
+    NORS_CHECK(!e.path.empty() && e.path.size() == e.prefix.size());
+    NORS_CHECK(e.path.front() == e.u && e.path.back() == e.v);
+    NORS_CHECK(e.prefix.front() == 0 && e.prefix.back() == e.w);
+    for (std::size_t i = 1; i < e.path.size(); ++i) {
+      const std::int32_t port = g.port_to(e.path[i - 1], e.path[i]);
+      NORS_CHECK_MSG(port != graph::kNoPort,
+                     "realizing path uses a non-edge");
+      NORS_CHECK_MSG(
+          e.prefix[i] - e.prefix[i - 1] == g.edge(e.path[i - 1], port).w,
+          "prefix distances inconsistent with edge weights");
+    }
+  }
+}
+
+Hopset build_hopset(const graph::WeightedGraph& g, const HopsetParams& params,
+                    int bfs_height) {
+  const int m = g.n();
+  NORS_CHECK(m >= 1);
+  Hopset hs;
+  if (m <= 2) {
+    hs.beta = std::max(1, m - 1);
+    hs.round_cost = 0;
+    return hs;
+  }
+
+  util::Rng rng(params.seed);
+  primitives::Hierarchy h =
+      primitives::Hierarchy::sample(m, std::max(2, params.levels), rng);
+
+  // Bunches with exact distances: for u at hierarchy level ℓ(u), connect u
+  // to every w ∈ A_i with d(u,w) < d(u, A_{i+1}), plus u's i-pivots. All
+  // realizing paths are exact shortest paths from u's Dijkstra tree.
+  const int k = h.k();
+  std::map<std::pair<Vertex, Vertex>, bool> seen;
+  auto add = [&](const graph::SsspResult& sp, Vertex u, Vertex w) {
+    if (u == w) return;
+    if (graph::is_inf(sp.dist[static_cast<std::size_t>(w)])) return;
+    const auto key = u < w ? std::make_pair(u, w) : std::make_pair(w, u);
+    if (!seen.insert({key, true}).second) return;
+    hs.edges.push_back(make_edge(sp, u, w));
+  };
+
+  for (Vertex u = 0; u < m; ++u) {
+    const graph::SsspResult sp = graph::dijkstra(g, u);
+    // d(u, A_i) for every level.
+    std::vector<Dist> dset(static_cast<std::size_t>(k) + 1, graph::kDistInf);
+    std::vector<Vertex> pivot(static_cast<std::size_t>(k) + 1,
+                              graph::kNoVertex);
+    for (Vertex w = 0; w < m; ++w) {
+      const Dist d = sp.dist[static_cast<std::size_t>(w)];
+      for (int i = 0; i <= h.level(w); ++i) {
+        if (d < dset[static_cast<std::size_t>(i)]) {
+          dset[static_cast<std::size_t>(i)] = d;
+          pivot[static_cast<std::size_t>(i)] = w;
+        }
+      }
+    }
+    for (int i = 0; i < k; ++i) {
+      if (pivot[static_cast<std::size_t>(i)] != graph::kNoVertex) {
+        add(sp, u, pivot[static_cast<std::size_t>(i)]);
+      }
+    }
+    for (Vertex w = 0; w < m; ++w) {
+      const int i = h.level(w);
+      if (sp.dist[static_cast<std::size_t>(w)] <
+          dset[static_cast<std::size_t>(i) + 1]) {
+        add(sp, u, w);
+      }
+    }
+  }
+
+  // Measure β: smallest hop count for which every pair is within (1+ε) of
+  // its exact distance in G ∪ F. Layered Bellman–Ford from each source.
+  const auto adj = augmented_adjacency(g, hs.edges);
+  int beta = 1;
+  for (Vertex src = 0; src < m; ++src) {
+    const graph::SsspResult exact = graph::dijkstra(g, src);
+    std::vector<Dist> cur(static_cast<std::size_t>(m), graph::kDistInf);
+    cur[static_cast<std::size_t>(src)] = 0;
+    int hops = 0;
+    for (;;) {
+      bool all_ok = true;
+      for (Vertex v = 0; v < m; ++v) {
+        const Dist target = exact.dist[static_cast<std::size_t>(v)];
+        if (graph::is_inf(target)) continue;
+        if (!params.eps.leq_mul(cur[static_cast<std::size_t>(v)], target, 1)) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (all_ok) break;
+      NORS_CHECK_MSG(hops <= m + 1, "hopset verification failed to converge");
+      ++hops;
+      std::vector<Dist> next = cur;
+      for (Vertex v = 0; v < m; ++v) {
+        const Dist dv = cur[static_cast<std::size_t>(v)];
+        if (graph::is_inf(dv)) continue;
+        for (const auto& [to, w] : adj[static_cast<std::size_t>(v)]) {
+          next[static_cast<std::size_t>(to)] =
+              std::min(next[static_cast<std::size_t>(to)], dv + w);
+        }
+      }
+      cur = std::move(next);
+    }
+    beta = std::max(beta, std::max(1, hops));
+  }
+  hs.beta = beta;
+
+  // Theorem 2 charge: Õ(m^{1+ρ} + D) · β².
+  const double m_pow = std::pow(static_cast<double>(m), 1.0 + params.rho);
+  hs.round_cost = static_cast<std::int64_t>(
+      (m_pow + 2.0 * bfs_height) * static_cast<double>(beta) *
+      static_cast<double>(beta));
+  return hs;
+}
+
+std::vector<graph::Dist> bounded_hop_distances_with_hopset(
+    const graph::WeightedGraph& g, const std::vector<HopsetEdge>& edges,
+    graph::Vertex src, int beta) {
+  const auto adj = augmented_adjacency(g, edges);
+  std::vector<Dist> cur(static_cast<std::size_t>(g.n()), graph::kDistInf);
+  cur[static_cast<std::size_t>(src)] = 0;
+  for (int h = 0; h < beta; ++h) {
+    std::vector<Dist> next = cur;
+    bool changed = false;
+    for (Vertex v = 0; v < g.n(); ++v) {
+      const Dist dv = cur[static_cast<std::size_t>(v)];
+      if (graph::is_inf(dv)) continue;
+      for (const auto& [to, w] : adj[static_cast<std::size_t>(v)]) {
+        if (dv + w < next[static_cast<std::size_t>(to)]) {
+          next[static_cast<std::size_t>(to)] = dv + w;
+          changed = true;
+        }
+      }
+    }
+    cur = std::move(next);
+    if (!changed) break;
+  }
+  return cur;
+}
+
+}  // namespace nors::hopset

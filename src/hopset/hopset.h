@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/ratio.h"
+
+namespace nors::hopset {
+
+/// One hopset edge together with its realizing path in the underlying
+/// (virtual) graph — paper Property 1 (path-reporting): path[0] = u,
+/// path.back() = v, prefix[i] = distance from u to path[i] along the path,
+/// prefix.back() == w. Every vertex on the path can therefore recover its
+/// distance to both endpoints and its path neighbors.
+struct HopsetEdge {
+  graph::Vertex u = graph::kNoVertex;
+  graph::Vertex v = graph::kNoVertex;
+  graph::Dist w = 0;
+  std::vector<graph::Vertex> path;
+  std::vector<graph::Dist> prefix;
+};
+
+struct HopsetParams {
+  /// Hopset quality target: d^(β)_{G∪F} ≤ (1+ε)·d_G.
+  util::Epsilon eps;
+  /// Levels of the Thorup–Zwick sampling used for the bunch construction
+  /// (κ in DESIGN.md §2.4). Larger κ → fewer edges, larger β.
+  int levels = 2;
+  std::uint64_t seed = 1;
+  /// ρ of paper Theorem 2 (enters only the round-cost charge).
+  double rho = 0.5;
+};
+
+/// A (β,ε)-hopset for a (virtual) graph, built from Thorup–Zwick bunches
+/// with exact distances (DESIGN.md §2.4 substitution for [EN16a]; the
+/// routing scheme is oblivious to which hopset is plugged in). β is
+/// *measured*: the construction verifies, for every pair, that β hops over
+/// G∪F reach within (1+ε) of the exact distance, and reports the smallest
+/// such β. Rounds are charged per Theorem 2: (m^{1+ρ} + 2D)·β².
+struct Hopset {
+  std::vector<HopsetEdge> edges;
+  int beta = 0;
+  std::int64_t round_cost = 0;
+
+  /// Verifies Property 1 (prefix sums consistent, endpoints match).
+  void check_path_reporting(const graph::WeightedGraph& g) const;
+};
+
+Hopset build_hopset(const graph::WeightedGraph& g, const HopsetParams& params,
+                    int bfs_height);
+
+/// d^(β)-style bounded-hop distances from `src` in the graph `g` augmented
+/// with `edges` (each hopset edge counts as one hop). Used by tests and by
+/// the Phase-1 exploration.
+std::vector<graph::Dist> bounded_hop_distances_with_hopset(
+    const graph::WeightedGraph& g, const std::vector<HopsetEdge>& edges,
+    graph::Vertex src, int beta);
+
+}  // namespace nors::hopset

@@ -1,0 +1,104 @@
+#include "primitives/cluster_bf.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace nors::primitives {
+
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+class ClusterBfProgram : public congest::NodeProgram {
+ public:
+  ClusterBfProgram(const graph::WeightedGraph& g,
+                   const std::vector<Vertex>& roots, const AdmitFn& admit)
+      : g_(g), admit_(admit) {
+    entries_.resize(static_cast<std::size_t>(g.n()));
+    outbox_.resize(static_cast<std::size_t>(g.n()));
+    queued_flag_.resize(static_cast<std::size_t>(g.n()));
+    for (Vertex u : roots) {
+      auto& e = entries_[static_cast<std::size_t>(u)][u];
+      e.dist = 0;
+      push_announce(u, u);
+    }
+  }
+
+  void begin(congest::Network& net) override {
+    for (std::size_t v = 0; v < outbox_.size(); ++v) {
+      if (!outbox_[v].empty()) net.wake(static_cast<Vertex>(v));
+    }
+  }
+
+  void on_round(Vertex v, const std::vector<congest::Message>& inbox,
+                congest::Sender& out) override {
+    const auto vi = static_cast<std::size_t>(v);
+    for (const auto& m : inbox) {
+      const Vertex root = static_cast<Vertex>(m.w[0]);
+      const Dist d = m.w[1];
+      auto it = entries_[vi].find(root);
+      const Dist current =
+          (it == entries_[vi].end()) ? graph::kDistInf : it->second.dist;
+      if (d >= current) continue;
+      if (v != root && !admit_(v, root, d)) continue;
+      auto& e = entries_[vi][root];
+      e.dist = d;
+      e.parent = m.from;
+      e.parent_port = m.arrival_port;
+      push_announce(v, root);
+    }
+    // Flush one announcement per neighbor edge per round; the network's
+    // per-edge capacity queues any burst beyond that, so congestion from
+    // overlapping clusters is borne by the link queues exactly as in the
+    // model. We emit the *current* best distance at send time, so a stale
+    // queued announcement is upgraded rather than re-sent.
+    auto& queue = outbox_[vi];
+    if (!queue.empty()) {
+      const Vertex root = queue.front();
+      queue.pop_front();
+      queued_flag_[vi].erase(root);
+      const Dist d = entries_[vi][root].dist;
+      for (std::int32_t p = 0; p < g_.degree(v); ++p) {
+        const auto& e = g_.edge(v, p);
+        out.send(p, congest::Message::make(0, {root, d + e.w}));
+      }
+      if (!queue.empty()) out.wake_self();
+    }
+  }
+
+  std::vector<std::unordered_map<Vertex, ClusterEntry>> entries_;
+
+ private:
+  void push_announce(Vertex v, Vertex root) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (queued_flag_[vi].insert(root).second) {
+      outbox_[vi].push_back(root);
+    }
+  }
+
+  const graph::WeightedGraph& g_;
+  const AdmitFn& admit_;
+  std::vector<std::deque<Vertex>> outbox_;
+  // Roots currently queued in outbox_[v]: dedup so an entry improved twice
+  // before sending is announced once, with the freshest distance.
+  std::vector<std::unordered_set<Vertex>> queued_flag_;
+};
+
+}  // namespace
+
+ClusterBfResult distributed_cluster_bellman_ford(
+    const graph::WeightedGraph& g, const std::vector<Vertex>& roots,
+    const AdmitFn& admit, int edge_capacity) {
+  ClusterBfProgram prog(g, roots, admit);
+  congest::Network net(g, {.edge_capacity = edge_capacity});
+  const auto stats = net.run(prog);
+  ClusterBfResult r;
+  r.entries = std::move(prog.entries_);
+  r.rounds = stats.rounds;
+  r.messages = stats.messages_sent;
+  r.max_link_backlog = stats.max_link_backlog;
+  return r;
+}
+
+}  // namespace nors::primitives

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "congest/network.h"
+#include "graph/graph.h"
+
+namespace nors::primitives {
+
+/// One vertex's membership record in one root's exploration.
+struct ClusterEntry {
+  graph::Dist dist = graph::kDistInf;      // b_v(u)
+  graph::Vertex parent = graph::kNoVertex; // tree parent (real graph edge)
+  std::int32_t parent_port = graph::kNoPort;
+};
+
+/// Multi-root bounded Bellman–Ford explorations run concurrently on the
+/// CONGEST simulator (paper §3.2 "Building the Small Trees"). Every root u
+/// starts an exploration; a vertex v that hears (u, b) joins u's cluster iff
+/// admit(v, u, b) holds, stores its parent, and forwards. Congestion is
+/// real: each directed edge carries `edge_capacity` messages per round, so
+/// the measured `rounds` reflects the Õ(n^{1/k}) per-iteration overlap
+/// congestion the paper analyses via Claim 2.
+struct ClusterBfResult {
+  // entries[v]: root -> membership record.
+  std::vector<std::unordered_map<graph::Vertex, ClusterEntry>> entries;
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t max_link_backlog = 0;
+};
+
+/// admit(v, root, dist): may v join root's cluster at this distance?
+/// Roots always hold their own entry with dist 0 (admit is not consulted).
+using AdmitFn =
+    std::function<bool(graph::Vertex v, graph::Vertex root, graph::Dist d)>;
+
+ClusterBfResult distributed_cluster_bellman_ford(
+    const graph::WeightedGraph& g, const std::vector<graph::Vertex>& roots,
+    const AdmitFn& admit, int edge_capacity = 1);
+
+}  // namespace nors::primitives

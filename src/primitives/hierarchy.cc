@@ -1,0 +1,44 @@
+#include "primitives/hierarchy.h"
+
+#include <cmath>
+
+namespace nors::primitives {
+
+Hierarchy Hierarchy::sample(int n, int k, util::Rng& rng) {
+  NORS_CHECK(n >= 1 && k >= 1);
+  const double p = std::pow(static_cast<double>(n), -1.0 / k);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    Hierarchy h;
+    h.k_ = k;
+    h.level_.assign(static_cast<std::size_t>(n), 0);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      int lvl = 0;
+      while (lvl < k - 1 && rng.bernoulli(p)) ++lvl;
+      h.level_[static_cast<std::size_t>(v)] = lvl;
+    }
+    h.sets_.assign(static_cast<std::size_t>(k) + 1, {});
+    for (graph::Vertex v = 0; v < n; ++v) {
+      for (int i = 0; i <= h.level_[static_cast<std::size_t>(v)]; ++i) {
+        h.sets_[static_cast<std::size_t>(i)].push_back(v);
+      }
+    }
+    if (!h.sets_[static_cast<std::size_t>(k) - 1].empty()) return h;
+  }
+  NORS_CHECK_MSG(false, "could not sample a hierarchy with non-empty A_{k-1}");
+}
+
+const std::vector<graph::Vertex>& Hierarchy::set_at(int i) const {
+  NORS_CHECK(i >= 0 && i <= k_);
+  return sets_[static_cast<std::size_t>(i)];
+}
+
+std::vector<graph::Vertex> Hierarchy::exactly_at(int i) const {
+  NORS_CHECK(i >= 0 && i < k_);
+  std::vector<graph::Vertex> out;
+  for (graph::Vertex v : sets_[static_cast<std::size_t>(i)]) {
+    if (level(v) == i) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace nors::primitives

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace nors::primitives {
+
+/// The Thorup–Zwick sampling hierarchy V = A_0 ⊇ A_1 ⊇ … ⊇ A_{k-1}, A_k = ∅
+/// (paper §3). Each vertex of A_{i-1} enters A_i independently with
+/// probability n^{-1/k}. Resampled (with a fresh stream) until A_{k-1} is
+/// non-empty — the paper conditions on this whp event.
+class Hierarchy {
+ public:
+  /// Sample for a graph on n vertices with parameter k ≥ 1.
+  static Hierarchy sample(int n, int k, util::Rng& rng);
+
+  int k() const { return k_; }
+
+  /// Highest index i such that v ∈ A_i (0 ≤ level < k).
+  int level(graph::Vertex v) const {
+    return level_[static_cast<std::size_t>(v)];
+  }
+
+  /// Members of A_i, ascending. A_0 is every vertex; set_at(k) is empty.
+  const std::vector<graph::Vertex>& set_at(int i) const;
+
+  /// Members of A_i \ A_{i+1}: the roots whose clusters live at level i.
+  std::vector<graph::Vertex> exactly_at(int i) const;
+
+  bool in_set(graph::Vertex v, int i) const {
+    return i <= level(v);
+  }
+
+ private:
+  int k_ = 0;
+  std::vector<int> level_;
+  std::vector<std::vector<graph::Vertex>> sets_;  // sets_[i] = A_i, i=0..k
+};
+
+}  // namespace nors::primitives

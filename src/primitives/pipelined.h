@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/ledger.h"
+#include "primitives/bfs_tree.h"
+
+namespace nors::primitives {
+
+/// Cost of disseminating M unit messages to every vertex via a BFS tree of
+/// the given height (paper Lemma 1: O(M + D) rounds). The formula is the
+/// exact cost of the pipelined schedule: every message first converges to
+/// the root (height + M - 1 rounds in the worst case once pipelined) and is
+/// then broadcast down (another height + M - 1), i.e. 2·(height + M).
+/// `validate` in tests compares it against a real simulated run.
+std::int64_t pipelined_broadcast_rounds(std::int64_t messages, int height);
+
+/// Runs the real thing on the simulator: each vertex v holds tokens[v] unit
+/// messages; all tokens are convergecast to the root of `tree` and then
+/// broadcast to every vertex. Returns the simulated round count, which tests
+/// compare to pipelined_broadcast_rounds.
+std::int64_t simulate_pipelined_broadcast(const graph::WeightedGraph& g,
+                                          const BfsTree& tree,
+                                          const std::vector<int>& tokens);
+
+}  // namespace nors::primitives

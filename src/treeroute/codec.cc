@@ -1,0 +1,116 @@
+#include "treeroute/codec.h"
+
+namespace nors::treeroute {
+
+void encode(const TzTreeScheme::Label& label, util::WordWriter& w) {
+  w.put(label.a);
+  w.put(static_cast<std::int64_t>(label.light.size()));
+  for (const auto& [v, port] : label.light) {
+    w.put(v);
+    w.put(port);
+  }
+}
+
+TzTreeScheme::Label decode_label(util::WordReader& r) {
+  TzTreeScheme::Label label;
+  label.a = r.get();
+  const auto count = r.get();
+  NORS_CHECK_MSG(count >= 0 && count < (1 << 24), "corrupt label length");
+  label.light.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto v = static_cast<graph::Vertex>(r.get());
+    const auto port = static_cast<std::int32_t>(r.get());
+    label.light.emplace_back(v, port);
+  }
+  return label;
+}
+
+void encode(const TzTreeScheme::Table& table, util::WordWriter& w) {
+  w.put(table.parent);
+  w.put(table.parent_port);
+  w.put(table.heavy);
+  w.put(table.heavy_port);
+  w.put(table.a);
+  w.put(table.b);
+}
+
+TzTreeScheme::Table decode_table(graph::Vertex self, util::WordReader& r) {
+  TzTreeScheme::Table t;
+  t.self = self;
+  t.parent = static_cast<graph::Vertex>(r.get());
+  t.parent_port = static_cast<std::int32_t>(r.get());
+  t.heavy = static_cast<graph::Vertex>(r.get());
+  t.heavy_port = static_cast<std::int32_t>(r.get());
+  t.a = r.get();
+  t.b = r.get();
+  return t;
+}
+
+std::int64_t vlabel_overhead_words(const DistTreeScheme::VLabel& l) {
+  // Global-light list length + per-hop portal-label overhead + the local
+  // label's own overhead.
+  return 1 + static_cast<std::int64_t>(l.global_light.size()) *
+                 kLabelOverheadWords +
+         kLabelOverheadWords;
+}
+
+void encode(const DistTreeScheme::VLabel& label, util::WordWriter& w) {
+  w.put(label.a_prime);
+  w.put(static_cast<std::int64_t>(label.global_light.size()));
+  for (const auto& hop : label.global_light) {
+    w.put(hop.vi);
+    w.put(hop.wi);
+    w.put(hop.port);
+    encode(hop.portal_label, w);
+  }
+  // GlobalHop::portal is recoverable (it is the last vertex of the portal
+  // label's path inside T_{vi}); we carry it in the 3 counted words above
+  // via vi/wi/port and re-derive nothing — the router never reads .portal.
+  encode(label.local, w);
+}
+
+DistTreeScheme::VLabel decode_vlabel(util::WordReader& r) {
+  DistTreeScheme::VLabel label;
+  label.a_prime = r.get();
+  const auto count = r.get();
+  NORS_CHECK_MSG(count >= 0 && count < (1 << 20), "corrupt vlabel length");
+  for (std::int64_t i = 0; i < count; ++i) {
+    DistTreeScheme::GlobalHop hop;
+    hop.vi = static_cast<graph::Vertex>(r.get());
+    hop.wi = static_cast<graph::Vertex>(r.get());
+    hop.port = static_cast<std::int32_t>(r.get());
+    hop.portal_label = decode_label(r);
+    label.global_light.push_back(std::move(hop));
+  }
+  label.local = decode_label(r);
+  return label;
+}
+
+void encode(const DistTreeScheme::NodeInfo& info, util::WordWriter& w) {
+  w.put(info.subtree_root);
+  encode(info.local, w);
+  w.put(info.a_prime);
+  w.put(info.b_prime);
+  w.put(info.heavy_prime);
+  w.put(info.heavy_port);
+  encode(info.heavy_portal_label, w);
+  w.put(info.heavy_portal);
+  w.put(info.up_port);
+}
+
+DistTreeScheme::NodeInfo decode_node_info(graph::Vertex self,
+                                          util::WordReader& r) {
+  DistTreeScheme::NodeInfo info;
+  info.subtree_root = static_cast<graph::Vertex>(r.get());
+  info.local = decode_table(self, r);
+  info.a_prime = r.get();
+  info.b_prime = r.get();
+  info.heavy_prime = static_cast<graph::Vertex>(r.get());
+  info.heavy_port = static_cast<std::int32_t>(r.get());
+  info.heavy_portal_label = decode_label(r);
+  info.heavy_portal = static_cast<graph::Vertex>(r.get());
+  info.up_port = static_cast<std::int32_t>(r.get());
+  return info;
+}
+
+}  // namespace nors::treeroute

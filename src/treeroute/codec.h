@@ -1,0 +1,36 @@
+#pragma once
+
+#include "treeroute/dist_tree.h"
+#include "treeroute/tz_tree.h"
+#include "util/wire.h"
+
+namespace nors::treeroute {
+
+// Wire codecs for the tree-routing data structures. Every codec writes the
+// structure's words() payload words plus an explicit, documented number of
+// length words (lists need their sizes on the wire; the paper's O(·) word
+// counts absorb them, our accounting keeps them separate and test_codec
+// pins the exact relationship).
+
+/// Length words added on the wire beyond Label::words().
+inline constexpr std::int64_t kLabelOverheadWords = 1;  // light-list length
+void encode(const TzTreeScheme::Label& label, util::WordWriter& w);
+TzTreeScheme::Label decode_label(util::WordReader& r);
+
+/// Table::words() covers the full payload (the owner's id is implicit).
+void encode(const TzTreeScheme::Table& table, util::WordWriter& w);
+TzTreeScheme::Table decode_table(graph::Vertex self, util::WordReader& r);
+
+/// Overhead: the global-light list length plus one label overhead per hop
+/// and one for the local label.
+std::int64_t vlabel_overhead_words(const DistTreeScheme::VLabel& l);
+void encode(const DistTreeScheme::VLabel& label, util::WordWriter& w);
+DistTreeScheme::VLabel decode_vlabel(util::WordReader& r);
+
+/// Overhead: one label overhead for the heavy-portal label.
+inline constexpr std::int64_t kNodeInfoOverheadWords = kLabelOverheadWords;
+void encode(const DistTreeScheme::NodeInfo& info, util::WordWriter& w);
+DistTreeScheme::NodeInfo decode_node_info(graph::Vertex self,
+                                          util::WordReader& r);
+
+}  // namespace nors::treeroute

@@ -1,0 +1,352 @@
+#include "treeroute/dist_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "primitives/pipelined.h"
+
+namespace nors::treeroute {
+
+namespace {
+
+using graph::Vertex;
+
+/// BFS order of a TreeSpec from its root (parents point rootward).
+std::vector<Vertex> bfs_order(const TreeSpec& t) {
+  std::unordered_map<Vertex, std::vector<Vertex>> children;
+  children.reserve(t.members.size());
+  for (Vertex v : t.members) children[v];
+  for (Vertex v : t.members) {
+    if (v == t.root) continue;
+    children[t.parent.at(v)].push_back(v);
+  }
+  for (auto& [v, ch] : children) std::sort(ch.begin(), ch.end());
+  std::vector<Vertex> order;
+  order.reserve(t.members.size());
+  std::queue<Vertex> q;
+  q.push(t.root);
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    order.push_back(v);
+    for (Vertex c : children[v]) q.push(c);
+  }
+  NORS_CHECK_MSG(order.size() == t.members.size(),
+                 "TreeSpec is not a single tree rooted at " << t.root);
+  return order;
+}
+
+}  // namespace
+
+DistTreeScheme DistTreeScheme::build(const graph::WeightedGraph& g,
+                                     const TreeSpec& tree,
+                                     const std::vector<char>& in_u) {
+  DistTreeScheme s;
+  s.root_ = tree.root;
+  const std::vector<Vertex> order = bfs_order(tree);
+
+  // Subtree root w(v): nearest ancestor (inclusive) in U(T) = (U ∩ T) ∪ {z}.
+  std::unordered_map<Vertex, Vertex> w_of;
+  std::unordered_map<Vertex, int> depth_in_subtree;
+  w_of.reserve(order.size());
+  for (Vertex v : order) {
+    if (v == tree.root || in_u[static_cast<std::size_t>(v)]) {
+      w_of[v] = v;
+      depth_in_subtree[v] = 0;
+    } else {
+      const Vertex p = tree.parent.at(v);
+      w_of[v] = w_of.at(p);
+      depth_in_subtree[v] = depth_in_subtree.at(p) + 1;
+      s.max_subtree_depth_ =
+          std::max(s.max_subtree_depth_, depth_in_subtree[v]);
+    }
+  }
+
+  // Members of each subtree, in BFS order (so parents precede children).
+  std::map<Vertex, std::vector<Vertex>> subtree_members;
+  for (Vertex v : order) subtree_members[w_of.at(v)].push_back(v);
+  s.u_count_ = static_cast<int>(subtree_members.size());
+
+  // Local TZ scheme per subtree.
+  std::unordered_map<Vertex, TzTreeScheme> local;
+  for (const auto& [w, mem] : subtree_members) {
+    std::unordered_map<Vertex, Vertex> par;
+    std::unordered_map<Vertex, std::int32_t> ports;
+    for (Vertex v : mem) {
+      if (v == w) continue;
+      par[v] = tree.parent.at(v);
+      ports[v] = tree.parent_port.at(v);
+    }
+    local.emplace(w, TzTreeScheme::build(g, mem, par, ports, w));
+  }
+
+  // Virtual tree T' over subtree roots. parent'(u) = w(p_T(u)); the portal
+  // of u is its T-parent.
+  std::unordered_map<Vertex, std::vector<Vertex>> t_children;
+  std::unordered_map<Vertex, Vertex> t_parent;
+  for (const auto& [w, mem] : subtree_members) {
+    t_children[w];
+    if (w == tree.root) continue;
+    const Vertex portal = tree.parent.at(w);
+    t_parent[w] = w_of.at(portal);
+    t_children[w_of.at(portal)].push_back(w);
+  }
+  for (auto& [w, ch] : t_children) std::sort(ch.begin(), ch.end());
+
+  // Sizes, heavy child, DFS intervals on T'.
+  std::unordered_map<Vertex, std::int64_t> t_size;
+  std::unordered_map<Vertex, Vertex> t_heavy;
+  {
+    std::vector<std::pair<Vertex, std::size_t>> stack{{tree.root, 0}};
+    while (!stack.empty()) {
+      auto [v, idx] = stack.back();
+      auto& ch = t_children[v];
+      if (idx < ch.size()) {
+        ++stack.back().second;
+        stack.push_back({ch[idx], 0});
+      } else {
+        std::int64_t sz = 1;
+        Vertex heavy = graph::kNoVertex;
+        std::int64_t best = -1;
+        for (Vertex c : ch) {
+          sz += t_size[c];
+          if (t_size[c] > best) {
+            best = t_size[c];
+            heavy = c;
+          }
+        }
+        t_size[v] = sz;
+        t_heavy[v] = heavy;
+        stack.pop_back();
+      }
+    }
+  }
+  std::unordered_map<Vertex, std::int64_t> a_prime, b_prime;
+  std::unordered_map<Vertex, std::vector<GlobalHop>> t_label;
+  {
+    std::int64_t clock = 0;
+    std::vector<std::pair<Vertex, std::size_t>> stack{{tree.root, 0}};
+    t_label[tree.root] = {};
+    while (!stack.empty()) {
+      auto [v, idx] = stack.back();
+      auto& ch = t_children[v];
+      if (idx == 0) a_prime[v] = clock++;
+      if (idx < ch.size()) {
+        ++stack.back().second;
+        const Vertex c = ch[idx];
+        std::vector<GlobalHop> lbl = t_label[v];
+        if (c != t_heavy[v]) {
+          GlobalHop hop;
+          hop.vi = v;
+          hop.wi = c;
+          hop.portal = tree.parent.at(c);
+          hop.portal_label = local.at(v).label(hop.portal);
+          hop.port = g.edge(c, tree.parent_port.at(c)).rev;
+          lbl.push_back(std::move(hop));
+        }
+        t_label[c] = std::move(lbl);
+        stack.push_back({c, 0});
+      } else {
+        b_prime[v] = clock;
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Assemble per-member tables and labels.
+  for (Vertex v : order) {
+    const Vertex w = w_of.at(v);
+    NodeInfo ni;
+    ni.subtree_root = w;
+    ni.local = local.at(w).table(v);
+    ni.a_prime = a_prime.at(w);
+    ni.b_prime = b_prime.at(w);
+    ni.heavy_prime = t_heavy.at(w);
+    if (ni.heavy_prime != graph::kNoVertex) {
+      ni.heavy_portal = tree.parent.at(ni.heavy_prime);
+      ni.heavy_portal_label = local.at(w).label(ni.heavy_portal);
+      ni.heavy_port =
+          g.edge(ni.heavy_prime, tree.parent_port.at(ni.heavy_prime)).rev;
+    }
+    if (w != tree.root) {
+      // At the subtree root, the way "up" in T leaves the subtree.
+      ni.up_port = (v == w) ? tree.parent_port.at(w) : graph::kNoPort;
+    }
+    s.info_[v] = std::move(ni);
+
+    VLabel lbl;
+    lbl.a_prime = a_prime.at(w);
+    lbl.global_light = t_label.at(w);
+    lbl.local = local.at(w).label(v);
+    s.labels_[v] = std::move(lbl);
+  }
+  return s;
+}
+
+std::int32_t DistTreeScheme::next_hop(Vertex x, const VLabel& dest) const {
+  const NodeInfo& nx = info(x);
+  if (dest.a_prime == nx.a_prime) {
+    // Same subtree: pure local interval routing.
+    return TzTreeScheme::next_hop(nx.local, dest.local);
+  }
+  if (dest.a_prime < nx.a_prime || dest.a_prime >= nx.b_prime) {
+    // Destination subtree is not below w(x) in T': go up. Inside the
+    // subtree that means toward w; at w it means crossing to w's T-parent.
+    if (nx.local.parent_port != graph::kNoPort) return nx.local.parent_port;
+    NORS_CHECK_MSG(nx.up_port != graph::kNoPort,
+                   "route-up requested at the tree root");
+    return nx.up_port;
+  }
+  // Destination subtree is strictly below w(x) in T': find the T'-edge to
+  // take — a light entry recorded in the destination label, else heavy.
+  for (const auto& hop : dest.global_light) {
+    if (hop.vi == nx.subtree_root) {
+      const std::int32_t p = TzTreeScheme::next_hop(nx.local, hop.portal_label);
+      return p == graph::kNoPort ? hop.port : p;
+    }
+  }
+  NORS_CHECK_MSG(nx.heavy_prime != graph::kNoVertex,
+                 "descend requested but w(x) has no T' children");
+  const std::int32_t p =
+      TzTreeScheme::next_hop(nx.local, nx.heavy_portal_label);
+  return p == graph::kNoPort ? nx.heavy_port : p;
+}
+
+std::int32_t DistTreeScheme::next_hop_to_root(Vertex x) const {
+  const NodeInfo& nx = info(x);
+  if (nx.local.parent_port != graph::kNoPort) return nx.local.parent_port;
+  return nx.up_port;  // kNoPort at the global root
+}
+
+const DistTreeScheme::VLabel& DistTreeScheme::label(Vertex v) const {
+  auto it = labels_.find(v);
+  NORS_CHECK_MSG(it != labels_.end(), "vertex " << v << " not in tree");
+  return it->second;
+}
+
+const DistTreeScheme::NodeInfo& DistTreeScheme::info(Vertex v) const {
+  auto it = info_.find(v);
+  NORS_CHECK_MSG(it != info_.end(), "vertex " << v << " not in tree");
+  return it->second;
+}
+
+DistTreeBatch build_dist_tree_batch(const graph::WeightedGraph& g,
+                                    const std::vector<TreeSpec>& specs,
+                                    const DistTreeBatchParams& params,
+                                    int bfs_height, util::Rng& rng) {
+  DistTreeBatch out;
+  const int n = g.n();
+
+  // Overlap s: max number of trees containing a vertex.
+  std::vector<int> overlap(static_cast<std::size_t>(n), 0);
+  for (const auto& t : specs) {
+    for (Vertex v : t.members) ++overlap[static_cast<std::size_t>(v)];
+  }
+  out.max_overlap = 1;
+  for (int o : overlap) out.max_overlap = std::max(out.max_overlap, o);
+
+  // γ = sqrt(n / s) per Remark 3 unless overridden; sample U once.
+  const double gamma =
+      params.gamma > 0
+          ? params.gamma
+          : std::sqrt(static_cast<double>(n) /
+                      static_cast<double>(out.max_overlap));
+  const double p_u = std::min(1.0, gamma / static_cast<double>(n));
+  std::vector<char> in_u(static_cast<std::size_t>(n), 0);
+  for (Vertex v = 0; v < n; ++v) in_u[static_cast<std::size_t>(v)] =
+      rng.bernoulli(p_u) ? 1 : 0;
+
+  out.schemes.reserve(specs.size());
+  std::int64_t phase2_words = 0;
+  std::int64_t max_label_words = 1;
+  for (const auto& t : specs) {
+    out.schemes.push_back(DistTreeScheme::build(g, t, in_u));
+    const auto& s = out.schemes.back();
+    out.max_subtree_depth =
+        std::max(out.max_subtree_depth, s.max_subtree_depth());
+    out.u_total += s.u_count();
+    for (Vertex v : t.members) {
+      max_label_words = std::max(max_label_words, s.label(v).words());
+    }
+    // Phase 2 broadcast: two messages per T' node (report edge + receive
+    // table/label), each of O(log² n) words.
+    phase2_words += 2LL * s.u_count() * max_label_words;
+  }
+
+  // Remark-3 schedule verification: each subtree broadcast occupies its
+  // edges at stage start(w)+depth(edge); count collisions per (edge, stage).
+  const std::int64_t ln_n = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::log(std::max(2, n))));
+  std::int64_t range = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::sqrt(static_cast<double>(n) *
+                                             out.max_overlap)) *
+             ln_n);
+  std::int64_t stages = 0;
+  for (int attempt = 0;; ++attempt) {
+    NORS_CHECK_MSG(attempt < 20, "staged schedule failed to decongest");
+    std::map<std::pair<std::int64_t, std::int64_t>, int> load;  // (edge,stage)
+    bool ok = true;
+    stages = 0;
+    util::Rng sched_rng = rng.fork(static_cast<std::uint64_t>(attempt) + 99);
+    for (const auto& t : specs) {
+      // Recompute subtree membership/depths for scheduling.
+      const std::vector<Vertex> order = bfs_order(t);
+      std::unordered_map<Vertex, Vertex> w_of;
+      std::unordered_map<Vertex, std::int64_t> depth;
+      std::unordered_map<Vertex, std::int64_t> start;
+      for (Vertex v : order) {
+        if (v == t.root || in_u[static_cast<std::size_t>(v)]) {
+          w_of[v] = v;
+          depth[v] = 0;
+          start[v] = static_cast<std::int64_t>(
+              sched_rng.uniform(static_cast<std::uint64_t>(range)));
+        } else {
+          const Vertex p = t.parent.at(v);
+          w_of[v] = w_of.at(p);
+          depth[v] = depth.at(p) + 1;
+          const std::int64_t stage = start.at(w_of.at(v)) + depth.at(v);
+          stages = std::max(stages, stage + 1);
+          // Edge identity: (child, parent) — the same child vertex can hang
+          // off different parents in different trees.
+          const auto key = std::make_pair(
+              (static_cast<std::int64_t>(v) << 32) |
+                  static_cast<std::uint32_t>(p),
+              stage);
+          if (++load[key] > params.alpha) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) break;
+    }
+    if (ok) break;
+    range *= 2;
+  }
+
+  // Phases 0+1 (start-time dissemination, size convergecast, parallel DFS,
+  // local label distribution): four staged passes, the label pass carrying
+  // O(log n)-word payloads.
+  const std::int64_t label_factor =
+      (max_label_words + congest::kMaxWords - 1) / congest::kMaxWords;
+  const std::int64_t staged_rounds =
+      static_cast<std::int64_t>(params.alpha) * stages * (3 + label_factor);
+  out.ledger.add("treeroute/phase1 staged subtree passes",
+                 congest::CostKind::kAccounted, staged_rounds, 0,
+                 "alpha=" + std::to_string(params.alpha) +
+                     " stages=" + std::to_string(stages));
+
+  // Phase 2: global broadcasts over the BFS backbone (Lemma 1).
+  const std::int64_t phase2_msgs =
+      (phase2_words + congest::kMaxWords - 1) / congest::kMaxWords;
+  out.ledger.add(
+      "treeroute/phase2 global broadcast",
+      congest::CostKind::kAccounted,
+      primitives::pipelined_broadcast_rounds(phase2_msgs, bfs_height),
+      phase2_msgs, "u_total=" + std::to_string(out.u_total));
+  return out;
+}
+
+}  // namespace nors::treeroute

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "congest/ledger.h"
+#include "graph/graph.h"
+#include "treeroute/tz_tree.h"
+#include "util/random.h"
+
+namespace nors::treeroute {
+
+/// A tree to route on: a subgraph of g described by parent pointers over a
+/// member subset (the cluster trees C̃(u) of the main scheme, or any other
+/// tree). All edges must be real graph edges.
+struct TreeSpec {
+  graph::Vertex root = graph::kNoVertex;
+  std::vector<graph::Vertex> members;  // includes root
+  std::unordered_map<graph::Vertex, graph::Vertex> parent;
+  std::unordered_map<graph::Vertex, std::int32_t> parent_port;
+};
+
+/// The paper's Section-6 tree routing scheme (Theorem 7): sampled vertices
+/// U split the tree into depth-O(n/γ·log n) subtrees; a local TZ interval
+/// scheme routes inside each subtree T_w, and a global TZ scheme over the
+/// virtual tree T' (whose nodes are the subtree roots) stitches them
+/// together through portal vertices. Routing is exact (stretch 1 on the
+/// tree metric); tables are O(log n) words and labels O(log² n) words.
+class DistTreeScheme {
+ public:
+  /// One light T'-edge on the path from the T'-root to w(v), together with
+  /// the local routing information to reach its portal.
+  struct GlobalHop {
+    graph::Vertex vi = graph::kNoVertex;  // T' parent
+    graph::Vertex wi = graph::kNoVertex;  // T' child (a subtree root)
+    graph::Vertex portal = graph::kNoVertex;  // x_i = p_T(w_i) ∈ T_{v_i}
+    TzTreeScheme::Label portal_label;          // ℓ(x_i) within T_{v_i}
+    std::int32_t port = graph::kNoPort;        // e(x_i, w_i)
+  };
+
+  /// The label ℓ'(v) of a destination.
+  struct VLabel {
+    std::int64_t a_prime = 0;  // DFS entry time of w(v) in T'
+    std::vector<GlobalHop> global_light;
+    TzTreeScheme::Label local;  // ℓ(v) within T_{w(v)}
+
+    std::int64_t words() const {
+      std::int64_t w = 1 + local.words();
+      for (const auto& h : global_light) w += 3 + h.portal_label.words();
+      return w;
+    }
+  };
+
+  /// The routing table stored at each member x.
+  struct NodeInfo {
+    graph::Vertex subtree_root = graph::kNoVertex;  // w with x ∈ T_w
+    TzTreeScheme::Table local;                      // table within T_w
+    std::int64_t a_prime = 0, b_prime = 0;          // interval of w in T'
+    graph::Vertex heavy_prime = graph::kNoVertex;   // h'(w)
+    graph::Vertex heavy_portal = graph::kNoVertex;  // y = p_T(h'(w)) ∈ T_w
+    TzTreeScheme::Label heavy_portal_label;         // ℓ(y) within T_w
+    std::int32_t heavy_port = graph::kNoPort;       // e(y, h'(w))
+    std::int32_t up_port = graph::kNoPort;  // at w: port toward p_T(w)
+
+    std::int64_t words() const {
+      return 1 + local.words() + 2 + 1 + 1 + heavy_portal_label.words() + 2;
+    }
+  };
+
+  /// Builds the scheme for one tree; in_u marks the globally sampled U.
+  static DistTreeScheme build(const graph::WeightedGraph& g,
+                              const TreeSpec& tree,
+                              const std::vector<char>& in_u);
+
+  /// Next port from x toward the destination labelled `dest`; kNoPort when
+  /// x is the destination. The walk follows the unique tree path.
+  std::int32_t next_hop(graph::Vertex x, const VLabel& dest) const;
+
+  /// Next port from x toward the tree root (header-flag routing; needs no
+  /// destination label). kNoPort when x is the root.
+  std::int32_t next_hop_to_root(graph::Vertex x) const;
+
+  bool contains(graph::Vertex v) const { return info_.count(v) > 0; }
+  const VLabel& label(graph::Vertex v) const;
+  const NodeInfo& info(graph::Vertex v) const;
+  graph::Vertex root() const { return root_; }
+
+  // Measured construction quantities (consumed by the Remark-3 cost model).
+  int max_subtree_depth() const { return max_subtree_depth_; }
+  int u_count() const { return u_count_; }
+
+ private:
+  graph::Vertex root_ = graph::kNoVertex;
+  std::unordered_map<graph::Vertex, NodeInfo> info_;
+  std::unordered_map<graph::Vertex, VLabel> labels_;
+  int max_subtree_depth_ = 0;
+  int u_count_ = 0;
+};
+
+/// Batched construction over many trees (paper Remark 3): one shared sample
+/// U (probability γ/n per vertex), randomized staged broadcast schedule
+/// whose collision bound is *verified* against the actual forest edges, and
+/// a RoundLedger charging the measured cost.
+struct DistTreeBatchParams {
+  double gamma = 0;  // 0 ⇒ γ = sqrt(n / s) as in Remark 3
+  int alpha = 20;    // stage length in rounds
+  std::uint64_t seed = 7;
+};
+
+struct DistTreeBatch {
+  std::vector<DistTreeScheme> schemes;  // parallel to the input specs
+  congest::RoundLedger ledger;
+  int max_subtree_depth = 0;
+  std::int64_t u_total = 0;
+  int max_overlap = 0;  // s: max #trees sharing a vertex
+};
+
+DistTreeBatch build_dist_tree_batch(const graph::WeightedGraph& g,
+                                    const std::vector<TreeSpec>& specs,
+                                    const DistTreeBatchParams& params,
+                                    int bfs_height, util::Rng& rng);
+
+}  // namespace nors::treeroute

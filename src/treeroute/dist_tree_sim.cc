@@ -1,0 +1,146 @@
+#include "treeroute/dist_tree_sim.h"
+
+#include <algorithm>
+
+#include "congest/network.h"
+
+namespace nors::treeroute {
+
+namespace {
+
+using graph::Vertex;
+
+class Phase1Program : public congest::NodeProgram {
+ public:
+  Phase1Program(const graph::WeightedGraph& g, const TreeSpec& tree,
+                const std::vector<char>& in_u)
+      : g_(g) {
+    for (Vertex v : tree.members) {
+      auto& st = state_[v];
+      st.is_subtree_root =
+          (v == tree.root) || in_u[static_cast<std::size_t>(v)];
+      if (v != tree.root) {
+        st.parent = tree.parent.at(v);
+        st.parent_port = tree.parent_port.at(v);
+      }
+    }
+    // Forest children: tree children that are not subtree roots.
+    for (Vertex v : tree.members) {
+      if (v == tree.root) continue;
+      if (!state_.at(v).is_subtree_root) {
+        state_.at(state_.at(v).parent).children.push_back(v);
+      }
+    }
+    for (auto& [v, st] : state_) {
+      std::sort(st.children.begin(), st.children.end());
+      st.pending_children = static_cast<int>(st.children.size());
+    }
+  }
+
+  void begin(congest::Network& net) override {
+    // Forest leaves start the size convergecast.
+    for (auto& [v, st] : state_) {
+      if (st.pending_children == 0) net.wake(v);
+    }
+  }
+
+  void on_round(Vertex v, const std::vector<congest::Message>& inbox,
+                congest::Sender& out) override {
+    auto it = state_.find(v);
+    if (it == state_.end()) return;  // not a tree member
+    auto& st = it->second;
+    for (const auto& m : inbox) {
+      if (m.tag == kSize) {
+        st.child_size[m.from] = m.w[0];
+        --st.pending_children;
+      } else if (m.tag == kInterval) {
+        st.a = m.w[0];
+        st.b = m.w[1];
+        st.have_interval = true;
+      }
+    }
+
+    // Pass 1: all children reported — report upward (or, at a subtree
+    // root, seed the DFS pass).
+    if (!st.size_done && st.pending_children == 0) {
+      st.size_done = true;
+      std::int64_t total = 1;
+      for (const auto& [c, s] : st.child_size) total += s;
+      st.size = total;
+      if (st.is_subtree_root) {
+        st.a = 0;
+        st.b = total;
+        st.have_interval = true;
+      } else {
+        out.send(st.parent_port, congest::Message::make(kSize, {total}));
+      }
+    }
+
+    // Pass 2: interval known and sizes known — assign children intervals
+    // (heavy child first, then ascending — the TzTreeScheme order).
+    if (st.have_interval && st.size_done && !st.assigned) {
+      st.assigned = true;
+      std::vector<Vertex> order = st.children;
+      if (!order.empty()) {
+        Vertex heavy = order.front();
+        for (Vertex c : order) {
+          if (st.child_size.at(c) > st.child_size.at(heavy)) heavy = c;
+        }
+        auto hit = std::find(order.begin(), order.end(), heavy);
+        std::iter_swap(order.begin(), hit);
+      }
+      std::int64_t next_a = st.a + 1;
+      for (Vertex c : order) {
+        const std::int64_t sz = st.child_size.at(c);
+        const std::int32_t port = g_.port_to(v, c);
+        out.send(port,
+                 congest::Message::make(kInterval, {next_a, next_a + sz}));
+        next_a += sz;
+      }
+    }
+  }
+
+  struct NodeState {
+    bool is_subtree_root = false;
+    Vertex parent = graph::kNoVertex;
+    std::int32_t parent_port = graph::kNoPort;
+    std::vector<Vertex> children;
+    std::unordered_map<Vertex, std::int64_t> child_size;
+    int pending_children = 0;
+    bool size_done = false;
+    bool have_interval = false;
+    bool assigned = false;
+    std::int64_t size = 0;
+    std::int64_t a = -1, b = -1;
+  };
+
+  const graph::WeightedGraph& g_;
+  std::unordered_map<Vertex, NodeState> state_;
+
+ private:
+  static constexpr std::uint16_t kSize = 1;
+  static constexpr std::uint16_t kInterval = 2;
+};
+
+}  // namespace
+
+Phase1SimResult simulate_phase1(const graph::WeightedGraph& g,
+                                const TreeSpec& tree,
+                                const std::vector<char>& in_u) {
+  Phase1Program prog(g, tree, in_u);
+  congest::Network net(g, {});
+  const auto stats = net.run(prog);
+  Phase1SimResult r;
+  r.rounds = stats.rounds;
+  r.messages = stats.messages_sent;
+  for (const auto& [v, st] : prog.state_) {
+    NORS_CHECK_MSG(st.size_done && st.have_interval,
+                   "phase-1 simulation did not converge at vertex " << v);
+    r.a[v] = st.a;
+    r.b[v] = st.b;
+    r.size[v] = st.size;
+  }
+  return r;
+}
+
+}  // namespace nors::treeroute

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "treeroute/dist_tree.h"
+
+namespace nors::treeroute {
+
+/// Message-level execution of the paper's §6 Phase 1 on the CONGEST
+/// simulator: (a) subtree-size convergecast inside every forest subtree
+/// T_w in parallel, (b) parallel DFS — each vertex, knowing its children's
+/// sizes, hands every child its [a,b) interval in one round.
+///
+/// The interval assignment replicates the centralized TzTreeScheme order
+/// (heavy child first, then ascending), so the simulated intervals must
+/// equal the ones DistTreeScheme::build computes — the test for the
+/// accounted Phase-1 charge.
+struct Phase1SimResult {
+  std::int64_t rounds = 0;       // total simulated rounds (both passes)
+  std::int64_t messages = 0;
+  std::unordered_map<graph::Vertex, std::int64_t> a;  // DFS entry times
+  std::unordered_map<graph::Vertex, std::int64_t> b;  // DFS exit times
+  std::unordered_map<graph::Vertex, std::int64_t> size;  // subtree sizes
+};
+
+Phase1SimResult simulate_phase1(const graph::WeightedGraph& g,
+                                const TreeSpec& tree,
+                                const std::vector<char>& in_u);
+
+}  // namespace nors::treeroute

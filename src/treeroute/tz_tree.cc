@@ -1,0 +1,159 @@
+#include "treeroute/tz_tree.h"
+
+#include <algorithm>
+
+namespace nors::treeroute {
+
+namespace {
+
+using graph::Vertex;
+
+}  // namespace
+
+TzTreeScheme TzTreeScheme::build(
+    const graph::WeightedGraph& g, const std::vector<Vertex>& members,
+    const std::unordered_map<Vertex, Vertex>& parent,
+    const std::unordered_map<Vertex, std::int32_t>& parent_port,
+    Vertex root) {
+  NORS_CHECK(!members.empty());
+  TzTreeScheme s;
+  s.root_ = root;
+  s.members_ = members;
+
+  std::unordered_map<Vertex, std::vector<Vertex>> children;
+  children.reserve(members.size());
+  for (Vertex v : members) children[v];  // ensure every member has an entry
+  for (Vertex v : members) {
+    if (v == root) continue;
+    auto it = parent.find(v);
+    NORS_CHECK_MSG(it != parent.end(), "member " << v << " has no parent");
+    children[it->second].push_back(v);
+  }
+  // Deterministic order.
+  for (auto& [v, ch] : children) std::sort(ch.begin(), ch.end());
+
+  // Subtree sizes (iterative post-order).
+  std::unordered_map<Vertex, std::int64_t> size;
+  size.reserve(members.size());
+  {
+    std::vector<std::pair<Vertex, std::size_t>> stack{{root, 0}};
+    while (!stack.empty()) {
+      auto& [v, idx] = stack.back();
+      auto& ch = children[v];
+      if (idx < ch.size()) {
+        Vertex c = ch[idx];
+        ++idx;
+        stack.push_back({c, 0});
+      } else {
+        std::int64_t sz = 1;
+        for (Vertex c : ch) sz += size[c];
+        size[v] = sz;
+        stack.pop_back();
+      }
+    }
+  }
+  NORS_CHECK_MSG(size.size() == members.size(),
+                 "parent pointers do not form one tree rooted at " << root);
+
+  // Heavy child and DFS intervals, heavy-first so the heavy path is a
+  // contiguous interval prefix (not required for correctness, but keeps
+  // intervals tight).
+  std::unordered_map<Vertex, Vertex> heavy;
+  for (Vertex v : members) {
+    Vertex h = graph::kNoVertex;
+    std::int64_t best = -1;
+    for (Vertex c : children[v]) {
+      if (size[c] > best) {
+        best = size[c];
+        h = c;
+      }
+    }
+    heavy[v] = h;
+    auto& ch = children[v];
+    if (h != graph::kNoVertex) {
+      auto it = std::find(ch.begin(), ch.end(), h);
+      std::iter_swap(ch.begin(), it);
+    }
+  }
+
+  // DFS entry/exit times and label construction (iterative pre-order; the
+  // label of a child extends the parent's label by one light entry unless
+  // the child is heavy).
+  std::int64_t clock = 0;
+  std::vector<Vertex> order;
+  order.reserve(members.size());
+  {
+    std::vector<std::pair<Vertex, std::size_t>> stack{{root, 0}};
+    s.labels_[root] = Label{};
+    while (!stack.empty()) {
+      auto& [v, idx] = stack.back();
+      if (idx == 0) {
+        Table t;
+        t.self = v;
+        if (v != root) {
+          t.parent = parent.at(v);
+          t.parent_port = parent_port.at(v);
+        }
+        t.a = clock++;
+        order.push_back(v);
+        s.tables_[v] = t;
+      }
+      auto& ch = children[v];
+      if (idx < ch.size()) {
+        Vertex c = ch[idx];
+        ++idx;
+        Label lc = s.labels_[v];
+        if (c != heavy[v]) {
+          // Port at v toward c: reverse of c's parent_port.
+          const std::int32_t pp = parent_port.at(c);
+          lc.light.emplace_back(v, g.edge(c, pp).rev);
+        }
+        s.labels_[c] = std::move(lc);
+        stack.push_back({c, 0});
+      } else {
+        s.tables_[v].b = clock;
+        stack.pop_back();
+      }
+    }
+  }
+  for (Vertex v : order) {
+    s.labels_[v].a = s.tables_[v].a;
+    const Vertex h = heavy[v];
+    if (h != graph::kNoVertex) {
+      s.tables_[v].heavy = h;
+      s.tables_[v].heavy_port = g.edge(h, parent_port.at(h)).rev;
+    }
+  }
+  return s;
+}
+
+std::int32_t TzTreeScheme::next_hop(const Table& tx, const Label& dest) {
+  if (dest.a == tx.a) return graph::kNoPort;  // arrived
+  if (dest.a < tx.a || dest.a >= tx.b) {
+    NORS_CHECK_MSG(tx.parent_port != graph::kNoPort,
+                   "destination is outside this tree");
+    return tx.parent_port;
+  }
+  // Destination is in our subtree: take the light edge recorded at us, or
+  // fall through to the heavy child.
+  for (const auto& [w, port] : dest.light) {
+    if (w == tx.self) return port;
+  }
+  NORS_CHECK_MSG(tx.heavy_port != graph::kNoPort,
+                 "interval claims a descendant but no child exists");
+  return tx.heavy_port;
+}
+
+const TzTreeScheme::Table& TzTreeScheme::table(Vertex v) const {
+  auto it = tables_.find(v);
+  NORS_CHECK_MSG(it != tables_.end(), "vertex " << v << " not in tree");
+  return it->second;
+}
+
+const TzTreeScheme::Label& TzTreeScheme::label(Vertex v) const {
+  auto it = labels_.find(v);
+  NORS_CHECK_MSG(it != labels_.end(), "vertex " << v << " not in tree");
+  return it->second;
+}
+
+}  // namespace nors::treeroute

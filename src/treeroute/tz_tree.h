@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nors::treeroute {
+
+/// Thorup–Zwick interval routing on a tree (paper §6 recap): tables of O(1)
+/// words (parent, heavy child, DFS entry/exit), labels of O(log n) words
+/// (entry time + the ≤ log n light edges on the root path). Routing follows
+/// the unique tree path, i.e. stretch 1 w.r.t. the tree metric.
+///
+/// The tree is an arbitrary subgraph of a WeightedGraph given by parent
+/// pointers over a member subset; all ports refer to the underlying graph.
+class TzTreeScheme {
+ public:
+  struct Table {
+    graph::Vertex self = graph::kNoVertex;
+    graph::Vertex parent = graph::kNoVertex;   // kNoVertex at the root
+    std::int32_t parent_port = graph::kNoPort; // port at self toward parent
+    graph::Vertex heavy = graph::kNoVertex;    // kNoVertex at leaves
+    std::int32_t heavy_port = graph::kNoPort;  // port at self toward heavy
+    std::int64_t a = 0;  // DFS entry time
+    std::int64_t b = 0;  // DFS exit time: subtree is [a, b)
+
+    /// Words of routing state (paper: O(1)): ids+ports+times.
+    std::int64_t words() const { return 6; }
+  };
+
+  struct Label {
+    std::int64_t a = 0;  // destination's DFS entry time
+    /// Light edges on the root→dest path: (vertex, port at vertex toward
+    /// the next path vertex).
+    std::vector<std::pair<graph::Vertex, std::int32_t>> light;
+
+    std::int64_t words() const {
+      return 1 + 2 * static_cast<std::int64_t>(light.size());
+    }
+  };
+
+  /// Builds the scheme. `members` lists the tree's vertices; parent/port
+  /// maps must cover every member except `root` and use real graph edges.
+  static TzTreeScheme build(
+      const graph::WeightedGraph& g, const std::vector<graph::Vertex>& members,
+      const std::unordered_map<graph::Vertex, graph::Vertex>& parent,
+      const std::unordered_map<graph::Vertex, std::int32_t>& parent_port,
+      graph::Vertex root);
+
+  /// Stateless routing decision: next port from the vertex owning `tx`
+  /// toward the destination owning `dest`, or kNoPort if arrived.
+  static std::int32_t next_hop(const Table& tx, const Label& dest);
+
+  graph::Vertex root() const { return root_; }
+  bool contains(graph::Vertex v) const { return tables_.count(v) > 0; }
+  const Table& table(graph::Vertex v) const;
+  const Label& label(graph::Vertex v) const;
+  const std::vector<graph::Vertex>& members() const { return members_; }
+
+ private:
+  graph::Vertex root_ = graph::kNoVertex;
+  std::vector<graph::Vertex> members_;
+  std::unordered_map<graph::Vertex, Table> tables_;
+  std::unordered_map<graph::Vertex, Label> labels_;
+};
+
+}  // namespace nors::treeroute

@@ -1,0 +1,107 @@
+#include "tz/tz_oracle.h"
+
+#include <queue>
+#include <tuple>
+
+#include "graph/shortest_paths.h"
+#include "primitives/hierarchy.h"
+#include "util/random.h"
+
+namespace nors::tz {
+
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+}  // namespace
+
+TzDistanceOracle TzDistanceOracle::build(const graph::WeightedGraph& g,
+                                         const Params& params) {
+  NORS_CHECK(params.k >= 1);
+  TzDistanceOracle o;
+  o.k_ = params.k;
+  o.n_ = static_cast<std::size_t>(g.n());
+  const int n = g.n();
+  const int k = params.k;
+
+  util::Rng rng(params.seed);
+  const primitives::Hierarchy h = primitives::Hierarchy::sample(n, k, rng);
+
+  o.pivot_.assign(static_cast<std::size_t>(k) * o.n_, graph::kNoVertex);
+  o.pivot_dist_.assign(static_cast<std::size_t>(k + 1) * o.n_,
+                       graph::kDistInf);
+  for (int i = 0; i < k; ++i) {
+    const auto r = graph::multi_source_dijkstra(g, h.set_at(i));
+    for (Vertex v = 0; v < n; ++v) {
+      o.pivot_[static_cast<std::size_t>(i) * o.n_ + v] =
+          r.source[static_cast<std::size_t>(v)];
+      o.pivot_dist_[static_cast<std::size_t>(i) * o.n_ + v] =
+          r.dist[static_cast<std::size_t>(v)];
+    }
+  }
+
+  // Bunch of v: w ∈ A_i with d(v,w) < d(v, A_{i+1}) — computed by growing
+  // the cluster C(w) of every w (v ∈ C(w) ⟺ w ∈ B(v)) via truncated
+  // Dijkstra, mirroring the routing construction.
+  o.bunch_.assign(o.n_, {});
+  for (Vertex w = 0; w < n; ++w) {
+    const int i = h.level(w);
+    using Item = std::tuple<Dist, Vertex>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    std::unordered_map<Vertex, Dist> dist;
+    dist[w] = 0;
+    pq.emplace(0, w);
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      auto it = dist.find(v);
+      if (it == dist.end() || it->second != d) continue;
+      o.bunch_[static_cast<std::size_t>(v)][w] = d;
+      for (std::int32_t p = 0; p < g.degree(v); ++p) {
+        const auto& e = g.edge(v, p);
+        const Dist nd = d + e.w;
+        if (nd >= o.pivot_dist_[static_cast<std::size_t>(i + 1) * o.n_ +
+                                static_cast<std::size_t>(e.to)]) {
+          continue;
+        }
+        auto jt = dist.find(e.to);
+        if (jt == dist.end() || nd < jt->second) {
+          dist[e.to] = nd;
+          pq.emplace(nd, e.to);
+        }
+      }
+    }
+  }
+  return o;
+}
+
+TzDistanceOracle::QueryResult TzDistanceOracle::query(Vertex u,
+                                                      Vertex v) const {
+  QueryResult r;
+  Vertex w = u;
+  Dist d_uw = 0;
+  for (int i = 0;; ++i) {
+    NORS_CHECK_MSG(i < k_, "oracle loop exceeded k iterations");
+    const auto& bunch_v = bunch_[static_cast<std::size_t>(v)];
+    auto it = bunch_v.find(w);
+    if (it != bunch_v.end()) {
+      r.estimate = d_uw + it->second;
+      r.iterations = i + 1;
+      return r;
+    }
+    std::swap(u, v);
+    w = pivot_[static_cast<std::size_t>(i + 1) * n_ +
+               static_cast<std::size_t>(u)];
+    d_uw = pivot_dist_[static_cast<std::size_t>(i + 1) * n_ +
+                       static_cast<std::size_t>(u)];
+  }
+}
+
+std::int64_t TzDistanceOracle::sketch_words(Vertex v) const {
+  return 2LL * k_ +
+         2LL * static_cast<std::int64_t>(
+                   bunch_[static_cast<std::size_t>(v)].size());
+}
+
+}  // namespace nors::tz

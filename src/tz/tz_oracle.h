@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nors::tz {
+
+/// The Thorup–Zwick approximate distance oracle (TZ05): bunches of expected
+/// size O(k n^{1/k}), query stretch ≤ 2k-1 in O(k) time. Serves as the
+/// sequential baseline for the paper's Theorem 6 (distance estimation).
+class TzDistanceOracle {
+ public:
+  struct Params {
+    int k = 3;
+    std::uint64_t seed = 1;
+  };
+
+  static TzDistanceOracle build(const graph::WeightedGraph& g,
+                                const Params& params);
+
+  struct QueryResult {
+    graph::Dist estimate = graph::kDistInf;
+    int iterations = 0;  // ≤ k
+  };
+  QueryResult query(graph::Vertex u, graph::Vertex v) const;
+
+  std::int64_t sketch_words(graph::Vertex v) const;
+  int k() const { return k_; }
+
+ private:
+  int k_ = 0;
+  std::size_t n_ = 0;
+  // pivots_[i*n+v] / pivot_dist_[i*n+v]; bunch_[v]: w -> d(v,w).
+  std::vector<graph::Vertex> pivot_;
+  std::vector<graph::Dist> pivot_dist_;
+  std::vector<std::unordered_map<graph::Vertex, graph::Dist>> bunch_;
+};
+
+}  // namespace nors::tz

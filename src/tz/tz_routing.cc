@@ -1,0 +1,210 @@
+#include "tz/tz_routing.h"
+
+#include <queue>
+#include <tuple>
+
+#include "graph/shortest_paths.h"
+
+namespace nors::tz {
+
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+/// Truncated Dijkstra from u admitting exactly the cluster
+/// C(u) = { v : d(u,v) < limit(v) } (paper (6)). Because every prefix of a
+/// shortest path to a cluster member is itself in the cluster, the returned
+/// parent pointers form a tree on C(u) made of real graph edges.
+struct ClusterGrow {
+  std::vector<Vertex> members;
+  std::unordered_map<Vertex, Vertex> parent;
+  std::unordered_map<Vertex, std::int32_t> parent_port;
+  std::unordered_map<Vertex, Dist> dist;
+};
+
+ClusterGrow grow_cluster(const graph::WeightedGraph& g, Vertex u,
+                         const std::vector<Dist>& limit) {
+  ClusterGrow c;
+  using Item = std::tuple<Dist, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  c.dist[u] = 0;
+  pq.emplace(0, u);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    auto it = c.dist.find(v);
+    if (it == c.dist.end() || it->second != d) continue;
+    c.members.push_back(v);
+    for (std::int32_t p = 0; p < g.degree(v); ++p) {
+      const auto& e = g.edge(v, p);
+      const Dist nd = d + e.w;
+      if (nd >= limit[static_cast<std::size_t>(e.to)]) continue;
+      auto jt = c.dist.find(e.to);
+      if (jt == c.dist.end() || nd < jt->second) {
+        c.dist[e.to] = nd;
+        c.parent[e.to] = v;
+        c.parent_port[e.to] = e.rev;
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+TzRoutingScheme TzRoutingScheme::build(const graph::WeightedGraph& g,
+                                       const Params& params) {
+  NORS_CHECK(params.k >= 1);
+  TzRoutingScheme s;
+  s.g_ = &g;
+  s.params_ = params;
+  const int n = g.n();
+  const int k = params.k;
+
+  util::Rng rng(params.seed);
+  const primitives::Hierarchy h = primitives::Hierarchy::sample(n, k, rng);
+  s.level_.resize(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) s.level_[static_cast<std::size_t>(v)] =
+      h.level(v);
+
+  // Exact pivots per level, plus d(v, A_{i}) arrays (d(v, A_k) = inf).
+  s.pivot_.assign(static_cast<std::size_t>(k) * n, graph::kNoVertex);
+  s.pivot_dist_.assign(static_cast<std::size_t>(k + 1) * n, graph::kDistInf);
+  for (int i = 0; i < k; ++i) {
+    const auto r = graph::multi_source_dijkstra(g, h.set_at(i));
+    for (Vertex v = 0; v < n; ++v) {
+      s.pivot_[static_cast<std::size_t>(i) * n + v] =
+          r.source[static_cast<std::size_t>(v)];
+      s.pivot_dist_[static_cast<std::size_t>(i) * n + v] =
+          r.dist[static_cast<std::size_t>(v)];
+    }
+  }
+
+  // Clusters: C(u) for u at level i, bounded by d(v, A_{i+1}).
+  s.labels_.assign(static_cast<std::size_t>(n), {});
+  for (Vertex v = 0; v < n; ++v) {
+    s.labels_[static_cast<std::size_t>(v)].resize(static_cast<std::size_t>(k));
+  }
+  for (Vertex u = 0; u < n; ++u) {
+    const int i = h.level(u);
+    std::vector<Dist> limit(static_cast<std::size_t>(n));
+    for (Vertex v = 0; v < n; ++v) {
+      limit[static_cast<std::size_t>(v)] =
+          s.pivot_dist_[static_cast<std::size_t>(i + 1) * n + v];
+    }
+    ClusterGrow c = grow_cluster(g, u, limit);
+    s.trees_.emplace(
+        u, treeroute::TzTreeScheme::build(g, c.members, c.parent,
+                                          c.parent_port, u));
+    if (params.label_trick && i == 0) {
+      auto& tl = s.trick_labels_[u];
+      const auto& tree = s.trees_.at(u);
+      for (Vertex v : c.members) tl[v] = tree.label(v);
+    }
+  }
+
+  // Labels: for each level i, the pivot and (if member) the tree label.
+  for (Vertex v = 0; v < n; ++v) {
+    for (int i = 0; i < k; ++i) {
+      LabelEntry& le =
+          s.labels_[static_cast<std::size_t>(v)][static_cast<std::size_t>(i)];
+      le.pivot = s.pivot_at(i, v);
+      const auto it = s.trees_.find(le.pivot);
+      if (it != s.trees_.end() && it->second.contains(v)) {
+        le.member = true;
+        le.tree_label = it->second.label(v);
+      }
+    }
+  }
+  return s;
+}
+
+TzRoutingScheme::RouteResult TzRoutingScheme::route(Vertex u, Vertex v) const {
+  RouteResult r;
+  if (u == v) {
+    r.ok = true;
+    return r;
+  }
+  const auto& vlabel = labels_[static_cast<std::size_t>(v)];
+
+  // Find the tree (Algorithm 1 shape, plus the 4k-5 trick: if v lies in u's
+  // own level-0 cluster, u holds v's tree label locally and routes in C(u)).
+  const treeroute::TzTreeScheme* tree = nullptr;
+  const treeroute::TzTreeScheme::Label* dest = nullptr;
+  if (params_.label_trick && level_[static_cast<std::size_t>(u)] == 0) {
+    auto it = trick_labels_.find(u);
+    if (it != trick_labels_.end()) {
+      auto jt = it->second.find(v);
+      if (jt != it->second.end()) {
+        tree = &trees_.at(u);
+        dest = &jt->second;
+        r.tree_root = u;
+        r.tree_level = 0;
+      }
+    }
+  }
+  if (tree == nullptr) {
+    for (int i = 0; i < params_.k; ++i) {
+      const LabelEntry& le = vlabel[static_cast<std::size_t>(i)];
+      if (!le.member) continue;
+      const auto it = trees_.find(le.pivot);
+      if (it == trees_.end() || !it->second.contains(u)) continue;
+      tree = &it->second;
+      dest = &le.tree_label;
+      r.tree_root = le.pivot;
+      r.tree_level = i;
+      break;
+    }
+  }
+  if (tree == nullptr) return r;  // cannot happen with a valid hierarchy
+
+  // Walk the tree path over real edges.
+  Vertex x = u;
+  while (x != v) {
+    const std::int32_t port = treeroute::TzTreeScheme::next_hop(
+        tree->table(x), *dest);
+    NORS_CHECK_MSG(port != graph::kNoPort, "router stalled before arrival");
+    const auto& e = g_->edge(x, port);
+    r.length += e.w;
+    ++r.hops;
+    x = e.to;
+    NORS_CHECK_MSG(r.hops <= 4 * g_->n(), "routing loop detected");
+  }
+  r.ok = true;
+  return r;
+}
+
+std::int64_t TzRoutingScheme::table_words(Vertex v) const {
+  // Pivots (id+dist per level) + one tree table per cluster containing v.
+  std::int64_t words = 2LL * params_.k;
+  for (const auto& [root, tree] : trees_) {
+    if (tree.contains(v)) words += 2 + tree.table(v).words();
+  }
+  if (params_.label_trick) {
+    auto it = trick_labels_.find(v);
+    if (it != trick_labels_.end()) {
+      for (const auto& [dst, lbl] : it->second) words += 1 + lbl.words();
+    }
+  }
+  return words;
+}
+
+std::int64_t TzRoutingScheme::label_words(Vertex v) const {
+  std::int64_t words = 0;
+  for (const auto& le : labels_[static_cast<std::size_t>(v)]) {
+    words += 2 + (le.member ? le.tree_label.words() : 0);
+  }
+  return words;
+}
+
+int TzRoutingScheme::overlap(Vertex v) const {
+  int c = 0;
+  for (const auto& [root, tree] : trees_) {
+    if (tree.contains(v)) ++c;
+  }
+  return c;
+}
+
+}  // namespace nors::tz

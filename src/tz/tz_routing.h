@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "primitives/hierarchy.h"
+#include "treeroute/tz_tree.h"
+
+namespace nors::tz {
+
+/// The sequential Thorup–Zwick compact routing scheme (TZ01) — the paper's
+/// Table 1 baseline row. Built centrally with exact clusters and pivots:
+/// tables Õ(n^{1/k}) words, labels O(k log n) words, stretch 4k-5 with the
+/// cluster-label trick (4k-3 without).
+class TzRoutingScheme {
+ public:
+  struct Params {
+    int k = 3;
+    std::uint64_t seed = 1;
+    bool label_trick = true;
+  };
+
+  /// One entry of a vertex label: the level-i pivot and, when the vertex
+  /// belongs to that pivot's cluster, its tree label there.
+  struct LabelEntry {
+    graph::Vertex pivot = graph::kNoVertex;
+    bool member = false;
+    treeroute::TzTreeScheme::Label tree_label;
+  };
+
+  struct RouteResult {
+    bool ok = false;
+    graph::Dist length = 0;
+    int hops = 0;
+    graph::Vertex tree_root = graph::kNoVertex;
+    int tree_level = -1;
+  };
+
+  /// Builds the scheme centrally. Keeps a reference to `g`; the graph must
+  /// outlive the scheme and keep a stable address.
+  static TzRoutingScheme build(const graph::WeightedGraph& g,
+                               const Params& params);
+
+  /// Simulates routing a packet from u to v over real graph edges using
+  /// only u's table, intermediate tables, and v's label.
+  RouteResult route(graph::Vertex u, graph::Vertex v) const;
+
+  std::int64_t table_words(graph::Vertex v) const;
+  std::int64_t label_words(graph::Vertex v) const;
+  /// Number of clusters containing v (Claim 2 overlap).
+  int overlap(graph::Vertex v) const;
+  int k() const { return params_.k; }
+
+ private:
+  const graph::WeightedGraph* g_ = nullptr;
+  Params params_;
+  // Exact pivots: pivot_[i*n+v], pivot_dist_[i*n+v].
+  std::vector<graph::Vertex> pivot_;
+  std::vector<graph::Dist> pivot_dist_;
+  // Cluster trees keyed by root.
+  std::unordered_map<graph::Vertex, treeroute::TzTreeScheme> trees_;
+  // Per-vertex label: k entries.
+  std::vector<std::vector<LabelEntry>> labels_;
+  // Level of each vertex in the hierarchy (for the trick + stats).
+  std::vector<int> level_;
+  // Label trick: at roots of level-0 clusters, destination labels of every
+  // cluster member.
+  std::unordered_map<graph::Vertex,
+                     std::unordered_map<graph::Vertex,
+                                        treeroute::TzTreeScheme::Label>>
+      trick_labels_;
+
+  graph::Vertex pivot_at(int i, graph::Vertex v) const {
+    return pivot_[static_cast<std::size_t>(i) *
+                      static_cast<std::size_t>(g_->n()) +
+                  static_cast<std::size_t>(v)];
+  }
+};
+
+}  // namespace nors::tz

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+// Lightweight runtime contract checking. NORS_CHECK is always on (these guard
+// algorithmic invariants and interface preconditions, not hot inner loops);
+// violations throw std::logic_error with a file:line message so tests can
+// assert on them and callers can't silently continue with a broken invariant.
+
+namespace nors::util {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!message.empty()) os << " — " << message;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace nors::util
+
+#define NORS_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) ::nors::util::check_failed(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+
+#define NORS_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream nors_check_os_;                              \
+      nors_check_os_ << msg;                                          \
+      ::nors::util::check_failed(__FILE__, __LINE__, #cond,           \
+                                 nors_check_os_.str());               \
+    }                                                                 \
+  } while (0)

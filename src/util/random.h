@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nors::util {
+
+/// Deterministic, fast PRNG (xoshiro256++) seeded via splitmix64.
+///
+/// All randomized algorithms in the library take an explicit Rng so that
+/// every construction is reproducible from a single seed. `fork` derives an
+/// independent stream, which lets parallel phases draw from disjoint streams
+/// without coupling their consumption order.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& si : s_) si = splitmix64(x);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be positive.
+  std::uint64_t uniform(std::uint64_t bound) {
+    NORS_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    NORS_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform(i)]);
+    }
+  }
+
+  /// Derive an independent stream for a sub-phase.
+  Rng fork(std::uint64_t stream) {
+    return Rng(next() ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace nors::util

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "util/check.h"
+
+namespace nors::util {
+
+/// Exact rational ε used throughout the scheme. The paper fixes
+/// ε = 1/(48 k^4); we keep it as an explicit rational so every inequality of
+/// the form  a < c / (1+ε)^p  can be decided exactly in integers:
+///
+///   a < c / (1+ε)^p   ⟺   a · P^p < c · Q^p     with  1+ε = P/Q.
+///
+/// All distances are int64 (weights are integers ≤ poly(n), as the paper
+/// assumes), so with p ≤ 4 and the magnitudes used in this library the
+/// products fit in __int128; the constructor checks the headroom.
+class Epsilon {
+ public:
+  /// ε = num/den. Requires 0 < num ≤ den (so 0 < ε ≤ 1).
+  Epsilon(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    NORS_CHECK_MSG(num > 0 && den > 0 && num <= den,
+                   "epsilon must satisfy 0 < eps <= 1, got " << num << "/"
+                                                             << den);
+    const std::int64_t g = std::gcd(num, den);
+    num_ /= g;
+    den_ /= g;
+    // (1+eps)^4 = P^4/Q^4 must leave room for distances up to ~2^40.
+    NORS_CHECK_MSG(den_ + num_ < (std::int64_t{1} << 21),
+                   "epsilon denominator too large for exact arithmetic");
+  }
+
+  /// The paper's choice ε = 1/(48 k^4).
+  static Epsilon paper_value(int k) {
+    NORS_CHECK(k >= 1);
+    const std::int64_t k4 = std::int64_t{k} * k * k * k;
+    return Epsilon(1, 48 * k4);
+  }
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+  double value() const { return static_cast<double>(num_) / den_; }
+
+  /// Decide  a < c / (1+ε)^p  exactly. Infinite c (see kDistInf in graph.h)
+  /// must be handled by the caller; this function assumes finite operands.
+  bool less_than_div(std::int64_t a, std::int64_t c, int p) const {
+    NORS_CHECK(p >= 0 && p <= 8);
+    __int128 lhs = a;
+    __int128 rhs = c;
+    for (int i = 0; i < p; ++i) {
+      lhs *= (num_ + den_);  // a * P^p
+      rhs *= den_;           // c * Q^p
+    }
+    return lhs < rhs;
+  }
+
+  /// Decide  a ≤ (1+ε)^p · c  exactly.
+  bool leq_mul(std::int64_t a, std::int64_t c, int p) const {
+    NORS_CHECK(p >= 0 && p <= 8);
+    __int128 lhs = a;
+    __int128 rhs = c;
+    for (int i = 0; i < p; ++i) {
+      lhs *= den_;
+      rhs *= (num_ + den_);
+    }
+    return lhs <= rhs;
+  }
+
+  /// ceil(c · (1+ε)^p) — used only for reporting bounds, not for decisions.
+  std::int64_t mul_pow_ceil(std::int64_t c, int p) const {
+    __int128 numer = c;
+    __int128 denom = 1;
+    for (int i = 0; i < p; ++i) {
+      numer *= (num_ + den_);
+      denom *= den_;
+    }
+    return static_cast<std::int64_t>((numer + denom - 1) / denom);
+  }
+
+  std::string to_string() const {
+    return std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+ private:
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+}  // namespace nors::util

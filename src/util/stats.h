@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nors::util {
+
+/// Streaming min/max/mean/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  std::int64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double min_ = 0, max_ = 0, mean_ = 0, m2_ = 0, sum_ = 0;
+};
+
+/// Exact percentile of a sample (q in [0,1]); sorts a copy.
+double percentile(std::vector<double> values, double q);
+
+}  // namespace nors::util

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nors::util {
+
+/// Minimal ASCII table renderer used by the benchmark harness to print
+/// paper-style tables (Table 1 rows, scaling series, ...).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+  // Formatting helpers for cells.
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nors::util

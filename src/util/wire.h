@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nors::util {
+
+/// Word-oriented binary encoder. The paper measures every data structure in
+/// O(log n)-bit words; serializing each such word as one int64 makes the
+/// byte size of a blob exactly 8× its word count, so the codec doubles as a
+/// check that the library's words() accounting is honest (test_codec).
+class WordWriter {
+ public:
+  void put(std::int64_t w) { words_.push_back(w); }
+
+  std::size_t word_count() const { return words_.size(); }
+
+  std::vector<std::uint8_t> bytes() const {
+    std::vector<std::uint8_t> out(words_.size() * 8);
+    std::memcpy(out.data(), words_.data(), out.size());
+    return out;
+  }
+
+ private:
+  std::vector<std::int64_t> words_;
+};
+
+/// Matching decoder; throws on under/overrun.
+class WordReader {
+ public:
+  explicit WordReader(const std::vector<std::uint8_t>& bytes) {
+    NORS_CHECK_MSG(bytes.size() % 8 == 0, "blob is not word-aligned");
+    words_.resize(bytes.size() / 8);
+    std::memcpy(words_.data(), bytes.data(), bytes.size());
+  }
+
+  std::int64_t get() {
+    NORS_CHECK_MSG(pos_ < words_.size(), "decode past end of blob");
+    return words_[pos_++];
+  }
+
+  bool exhausted() const { return pos_ == words_.size(); }
+
+ private:
+  std::vector<std::int64_t> words_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nors::util

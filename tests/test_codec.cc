@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/serialize.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "treeroute/codec.h"
+
+namespace nors {
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+bool labels_equal(const treeroute::TzTreeScheme::Label& a,
+                  const treeroute::TzTreeScheme::Label& b) {
+  return a.a == b.a && a.light == b.light;
+}
+
+TEST(Codec, TzLabelRoundTrip) {
+  treeroute::TzTreeScheme::Label label;
+  label.a = 42;
+  label.light = {{3, 1}, {17, 0}, {99, 5}};
+  util::WordWriter w;
+  treeroute::encode(label, w);
+  // Exact size contract: words() + overhead.
+  EXPECT_EQ(static_cast<std::int64_t>(w.word_count()),
+            label.words() + treeroute::kLabelOverheadWords);
+  util::WordReader r(w.bytes());
+  const auto back = treeroute::decode_label(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_TRUE(labels_equal(label, back));
+}
+
+TEST(Codec, TzTableRoundTrip) {
+  treeroute::TzTreeScheme::Table t;
+  t.self = 7;
+  t.parent = 3;
+  t.parent_port = 2;
+  t.heavy = 11;
+  t.heavy_port = 0;
+  t.a = 5;
+  t.b = 19;
+  util::WordWriter w;
+  treeroute::encode(t, w);
+  EXPECT_EQ(static_cast<std::int64_t>(w.word_count()), t.words());
+  util::WordReader r(w.bytes());
+  const auto back = treeroute::decode_table(7, r);
+  EXPECT_EQ(back.self, 7);
+  EXPECT_EQ(back.parent, t.parent);
+  EXPECT_EQ(back.parent_port, t.parent_port);
+  EXPECT_EQ(back.heavy, t.heavy);
+  EXPECT_EQ(back.heavy_port, t.heavy_port);
+  EXPECT_EQ(back.a, t.a);
+  EXPECT_EQ(back.b, t.b);
+}
+
+TEST(Codec, DecodeErrorsAreLoud) {
+  util::WordWriter w;
+  w.put(1);
+  auto bytes = w.bytes();
+  bytes.push_back(0);  // misaligned
+  EXPECT_THROW(util::WordReader bad(bytes), std::logic_error);
+
+  util::WordReader r(w.bytes());
+  r.get();
+  EXPECT_THROW(r.get(), std::logic_error);  // past end
+}
+
+class SchemeCodecTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchemeCodecTest, VertexLabelsRoundTripWithExactSizes) {
+  const int k = GetParam();
+  util::Rng rng(1200 + static_cast<std::uint64_t>(k));
+  const auto g =
+      graph::connected_gnm(110, 280, graph::WeightSpec::uniform(1, 14), rng);
+  core::SchemeParams p;
+  p.k = k;
+  p.seed = 9;
+  const auto s = core::RoutingScheme::build(g, p);
+
+  for (Vertex v = 0; v < g.n(); v += 7) {
+    const auto bytes = core::encode_vertex_label(s, v);
+    // Byte size == 8 · (label_words + documented overhead): the words()
+    // accounting is exact, not an estimate.
+    EXPECT_EQ(static_cast<std::int64_t>(bytes.size()),
+              8 * (s.label_words(v) + core::vertex_label_overhead_words(s, v)))
+        << "v=" << v;
+    const auto dec = core::decode_vertex_label(bytes);
+    ASSERT_EQ(static_cast<int>(dec.levels.size()), k);
+    for (int i = 0; i < k; ++i) {
+      const auto& le = s.label_entry(v, i);
+      EXPECT_EQ(dec.levels[static_cast<std::size_t>(i)].pivot, le.pivot);
+      EXPECT_EQ(dec.levels[static_cast<std::size_t>(i)].pivot_dist,
+                le.pivot_dist);
+      EXPECT_EQ(dec.levels[static_cast<std::size_t>(i)].member, le.member);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SchemeCodecTest, ::testing::Values(2, 3, 4));
+
+TEST(Codec, RoutingFromDecodedLabelMatchesInMemoryRoute) {
+  // The decoded label is a complete packet header: routing with it hop by
+  // hop must reproduce route() exactly.
+  util::Rng rng(1301);
+  const auto g =
+      graph::connected_gnm(120, 300, graph::WeightSpec::uniform(1, 10), rng);
+  core::SchemeParams p;
+  p.k = 3;
+  p.seed = 21;
+  p.label_trick = false;  // route decisions purely from (label, tables)
+  const auto s = core::RoutingScheme::build(g, p);
+
+  for (Vertex u = 0; u < g.n(); u += 11) {
+    for (Vertex v = 4; v < g.n(); v += 13) {
+      if (u == v) continue;
+      const auto expect = s.route(u, v);
+      ASSERT_TRUE(expect.ok);
+      const auto dec = core::decode_vertex_label(core::encode_vertex_label(s, v));
+      // Find-tree from the decoded header.
+      const treeroute::DistTreeScheme* tree = nullptr;
+      const treeroute::DistTreeScheme::VLabel* dest = nullptr;
+      for (int i = 0; i < p.k; ++i) {
+        const auto& e = dec.levels[static_cast<std::size_t>(i)];
+        if (!e.member) continue;
+        const int idx = s.tree_index(e.pivot);
+        if (idx < 0) continue;
+        const auto& scheme_tree = s.tree_scheme(static_cast<std::size_t>(idx));
+        if (!scheme_tree.contains(u)) continue;
+        tree = &scheme_tree;
+        dest = &e.tree_label;
+        break;
+      }
+      ASSERT_NE(tree, nullptr);
+      Dist len = 0;
+      Vertex x = u;
+      int guard = 0;
+      while (x != v) {
+        const auto port = tree->next_hop(x, *dest);
+        ASSERT_NE(port, graph::kNoPort);
+        len += g.edge(x, port).w;
+        x = g.edge(x, port).to;
+        ASSERT_LE(++guard, 4 * g.n());
+      }
+      EXPECT_EQ(len, expect.length) << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nors

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "congest/ledger.h"
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "primitives/bfs_tree.h"
+#include "primitives/pipelined.h"
+
+namespace nors {
+namespace {
+
+using congest::Message;
+using graph::Vertex;
+
+TEST(Message, WordBudgetEnforced) {
+  EXPECT_NO_THROW(Message::make(1, {1, 2, 3, 4}));
+  EXPECT_THROW(Message::make(1, {1, 2, 3, 4, 5}), std::logic_error);
+}
+
+/// A program where vertex 0 sends `burst` messages to vertex 1 in round 1;
+/// with edge capacity 1 they must be delivered over `burst` rounds.
+class BurstProgram : public congest::NodeProgram {
+ public:
+  explicit BurstProgram(int burst) : burst_(burst) {}
+  void begin(congest::Network& net) override { net.wake(0); }
+  void on_round(Vertex v, const std::vector<Message>& inbox,
+                congest::Sender& out) override {
+    if (v == 0 && !sent_) {
+      sent_ = true;
+      for (int i = 0; i < burst_; ++i) {
+        out.send(0, Message::make(0, {i}));
+      }
+    }
+    if (v == 1) {
+      for (const auto& m : inbox) arrivals_.push_back(m.w[0]);
+      per_round_.push_back(static_cast<int>(inbox.size()));
+    }
+  }
+  int burst_;
+  bool sent_ = false;
+  std::vector<std::int64_t> arrivals_;
+  std::vector<int> per_round_;
+};
+
+TEST(Network, CapacityQueuesBursts) {
+  graph::WeightedGraph g(2);
+  g.add_edge(0, 1, 1);
+  BurstProgram prog(5);
+  congest::Network net(g, {.edge_capacity = 1});
+  const auto stats = net.run(prog);
+  ASSERT_EQ(prog.arrivals_.size(), 5u);
+  // FIFO order and one delivery per round.
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(prog.arrivals_[i], i);
+  for (int c : prog.per_round_) EXPECT_EQ(c, 1);
+  EXPECT_GE(stats.rounds, 5);
+  EXPECT_EQ(stats.messages_delivered, 5);
+  EXPECT_GE(stats.max_link_backlog, 4);
+}
+
+TEST(Network, HigherCapacityDrainsFaster) {
+  graph::WeightedGraph g(2);
+  g.add_edge(0, 1, 1);
+  BurstProgram prog(6);
+  congest::Network net(g, {.edge_capacity = 3});
+  net.run(prog);
+  ASSERT_EQ(prog.arrivals_.size(), 6u);
+  EXPECT_EQ(prog.per_round_[0], 3);
+  EXPECT_EQ(prog.per_round_[1], 3);
+}
+
+TEST(Network, MaxRoundsGuards) {
+  graph::WeightedGraph g(2);
+  g.add_edge(0, 1, 1);
+
+  /// Ping-pong forever.
+  class Forever : public congest::NodeProgram {
+   public:
+    void begin(congest::Network& net) override { net.wake(0); }
+    void on_round(Vertex, const std::vector<Message>&,
+                  congest::Sender& out) override {
+      out.send(0, Message::make(0, {1}));
+    }
+  } prog;
+  congest::Network net(g, {.edge_capacity = 1, .max_rounds = 50});
+  EXPECT_THROW(net.run(prog), std::logic_error);
+}
+
+TEST(BfsTree, MatchesCentralizedDepths) {
+  util::Rng rng(21);
+  const auto g = graph::connected_gnm(150, 300, graph::WeightSpec::uniform(1, 9), rng);
+  const auto d = primitives::distributed_bfs_tree(g, 0);
+  const auto c = primitives::centralized_bfs_tree(g, 0);
+  ASSERT_EQ(d.depth.size(), c.depth.size());
+  for (std::size_t v = 0; v < d.depth.size(); ++v) {
+    EXPECT_EQ(d.depth[v], c.depth[v]) << "v=" << v;
+  }
+  EXPECT_EQ(d.height, c.height);
+  // Construction takes Θ(height) rounds.
+  EXPECT_LE(d.construction_rounds, 3 * d.height + 5);
+}
+
+TEST(BfsTree, RoundsScaleWithDiameterNotSize) {
+  util::Rng rng(22);
+  const auto small_diam = graph::connected_gnm(300, 1500, graph::WeightSpec::unit(), rng);
+  const auto big_diam = graph::path(300, graph::WeightSpec::unit(), rng);
+  const auto a = primitives::distributed_bfs_tree(small_diam, 0);
+  const auto b = primitives::distributed_bfs_tree(big_diam, 0);
+  EXPECT_LT(a.construction_rounds, 30);
+  EXPECT_GT(b.construction_rounds, 250);
+}
+
+TEST(Pipelined, FormulaBoundsSimulatedRuns) {
+  util::Rng rng(23);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto g = graph::connected_gnm(60 + 30 * trial, 150,
+                                        graph::WeightSpec::unit(), rng);
+    const auto tree = primitives::centralized_bfs_tree(g, 0);
+    std::vector<int> tokens(static_cast<std::size_t>(g.n()), 0);
+    int total = 0;
+    for (Vertex v = 0; v < g.n(); v += 7) {
+      tokens[static_cast<std::size_t>(v)] = 1 + (v % 3);
+      total += tokens[static_cast<std::size_t>(v)];
+    }
+    const auto rounds = primitives::simulate_pipelined_broadcast(g, tree, tokens);
+    const auto bound = primitives::pipelined_broadcast_rounds(total, tree.height);
+    // Lemma 1: O(M + D). The formula is the documented charge; the real run
+    // must stay within it (+slack for the initial wake round).
+    EXPECT_LE(rounds, bound + 2) << "n=" << g.n() << " M=" << total;
+    // And the broadcast cannot beat the information-theoretic floor.
+    EXPECT_GE(rounds, std::max<std::int64_t>(total, tree.height));
+  }
+}
+
+TEST(Pipelined, ZeroMessagesCostsNothing) {
+  EXPECT_EQ(primitives::pipelined_broadcast_rounds(0, 10), 0);
+}
+
+/// Echo program: vertex 1 reports the arrival port and sender of whatever
+/// it receives, so we can pin the simulator's delivery metadata.
+class EchoProgram : public congest::NodeProgram {
+ public:
+  void begin(congest::Network& net) override { net.wake(0); }
+  void on_round(Vertex v, const std::vector<Message>& inbox,
+                congest::Sender& out) override {
+    if (v == 0 && !sent_) {
+      sent_ = true;
+      out.send(0, Message::make(7, {123}));
+    }
+    if (v == 1) {
+      for (const auto& m : inbox) {
+        from_ = m.from;
+        arrival_port_ = m.arrival_port;
+        tag_ = m.tag;
+        payload_ = m.w[0];
+      }
+    }
+  }
+  bool sent_ = false;
+  Vertex from_ = graph::kNoVertex;
+  std::int32_t arrival_port_ = graph::kNoPort;
+  std::uint16_t tag_ = 0;
+  std::int64_t payload_ = 0;
+};
+
+TEST(Network, DeliveryMetadataIsAccurate) {
+  // Triangle so vertex 1 has two ports; the message from 0 must arrive on
+  // the port whose reverse leads back to 0.
+  graph::WeightedGraph g(3);
+  g.add_edge(1, 2, 1);  // port 0 of 1 -> 2
+  g.add_edge(0, 1, 1);  // port 1 of 1 -> 0
+  g.add_edge(0, 2, 1);
+  EchoProgram prog;
+  congest::Network net(g, {});
+  net.run(prog);
+  EXPECT_EQ(prog.from_, 0);
+  EXPECT_EQ(prog.tag_, 7);
+  EXPECT_EQ(prog.payload_, 123);
+  ASSERT_NE(prog.arrival_port_, graph::kNoPort);
+  EXPECT_EQ(g.edge(1, prog.arrival_port_).to, 0);
+}
+
+TEST(Network, ReusableAcrossRuns) {
+  // The same Network object must produce identical statistics for repeated
+  // runs of equivalent programs (state fully reset).
+  graph::WeightedGraph g(2);
+  g.add_edge(0, 1, 1);
+  congest::Network net(g, {});
+  BurstProgram p1(4), p2(4);
+  const auto s1 = net.run(p1);
+  const auto s2 = net.run(p2);
+  EXPECT_EQ(s1.rounds, s2.rounds);
+  EXPECT_EQ(s1.messages_sent, s2.messages_sent);
+}
+
+TEST(Ledger, MergeAndTotals) {
+  congest::RoundLedger a, b;
+  a.add("x", congest::CostKind::kSimulated, 10, 5);
+  b.add("y", congest::CostKind::kAccounted, 20, 7, "note");
+  a.merge(b);
+  EXPECT_EQ(a.total_rounds(), 30);
+  EXPECT_EQ(a.simulated_rounds(), 10);
+  EXPECT_EQ(a.accounted_rounds(), 20);
+  EXPECT_EQ(a.entries().size(), 2u);
+  EXPECT_THROW(a.add("neg", congest::CostKind::kSimulated, -1),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace nors

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distance_estimation.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+
+namespace nors {
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+struct Case {
+  int k;
+  std::uint64_t seed;
+};
+
+class EstimationTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EstimationTest, NeverUnderestimatesAndWithinBound) {
+  const auto [k, seed] = GetParam();
+  util::Rng rng(seed);
+  const auto g =
+      graph::connected_gnm(120, 300, graph::WeightSpec::uniform(1, 25), rng);
+  core::SchemeParams p;
+  p.k = k;
+  p.seed = seed;
+  const auto scheme = core::RoutingScheme::build(g, p);
+  const auto de = core::DistanceEstimation::build(scheme);
+  const double bound = de.stretch_bound() + 1e-9;
+
+  for (Vertex u = 0; u < g.n(); u += 4) {
+    const auto sp = graph::dijkstra(g, u);
+    for (Vertex v = 0; v < g.n(); v += 6) {
+      const auto q = de.estimate(u, v);
+      const Dist d = sp.dist[static_cast<std::size_t>(v)];
+      if (u == v) {
+        EXPECT_EQ(q.estimate, 0);
+        continue;
+      }
+      EXPECT_GE(q.estimate, d) << "u=" << u << " v=" << v;
+      EXPECT_LE(static_cast<double>(q.estimate),
+                bound * static_cast<double>(d))
+          << "u=" << u << " v=" << v;
+      EXPECT_LE(q.iterations, k);
+      EXPECT_GE(q.iterations, 1);
+    }
+  }
+  // Bound is in the 2k-1+o(1) regime.
+  EXPECT_LE(de.stretch_bound(), 2 * k - 1 + 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, EstimationTest,
+                         ::testing::Values(Case{1, 601}, Case{2, 602},
+                                           Case{3, 603}, Case{4, 604},
+                                           Case{5, 605}));
+
+TEST(Estimation, SketchSizesShrinkWithK) {
+  util::Rng rng(611);
+  const auto g =
+      graph::connected_gnm(300, 750, graph::WeightSpec::uniform(1, 9), rng);
+  double avg2 = 0, avg5 = 0;
+  {
+    core::SchemeParams p;
+    p.k = 2;
+    p.seed = 5;
+    const auto de =
+        core::DistanceEstimation::build(core::RoutingScheme::build(g, p));
+    for (Vertex v = 0; v < g.n(); ++v) {
+      avg2 += static_cast<double>(de.sketch_words(v));
+    }
+  }
+  {
+    core::SchemeParams p;
+    p.k = 5;
+    p.seed = 5;
+    const auto de =
+        core::DistanceEstimation::build(core::RoutingScheme::build(g, p));
+    for (Vertex v = 0; v < g.n(); ++v) {
+      avg5 += static_cast<double>(de.sketch_words(v));
+    }
+  }
+  // k=2 sketches carry ~n^{1/2}-size memberships; k=5 ~n^{1/5}: the average
+  // must clearly shrink.
+  EXPECT_LT(avg5, avg2);
+}
+
+TEST(Estimation, SymmetricInputsAgreeOnDiagonal) {
+  util::Rng rng(612);
+  const auto g = graph::connected_gnm(80, 200, graph::WeightSpec::uniform(1, 9), rng);
+  core::SchemeParams p;
+  p.k = 3;
+  p.seed = 8;
+  const auto de =
+      core::DistanceEstimation::build(core::RoutingScheme::build(g, p));
+  for (Vertex v = 0; v < g.n(); v += 5) {
+    EXPECT_EQ(de.estimate(v, v).estimate, 0);
+  }
+}
+
+TEST(Estimation, AlgorithmTwoSwapsRoles) {
+  // Algorithm 2 alternates the roles of u and v between iterations; on
+  // graphs where the first pivot's cluster misses v, the estimate must be
+  // produced from a later, swapped iteration — verify multi-iteration
+  // queries occur and still satisfy the bound.
+  util::Rng rng(621);
+  const auto g =
+      graph::connected_gnm(150, 360, graph::WeightSpec::uniform(1, 40), rng);
+  core::SchemeParams p;
+  p.k = 4;
+  p.seed = 29;
+  const auto de =
+      core::DistanceEstimation::build(core::RoutingScheme::build(g, p));
+  int multi_iter = 0;
+  for (Vertex u = 0; u < g.n(); u += 4) {
+    for (Vertex v = 1; v < g.n(); v += 7) {
+      if (u == v) continue;
+      if (de.estimate(u, v).iterations >= 2) ++multi_iter;
+    }
+  }
+  EXPECT_GT(multi_iter, 0) << "every query ended at iteration 1 — the swap "
+                              "logic of Algorithm 2 is never exercised";
+}
+
+TEST(Estimation, OneSidedLabelEstimateBounds) {
+  // Footnote-6 property: sketch of u + O(k log n) label of v suffice; the
+  // guarantee is the routing-stretch class.
+  util::Rng rng(622);
+  const auto g =
+      graph::connected_gnm(130, 330, graph::WeightSpec::uniform(1, 20), rng);
+  core::SchemeParams p;
+  p.k = 3;
+  p.seed = 30;
+  const auto s = core::RoutingScheme::build(g, p);
+  const auto de = core::DistanceEstimation::build(s);
+  const double bound =
+      core::stretch_bound(3, p.epsilon(), /*label_trick=*/false) + 1e-9;
+  for (Vertex u = 0; u < g.n(); u += 5) {
+    const auto sp = graph::dijkstra(g, u);
+    for (Vertex v = 2; v < g.n(); v += 8) {
+      if (u == v) continue;
+      const auto q = de.estimate_from_label(u, v);
+      const Dist d = sp.dist[static_cast<std::size_t>(v)];
+      EXPECT_GE(q.estimate, d);
+      EXPECT_LE(static_cast<double>(q.estimate), bound * d);
+      EXPECT_LE(q.iterations, 3);
+    }
+  }
+  EXPECT_EQ(de.label_words(0), 9);  // 3 words per level
+}
+
+TEST(Estimation, QueryIsOKTime) {
+  // Algorithm 2 touches only sketches: iterations ≤ k regardless of n.
+  util::Rng rng(613);
+  const auto g = graph::connected_gnm(200, 500, graph::WeightSpec::uniform(1, 9), rng);
+  core::SchemeParams p;
+  p.k = 4;
+  p.seed = 13;
+  const auto de =
+      core::DistanceEstimation::build(core::RoutingScheme::build(g, p));
+  int max_iters = 0;
+  for (Vertex u = 0; u < g.n(); u += 3) {
+    for (Vertex v = 1; v < g.n(); v += 7) {
+      max_iters = std::max(max_iters, de.estimate(u, v).iterations);
+    }
+  }
+  EXPECT_LE(max_iters, 4);
+}
+
+}  // namespace
+}  // namespace nors

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "hopset/hopset.h"
+
+namespace nors {
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+hopset::HopsetParams params(std::int64_t num, std::int64_t den, int levels,
+                            std::uint64_t seed) {
+  return hopset::HopsetParams{util::Epsilon(num, den), levels, seed, 0.5};
+}
+
+TEST(Hopset, BetaGuaranteeHolds) {
+  util::Rng rng(51);
+  const auto g =
+      graph::connected_gnm(80, 160, graph::WeightSpec::uniform(1, 40), rng);
+  const auto p = params(1, 10, 2, 7);
+  const auto hs = hopset::build_hopset(g, p, 3);
+  ASSERT_GE(hs.beta, 1);
+  // Verify: β-hop distances over G ∪ F within (1+ε) of exact, all pairs.
+  for (Vertex src = 0; src < g.n(); ++src) {
+    const auto exact = graph::dijkstra(g, src);
+    const auto bounded =
+        hopset::bounded_hop_distances_with_hopset(g, hs.edges, src, hs.beta);
+    for (Vertex v = 0; v < g.n(); ++v) {
+      const Dist t = exact.dist[static_cast<std::size_t>(v)];
+      if (graph::is_inf(t)) continue;
+      EXPECT_GE(bounded[static_cast<std::size_t>(v)], t);
+      EXPECT_TRUE(p.eps.leq_mul(bounded[static_cast<std::size_t>(v)], t, 1))
+          << "src=" << src << " v=" << v;
+    }
+  }
+}
+
+TEST(Hopset, BetaIsMinimal) {
+  // beta-1 hops must violate the guarantee for at least one pair (otherwise
+  // the measured beta would have been smaller).
+  util::Rng rng(52);
+  const auto g = graph::connected_gnm(60, 110, graph::WeightSpec::uniform(1, 25), rng);
+  const auto p = params(1, 12, 2, 9);
+  const auto hs = hopset::build_hopset(g, p, 3);
+  if (hs.beta <= 1) GTEST_SKIP() << "graph too easy; nothing to check";
+  bool violated = false;
+  for (Vertex src = 0; src < g.n() && !violated; ++src) {
+    const auto exact = graph::dijkstra(g, src);
+    const auto bounded = hopset::bounded_hop_distances_with_hopset(
+        g, hs.edges, src, hs.beta - 1);
+    for (Vertex v = 0; v < g.n(); ++v) {
+      const Dist t = exact.dist[static_cast<std::size_t>(v)];
+      if (graph::is_inf(t)) continue;
+      if (!p.eps.leq_mul(bounded[static_cast<std::size_t>(v)], t, 1)) {
+        violated = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(Hopset, PathReportingProperty) {
+  util::Rng rng(53);
+  const auto g =
+      graph::connected_gnm(70, 150, graph::WeightSpec::uniform(1, 30), rng);
+  const auto hs = hopset::build_hopset(g, params(1, 8, 3, 11), 3);
+  // Property 1: every hopset edge is realized by a real path whose prefix
+  // sums match — checked edge by edge inside.
+  EXPECT_NO_THROW(hs.check_path_reporting(g));
+  EXPECT_GT(hs.edges.size(), 0u);
+  // Hopset edge weights equal exact distances between their endpoints.
+  for (std::size_t i = 0; i < std::min<std::size_t>(hs.edges.size(), 25); ++i) {
+    const auto& e = hs.edges[i];
+    EXPECT_EQ(e.w, graph::pair_distance(g, e.u, e.v));
+  }
+}
+
+TEST(Hopset, SmallerEpsilonNeedsMoreHops) {
+  util::Rng rng(54);
+  const auto g = graph::connected_gnm(70, 130, graph::WeightSpec::uniform(1, 50), rng);
+  const auto loose = hopset::build_hopset(g, params(1, 2, 2, 13), 3);
+  const auto tight = hopset::build_hopset(g, params(1, 1000, 2, 13), 3);
+  EXPECT_LE(loose.beta, tight.beta);
+}
+
+TEST(Hopset, TrivialGraphs) {
+  graph::WeightedGraph g1(1);
+  const auto h1 = hopset::build_hopset(g1, params(1, 4, 2, 1), 0);
+  EXPECT_GE(h1.beta, 1);
+
+  graph::WeightedGraph g2(2);
+  g2.add_edge(0, 1, 3);
+  const auto h2 = hopset::build_hopset(g2, params(1, 4, 2, 1), 0);
+  EXPECT_GE(h2.beta, 1);
+}
+
+TEST(Hopset, RoundCostGrowsWithBeta) {
+  util::Rng rng(55);
+  const auto g = graph::connected_gnm(50, 90, graph::WeightSpec::uniform(1, 20), rng);
+  const auto hs = hopset::build_hopset(g, params(1, 6, 2, 17), 4);
+  EXPECT_GT(hs.round_cost, 0);
+  // Charge formula: (m^{1+rho} + 2D)·β².
+  const double expected =
+      (std::pow(50.0, 1.5) + 8.0) * hs.beta * hs.beta;
+  EXPECT_NEAR(static_cast<double>(hs.round_cost), expected, expected * 0.01);
+}
+
+}  // namespace
+}  // namespace nors

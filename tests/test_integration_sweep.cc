@@ -1,0 +1,134 @@
+// Property sweep: the full pipeline (scheme + estimation + one-sided
+// estimation) across a grid of topologies × k. Every case asserts the
+// paper's end-to-end guarantees; topology-specific quirks (high diameter,
+// heavy hubs, locality, unit weights) each stress different phases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distance_estimation.h"
+#include "core/scheme.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "graph/shortest_paths.h"
+
+namespace nors {
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+struct SweepCase {
+  const char* topology;
+  int k;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  return std::string(info.param.topology) + "_k" +
+         std::to_string(info.param.k);
+}
+
+graph::WeightedGraph build_topology(const char* name, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::string t = name;
+  if (t == "gnm") {
+    return graph::connected_gnm(140, 360, graph::WeightSpec::uniform(1, 25),
+                                rng);
+  }
+  if (t == "torus") {
+    return graph::torus(10, 14, graph::WeightSpec::uniform(1, 50), rng);
+  }
+  if (t == "hypercube") {
+    return graph::hypercube(7, graph::WeightSpec::uniform(1, 12), rng);
+  }
+  if (t == "barabasi") {
+    return graph::barabasi_albert(140, 3, graph::WeightSpec::uniform(1, 9),
+                                  rng);
+  }
+  if (t == "geometric") {
+    return graph::random_geometric(130, 0.13, 400, rng);
+  }
+  if (t == "clustered") {
+    return graph::clustered(140, 7, 0.3, 80, graph::WeightSpec::uniform(1, 8),
+                            rng);
+  }
+  if (t == "lollipop") {
+    return graph::lollipop(120, 30, graph::WeightSpec::uniform(1, 6), rng);
+  }
+  if (t == "fat_tree") {
+    return graph::fat_tree(6, 3, 4, 3, graph::WeightSpec::unit(), rng);
+  }
+  NORS_CHECK_MSG(false, "unknown topology " << name);
+}
+
+class PipelineSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PipelineSweep, AllGuaranteesHold) {
+  const auto c = GetParam();
+  const auto g = build_topology(c.topology, c.seed);
+  core::SchemeParams p;
+  p.k = c.k;
+  p.seed = c.seed;
+  const auto s = core::RoutingScheme::build(g, p);
+  const auto de = core::DistanceEstimation::build(s);
+
+  EXPECT_EQ(s.pruned_members(), 0);
+  const double route_bound = s.stretch_bound() + 1e-9;
+  const double est_bound = de.stretch_bound() + 1e-9;
+  // One-sided estimation takes the routing path, so the routing bound
+  // (without the trick's head start — level 0 may be skipped) applies.
+  const double label_bound =
+      core::stretch_bound(c.k, p.epsilon(), /*label_trick=*/false) + 1e-9;
+
+  for (Vertex u = 0; u < g.n(); u += 6) {
+    const auto sp = graph::dijkstra(g, u);
+    for (Vertex v = 2; v < g.n(); v += 9) {
+      if (u == v) continue;
+      const Dist d = sp.dist[static_cast<std::size_t>(v)];
+      ASSERT_GT(d, 0);
+
+      const auto r = s.route(u, v);
+      ASSERT_TRUE(r.ok) << c.topology << " u=" << u << " v=" << v;
+      EXPECT_GE(r.length, d);
+      EXPECT_LE(static_cast<double>(r.length), route_bound * d)
+          << c.topology << " u=" << u << " v=" << v;
+
+      const auto e = de.estimate(u, v);
+      EXPECT_GE(e.estimate, d);
+      EXPECT_LE(static_cast<double>(e.estimate), est_bound * d)
+          << c.topology << " u=" << u << " v=" << v;
+      EXPECT_LE(e.iterations, c.k);
+
+      const auto le = de.estimate_from_label(u, v);
+      EXPECT_GE(le.estimate, d);
+      EXPECT_LE(static_cast<double>(le.estimate), label_bound * d)
+          << c.topology << " u=" << u << " v=" << v;
+    }
+  }
+
+  // Claim-2 overlap bound holds on every topology.
+  const double claim2 =
+      4.0 * std::pow(g.n(), 1.0 / c.k) * std::log(std::max(2, g.n()));
+  for (Vertex v = 0; v < g.n(); v += 4) {
+    EXPECT_LE(s.overlap(v), claim2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, PipelineSweep,
+    ::testing::Values(
+        SweepCase{"gnm", 2, 1101}, SweepCase{"gnm", 3, 1102},
+        SweepCase{"gnm", 4, 1103}, SweepCase{"torus", 2, 1104},
+        SweepCase{"torus", 3, 1105}, SweepCase{"torus", 5, 1106},
+        SweepCase{"hypercube", 3, 1107}, SweepCase{"hypercube", 4, 1108},
+        SweepCase{"barabasi", 2, 1109}, SweepCase{"barabasi", 3, 1110},
+        SweepCase{"geometric", 3, 1111}, SweepCase{"geometric", 4, 1112},
+        SweepCase{"clustered", 2, 1113}, SweepCase{"clustered", 4, 1114},
+        SweepCase{"lollipop", 3, 1115}, SweepCase{"lollipop", 4, 1116},
+        SweepCase{"fat_tree", 2, 1117}, SweepCase{"fat_tree", 3, 1118}),
+    case_name);
+
+}  // namespace
+}  // namespace nors

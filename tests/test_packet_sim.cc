@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "congest/message.h"
+#include "core/packet_sim.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+
+namespace nors {
+namespace {
+
+using graph::Vertex;
+
+TEST(PacketSim, DeliversWithSchemeRouteGeometry) {
+  util::Rng rng(801);
+  const auto g =
+      graph::connected_gnm(100, 250, graph::WeightSpec::uniform(1, 12), rng);
+  core::SchemeParams p;
+  p.k = 3;
+  p.seed = 4;
+  const auto s = core::RoutingScheme::build(g, p);
+  for (Vertex u = 0; u < g.n(); u += 9) {
+    for (Vertex v = 3; v < g.n(); v += 13) {
+      if (u == v) continue;
+      const auto d = core::simulate_packet(g, s, u, v);
+      const auto r = s.route(u, v);
+      ASSERT_TRUE(d.ok) << "u=" << u << " v=" << v;
+      // The simulated packet walks exactly the path route() computes.
+      EXPECT_EQ(d.hops, r.hops);
+      EXPECT_EQ(d.length, r.length);
+      // Per-hop latency = header words / message words, so total delivery
+      // rounds are hops · ceil(header/words) (±1 for the send round).
+      const std::int64_t per_hop =
+          (d.header_words + congest::kMaxWords - 1) / congest::kMaxWords;
+      EXPECT_LE(d.rounds, (per_hop + 1) * (r.hops + 1) + 2);
+      EXPECT_GE(d.rounds, static_cast<std::int64_t>(r.hops));
+    }
+  }
+}
+
+TEST(PacketSim, SelfDeliveryIsFree) {
+  util::Rng rng(802);
+  const auto g = graph::connected_gnm(40, 100, graph::WeightSpec::unit(), rng);
+  core::SchemeParams p;
+  p.k = 2;
+  p.seed = 5;
+  const auto s = core::RoutingScheme::build(g, p);
+  const auto d = core::simulate_packet(g, s, 7, 7);
+  EXPECT_TRUE(d.ok);
+  EXPECT_EQ(d.hops, 0);
+  EXPECT_EQ(d.rounds, 0);
+}
+
+TEST(PacketSim, HeaderSizeIsLabelSize) {
+  util::Rng rng(803);
+  const auto g = graph::connected_gnm(120, 300, graph::WeightSpec::uniform(1, 9), rng);
+  core::SchemeParams p;
+  p.k = 4;
+  p.seed = 6;
+  const auto s = core::RoutingScheme::build(g, p);
+  const auto d = core::simulate_packet(g, s, 0, 77);
+  EXPECT_EQ(d.header_words, 2 + s.label_words(77));
+}
+
+}  // namespace
+}  // namespace nors

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "graph/shortest_paths.h"
+#include "primitives/cluster_bf.h"
+#include "primitives/hierarchy.h"
+#include "primitives/set_bf.h"
+#include "primitives/source_detection.h"
+
+namespace nors {
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+TEST(Hierarchy, ShapeAndNesting) {
+  util::Rng rng(31);
+  const auto h = primitives::Hierarchy::sample(500, 4, rng);
+  EXPECT_EQ(h.k(), 4);
+  EXPECT_EQ(h.set_at(0).size(), 500u);
+  EXPECT_TRUE(h.set_at(4).empty());
+  EXPECT_FALSE(h.set_at(3).empty());
+  // Nesting: A_3 ⊆ A_2 ⊆ A_1 ⊆ A_0, and sizes shrink.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_LE(h.set_at(i).size(), h.set_at(i - 1).size());
+    for (Vertex v : h.set_at(i)) EXPECT_TRUE(h.in_set(v, i - 1));
+  }
+  // exactly_at partitions A_0.
+  std::size_t total = 0;
+  for (int i = 0; i < 4; ++i) total += h.exactly_at(i).size();
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(Hierarchy, ExpectedSizes) {
+  // E|A_1| = n^{1-1/k}; check within a loose factor.
+  util::Rng rng(32);
+  const int n = 2000, k = 2;
+  const auto h = primitives::Hierarchy::sample(n, k, rng);
+  const double expected = std::pow(n, 0.5);
+  EXPECT_GT(h.set_at(1).size(), expected / 3);
+  EXPECT_LT(h.set_at(1).size(), expected * 3);
+}
+
+TEST(Hierarchy, KOneHasOnlyLevelZero) {
+  util::Rng rng(33);
+  const auto h = primitives::Hierarchy::sample(50, 1, rng);
+  EXPECT_EQ(h.set_at(0).size(), 50u);
+  EXPECT_TRUE(h.set_at(1).empty());
+}
+
+TEST(SetBf, MatchesMultiSourceDijkstra) {
+  util::Rng rng(34);
+  const auto g =
+      graph::connected_gnm(120, 260, graph::WeightSpec::uniform(1, 30), rng);
+  const std::vector<Vertex> set{5, 60, 110};
+  const auto bf = primitives::distributed_set_bellman_ford(g, set);
+  const auto dj = graph::multi_source_dijkstra(g, set);
+  for (Vertex v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(bf.dist[static_cast<std::size_t>(v)],
+              dj.dist[static_cast<std::size_t>(v)])
+        << "v=" << v;
+  }
+  // Parents are real edges pointing strictly closer to the set.
+  for (Vertex v = 0; v < g.n(); ++v) {
+    if (bf.dist[static_cast<std::size_t>(v)] == 0) continue;
+    const auto port = bf.parent_port[static_cast<std::size_t>(v)];
+    ASSERT_NE(port, graph::kNoPort);
+    const auto& e = g.edge(v, port);
+    EXPECT_EQ(bf.dist[static_cast<std::size_t>(v)],
+              bf.dist[static_cast<std::size_t>(e.to)] + e.w);
+  }
+}
+
+TEST(SetBf, RoundsTrackDistanceNotSize) {
+  util::Rng rng(35);
+  // Dense graph, sources everywhere: few rounds.
+  const auto g = graph::connected_gnm(400, 3000, graph::WeightSpec::unit(), rng);
+  std::vector<Vertex> many;
+  for (Vertex v = 0; v < g.n(); v += 4) many.push_back(v);
+  const auto r = primitives::distributed_set_bellman_ford(g, many);
+  EXPECT_LT(r.rounds, 60);
+}
+
+TEST(ClusterBf, ComputesExactClustersUnderLimit) {
+  util::Rng rng(36);
+  const auto g =
+      graph::connected_gnm(90, 200, graph::WeightSpec::uniform(1, 12), rng);
+  // Limit: distance to a sampled set (mimicking d(v, A_{i+1})).
+  const std::vector<Vertex> limit_set{7, 33, 71};
+  const auto lim = graph::multi_source_dijkstra(g, limit_set);
+  const std::vector<Vertex> roots{0, 20, 50, 88};
+  const auto admit = [&](Vertex v, Vertex, Dist b) {
+    return b < lim.dist[static_cast<std::size_t>(v)];
+  };
+  const auto res = primitives::distributed_cluster_bellman_ford(g, roots, admit);
+
+  // Ground truth: v ∈ C(u) iff d(u,v) < lim(v), with exact distance; the
+  // cluster-BF tree must find exactly those members at exact distances
+  // (every prefix vertex of the shortest path is itself admitted, so the
+  // exploration cannot be blocked).
+  for (Vertex u : roots) {
+    const auto sp = graph::dijkstra(g, u);
+    for (Vertex v = 0; v < g.n(); ++v) {
+      const bool in_cluster =
+          sp.dist[static_cast<std::size_t>(v)] <
+          lim.dist[static_cast<std::size_t>(v)];
+      const auto& entries = res.entries[static_cast<std::size_t>(v)];
+      const auto it = entries.find(u);
+      if (in_cluster) {
+        ASSERT_TRUE(it != entries.end()) << "u=" << u << " v=" << v;
+        EXPECT_EQ(it->second.dist, sp.dist[static_cast<std::size_t>(v)]);
+      } else if (it != entries.end()) {
+        // A member may exist only if its own shortest-path prefix admitted
+        // it; with exact BF this should coincide with the definition.
+        ADD_FAILURE() << "vertex " << v << " wrongly joined cluster of " << u;
+      }
+    }
+  }
+
+  // Tree property: parents are members with consistent distances.
+  for (Vertex v = 0; v < g.n(); ++v) {
+    for (const auto& [root, e] : res.entries[static_cast<std::size_t>(v)]) {
+      if (v == root) continue;
+      ASSERT_NE(e.parent_port, graph::kNoPort);
+      const auto& edge = g.edge(v, e.parent_port);
+      EXPECT_EQ(edge.to, e.parent);
+      const auto& pentries = res.entries[static_cast<std::size_t>(e.parent)];
+      const auto pit = pentries.find(root);
+      ASSERT_TRUE(pit != pentries.end());
+      EXPECT_EQ(e.dist, pit->second.dist + edge.w);
+    }
+  }
+}
+
+TEST(SourceDetection, ExactWhenQuantumOne) {
+  util::Rng rng(37);
+  const auto g =
+      graph::connected_gnm(100, 220, graph::WeightSpec::uniform(1, 8), rng);
+  const std::vector<Vertex> sources{0, 10, 55};
+  // Small weights ⇒ all quanta are 1 ⇒ values are exactly d^(B).
+  const util::Epsilon eps(1, 4);
+  const auto sd = primitives::source_detection(g, sources, g.n(), eps, 5);
+  for (std::size_t si = 0; si < sources.size(); ++si) {
+    const auto exact = graph::dijkstra(g, sources[si]);
+    for (Vertex v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(sd.d(static_cast<int>(si), v),
+                exact.dist[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(SourceDetection, GuaranteeTwoAndParentProperty) {
+  util::Rng rng(38);
+  // Large weights force quanta > 1 at high scales: genuine approximation.
+  const auto g = graph::connected_gnm(
+      80, 170, graph::WeightSpec::uniform(1000, 90000), rng);
+  const std::vector<Vertex> sources{1, 2, 40, 79};
+  const std::int64_t b = 12;
+  const util::Epsilon eps(1, 8);
+  const auto sd = primitives::source_detection(g, sources, b, eps, 4);
+  EXPECT_GT(sd.distinct_scales, 1);
+
+  for (std::size_t si = 0; si < sources.size(); ++si) {
+    const auto hb = graph::hop_bounded_sssp(g, sources[si], b);
+    for (Vertex v = 0; v < g.n(); ++v) {
+      const Dist truth = hb.dist[static_cast<std::size_t>(v)];
+      const Dist est = sd.d(static_cast<int>(si), v);
+      if (graph::is_inf(truth)) {
+        EXPECT_TRUE(graph::is_inf(est));
+        continue;
+      }
+      // (2): d^(B) ≤ d_uv ≤ (1+ε) d^(B).
+      EXPECT_GE(est, truth);
+      EXPECT_TRUE(eps.leq_mul(est, truth, 1))
+          << "est=" << est << " truth=" << truth;
+      // (3): d_uv ≥ w(u,p) + d_pv for the reported parent.
+      if (v == sources[si]) continue;
+      const auto port = sd.port(static_cast<int>(si), v);
+      ASSERT_NE(port, graph::kNoPort);
+      const auto& e = g.edge(v, port);
+      EXPECT_GE(est, e.w + sd.d(static_cast<int>(si), e.to));
+    }
+  }
+}
+
+TEST(SourceDetection, SymmetricBetweenSources) {
+  util::Rng rng(39);
+  const auto g = graph::connected_gnm(
+      70, 150, graph::WeightSpec::uniform(500, 40000), rng);
+  const std::vector<Vertex> sources{3, 30, 66};
+  const auto sd = primitives::source_detection(g, sources, 15,
+                                               util::Epsilon(1, 6), 4);
+  for (std::size_t a = 0; a < sources.size(); ++a) {
+    for (std::size_t b = 0; b < sources.size(); ++b) {
+      EXPECT_EQ(sd.d(static_cast<int>(a), sources[b]),
+                sd.d(static_cast<int>(b), sources[a]));
+    }
+  }
+}
+
+TEST(SourceDetection, RoundCostFormula) {
+  util::Rng rng(40);
+  const auto g = graph::connected_gnm(60, 120, graph::WeightSpec::unit(), rng);
+  const std::vector<Vertex> sources{0, 1, 2};
+  const auto sd = primitives::source_detection(g, sources, 10,
+                                               util::Epsilon(1, 4), 7);
+  // Per executed scale: |S| + hop layers + 2·height. Bounds bracket the
+  // exact charge without exposing per-scale iteration counts.
+  EXPECT_GE(sd.executed_scales, 1);
+  EXPECT_LE(sd.executed_scales, sd.distinct_scales);
+  EXPECT_GE(sd.round_cost,
+            static_cast<std::int64_t>(sd.executed_scales) * (3 + 1 + 14));
+  EXPECT_LE(sd.round_cost,
+            static_cast<std::int64_t>(sd.executed_scales) * (3 + 10 + 14));
+}
+
+TEST(SourceDetection, EarlyExitOnUnitWeights) {
+  // Unit weights: the first scale that covers the diameter is exact and
+  // untruncated, so only a logarithmic prefix of scales runs.
+  util::Rng rng(41);
+  const auto g = graph::connected_gnm(80, 200, graph::WeightSpec::unit(), rng);
+  const auto sd = primitives::source_detection(g, {0, 5}, g.n(),
+                                               util::Epsilon(1, 4), 3);
+  EXPECT_LT(sd.executed_scales, sd.distinct_scales);
+  // And the values are simply exact.
+  const auto exact = graph::dijkstra(g, 0);
+  for (Vertex v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(sd.d(0, v), exact.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(SourceDetection, LargeDistancesAreGenuinelyApproximate) {
+  // With heavy weights the covering scale has quantum > 1; at least one
+  // value must differ from the exact hop-bounded distance (otherwise the
+  // approximation machinery is dead code).
+  util::Rng rng(42);
+  const auto g = graph::connected_gnm(
+      120, 260, graph::WeightSpec::uniform(50000, 100000), rng);
+  const util::Epsilon eps(1, 5);
+  const auto sd = primitives::source_detection(g, {0}, 16, eps, 3);
+  const auto hb = graph::hop_bounded_sssp(g, 0, 16);
+  int inflated = 0;
+  for (Vertex v = 0; v < g.n(); ++v) {
+    const Dist truth = hb.dist[static_cast<std::size_t>(v)];
+    if (graph::is_inf(truth)) continue;
+    EXPECT_GE(sd.d(0, v), truth);
+    EXPECT_TRUE(eps.leq_mul(sd.d(0, v), truth, 1));
+    if (sd.d(0, v) > truth) ++inflated;
+  }
+  EXPECT_GT(inflated, 0);
+}
+
+}  // namespace
+}  // namespace nors

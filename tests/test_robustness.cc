@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/distance_estimation.h"
+#include "core/scheme.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+
+namespace nors {
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+// ---- Failure injection: the whp events of Claim 3 are driven by the
+// "4·ln n" constants. Shrinking them makes hop bounds too small, so the
+// hitting events can fail — the construction must survive via pruning and
+// coverage retries, and routing must still succeed for every pair (the
+// stretch *bound* may no longer hold; correctness must).
+
+class FailureInjection : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailureInjection, RoutingSurvivesWeakHittingConstants) {
+  util::Rng rng(GetParam());
+  const auto g =
+      graph::connected_gnm(150, 380, graph::WeightSpec::uniform(1, 25), rng);
+  core::SchemeParams p;
+  p.k = 4;
+  p.seed = GetParam();
+  p.hit_constant = 0.25;  // far below the paper's 4: hitting often fails
+  p.max_b_retries = 8;
+  const auto s = core::RoutingScheme::build(g, p);
+  // The construction may have pruned or retried — but every pair routes.
+  for (Vertex u = 0; u < g.n(); u += 5) {
+    const auto sp = graph::dijkstra(g, u);
+    for (Vertex v = 2; v < g.n(); v += 7) {
+      if (u == v) continue;
+      const auto r = s.route(u, v);
+      ASSERT_TRUE(r.ok) << "u=" << u << " v=" << v;
+      EXPECT_GE(r.length, sp.dist[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureInjection,
+                         ::testing::Values(1001, 1002, 1003, 1004, 1005));
+
+TEST(Robustness, RetryEnlargesHopBoundUntilCovered) {
+  // A high-hop-diameter graph with a tiny hit constant forces at least one
+  // coverage retry; the builder must converge and report it.
+  util::Rng rng(1011);
+  const auto g = graph::lollipop(150, 12, graph::WeightSpec::unit(), rng);
+  core::SchemeParams p;
+  p.k = 3;
+  p.seed = 19;
+  p.hit_constant = 0.05;
+  p.max_b_retries = 10;
+  const auto s = core::RoutingScheme::build(g, p);
+  for (Vertex u = 0; u < g.n(); u += 11) {
+    for (Vertex v = 1; v < g.n(); v += 13) {
+      EXPECT_TRUE(s.route(u, v).ok);
+    }
+  }
+  // With B cut 80x below the paper value on a diameter-~140 graph, the
+  // builder must have retried (B starts far below the hop diameter).
+  EXPECT_GT(s.coverage_retries(), 0);
+}
+
+TEST(Robustness, PaperConstantsNeedNoRepair) {
+  // Regression guard for the Phase-2 min-semantics fix: across seeds and
+  // weight scales, zero pruned members and zero retries.
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    for (graph::Weight w : {graph::Weight{10}, graph::Weight{50000}}) {
+      util::Rng rng(seed);
+      const auto g =
+          graph::connected_gnm(130, 320, graph::WeightSpec::uniform(1, w), rng);
+      core::SchemeParams p;
+      p.k = 3;
+      p.seed = seed;
+      p.eps = util::Epsilon(1, 4);  // coarse eps stresses the inequalities
+      const auto s = core::RoutingScheme::build(g, p);
+      EXPECT_EQ(s.pruned_members(), 0) << "seed=" << seed << " w=" << w;
+      EXPECT_EQ(s.coverage_retries(), 0) << "seed=" << seed << " w=" << w;
+    }
+  }
+}
+
+// ---- CONGEST capacity ablation: more bandwidth per edge can only speed up
+// the simulated phases.
+
+TEST(Robustness, HigherEdgeCapacityNeverSlowsSimulatedPhases) {
+  util::Rng rng(1021);
+  const auto g =
+      graph::connected_gnm(140, 350, graph::WeightSpec::uniform(1, 15), rng);
+  std::int64_t prev = -1;
+  for (int cap : {1, 2, 4}) {
+    core::SchemeParams p;
+    p.k = 3;
+    p.seed = 33;
+    p.edge_capacity = cap;
+    const auto s = core::RoutingScheme::build(g, p);
+    const std::int64_t sim = s.ledger().simulated_rounds();
+    if (prev >= 0) {
+      EXPECT_LE(sim, prev) << "cap=" << cap;
+    }
+    prev = sim;
+  }
+}
+
+// ---- Odd parameter shapes.
+
+TEST(Robustness, LargeKOnSmallGraph) {
+  util::Rng rng(1031);
+  const auto g = graph::connected_gnm(64, 160, graph::WeightSpec::uniform(1, 9), rng);
+  core::SchemeParams p;
+  p.k = 8;  // k close to log n
+  p.seed = 44;
+  const auto s = core::RoutingScheme::build(g, p);
+  const auto de = core::DistanceEstimation::build(s);
+  for (Vertex u = 0; u < g.n(); u += 3) {
+    const auto sp = graph::dijkstra(g, u);
+    for (Vertex v = 1; v < g.n(); v += 5) {
+      if (u == v) continue;
+      EXPECT_TRUE(s.route(u, v).ok);
+      EXPECT_GE(de.estimate(u, v).estimate,
+                sp.dist[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(Robustness, TinyGraphs) {
+  for (int n : {2, 3, 5}) {
+    util::Rng rng(1041 + static_cast<std::uint64_t>(n));
+    const auto g = graph::connected_gnm(n, 1, graph::WeightSpec::unit(), rng);
+    core::SchemeParams p;
+    p.k = 2;
+    p.seed = 3;
+    const auto s = core::RoutingScheme::build(g, p);
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = 0; v < n; ++v) {
+        EXPECT_TRUE(s.route(u, v).ok);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nors

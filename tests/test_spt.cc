@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/spt.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+
+namespace nors {
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+struct Case {
+  std::uint64_t seed;
+  int n;
+  int roots;
+  std::int64_t num, den;  // epsilon
+};
+
+class ApproxSptTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ApproxSptTest, SatisfiesGuaranteeFive) {
+  const auto c = GetParam();
+  util::Rng rng(c.seed);
+  const auto g = graph::connected_gnm(c.n, 3LL * c.n,
+                                      graph::WeightSpec::uniform(1, 30), rng);
+  std::vector<Vertex> roots;
+  for (int i = 0; i < c.roots; ++i) {
+    roots.push_back(static_cast<Vertex>((i * 37) % c.n));
+  }
+  core::ApproxSptParams p;
+  p.eps = util::Epsilon(c.num, c.den);
+  p.seed = c.seed + 1;
+  const auto spt = core::approximate_spt(g, roots, p, 6);
+  const auto exact = graph::multi_source_dijkstra(g, roots);
+
+  for (Vertex u = 0; u < g.n(); ++u) {
+    const Dist truth = exact.dist[static_cast<std::size_t>(u)];
+    const Dist est = spt.dist[static_cast<std::size_t>(u)];
+    // (5): d(u,A) ≤ d̂(u) ≤ (1+ε)·d(u,A).
+    EXPECT_GE(est, truth) << "u=" << u;
+    EXPECT_TRUE(p.eps.leq_mul(est, truth, 1))
+        << "u=" << u << " est=" << est << " truth=" << truth;
+    // The witness is a root within d̂ of u.
+    const Vertex z = spt.pivot[static_cast<std::size_t>(u)];
+    ASSERT_NE(z, graph::kNoVertex);
+    EXPECT_TRUE(std::find(roots.begin(), roots.end(), z) != roots.end());
+    EXPECT_LE(graph::pair_distance(g, u, z), est);
+  }
+  EXPECT_GT(spt.ledger.total_rounds(), 0);
+  EXPECT_GE(spt.vprime_size, static_cast<std::int64_t>(roots.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ApproxSptTest,
+    ::testing::Values(Case{701, 120, 3, 1, 16}, Case{702, 150, 8, 1, 8},
+                      Case{703, 100, 1, 1, 32}, Case{704, 180, 12, 1, 4}));
+
+TEST(ApproxSpt, RootSetDistanceZeroAtRoots) {
+  util::Rng rng(711);
+  const auto g = graph::connected_gnm(80, 200, graph::WeightSpec::uniform(1, 9), rng);
+  const std::vector<Vertex> roots{5, 50};
+  const auto spt = core::approximate_spt(g, roots, {}, 4);
+  for (Vertex r : roots) {
+    EXPECT_EQ(spt.dist[static_cast<std::size_t>(r)], 0);
+    EXPECT_EQ(spt.pivot[static_cast<std::size_t>(r)], r);
+  }
+}
+
+TEST(ApproxSpt, LedgerPhasesPresent) {
+  util::Rng rng(712);
+  const auto g = graph::connected_gnm(90, 200, graph::WeightSpec::uniform(1, 9), rng);
+  const auto spt = core::approximate_spt(g, {0}, {}, 4);
+  const std::string rep = spt.ledger.report();
+  EXPECT_NE(rep.find("spt/source detection"), std::string::npos);
+  EXPECT_NE(rep.find("spt/hopset"), std::string::npos);
+  EXPECT_NE(rep.find("spt/bellman-ford"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nors

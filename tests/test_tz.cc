@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "tz/tz_oracle.h"
+#include "tz/tz_routing.h"
+
+namespace nors {
+namespace {
+
+using graph::Dist;
+using graph::Vertex;
+
+struct Case {
+  int k;
+  std::uint64_t seed;
+};
+
+class TzRoutingTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TzRoutingTest, RoutesAllPairsWithinStretchBound) {
+  const auto [k, seed] = GetParam();
+  util::Rng rng(seed);
+  const auto g =
+      graph::connected_gnm(140, 420, graph::WeightSpec::uniform(1, 20), rng);
+  const auto s = tz::TzRoutingScheme::build(g, {k, seed, true});
+  const double bound = std::max(1, 4 * k - 5);
+  double worst = 0;
+  for (Vertex u = 0; u < g.n(); u += 4) {
+    const auto sp = graph::dijkstra(g, u);
+    for (Vertex v = 1; v < g.n(); v += 7) {
+      if (u == v) continue;
+      const auto r = s.route(u, v);
+      ASSERT_TRUE(r.ok) << "u=" << u << " v=" << v;
+      const Dist d = sp.dist[static_cast<std::size_t>(v)];
+      ASSERT_GT(d, 0);
+      const double stretch =
+          static_cast<double>(r.length) / static_cast<double>(d);
+      EXPECT_GE(stretch, 1.0);
+      EXPECT_LE(stretch, bound) << "u=" << u << " v=" << v;
+      worst = std::max(worst, stretch);
+    }
+  }
+  // The scheme must actually route (not just fail fast).
+  EXPECT_GE(worst, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ks, TzRoutingTest,
+    ::testing::Values(Case{1, 101}, Case{2, 102}, Case{3, 103}, Case{4, 104}));
+
+TEST(TzRouting, StretchOneForKOne) {
+  // k=1: every cluster spans V, routing is exact shortest-path-in-tree from
+  // the destination's own cluster.
+  util::Rng rng(111);
+  const auto g = graph::connected_gnm(60, 150, graph::WeightSpec::uniform(1, 9), rng);
+  const auto s = tz::TzRoutingScheme::build(g, {1, 5, true});
+  for (Vertex u = 0; u < g.n(); u += 3) {
+    const auto sp = graph::dijkstra(g, u);
+    for (Vertex v = 1; v < g.n(); v += 5) {
+      if (u == v) continue;
+      const auto r = s.route(u, v);
+      ASSERT_TRUE(r.ok);
+      EXPECT_EQ(r.length, sp.dist[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(TzRouting, OverlapBoundClaim2) {
+  util::Rng rng(112);
+  const int n = 300, k = 3;
+  const auto g = graph::connected_gnm(n, 900, graph::WeightSpec::uniform(1, 30), rng);
+  const auto s = tz::TzRoutingScheme::build(g, {k, 7, false});
+  const double bound = 4.0 * std::pow(n, 1.0 / k) * std::log(n);
+  for (Vertex v = 0; v < n; v += 11) {
+    EXPECT_LE(s.overlap(v), bound);
+  }
+}
+
+TEST(TzRouting, LabelSizeIsOkLogN) {
+  util::Rng rng(113);
+  const auto g = graph::connected_gnm(200, 500, graph::WeightSpec::uniform(1, 10), rng);
+  const auto s = tz::TzRoutingScheme::build(g, {4, 9, false});
+  for (Vertex v = 0; v < g.n(); v += 13) {
+    // k·(2 + O(log n)) words.
+    EXPECT_LE(s.label_words(v), 4 * (2 + 1 + 2 * 9));
+  }
+}
+
+TEST(TzRouting, TrickReducesWorstStretchOrEqual) {
+  util::Rng rng(114);
+  const auto g = graph::connected_gnm(120, 300, graph::WeightSpec::uniform(1, 25), rng);
+  const auto with = tz::TzRoutingScheme::build(g, {3, 21, true});
+  const auto without = tz::TzRoutingScheme::build(g, {3, 21, false});
+  double worst_with = 0, worst_without = 0;
+  for (Vertex u = 0; u < g.n(); u += 5) {
+    const auto sp = graph::dijkstra(g, u);
+    for (Vertex v = 2; v < g.n(); v += 9) {
+      if (u == v) continue;
+      const Dist d = sp.dist[static_cast<std::size_t>(v)];
+      worst_with = std::max(
+          worst_with, static_cast<double>(with.route(u, v).length) / d);
+      worst_without = std::max(
+          worst_without, static_cast<double>(without.route(u, v).length) / d);
+    }
+  }
+  // Same seed ⇒ same hierarchy/trees; the trick can only help.
+  EXPECT_LE(worst_with, worst_without + 1e-12);
+}
+
+class TzOracleTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TzOracleTest, EstimatesWithin2kMinus1) {
+  const auto [k, seed] = GetParam();
+  util::Rng rng(seed);
+  const auto g =
+      graph::connected_gnm(150, 400, graph::WeightSpec::uniform(1, 15), rng);
+  const auto o = tz::TzDistanceOracle::build(g, {k, seed});
+  for (Vertex u = 0; u < g.n(); u += 6) {
+    const auto sp = graph::dijkstra(g, u);
+    for (Vertex v = 3; v < g.n(); v += 8) {
+      if (u == v) continue;
+      const auto q = o.query(u, v);
+      const Dist d = sp.dist[static_cast<std::size_t>(v)];
+      EXPECT_GE(q.estimate, d);
+      EXPECT_LE(q.estimate, static_cast<Dist>(2 * k - 1) * d);
+      EXPECT_LE(q.iterations, k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ks, TzOracleTest,
+    ::testing::Values(Case{1, 201}, Case{2, 202}, Case{3, 203}, Case{4, 204}));
+
+TEST(TzOracle, SketchSizeScalesDown) {
+  util::Rng rng(211);
+  const auto g = graph::connected_gnm(400, 1200, graph::WeightSpec::uniform(1, 9), rng);
+  const auto o2 = tz::TzDistanceOracle::build(g, {2, 31});
+  const auto o4 = tz::TzDistanceOracle::build(g, {4, 31});
+  double avg2 = 0, avg4 = 0;
+  for (Vertex v = 0; v < g.n(); ++v) {
+    avg2 += static_cast<double>(o2.sketch_words(v));
+    avg4 += static_cast<double>(o4.sketch_words(v));
+  }
+  // Larger k ⇒ smaller bunches on average (n^{1/4} vs n^{1/2} per level).
+  EXPECT_LT(avg4 / g.n(), avg2 / g.n() * 1.5);
+}
+
+}  // namespace
+}  // namespace nors

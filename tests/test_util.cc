@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+#include "util/ratio.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace nors {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  util::Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  util::Rng r(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  util::Rng r(11);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  util::Rng a(5);
+  util::Rng f1 = a.fork(1);
+  util::Rng f2 = a.fork(2);
+  EXPECT_NE(f1.next(), f2.next());
+}
+
+TEST(Epsilon, PaperValue) {
+  const auto e = util::Epsilon::paper_value(4);
+  EXPECT_EQ(e.num(), 1);
+  EXPECT_EQ(e.den(), 48 * 256);
+}
+
+TEST(Epsilon, Normalization) {
+  const util::Epsilon e(2, 4);
+  EXPECT_EQ(e.num(), 1);
+  EXPECT_EQ(e.den(), 2);
+}
+
+TEST(Epsilon, RejectsInvalid) {
+  EXPECT_THROW(util::Epsilon(0, 5), std::logic_error);
+  EXPECT_THROW(util::Epsilon(6, 5), std::logic_error);
+  EXPECT_THROW(util::Epsilon(-1, 5), std::logic_error);
+}
+
+TEST(Epsilon, LessThanDivMatchesRationalArithmetic) {
+  // a < c/(1+eps)^p with eps = 1/4, (1+eps) = 5/4.
+  const util::Epsilon e(1, 4);
+  // c = 125, p = 3: c/(5/4)^3 = 125 * 64/125 = 64.
+  EXPECT_TRUE(e.less_than_div(63, 125, 3));
+  EXPECT_FALSE(e.less_than_div(64, 125, 3));  // equality is not <
+  EXPECT_FALSE(e.less_than_div(65, 125, 3));
+}
+
+TEST(Epsilon, LeqMulMatchesRationalArithmetic) {
+  const util::Epsilon e(1, 4);
+  // (1+eps)^2 * 16 = 25.
+  EXPECT_TRUE(e.leq_mul(25, 16, 2));
+  EXPECT_FALSE(e.leq_mul(26, 16, 2));
+}
+
+TEST(Epsilon, TinyPaperEpsilonStillExact) {
+  const auto e = util::Epsilon::paper_value(6);  // 1/(48*1296)
+  const std::int64_t c = 1'000'000'000;          // ~distance scale
+  // c/(1+eps) is just below c: c-1 < c/(1+eps) iff (c-1)(1+eps) < c.
+  EXPECT_TRUE(e.less_than_div(c - 100'000, c, 1));
+  EXPECT_FALSE(e.less_than_div(c, c, 1));
+}
+
+TEST(Epsilon, MulPowCeil) {
+  const util::Epsilon e(1, 2);
+  EXPECT_EQ(e.mul_pow_ceil(8, 1), 12);   // 8 * 3/2
+  EXPECT_EQ(e.mul_pow_ceil(8, 2), 18);   // 8 * 9/4
+  EXPECT_EQ(e.mul_pow_ceil(7, 1), 11);   // ceil(10.5)
+}
+
+TEST(Stats, AccumulatorBasics) {
+  util::Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(util::percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(util::percentile(v, 0.5), 3.0);
+}
+
+TEST(Table, RendersAlignedCells) {
+  util::TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nors
