@@ -8,6 +8,9 @@
 // cost with the hopset on and off. Routed stretch must be identical — the
 // routing is oblivious to the hopset (§1.1).
 
+#include <set>
+#include <utility>
+
 #include "common.h"
 #include "core/scheme.h"
 
@@ -29,14 +32,27 @@ std::int64_t phase1_rounds(const nors::congest::RoundLedger& ledger) {
 nors::graph::WeightedGraph ring_with_chords(int n, std::uint64_t seed) {
   using namespace nors;
   util::Rng rng(seed);
-  auto g = graph::cycle(n, graph::WeightSpec::uniform(1, 8), rng);
+  const auto ws = graph::WeightSpec::uniform(1, 8);
+  graph::WeightedGraph g(n);
+  std::set<std::pair<graph::Vertex, graph::Vertex>> used;
+  auto key = [](graph::Vertex a, graph::Vertex b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  // Ring, matching graph::cycle's edge and weight-draw order.
+  for (graph::Vertex v = 0; v + 1 < n; ++v) {
+    used.insert(key(v, v + 1));
+    g.add_edge(v, v + 1, ws.draw(rng));
+  }
+  used.insert(key(n - 1, 0));
+  g.add_edge(n - 1, 0, ws.draw(rng));
   for (int i = 0; i < n / 32; ++i) {
     const auto u = static_cast<graph::Vertex>(rng.uniform(n));
     const auto v = static_cast<graph::Vertex>(rng.uniform(n));
-    if (u != v && g.port_to(u, v) == graph::kNoPort) {
+    if (u != v && used.insert(key(u, v)).second) {
       g.add_edge(u, v, 8LL * n);  // heavier than any ring path
     }
   }
+  g.freeze();
   return g;
 }
 

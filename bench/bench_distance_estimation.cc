@@ -105,6 +105,7 @@ int main() {
       for (graph::Vertex v = 0; v + 1 < sn; ++v) {
         sg.add_edge(v, static_cast<graph::Vertex>(sn - 1), 4LL * sn);
       }
+      sg.freeze();
       // k=2: our exploration bound B = 4·√n·ln n is already below S = n-2
       // at these sizes, and the gap widens (√n vs n).
       const auto b = baselines::Sdp15Sketches::build(sg, {2, 616, 1});

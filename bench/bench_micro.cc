@@ -5,10 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.h"
 #include "core/distance_estimation.h"
 #include "core/scheme.h"
 #include "graph/generators.h"
 #include "graph/shortest_paths.h"
+#include "primitives/bfs_tree.h"
+#include "primitives/set_bf.h"
 #include "tz/tz_oracle.h"
 
 namespace {
@@ -105,6 +108,79 @@ void BM_SchemeConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_SchemeConstruction)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
+/// Flat-core wall-clock section (n ≥ 10^4): the workloads that exercise the
+/// CSR graph + arena CONGEST engine end to end, recorded to
+/// BENCH_micro.json so the perf trajectory is tracked across PRs.
+void run_flat_core_section() {
+  bench::JsonReport report("micro");
+
+  {
+    util::Rng rng(4242);
+    bench::WallTimer build_t;
+    const auto g = graph::connected_gnm(100000, 300000,
+                                        graph::WeightSpec::uniform(1, 32), rng);
+    report.row()
+        .field("workload", "build_gnm")
+        .field("n", 100000)
+        .field("m", g.m())
+        .field("wall_s", build_t.seconds());
+
+    bench::WallTimer dij_t;
+    const auto sp = graph::dijkstra(g, 0);
+    report.row()
+        .field("workload", "dijkstra")
+        .field("n", 100000)
+        .field("checksum", sp.dist[99999])
+        .field("wall_s", dij_t.seconds());
+
+    bench::WallTimer bfs_t;
+    const auto bfs = primitives::distributed_bfs_tree(g, 0);
+    report.row()
+        .field("workload", "congest_bfs")
+        .field("n", 100000)
+        .field("rounds", bfs.construction_rounds)
+        .field("height", bfs.height)
+        .field("wall_s", bfs_t.seconds());
+
+    std::vector<graph::Vertex> set;
+    for (graph::Vertex v = 0; v < g.n(); v += 317) set.push_back(v);
+    bench::WallTimer bf_t;
+    const auto bf = primitives::distributed_set_bellman_ford(g, set);
+    report.row()
+        .field("workload", "congest_set_bf")
+        .field("n", 100000)
+        .field("sources", static_cast<std::int64_t>(set.size()))
+        .field("rounds", bf.rounds)
+        .field("messages", bf.messages)
+        .field("wall_s", bf_t.seconds());
+  }
+  {
+    util::Rng rng(911);
+    const auto g = graph::connected_gnm(16384, 3 * 16384,
+                                        graph::WeightSpec::uniform(1, 32), rng);
+    core::SchemeParams p;
+    p.k = 3;
+    p.seed = 7;
+    bench::WallTimer t;
+    const auto s = core::RoutingScheme::build(g, p);
+    report.row()
+        .field("workload", "scheme_build")
+        .field("n", 16384)
+        .field("m", g.m())
+        .field("k", 3)
+        .field("rounds", s.total_rounds())
+        .field("wall_s", t.seconds());
+  }
+  report.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_flat_core_section();
+  return 0;
+}

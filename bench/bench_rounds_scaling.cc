@@ -14,7 +14,7 @@
 namespace {
 
 void run_series(const char* name, bool path_graph, const std::vector<int>& ns,
-                int k) {
+                int k, nors::bench::JsonReport& report) {
   using namespace nors;
   std::printf("-- %s, k=%d --\n", name, k);
   util::TextTable table({"n", "D", "rounds", "sim", "acc",
@@ -31,7 +31,18 @@ void run_series(const char* name, bool path_graph, const std::vector<int>& ns,
     core::SchemeParams p;
     p.k = k;
     p.seed = 7;
+    const bench::WallTimer timer;
     const auto s = core::RoutingScheme::build(g, p);
+    report.row()
+        .field("series", name)
+        .field("k", k)
+        .field("n", n)
+        .field("m", g.m())
+        .field("diameter", d)
+        .field("rounds", s.total_rounds())
+        .field("simulated_rounds", s.ledger().simulated_rounds())
+        .field("accounted_rounds", s.ledger().accounted_rounds())
+        .field("build_wall_s", timer.seconds());
     const double reference =
         std::pow(static_cast<double>(n), 0.5 + 1.0 / k) + d;
     table.add_row(
@@ -55,11 +66,12 @@ int main() {
   const int n_max = bench::env_n(4096);
   bench::print_header("E1 / rounds scaling",
                       "construction rounds vs n, vs (n^{1/2+1/k}+D)");
+  bench::JsonReport report("rounds_scaling");
   std::vector<int> ns;
   for (int n = 256; n <= n_max; n *= 2) ns.push_back(n);
 
-  run_series("G(n, 3n) random", false, ns, 3);
-  run_series("G(n, 3n) random", false, ns, 4);
+  run_series("G(n, 3n) random", false, ns, 3, report);
+  run_series("G(n, 3n) random", false, ns, 4, report);
 
   // Even vs odd k at matched table-size class: the odd-k construction
   // replaces the n^{1/2+1/k} term by n^{1/2+1/(2k)}.
@@ -85,8 +97,9 @@ int main() {
   // The +D term: on a path, D = n-1 floors the cost for every k.
   std::vector<int> path_ns;
   for (int n = 256; n <= std::min(n_max, 2048); n *= 2) path_ns.push_back(n);
-  run_series("path (D = n-1)", true, path_ns, 3);
+  run_series("path (D = n-1)", true, path_ns, 3, report);
 
+  report.write();
   std::printf(
       "shape checks: ratio column ~flat (Õ hides polylogs); rounds/m falls\n"
       "with n; on the path the +D term dominates as D = n-1.\n");

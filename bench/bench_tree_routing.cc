@@ -27,6 +27,7 @@ graph::WeightedGraph broom(int n) {
     g.add_edge(v, static_cast<graph::Vertex>(n - 1),
                4 * static_cast<graph::Weight>(n));
   }
+  g.freeze();
   return g;
 }
 
@@ -35,6 +36,8 @@ treeroute::TreeSpec sssp_spec(const graph::WeightedGraph& g,
   const auto sp = graph::dijkstra(g, root);
   treeroute::TreeSpec spec;
   spec.root = root;
+  spec.parent.assign(static_cast<std::size_t>(g.n()), graph::kNoVertex);
+  spec.parent_port.assign(static_cast<std::size_t>(g.n()), graph::kNoPort);
   for (graph::Vertex v = 0; v < g.n(); ++v) {
     spec.members.push_back(v);
     if (v == root) continue;

@@ -4,6 +4,7 @@
 // DESIGN.md §4). Each binary prints a self-contained table; NORS_BENCH_N
 // overrides the default graph size for quick or extended runs.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -12,6 +13,7 @@
 #include "graph/generators.h"
 #include "graph/properties.h"
 #include "graph/shortest_paths.h"
+#include "util/check.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -86,5 +88,78 @@ inline void print_header(const char* experiment, const char* what) {
   std::printf("%s — %s\n", experiment, what);
   std::printf("==============================================================\n");
 }
+
+/// Wall-clock stopwatch for the JSON reports.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable sidecar for an experiment binary: collects rows of
+/// key/value measurements and writes BENCH_<name>.json into the working
+/// directory, so the perf trajectory is trackable across PRs (the committed
+/// snapshots live in bench/results/). Keys and values are emitted verbatim;
+/// keep keys to [a-z0-9_].
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  JsonReport& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonReport& field(const char* key, const std::string& v) {
+    NORS_CHECK_MSG(!rows_.empty(), "call row() before field()");
+    rows_.back().push_back(std::string("\"") + key + "\": \"" + v + "\"");
+    return *this;
+  }
+  JsonReport& field(const char* key, std::int64_t v) {
+    NORS_CHECK_MSG(!rows_.empty(), "call row() before field()");
+    rows_.back().push_back(std::string("\"") + key +
+                           "\": " + std::to_string(v));
+    return *this;
+  }
+  JsonReport& field(const char* key, int v) {
+    return field(key, static_cast<std::int64_t>(v));
+  }
+  JsonReport& field(const char* key, double v) {
+    NORS_CHECK_MSG(!rows_.empty(), "call row() before field()");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    rows_.back().push_back(std::string("\"") + key + "\": " + buf);
+    return *this;
+  }
+
+  /// Writes BENCH_<name>.json; returns the path (empty on failure).
+  std::string write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {");
+      for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+        std::fprintf(f, "%s%s", j == 0 ? "" : ", ", rows_[i][j].c_str());
+      }
+      std::fprintf(f, "}%s\n", i + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::string>> rows_;
+};
 
 }  // namespace nors::bench

@@ -99,6 +99,7 @@ LpBaselineScheme LpBaselineScheme::build(const graph::WeightedGraph& g,
                 std::max<Dist>(1, real.w));
     vg_keys.push_back(key);
   }
+  vg.freeze();
   util::Rng sp_rng = rng.fork(17);
   const auto vsp = baswana_sen_spanner(vg, params.k, sp_rng);
   s.spanner_ = vsp;

@@ -153,6 +153,7 @@ graph::WeightedGraph spanner_graph(int n,
                                    const std::vector<SpannerEdge>& edges) {
   graph::WeightedGraph g(n);
   for (const auto& e : edges) g.add_edge(e.u, e.v, e.w);
+  g.freeze();
   return g;
 }
 

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "graph/graph.h"
 #include "util/check.h"
@@ -35,5 +36,9 @@ struct Message {
     return m;
   }
 };
+
+/// A vertex's per-round inbox: a read-only window into the engine's flat
+/// delivery slab, valid only for the duration of the on_round call.
+using MessageView = std::span<const Message>;
 
 }  // namespace nors::congest

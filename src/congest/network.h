@@ -1,8 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <mutex>
 #include <vector>
 
 #include "congest/message.h"
@@ -20,14 +19,32 @@ struct NetworkStats {
 
 class Network;
 
+namespace internal {
+
+/// Per-thread staging buffer for one round's sends and wakes; merged into
+/// the shared queue arena at the round barrier.
+struct Outbox {
+  std::vector<std::size_t> link;  // destination link per staged message
+  std::vector<Message> msg;
+  std::vector<graph::Vertex> wakes;
+  std::int64_t sent = 0;
+
+  void clear() {
+    link.clear();
+    msg.clear();
+    wakes.clear();
+    sent = 0;
+  }
+};
+
+}  // namespace internal
+
 /// Send-side interface handed to a node while it executes one round. All
-/// sends are enqueued on the link and delivered subject to the per-round
-/// per-edge capacity (1 message per direction per round in the standard
-/// CONGEST model).
+/// sends are staged in the round's outbox slab and delivered subject to the
+/// per-round per-edge capacity (1 message per direction per round in the
+/// standard CONGEST model).
 class Sender {
  public:
-  Sender(Network& net, graph::Vertex v) : net_(net), v_(v) {}
-
   /// Send over `port` of the executing vertex.
   void send(std::int32_t port, const Message& m);
   /// Send the same message over every port of the executing vertex.
@@ -37,8 +54,13 @@ class Sender {
   void wake_self();
 
  private:
+  friend class Network;
+  Sender(Network& net, graph::Vertex v, internal::Outbox& ob)
+      : net_(net), v_(v), ob_(ob) {}
+
   Network& net_;
   graph::Vertex v_;
+  internal::Outbox& ob_;
 };
 
 /// A distributed algorithm: per-vertex handler invoked once per round with
@@ -53,28 +75,40 @@ class NodeProgram {
   virtual void begin(Network& net) = 0;
 
   /// One round at vertex v. `inbox` holds the messages delivered to v this
-  /// round (at most one per incident edge, by the capacity constraint).
-  virtual void on_round(graph::Vertex v, const std::vector<Message>& inbox,
-                        Sender& out) = 0;
+  /// round (at most edge_capacity per incident edge, by the capacity
+  /// constraint). When Options::threads > 1 this runs concurrently across
+  /// vertices, so the handler must only touch state owned by v.
+  virtual void on_round(graph::Vertex v, MessageView inbox, Sender& out) = 0;
 };
 
-/// Synchronous CONGEST simulator. Each round:
-///   1. every link delivers up to `edge_capacity` queued messages,
-///   2. every vertex with deliveries (or an explicit wake) runs on_round,
-///   3. newly sent messages join the link queues for later rounds.
+/// Synchronous CONGEST simulator over flat memory. Messages in flight live
+/// in one contiguous slab grouped by directed link; each round:
+///   1. every queued link delivers up to `edge_capacity` messages into a
+///      per-round inbox slab, and the receivers are scheduled,
+///   2. every scheduled vertex runs on_round (in vertex order, optionally
+///      chunked across a thread pool with per-thread outboxes),
+///   3. undelivered leftovers and the round's outboxes are merged into the
+///      next queue slab (double buffer) at the round barrier.
 /// Execution stops when no messages are queued and no vertex is awake.
+///
+/// Per-round work is proportional to the number of active links and
+/// scheduled vertices — never to n or m — and steady-state execution
+/// performs no allocation once slab capacities have peaked.
 class Network {
  public:
   struct Options {
     int edge_capacity = 1;          // messages per directed edge per round
     std::int64_t max_rounds = 50'000'000;
+    int threads = 1;                // opt-in parallel on_round execution
   };
 
+  /// The graph must be frozen: link ids index its CSR adjacency directly.
   Network(const graph::WeightedGraph& g, Options opt);
 
   const graph::WeightedGraph& graph() const { return g_; }
 
-  /// Wake a vertex for the next round (callable from begin()).
+  /// Wake a vertex for the next round. Callable from begin() and — under an
+  /// internal lock, so it is safe in threaded runs — from on_round.
   void wake(graph::Vertex v);
 
   /// Run `prog` to quiescence; returns the statistics of this run.
@@ -83,18 +117,49 @@ class Network {
  private:
   friend class Sender;
 
+  /// Where a directed link points: resolved once at construction so the
+  /// per-round hot loops never consult the graph.
+  struct LinkTarget {
+    graph::Vertex dst = graph::kNoVertex;
+    std::int32_t arrival_port = graph::kNoPort;
+  };
+
   std::size_t link_index(graph::Vertex v, std::int32_t port) const {
-    return offsets_[static_cast<std::size_t>(v)] +
+    return link_offset_[static_cast<std::size_t>(v)] +
            static_cast<std::size_t>(port);
   }
-  void enqueue(graph::Vertex from, std::int32_t port, Message m);
+  void stage_send(internal::Outbox& ob, graph::Vertex from, std::int32_t port,
+                  const Message& m);
+  void deliver_round(std::vector<graph::Vertex>& to_run);
+  void merge_outboxes(int nthreads, std::vector<graph::Vertex>& to_run);
 
   const graph::WeightedGraph& g_;
   Options opt_;
-  std::vector<std::size_t> offsets_;        // per-vertex start into links_
-  std::vector<std::deque<Message>> links_;  // per directed edge FIFO
+
+  // Static link topology (CSR-aligned: link = link_offset_[v] + port).
+  std::vector<std::size_t> link_offset_;  // n+1
+  std::vector<LinkTarget> target_;        // one per directed link
+
+  // In-flight queue arena, double buffered. cur_ holds all queued messages
+  // grouped by link: link l owns cur_[link_begin_[l] .. +link_count_[l]).
+  // Only links listed in active_links_ have nonzero counts.
+  std::vector<Message> cur_, next_;
+  std::vector<std::size_t> link_begin_;
+  std::vector<std::size_t> next_begin_;
+  std::vector<std::int32_t> link_count_;
+  std::vector<std::int32_t> pend_count_;  // this round's staged sends per link
+  std::vector<std::size_t> active_links_;
+
+  // Per-round inbox slab, grouped by receiver.
+  std::vector<Message> inbox_;
+  std::vector<std::size_t> inbox_end_;   // per vertex: one past its window
+  std::vector<std::int32_t> inbox_cnt_;  // per vertex: window length
+  std::vector<graph::Vertex> receivers_;
+
   std::vector<char> awake_;
   std::vector<graph::Vertex> wake_list_;
+  std::mutex wake_mu_;
+  std::vector<internal::Outbox> outboxes_;  // one per worker thread
   NetworkStats stats_;
   std::int64_t queued_ = 0;
 };

@@ -83,6 +83,7 @@ Preprocess build_preprocess(const graph::WeightedGraph& g,
       }
     }
   }
+  pre.gprime.freeze();
 
   // Path-reporting hopset for G' with parameter ε/3 (Theorem 2). The
   // hopset-less ablation (use_hopset = false) instead explores G' directly:

@@ -33,7 +33,7 @@ class PacketProgram : public congest::NodeProgram {
     net.wake(src_);
   }
 
-  void on_round(Vertex v, const std::vector<congest::Message>& inbox,
+  void on_round(Vertex v, congest::MessageView inbox,
                 congest::Sender& out) override {
     for (const auto& m : inbox) {
       if (m.tag != kChunk) continue;

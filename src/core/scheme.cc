@@ -15,16 +15,32 @@ using graph::Vertex;
 /// Converts a ClusterTree into the TreeSpec consumed by the Section-6 tree
 /// routing.
 treeroute::TreeSpec to_spec(const ClusterTree& t) {
+  struct Row {
+    Vertex v;
+    Vertex parent;
+    std::int32_t port;
+  };
+  std::vector<Row> rows;
+  rows.reserve(t.members.size());
+  for (const auto& [v, mem] : t.members) {
+    if (v == t.root) {
+      rows.push_back({v, graph::kNoVertex, graph::kNoPort});
+    } else {
+      rows.push_back({v, mem.parent, mem.parent_port});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.v < b.v; });
   treeroute::TreeSpec spec;
   spec.root = t.root;
-  spec.members.reserve(t.members.size());
-  for (const auto& [v, mem] : t.members) {
-    spec.members.push_back(v);
-    if (v == t.root) continue;
-    spec.parent[v] = mem.parent;
-    spec.parent_port[v] = mem.parent_port;
+  spec.members.reserve(rows.size());
+  spec.parent.reserve(rows.size());
+  spec.parent_port.reserve(rows.size());
+  for (const Row& r : rows) {
+    spec.members.push_back(r.v);
+    spec.parent.push_back(r.parent);
+    spec.parent_port.push_back(r.port);
   }
-  std::sort(spec.members.begin(), spec.members.end());
   return spec;
 }
 

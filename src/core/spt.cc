@@ -63,6 +63,7 @@ ApproxSptResult approximate_spt(const graph::WeightedGraph& g,
       if (!graph::is_inf(d)) gprime.add_edge(i, j, std::max<Dist>(1, d));
     }
   }
+  gprime.freeze();
   hopset::HopsetParams hp{util::Epsilon(params.eps.num(),
                                         3 * params.eps.den()),
                           params.hopset_levels, rng.next(), 0.5};

@@ -15,25 +15,16 @@ std::pair<Vertex, Vertex> key(Vertex u, Vertex v) {
   return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
 }
 
-}  // namespace
-
-WeightedGraph path(int n, const WeightSpec& ws, util::Rng& rng) {
-  NORS_CHECK(n >= 1);
-  WeightedGraph g(n);
+// Edge-adding helpers shared by generators that compose topologies (cycle =
+// path + closing edge, torus = grid + wrap edges). The composite generator
+// freezes once, at the end.
+void add_path_edges(WeightedGraph& g, int n, const WeightSpec& ws,
+                    util::Rng& rng) {
   for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, ws.draw(rng));
-  return g;
 }
 
-WeightedGraph cycle(int n, const WeightSpec& ws, util::Rng& rng) {
-  NORS_CHECK(n >= 3);
-  WeightedGraph g = path(n, ws, rng);
-  g.add_edge(n - 1, 0, ws.draw(rng));
-  return g;
-}
-
-WeightedGraph grid(int rows, int cols, const WeightSpec& ws, util::Rng& rng) {
-  NORS_CHECK(rows >= 1 && cols >= 1);
-  WeightedGraph g(rows * cols);
+void add_grid_edges(WeightedGraph& g, int rows, int cols, const WeightSpec& ws,
+                    util::Rng& rng) {
   auto id = [cols](int r, int c) { return r * cols + c; };
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c < cols; ++c) {
@@ -41,15 +32,43 @@ WeightedGraph grid(int rows, int cols, const WeightSpec& ws, util::Rng& rng) {
       if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), ws.draw(rng));
     }
   }
+}
+
+}  // namespace
+
+WeightedGraph path(int n, const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(n >= 1);
+  WeightedGraph g(n);
+  add_path_edges(g, n, ws, rng);
+  g.freeze();
+  return g;
+}
+
+WeightedGraph cycle(int n, const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(n >= 3);
+  WeightedGraph g(n);
+  add_path_edges(g, n, ws, rng);
+  g.add_edge(n - 1, 0, ws.draw(rng));
+  g.freeze();
+  return g;
+}
+
+WeightedGraph grid(int rows, int cols, const WeightSpec& ws, util::Rng& rng) {
+  NORS_CHECK(rows >= 1 && cols >= 1);
+  WeightedGraph g(rows * cols);
+  add_grid_edges(g, rows, cols, ws, rng);
+  g.freeze();
   return g;
 }
 
 WeightedGraph torus(int rows, int cols, const WeightSpec& ws, util::Rng& rng) {
   NORS_CHECK(rows >= 3 && cols >= 3);
-  WeightedGraph g = grid(rows, cols, ws, rng);
+  WeightedGraph g(rows * cols);
+  add_grid_edges(g, rows, cols, ws, rng);
   auto id = [cols](int r, int c) { return r * cols + c; };
   for (int r = 0; r < rows; ++r) g.add_edge(id(r, cols - 1), id(r, 0), ws.draw(rng));
   for (int c = 0; c < cols; ++c) g.add_edge(id(rows - 1, c), id(0, c), ws.draw(rng));
+  g.freeze();
   return g;
 }
 
@@ -63,6 +82,7 @@ WeightedGraph hypercube(int d, const WeightSpec& ws, util::Rng& rng) {
       if (v < u) g.add_edge(v, u, ws.draw(rng));
     }
   }
+  g.freeze();
   return g;
 }
 
@@ -72,6 +92,7 @@ WeightedGraph complete(int n, const WeightSpec& ws, util::Rng& rng) {
   for (Vertex u = 0; u < n; ++u) {
     for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v, ws.draw(rng));
   }
+  g.freeze();
   return g;
 }
 
@@ -95,6 +116,7 @@ WeightedGraph fat_tree(int pods, int tors, int hosts, int cores,
       }
     }
   }
+  g.freeze();
   return g;
 }
 
@@ -110,6 +132,7 @@ WeightedGraph random_tree(int n, const WeightSpec& ws, util::Rng& rng) {
         order[rng.uniform(static_cast<std::uint64_t>(i))];
     g.add_edge(parent, child, ws.draw(rng));
   }
+  g.freeze();
   return g;
 }
 
@@ -126,6 +149,7 @@ WeightedGraph erdos_renyi_gnm(int n, std::int64_t m, const WeightSpec& ws,
     if (u == v) continue;
     if (used.insert(key(u, v)).second) g.add_edge(u, v, ws.draw(rng));
   }
+  g.freeze();
   return g;
 }
 
@@ -153,6 +177,7 @@ WeightedGraph connected_gnm(int n, std::int64_t extra_edges,
     if (u == v) continue;
     if (used.insert(key(u, v)).second) g.add_edge(u, v, ws.draw(rng));
   }
+  g.freeze();
   return g;
 }
 
@@ -162,7 +187,6 @@ WeightedGraph random_geometric(int n, double radius, Weight w_scale,
   NORS_CHECK(radius > 0.0 && w_scale >= 1);
   std::vector<std::pair<double, double>> pts(static_cast<std::size_t>(n));
   for (auto& p : pts) p = {rng.uniform01(), rng.uniform01()};
-  WeightedGraph g(n);
   auto euclid = [&](int a, int b) {
     const double dx = pts[static_cast<std::size_t>(a)].first -
                       pts[static_cast<std::size_t>(b)].first;
@@ -174,10 +198,19 @@ WeightedGraph random_geometric(int n, double radius, Weight w_scale,
     return std::max<Weight>(
         1, static_cast<Weight>(std::llround(d * static_cast<double>(w_scale))));
   };
+  // The stitching pass below needs adjacency before the graph is frozen, so
+  // build a scratch neighbor list alongside the pending edges.
+  WeightedGraph g(n);
+  std::vector<std::vector<Vertex>> adj(static_cast<std::size_t>(n));
+  auto link = [&](int a, int b, Weight w) {
+    g.add_edge(a, b, w);
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  };
   for (int a = 0; a < n; ++a) {
     for (int b = a + 1; b < n; ++b) {
       const double d = euclid(a, b);
-      if (d <= radius) g.add_edge(a, b, w_of(d));
+      if (d <= radius) link(a, b, w_of(d));
     }
   }
   // Stitch components together via nearest cross-component pairs so the
@@ -194,10 +227,10 @@ WeightedGraph random_geometric(int n, double radius, Weight w_scale,
       while (!stack.empty()) {
         const Vertex v = stack.back();
         stack.pop_back();
-        for (const auto& e : g.neighbors(v)) {
-          if (comp[static_cast<std::size_t>(e.to)] == -1) {
-            comp[static_cast<std::size_t>(e.to)] = ncomp;
-            stack.push_back(e.to);
+        for (const Vertex to : adj[static_cast<std::size_t>(v)]) {
+          if (comp[static_cast<std::size_t>(to)] == -1) {
+            comp[static_cast<std::size_t>(to)] = ncomp;
+            stack.push_back(to);
           }
         }
       }
@@ -219,8 +252,9 @@ WeightedGraph random_geometric(int n, double radius, Weight w_scale,
         }
       }
     }
-    g.add_edge(ba, bb, w_of(best));
+    link(ba, bb, w_of(best));
   }
+  g.freeze();
   return g;
 }
 
@@ -250,6 +284,7 @@ WeightedGraph barabasi_albert(int n, int attach, const WeightSpec& ws,
       endpoints.push_back(t);
     }
   }
+  g.freeze();
   return g;
 }
 
@@ -277,16 +312,22 @@ WeightedGraph clustered(int n, int clusters, double p_in, Weight inter_w,
     }
   }
   // Inter-cluster backbone: ring over cluster representatives + a few chords.
+  // Tracked in a local set (the graph is still in its builder phase, so
+  // port_to is unavailable — and the ER pass above never links a's tail to
+  // c+2's tail anyway, making the dedup a backbone-only concern).
+  std::set<std::pair<Vertex, Vertex>> backbone;
   for (int c = 0; c < clusters; ++c) {
     const Vertex a = members[static_cast<std::size_t>(c)][0];
     const Vertex b = members[static_cast<std::size_t>((c + 1) % clusters)][0];
+    backbone.insert(key(a, b));
     g.add_edge(a, b, inter_w);
   }
   for (int c = 0; c + 2 < clusters; c += 2) {
     const Vertex a = members[static_cast<std::size_t>(c)].back();
     const Vertex b = members[static_cast<std::size_t>(c + 2)].back();
-    if (g.port_to(a, b) == kNoPort) g.add_edge(a, b, inter_w);
+    if (backbone.insert(key(a, b)).second) g.add_edge(a, b, inter_w);
   }
+  g.freeze();
   return g;
 }
 
@@ -298,6 +339,7 @@ WeightedGraph lollipop(int n, int clique, const WeightSpec& ws,
     for (Vertex v = u + 1; v < clique; ++v) g.add_edge(u, v, ws.draw(rng));
   }
   for (Vertex v = clique; v < n; ++v) g.add_edge(v - 1, v, ws.draw(rng));
+  g.freeze();
   return g;
 }
 

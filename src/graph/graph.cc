@@ -1,4 +1,87 @@
 #include "graph/graph.h"
 
-// Header-only for now; this translation unit anchors the module in the build
-// and keeps a place for future out-of-line members.
+#include <algorithm>
+
+namespace nors::graph {
+
+std::int32_t WeightedGraph::add_edge(Vertex u, Vertex v, Weight w) {
+  NORS_CHECK_MSG(!frozen_, "add_edge after freeze()");
+  NORS_CHECK_MSG(u != v, "self-loop at " << u);
+  NORS_CHECK_MSG(w >= 1, "non-positive weight " << w);
+  NORS_CHECK(valid_vertex(u) && valid_vertex(v));
+  const auto pu = deg_[static_cast<std::size_t>(u)]++;
+  deg_[static_cast<std::size_t>(v)]++;
+  pending_.push_back({u, v, w});
+  ++m_;
+  max_weight_ = std::max(max_weight_, w);
+  return pu;
+}
+
+void WeightedGraph::freeze() {
+  NORS_CHECK_MSG(!frozen_, "freeze() is one-shot");
+
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (Vertex v = 0; v < n_; ++v) {
+    offsets_[static_cast<std::size_t>(v) + 1] =
+        offsets_[static_cast<std::size_t>(v)] +
+        static_cast<std::size_t>(deg_[static_cast<std::size_t>(v)]);
+  }
+
+  // Scatter pass: pending edges are replayed in insertion order, so the slot
+  // an edge lands in at each endpoint — and therefore every port number — is
+  // identical to what per-vertex push_back construction produced.
+  half_edges_.resize(offsets_.back());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const PendingEdge& e : pending_) {
+    const std::size_t su = cursor[static_cast<std::size_t>(e.u)]++;
+    const std::size_t sv = cursor[static_cast<std::size_t>(e.v)]++;
+    half_edges_[su] = {
+        e.v, e.w,
+        static_cast<std::int32_t>(sv - offsets_[static_cast<std::size_t>(e.v)])};
+    half_edges_[sv] = {
+        e.u, e.w,
+        static_cast<std::int32_t>(su - offsets_[static_cast<std::size_t>(e.u)])};
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+  deg_.clear();
+  deg_.shrink_to_fit();
+
+  // Per-vertex port permutation ordered by (neighbor, port): the port_to
+  // fast path binary-searches it, and ties (parallel edges) resolve to the
+  // smallest port, matching the old linear scan.
+  sorted_ports_.resize(half_edges_.size());
+  for (Vertex v = 0; v < n_; ++v) {
+    const std::size_t off = offsets_[static_cast<std::size_t>(v)];
+    const auto deg =
+        static_cast<std::int32_t>(offsets_[static_cast<std::size_t>(v) + 1] - off);
+    std::int32_t* ports = sorted_ports_.data() + off;
+    for (std::int32_t p = 0; p < deg; ++p) ports[p] = p;
+    std::sort(ports, ports + deg, [&](std::int32_t a, std::int32_t b) {
+      const Vertex ta = half_edges_[off + static_cast<std::size_t>(a)].to;
+      const Vertex tb = half_edges_[off + static_cast<std::size_t>(b)].to;
+      return ta != tb ? ta < tb : a < b;
+    });
+  }
+
+  frozen_ = true;
+}
+
+std::int32_t WeightedGraph::port_to(Vertex u, Vertex v) const {
+  NORS_CHECK(valid_vertex(u) && valid_vertex(v));
+  NORS_CHECK_MSG(frozen_, "port_to() requires freeze()");
+  const std::size_t off = offsets_[static_cast<std::size_t>(u)];
+  const std::int32_t* first = sorted_ports_.data() + off;
+  const std::int32_t* last =
+      sorted_ports_.data() + offsets_[static_cast<std::size_t>(u) + 1];
+  const std::int32_t* it =
+      std::lower_bound(first, last, v, [&](std::int32_t p, Vertex target) {
+        return half_edges_[off + static_cast<std::size_t>(p)].to < target;
+      });
+  if (it == last || half_edges_[off + static_cast<std::size_t>(*it)].to != v) {
+    return kNoPort;
+  }
+  return *it;
+}
+
+}  // namespace nors::graph

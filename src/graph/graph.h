@@ -30,83 +30,130 @@ inline Dist dist_add(Dist a, Dist b) {
 }
 
 /// One direction of an undirected edge as seen from its source vertex.
-/// `rev` is the index (port) of the opposite direction inside adj[to]; it is
-/// what lets a routing table name "the port I received this message on".
+/// `rev` is the index (port) of the opposite direction inside the adjacency
+/// of `to`; it is what lets a routing table name "the port I received this
+/// message on".
 struct HalfEdge {
   Vertex to = kNoVertex;
   Weight w = 0;
   std::int32_t rev = kNoPort;
 };
 
-/// Weighted undirected graph with port-numbered adjacency lists.
+/// Weighted undirected graph with port-numbered adjacency, stored in CSR
+/// (compressed sparse row) form: all HalfEdges live in one contiguous array
+/// with per-vertex offsets, so a full adjacency sweep is a single linear
+/// scan and neighbors(v) is a span into the flat array.
+///
+/// The graph has two phases:
+///   1. Builder phase — add_edge() appends to a pending edge list. Only
+///      n(), m(), degree(), max_weight() and add_edge() are valid.
+///   2. Frozen phase — after the one-shot freeze(), the adjacency is packed
+///      and immutable; neighbors()/edge()/port_to() become valid and
+///      add_edge() is an error.
 ///
 /// Ports: the p-th entry of neighbors(v) is "port p of v" — the identifier a
-/// routing scheme stores. The CONGEST simulator and every router in this
-/// library address links by (vertex, port).
+/// routing scheme stores. Ports number the edges of v in add_edge insertion
+/// order, exactly as in the historical nested-vector representation, so
+/// frozen port assignments are bit-identical to the old ones. The CONGEST
+/// simulator and every router in this library address links by
+/// (vertex, port).
 ///
 /// Invariants: no self-loops; weights are positive integers (the paper
-/// assumes integral weights polynomial in n). Parallel edges are rejected in
-/// debug-checked construction via add_edge_checked but allowed by add_edge
-/// (generators deduplicate themselves where it matters).
+/// assumes integral weights polynomial in n). Parallel edges are allowed by
+/// add_edge (generators deduplicate themselves where it matters).
 class WeightedGraph {
  public:
   WeightedGraph() = default;
-  explicit WeightedGraph(int n) : adj_(static_cast<std::size_t>(n)) {
+  explicit WeightedGraph(int n) : n_(n), deg_(static_cast<std::size_t>(n), 0) {
     NORS_CHECK(n >= 0);
   }
 
-  int n() const { return static_cast<int>(adj_.size()); }
+  int n() const { return n_; }
   std::int64_t m() const { return m_; }
 
-  /// Adds the undirected edge {u,v} with weight w; returns the port of the
-  /// u->v direction at u.
-  std::int32_t add_edge(Vertex u, Vertex v, Weight w) {
-    NORS_CHECK_MSG(u != v, "self-loop at " << u);
-    NORS_CHECK_MSG(w >= 1, "non-positive weight " << w);
-    NORS_CHECK(valid_vertex(u) && valid_vertex(v));
-    const auto pu = static_cast<std::int32_t>(adj_[u].size());
-    const auto pv = static_cast<std::int32_t>(adj_[v].size());
-    adj_[u].push_back({v, w, pv});
-    adj_[v].push_back({u, w, pu});
-    ++m_;
-    max_weight_ = std::max(max_weight_, w);
-    return pu;
-  }
+  /// Builder phase: adds the undirected edge {u,v} with weight w; returns
+  /// the port of the u->v direction at u.
+  std::int32_t add_edge(Vertex u, Vertex v, Weight w);
 
+  /// One-shot transition to the frozen phase: packs every HalfEdge into one
+  /// contiguous CSR array and releases the builder storage. Must be called
+  /// exactly once, after which the topology is immutable.
+  void freeze();
+
+  bool frozen() const { return frozen_; }
+
+  /// Valid in both phases.
   int degree(Vertex v) const {
     NORS_CHECK(valid_vertex(v));
-    return static_cast<int>(adj_[v].size());
+    return frozen_ ? static_cast<int>(offsets_[static_cast<std::size_t>(v) + 1] -
+                                      offsets_[static_cast<std::size_t>(v)])
+                   : static_cast<int>(deg_[static_cast<std::size_t>(v)]);
   }
 
+  /// Frozen phase: the adjacency of v as a span into the flat CSR array.
   std::span<const HalfEdge> neighbors(Vertex v) const {
     NORS_CHECK(valid_vertex(v));
-    return adj_[v];
+    NORS_CHECK_MSG(frozen_, "neighbors() requires freeze()");
+    return {half_edges_.data() + offsets_[static_cast<std::size_t>(v)],
+            half_edges_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
   }
 
+  /// Frozen phase: the HalfEdge behind (v, port).
   const HalfEdge& edge(Vertex v, std::int32_t port) const {
     NORS_CHECK(valid_vertex(v));
-    NORS_CHECK_MSG(port >= 0 && port < degree(v),
-                   "bad port " << port << " at vertex " << v);
-    return adj_[v][static_cast<std::size_t>(port)];
+    NORS_CHECK_MSG(frozen_, "edge() requires freeze()");
+    const std::size_t off = offsets_[static_cast<std::size_t>(v)];
+    NORS_CHECK_MSG(
+        port >= 0 && off + static_cast<std::size_t>(port) <
+                         offsets_[static_cast<std::size_t>(v) + 1],
+        "bad port " << port << " at vertex " << v);
+    return half_edges_[off + static_cast<std::size_t>(port)];
+  }
+
+  /// Frozen phase: flat CSR index of (v, port 0); neighbors(v)[p] lives at
+  /// flat index edge_base(v) + p. Lets consumers keep per-half-edge side
+  /// tables (quantized weights, link state, …) in arrays parallel to the
+  /// adjacency, and total_half_edges() sizes them.
+  std::size_t edge_base(Vertex v) const {
+    NORS_CHECK(valid_vertex(v));
+    NORS_CHECK_MSG(frozen_, "edge_base() requires freeze()");
+    return offsets_[static_cast<std::size_t>(v)];
+  }
+
+  std::size_t total_half_edges() const {
+    NORS_CHECK_MSG(frozen_, "total_half_edges() requires freeze()");
+    return half_edges_.size();
   }
 
   Weight max_weight() const { return max_weight_; }
 
-  bool valid_vertex(Vertex v) const { return v >= 0 && v < n(); }
+  bool valid_vertex(Vertex v) const { return v >= 0 && v < n_; }
 
-  /// Finds the port at u leading to v, or kNoPort. Linear in degree(u);
-  /// intended for tests and assembly, not routing hot paths.
-  std::int32_t port_to(Vertex u, Vertex v) const {
-    for (std::int32_t p = 0; p < degree(u); ++p) {
-      if (adj_[u][static_cast<std::size_t>(p)].to == v) return p;
-    }
-    return kNoPort;
-  }
+  /// Frozen phase: the port at u leading to v, or kNoPort; the smallest such
+  /// port when parallel edges exist. O(log degree(u)) via a per-vertex
+  /// neighbor-sorted port permutation built at freeze() time.
+  std::int32_t port_to(Vertex u, Vertex v) const;
 
  private:
-  std::vector<std::vector<HalfEdge>> adj_;
+  struct PendingEdge {
+    Vertex u;
+    Vertex v;
+    Weight w;
+  };
+
+  int n_ = 0;
   std::int64_t m_ = 0;
   Weight max_weight_ = 0;
+  bool frozen_ = false;
+
+  // Builder phase.
+  std::vector<PendingEdge> pending_;
+  std::vector<std::int32_t> deg_;
+
+  // Frozen phase (CSR).
+  std::vector<std::size_t> offsets_;       // n+1 entries into half_edges_
+  std::vector<HalfEdge> half_edges_;       // 2m, grouped by source vertex
+  std::vector<std::int32_t> sorted_ports_; // 2m, per-vertex ports by (to, port)
 };
 
 }  // namespace nors::graph

@@ -40,8 +40,7 @@ SsspResult run_dijkstra(const WeightedGraph& g,
         src != r.source[static_cast<std::size_t>(v)]) {
       continue;
     }
-    for (std::int32_t p = 0; p < g.degree(v); ++p) {
-      const auto& e = g.edge(v, p);
+    for (const auto& e : g.neighbors(v)) {
       const Dist nd = d + e.w;
       auto& du = r.dist[static_cast<std::size_t>(e.to)];
       auto& su = r.source[static_cast<std::size_t>(e.to)];
@@ -87,8 +86,7 @@ HopBoundedResult hop_bounded_sssp(const WeightedGraph& g, Vertex src,
     std::vector<Vertex> changed;
     for (Vertex v : frontier) {
       const Dist dv = r.dist[static_cast<std::size_t>(v)];
-      for (std::int32_t p = 0; p < g.degree(v); ++p) {
-        const auto& e = g.edge(v, p);
+      for (const auto& e : g.neighbors(v)) {
         const Dist nd = dv + e.w;
         if (nd < next[static_cast<std::size_t>(e.to)]) {
           if (next[static_cast<std::size_t>(e.to)] ==

@@ -25,7 +25,7 @@ class BfsProgram : public congest::NodeProgram {
     net.wake(root_);
   }
 
-  void on_round(Vertex v, const std::vector<congest::Message>& inbox,
+  void on_round(Vertex v, congest::MessageView inbox,
                 congest::Sender& out) override {
     if (depth_[static_cast<std::size_t>(v)] == -1) {
       // Adopt the announcement with the smallest (depth, sender) pair.
@@ -101,8 +101,7 @@ BfsTree centralized_bfs_tree(const graph::WeightedGraph& g, Vertex root) {
   while (!q.empty()) {
     const Vertex v = q.front();
     q.pop();
-    for (std::int32_t p = 0; p < g.degree(v); ++p) {
-      const auto& e = g.edge(v, p);
+    for (const auto& e : g.neighbors(v)) {
       if (depth[static_cast<std::size_t>(e.to)] == -1) {
         depth[static_cast<std::size_t>(e.to)] =
             depth[static_cast<std::size_t>(v)] + 1;

@@ -31,7 +31,7 @@ class ClusterBfProgram : public congest::NodeProgram {
     }
   }
 
-  void on_round(Vertex v, const std::vector<congest::Message>& inbox,
+  void on_round(Vertex v, congest::MessageView inbox,
                 congest::Sender& out) override {
     const auto vi = static_cast<std::size_t>(v);
     for (const auto& m : inbox) {
@@ -59,9 +59,9 @@ class ClusterBfProgram : public congest::NodeProgram {
       queue.pop_front();
       queued_flag_[vi].erase(root);
       const Dist d = entries_[vi][root].dist;
-      for (std::int32_t p = 0; p < g_.degree(v); ++p) {
-        const auto& e = g_.edge(v, p);
-        out.send(p, congest::Message::make(0, {root, d + e.w}));
+      std::int32_t p = 0;
+      for (const auto& e : g_.neighbors(v)) {
+        out.send(p++, congest::Message::make(0, {root, d + e.w}));
       }
       if (!queue.empty()) out.wake_self();
     }

@@ -42,7 +42,7 @@ class PipelineProgram : public congest::NodeProgram {
     }
   }
 
-  void on_round(Vertex v, const std::vector<congest::Message>& inbox,
+  void on_round(Vertex v, congest::MessageView inbox,
                 congest::Sender& out) override {
     auto& up = up_queue_[static_cast<std::size_t>(v)];
     auto& down = down_queue_[static_cast<std::size_t>(v)];

@@ -28,7 +28,7 @@ class SetBfProgram : public congest::NodeProgram {
     }
   }
 
-  void on_round(Vertex v, const std::vector<congest::Message>& inbox,
+  void on_round(Vertex v, congest::MessageView inbox,
                 congest::Sender& out) override {
     const auto vi = static_cast<std::size_t>(v);
     for (const auto& m : inbox) {
@@ -49,11 +49,10 @@ class SetBfProgram : public congest::NodeProgram {
       // adds nothing: sending the incremented value keeps messages at two
       // words and matches "the name of the vertex in A_i and the current
       // distance to it" (paper §3.1).
-      const auto& g = net_->graph();
-      for (std::int32_t p = 0; p < g.degree(v); ++p) {
-        const auto& e = g.edge(v, p);
-        out.send(p, congest::Message::make(
-                        0, {dist_[vi] + e.w, source_[vi]}));
+      std::int32_t p = 0;
+      for (const auto& e : net_->graph().neighbors(v)) {
+        out.send(p++, congest::Message::make(
+                          0, {dist_[vi] + e.w, source_[vi]}));
       }
     }
   }

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "graph/shortest_paths.h"
+#include "util/radix.h"
 
 namespace nors::primitives {
 
@@ -11,67 +11,105 @@ namespace {
 using graph::Dist;
 using graph::Vertex;
 
+/// Reusable buffers for the per-(source, scale) Bellman–Ford sweeps. The
+/// sweep allocates nothing and costs O(region explored), not O(n): between
+/// runs the arrays hold their rest state (inf / kNoPort) and only the
+/// entries named in `touched` are dirty, so each run resets exactly what it
+/// wrote.
+struct ScaleScratch {
+  std::vector<Dist> cur, next;           // committed / tentative, in q units
+  std::vector<std::int32_t> cur_port;    // committed parent port
+  std::vector<std::int32_t> next_port;   // tentative parent port
+  std::vector<Vertex> frontier, changed;
+  std::vector<Vertex> touched;           // every vertex written this run
+  std::vector<char> in_touched;
+  std::vector<Vertex> sort_scratch;
+
+  explicit ScaleScratch(std::size_t n)
+      : cur(n, graph::kDistInf),
+        next(n, graph::kDistInf),
+        cur_port(n, graph::kNoPort),
+        next_port(n, graph::kNoPort),
+        in_touched(n, 0) {}
+
+  void touch(Vertex v) {
+    if (!in_touched[static_cast<std::size_t>(v)]) {
+      in_touched[static_cast<std::size_t>(v)] = 1;
+      touched.push_back(v);
+    }
+  }
+
+  /// Restore the rest state after the caller has consumed `touched`.
+  void reset() {
+    for (const Vertex v : touched) {
+      const auto vi = static_cast<std::size_t>(v);
+      cur[vi] = graph::kDistInf;
+      next[vi] = graph::kDistInf;
+      cur_port[vi] = graph::kNoPort;
+      next_port[vi] = graph::kNoPort;
+      in_touched[vi] = 0;
+    }
+    touched.clear();
+    frontier.clear();
+    changed.clear();
+  }
+};
+
 /// One distance scale of the [Nan14] rounding scheme: exact hop-bounded
-/// Bellman–Ford under quantized weights w' = ceil(w/q), truncated at `cap`
+/// Bellman–Ford under quantized weights wq (ceil(w/q), precomputed per
+/// scale, aligned with the CSR half-edge array), truncated at `cap`
 /// quantized units (the scale only covers its distance window — this is
 /// what bounds the number of distinct distance levels, and what makes the
 /// scheme genuinely approximate instead of collapsing into one exact
-/// sweep). Distances are returned in original units.
-struct ScaleRun {
-  std::vector<Dist> dist;
-  std::vector<std::int32_t> parent_port;
+/// sweep). On return, s.cur holds quantized distances and s.cur_port the
+/// parent ports for every vertex in s.touched; call s.reset() afterwards.
+struct SweepOutcome {
   int iterations = 0;
   bool truncated = false;  // some relaxation hit the cap
 };
 
-ScaleRun run_scale(const graph::WeightedGraph& g, Vertex src,
-                   std::int64_t hop_bound, Dist q, Dist cap) {
-  const auto n = static_cast<std::size_t>(g.n());
-  ScaleRun r;
-  r.dist.assign(n, graph::kDistInf);
-  r.parent_port.assign(n, graph::kNoPort);
-  std::vector<Dist> cur(n, graph::kDistInf);  // in q units
-  cur[static_cast<std::size_t>(src)] = 0;
-  std::vector<Dist> next = cur;
-  std::vector<std::int32_t> next_port(n, graph::kNoPort);
-  std::vector<Vertex> frontier{src};
-  for (std::int64_t it = 0; it < hop_bound && !frontier.empty(); ++it) {
-    std::vector<Vertex> changed;
-    for (Vertex v : frontier) {
-      const Dist dv = cur[static_cast<std::size_t>(v)];
-      for (std::int32_t p = 0; p < g.degree(v); ++p) {
-        const auto& e = g.edge(v, p);
-        const Dist wq = (e.w + q - 1) / q;  // ceil(w/q)
-        const Dist nd = dv + wq;
+SweepOutcome run_scale(const graph::WeightedGraph& g, Vertex src,
+                       std::int64_t hop_bound, const std::vector<Dist>& wq,
+                       Dist cap, ScaleScratch& s) {
+  SweepOutcome out;
+  s.cur[static_cast<std::size_t>(src)] = 0;
+  s.next[static_cast<std::size_t>(src)] = 0;
+  s.touch(src);
+  s.frontier.assign(1, src);
+  for (std::int64_t it = 0; it < hop_bound && !s.frontier.empty(); ++it) {
+    s.changed.clear();
+    for (const Vertex v : s.frontier) {
+      const Dist dv = s.cur[static_cast<std::size_t>(v)];
+      const std::size_t base = g.edge_base(v);
+      const auto nbrs = g.neighbors(v);
+      for (std::size_t p = 0; p < nbrs.size(); ++p) {
+        const Dist nd = dv + wq[base + p];
         if (nd > cap) {
-          r.truncated = true;
+          out.truncated = true;
           continue;
         }
-        if (nd < next[static_cast<std::size_t>(e.to)]) {
-          if (next[static_cast<std::size_t>(e.to)] ==
-              cur[static_cast<std::size_t>(e.to)]) {
-            changed.push_back(e.to);
-          }
-          next[static_cast<std::size_t>(e.to)] = nd;
-          next_port[static_cast<std::size_t>(e.to)] = e.rev;
+        const auto to = static_cast<std::size_t>(nbrs[p].to);
+        if (nd < s.next[to]) {
+          if (s.next[to] == s.cur[to]) s.changed.push_back(nbrs[p].to);
+          s.next[to] = nd;
+          s.next_port[to] = nbrs[p].rev;
         }
       }
     }
-    if (changed.empty()) break;
-    std::sort(changed.begin(), changed.end());
-    changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
-    for (Vertex v : changed) {
-      cur[static_cast<std::size_t>(v)] = next[static_cast<std::size_t>(v)];
-      r.parent_port[static_cast<std::size_t>(v)] =
-          next_port[static_cast<std::size_t>(v)];
+    if (s.changed.empty()) break;
+    // The first-improvement guard above keeps `changed` duplicate-free, so
+    // ordering ascending (the historical frontier order) is all that's left.
+    util::radix_sort(s.changed, s.sort_scratch, g.n() - 1);
+    for (const Vertex v : s.changed) {
+      s.cur[static_cast<std::size_t>(v)] = s.next[static_cast<std::size_t>(v)];
+      s.cur_port[static_cast<std::size_t>(v)] =
+          s.next_port[static_cast<std::size_t>(v)];
+      s.touch(v);
     }
-    frontier = std::move(changed);
-    r.iterations = static_cast<int>(it) + 1;
+    s.frontier.swap(s.changed);
+    out.iterations = static_cast<int>(it) + 1;
   }
-  for (std::size_t v = 0; v < n; ++v) {
-    if (!graph::is_inf(cur[v])) r.dist[v] = cur[v] * q;
-  }
-  return r;
+  return out;
 }
 
 }  // namespace
@@ -112,12 +150,32 @@ SourceDetectionResult source_detection(
   }
   out.distinct_scales = static_cast<int>(scales.size());
 
+  // Scale-major execution: the quantized weights depend only on the scale,
+  // so one pass per scale over the CSR half-edge array serves every source
+  // and the relaxation loop never divides. Each source still runs exactly
+  // the scales it would have run source-major — the per-source early exit
+  // below (and therefore every output, including the round charge, which
+  // counts source 0's scales only) is order-independent.
   std::int64_t cost = 0;
   int executed = 0;
-  for (std::size_t si = 0; si < sources.size(); ++si) {
-    for (const auto& sc : scales) {
-      const ScaleRun run =
-          run_scale(g, sources[si], hop_bound, sc.q, sc.cap);
+  std::vector<char> src_active(sources.size(), 1);
+  std::size_t remaining = sources.size();
+  ScaleScratch scratch(n);
+  std::vector<Dist> wq(g.total_half_edges());
+  for (const auto& sc : scales) {
+    if (remaining == 0) break;
+    {
+      std::size_t idx = 0;
+      for (Vertex v = 0; v < g.n(); ++v) {
+        for (const auto& e : g.neighbors(v)) {
+          wq[idx++] = sc.q == 1 ? e.w : (e.w + sc.q - 1) / sc.q;
+        }
+      }
+    }
+    for (std::size_t si = 0; si < sources.size(); ++si) {
+      if (!src_active[si]) continue;
+      const SweepOutcome run =
+          run_scale(g, sources[si], hop_bound, wq, sc.cap, scratch);
       if (si == 0) {
         // Round charge per executed scale (the pipelined [Nan14] schedule
         // runs all sources of one scale together): |S| + hop layers + D.
@@ -128,18 +186,21 @@ SourceDetectionResult source_detection(
         ++executed;
       }
       out.max_iterations = std::max(out.max_iterations, run.iterations);
-      for (std::size_t v = 0; v < n; ++v) {
+      for (const Vertex tv : scratch.touched) {
+        const auto v = static_cast<std::size_t>(tv);
+        const Dist d = scratch.cur[v] * sc.q;
         auto& cell = out.dist[si * n + v];
-        if (run.dist[v] < cell) {
-          cell = run.dist[v];
-          out.parent_port[si * n + v] = run.parent_port[v];
+        if (d < cell) {
+          cell = d;
+          out.parent_port[si * n + v] = scratch.cur_port[v];
         }
       }
+      scratch.reset();
       // Early exit: an untruncated, fully converged exact-quantum sweep is
       // the complete d^(B); coarser scales can never improve on it.
-      if (sc.q == 1 && !run.truncated &&
-          run.iterations < hop_bound) {
-        break;
+      if (sc.q == 1 && !run.truncated && run.iterations < hop_bound) {
+        src_active[si] = 0;
+        --remaining;
       }
     }
   }

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <queue>
 
 #include "primitives/pipelined.h"
 
@@ -13,29 +11,118 @@ namespace {
 
 using graph::Vertex;
 
-/// BFS order of a TreeSpec from its root (parents point rootward).
-std::vector<Vertex> bfs_order(const TreeSpec& t) {
-  std::unordered_map<Vertex, std::vector<Vertex>> children;
-  children.reserve(t.members.size());
-  for (Vertex v : t.members) children[v];
-  for (Vertex v : t.members) {
+/// Flat, position-indexed view of a TreeSpec: members in BFS order from the
+/// root (parents precede children), with parent links as positions into
+/// `order`. Built once per tree, it replaces per-member hash lookups in
+/// every pass below.
+struct IndexedTree {
+  std::vector<Vertex> order;             // BFS order, order[0] == root
+  std::vector<int> parent_pos;           // position of parent; -1 at root
+  std::vector<std::int32_t> parent_port; // port toward parent; root: kNoPort
+};
+
+IndexedTree index_tree(const TreeSpec& t) {
+  const std::size_t sz = t.members.size();
+  NORS_CHECK_MSG(t.parent.size() == sz && t.parent_port.size() == sz,
+                 "TreeSpec parent arrays must parallel members");
+  std::unordered_map<Vertex, int> pos;
+  pos.reserve(sz * 2);
+  for (std::size_t i = 0; i < sz; ++i) {
+    pos.emplace(t.members[i], static_cast<int>(i));
+  }
+  // Parent position + port per member position.
+  std::vector<int> par(sz, -1);
+  std::vector<std::int32_t> pport(sz, graph::kNoPort);
+  for (std::size_t i = 0; i < sz; ++i) {
+    const Vertex v = t.members[i];
     if (v == t.root) continue;
-    children[t.parent.at(v)].push_back(v);
+    auto it = pos.find(t.parent[i]);
+    // A parent outside the members leaves v unreachable; the size check
+    // after BFS reports it.
+    if (it != pos.end()) par[i] = it->second;
+    pport[i] = t.parent_port[i];
   }
-  for (auto& [v, ch] : children) std::sort(ch.begin(), ch.end());
-  std::vector<Vertex> order;
-  order.reserve(t.members.size());
-  std::queue<Vertex> q;
-  q.push(t.root);
-  while (!q.empty()) {
-    const Vertex v = q.front();
-    q.pop();
-    order.push_back(v);
-    for (Vertex c : children[v]) q.push(c);
+  // Children in CSR layout, buckets sorted by child vertex id (the
+  // deterministic order every traversal below inherits).
+  std::vector<int> cnt(sz, 0);
+  for (std::size_t i = 0; i < sz; ++i) {
+    if (par[i] >= 0 && t.members[i] != t.root) ++cnt[static_cast<std::size_t>(par[i])];
   }
-  NORS_CHECK_MSG(order.size() == t.members.size(),
+  std::vector<int> off(sz + 1, 0);
+  for (std::size_t i = 0; i < sz; ++i) off[i + 1] = off[i] + cnt[i];
+  std::vector<int> child(static_cast<std::size_t>(off.back()));
+  {
+    std::vector<int> cursor(off.begin(), off.end() - 1);
+    for (std::size_t i = 0; i < sz; ++i) {
+      if (par[i] >= 0 && t.members[i] != t.root) {
+        child[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(par[i])]++)] = static_cast<int>(i);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < sz; ++i) {
+    std::sort(child.begin() + off[i], child.begin() + off[i + 1],
+              [&](int a, int b) {
+                return t.members[static_cast<std::size_t>(a)] <
+                       t.members[static_cast<std::size_t>(b)];
+              });
+  }
+  // BFS from the root over member positions.
+  IndexedTree out;
+  auto rit = pos.find(t.root);
+  std::vector<int> bfs;
+  bfs.reserve(sz);
+  if (rit != pos.end()) {
+    bfs.push_back(rit->second);
+    for (std::size_t h = 0; h < bfs.size(); ++h) {
+      const auto v = static_cast<std::size_t>(bfs[h]);
+      for (int c = off[v]; c < off[v + 1]; ++c) {
+        bfs.push_back(child[static_cast<std::size_t>(c)]);
+      }
+    }
+  }
+  NORS_CHECK_MSG(bfs.size() == sz,
                  "TreeSpec is not a single tree rooted at " << t.root);
-  return order;
+  // Re-index from member positions to BFS positions.
+  std::vector<int> bfs_pos(sz);
+  for (std::size_t i = 0; i < sz; ++i) {
+    bfs_pos[static_cast<std::size_t>(bfs[i])] = static_cast<int>(i);
+  }
+  out.order.resize(sz);
+  out.parent_pos.resize(sz);
+  out.parent_port.resize(sz);
+  for (std::size_t i = 0; i < sz; ++i) {
+    const auto m = static_cast<std::size_t>(bfs[i]);
+    out.order[i] = t.members[m];
+    out.parent_pos[i] =
+        par[m] < 0 ? -1 : bfs_pos[static_cast<std::size_t>(par[m])];
+    out.parent_port[i] = pport[m];
+  }
+  return out;
+}
+
+/// Subtree decomposition of an indexed tree under the sample U: w_pos[i] is
+/// the position of the nearest root-or-U ancestor (inclusive) of member i,
+/// depth[i] its distance below it. Returns the maximum depth.
+int subtree_roots(const IndexedTree& it, graph::Vertex root,
+                  const std::vector<char>& in_u, std::vector<int>& w_pos,
+                  std::vector<int>& depth) {
+  const std::size_t sz = it.order.size();
+  w_pos.resize(sz);
+  depth.assign(sz, 0);
+  int max_depth = 0;
+  for (std::size_t i = 0; i < sz; ++i) {
+    const Vertex v = it.order[i];
+    if (v == root || in_u[static_cast<std::size_t>(v)]) {
+      w_pos[i] = static_cast<int>(i);
+    } else {
+      const auto p = static_cast<std::size_t>(it.parent_pos[i]);
+      w_pos[i] = w_pos[p];
+      depth[i] = depth[p] + 1;
+      max_depth = std::max(max_depth, depth[i]);
+    }
+  }
+  return max_depth;
 }
 
 }  // namespace
@@ -45,59 +132,96 @@ DistTreeScheme DistTreeScheme::build(const graph::WeightedGraph& g,
                                      const std::vector<char>& in_u) {
   DistTreeScheme s;
   s.root_ = tree.root;
-  const std::vector<Vertex> order = bfs_order(tree);
+  const IndexedTree it = index_tree(tree);
+  const std::size_t sz = it.order.size();
 
-  // Subtree root w(v): nearest ancestor (inclusive) in U(T) = (U ∩ T) ∪ {z}.
-  std::unordered_map<Vertex, Vertex> w_of;
-  std::unordered_map<Vertex, int> depth_in_subtree;
-  w_of.reserve(order.size());
-  for (Vertex v : order) {
-    if (v == tree.root || in_u[static_cast<std::size_t>(v)]) {
-      w_of[v] = v;
-      depth_in_subtree[v] = 0;
-    } else {
-      const Vertex p = tree.parent.at(v);
-      w_of[v] = w_of.at(p);
-      depth_in_subtree[v] = depth_in_subtree.at(p) + 1;
-      s.max_subtree_depth_ =
-          std::max(s.max_subtree_depth_, depth_in_subtree[v]);
+  // Subtree root w(v): nearest ancestor (inclusive) in U(T) = (U ∩ T) ∪ {z},
+  // as a position into it.order; plus the depth below it.
+  std::vector<int> w_pos, depth;
+  s.max_subtree_depth_ = subtree_roots(it, tree.root, in_u, w_pos, depth);
+
+  // Members of each subtree in BFS order (parents precede children), CSR
+  // over the subtree-root positions.
+  std::vector<int> sub_cnt(sz, 0);
+  for (std::size_t i = 0; i < sz; ++i) ++sub_cnt[static_cast<std::size_t>(w_pos[i])];
+  std::vector<int> roots;  // subtree-root positions, ascending (= BFS order)
+  for (std::size_t i = 0; i < sz; ++i) {
+    if (w_pos[i] == static_cast<int>(i)) roots.push_back(static_cast<int>(i));
+  }
+  s.u_count_ = static_cast<int>(roots.size());
+  std::vector<int> sub_off(sz + 1, 0);
+  for (std::size_t i = 0; i < sz; ++i) sub_off[i + 1] = sub_off[i] + sub_cnt[i];
+  std::vector<int> sub_members(sz);
+  {
+    std::vector<int> cursor(sub_off.begin(), sub_off.end() - 1);
+    for (std::size_t i = 0; i < sz; ++i) {
+      sub_members[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(w_pos[i])]++)] = static_cast<int>(i);
     }
   }
 
-  // Members of each subtree, in BFS order (so parents precede children).
-  std::map<Vertex, std::vector<Vertex>> subtree_members;
-  for (Vertex v : order) subtree_members[w_of.at(v)].push_back(v);
-  s.u_count_ = static_cast<int>(subtree_members.size());
-
-  // Local TZ scheme per subtree.
+  // Local TZ scheme per subtree, via the index-based overload (no map
+  // marshalling).
   std::unordered_map<Vertex, TzTreeScheme> local;
-  for (const auto& [w, mem] : subtree_members) {
-    std::unordered_map<Vertex, Vertex> par;
-    std::unordered_map<Vertex, std::int32_t> ports;
-    for (Vertex v : mem) {
-      if (v == w) continue;
-      par[v] = tree.parent.at(v);
-      ports[v] = tree.parent_port.at(v);
+  local.reserve(roots.size() * 2);
+  {
+    std::vector<Vertex> mem, mpar;
+    std::vector<std::int32_t> mport;
+    for (const int w : roots) {
+      const auto wi = static_cast<std::size_t>(w);
+      mem.clear();
+      mpar.clear();
+      mport.clear();
+      for (int c = sub_off[wi]; c < sub_off[wi + 1]; ++c) {
+        const auto i = static_cast<std::size_t>(
+            sub_members[static_cast<std::size_t>(c)]);
+        mem.push_back(it.order[i]);
+        if (static_cast<int>(i) == w) {
+          mpar.push_back(graph::kNoVertex);
+          mport.push_back(graph::kNoPort);
+        } else {
+          mpar.push_back(it.order[static_cast<std::size_t>(it.parent_pos[i])]);
+          mport.push_back(it.parent_port[i]);
+        }
+      }
+      local.emplace(it.order[wi],
+                    TzTreeScheme::build(g, mem, mpar, mport, it.order[wi]));
     }
-    local.emplace(w, TzTreeScheme::build(g, mem, par, ports, w));
   }
 
   // Virtual tree T' over subtree roots. parent'(u) = w(p_T(u)); the portal
   // of u is its T-parent.
   std::unordered_map<Vertex, std::vector<Vertex>> t_children;
-  std::unordered_map<Vertex, Vertex> t_parent;
-  for (const auto& [w, mem] : subtree_members) {
-    t_children[w];
-    if (w == tree.root) continue;
-    const Vertex portal = tree.parent.at(w);
-    t_parent[w] = w_of.at(portal);
-    t_children[w_of.at(portal)].push_back(w);
+  t_children.reserve(roots.size() * 2);
+  for (const int w : roots) {
+    const auto wi = static_cast<std::size_t>(w);
+    const Vertex wv = it.order[wi];
+    t_children[wv];
+    if (wv == tree.root) continue;
+    const auto portal_pos = static_cast<std::size_t>(it.parent_pos[wi]);
+    const Vertex wp = it.order[static_cast<std::size_t>(w_pos[portal_pos])];
+    t_children[wp].push_back(wv);
   }
   for (auto& [w, ch] : t_children) std::sort(ch.begin(), ch.end());
+
+  // Per-root lookup helpers shared by the two T' walks below.
+  std::unordered_map<Vertex, int> root_pos_of;  // root vertex -> position
+  root_pos_of.reserve(roots.size() * 2);
+  for (const int w : roots) root_pos_of.emplace(it.order[static_cast<std::size_t>(w)], w);
+  auto portal_of = [&](Vertex w) {
+    // p_T(w): w's tree parent, the portal into w's subtree.
+    const auto wp = static_cast<std::size_t>(root_pos_of.at(w));
+    return it.order[static_cast<std::size_t>(it.parent_pos[wp])];
+  };
+  auto up_port_of = [&](Vertex w) {
+    return it.parent_port[static_cast<std::size_t>(root_pos_of.at(w))];
+  };
 
   // Sizes, heavy child, DFS intervals on T'.
   std::unordered_map<Vertex, std::int64_t> t_size;
   std::unordered_map<Vertex, Vertex> t_heavy;
+  t_size.reserve(roots.size() * 2);
+  t_heavy.reserve(roots.size() * 2);
   {
     std::vector<std::pair<Vertex, std::size_t>> stack{{tree.root, 0}};
     while (!stack.empty()) {
@@ -107,17 +231,17 @@ DistTreeScheme DistTreeScheme::build(const graph::WeightedGraph& g,
         ++stack.back().second;
         stack.push_back({ch[idx], 0});
       } else {
-        std::int64_t sz = 1;
+        std::int64_t sz_v = 1;
         Vertex heavy = graph::kNoVertex;
         std::int64_t best = -1;
         for (Vertex c : ch) {
-          sz += t_size[c];
+          sz_v += t_size[c];
           if (t_size[c] > best) {
             best = t_size[c];
             heavy = c;
           }
         }
-        t_size[v] = sz;
+        t_size[v] = sz_v;
         t_heavy[v] = heavy;
         stack.pop_back();
       }
@@ -125,6 +249,9 @@ DistTreeScheme DistTreeScheme::build(const graph::WeightedGraph& g,
   }
   std::unordered_map<Vertex, std::int64_t> a_prime, b_prime;
   std::unordered_map<Vertex, std::vector<GlobalHop>> t_label;
+  a_prime.reserve(roots.size() * 2);
+  b_prime.reserve(roots.size() * 2);
+  t_label.reserve(roots.size() * 2);
   {
     std::int64_t clock = 0;
     std::vector<std::pair<Vertex, std::size_t>> stack{{tree.root, 0}};
@@ -141,9 +268,9 @@ DistTreeScheme DistTreeScheme::build(const graph::WeightedGraph& g,
           GlobalHop hop;
           hop.vi = v;
           hop.wi = c;
-          hop.portal = tree.parent.at(c);
+          hop.portal = portal_of(c);
           hop.portal_label = local.at(v).label(hop.portal);
-          hop.port = g.edge(c, tree.parent_port.at(c)).rev;
+          hop.port = g.edge(c, up_port_of(c)).rev;
           lbl.push_back(std::move(hop));
         }
         t_label[c] = std::move(lbl);
@@ -156,30 +283,33 @@ DistTreeScheme DistTreeScheme::build(const graph::WeightedGraph& g,
   }
 
   // Assemble per-member tables and labels.
-  for (Vertex v : order) {
-    const Vertex w = w_of.at(v);
+  s.info_.reserve(sz * 2);
+  s.labels_.reserve(sz * 2);
+  for (std::size_t i = 0; i < sz; ++i) {
+    const Vertex v = it.order[i];
+    const Vertex w = it.order[static_cast<std::size_t>(w_pos[i])];
+    const TzTreeScheme& loc = local.at(w);
     NodeInfo ni;
     ni.subtree_root = w;
-    ni.local = local.at(w).table(v);
+    ni.local = loc.table(v);
     ni.a_prime = a_prime.at(w);
     ni.b_prime = b_prime.at(w);
     ni.heavy_prime = t_heavy.at(w);
     if (ni.heavy_prime != graph::kNoVertex) {
-      ni.heavy_portal = tree.parent.at(ni.heavy_prime);
-      ni.heavy_portal_label = local.at(w).label(ni.heavy_portal);
-      ni.heavy_port =
-          g.edge(ni.heavy_prime, tree.parent_port.at(ni.heavy_prime)).rev;
+      ni.heavy_portal = portal_of(ni.heavy_prime);
+      ni.heavy_portal_label = loc.label(ni.heavy_portal);
+      ni.heavy_port = g.edge(ni.heavy_prime, up_port_of(ni.heavy_prime)).rev;
     }
     if (w != tree.root) {
       // At the subtree root, the way "up" in T leaves the subtree.
-      ni.up_port = (v == w) ? tree.parent_port.at(w) : graph::kNoPort;
+      ni.up_port = (v == w) ? it.parent_port[i] : graph::kNoPort;
     }
     s.info_[v] = std::move(ni);
 
     VLabel lbl;
     lbl.a_prime = a_prime.at(w);
     lbl.global_light = t_label.at(w);
-    lbl.local = local.at(w).label(v);
+    lbl.local = loc.label(v);
     s.labels_[v] = std::move(lbl);
   }
   return s;
@@ -277,6 +407,26 @@ DistTreeBatch build_dist_tree_batch(const graph::WeightedGraph& g,
 
   // Remark-3 schedule verification: each subtree broadcast occupies its
   // edges at stage start(w)+depth(edge); count collisions per (edge, stage).
+  // The per-tree structure (BFS order, subtree roots, depths) does not
+  // depend on the attempt, so index it once up front; an attempt only
+  // redraws the start stages.
+  struct TreeSchedule {
+    std::vector<Vertex> order;   // BFS order
+    std::vector<int> parent_pos;
+    std::vector<int> w_pos;      // subtree-root position per member
+    std::vector<int> depth;      // depth below the subtree root
+  };
+  std::vector<TreeSchedule> sched;
+  sched.reserve(specs.size());
+  for (const auto& t : specs) {
+    IndexedTree it = index_tree(t);
+    TreeSchedule ts;
+    subtree_roots(it, t.root, in_u, ts.w_pos, ts.depth);
+    ts.order = std::move(it.order);
+    ts.parent_pos = std::move(it.parent_pos);
+    sched.push_back(std::move(ts));
+  }
+
   const std::int64_t ln_n = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(std::log(std::max(2, n))));
   std::int64_t range = std::max<std::int64_t>(
@@ -284,29 +434,36 @@ DistTreeBatch build_dist_tree_batch(const graph::WeightedGraph& g,
                                              out.max_overlap)) *
              ln_n);
   std::int64_t stages = 0;
+  struct KeyHash {
+    std::size_t operator()(const std::pair<std::int64_t, std::int64_t>& k) const {
+      // splitmix-style combine; exact keys, so collisions only cost probes.
+      std::uint64_t h = static_cast<std::uint64_t>(k.first) * 0x9E3779B97F4A7C15ull;
+      h ^= static_cast<std::uint64_t>(k.second) + 0x9E3779B97F4A7C15ull +
+           (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<std::pair<std::int64_t, std::int64_t>, int, KeyHash> load;
+  std::vector<std::int64_t> start;
   for (int attempt = 0;; ++attempt) {
     NORS_CHECK_MSG(attempt < 20, "staged schedule failed to decongest");
-    std::map<std::pair<std::int64_t, std::int64_t>, int> load;  // (edge,stage)
+    load.clear();
     bool ok = true;
     stages = 0;
     util::Rng sched_rng = rng.fork(static_cast<std::uint64_t>(attempt) + 99);
-    for (const auto& t : specs) {
-      // Recompute subtree membership/depths for scheduling.
-      const std::vector<Vertex> order = bfs_order(t);
-      std::unordered_map<Vertex, Vertex> w_of;
-      std::unordered_map<Vertex, std::int64_t> depth;
-      std::unordered_map<Vertex, std::int64_t> start;
-      for (Vertex v : order) {
-        if (v == t.root || in_u[static_cast<std::size_t>(v)]) {
-          w_of[v] = v;
-          depth[v] = 0;
-          start[v] = static_cast<std::int64_t>(
+    for (const TreeSchedule& ts : sched) {
+      const std::size_t sz = ts.order.size();
+      start.assign(sz, 0);
+      for (std::size_t i = 0; i < sz; ++i) {
+        if (ts.w_pos[i] == static_cast<int>(i)) {
+          start[i] = static_cast<std::int64_t>(
               sched_rng.uniform(static_cast<std::uint64_t>(range)));
         } else {
-          const Vertex p = t.parent.at(v);
-          w_of[v] = w_of.at(p);
-          depth[v] = depth.at(p) + 1;
-          const std::int64_t stage = start.at(w_of.at(v)) + depth.at(v);
+          const Vertex v = ts.order[i];
+          const Vertex p =
+              ts.order[static_cast<std::size_t>(ts.parent_pos[i])];
+          const std::int64_t stage =
+              start[static_cast<std::size_t>(ts.w_pos[i])] + ts.depth[i];
           stages = std::max(stages, stage + 1);
           // Edge identity: (child, parent) — the same child vertex can hang
           // off different parents in different trees.

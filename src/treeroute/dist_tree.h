@@ -17,8 +17,10 @@ namespace nors::treeroute {
 struct TreeSpec {
   graph::Vertex root = graph::kNoVertex;
   std::vector<graph::Vertex> members;  // includes root
-  std::unordered_map<graph::Vertex, graph::Vertex> parent;
-  std::unordered_map<graph::Vertex, std::int32_t> parent_port;
+  // Parallel to members: the tree parent of members[i] and the port toward
+  // it; entries at the root's position hold kNoVertex / kNoPort.
+  std::vector<graph::Vertex> parent;
+  std::vector<std::int32_t> parent_port;
 };
 
 /// The paper's Section-6 tree routing scheme (Theorem 7): sampled vertices

@@ -15,13 +15,14 @@ class Phase1Program : public congest::NodeProgram {
   Phase1Program(const graph::WeightedGraph& g, const TreeSpec& tree,
                 const std::vector<char>& in_u)
       : g_(g) {
-    for (Vertex v : tree.members) {
+    for (std::size_t i = 0; i < tree.members.size(); ++i) {
+      const Vertex v = tree.members[i];
       auto& st = state_[v];
       st.is_subtree_root =
           (v == tree.root) || in_u[static_cast<std::size_t>(v)];
       if (v != tree.root) {
-        st.parent = tree.parent.at(v);
-        st.parent_port = tree.parent_port.at(v);
+        st.parent = tree.parent[i];
+        st.parent_port = tree.parent_port[i];
       }
     }
     // Forest children: tree children that are not subtree roots.
@@ -44,7 +45,7 @@ class Phase1Program : public congest::NodeProgram {
     }
   }
 
-  void on_round(Vertex v, const std::vector<congest::Message>& inbox,
+  void on_round(Vertex v, congest::MessageView inbox,
                 congest::Sender& out) override {
     auto it = state_.find(v);
     if (it == state_.end()) return;  // not a tree member

@@ -15,114 +15,194 @@ TzTreeScheme TzTreeScheme::build(
     const std::unordered_map<Vertex, Vertex>& parent,
     const std::unordered_map<Vertex, std::int32_t>& parent_port,
     Vertex root) {
-  NORS_CHECK(!members.empty());
-  TzTreeScheme s;
-  s.root_ = root;
-  s.members_ = members;
-
-  std::unordered_map<Vertex, std::vector<Vertex>> children;
-  children.reserve(members.size());
-  for (Vertex v : members) children[v];  // ensure every member has an entry
-  for (Vertex v : members) {
+  const std::size_t sz = members.size();
+  std::vector<Vertex> parent_of(sz, graph::kNoVertex);
+  std::vector<std::int32_t> port_of(sz, graph::kNoPort);
+  for (std::size_t i = 0; i < sz; ++i) {
+    const Vertex v = members[i];
     if (v == root) continue;
     auto it = parent.find(v);
     NORS_CHECK_MSG(it != parent.end(), "member " << v << " has no parent");
-    children[it->second].push_back(v);
+    parent_of[i] = it->second;
+    auto pit = parent_port.find(v);
+    NORS_CHECK_MSG(pit != parent_port.end(),
+                   "member " << v << " has no parent port");
+    port_of[i] = pit->second;
   }
-  // Deterministic order.
-  for (auto& [v, ch] : children) std::sort(ch.begin(), ch.end());
+  return build(g, members, parent_of, port_of, root);
+}
 
-  // Subtree sizes (iterative post-order).
-  std::unordered_map<Vertex, std::int64_t> size;
-  size.reserve(members.size());
+TzTreeScheme TzTreeScheme::build(const graph::WeightedGraph& g,
+                                 const std::vector<Vertex>& members,
+                                 const std::vector<Vertex>& parent_of,
+                                 const std::vector<std::int32_t>& port_of,
+                                 Vertex root) {
+  NORS_CHECK(!members.empty());
+  NORS_CHECK(members.size() == parent_of.size() &&
+             members.size() == port_of.size());
+  TzTreeScheme s;
+  s.root_ = root;
+  s.members_ = members;
+  const auto sz = static_cast<int>(members.size());
+
+  // Local indexing: everything below works on positions into `members`.
+  std::unordered_map<Vertex, int> pos;
+  pos.reserve(members.size() * 2);
+  for (int i = 0; i < sz; ++i) pos.emplace(members[i], i);
+  int root_pos = -1;
   {
-    std::vector<std::pair<Vertex, std::size_t>> stack{{root, 0}};
-    while (!stack.empty()) {
-      auto& [v, idx] = stack.back();
-      auto& ch = children[v];
-      if (idx < ch.size()) {
-        Vertex c = ch[idx];
-        ++idx;
-        stack.push_back({c, 0});
-      } else {
-        std::int64_t sz = 1;
-        for (Vertex c : ch) sz += size[c];
-        size[v] = sz;
-        stack.pop_back();
+    auto it = pos.find(root);
+    if (it != pos.end()) root_pos = it->second;
+  }
+  std::vector<int> par(static_cast<std::size_t>(sz), -1);
+  for (int i = 0; i < sz; ++i) {
+    if (members[static_cast<std::size_t>(i)] == root) continue;
+    auto it = pos.find(parent_of[static_cast<std::size_t>(i)]);
+    // A parent outside the member set leaves this node unreachable from the
+    // root; the reachability check below reports it.
+    par[static_cast<std::size_t>(i)] =
+        it == pos.end() ? -1 : it->second;
+  }
+
+  // Children in CSR layout, each bucket sorted by child vertex id (the
+  // historical deterministic order).
+  std::vector<int> child_cnt(static_cast<std::size_t>(sz), 0);
+  for (int i = 0; i < sz; ++i) {
+    if (i != root_pos && par[static_cast<std::size_t>(i)] >= 0) {
+      ++child_cnt[static_cast<std::size_t>(par[static_cast<std::size_t>(i)])];
+    }
+  }
+  std::vector<int> child_off(static_cast<std::size_t>(sz) + 1, 0);
+  for (int i = 0; i < sz; ++i) {
+    child_off[static_cast<std::size_t>(i) + 1] =
+        child_off[static_cast<std::size_t>(i)] +
+        child_cnt[static_cast<std::size_t>(i)];
+  }
+  std::vector<int> child_list(static_cast<std::size_t>(child_off.back()));
+  {
+    std::vector<int> cursor(child_off.begin(), child_off.end() - 1);
+    for (int i = 0; i < sz; ++i) {
+      const int p = par[static_cast<std::size_t>(i)];
+      if (i != root_pos && p >= 0) {
+        child_list[static_cast<std::size_t>(cursor[static_cast<std::size_t>(p)]++)] = i;
       }
     }
   }
-  NORS_CHECK_MSG(size.size() == members.size(),
+  for (int i = 0; i < sz; ++i) {
+    std::sort(child_list.begin() + child_off[static_cast<std::size_t>(i)],
+              child_list.begin() + child_off[static_cast<std::size_t>(i) + 1],
+              [&](int a, int b) {
+                return members[static_cast<std::size_t>(a)] <
+                       members[static_cast<std::size_t>(b)];
+              });
+  }
+
+  // BFS reachability + order from the root; doubles as the tree check.
+  std::vector<int> bfs;
+  bfs.reserve(static_cast<std::size_t>(sz));
+  if (root_pos >= 0) {
+    bfs.push_back(root_pos);
+    for (std::size_t h = 0; h < bfs.size(); ++h) {
+      const int v = bfs[h];
+      for (int c = child_off[static_cast<std::size_t>(v)];
+           c < child_off[static_cast<std::size_t>(v) + 1]; ++c) {
+        bfs.push_back(child_list[static_cast<std::size_t>(c)]);
+      }
+    }
+  }
+  NORS_CHECK_MSG(static_cast<int>(bfs.size()) == sz,
                  "parent pointers do not form one tree rooted at " << root);
 
-  // Heavy child and DFS intervals, heavy-first so the heavy path is a
-  // contiguous interval prefix (not required for correctness, but keeps
-  // intervals tight).
-  std::unordered_map<Vertex, Vertex> heavy;
-  for (Vertex v : members) {
-    Vertex h = graph::kNoVertex;
+  // Subtree sizes (children precede parents in reverse BFS order), then the
+  // heavy child: the smallest-id child of maximal size, moved to the front
+  // of its bucket by a single swap — the historical order the DFS visits.
+  std::vector<std::int64_t> size(static_cast<std::size_t>(sz), 1);
+  for (std::size_t h = bfs.size(); h-- > 1;) {
+    const int v = bfs[h];
+    size[static_cast<std::size_t>(par[static_cast<std::size_t>(v)])] +=
+        size[static_cast<std::size_t>(v)];
+  }
+  std::vector<int> heavy(static_cast<std::size_t>(sz), -1);
+  for (int i = 0; i < sz; ++i) {
     std::int64_t best = -1;
-    for (Vertex c : children[v]) {
-      if (size[c] > best) {
-        best = size[c];
-        h = c;
+    int at = -1;
+    for (int c = child_off[static_cast<std::size_t>(i)];
+         c < child_off[static_cast<std::size_t>(i) + 1]; ++c) {
+      const int ch = child_list[static_cast<std::size_t>(c)];
+      if (size[static_cast<std::size_t>(ch)] > best) {
+        best = size[static_cast<std::size_t>(ch)];
+        heavy[static_cast<std::size_t>(i)] = ch;
+        at = c;
       }
     }
-    heavy[v] = h;
-    auto& ch = children[v];
-    if (h != graph::kNoVertex) {
-      auto it = std::find(ch.begin(), ch.end(), h);
-      std::iter_swap(ch.begin(), it);
+    if (at >= 0) {
+      std::swap(child_list[static_cast<std::size_t>(
+                    child_off[static_cast<std::size_t>(i)])],
+                child_list[static_cast<std::size_t>(at)]);
     }
   }
 
   // DFS entry/exit times and label construction (iterative pre-order; the
   // label of a child extends the parent's label by one light entry unless
   // the child is heavy).
+  std::vector<Table> tables(static_cast<std::size_t>(sz));
+  std::vector<Label> labels(static_cast<std::size_t>(sz));
   std::int64_t clock = 0;
-  std::vector<Vertex> order;
-  order.reserve(members.size());
   {
-    std::vector<std::pair<Vertex, std::size_t>> stack{{root, 0}};
-    s.labels_[root] = Label{};
+    std::vector<std::pair<int, int>> stack{{root_pos, 0}};
     while (!stack.empty()) {
       auto& [v, idx] = stack.back();
+      const std::size_t vi = static_cast<std::size_t>(v);
       if (idx == 0) {
         Table t;
-        t.self = v;
-        if (v != root) {
-          t.parent = parent.at(v);
-          t.parent_port = parent_port.at(v);
+        t.self = members[vi];
+        if (v != root_pos) {
+          t.parent = parent_of[vi];
+          t.parent_port = port_of[vi];
         }
         t.a = clock++;
-        order.push_back(v);
-        s.tables_[v] = t;
+        tables[vi] = t;
       }
-      auto& ch = children[v];
-      if (idx < ch.size()) {
-        Vertex c = ch[idx];
+      const int ci = child_off[vi] + idx;
+      if (ci < child_off[vi + 1]) {
         ++idx;
-        Label lc = s.labels_[v];
-        if (c != heavy[v]) {
+        const int c = child_list[static_cast<std::size_t>(ci)];
+        Label lc = labels[vi];
+        if (c != heavy[vi]) {
           // Port at v toward c: reverse of c's parent_port.
-          const std::int32_t pp = parent_port.at(c);
-          lc.light.emplace_back(v, g.edge(c, pp).rev);
+          lc.light.emplace_back(
+              members[vi],
+              g.edge(members[static_cast<std::size_t>(c)],
+                     port_of[static_cast<std::size_t>(c)])
+                  .rev);
         }
-        s.labels_[c] = std::move(lc);
+        labels[static_cast<std::size_t>(c)] = std::move(lc);
         stack.push_back({c, 0});
       } else {
-        s.tables_[v].b = clock;
+        tables[vi].b = clock;
         stack.pop_back();
       }
     }
   }
-  for (Vertex v : order) {
-    s.labels_[v].a = s.tables_[v].a;
-    const Vertex h = heavy[v];
-    if (h != graph::kNoVertex) {
-      s.tables_[v].heavy = h;
-      s.tables_[v].heavy_port = g.edge(h, parent_port.at(h)).rev;
+  for (int i = 0; i < sz; ++i) {
+    const std::size_t vi = static_cast<std::size_t>(i);
+    labels[vi].a = tables[vi].a;
+    const int h = heavy[vi];
+    if (h >= 0) {
+      tables[vi].heavy = members[static_cast<std::size_t>(h)];
+      tables[vi].heavy_port =
+          g.edge(members[static_cast<std::size_t>(h)],
+                 port_of[static_cast<std::size_t>(h)])
+              .rev;
     }
+  }
+
+  s.tables_.reserve(members.size() * 2);
+  s.labels_.reserve(members.size() * 2);
+  for (int i = 0; i < sz; ++i) {
+    const std::size_t vi = static_cast<std::size_t>(i);
+    s.tables_.emplace(members[vi], std::move(tables[vi]));
+    s.labels_.emplace(members[vi], std::move(labels[vi]));
   }
   return s;
 }

@@ -49,6 +49,16 @@ class TzTreeScheme {
       const std::unordered_map<graph::Vertex, std::int32_t>& parent_port,
       graph::Vertex root);
 
+  /// Index-based overload for hot batch paths: parent_of[i] / port_of[i]
+  /// are parallel to `members` (entries at the root's position are
+  /// ignored), avoiding per-subtree map marshalling. Produces exactly the
+  /// same scheme as the map overload.
+  static TzTreeScheme build(const graph::WeightedGraph& g,
+                            const std::vector<graph::Vertex>& members,
+                            const std::vector<graph::Vertex>& parent_of,
+                            const std::vector<std::int32_t>& port_of,
+                            graph::Vertex root);
+
   /// Stateless routing decision: next port from the vertex owning `tx`
   /// toward the destination owning `dest`, or kNoPort if arrived.
   static std::int32_t next_hop(const Table& tx, const Label& dest);

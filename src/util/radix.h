@@ -1,0 +1,54 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace nors::util {
+
+/// Ascending LSD radix sort for non-negative 32-bit keys. Produces exactly
+/// the order std::sort would (total order on ints), in O(passes · n) with
+/// passes = bytes needed for `max_value`; falls back to std::sort for small
+/// inputs where the counting overhead dominates. `scratch` is grown as
+/// needed and reused across calls — the point of the routine is hot loops
+/// that sort a frontier every iteration.
+inline void radix_sort(std::vector<std::int32_t>& v,
+                       std::vector<std::int32_t>& scratch,
+                       std::int32_t max_value) {
+  if (v.size() < 128) {
+    std::sort(v.begin(), v.end());
+    return;
+  }
+  int passes = 1;
+  for (auto rest = static_cast<std::uint32_t>(max_value) >> 8; rest != 0;
+       rest >>= 8) {
+    ++passes;
+  }
+  scratch.resize(v.size());
+  std::int32_t* a = v.data();
+  std::int32_t* b = scratch.data();
+  const std::size_t sz = v.size();
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = 8 * pass;
+    std::uint32_t count[256] = {};
+    for (std::size_t i = 0; i < sz; ++i) {
+      ++count[(static_cast<std::uint32_t>(a[i]) >> shift) & 0xFF];
+    }
+    std::uint32_t sum = 0;
+    for (std::uint32_t& c : count) {
+      const std::uint32_t tmp = c;
+      c = sum;
+      sum += tmp;
+    }
+    for (std::size_t i = 0; i < sz; ++i) {
+      b[count[(static_cast<std::uint32_t>(a[i]) >> shift) & 0xFF]++] = a[i];
+    }
+    std::swap(a, b);
+  }
+  if (a != v.data()) {
+    std::memcpy(v.data(), a, sz * sizeof(std::int32_t));
+  }
+}
+
+}  // namespace nors::util

@@ -162,6 +162,7 @@ TEST(Sdp15, RoundsBlowUpWithShortestPathDiameter) {
   for (Vertex v = 0; v + 1 < n; ++v) {
     g.add_edge(v, static_cast<Vertex>(n - 1), 4LL * n);
   }
+  g.freeze();
   const auto s = baselines::Sdp15Sketches::build(g, {2, 9, 1});
   // Exploration depth ≈ S ≈ n: rounds scale with n, not with D = 2.
   EXPECT_GT(s.ledger().simulated_rounds(), n / 2);

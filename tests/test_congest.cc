@@ -11,6 +11,7 @@ namespace nors {
 namespace {
 
 using congest::Message;
+using congest::MessageView;
 using graph::Vertex;
 
 TEST(Message, WordBudgetEnforced) {
@@ -24,7 +25,7 @@ class BurstProgram : public congest::NodeProgram {
  public:
   explicit BurstProgram(int burst) : burst_(burst) {}
   void begin(congest::Network& net) override { net.wake(0); }
-  void on_round(Vertex v, const std::vector<Message>& inbox,
+  void on_round(Vertex v, MessageView inbox,
                 congest::Sender& out) override {
     if (v == 0 && !sent_) {
       sent_ = true;
@@ -46,6 +47,7 @@ class BurstProgram : public congest::NodeProgram {
 TEST(Network, CapacityQueuesBursts) {
   graph::WeightedGraph g(2);
   g.add_edge(0, 1, 1);
+  g.freeze();
   BurstProgram prog(5);
   congest::Network net(g, {.edge_capacity = 1});
   const auto stats = net.run(prog);
@@ -61,6 +63,7 @@ TEST(Network, CapacityQueuesBursts) {
 TEST(Network, HigherCapacityDrainsFaster) {
   graph::WeightedGraph g(2);
   g.add_edge(0, 1, 1);
+  g.freeze();
   BurstProgram prog(6);
   congest::Network net(g, {.edge_capacity = 3});
   net.run(prog);
@@ -72,12 +75,13 @@ TEST(Network, HigherCapacityDrainsFaster) {
 TEST(Network, MaxRoundsGuards) {
   graph::WeightedGraph g(2);
   g.add_edge(0, 1, 1);
+  g.freeze();
 
   /// Ping-pong forever.
   class Forever : public congest::NodeProgram {
    public:
     void begin(congest::Network& net) override { net.wake(0); }
-    void on_round(Vertex, const std::vector<Message>&,
+    void on_round(Vertex, MessageView,
                   congest::Sender& out) override {
       out.send(0, Message::make(0, {1}));
     }
@@ -141,7 +145,7 @@ TEST(Pipelined, ZeroMessagesCostsNothing) {
 class EchoProgram : public congest::NodeProgram {
  public:
   void begin(congest::Network& net) override { net.wake(0); }
-  void on_round(Vertex v, const std::vector<Message>& inbox,
+  void on_round(Vertex v, MessageView inbox,
                 congest::Sender& out) override {
     if (v == 0 && !sent_) {
       sent_ = true;
@@ -170,6 +174,7 @@ TEST(Network, DeliveryMetadataIsAccurate) {
   g.add_edge(1, 2, 1);  // port 0 of 1 -> 2
   g.add_edge(0, 1, 1);  // port 1 of 1 -> 0
   g.add_edge(0, 2, 1);
+  g.freeze();
   EchoProgram prog;
   congest::Network net(g, {});
   net.run(prog);
@@ -185,12 +190,142 @@ TEST(Network, ReusableAcrossRuns) {
   // runs of equivalent programs (state fully reset).
   graph::WeightedGraph g(2);
   g.add_edge(0, 1, 1);
+  g.freeze();
   congest::Network net(g, {});
   BurstProgram p1(4), p2(4);
   const auto s1 = net.run(p1);
   const auto s2 = net.run(p2);
   EXPECT_EQ(s1.rounds, s2.rounds);
   EXPECT_EQ(s1.messages_sent, s2.messages_sent);
+}
+
+TEST(Network, MaxRoundsBoundaryIsExact) {
+  graph::WeightedGraph g(2);
+  g.add_edge(0, 1, 1);
+  g.freeze();
+  // A 5-message burst quiesces in exactly 6 rounds (1 send + 5 deliveries):
+  // a cap of 6 must pass untouched, a cap of 5 must trip the guard.
+  {
+    BurstProgram prog(5);
+    congest::Network net(g, {.edge_capacity = 1, .max_rounds = 6});
+    EXPECT_EQ(net.run(prog).rounds, 6);
+  }
+  {
+    BurstProgram prog(5);
+    congest::Network net(g, {.edge_capacity = 1, .max_rounds = 5});
+    EXPECT_THROW(net.run(prog), std::logic_error);
+  }
+}
+
+TEST(Network, MaxLinkBacklogCountsQueuedPeak) {
+  graph::WeightedGraph g(2);
+  g.add_edge(0, 1, 1);
+  g.freeze();
+  BurstProgram prog(7);
+  congest::Network net(g, {.edge_capacity = 1});
+  const auto stats = net.run(prog);
+  // All 7 staged in one round on one directed link; nothing delivered yet
+  // when the round closes, so the observed peak is the full burst.
+  EXPECT_EQ(stats.max_link_backlog, 7);
+  EXPECT_EQ(stats.messages_sent, 7);
+  EXPECT_EQ(stats.messages_delivered, 7);
+}
+
+TEST(Network, EdgeCapacityAboveOneDrainsInBatches) {
+  graph::WeightedGraph g(2);
+  g.add_edge(0, 1, 1);
+  g.freeze();
+  BurstProgram prog(7);
+  congest::Network net(g, {.edge_capacity = 3});
+  const auto stats = net.run(prog);
+  ASSERT_EQ(prog.per_round_.size(), 3u);
+  EXPECT_EQ(prog.per_round_[0], 3);
+  EXPECT_EQ(prog.per_round_[1], 3);
+  EXPECT_EQ(prog.per_round_[2], 1);
+  // FIFO survives batched delivery.
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(prog.arrivals_[i], i);
+  // Round 1: send burst. Rounds 2-4: drain. Quiesce.
+  EXPECT_EQ(stats.rounds, 4);
+  EXPECT_EQ(stats.messages_delivered, 7);
+}
+
+/// Counts the inbox sizes a woken vertex observes, re-waking itself a fixed
+/// number of times without ever sending: pins wake-without-inbox semantics.
+class WakeOnlyProgram : public congest::NodeProgram {
+ public:
+  explicit WakeOnlyProgram(int rewakes) : rewakes_(rewakes) {}
+  void begin(congest::Network& net) override { net.wake(1); }
+  void on_round(Vertex v, MessageView inbox, congest::Sender& out) override {
+    if (v != 1) return;
+    inbox_sizes_.push_back(static_cast<int>(inbox.size()));
+    if (static_cast<int>(inbox_sizes_.size()) <= rewakes_) out.wake_self();
+  }
+  int rewakes_;
+  std::vector<int> inbox_sizes_;
+};
+
+TEST(Network, WakeWithoutInboxRunsWithEmptyInbox) {
+  graph::WeightedGraph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.freeze();
+  WakeOnlyProgram prog(3);
+  congest::Network net(g, {});
+  const auto stats = net.run(prog);
+  // Initial wake + 3 re-wakes, one round each, always an empty inbox.
+  ASSERT_EQ(prog.inbox_sizes_.size(), 4u);
+  for (int sz : prog.inbox_sizes_) EXPECT_EQ(sz, 0);
+  EXPECT_EQ(stats.rounds, 4);
+  EXPECT_EQ(stats.messages_sent, 0);
+  EXPECT_EQ(stats.messages_delivered, 0);
+  EXPECT_EQ(stats.max_link_backlog, 0);
+}
+
+TEST(Network, ThreadedRunMatchesSerial) {
+  util::Rng rng(33);
+  const auto g =
+      graph::connected_gnm(400, 1200, graph::WeightSpec::uniform(1, 9), rng);
+  const auto serial_tree = primitives::distributed_bfs_tree(g, 0);
+
+  class BfsLike : public congest::NodeProgram {
+   public:
+    explicit BfsLike(int n) : depth_(static_cast<std::size_t>(n), -1) {}
+    void begin(congest::Network& net) override {
+      depth_[0] = 0;
+      net.wake(0);
+    }
+    void on_round(Vertex v, MessageView inbox, congest::Sender& out) override {
+      auto& d = depth_[static_cast<std::size_t>(v)];
+      if (d == -1) {
+        for (const auto& m : inbox) {
+          if (d == -1 || m.w[0] + 1 < d) d = static_cast<int>(m.w[0]) + 1;
+        }
+        if (d != -1) out.send_all(Message::make(0, {d}));
+      } else if (v == 0 && !sent_) {
+        sent_ = true;
+        out.send_all(Message::make(0, {0}));
+      }
+    }
+    std::vector<int> depth_;
+    bool sent_ = false;
+  };
+
+  BfsLike s1(g.n()), s4(g.n());
+  congest::Network n1(g, {.edge_capacity = 1, .max_rounds = 50'000'000,
+                          .threads = 1});
+  congest::Network n4(g, {.edge_capacity = 1, .max_rounds = 50'000'000,
+                          .threads = 4});
+  const auto stats1 = n1.run(s1);
+  const auto stats4 = n4.run(s4);
+  EXPECT_EQ(stats1.rounds, stats4.rounds);
+  EXPECT_EQ(stats1.messages_sent, stats4.messages_sent);
+  EXPECT_EQ(stats1.messages_delivered, stats4.messages_delivered);
+  EXPECT_EQ(stats1.max_link_backlog, stats4.max_link_backlog);
+  EXPECT_EQ(s1.depth_, s4.depth_);
+  // And both agree with the engine-independent BFS depths.
+  for (std::size_t v = 0; v < s1.depth_.size(); ++v) {
+    EXPECT_EQ(s1.depth_[v], serial_tree.depth[v]) << "v=" << v;
+  }
 }
 
 TEST(Ledger, MergeAndTotals) {

@@ -14,6 +14,8 @@ treeroute::TreeSpec sssp_spec(const graph::WeightedGraph& g, Vertex root) {
   const auto sp = graph::dijkstra(g, root);
   treeroute::TreeSpec spec;
   spec.root = root;
+  spec.parent.assign(static_cast<std::size_t>(g.n()), graph::kNoVertex);
+  spec.parent_port.assign(static_cast<std::size_t>(g.n()), graph::kNoPort);
   for (Vertex v = 0; v < g.n(); ++v) {
     spec.members.push_back(v);
     if (v == root) continue;

@@ -16,6 +16,7 @@ TEST(Graph, AddEdgeSetsPortsAndReverse) {
   WeightedGraph g(3);
   g.add_edge(0, 1, 5);
   g.add_edge(1, 2, 7);
+  g.freeze();
   EXPECT_EQ(g.m(), 2);
   EXPECT_EQ(g.degree(1), 2);
   const auto& e01 = g.edge(0, 0);
@@ -123,6 +124,7 @@ TEST(ShortestPaths, DijkstraOnKnownGraph) {
   g.add_edge(0, 2, 5);
   g.add_edge(2, 3, 1);
   g.add_edge(3, 4, 1);
+  g.freeze();
   const auto r = graph::dijkstra(g, 0);
   EXPECT_EQ(r.dist[2], 4);
   EXPECT_EQ(r.dist[4], 6);
@@ -159,6 +161,7 @@ TEST(ShortestPaths, HopBoundedMatchesDefinition) {
   g.add_edge(1, 2, 1);
   g.add_edge(2, 3, 1);
   g.add_edge(0, 3, 10);
+  g.freeze();
   const auto r1 = graph::hop_bounded_sssp(g, 0, 1);
   EXPECT_EQ(r1.dist[3], 10);  // one hop: must take the heavy edge
   const auto r3 = graph::hop_bounded_sssp(g, 0, 3);
@@ -184,6 +187,7 @@ TEST(Properties, ComponentsAndDiameters) {
   g.add_edge(0, 1, 1);
   g.add_edge(1, 2, 1);
   g.add_edge(3, 4, 1);
+  g.freeze();
   const auto c = graph::connected_components(g);
   EXPECT_EQ(c.count, 3);  // {0,1,2}, {3,4}, {5}
   EXPECT_FALSE(graph::is_connected(g));
@@ -201,6 +205,7 @@ TEST(Properties, ShortestPathDiameterCanExceedHopDiameter) {
   WeightedGraph g(8);
   for (Vertex v = 0; v + 1 < 8; ++v) g.add_edge(v, v + 1, 1);
   g.add_edge(7, 0, 100);
+  g.freeze();
   EXPECT_EQ(graph::hop_diameter(g), 4);
   EXPECT_EQ(graph::shortest_path_hop_diameter(g), 7);
 }
@@ -239,6 +244,56 @@ TEST(Generators, WeightSpecDrawsWithinRange) {
     EXPECT_LE(w, 9);
   }
   EXPECT_EQ(graph::WeightSpec::unit().draw(rng), 1);
+}
+
+TEST(Graph, FreezeIsOneShotAndGatesAccess) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 2);
+  // Frozen-phase accessors are unavailable during the builder phase...
+  EXPECT_FALSE(g.frozen());
+  EXPECT_THROW(g.neighbors(0), std::logic_error);
+  EXPECT_THROW(g.edge(0, 0), std::logic_error);
+  EXPECT_THROW(g.port_to(0, 1), std::logic_error);
+  // ...but degree and counts are.
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.m(), 1);
+  g.freeze();
+  EXPECT_TRUE(g.frozen());
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.degree(0), 1);
+  // The builder phase is over.
+  EXPECT_THROW(g.add_edge(1, 2, 1), std::logic_error);
+  EXPECT_THROW(g.freeze(), std::logic_error);
+}
+
+TEST(Graph, CsrAdjacencyIsContiguous) {
+  util::Rng rng(31);
+  const auto g =
+      graph::connected_gnm(64, 200, graph::WeightSpec::uniform(1, 9), rng);
+  // Spans of consecutive vertices abut: the CSR invariant the CONGEST
+  // engine's link indexing relies on.
+  for (Vertex v = 0; v + 1 < g.n(); ++v) {
+    EXPECT_EQ(g.neighbors(v).data() + g.neighbors(v).size(),
+              g.neighbors(v + 1).data());
+  }
+}
+
+TEST(Graph, PortToMatchesLinearScan) {
+  util::Rng rng(32);
+  const auto g =
+      graph::connected_gnm(80, 400, graph::WeightSpec::uniform(1, 9), rng);
+  for (Vertex u = 0; u < g.n(); ++u) {
+    std::vector<std::int32_t> expected(static_cast<std::size_t>(g.n()),
+                                       graph::kNoPort);
+    for (std::int32_t p = 0; p < g.degree(u); ++p) {
+      const auto to = static_cast<std::size_t>(g.edge(u, p).to);
+      if (expected[to] == graph::kNoPort) expected[to] = p;
+    }
+    for (Vertex v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(g.port_to(u, v), expected[static_cast<std::size_t>(v)])
+          << "u=" << u << " v=" << v;
+    }
+  }
 }
 
 TEST(TreeDistance, WalksThroughLca) {

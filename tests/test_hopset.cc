@@ -90,11 +90,13 @@ TEST(Hopset, SmallerEpsilonNeedsMoreHops) {
 
 TEST(Hopset, TrivialGraphs) {
   graph::WeightedGraph g1(1);
+  g1.freeze();
   const auto h1 = hopset::build_hopset(g1, params(1, 4, 2, 1), 0);
   EXPECT_GE(h1.beta, 1);
 
   graph::WeightedGraph g2(2);
   g2.add_edge(0, 1, 3);
+  g2.freeze();
   const auto h2 = hopset::build_hopset(g2, params(1, 4, 2, 1), 0);
   EXPECT_GE(h2.beta, 1);
 }

@@ -238,6 +238,7 @@ TEST(Scheme, RejectsDisconnectedGraphs) {
   graph::WeightedGraph g(4);
   g.add_edge(0, 1, 1);
   g.add_edge(2, 3, 1);
+  g.freeze();
   core::SchemeParams p;
   p.k = 2;
   EXPECT_THROW(core::RoutingScheme::build(g, p), std::logic_error);

@@ -25,6 +25,8 @@ TreeFixture sssp_tree(const graph::WeightedGraph& g, Vertex root) {
   f.spec.root = root;
   f.parent = sp.parent;
   f.dist_to_root = sp.dist;
+  f.spec.parent.assign(static_cast<std::size_t>(g.n()), graph::kNoVertex);
+  f.spec.parent_port.assign(static_cast<std::size_t>(g.n()), graph::kNoPort);
   for (Vertex v = 0; v < g.n(); ++v) {
     f.spec.members.push_back(v);
     if (v == root) continue;
@@ -56,8 +58,6 @@ TEST(TzTree, ExactRoutingOnRandomTree) {
   util::Rng rng(61);
   const auto g = graph::random_tree(60, graph::WeightSpec::uniform(1, 15), rng);
   const auto f = sssp_tree(g, 0);
-  std::unordered_map<Vertex, Vertex> par(f.spec.parent.begin(),
-                                         f.spec.parent.end());
   const auto s = treeroute::TzTreeScheme::build(g, f.spec.members, f.spec.parent,
                                                 f.spec.parent_port, 0);
   for (Vertex u = 0; u < g.n(); u += 3) {
@@ -180,9 +180,12 @@ TEST(DistTree, SingletonTree) {
   graph::WeightedGraph g(3);
   g.add_edge(0, 1, 1);
   g.add_edge(1, 2, 1);
+  g.freeze();
   treeroute::TreeSpec spec;
   spec.root = 1;
   spec.members = {1};
+  spec.parent = {graph::kNoVertex};
+  spec.parent_port = {graph::kNoPort};
   std::vector<char> in_u(3, 0);
   const auto s = treeroute::DistTreeScheme::build(g, spec, in_u);
   EXPECT_TRUE(s.contains(1));
