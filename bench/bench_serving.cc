@@ -1,0 +1,211 @@
+// Serving workload (DESIGN.md §5): freeze a constructed scheme into flat
+// tables, then rate batched route(u, v) decision queries answered purely
+// from the frozen state — queries/sec and decisions/sec (one decision = one
+// next-hop port evaluation) across thread counts and cache settings, plus
+// sampled per-query tail latency. The Thorup–Zwick distance oracle, frozen
+// the same way, is the sequential-baseline row.
+//
+// Emits BENCH_serving.json (schema: bench/results/README.md).
+
+#include <thread>
+
+#include "common.h"
+#include "core/scheme.h"
+#include "serve/frozen.h"
+#include "serve/frozen_tz.h"
+#include "serve/server.h"
+#include "tz/tz_oracle.h"
+
+namespace {
+
+using namespace nors;
+
+std::vector<serve::Query> make_queries(int n, std::size_t count,
+                                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<serve::Query> qs;
+  qs.reserve(count);
+  while (qs.size() < count) {
+    const auto u =
+        static_cast<graph::Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+    const auto v =
+        static_cast<graph::Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    qs.push_back({u, v});
+  }
+  return qs;
+}
+
+}  // namespace
+
+int main() {
+  const int n = bench::env_n(1 << 14);
+  const int k = 3;
+  const std::size_t num_queries = 200000;
+  bench::print_header("serving",
+                      "frozen-table route decisions/sec, tail latency, "
+                      "save/load round-trip");
+
+  bench::JsonReport report("serving");
+
+  // ---- build, freeze, save/load -----------------------------------------
+  const auto g = bench::bench_graph(n, /*seed=*/17);
+  std::printf("graph: n=%d m=%lld; building scheme (k=%d)...\n", n,
+              static_cast<long long>(g.m()), k);
+  core::SchemeParams params;
+  params.k = k;
+  params.seed = 23;
+  bench::WallTimer build_t;
+  const auto scheme = core::RoutingScheme::build(g, params);
+  const double build_s = build_t.seconds();
+
+  bench::WallTimer freeze_t;
+  const auto frozen = serve::FrozenScheme::freeze(scheme);
+  const double freeze_s = freeze_t.seconds();
+
+  bench::WallTimer save_t;
+  const auto image = frozen.save();
+  const double save_s = save_t.seconds();
+  bench::WallTimer load_t;
+  const auto reloaded = serve::FrozenScheme::load(image);
+  const double load_s = load_t.seconds();
+  const bool identical = reloaded.save() == image;
+
+  // Spot-check the reloaded snapshot against the live scheme.
+  int spot_checked = 0;
+  for (const auto& q : make_queries(n, 200, 5)) {
+    const auto live = scheme.route(q.u, q.v);
+    const auto snap = reloaded.route(q.u, q.v);
+    NORS_CHECK_MSG(live.length == snap.length && live.hops == snap.hops,
+                   "frozen decision diverged at " << q.u << "->" << q.v);
+    ++spot_checked;
+  }
+
+  std::printf(
+      "build %.2fs | freeze %.3fs | image %.1f MiB | save %.3fs | load %.3fs "
+      "| round-trip %s | %d spot checks ok\n\n",
+      build_s, freeze_s, static_cast<double>(image.size()) / (1 << 20),
+      save_s, load_s, identical ? "byte-identical" : "MISMATCH",
+      spot_checked);
+  NORS_CHECK_MSG(identical, "save->load->save must be byte-identical");
+  report.row()
+      .field("row", std::string("build"))
+      .field("n", n)
+      .field("m", static_cast<std::int64_t>(g.m()))
+      .field("k", k)
+      .field("build_s", build_s)
+      .field("freeze_s", freeze_s)
+      .field("image_bytes", static_cast<std::int64_t>(image.size()))
+      .field("save_s", save_s)
+      .field("load_s", load_s)
+      .field("roundtrip_identical", identical ? 1 : 0)
+      .field("spot_checked", spot_checked);
+
+  // ---- throughput across threads / cache --------------------------------
+  const auto queries = make_queries(n, num_queries, 9);
+  std::vector<serve::Decision> out(queries.size());
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  util::TextTable table({"threads", "cache", "queries/s", "decisions/s",
+                         "avg hops", "cache hit%", "wall s"});
+  for (const int cache : {0, 4096}) {
+    for (int threads = 1; threads <= static_cast<int>(2 * hw); threads *= 2) {
+      serve::ServerOptions opt;
+      opt.threads = threads;
+      opt.cache_entries = cache;
+      const serve::RouteServer server(reloaded, opt);
+      bench::WallTimer t;
+      server.serve(queries.data(), queries.size(), out.data());
+      const double wall = t.seconds();
+      const auto stats = server.stats();
+      const double qps = static_cast<double>(queries.size()) / wall;
+      const double dps = static_cast<double>(stats.hops) / wall;
+      const double avg_hops = static_cast<double>(stats.hops) /
+                              static_cast<double>(queries.size());
+      const double hit_rate =
+          stats.cache_hits + stats.cache_misses == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(stats.cache_hits) /
+                    static_cast<double>(stats.cache_hits + stats.cache_misses);
+      table.add_row({util::TextTable::fmt(static_cast<std::int64_t>(threads)),
+                     util::TextTable::fmt(static_cast<std::int64_t>(cache)),
+                     util::TextTable::fmt(qps, 0),
+                     util::TextTable::fmt(dps, 0),
+                     util::TextTable::fmt(avg_hops, 2),
+                     util::TextTable::fmt(hit_rate, 1),
+                     util::TextTable::fmt(wall, 3)});
+      report.row()
+          .field("row", std::string("serve"))
+          .field("n", n)
+          .field("k", k)
+          .field("threads", threads)
+          .field("cache_entries", cache)
+          .field("queries", static_cast<std::int64_t>(queries.size()))
+          .field("wall_s", wall)
+          .field("qps", qps)
+          .field("decisions_per_sec", dps)
+          .field("avg_hops", avg_hops)
+          .field("cache_hit_pct", hit_rate);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // ---- tail latency (single thread, per-query timing) -------------------
+  {
+    const std::size_t sample = std::min<std::size_t>(queries.size(), 20000);
+    std::vector<double> lat_us;
+    lat_us.reserve(sample);
+    for (std::size_t i = 0; i < sample; ++i) {
+      bench::WallTimer qt;
+      const auto d = reloaded.route(queries[i].u, queries[i].v);
+      lat_us.push_back(qt.seconds() * 1e6);
+      NORS_CHECK(d.ok);
+    }
+    const double p50 = util::percentile(lat_us, 0.5);
+    const double p99 = util::percentile(lat_us, 0.99);
+    const double p999 = util::percentile(lat_us, 0.999);
+    util::Accumulator acc;
+    for (double x : lat_us) acc.add(x);
+    std::printf(
+        "latency over %zu queries: p50 %.2fus  p99 %.2fus  p99.9 %.2fus  "
+        "max %.2fus\n",
+        sample, p50, p99, p999, acc.max());
+    report.row()
+        .field("row", std::string("latency"))
+        .field("n", n)
+        .field("k", k)
+        .field("sampled", static_cast<std::int64_t>(sample))
+        .field("p50_us", p50)
+        .field("p99_us", p99)
+        .field("p999_us", p999)
+        .field("max_us", acc.max());
+  }
+
+  // ---- frozen TZ distance-oracle baseline -------------------------------
+  {
+    tz::TzDistanceOracle::Params tp;
+    tp.k = k;
+    tp.seed = 29;
+    const auto oracle = tz::TzDistanceOracle::build(g, tp);
+    const auto ftz = serve::FrozenTzOracle::freeze(oracle, n);
+    bench::WallTimer t;
+    std::int64_t sink = 0;
+    for (const auto& q : queries) sink += ftz.query(q.u, q.v).estimate;
+    const double wall = t.seconds();
+    const double qps = static_cast<double>(queries.size()) / wall;
+    std::printf(
+        "baseline: frozen TZ distance oracle %.0f queries/s (%.1f MiB flat, "
+        "checksum %lld)\n",
+        qps, static_cast<double>(ftz.byte_size()) / (1 << 20),
+        static_cast<long long>(sink % 1000));
+    report.row()
+        .field("row", std::string("baseline_tz_oracle"))
+        .field("n", n)
+        .field("k", k)
+        .field("queries", static_cast<std::int64_t>(queries.size()))
+        .field("qps", qps)
+        .field("frozen_bytes", ftz.byte_size());
+  }
+
+  report.write();
+  return 0;
+}

@@ -155,11 +155,12 @@ RoutingScheme RoutingScheme::build(const graph::WeightedGraph& g,
   s.ledger_.merge(s.tree_schemes_->ledger);
 
   // Labels: per vertex, per level, the pivot and the tree label (if the
-  // vertex belongs to its pivot's cluster tree).
-  s.labels_.assign(static_cast<std::size_t>(n), {});
+  // vertex belongs to its pivot's cluster tree). One flat arena, stride k.
+  s.labels_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(k),
+                   {});
   for (Vertex v = 0; v < n; ++v) {
-    auto& lv = s.labels_[static_cast<std::size_t>(v)];
-    lv.resize(static_cast<std::size_t>(k));
+    LabelEntry* lv =
+        s.labels_.data() + static_cast<std::size_t>(v) * static_cast<std::size_t>(k);
     for (int i = 0; i < k; ++i) {
       LabelEntry& le = lv[static_cast<std::size_t>(i)];
       le.pivot = s.pivots_.z(i, v);
@@ -216,9 +217,8 @@ RoutingScheme::RouteResult RoutingScheme::route(Vertex u, Vertex v) const {
     }
   }
   if (tree == nullptr) {
-    const auto& vlabel = labels_[static_cast<std::size_t>(v)];
     for (int i = 0; i < params_.k; ++i) {
-      const LabelEntry& le = vlabel[static_cast<std::size_t>(i)];
+      const LabelEntry& le = label_entry(v, i);
       if (!le.member) continue;  // v ∉ C̃(ẑ_i(v)): keep searching
       auto it = tree_of_root_.find(le.pivot);
       if (it == tree_of_root_.end()) continue;
@@ -270,7 +270,8 @@ std::int64_t RoutingScheme::table_words(Vertex v) const {
 
 std::int64_t RoutingScheme::label_words(Vertex v) const {
   std::int64_t words = 0;
-  for (const auto& le : labels_[static_cast<std::size_t>(v)]) {
+  for (int i = 0; i < params_.k; ++i) {
+    const LabelEntry& le = label_entry(v, i);
     words += 3 + (le.member ? le.tree_label.words() : 0);
   }
   return words;

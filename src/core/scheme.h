@@ -17,6 +17,11 @@ namespace nors::core {
 /// tables Õ(n^{1/k}), labels O(k log² n), stretch 4k-5+o(1), constructed by
 /// a distributed algorithm whose round cost is tracked on a ledger
 /// (simulated phases measured, accounted phases charged — DESIGN.md §3).
+///
+/// This class is the *construction-side* view: it holds the frozen CSR
+/// graph by reference and routes by walking real edges. For serving-side
+/// use (answer route queries fast, without the builder state or the graph
+/// object), snapshot it with serve::FrozenScheme::freeze() — DESIGN.md §5.
 class RoutingScheme {
  public:
   struct RouteResult {
@@ -39,11 +44,15 @@ class RoutingScheme {
     treeroute::DistTreeScheme::VLabel tree_label;
   };
 
-  /// Runs the full distributed construction. The returned scheme keeps a
-  /// reference to `g` (routing walks its edges), so the graph must outlive
-  /// the scheme and keep a stable address.
+  /// Runs the full distributed construction. `g` must be frozen (CSR
+  /// phase); the returned scheme keeps a reference to it (routing walks its
+  /// edges), so the graph must outlive the scheme and keep a stable
+  /// address.
   static RoutingScheme build(const graph::WeightedGraph& g,
                              const SchemeParams& params);
+
+  /// The frozen CSR graph the scheme was built on.
+  const graph::WeightedGraph& graph() const { return *g_; }
 
   /// Routes a packet from u to v over real edges, using only u's table,
   /// intermediate routing tables, and v's label (no handshaking).
@@ -71,7 +80,9 @@ class RoutingScheme {
 
   /// The label of v at level i — what the packet header carries.
   const LabelEntry& label_entry(graph::Vertex v, int i) const {
-    return labels_[static_cast<std::size_t>(v)][static_cast<std::size_t>(i)];
+    return labels_[static_cast<std::size_t>(v) *
+                       static_cast<std::size_t>(params_.k) +
+                   static_cast<std::size_t>(i)];
   }
 
   /// Hierarchy level of v (max i with v ∈ A_i); exposes the sampled
@@ -97,8 +108,10 @@ class RoutingScheme {
   std::vector<ClusterTree> trees_;
   std::unordered_map<graph::Vertex, int> tree_of_root_;
   std::shared_ptr<treeroute::DistTreeBatch> tree_schemes_;
-  std::vector<std::vector<LabelEntry>> labels_;  // [v][i]
-  std::vector<int> level_;                       // hierarchy level per vertex
+  // Flat label arena, one k-entry stride per vertex: entry (v, i) lives at
+  // labels_[v*k + i] — same layout serve::FrozenScheme snapshots.
+  std::vector<LabelEntry> labels_;
+  std::vector<int> level_;  // hierarchy level per vertex
   // 4k-5 trick: per level-0 root, the tree labels of its cluster members.
   std::unordered_map<
       graph::Vertex,

@@ -2,9 +2,8 @@
 
 namespace nors::core {
 
-std::vector<std::uint8_t> encode_vertex_label(const RoutingScheme& scheme,
-                                              graph::Vertex v) {
-  util::WordWriter w;
+void encode_vertex_label(const RoutingScheme& scheme, graph::Vertex v,
+                         util::WordWriter& w) {
   const int k = scheme.params().k;
   for (int i = 0; i < k; ++i) {
     const auto& le = scheme.label_entry(v, i);
@@ -13,6 +12,12 @@ std::vector<std::uint8_t> encode_vertex_label(const RoutingScheme& scheme,
     w.put(le.member ? 1 : 0);
     if (le.member) treeroute::encode(le.tree_label, w);
   }
+}
+
+std::vector<std::uint8_t> encode_vertex_label(const RoutingScheme& scheme,
+                                              graph::Vertex v) {
+  util::WordWriter w;
+  encode_vertex_label(scheme, v, w);
   return w.bytes();
 }
 

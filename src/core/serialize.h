@@ -11,9 +11,17 @@ namespace nors::core {
 /// carries and what a node hands to peers at connection setup. Decoding
 /// recovers everything a router needs from the destination side; the
 /// round-trip is validated in test_codec, including that the byte size
-/// matches the scheme's label_words() accounting exactly.
+/// matches the scheme's label_words() accounting exactly. The label entries
+/// are read from the scheme's flat label arena (core/scheme.h); the frozen
+/// serving snapshot (serve/frozen.h) packs all n blobs into one pool with
+/// the writer-append overload below.
 std::vector<std::uint8_t> encode_vertex_label(const RoutingScheme& scheme,
                                               graph::Vertex v);
+
+/// Same encoding, appended to an existing writer (no per-vertex allocation
+/// when packing many labels into one blob pool).
+void encode_vertex_label(const RoutingScheme& scheme, graph::Vertex v,
+                         util::WordWriter& w);
 
 struct DecodedVertexLabel {
   struct Entry {

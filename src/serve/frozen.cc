@@ -1,0 +1,477 @@
+#include "serve/frozen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "core/serialize.h"
+
+namespace nors::serve {
+
+namespace {
+
+using graph::Vertex;
+
+// ------------------------------------------------------------ wire format --
+// DESIGN.md §5.2. Fixed header, then every array as (u64 count, raw
+// elements), then a trailing FNV-1a64 checksum of all preceding bytes.
+// Multi-byte values are stored in the host byte order and stamped with an
+// endianness tag; load() rejects a foreign-endian image instead of
+// byte-swapping (the format is defined as little-endian — every platform
+// this repo targets).
+
+constexpr char kMagic[8] = {'N', 'O', 'R', 'S', 'F', 'R', 'Z', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t len) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void put_raw(std::vector<std::uint8_t>& out, const void* p, std::size_t len) {
+  // resize+memcpy instead of insert: same effect, and it sidesteps a
+  // gcc-12 -Wstringop-overflow false positive on small fixed-size appends.
+  const std::size_t old = out.size();
+  out.resize(old + len);
+  std::memcpy(out.data() + old, p, len);
+}
+
+template <typename T>
+void put_vec(std::vector<std::uint8_t>& out, const std::vector<T>& v) {
+  const std::uint64_t count = v.size();
+  put_raw(out, &count, sizeof(count));
+  if (count > 0) put_raw(out, v.data(), count * sizeof(T));
+}
+
+/// Bounds-checked cursor over a loaded image.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* p, std::size_t len) : p_(p), len_(len) {}
+
+  void read(void* dst, std::size_t len) {
+    NORS_CHECK_MSG(pos_ + len <= len_, "truncated frozen-table image");
+    std::memcpy(dst, p_ + pos_, len);
+    pos_ += len;
+  }
+
+  template <typename T>
+  void read_vec(std::vector<T>& v) {
+    std::uint64_t count = 0;
+    read(&count, sizeof(count));
+    NORS_CHECK_MSG(count <= (len_ - pos_) / sizeof(T),
+                   "corrupt frozen-table section length");
+    v.resize(static_cast<std::size_t>(count));
+    if (count > 0) read(v.data(), static_cast<std::size_t>(count) * sizeof(T));
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::uint8_t* p_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+template <typename Off>
+void check_offsets(const std::vector<Off>& off, std::size_t n,
+                   std::size_t pool, const char* what) {
+  NORS_CHECK_MSG(off.size() == n + 1, what << ": offset array size");
+  NORS_CHECK_MSG(off.front() == 0, what << ": offsets must start at 0");
+  for (std::size_t i = 0; i + 1 < off.size(); ++i) {
+    NORS_CHECK_MSG(off[i] <= off[i + 1], what << ": offsets not monotone");
+  }
+  NORS_CHECK_MSG(static_cast<std::size_t>(off.back()) == pool,
+                 what << ": offsets do not cover the pool");
+}
+
+}  // namespace
+
+FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
+  const graph::WeightedGraph& g = scheme.graph();
+  NORS_CHECK_MSG(g.frozen(), "freeze() needs the CSR (frozen) graph");
+  FrozenScheme f;
+  const int n = g.n();
+  const int k = scheme.params().k;
+  f.n_ = n;
+  f.k_ = k;
+  f.label_trick_ = scheme.params().label_trick ? 1 : 0;
+  const auto& trees = scheme.trees();
+  f.num_trees_ = static_cast<std::int32_t>(trees.size());
+
+  f.level_.resize(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) {
+    f.level_[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(scheme.vertex_level(v));
+  }
+  f.tree_root_.reserve(trees.size());
+  f.tree_level_.reserve(trees.size());
+  for (const auto& t : trees) {
+    f.tree_root_.push_back(t.root);
+    f.tree_level_.push_back(t.level);
+  }
+
+  // Sorted member list per tree (ClusterTree::members is a hash map; every
+  // slab below must be order-deterministic).
+  std::vector<std::vector<Vertex>> members(trees.size());
+  for (std::size_t ti = 0; ti < trees.size(); ++ti) {
+    members[ti].reserve(trees[ti].members.size());
+    for (const auto& [v, mem] : trees[ti].members) members[ti].push_back(v);
+    std::sort(members[ti].begin(), members[ti].end());
+  }
+
+  auto put_lights = [&f](const treeroute::TzTreeScheme::Label& l,
+                         std::int32_t& off, std::int32_t& len) {
+    NORS_CHECK(f.lights_.size() < 0x7fffffff);
+    off = static_cast<std::int32_t>(f.lights_.size());
+    len = static_cast<std::int32_t>(l.light.size());
+    for (const auto& [v, p] : l.light) f.lights_.push_back({v, p});
+  };
+  auto put_vlabel = [&f, &put_lights](
+                        const treeroute::DistTreeScheme::VLabel& l,
+                        std::int64_t& a_prime, std::int64_t& local_a,
+                        std::int32_t& lloff, std::int32_t& lllen,
+                        std::int32_t& hoff, std::int32_t& hlen) {
+    a_prime = l.a_prime;
+    local_a = l.local.a;
+    put_lights(l.local, lloff, lllen);
+    NORS_CHECK(f.hops_.size() < 0x7fffffff);
+    hoff = static_cast<std::int32_t>(f.hops_.size());
+    hlen = static_cast<std::int32_t>(l.global_light.size());
+    for (const auto& hop : l.global_light) {
+      HopSlot h;
+      h.portal_a = hop.portal_label.a;
+      h.vi = hop.vi;
+      h.port = hop.port;
+      put_lights(hop.portal_label, h.light_off, h.light_len);
+      f.hops_.push_back(h);
+    }
+  };
+
+  // Per-vertex table slabs: one TableSlot per (vertex, tree) membership,
+  // grouped by vertex and tree-sorted within the slab.
+  {
+    struct Ref {
+      Vertex v;
+      std::int32_t ti;
+    };
+    std::vector<Ref> refs;
+    for (std::size_t ti = 0; ti < trees.size(); ++ti) {
+      for (Vertex v : members[ti]) {
+        refs.push_back({v, static_cast<std::int32_t>(ti)});
+      }
+    }
+    std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+      return a.v != b.v ? a.v < b.v : a.ti < b.ti;
+    });
+    NORS_CHECK_MSG(refs.size() < 0x7fffffff, "table slab index overflow");
+    f.tables_.reserve(refs.size());
+    f.table_off_.resize(static_cast<std::size_t>(n) + 1);
+    std::size_t idx = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      f.table_off_[static_cast<std::size_t>(v)] =
+          static_cast<std::int64_t>(f.tables_.size());
+      for (; idx < refs.size() && refs[idx].v == v; ++idx) {
+        const auto ti = static_cast<std::size_t>(refs[idx].ti);
+        const auto& info = scheme.tree_scheme(ti).info(v);
+        TableSlot s;
+        s.tree = refs[idx].ti;
+        s.subtree_root = info.subtree_root;
+        s.local_a = info.local.a;
+        s.local_b = info.local.b;
+        s.parent_port = info.local.parent_port;
+        s.heavy_child_port = info.local.heavy_port;
+        s.a_prime = info.a_prime;
+        s.b_prime = info.b_prime;
+        s.heavy_prime = info.heavy_prime;
+        s.heavy_cross_port = info.heavy_port;
+        s.heavy_portal_a = info.heavy_portal_label.a;
+        put_lights(info.heavy_portal_label, s.heavy_light_off,
+                   s.heavy_light_len);
+        s.up_port = info.up_port;
+        f.tables_.push_back(s);
+      }
+    }
+    f.table_off_[static_cast<std::size_t>(n)] =
+        static_cast<std::int64_t>(f.tables_.size());
+  }
+
+  // Destination labels, flat stride-k (mirrors the live label arena).
+  f.labels_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  for (Vertex v = 0; v < n; ++v) {
+    for (int i = 0; i < k; ++i) {
+      const auto& le = scheme.label_entry(v, i);
+      LabelSlot s;
+      s.pivot = le.pivot;
+      s.pivot_dist = le.pivot_dist;
+      s.member = le.member ? 1 : 0;
+      s.tree = le.pivot == graph::kNoVertex
+                   ? -1
+                   : static_cast<std::int32_t>(scheme.tree_index(le.pivot));
+      if (le.member) {
+        put_vlabel(le.tree_label, s.a_prime, s.local_a, s.local_light_off,
+                   s.local_light_len, s.hop_off, s.hop_len);
+      }
+      f.labels_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+                static_cast<std::size_t>(i)] = s;
+    }
+  }
+
+  // 4k-5 trick slabs at level-0 cluster roots.
+  if (f.label_trick_ != 0) {
+    for (std::size_t ti = 0; ti < trees.size(); ++ti) {
+      if (trees[ti].level != 0) continue;
+      TrickRoot tr;
+      tr.root = trees[ti].root;
+      // The tree the live route() walks from this root: tree_index(root),
+      // which may differ from ti if the same vertex roots several trees.
+      tr.tree = static_cast<std::int32_t>(scheme.tree_index(trees[ti].root));
+      tr.off = static_cast<std::int64_t>(f.tricks_.size());
+      tr.len = static_cast<std::int64_t>(members[ti].size());
+      for (Vertex v : members[ti]) {
+        TrickSlot s;
+        s.dest = v;
+        put_vlabel(scheme.tree_scheme(ti).label(v), s.a_prime, s.local_a,
+                   s.local_light_off, s.local_light_len, s.hop_off,
+                   s.hop_len);
+        f.tricks_.push_back(s);
+      }
+      f.trick_roots_.push_back(tr);
+    }
+    std::sort(f.trick_roots_.begin(), f.trick_roots_.end(),
+              [](const TrickRoot& a, const TrickRoot& b) {
+                return a.root < b.root;
+              });
+    for (std::size_t i = 0; i + 1 < f.trick_roots_.size(); ++i) {
+      NORS_CHECK_MSG(f.trick_roots_[i].root != f.trick_roots_[i + 1].root,
+                     "two level-0 trees share root "
+                         << f.trick_roots_[i].root);
+    }
+  }
+
+  // The link map: port p of v resolves to (adj_to_, adj_w_) at
+  // adj_off_[v] + p — the router's physical interfaces, snapshotted so the
+  // serving walk never touches the WeightedGraph.
+  f.adj_off_.resize(static_cast<std::size_t>(n) + 1);
+  f.adj_to_.reserve(g.total_half_edges());
+  f.adj_w_.reserve(g.total_half_edges());
+  for (Vertex v = 0; v < n; ++v) {
+    f.adj_off_[static_cast<std::size_t>(v)] =
+        static_cast<std::int64_t>(f.adj_to_.size());
+    for (const auto& e : g.neighbors(v)) {
+      f.adj_to_.push_back(e.to);
+      f.adj_w_.push_back(e.w);
+    }
+  }
+  f.adj_off_[static_cast<std::size_t>(n)] =
+      static_cast<std::int64_t>(f.adj_to_.size());
+
+  // Packed wire-label blobs (connection-setup handouts).
+  f.blob_off_.resize(static_cast<std::size_t>(n) + 1);
+  util::WordWriter w;
+  for (Vertex v = 0; v < n; ++v) {
+    f.blob_off_[static_cast<std::size_t>(v)] =
+        static_cast<std::int64_t>(f.blobs_.size());
+    w.clear();
+    core::encode_vertex_label(scheme, v, w);
+    const auto* b = reinterpret_cast<const std::uint8_t*>(w.words().data());
+    f.blobs_.insert(f.blobs_.end(), b, b + w.word_count() * 8);
+  }
+  f.blob_off_[static_cast<std::size_t>(n)] =
+      static_cast<std::int64_t>(f.blobs_.size());
+
+  f.validate();
+  return f;
+}
+
+void FrozenScheme::validate() const {
+  NORS_CHECK_MSG(n_ >= 0 && k_ >= 1 && num_trees_ >= 0,
+                 "frozen header out of range");
+  const auto n = static_cast<std::size_t>(n_);
+  NORS_CHECK_MSG(level_.size() == n, "level array size");
+  NORS_CHECK_MSG(tree_root_.size() == static_cast<std::size_t>(num_trees_) &&
+                     tree_level_.size() == static_cast<std::size_t>(num_trees_),
+                 "tree directory size");
+  NORS_CHECK_MSG(labels_.size() == n * static_cast<std::size_t>(k_),
+                 "label arena size");
+  check_offsets(table_off_, n, tables_.size(), "table slabs");
+  check_offsets(adj_off_, n, adj_to_.size(), "link map");
+  NORS_CHECK_MSG(adj_w_.size() == adj_to_.size(), "link map weight column");
+  // Link targets feed back into every per-vertex array as the walk's next
+  // x; range-check them here so serving never indexes out of bounds even
+  // on a corrupt-but-checksummed image (ports are bounds-checked at the
+  // single place they index the link map, in route_with).
+  for (const auto to : adj_to_) {
+    NORS_CHECK_MSG(to >= 0 && to < n_, "link map target out of range");
+  }
+  check_offsets(blob_off_, n, blobs_.size(), "label blobs");
+
+  auto check_lights = [this](std::int32_t off, std::int32_t len,
+                             const char* what) {
+    NORS_CHECK_MSG(off >= 0 && len >= 0 &&
+                       static_cast<std::size_t>(off) + len <= lights_.size(),
+                   what << ": light range out of pool");
+  };
+  for (const auto& t : tables_) {
+    NORS_CHECK_MSG(t.tree >= 0 && t.tree < num_trees_,
+                   "table slot tree id out of range");
+    check_lights(t.heavy_light_off, t.heavy_light_len, "table slot");
+  }
+  auto check_hops = [this](std::int32_t off, std::int32_t len,
+                           const char* what) {
+    NORS_CHECK_MSG(off >= 0 && len >= 0 &&
+                       static_cast<std::size_t>(off) + len <= hops_.size(),
+                   what << ": hop range out of pool");
+  };
+  for (const auto& l : labels_) {
+    NORS_CHECK_MSG(l.tree >= -1 && l.tree < num_trees_,
+                   "label slot tree id out of range");
+    check_lights(l.local_light_off, l.local_light_len, "label slot");
+    check_hops(l.hop_off, l.hop_len, "label slot");
+  }
+  for (const auto& h : hops_) check_lights(h.light_off, h.light_len, "hop");
+  for (std::size_t i = 0; i < trick_roots_.size(); ++i) {
+    const auto& tr = trick_roots_[i];
+    NORS_CHECK_MSG(tr.root >= 0 && tr.root < n_, "trick root out of range");
+    NORS_CHECK_MSG(i == 0 || trick_roots_[i - 1].root < tr.root,
+                   "trick directory not sorted");
+    NORS_CHECK_MSG(tr.tree >= 0 && tr.tree < num_trees_,
+                   "trick tree id out of range");
+    NORS_CHECK_MSG(tr.off >= 0 && tr.len >= 0 &&
+                       static_cast<std::size_t>(tr.off + tr.len) <=
+                           tricks_.size(),
+                   "trick slab out of pool");
+    for (std::int64_t j = tr.off; j < tr.off + tr.len; ++j) {
+      const auto& ts = tricks_[static_cast<std::size_t>(j)];
+      NORS_CHECK_MSG(ts.dest >= 0 && ts.dest < n_,
+                     "trick destination out of range");
+      NORS_CHECK_MSG(j == tr.off ||
+                         tricks_[static_cast<std::size_t>(j - 1)].dest <
+                             ts.dest,
+                     "trick slab not dest-sorted");
+      check_lights(ts.local_light_off, ts.local_light_len, "trick slot");
+      check_hops(ts.hop_off, ts.hop_len, "trick slot");
+    }
+  }
+}
+
+std::vector<std::uint8_t> FrozenScheme::save() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(byte_size()) + 256);
+  put_raw(out, kMagic, sizeof(kMagic));
+  put_raw(out, &kVersion, sizeof(kVersion));
+  put_raw(out, &kEndianTag, sizeof(kEndianTag));
+  put_raw(out, &n_, sizeof(n_));
+  put_raw(out, &k_, sizeof(k_));
+  put_raw(out, &label_trick_, sizeof(label_trick_));
+  put_raw(out, &num_trees_, sizeof(num_trees_));
+  put_vec(out, level_);
+  put_vec(out, tree_root_);
+  put_vec(out, tree_level_);
+  put_vec(out, table_off_);
+  put_vec(out, tables_);
+  put_vec(out, labels_);
+  put_vec(out, hops_);
+  put_vec(out, lights_);
+  put_vec(out, trick_roots_);
+  put_vec(out, tricks_);
+  put_vec(out, adj_off_);
+  put_vec(out, adj_to_);
+  put_vec(out, adj_w_);
+  put_vec(out, blob_off_);
+  put_vec(out, blobs_);
+  const std::uint64_t checksum = fnv1a(out.data(), out.size());
+  put_raw(out, &checksum, sizeof(checksum));
+  return out;
+}
+
+FrozenScheme FrozenScheme::load(const std::vector<std::uint8_t>& bytes) {
+  NORS_CHECK_MSG(bytes.size() >= sizeof(kMagic) + 2 * sizeof(std::uint32_t) +
+                                     4 * sizeof(std::int32_t) +
+                                     sizeof(std::uint64_t),
+                 "frozen-table image too short for a header");
+  char magic[8];
+  std::uint32_t version = 0, endian = 0;
+  Cursor c(bytes.data(), bytes.size() - sizeof(std::uint64_t));
+  c.read(magic, sizeof(magic));
+  NORS_CHECK_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                 "bad magic: not a frozen routing-table image");
+  c.read(&version, sizeof(version));
+  NORS_CHECK_MSG(version == kVersion,
+                 "unsupported frozen-table version " << version);
+  c.read(&endian, sizeof(endian));
+  NORS_CHECK_MSG(endian == kEndianTag,
+                 "endianness mismatch: image written on a foreign-endian "
+                 "machine");
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(stored),
+              sizeof(stored));
+  NORS_CHECK_MSG(fnv1a(bytes.data(), bytes.size() - sizeof(stored)) == stored,
+                 "checksum mismatch: corrupt frozen-table image");
+
+  FrozenScheme f;
+  c.read(&f.n_, sizeof(f.n_));
+  c.read(&f.k_, sizeof(f.k_));
+  c.read(&f.label_trick_, sizeof(f.label_trick_));
+  c.read(&f.num_trees_, sizeof(f.num_trees_));
+  c.read_vec(f.level_);
+  c.read_vec(f.tree_root_);
+  c.read_vec(f.tree_level_);
+  c.read_vec(f.table_off_);
+  c.read_vec(f.tables_);
+  c.read_vec(f.labels_);
+  c.read_vec(f.hops_);
+  c.read_vec(f.lights_);
+  c.read_vec(f.trick_roots_);
+  c.read_vec(f.tricks_);
+  c.read_vec(f.adj_off_);
+  c.read_vec(f.adj_to_);
+  c.read_vec(f.adj_w_);
+  c.read_vec(f.blob_off_);
+  c.read_vec(f.blobs_);
+  NORS_CHECK_MSG(c.pos() == bytes.size() - sizeof(stored),
+                 "trailing bytes after the last frozen-table section");
+  f.validate();
+  return f;
+}
+
+void FrozenScheme::save_file(const std::string& path) const {
+  const auto bytes = save();
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  NORS_CHECK_MSG(fp != nullptr, "cannot open " << path << " for writing");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), fp);
+  std::fclose(fp);
+  NORS_CHECK_MSG(written == bytes.size(), "short write to " << path);
+}
+
+FrozenScheme FrozenScheme::load_file(const std::string& path) {
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  NORS_CHECK_MSG(fp != nullptr, "cannot open " << path);
+  std::fseek(fp, 0, SEEK_END);
+  const long size = std::ftell(fp);
+  std::fseek(fp, 0, SEEK_SET);
+  NORS_CHECK_MSG(size >= 0, "cannot stat " << path);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), fp);
+  std::fclose(fp);
+  NORS_CHECK_MSG(got == bytes.size(), "short read from " << path);
+  return load(bytes);
+}
+
+std::int64_t FrozenScheme::byte_size() const {
+  auto bytes = [](const auto& v) {
+    return static_cast<std::int64_t>(
+        v.size() * sizeof(typename std::decay_t<decltype(v)>::value_type));
+  };
+  return static_cast<std::int64_t>(4 * sizeof(std::int32_t)) + bytes(level_) +
+         bytes(tree_root_) + bytes(tree_level_) + bytes(table_off_) +
+         bytes(tables_) + bytes(labels_) + bytes(hops_) + bytes(lights_) +
+         bytes(trick_roots_) + bytes(tricks_) + bytes(adj_off_) +
+         bytes(adj_to_) + bytes(adj_w_) + bytes(blob_off_) + bytes(blobs_);
+}
+
+}  // namespace nors::serve

@@ -1,0 +1,418 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scheme.h"
+
+namespace nors::serve {
+
+/// Answer of one frozen route(u, v) query: everything RouteResult reports
+/// except the explicit path (route() has an overload that also records it).
+/// One "decision" is one next-hop port evaluation, so decisions == hops on
+/// a completed walk — the quantity bench_serving rates.
+struct Decision {
+  bool ok = false;
+  bool via_trick = false;
+  std::int32_t hops = 0;
+  std::int32_t tree_level = -1;
+  graph::Vertex tree_root = graph::kNoVertex;
+  graph::Dist length = 0;
+};
+
+/// An immutable, flat-memory snapshot of a constructed RoutingScheme — the
+/// serving-side artifact (DESIGN.md §5). freeze() packs everything a router
+/// network needs to answer route(u, v) into arena-style slabs:
+///
+///   - per-vertex *table slabs*: one fixed-width TableSlot per cluster tree
+///     containing the vertex (its NodeInfo from treeroute/dist_tree.h),
+///     tree-sorted so membership tests are a binary search over the slab;
+///   - per-vertex *label slots*: the k LabelEntry rows, stride-k flat, with
+///     variable-length pieces (light lists, global hops) in shared pools;
+///   - the 4k-5 trick slabs at level-0 cluster roots;
+///   - the port→(neighbor, weight) link map (a router's physical
+///     interfaces), so the walk simulation never touches WeightedGraph;
+///   - packed wire-label blobs (core::encode_vertex_label bytes, one pool)
+///     — what a node hands to connecting peers.
+///
+/// The hot path is allocation-free and graph-free: a query resolves the
+/// destination's cluster tree from label/trick slots, then repeats
+/// {binary-search x's slab, evaluate next port, follow the link map} until
+/// arrival. Decisions are bit-identical to RoutingScheme::route() — pinned
+/// by test_serve.
+///
+/// save()/load() round-trip the snapshot through a versioned little-endian
+/// binary format (magic, version, endianness tag, FNV-1a checksum; format
+/// spec in DESIGN.md §5.2), so tables built once can be reloaded and served
+/// without rebuilding; the round-trip is byte-identical.
+class FrozenScheme {
+ public:
+  // ---------------------------------------------------------- slot PODs --
+  // Every slot is padding-free (static_asserted), so the serialized image
+  // is exactly the in-memory arrays and save→load→save is byte-identical.
+
+  /// One (vertex, port) pair of a TZ light list.
+  struct LightSlot {
+    std::int32_t v = graph::kNoVertex;
+    std::int32_t port = graph::kNoPort;
+  };
+
+  /// One light T'-edge of a destination label (DistTreeScheme::GlobalHop
+  /// minus fields the router never reads).
+  struct HopSlot {
+    std::int64_t portal_a = 0;      // ℓ(x_i).a within T_{v_i}
+    std::int32_t vi = graph::kNoVertex;  // T' parent (subtree root id)
+    std::int32_t port = graph::kNoPort;  // e(x_i, w_i)
+    std::int32_t light_off = 0;     // ℓ(x_i).light in the light pool
+    std::int32_t light_len = 0;
+  };
+
+  /// One entry of a vertex's table slab: the vertex's routing state inside
+  /// cluster tree `tree` (DistTreeScheme::NodeInfo, flattened).
+  struct TableSlot {
+    std::int64_t local_a = 0;         // TZ interval of x in T_{w(x)}
+    std::int64_t local_b = 0;
+    std::int64_t a_prime = 0;         // interval of w(x) in T'
+    std::int64_t b_prime = 0;
+    std::int64_t heavy_portal_a = 0;  // ℓ(y).a, y = p_T(h'(w)) ∈ T_w
+    std::int32_t tree = -1;           // cluster-tree index (slab sort key)
+    std::int32_t subtree_root = graph::kNoVertex;  // w with x ∈ T_w
+    std::int32_t parent_port = graph::kNoPort;  // toward subtree parent
+    std::int32_t heavy_child_port = graph::kNoPort;  // local TZ heavy child
+    std::int32_t heavy_prime = graph::kNoVertex;     // h'(w); kNoVertex ⇒ none
+    std::int32_t heavy_cross_port = graph::kNoPort;  // e(y, h'(w))
+    std::int32_t heavy_light_off = 0;  // ℓ(y).light in the light pool
+    std::int32_t heavy_light_len = 0;
+    std::int32_t up_port = graph::kNoPort;  // at w: port toward p_T(w)
+    std::int32_t pad = 0;
+  };
+
+  /// One level of a destination label (RoutingScheme::LabelEntry,
+  /// flattened): pivot + membership + the tree label ℓ'(v).
+  struct LabelSlot {
+    std::int64_t pivot_dist = graph::kDistInf;
+    std::int64_t a_prime = 0;   // ℓ'(v).a' (DFS entry of w(v) in T')
+    std::int64_t local_a = 0;   // ℓ(v).a within T_{w(v)}
+    std::int32_t pivot = graph::kNoVertex;
+    std::int32_t tree = -1;     // cluster tree of the pivot, -1 if none
+    std::int32_t member = 0;    // v ∈ C̃(ẑ_i(v))
+    std::int32_t local_light_off = 0;
+    std::int32_t local_light_len = 0;
+    std::int32_t hop_off = 0;   // global_light in the hop pool
+    std::int32_t hop_len = 0;
+    std::int32_t pad = 0;
+  };
+
+  /// Directory row of the 4k-5 trick slab of one level-0 cluster root.
+  struct TrickRoot {
+    std::int32_t root = graph::kNoVertex;
+    std::int32_t tree = -1;       // the tree route() walks from this root
+    std::int64_t off = 0;         // entries in tricks_, sorted by dest
+    std::int64_t len = 0;
+  };
+
+  /// One member's tree label stored at its level-0 root.
+  struct TrickSlot {
+    std::int64_t a_prime = 0;
+    std::int64_t local_a = 0;
+    std::int32_t dest = graph::kNoVertex;  // slab sort key
+    std::int32_t local_light_off = 0;
+    std::int32_t local_light_len = 0;
+    std::int32_t hop_off = 0;
+    std::int32_t hop_len = 0;
+    std::int32_t pad = 0;
+  };
+
+  static_assert(sizeof(LightSlot) == 8);
+  static_assert(sizeof(HopSlot) == 24);
+  static_assert(sizeof(TableSlot) == 80);
+  static_assert(sizeof(LabelSlot) == 56);
+  static_assert(sizeof(TrickRoot) == 24);
+  static_assert(sizeof(TrickSlot) == 40);
+
+  // --------------------------------------------------------- life cycle --
+
+  /// Snapshots a constructed scheme (and its graph's link map) into flat
+  /// slabs. The frozen scheme is self-contained: the RoutingScheme and the
+  /// WeightedGraph may be destroyed afterwards.
+  static FrozenScheme freeze(const core::RoutingScheme& scheme);
+
+  /// Versioned binary image (format: DESIGN.md §5.2).
+  std::vector<std::uint8_t> save() const;
+  static FrozenScheme load(const std::vector<std::uint8_t>& bytes);
+  void save_file(const std::string& path) const;
+  static FrozenScheme load_file(const std::string& path);
+
+  // ------------------------------------------------------------ serving --
+
+  /// Frozen route decision query; answers are identical to
+  /// RoutingScheme::route() on the live scheme (length, hops, tree choice,
+  /// via_trick). Throws like the live walk on impossible states.
+  Decision route(graph::Vertex u, graph::Vertex v) const {
+    return route_with(
+        u, v,
+        [this](graph::Vertex x, std::int32_t tree) {
+          return table_slot(x, tree);
+        },
+        nullptr);
+  }
+
+  /// As route(), and also records the visited vertices (including u and v).
+  Decision route(graph::Vertex u, graph::Vertex v,
+                 std::vector<graph::Vertex>* path) const {
+    return route_with(
+        u, v,
+        [this](graph::Vertex x, std::int32_t tree) {
+          return table_slot(x, tree);
+        },
+        path);
+  }
+
+  /// Index into tables() of x's slab entry for cluster tree `tree`, or -1
+  /// when x is not in that tree. O(log slab) binary search — the lookup
+  /// RouteServer's (vertex, tree) cache memoizes.
+  std::int32_t table_index(graph::Vertex x, std::int32_t tree) const {
+    const std::int64_t lo = table_off_[static_cast<std::size_t>(x)];
+    const std::int64_t hi = table_off_[static_cast<std::size_t>(x) + 1];
+    std::int64_t a = lo, b = hi;
+    while (a < b) {
+      const std::int64_t mid = (a + b) / 2;
+      if (tables_[static_cast<std::size_t>(mid)].tree < tree) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    if (a < hi && tables_[static_cast<std::size_t>(a)].tree == tree) {
+      return static_cast<std::int32_t>(a);
+    }
+    return -1;
+  }
+
+  const TableSlot* table_slot(graph::Vertex x, std::int32_t tree) const {
+    const std::int32_t idx = table_index(x, tree);
+    return idx < 0 ? nullptr : &tables_[static_cast<std::size_t>(idx)];
+  }
+
+  /// The core walk, parameterized over the (vertex, tree) → TableSlot*
+  /// lookup so RouteServer can interpose its cache. Lookup must return
+  /// nullptr exactly when table_index() returns -1.
+  template <typename TableLookup>
+  Decision route_with(graph::Vertex u, graph::Vertex v, TableLookup&& lookup,
+                      std::vector<graph::Vertex>* path) const;
+
+  // -------------------------------------------------------- inspection --
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  bool label_trick() const { return label_trick_ != 0; }
+  std::int32_t num_trees() const { return num_trees_; }
+  int vertex_level(graph::Vertex v) const {
+    return level_[static_cast<std::size_t>(v)];
+  }
+  const std::vector<TableSlot>& tables() const { return tables_; }
+
+  /// v's packed wire label (core::encode_vertex_label bytes) — what the
+  /// serving layer hands to a peer at connection setup.
+  std::span<const std::uint8_t> label_blob(graph::Vertex v) const {
+    return {blobs_.data() + blob_off_[static_cast<std::size_t>(v)],
+            blobs_.data() + blob_off_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  /// Total bytes of frozen state (what save() writes, minus framing).
+  std::int64_t byte_size() const;
+
+ private:
+  /// The destination's tree label as the walk consumes it — a view into
+  /// the slot pools, no ownership.
+  struct DestView {
+    std::int64_t a_prime = 0;
+    std::int64_t local_a = 0;
+    std::int32_t local_light_off = 0;
+    std::int32_t local_light_len = 0;
+    std::int32_t hop_off = 0;
+    std::int32_t hop_len = 0;
+  };
+
+  /// TzTreeScheme::next_hop over slab fields: next port within the subtree
+  /// T_{w(x)} toward the local label (dest_a, lights). kNoPort == arrived
+  /// at the labelled vertex.
+  std::int32_t tz_next(const TableSlot& t, graph::Vertex x,
+                       std::int64_t dest_a, std::int32_t light_off,
+                       std::int32_t light_len) const {
+    if (dest_a == t.local_a) return graph::kNoPort;  // arrived
+    if (dest_a < t.local_a || dest_a >= t.local_b) {
+      NORS_CHECK_MSG(t.parent_port != graph::kNoPort,
+                     "destination is outside this tree");
+      return t.parent_port;
+    }
+    const LightSlot* l = lights_.data() + light_off;
+    for (std::int32_t j = 0; j < light_len; ++j) {
+      if (l[j].v == x) return l[j].port;
+    }
+    NORS_CHECK_MSG(t.heavy_child_port != graph::kNoPort,
+                   "interval claims a descendant but no child exists");
+    return t.heavy_child_port;
+  }
+
+  /// DistTreeScheme::next_hop over slab fields.
+  std::int32_t next_port(const TableSlot& t, graph::Vertex x,
+                         const DestView& d) const {
+    if (d.a_prime == t.a_prime) {
+      // Same subtree: pure local interval routing.
+      return tz_next(t, x, d.local_a, d.local_light_off, d.local_light_len);
+    }
+    if (d.a_prime < t.a_prime || d.a_prime >= t.b_prime) {
+      // Destination subtree is not below w(x) in T': go up.
+      if (t.parent_port != graph::kNoPort) return t.parent_port;
+      NORS_CHECK_MSG(t.up_port != graph::kNoPort,
+                     "route-up requested at the tree root");
+      return t.up_port;
+    }
+    // Strictly below w(x) in T': a light hop recorded in the destination
+    // label, else the heavy T'-child.
+    const HopSlot* h = hops_.data() + d.hop_off;
+    for (std::int32_t j = 0; j < d.hop_len; ++j) {
+      if (h[j].vi == t.subtree_root) {
+        const std::int32_t p =
+            tz_next(t, x, h[j].portal_a, h[j].light_off, h[j].light_len);
+        return p == graph::kNoPort ? h[j].port : p;
+      }
+    }
+    NORS_CHECK_MSG(t.heavy_prime != graph::kNoVertex,
+                   "descend requested but w(x) has no T' children");
+    const std::int32_t p = tz_next(t, x, t.heavy_portal_a, t.heavy_light_off,
+                                   t.heavy_light_len);
+    return p == graph::kNoPort ? t.heavy_cross_port : p;
+  }
+
+  static DestView view_of(const LabelSlot& s) {
+    return {s.a_prime,       s.local_a, s.local_light_off,
+            s.local_light_len, s.hop_off, s.hop_len};
+  }
+  static DestView view_of(const TrickSlot& s) {
+    return {s.a_prime,       s.local_a, s.local_light_off,
+            s.local_light_len, s.hop_off, s.hop_len};
+  }
+
+  /// Structural sanity of all offsets/ranges; throws on violation. Run
+  /// after freeze() (cheap self-check) and after load() (so a corrupt but
+  /// checksum-valid image can never cause out-of-bounds serving reads).
+  void validate() const;
+
+  std::int32_t n_ = 0;
+  std::int32_t k_ = 0;
+  std::int32_t label_trick_ = 0;
+  std::int32_t num_trees_ = 0;
+  std::vector<std::int32_t> level_;       // [n] hierarchy level per vertex
+  std::vector<std::int32_t> tree_root_;   // [num_trees]
+  std::vector<std::int32_t> tree_level_;  // [num_trees]
+  std::vector<std::int64_t> table_off_;   // [n+1] slab bounds into tables_
+  std::vector<TableSlot> tables_;         // tree-sorted within each slab
+  std::vector<LabelSlot> labels_;         // [n*k], stride k
+  std::vector<HopSlot> hops_;             // global-hop pool
+  std::vector<LightSlot> lights_;         // light-list pool
+  std::vector<TrickRoot> trick_roots_;    // sorted by root
+  std::vector<TrickSlot> tricks_;         // per root: sorted by dest
+  std::vector<std::int64_t> adj_off_;     // [n+1] link-map offsets
+  std::vector<std::int32_t> adj_to_;      // neighbor behind (v, port)
+  std::vector<std::int64_t> adj_w_;       // weight of that link
+  std::vector<std::int64_t> blob_off_;    // [n+1] byte offsets into blobs_
+  std::vector<std::uint8_t> blobs_;       // packed wire labels
+};
+
+template <typename TableLookup>
+Decision FrozenScheme::route_with(graph::Vertex u, graph::Vertex v,
+                                  TableLookup&& lookup,
+                                  std::vector<graph::Vertex>* path) const {
+  NORS_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  Decision r;
+  if (path != nullptr) {
+    path->clear();
+    path->push_back(u);
+  }
+  if (u == v) {
+    r.ok = true;
+    return r;
+  }
+
+  // Find the tree (Algorithm 1 + the 4k-5 trick), mirroring the live
+  // RoutingScheme::route() decision order exactly.
+  std::int32_t tree = -1;
+  DestView dest;
+  if (label_trick_ != 0 && level_[static_cast<std::size_t>(u)] == 0) {
+    // Is u a level-0 cluster root holding v's tree label locally?
+    std::size_t a = 0, b = trick_roots_.size();
+    while (a < b) {
+      const std::size_t mid = (a + b) / 2;
+      if (trick_roots_[mid].root < u) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    if (a < trick_roots_.size() && trick_roots_[a].root == u) {
+      const TrickRoot& tr = trick_roots_[a];
+      std::int64_t lo = tr.off, hi = tr.off + tr.len;
+      while (lo < hi) {
+        const std::int64_t mid = (lo + hi) / 2;
+        if (tricks_[static_cast<std::size_t>(mid)].dest < v) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < tr.off + tr.len &&
+          tricks_[static_cast<std::size_t>(lo)].dest == v) {
+        tree = tr.tree;
+        dest = view_of(tricks_[static_cast<std::size_t>(lo)]);
+        r.tree_root = u;
+        r.tree_level = 0;
+        r.via_trick = true;
+      }
+    }
+  }
+  if (tree < 0) {
+    const LabelSlot* lv = labels_.data() +
+                          static_cast<std::size_t>(v) *
+                              static_cast<std::size_t>(k_);
+    for (std::int32_t i = 0; i < k_; ++i) {
+      const LabelSlot& ls = lv[i];
+      if (ls.member == 0) continue;  // v ∉ C̃(ẑ_i(v)): keep searching
+      if (ls.tree < 0) continue;     // pivot has no cluster tree
+      if (lookup(u, ls.tree) == nullptr) continue;  // u ∉ C̃(ẑ_i(v))
+      tree = ls.tree;
+      dest = view_of(ls);
+      r.tree_root = ls.pivot;
+      r.tree_level = i;
+      break;
+    }
+  }
+  if (tree < 0) return r;  // coverage failure (prevented by build)
+
+  // Walk the unique tree path over the frozen link map.
+  graph::Vertex x = u;
+  while (x != v) {
+    const TableSlot* t = lookup(x, tree);
+    NORS_CHECK_MSG(t != nullptr, "walk left cluster tree " << tree);
+    const std::int32_t port = next_port(*t, x, dest);
+    NORS_CHECK_MSG(port != graph::kNoPort, "router stalled before arrival");
+    const std::int64_t base = adj_off_[static_cast<std::size_t>(x)];
+    // Both bounds: a corrupt-but-checksummed image could carry any port
+    // value, and this is the only place ports index the link map.
+    NORS_CHECK_MSG(
+        port >= 0 && base + port < adj_off_[static_cast<std::size_t>(x) + 1],
+        "bad port " << port << " at vertex " << x);
+    r.length += adj_w_[static_cast<std::size_t>(base + port)];
+    ++r.hops;
+    x = adj_to_[static_cast<std::size_t>(base + port)];
+    if (path != nullptr) path->push_back(x);
+    NORS_CHECK_MSG(r.hops <= 4 * n_, "routing loop detected");
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace nors::serve

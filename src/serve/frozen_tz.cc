@@ -1,0 +1,75 @@
+#include "serve/frozen_tz.h"
+
+#include <algorithm>
+
+namespace nors::serve {
+
+using graph::Dist;
+using graph::Vertex;
+
+FrozenTzOracle FrozenTzOracle::freeze(const tz::TzDistanceOracle& oracle,
+                                      int n) {
+  FrozenTzOracle f;
+  f.k_ = oracle.k();
+  f.n_ = static_cast<std::size_t>(n);
+  f.pivot_.resize(static_cast<std::size_t>(f.k_) * f.n_);
+  f.pivot_dist_.resize(static_cast<std::size_t>(f.k_ + 1) * f.n_);
+  for (int i = 0; i < f.k_; ++i) {
+    for (Vertex v = 0; v < n; ++v) {
+      f.pivot_[static_cast<std::size_t>(i) * f.n_ +
+               static_cast<std::size_t>(v)] = oracle.pivot(i, v);
+    }
+  }
+  for (int i = 0; i <= f.k_; ++i) {
+    for (Vertex v = 0; v < n; ++v) {
+      f.pivot_dist_[static_cast<std::size_t>(i) * f.n_ +
+                    static_cast<std::size_t>(v)] = oracle.pivot_dist(i, v);
+    }
+  }
+  f.bunch_off_.resize(f.n_ + 1);
+  std::vector<std::pair<Vertex, Dist>> slab;
+  for (Vertex v = 0; v < n; ++v) {
+    f.bunch_off_[static_cast<std::size_t>(v)] =
+        static_cast<std::int64_t>(f.bunch_w_.size());
+    slab.assign(oracle.bunch(v).begin(), oracle.bunch(v).end());
+    std::sort(slab.begin(), slab.end());
+    for (const auto& [w, d] : slab) {
+      f.bunch_w_.push_back(w);
+      f.bunch_d_.push_back(d);
+    }
+  }
+  f.bunch_off_[f.n_] = static_cast<std::int64_t>(f.bunch_w_.size());
+  return f;
+}
+
+FrozenTzOracle::Result FrozenTzOracle::query(Vertex u, Vertex v) const {
+  Result r;
+  Vertex w = u;
+  Dist d_uw = 0;
+  for (int i = 0;; ++i) {
+    const Dist d = bunch_dist(v, w);
+    if (!graph::is_inf(d)) {
+      r.estimate = d_uw + d;
+      r.iterations = i + 1;
+      return r;
+    }
+    // The level-(k-1) pivot is in every bunch on a connected graph, so a
+    // miss there means broken input — checked *before* the pivot access
+    // (level i+1 only exists for i+1 < k).
+    NORS_CHECK_MSG(i + 1 < k_, "oracle loop exceeded k iterations");
+    std::swap(u, v);
+    w = pivot_[static_cast<std::size_t>(i + 1) * n_ +
+               static_cast<std::size_t>(u)];
+    d_uw = pivot_dist_[static_cast<std::size_t>(i + 1) * n_ +
+                       static_cast<std::size_t>(u)];
+  }
+}
+
+std::int64_t FrozenTzOracle::byte_size() const {
+  return static_cast<std::int64_t>(
+      pivot_.size() * sizeof(Vertex) + pivot_dist_.size() * sizeof(Dist) +
+      bunch_off_.size() * sizeof(std::int64_t) +
+      bunch_w_.size() * sizeof(Vertex) + bunch_d_.size() * sizeof(Dist));
+}
+
+}  // namespace nors::serve

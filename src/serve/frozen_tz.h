@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tz/tz_oracle.h"
+
+namespace nors::serve {
+
+/// Flat snapshot of the Thorup–Zwick distance oracle (tz/tz_oracle.h) —
+/// the sequential baseline served the same way FrozenScheme serves the
+/// paper's scheme, so bench_serving compares like against like: the live
+/// oracle answers from per-vertex hash maps, the frozen one from sorted
+/// (w, d) bunch slabs with binary-search membership tests. Estimates are
+/// identical to the live oracle's (same iteration, same pivots).
+class FrozenTzOracle {
+ public:
+  static FrozenTzOracle freeze(const tz::TzDistanceOracle& oracle, int n);
+
+  struct Result {
+    graph::Dist estimate = graph::kDistInf;
+    int iterations = 0;  // ≤ k
+  };
+  Result query(graph::Vertex u, graph::Vertex v) const;
+
+  int k() const { return k_; }
+  std::int64_t byte_size() const;
+
+ private:
+  graph::Dist bunch_dist(graph::Vertex v, graph::Vertex w) const {
+    std::int64_t lo = bunch_off_[static_cast<std::size_t>(v)];
+    std::int64_t hi = bunch_off_[static_cast<std::size_t>(v) + 1];
+    while (lo < hi) {
+      const std::int64_t mid = (lo + hi) / 2;
+      if (bunch_w_[static_cast<std::size_t>(mid)] < w) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < bunch_off_[static_cast<std::size_t>(v) + 1] &&
+        bunch_w_[static_cast<std::size_t>(lo)] == w) {
+      return bunch_d_[static_cast<std::size_t>(lo)];
+    }
+    return graph::kDistInf;
+  }
+
+  int k_ = 0;
+  std::size_t n_ = 0;
+  std::vector<graph::Vertex> pivot_;      // [i*n+v], i < k
+  std::vector<graph::Dist> pivot_dist_;   // [i*n+v], i ≤ k (inf padding)
+  std::vector<std::int64_t> bunch_off_;   // [n+1]
+  std::vector<graph::Vertex> bunch_w_;    // sorted within each slab
+  std::vector<graph::Dist> bunch_d_;      // parallel to bunch_w_
+};
+
+}  // namespace nors::serve

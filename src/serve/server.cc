@@ -1,0 +1,152 @@
+#include "serve/server.h"
+
+#include <exception>
+#include <thread>
+
+namespace nors::serve {
+
+namespace {
+
+/// Two-way set-associative LRU cache for (vertex, tree) → table-slot index.
+/// Per worker, stack-owned: the frozen scheme stays untouched and shared.
+/// A set's way 0 is the most recently used; a hit in way 1 swaps the ways.
+class TableCache {
+ public:
+  TableCache(const FrozenScheme& fs, int entries) : fs_(&fs) {
+    int sets = 1;
+    while (2 * sets < entries) sets *= 2;
+    mask_ = static_cast<std::uint64_t>(sets) - 1;
+    slots_.assign(static_cast<std::size_t>(sets) * 2, {kEmpty, -1});
+  }
+
+  const FrozenScheme::TableSlot* lookup(graph::Vertex x, std::int32_t tree,
+                                        std::int64_t& hits,
+                                        std::int64_t& misses) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32) |
+        static_cast<std::uint32_t>(tree);
+    // Fibonacci hash of the packed key picks the set.
+    const std::size_t set =
+        static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ull) >> 32 & mask_)
+        * 2;
+    Entry& e0 = slots_[set];
+    Entry& e1 = slots_[set + 1];
+    if (e0.key == key) {
+      ++hits;
+      return slot_ptr(e0.idx);
+    }
+    if (e1.key == key) {
+      ++hits;
+      std::swap(e0, e1);  // promote to MRU
+      return slot_ptr(e0.idx);
+    }
+    ++misses;
+    const std::int32_t idx = fs_->table_index(x, tree);
+    e1 = e0;  // old MRU becomes LRU, old LRU is evicted
+    e0 = {key, idx};
+    return slot_ptr(idx);
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~0ull;
+
+  struct Entry {
+    std::uint64_t key;
+    std::int32_t idx;  // -1 = cached "not a member"
+  };
+
+  const FrozenScheme::TableSlot* slot_ptr(std::int32_t idx) const {
+    return idx < 0 ? nullptr
+                   : fs_->tables().data() + static_cast<std::size_t>(idx);
+  }
+
+  const FrozenScheme* fs_;
+  std::uint64_t mask_;
+  std::vector<Entry> slots_;
+};
+
+}  // namespace
+
+RouteServer::RouteServer(const FrozenScheme& fs, ServerOptions opt)
+    : fs_(&fs), opt_(opt) {
+  NORS_CHECK_MSG(opt_.threads >= 1, "RouteServer needs at least one thread");
+  NORS_CHECK(opt_.cache_entries >= 0);
+}
+
+void RouteServer::serve_chunk(const Query* queries, std::size_t count,
+                              Decision* out, ChunkStats& cs) const {
+  const FrozenScheme& fs = *fs_;
+  if (opt_.cache_entries > 0) {
+    TableCache cache(fs, opt_.cache_entries);
+    auto lookup = [&](graph::Vertex x, std::int32_t tree) {
+      return cache.lookup(x, tree, cs.cache_hits, cs.cache_misses);
+    };
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = fs.route_with(queries[i].u, queries[i].v, lookup, nullptr);
+      cs.hops += out[i].hops;
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = fs.route(queries[i].u, queries[i].v);
+      cs.hops += out[i].hops;
+    }
+  }
+}
+
+void RouteServer::serve(const Query* queries, std::size_t count,
+                        Decision* out) const {
+  const int threads =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(opt_.threads), std::max<std::size_t>(count, 1)));
+  std::vector<ChunkStats> stats(static_cast<std::size_t>(threads));
+  if (threads <= 1) {
+    serve_chunk(queries, count, out, stats[0]);
+  } else {
+    // A chunk that throws (bad query, corrupt state) must surface as an
+    // exception on the calling thread, not std::terminate: every worker
+    // catches into a per-thread slot, all threads are always joined, and
+    // the first captured exception is rethrown afterwards.
+    const std::size_t chunk =
+        (count + static_cast<std::size_t>(threads) - 1) /
+        static_cast<std::size_t>(threads);
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(threads));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads) - 1);
+    for (int t = 1; t < threads; ++t) {
+      const std::size_t lo =
+          std::min(count, static_cast<std::size_t>(t) * chunk);
+      const std::size_t hi =
+          std::min(count, lo + chunk);
+      pool.emplace_back([this, queries, out, lo, hi,
+                         &cs = stats[static_cast<std::size_t>(t)],
+                         &err = errors[static_cast<std::size_t>(t)]] {
+        try {
+          serve_chunk(queries + lo, hi - lo, out + lo, cs);
+        } catch (...) {
+          err = std::current_exception();
+        }
+      });
+    }
+    try {
+      serve_chunk(queries, std::min(count, chunk), out, stats[0]);
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+    for (auto& th : pool) th.join();
+    for (auto& err : errors) {
+      if (err) std::rethrow_exception(err);
+    }
+  }
+  ChunkStats total;
+  for (const auto& cs : stats) {
+    total.hops += cs.hops;
+    total.cache_hits += cs.cache_hits;
+    total.cache_misses += cs.cache_misses;
+  }
+  queries_.fetch_add(static_cast<std::int64_t>(count));
+  hops_.fetch_add(total.hops);
+  cache_hits_.fetch_add(total.cache_hits);
+  cache_misses_.fetch_add(total.cache_misses);
+}
+
+}  // namespace nors::serve

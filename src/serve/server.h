@@ -1,0 +1,81 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "serve/frozen.h"
+
+namespace nors::serve {
+
+/// One route decision request.
+struct Query {
+  graph::Vertex u = graph::kNoVertex;
+  graph::Vertex v = graph::kNoVertex;
+};
+
+struct ServerOptions {
+  /// Worker threads per serve() call; 1 = run on the caller.
+  int threads = 1;
+
+  /// Per-thread entries of the (vertex, tree) → table-slot cache (rounded
+  /// up to a power of two; 0 disables). The cache memoizes the slab binary
+  /// search both for the query source and for every vertex the walk visits,
+  /// so hot cluster trees (the top-level trees contain all of V) resolve in
+  /// one probe.
+  int cache_entries = 0;
+};
+
+/// Batched query driver over a FrozenScheme: splits a batch into contiguous
+/// chunks, answers each chunk on a worker thread purely from the frozen
+/// slabs (read-only, so workers share the snapshot with no locking), and
+/// aggregates counters. Answers are identical to FrozenScheme::route() —
+/// and therefore to the live RoutingScheme — regardless of thread count or
+/// caching (test_serve pins this).
+class RouteServer {
+ public:
+  explicit RouteServer(const FrozenScheme& fs, ServerOptions opt = {});
+
+  /// Answers queries[i] into out[i]. A query with u == v is answered ok
+  /// with 0 hops, like the live route().
+  void serve(const Query* queries, std::size_t count, Decision* out) const;
+
+  void serve(const std::vector<Query>& queries,
+             std::vector<Decision>& out) const {
+    out.resize(queries.size());
+    serve(queries.data(), queries.size(), out.data());
+  }
+
+  /// Cumulative counters since construction (across all serve() calls).
+  struct Stats {
+    std::int64_t queries = 0;
+    std::int64_t hops = 0;          // == route decisions evaluated
+    std::int64_t cache_hits = 0;    // 0 unless cache_entries > 0
+    std::int64_t cache_misses = 0;
+  };
+  Stats stats() const {
+    return {queries_.load(), hops_.load(), cache_hits_.load(),
+            cache_misses_.load()};
+  }
+
+  const FrozenScheme& frozen() const { return *fs_; }
+  const ServerOptions& options() const { return opt_; }
+
+ private:
+  struct ChunkStats {
+    std::int64_t hops = 0;
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+  };
+  void serve_chunk(const Query* queries, std::size_t count, Decision* out,
+                   ChunkStats& cs) const;
+
+  const FrozenScheme* fs_;
+  ServerOptions opt_;
+  mutable std::atomic<std::int64_t> queries_{0};
+  mutable std::atomic<std::int64_t> hops_{0};
+  mutable std::atomic<std::int64_t> cache_hits_{0};
+  mutable std::atomic<std::int64_t> cache_misses_{0};
+};
+
+}  // namespace nors::serve

@@ -82,7 +82,6 @@ TzDistanceOracle::QueryResult TzDistanceOracle::query(Vertex u,
   Vertex w = u;
   Dist d_uw = 0;
   for (int i = 0;; ++i) {
-    NORS_CHECK_MSG(i < k_, "oracle loop exceeded k iterations");
     const auto& bunch_v = bunch_[static_cast<std::size_t>(v)];
     auto it = bunch_v.find(w);
     if (it != bunch_v.end()) {
@@ -90,6 +89,10 @@ TzDistanceOracle::QueryResult TzDistanceOracle::query(Vertex u,
       r.iterations = i + 1;
       return r;
     }
+    // Guard before the pivot access: pivot_ has k levels, and a miss on
+    // the top-level pivot (in every bunch on a connected graph) must fail
+    // loudly instead of reading past the array.
+    NORS_CHECK_MSG(i + 1 < k_, "oracle loop exceeded k iterations");
     std::swap(u, v);
     w = pivot_[static_cast<std::size_t>(i + 1) * n_ +
                static_cast<std::size_t>(u)];

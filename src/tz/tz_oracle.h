@@ -30,6 +30,24 @@ class TzDistanceOracle {
   std::int64_t sketch_words(graph::Vertex v) const;
   int k() const { return k_; }
 
+  /// Level-(i) pivot of v and the distance to it (i ≤ k; level k distance
+  /// is +inf padding). Exposed for the frozen serving snapshot.
+  graph::Vertex pivot(int i, graph::Vertex v) const {
+    return pivot_[static_cast<std::size_t>(i) * n_ +
+                  static_cast<std::size_t>(v)];
+  }
+  graph::Dist pivot_dist(int i, graph::Vertex v) const {
+    return pivot_dist_[static_cast<std::size_t>(i) * n_ +
+                       static_cast<std::size_t>(v)];
+  }
+
+  /// The bunch B(v) as built (w -> d(v,w)); enumeration order is
+  /// unspecified — snapshotting code must sort (serve/frozen_tz.cc does).
+  const std::unordered_map<graph::Vertex, graph::Dist>& bunch(
+      graph::Vertex v) const {
+    return bunch_[static_cast<std::size_t>(v)];
+  }
+
  private:
   int k_ = 0;
   std::size_t n_ = 0;

@@ -18,6 +18,14 @@ class WordWriter {
 
   std::size_t word_count() const { return words_.size(); }
 
+  /// The raw words, for callers that pack many blobs into one pool (the
+  /// frozen serving layer) without the bytes() copy.
+  const std::vector<std::int64_t>& words() const { return words_; }
+
+  /// Resets to empty, keeping capacity — one writer can serve a whole
+  /// freeze loop without reallocating.
+  void clear() { words_.clear(); }
+
   std::vector<std::uint8_t> bytes() const {
     std::vector<std::uint8_t> out(words_.size() * 8);
     std::memcpy(out.data(), words_.data(), out.size());

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/serialize.h"
+#include "graph/generators.h"
+#include "serve/frozen.h"
+#include "serve/frozen_tz.h"
+#include "serve/server.h"
+
+namespace nors {
+namespace {
+
+using graph::Vertex;
+
+graph::WeightedGraph test_graph(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::connected_gnm(n, 3LL * n, graph::WeightSpec::uniform(1, 16),
+                             rng);
+}
+
+core::RoutingScheme build_scheme(const graph::WeightedGraph& g, int k,
+                                 bool label_trick, std::uint64_t seed) {
+  core::SchemeParams p;
+  p.k = k;
+  p.seed = seed;
+  p.label_trick = label_trick;
+  return core::RoutingScheme::build(g, p);
+}
+
+void expect_same_decision(const core::RoutingScheme::RouteResult& live,
+                          const serve::Decision& frozen, Vertex u, Vertex v) {
+  EXPECT_EQ(live.ok, frozen.ok) << "u=" << u << " v=" << v;
+  EXPECT_EQ(live.length, frozen.length) << "u=" << u << " v=" << v;
+  EXPECT_EQ(live.hops, frozen.hops) << "u=" << u << " v=" << v;
+  EXPECT_EQ(live.via_trick, frozen.via_trick) << "u=" << u << " v=" << v;
+  EXPECT_EQ(live.tree_root, frozen.tree_root) << "u=" << u << " v=" << v;
+  EXPECT_EQ(live.tree_level, frozen.tree_level) << "u=" << u << " v=" << v;
+}
+
+class FrozenSchemeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrozenSchemeTest, RouteMatchesLiveSchemeOnRandomQueries) {
+  const int k = GetParam();
+  const auto g = test_graph(130, 4000 + static_cast<std::uint64_t>(k));
+  const auto s = build_scheme(g, k, /*label_trick=*/true, 11);
+  const auto f = serve::FrozenScheme::freeze(s);
+  EXPECT_EQ(f.n(), g.n());
+  EXPECT_EQ(f.k(), k);
+
+  std::vector<Vertex> frozen_path;
+  for (Vertex u = 0; u < g.n(); u += 3) {
+    for (Vertex v = 1; v < g.n(); v += 5) {
+      const auto live = s.route(u, v);
+      const auto frozen = f.route(u, v, &frozen_path);
+      expect_same_decision(live, frozen, u, v);
+      EXPECT_EQ(live.path, frozen_path) << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FrozenSchemeTest, ::testing::Values(2, 3, 4));
+
+TEST(FrozenScheme, RouteMatchesLiveWithoutLabelTrick) {
+  const auto g = test_graph(120, 4100);
+  const auto s = build_scheme(g, 3, /*label_trick=*/false, 13);
+  const auto f = serve::FrozenScheme::freeze(s);
+  for (Vertex u = 0; u < g.n(); u += 7) {
+    for (Vertex v = 2; v < g.n(); v += 3) {
+      expect_same_decision(s.route(u, v), f.route(u, v), u, v);
+    }
+  }
+}
+
+TEST(FrozenScheme, LabelBlobMatchesWireEncoding) {
+  const auto g = test_graph(90, 4200);
+  const auto s = build_scheme(g, 3, true, 17);
+  const auto f = serve::FrozenScheme::freeze(s);
+  for (Vertex v = 0; v < g.n(); v += 11) {
+    const auto expect = core::encode_vertex_label(s, v);
+    const auto blob = f.label_blob(v);
+    ASSERT_EQ(blob.size(), expect.size());
+    EXPECT_TRUE(std::equal(blob.begin(), blob.end(), expect.begin()));
+  }
+}
+
+TEST(FrozenScheme, SaveLoadRoundTripIsByteIdentical) {
+  const auto g = test_graph(110, 4300);
+  const auto s = build_scheme(g, 3, true, 19);
+  const auto f = serve::FrozenScheme::freeze(s);
+
+  const auto bytes = f.save();
+  const auto loaded = serve::FrozenScheme::load(bytes);
+  const auto bytes2 = loaded.save();
+  ASSERT_EQ(bytes.size(), bytes2.size());
+  EXPECT_EQ(bytes, bytes2);
+
+  // The reloaded snapshot serves the same decisions as the live scheme.
+  for (Vertex u = 0; u < g.n(); u += 9) {
+    for (Vertex v = 1; v < g.n(); v += 8) {
+      expect_same_decision(s.route(u, v), loaded.route(u, v), u, v);
+    }
+  }
+}
+
+TEST(FrozenScheme, FileRoundTrip) {
+  const auto g = test_graph(80, 4400);
+  const auto s = build_scheme(g, 2, true, 23);
+  const auto f = serve::FrozenScheme::freeze(s);
+  const std::string path = ::testing::TempDir() + "/nors_frozen_test.bin";
+  f.save_file(path);
+  const auto loaded = serve::FrozenScheme::load_file(path);
+  EXPECT_EQ(f.save(), loaded.save());
+  std::remove(path.c_str());
+}
+
+TEST(FrozenScheme, CorruptImagesAreRejected) {
+  const auto g = test_graph(70, 4500);
+  const auto s = build_scheme(g, 2, true, 29);
+  const auto bytes = serve::FrozenScheme::freeze(s).save();
+
+  // Bad magic.
+  auto bad = bytes;
+  bad[0] ^= 0xff;
+  EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error);
+
+  // Unsupported version (bytes 8..11 hold the version).
+  bad = bytes;
+  bad[8] = 0x7f;
+  EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error);
+
+  // Foreign endianness tag (bytes 12..15).
+  bad = bytes;
+  std::swap(bad[12], bad[15]);
+  std::swap(bad[13], bad[14]);
+  EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error);
+
+  // Truncation, both mid-header and mid-payload.
+  bad.assign(bytes.begin(), bytes.begin() + 10);
+  EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error);
+  bad.assign(bytes.begin(), bytes.begin() + bytes.size() / 2);
+  EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error);
+
+  // A single flipped payload byte trips the checksum.
+  bad = bytes;
+  bad[bytes.size() / 2] ^= 0x01;
+  EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error);
+
+  // Trailing garbage breaks the framing.
+  bad = bytes;
+  bad.push_back(0);
+  EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error);
+
+  // The pristine image still loads.
+  EXPECT_NO_THROW(serve::FrozenScheme::load(bytes));
+}
+
+TEST(RouteServer, ThreadedAndCachedBatchesMatchDirectRoutes) {
+  const auto g = test_graph(140, 4600);
+  const auto s = build_scheme(g, 3, true, 31);
+  const auto f = serve::FrozenScheme::freeze(s);
+
+  std::vector<serve::Query> queries;
+  util::Rng rng(99);
+  for (int i = 0; i < 4000; ++i) {
+    const auto u = static_cast<Vertex>(rng.uniform(
+        static_cast<std::uint64_t>(g.n())));
+    const auto v = static_cast<Vertex>(rng.uniform(
+        static_cast<std::uint64_t>(g.n())));
+    queries.push_back({u, v});
+  }
+
+  serve::ServerOptions opt;
+  opt.threads = 4;
+  opt.cache_entries = 256;
+  const serve::RouteServer server(f, opt);
+  std::vector<serve::Decision> got;
+  server.serve(queries, got);
+
+  ASSERT_EQ(got.size(), queries.size());
+  std::int64_t hops = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_same_decision(s.route(queries[i].u, queries[i].v), got[i],
+                         queries[i].u, queries[i].v);
+    hops += got[i].hops;
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.queries, static_cast<std::int64_t>(queries.size()));
+  EXPECT_EQ(stats.hops, hops);
+  EXPECT_GT(stats.cache_hits, 0);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses > 0, true);
+
+  // An uncached single-thread pass answers identically.
+  const serve::RouteServer plain(f);
+  std::vector<serve::Decision> got2;
+  plain.serve(queries, got2);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(got[i].length, got2[i].length);
+    EXPECT_EQ(got[i].hops, got2[i].hops);
+  }
+}
+
+TEST(RouteServer, WorkerExceptionsPropagateToCaller) {
+  const auto g = test_graph(60, 4800);
+  const auto s = build_scheme(g, 2, true, 37);
+  const auto f = serve::FrozenScheme::freeze(s);
+  serve::ServerOptions opt;
+  opt.threads = 4;
+  const serve::RouteServer server(f, opt);
+  // A default Query holds kNoVertex endpoints; the throw happens inside a
+  // worker thread and must surface on the caller, not std::terminate.
+  std::vector<serve::Query> queries(100);
+  std::vector<serve::Decision> out;
+  EXPECT_THROW(server.serve(queries, out), std::logic_error);
+}
+
+TEST(FrozenTzOracle, EstimatesMatchLiveOracle) {
+  const auto g = test_graph(150, 4700);
+  tz::TzDistanceOracle::Params p;
+  p.k = 3;
+  p.seed = 5;
+  const auto oracle = tz::TzDistanceOracle::build(g, p);
+  const auto frozen = serve::FrozenTzOracle::freeze(oracle, g.n());
+  for (Vertex u = 0; u < g.n(); u += 4) {
+    for (Vertex v = 1; v < g.n(); v += 6) {
+      const auto live = oracle.query(u, v);
+      const auto snap = frozen.query(u, v);
+      EXPECT_EQ(live.estimate, snap.estimate) << "u=" << u << " v=" << v;
+      EXPECT_EQ(live.iterations, snap.iterations) << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nors
