@@ -1,0 +1,89 @@
+// Construction-pipeline scaling bench (DESIGN.md §7): wall-clock and peak
+// RSS of the full RoutingScheme::build at k=3 on the workhorse G(n, 3n)
+// workload, n = 2^12 .. 2^16, serial vs thread-pooled rows. The threaded
+// rows must report bit-identical round counts — the pool only moves
+// wall-clock (the determinism suite enforces the same for tables, labels
+// and ledgers). Results land in BENCH_construction.json; the committed
+// snapshot lives in bench/results/ (schema: bench/results/README.md).
+//
+// NORS_BENCH_N caps the largest n for smoke runs (e.g. CI sets 4096);
+// NORS_BENCH_THREADS overrides the threaded row's pool size (default 8).
+
+#include <sys/resource.h>
+
+#include <thread>
+
+#include "common.h"
+#include "core/scheme.h"
+
+namespace {
+
+using namespace nors;
+
+double peak_rss_mb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // linux: KiB
+}
+
+int threaded_pool_size() {
+  if (const char* e = std::getenv("NORS_BENCH_THREADS")) {
+    const int v = std::atoi(e);
+    if (v >= 1) return v;
+  }
+  return 8;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("BENCH construction",
+                      "scheme_build wall-clock + peak RSS, serial vs "
+                      "thread-pooled (k=3, G(n, 3n), w in [1,32])");
+  bench::JsonReport report("construction");
+  util::TextTable table(
+      {"n", "threads", "wall_s", "rounds", "trees", "peak_rss_mb"});
+
+  const int max_n = bench::env_n(1 << 16);
+  const int pool = threaded_pool_size();
+  for (int n = 1 << 12; n <= max_n; n *= 2) {
+    const auto g = bench::bench_graph(n, 911);
+    std::int64_t serial_rounds = 0;
+    for (const int threads : {1, pool}) {
+      core::SchemeParams p;
+      p.k = 3;
+      p.seed = 7;
+      p.threads = threads;
+      const bench::WallTimer t;
+      const auto s = core::RoutingScheme::build(g, p);
+      const double wall = t.seconds();
+      const double rss = peak_rss_mb();
+      if (threads == 1) {
+        serial_rounds = s.total_rounds();
+      } else {
+        // The pool must never change a round count (DESIGN.md §7).
+        NORS_CHECK_MSG(s.total_rounds() == serial_rounds,
+                       "threaded build diverged from serial round count");
+      }
+      table.add_row({util::TextTable::fmt(static_cast<std::int64_t>(n)),
+                     util::TextTable::fmt(static_cast<std::int64_t>(threads)),
+                     util::TextTable::fmt(wall),
+                     util::TextTable::fmt(s.total_rounds()),
+                     util::TextTable::fmt(
+                         static_cast<std::int64_t>(s.trees().size())),
+                     util::TextTable::fmt(rss)});
+      report.row()
+          .field("row", "construction")
+          .field("n", n)
+          .field("k", 3)
+          .field("threads", threads)
+          .field("wall_s", wall)
+          .field("rounds", s.total_rounds())
+          .field("trees", static_cast<std::int64_t>(s.trees().size()))
+          .field("peak_rss_mb", rss);
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  report.write();
+  return 0;
+}

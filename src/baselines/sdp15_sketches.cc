@@ -65,9 +65,10 @@ Sdp15Sketches Sdp15Sketches::build(const graph::WeightedGraph& g,
                   congest::CostKind::kSimulated, res.rounds, res.messages,
                   "roots=" + std::to_string(roots.size()));
     for (Vertex v = 0; v < n; ++v) {
-      for (const auto& [root, entry] :
+      for (const auto& [slot, entry] :
            res.entries[static_cast<std::size_t>(v)]) {
-        s.bunch_[static_cast<std::size_t>(v)][root] = entry.dist;
+        s.bunch_[static_cast<std::size_t>(v)]
+                [res.roots[static_cast<std::size_t>(slot)]] = entry.dist;
       }
     }
   }

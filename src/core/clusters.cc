@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "graph/properties.h"
 #include "primitives/cluster_bf.h"
@@ -66,7 +65,7 @@ Preprocess build_preprocess(const graph::WeightedGraph& g,
   const util::Epsilon eps = params.epsilon();
   const util::Epsilon eps_half(eps.num(), 2 * eps.den());
   pre.sd = primitives::source_detection(g, pre.vprime, b, eps_half,
-                                        bfs_height);
+                                        bfs_height, params.threads);
   ledger.add("preprocess/source detection", congest::CostKind::kAccounted,
              pre.sd.round_cost, 0,
              "|V'|=" + std::to_string(pre.vprime.size()) +
@@ -218,21 +217,21 @@ std::vector<ClusterTree> build_small_level_trees(
              congest::CostKind::kSimulated, result.rounds, result.messages,
              "roots=" + std::to_string(roots.size()));
 
-  // Re-shape per root.
-  std::unordered_map<Vertex, std::size_t> tree_of;
-  trees.reserve(roots.size());
-  for (Vertex u : roots) {
-    tree_of[u] = trees.size();
-    trees.push_back({u, level, {}});
+  // Re-shape per root slot; scanning vertices in ascending order leaves
+  // every tree's member array sorted without any re-sort.
+  trees.resize(roots.size());
+  for (std::size_t s = 0; s < roots.size(); ++s) {
+    trees[s].root = roots[s];
+    trees[s].level = level;
   }
   for (Vertex v = 0; v < n; ++v) {
-    for (const auto& [root, entry] :
+    for (const auto& [slot, entry] :
          result.entries[static_cast<std::size_t>(v)]) {
       ClusterMember mem;
       mem.b = entry.dist;
       mem.parent = entry.parent;
       mem.parent_port = entry.parent_port;
-      trees[tree_of.at(root)].members[v] = mem;
+      trees[static_cast<std::size_t>(slot)].add(v, mem);
     }
   }
   return trees;
@@ -256,7 +255,7 @@ std::vector<ClusterTree> build_middle_level_trees(
   b = std::min<std::int64_t>(std::max<std::int64_t>(1, b), n);
 
   const auto sd = primitives::source_detection(g, roots, b, params.epsilon(),
-                                               bfs_height);
+                                               bfs_height, params.threads);
   ledger.add("clusters/middle level " + std::to_string(level),
              congest::CostKind::kAccounted, sd.round_cost, 0,
              "|S|=" + std::to_string(roots.size()) + " B=" + std::to_string(b));
@@ -265,7 +264,9 @@ std::vector<ClusterTree> build_middle_level_trees(
   trees.reserve(roots.size());
   for (std::size_t si = 0; si < roots.size(); ++si) {
     const Vertex u = roots[si];
-    ClusterTree t{u, level, {}};
+    ClusterTree t;
+    t.root = u;
+    t.level = level;
     for (Vertex v = 0; v < n; ++v) {
       const Dist bv = sd.d(static_cast<int>(si), v);
       if (graph::is_inf(bv)) continue;
@@ -281,7 +282,7 @@ std::vector<ClusterTree> build_middle_level_trees(
         NORS_CHECK(mem.parent_port != graph::kNoPort);
         mem.parent = g.edge(v, mem.parent_port).to;
       }
-      t.members[v] = mem;
+      t.add(v, mem);
     }
     trees.push_back(std::move(t));
   }
@@ -314,22 +315,27 @@ std::vector<ClusterTree> build_large_level_trees(
     return eps.less_than_div(b, dhat, 1);
   };
 
-  // Phase-1 state per (V' index, root-slot): b value and virtual parent.
+  // Phase-1 state per (V' index, root slot): b value and virtual parent,
+  // in one dense m × r slot arena (b == kDistInf marks "absent"; real b
+  // values are finite). Large-level roots lie in V', so r ≤ m and the
+  // arena is O(|V'|²) — tiny compared to the n×|V'| source-detection slab.
   struct VState {
     Dist b = graph::kDistInf;
     int vparent = -1;    // V' index of the virtual parent
     int hopset_id = -1;  // the hopset edge used, if any
   };
   const int r = static_cast<int>(roots.size());
-  std::unordered_map<Vertex, int> root_slot;
-  for (int s = 0; s < r; ++s) root_slot[roots[s]] = s;
-  std::vector<std::unordered_map<int, VState>> state(
-      static_cast<std::size_t>(m));
+  const auto cell = [r](int v, int s) {
+    return static_cast<std::size_t>(v) * static_cast<std::size_t>(r) +
+           static_cast<std::size_t>(s);
+  };
+  std::vector<VState> state(static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(r));
   std::vector<std::pair<int, int>> frontier;  // (V' index, root slot)
   for (int s = 0; s < r; ++s) {
     const int idx = pre.vp_index[static_cast<std::size_t>(roots[s])];
     NORS_CHECK_MSG(idx >= 0, "large-level roots must lie in V'");
-    state[static_cast<std::size_t>(idx)][s] = {0, -1, -1};
+    state[cell(idx, s)] = {0, -1, -1};
     frontier.push_back({idx, s});
   }
 
@@ -340,7 +346,7 @@ std::vector<ClusterTree> build_large_level_trees(
     std::vector<std::tuple<int, int, Dist>> sends;
     sends.reserve(frontier.size());
     for (const auto& [v, s] : frontier) {
-      sends.emplace_back(v, s, state[static_cast<std::size_t>(v)].at(s).b);
+      sends.emplace_back(v, s, state[cell(v, s)].b);
     }
     messages += static_cast<std::int64_t>(sends.size());
     std::vector<std::pair<int, int>> next;
@@ -348,18 +354,12 @@ std::vector<ClusterTree> build_large_level_trees(
       for (const auto& e : pre.gpp_adj[static_cast<std::size_t>(v)]) {
         const Dist nb = bv + e.w;
         const Vertex gz = pre.vprime[static_cast<std::size_t>(e.to)];
-        auto& zmap = state[static_cast<std::size_t>(e.to)];
-        auto it2 = zmap.find(s);
-        const Dist cur = it2 == zmap.end() ? graph::kDistInf : it2->second.b;
-        if (nb >= cur) continue;
+        VState& z = state[cell(e.to, s)];
+        if (nb >= z.b) continue;
         if (gz != roots[static_cast<std::size_t>(s)] && !cond14(gz, nb)) {
           continue;
         }
-        if (it2 == zmap.end()) {
-          zmap[s] = {nb, v, e.hopset_id};
-        } else {
-          it2->second = {nb, v, e.hopset_id};
-        }
+        z = {nb, v, e.hopset_id};
         next.push_back({e.to, s});
       }
     }
@@ -375,18 +375,22 @@ std::vector<ClusterTree> build_large_level_trees(
 
   // Phase 1.5: re-anchor hopset-edge parents along their realizing paths.
   // Candidates are computed from a snapshot of the phase-1 values, applied
-  // with min, so the pass is order-independent (paper semantics).
-  const std::vector<std::unordered_map<int, VState>> snapshot = state;
+  // with min, so the set of final b values is order-independent (paper
+  // semantics); tied candidates resolve in the canonical (V' index, slot)
+  // scan order.
+  const std::vector<VState> snapshot = state;
   std::int64_t fixups = 0;
   for (int v = 0; v < m; ++v) {
-    for (const auto& [s, st] : snapshot[static_cast<std::size_t>(v)]) {
-      if (st.hopset_id < 0) continue;
+    for (int s = 0; s < r; ++s) {
+      const VState& st = snapshot[cell(v, s)];
+      if (graph::is_inf(st.b) || st.hopset_id < 0) continue;
       const auto& he = pre.hs.edges[static_cast<std::size_t>(st.hopset_id)];
       // Orient the path from the virtual parent x toward v.
       const bool forward = (he.u == st.vparent);
       NORS_CHECK(forward || he.v == st.vparent);
       const int x = st.vparent;
-      const Dist bx = snapshot[static_cast<std::size_t>(x)].at(s).b;
+      const Dist bx = snapshot[cell(x, s)].b;
+      NORS_CHECK(!graph::is_inf(bx));
       const auto path_len = static_cast<int>(he.path.size());
       for (int pos = 0; pos < path_len; ++pos) {
         const int z = forward ? he.path[static_cast<std::size_t>(pos)]
@@ -401,11 +405,9 @@ std::vector<ClusterTree> build_large_level_trees(
         const int z_prev_pos = forward ? pos - 1 : path_len - pos;
         const int z_prev = he.path[static_cast<std::size_t>(z_prev_pos)];
         const Dist cand = bx + d_xz;
-        auto& zmap = state[static_cast<std::size_t>(z)];
-        auto it2 = zmap.find(s);
-        const Dist cur = it2 == zmap.end() ? graph::kDistInf : it2->second.b;
-        if (cand <= cur) {
-          zmap[s] = {cand, z_prev, -1};
+        VState& zs = state[cell(z, s)];
+        if (cand <= zs.b) {
+          zs = {cand, z_prev, -1};
           ++fixups;
         }
       }
@@ -419,7 +421,9 @@ std::vector<ClusterTree> build_large_level_trees(
 
   // All virtual parents must now be G' neighbors (or roots).
   for (int v = 0; v < m; ++v) {
-    for (const auto& [s, st] : state[static_cast<std::size_t>(v)]) {
+    for (int s = 0; s < r; ++s) {
+      const VState& st = state[cell(v, s)];
+      if (graph::is_inf(st.b)) continue;
       NORS_CHECK_MSG(st.hopset_id < 0,
                      "hopset parent survived phase 1.5 at V' index " << v);
     }
@@ -428,47 +432,67 @@ std::vector<ClusterTree> build_large_level_trees(
   // Phase 2: members broadcast (root, b); every vertex extends via the
   // source-detection distances. Members of C̃'(u) keep their phase-1 values
   // and get real parents from Remark 1 toward their virtual parent.
-  trees.assign(static_cast<std::size_t>(r), {});
+  trees.resize(static_cast<std::size_t>(r));
   for (int s = 0; s < r; ++s) {
     trees[static_cast<std::size_t>(s)].root = roots[static_cast<std::size_t>(s)];
     trees[static_cast<std::size_t>(s)].level = level;
   }
-  // Per root slot, the broadcasting members (V' index, b).
-  std::vector<std::vector<std::pair<int, Dist>>> broadcasters(
-      static_cast<std::size_t>(r));
+  // Per root slot, the broadcasting members (V' index, b) in CSR layout,
+  // V'-ascending within each slot (the historical tie-break order).
+  std::vector<int> bc_cnt(static_cast<std::size_t>(r), 0);
   std::int64_t phase2_msgs = 0;
   for (int v = 0; v < m; ++v) {
-    for (const auto& [s, st] : state[static_cast<std::size_t>(v)]) {
-      broadcasters[static_cast<std::size_t>(s)].push_back({v, st.b});
-      ++phase2_msgs;
+    for (int s = 0; s < r; ++s) {
+      if (!graph::is_inf(state[cell(v, s)].b)) {
+        ++bc_cnt[static_cast<std::size_t>(s)];
+        ++phase2_msgs;
+      }
+    }
+  }
+  std::vector<int> bc_off(static_cast<std::size_t>(r) + 1, 0);
+  for (int s = 0; s < r; ++s) {
+    bc_off[static_cast<std::size_t>(s) + 1] =
+        bc_off[static_cast<std::size_t>(s)] + bc_cnt[static_cast<std::size_t>(s)];
+  }
+  std::vector<std::pair<int, Dist>> bc(
+      static_cast<std::size_t>(phase2_msgs));
+  {
+    std::vector<int> cursor(bc_off.begin(), bc_off.end() - 1);
+    for (int v = 0; v < m; ++v) {
+      for (int s = 0; s < r; ++s) {
+        const Dist bv = state[cell(v, s)].b;
+        if (graph::is_inf(bv)) continue;
+        bc[static_cast<std::size_t>(cursor[static_cast<std::size_t>(s)]++)] = {
+            v, bv};
+      }
     }
   }
 
   for (int s = 0; s < r; ++s) {
     auto& tree = trees[static_cast<std::size_t>(s)];
     const Vertex u = roots[static_cast<std::size_t>(s)];
+    const auto* bc_begin = bc.data() + bc_off[static_cast<std::size_t>(s)];
+    const auto* bc_end = bc.data() + bc_off[static_cast<std::size_t>(s) + 1];
     for (Vertex y = 0; y < n; ++y) {
       // Extension value from the broadcast (the single synchronous round of
       // phase 2): min over members of d_yv + b_v(u).
       Dist ext = graph::kDistInf;
       int witness = -1;
-      for (const auto& [v, bv] : broadcasters[static_cast<std::size_t>(s)]) {
-        const Dist dyv = pre.sd.d(v, y);
+      for (const auto* it = bc_begin; it != bc_end; ++it) {
+        const Dist dyv = pre.sd.d(it->first, y);
         if (graph::is_inf(dyv)) continue;
-        const Dist cand = dyv + bv;
+        const Dist cand = dyv + it->second;
         if (cand < ext) {
           ext = cand;
-          witness = v;
+          witness = it->first;
         }
       }
       const int y_vp = pre.vp_index[static_cast<std::size_t>(y)];
-      const auto it2 = y_vp >= 0
-                           ? state[static_cast<std::size_t>(y_vp)].find(s)
-                           : state.front().end();
-      const bool in_phase1 =
-          y_vp >= 0 && it2 != state[static_cast<std::size_t>(y_vp)].end();
+      const VState* y_state =
+          y_vp >= 0 ? &state[cell(y_vp, s)] : nullptr;
+      const bool in_phase1 = y_state != nullptr && !graph::is_inf(y_state->b);
       if (y == u) {
-        tree.members[y] = ClusterMember{0, graph::kNoVertex, graph::kNoPort};
+        tree.add(y, ClusterMember{0, graph::kNoVertex, graph::kNoPort});
         continue;
       }
       ClusterMember mem;
@@ -476,19 +500,19 @@ std::vector<ClusterTree> build_large_level_trees(
         // Members of C̃'(u) stay members, but take the better of their
         // phase-1 value and the broadcast extension — the paper's Claim 7
         // proof needs parents to adopt the phase-2 improvement (28).
-        if (ext < it2->second.b) {
+        if (ext < y_state->b) {
           mem.b = ext;
           mem.parent_port = pre.sd.port(witness, y);
         } else {
-          mem.b = it2->second.b;
-          const int vp = it2->second.vparent;
+          mem.b = y_state->b;
+          const int vp = y_state->vparent;
           NORS_CHECK(vp >= 0);
           mem.parent_port = pre.sd.port(vp, y);
         }
         NORS_CHECK_MSG(mem.parent_port != graph::kNoPort,
                        "missing Remark-1 parent");
         mem.parent = g.edge(y, mem.parent_port).to;
-        tree.members[y] = mem;
+        tree.add(y, mem);
         continue;
       }
       // Everyone else joins iff (15) holds for the extension value.
@@ -497,7 +521,7 @@ std::vector<ClusterTree> build_large_level_trees(
       mem.parent_port = pre.sd.port(witness, y);
       NORS_CHECK(mem.parent_port != graph::kNoPort);
       mem.parent = g.edge(y, mem.parent_port).to;
-      tree.members[y] = mem;
+      tree.add(y, mem);
     }
   }
   ledger.add("clusters/large level " + std::to_string(level) + " phase2",
@@ -511,43 +535,83 @@ std::vector<ClusterTree> build_large_level_trees(
 std::int64_t sanitize_trees(const graph::WeightedGraph& g,
                             std::vector<ClusterTree>& trees) {
   std::int64_t pruned = 0;
+  std::vector<int> par, cnt, off, child, queue;
+  std::vector<char> keep;
+  // Vertex → member-index map shared across trees: filled and cleared per
+  // tree through the member list, so lookups are O(1) without hashing.
+  std::vector<int> pos_of(static_cast<std::size_t>(g.n()), -1);
   for (auto& t : trees) {
     // Keep exactly the members reachable from the root through parent
     // pointers that are consistent: parent is a member, the edge is real,
-    // and b_v ≥ w(v,p) + b_p (Claim 7).
-    std::unordered_map<Vertex, std::vector<Vertex>> children;
-    for (const auto& [v, mem] : t.members) {
-      if (v == t.root) continue;
-      children[mem.parent].push_back(v);
+    // and b_v ≥ w(v,p) + b_p (Claim 7). All index-based over the sorted
+    // member array — one linear BFS, no hashing.
+    const std::size_t sz = t.size();
+    for (std::size_t i = 0; i < sz; ++i) {
+      pos_of[static_cast<std::size_t>(t.members[i])] = static_cast<int>(i);
     }
-    std::unordered_map<Vertex, char> keep;
-    std::queue<Vertex> q;
-    if (t.members.count(t.root)) {
-      keep[t.root] = 1;
-      q.push(t.root);
+    par.assign(sz, -1);
+    cnt.assign(sz, 0);
+    for (std::size_t i = 0; i < sz; ++i) {
+      if (t.members[i] == t.root) continue;
+      // A parent outside the vertex range (e.g. kNoVertex from a failed whp
+      // event) is simply "not a member": the vertex gets pruned below.
+      const graph::Vertex parent = t.info[i].parent;
+      const int p = parent >= 0 && parent < g.n()
+                        ? pos_of[static_cast<std::size_t>(parent)]
+                        : -1;
+      par[i] = p;
+      if (p >= 0) ++cnt[static_cast<std::size_t>(p)];
     }
-    while (!q.empty()) {
-      const Vertex p = q.front();
-      q.pop();
-      auto it = children.find(p);
-      if (it == children.end()) continue;
-      const Dist bp = t.members.at(p).b;
-      for (Vertex v : it->second) {
-        const auto& mem = t.members.at(v);
-        const auto& e = g.edge(v, mem.parent_port);
-        if (e.to != p) continue;
+    off.assign(sz + 1, 0);
+    for (std::size_t i = 0; i < sz; ++i) off[i + 1] = off[i] + cnt[i];
+    child.resize(sz);
+    {
+      std::vector<int> cursor(off.begin(), off.end() - 1);
+      for (std::size_t i = 0; i < sz; ++i) {
+        if (t.members[i] == t.root || par[i] < 0) continue;
+        child[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(par[i])]++)] =
+            static_cast<int>(i);
+      }
+    }
+    keep.assign(sz, 0);
+    queue.clear();
+    const int root_idx = pos_of[static_cast<std::size_t>(t.root)];
+    if (root_idx >= 0) {
+      keep[static_cast<std::size_t>(root_idx)] = 1;
+      queue.push_back(root_idx);
+    }
+    std::size_t head = 0;
+    std::size_t kept = root_idx >= 0 ? 1 : 0;
+    while (head < queue.size()) {
+      const auto p = static_cast<std::size_t>(queue[head++]);
+      const Dist bp = t.info[p].b;
+      for (int c = off[p]; c < off[p + 1]; ++c) {
+        const auto i = static_cast<std::size_t>(
+            child[static_cast<std::size_t>(c)]);
+        const auto& mem = t.info[i];
+        const auto& e = g.edge(t.members[i], mem.parent_port);
+        if (e.to != t.members[p]) continue;
         if (mem.b < bp + e.w) continue;  // Claim 7 violated
-        keep[v] = 1;
-        q.push(v);
+        keep[i] = 1;
+        ++kept;
+        queue.push_back(static_cast<int>(i));
       }
     }
-    if (keep.size() != t.members.size()) {
-      pruned += static_cast<std::int64_t>(t.members.size() - keep.size());
-      std::unordered_map<Vertex, ClusterMember> kept;
-      for (const auto& [v, mem] : t.members) {
-        if (keep.count(v)) kept[v] = mem;
+    for (std::size_t i = 0; i < sz; ++i) {
+      pos_of[static_cast<std::size_t>(t.members[i])] = -1;
+    }
+    if (kept != sz) {
+      pruned += static_cast<std::int64_t>(sz - kept);
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < sz; ++i) {
+        if (!keep[i]) continue;
+        t.members[w] = t.members[i];
+        t.info[w] = t.info[i];
+        ++w;
       }
-      t.members = std::move(kept);
+      t.members.resize(w);
+      t.info.resize(w);
     }
   }
   return pruned;

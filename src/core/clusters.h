@@ -1,6 +1,6 @@
 #pragma once
 
-#include <unordered_map>
+#include <algorithm>
 #include <vector>
 
 #include "congest/ledger.h"
@@ -63,10 +63,39 @@ struct ClusterMember {
 
 /// A cluster tree: root u at `level`, members with approximate distances
 /// satisfying (10) and parents satisfying Claim 7.
+///
+/// Flat memory (DESIGN.md §7): `members` is vertex-sorted and `info` is
+/// parallel to it, so iteration is a linear scan, membership is a binary
+/// search, and converting to a TreeSpec is a straight copy — no hash map
+/// and no re-sort anywhere on the build path.
 struct ClusterTree {
   graph::Vertex root = graph::kNoVertex;
   int level = -1;
-  std::unordered_map<graph::Vertex, ClusterMember> members;
+  std::vector<graph::Vertex> members;  // sorted ascending, includes root
+  std::vector<ClusterMember> info;     // parallel to members
+
+  std::size_t size() const { return members.size(); }
+
+  /// Index of v in members, or -1 (binary search).
+  int find(graph::Vertex v) const {
+    const auto it = std::lower_bound(members.begin(), members.end(), v);
+    if (it == members.end() || *it != v) return -1;
+    return static_cast<int>(it - members.begin());
+  }
+  bool contains(graph::Vertex v) const { return find(v) >= 0; }
+  const ClusterMember& member(graph::Vertex v) const {
+    const int i = find(v);
+    NORS_CHECK_MSG(i >= 0, "vertex " << v << " not in cluster tree");
+    return info[static_cast<std::size_t>(i)];
+  }
+
+  /// Appends (v, m); callers must append in ascending vertex order.
+  void add(graph::Vertex v, const ClusterMember& m) {
+    NORS_CHECK_MSG(members.empty() || members.back() < v,
+                   "cluster members must be added in ascending order");
+    members.push_back(v);
+    info.push_back(m);
+  }
 };
 
 /// §3.2 small levels: exact clusters via simulated multi-root Bellman–Ford,
@@ -85,7 +114,9 @@ std::vector<ClusterTree> build_middle_level_trees(
 
 /// §3.3.2 large levels: Phase 1 (β-iteration bounded Bellman–Ford on G''
 /// with condition (14)), Phase 1.5 (path-reporting fix-up of hopset-edge
-/// parents), Phase 2 (extension to V with condition (15)).
+/// parents), Phase 2 (extension to V with condition (15)). Per-root state
+/// lives in one dense |V'| × |roots| slot arena (root slot = index into the
+/// level's root list), so every sweep is a linear scan.
 std::vector<ClusterTree> build_large_level_trees(
     const graph::WeightedGraph& g, const primitives::Hierarchy& h, int level,
     const PivotTable& pivots, const Preprocess& pre,

@@ -13,8 +13,9 @@ DistanceEstimation DistanceEstimation::build(const RoutingScheme& scheme) {
   const int n = scheme.pivots_.n;
   de.sketches_.assign(static_cast<std::size_t>(n), {});
   for (const auto& t : scheme.trees()) {
-    for (const auto& [v, mem] : t.members) {
-      de.sketches_[static_cast<std::size_t>(v)].clusters[t.root] = mem.b;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      de.sketches_[static_cast<std::size_t>(t.members[i])]
+          .clusters[t.root] = t.info[i].b;
     }
   }
   for (Vertex v = 0; v < n; ++v) {

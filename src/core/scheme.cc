@@ -13,33 +13,24 @@ using graph::Dist;
 using graph::Vertex;
 
 /// Converts a ClusterTree into the TreeSpec consumed by the Section-6 tree
-/// routing.
+/// routing. Flat cluster trees are already vertex-sorted, so the spec is a
+/// straight column copy — no re-sort (the specs-stay-sorted regression test
+/// in test_scheme pins this invariant).
 treeroute::TreeSpec to_spec(const ClusterTree& t) {
-  struct Row {
-    Vertex v;
-    Vertex parent;
-    std::int32_t port;
-  };
-  std::vector<Row> rows;
-  rows.reserve(t.members.size());
-  for (const auto& [v, mem] : t.members) {
-    if (v == t.root) {
-      rows.push_back({v, graph::kNoVertex, graph::kNoPort});
-    } else {
-      rows.push_back({v, mem.parent, mem.parent_port});
-    }
-  }
-  std::sort(rows.begin(), rows.end(),
-            [](const Row& a, const Row& b) { return a.v < b.v; });
+  const std::size_t sz = t.size();
   treeroute::TreeSpec spec;
   spec.root = t.root;
-  spec.members.reserve(rows.size());
-  spec.parent.reserve(rows.size());
-  spec.parent_port.reserve(rows.size());
-  for (const Row& r : rows) {
-    spec.members.push_back(r.v);
-    spec.parent.push_back(r.parent);
-    spec.parent_port.push_back(r.port);
+  spec.members = t.members;
+  spec.parent.resize(sz);
+  spec.parent_port.resize(sz);
+  for (std::size_t i = 0; i < sz; ++i) {
+    if (t.members[i] == t.root) {
+      spec.parent[i] = graph::kNoVertex;
+      spec.parent_port[i] = graph::kNoPort;
+    } else {
+      spec.parent[i] = t.info[i].parent;
+      spec.parent_port[i] = t.info[i].parent_port;
+    }
   }
   return spec;
 }
@@ -125,8 +116,7 @@ RoutingScheme RoutingScheme::build(const graph::WeightedGraph& g,
     // terminates at level k-1 only then).
     bool covered = true;
     for (const auto& t : s.trees_) {
-      if (t.level == k - 1 &&
-          t.members.size() != static_cast<std::size_t>(n)) {
+      if (t.level == k - 1 && t.size() != static_cast<std::size_t>(n)) {
         covered = false;
         break;
       }
@@ -142,13 +132,16 @@ RoutingScheme RoutingScheme::build(const graph::WeightedGraph& g,
   // Section-6 tree routing over every cluster tree (batched, Remark 3).
   std::vector<treeroute::TreeSpec> specs;
   specs.reserve(s.trees_.size());
+  s.tree_of_root_.assign(static_cast<std::size_t>(n), -1);
   for (std::size_t i = 0; i < s.trees_.size(); ++i) {
-    s.tree_of_root_[s.trees_[i].root] = static_cast<int>(i);
+    s.tree_of_root_[static_cast<std::size_t>(s.trees_[i].root)] =
+        static_cast<int>(i);
     specs.push_back(to_spec(s.trees_[i]));
   }
   treeroute::DistTreeBatchParams tp;
   tp.gamma = params.tree_gamma;
   tp.seed = rng.next();
+  tp.threads = params.threads;
   util::Rng tree_rng(tp.seed);
   s.tree_schemes_ = std::make_shared<treeroute::DistTreeBatch>(
       treeroute::build_dist_tree_batch(g, specs, tp, height, tree_rng));
@@ -166,27 +159,21 @@ RoutingScheme RoutingScheme::build(const graph::WeightedGraph& g,
       le.pivot = s.pivots_.z(i, v);
       le.pivot_dist = s.pivots_.d(i, v);
       if (le.pivot == graph::kNoVertex) continue;
-      auto it = s.tree_of_root_.find(le.pivot);
-      if (it == s.tree_of_root_.end()) continue;
+      const int ti = s.tree_of_root_[static_cast<std::size_t>(le.pivot)];
+      if (ti < 0) continue;
       const auto& scheme =
-          s.tree_schemes_->schemes[static_cast<std::size_t>(it->second)];
-      if (scheme.contains(v)) {
+          s.tree_schemes_->schemes[static_cast<std::size_t>(ti)];
+      const int pos = scheme.find(v);
+      if (pos >= 0) {
         le.member = true;
-        le.tree_label = scheme.label(v);
+        le.tree_label = scheme.label_at(static_cast<std::size_t>(pos));
       }
     }
   }
 
-  // 4k-5 trick: level-0 cluster roots store their members' tree labels.
-  if (params.label_trick) {
-    for (std::size_t ti = 0; ti < s.trees_.size(); ++ti) {
-      const auto& t = s.trees_[ti];
-      if (t.level != 0) continue;
-      auto& tl = s.trick_labels_[t.root];
-      const auto& scheme = s.tree_schemes_->schemes[ti];
-      for (const auto& [v, mem] : t.members) tl[v] = scheme.label(v);
-    }
-  }
+  // The 4k-5 trick labels (level-0 roots holding their members' tree
+  // labels) need no build step: they are exactly the member labels of the
+  // root's own tree scheme, served via trick_label().
   return s;
 }
 
@@ -203,13 +190,13 @@ RoutingScheme::RouteResult RoutingScheme::route(Vertex u, Vertex v) const {
   const treeroute::DistTreeScheme* tree = nullptr;
   const treeroute::DistTreeScheme::VLabel* dest = nullptr;
   if (params_.label_trick && level_[static_cast<std::size_t>(u)] == 0) {
-    auto it = trick_labels_.find(u);
-    if (it != trick_labels_.end()) {
-      auto jt = it->second.find(v);
-      if (jt != it->second.end()) {
-        tree = &tree_schemes_->schemes[static_cast<std::size_t>(
-            tree_of_root_.at(u))];
-        dest = &jt->second;
+    const int ti = tree_of_root_[static_cast<std::size_t>(u)];
+    if (ti >= 0) {
+      const auto& scheme = tree_schemes_->schemes[static_cast<std::size_t>(ti)];
+      const int pos = scheme.find(v);
+      if (pos >= 0) {
+        tree = &scheme;
+        dest = &scheme.label_at(static_cast<std::size_t>(pos));
         r.tree_root = u;
         r.tree_level = 0;
         r.via_trick = true;
@@ -220,10 +207,10 @@ RoutingScheme::RouteResult RoutingScheme::route(Vertex u, Vertex v) const {
     for (int i = 0; i < params_.k; ++i) {
       const LabelEntry& le = label_entry(v, i);
       if (!le.member) continue;  // v ∉ C̃(ẑ_i(v)): keep searching
-      auto it = tree_of_root_.find(le.pivot);
-      if (it == tree_of_root_.end()) continue;
+      const int ti = tree_of_root_[static_cast<std::size_t>(le.pivot)];
+      if (ti < 0) continue;
       const auto& scheme =
-          tree_schemes_->schemes[static_cast<std::size_t>(it->second)];
+          tree_schemes_->schemes[static_cast<std::size_t>(ti)];
       if (!scheme.contains(u)) continue;  // u ∉ C̃(ẑ_i(v))
       tree = &scheme;
       dest = &le.tree_label;
@@ -257,13 +244,19 @@ std::int64_t RoutingScheme::table_words(Vertex v) const {
   std::int64_t words = 2LL * params_.k;
   for (std::size_t ti = 0; ti < trees_.size(); ++ti) {
     const auto& scheme = tree_schemes_->schemes[ti];
-    if (scheme.contains(v)) {
-      words += 2 + scheme.info(v).words();
+    const int pos = scheme.find(v);
+    if (pos >= 0) {
+      words += 2 + scheme.info_at(static_cast<std::size_t>(pos)).words();
     }
   }
-  auto it = trick_labels_.find(v);
-  if (it != trick_labels_.end()) {
-    for (const auto& [dst, lbl] : it->second) words += 1 + lbl.words();
+  if (params_.label_trick && level_[static_cast<std::size_t>(v)] == 0) {
+    const int ti = tree_of_root_[static_cast<std::size_t>(v)];
+    if (ti >= 0 && trees_[static_cast<std::size_t>(ti)].level == 0) {
+      const auto& scheme = tree_schemes_->schemes[static_cast<std::size_t>(ti)];
+      for (std::size_t i = 0; i < scheme.members().size(); ++i) {
+        words += 1 + scheme.label_at(i).words();
+      }
+    }
   }
   return words;
 }
@@ -279,7 +272,7 @@ std::int64_t RoutingScheme::label_words(Vertex v) const {
 
 int RoutingScheme::overlap(Vertex v) const {
   int c = 0;
-  for (const auto& t : trees_) c += t.members.count(v) ? 1 : 0;
+  for (const auto& t : trees_) c += t.contains(v) ? 1 : 0;
   return c;
 }
 
@@ -289,8 +282,10 @@ double RoutingScheme::stretch_bound() const {
 }
 
 int RoutingScheme::tree_index(Vertex root) const {
-  auto it = tree_of_root_.find(root);
-  return it == tree_of_root_.end() ? -1 : it->second;
+  if (root < 0 || static_cast<std::size_t>(root) >= tree_of_root_.size()) {
+    return -1;
+  }
+  return tree_of_root_[static_cast<std::size_t>(root)];
 }
 
 }  // namespace nors::core

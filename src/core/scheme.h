@@ -1,7 +1,6 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "congest/ledger.h"
@@ -92,10 +91,16 @@ class RoutingScheme {
   }
 
   /// The 4k-5 trick label stored at a level-0 root for one of its cluster
-  /// members (throws if absent).
+  /// members (throws if absent). Trick labels are exactly the member labels
+  /// of the root's own cluster tree, so they are served straight from the
+  /// tree scheme — no separate label store survives construction.
   const treeroute::DistTreeScheme::VLabel& trick_label(
       graph::Vertex root, graph::Vertex dest) const {
-    return trick_labels_.at(root).at(dest);
+    const int ti = tree_index(root);
+    NORS_CHECK_MSG(params_.label_trick && ti >= 0 &&
+                       trees_[static_cast<std::size_t>(ti)].level == 0,
+                   "no trick labels at vertex " << root);
+    return tree_schemes_->schemes[static_cast<std::size_t>(ti)].label(dest);
   }
 
  private:
@@ -106,17 +111,12 @@ class RoutingScheme {
   congest::RoundLedger ledger_;
   PivotTable pivots_;
   std::vector<ClusterTree> trees_;
-  std::unordered_map<graph::Vertex, int> tree_of_root_;
+  std::vector<int> tree_of_root_;  // per vertex: index into trees_, or -1
   std::shared_ptr<treeroute::DistTreeBatch> tree_schemes_;
   // Flat label arena, one k-entry stride per vertex: entry (v, i) lives at
   // labels_[v*k + i] — same layout serve::FrozenScheme snapshots.
   std::vector<LabelEntry> labels_;
   std::vector<int> level_;  // hierarchy level per vertex
-  // 4k-5 trick: per level-0 root, the tree labels of its cluster members.
-  std::unordered_map<
-      graph::Vertex,
-      std::unordered_map<graph::Vertex, treeroute::DistTreeScheme::VLabel>>
-      trick_labels_;
   std::int64_t pruned_ = 0;
   int coverage_retries_ = 0;
   int beta_ = 0;

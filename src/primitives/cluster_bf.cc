@@ -1,7 +1,6 @@
 #include "primitives/cluster_bf.h"
 
 #include <deque>
-#include <unordered_set>
 
 namespace nors::primitives {
 
@@ -14,14 +13,20 @@ class ClusterBfProgram : public congest::NodeProgram {
  public:
   ClusterBfProgram(const graph::WeightedGraph& g,
                    const std::vector<Vertex>& roots, const AdmitFn& admit)
-      : g_(g), admit_(admit) {
+      : g_(g), admit_(admit), roots_(roots) {
     entries_.resize(static_cast<std::size_t>(g.n()));
     outbox_.resize(static_cast<std::size_t>(g.n()));
-    queued_flag_.resize(static_cast<std::size_t>(g.n()));
-    for (Vertex u : roots) {
-      auto& e = entries_[static_cast<std::size_t>(u)][u];
-      e.dist = 0;
-      push_announce(u, u);
+    queued_.resize(static_cast<std::size_t>(g.n()));
+    root_slot_.assign(static_cast<std::size_t>(g.n()), -1);
+    for (std::size_t s = 0; s < roots.size(); ++s) {
+      const Vertex u = roots[s];
+      NORS_CHECK_MSG(root_slot_[static_cast<std::size_t>(u)] < 0,
+                     "duplicate root " << u);
+      root_slot_[static_cast<std::size_t>(u)] = static_cast<int>(s);
+      entries_[static_cast<std::size_t>(u)].push_back(
+          {static_cast<int>(s), ClusterEntry{0, graph::kNoVertex,
+                                             graph::kNoPort}});
+      push_announce(u, 0);
     }
   }
 
@@ -34,19 +39,33 @@ class ClusterBfProgram : public congest::NodeProgram {
   void on_round(Vertex v, congest::MessageView inbox,
                 congest::Sender& out) override {
     const auto vi = static_cast<std::size_t>(v);
+    auto& list = entries_[vi];
     for (const auto& m : inbox) {
       const Vertex root = static_cast<Vertex>(m.w[0]);
       const Dist d = m.w[1];
-      auto it = entries_[vi].find(root);
+      const int slot = root_slot_[static_cast<std::size_t>(root)];
+      // Linear scan: a vertex belongs to Õ(n^{1/k}) clusters whp (Claim 2).
+      int at = -1;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list[i].first == slot) {
+          at = static_cast<int>(i);
+          break;
+        }
+      }
       const Dist current =
-          (it == entries_[vi].end()) ? graph::kDistInf : it->second.dist;
+          at < 0 ? graph::kDistInf
+                 : list[static_cast<std::size_t>(at)].second.dist;
       if (d >= current) continue;
       if (v != root && !admit_(v, root, d)) continue;
-      auto& e = entries_[vi][root];
+      if (at < 0) {
+        at = static_cast<int>(list.size());
+        list.push_back({slot, ClusterEntry{}});
+      }
+      auto& e = list[static_cast<std::size_t>(at)].second;
       e.dist = d;
       e.parent = m.from;
       e.parent_port = m.arrival_port;
-      push_announce(v, root);
+      push_announce(v, at);
     }
     // Flush one announcement per neighbor edge per round; the network's
     // per-edge capacity queues any burst beyond that, so congestion from
@@ -55,34 +74,55 @@ class ClusterBfProgram : public congest::NodeProgram {
     // queued announcement is upgraded rather than re-sent.
     auto& queue = outbox_[vi];
     if (!queue.empty()) {
-      const Vertex root = queue.front();
+      const int at = queue.front();
       queue.pop_front();
-      queued_flag_[vi].erase(root);
-      const Dist d = entries_[vi][root].dist;
+      auto& entry = list[static_cast<std::size_t>(at)];
+      queued_flag(vi, at) = 0;
+      const Vertex root = roots_[static_cast<std::size_t>(entry.first)];
+      const Dist d = entry.second.dist;
+      // One prebuilt message, retargeted per port (the make() path would
+      // re-validate and re-fill the payload 2m times per announcement wave).
+      congest::Message m = congest::Message::make(0, {root, 0});
       std::int32_t p = 0;
       for (const auto& e : g_.neighbors(v)) {
-        out.send(p++, congest::Message::make(0, {root, d + e.w}));
+        m.w[1] = d + e.w;
+        out.send(p++, m);
       }
       if (!queue.empty()) out.wake_self();
     }
   }
 
-  std::vector<std::unordered_map<Vertex, ClusterEntry>> entries_;
+  std::vector<std::vector<std::pair<int, ClusterEntry>>> entries_;
 
  private:
-  void push_announce(Vertex v, Vertex root) {
+  /// Queued-ness of entries_[v][at]: one byte per local entry, parallel to
+  /// entries_[v] (grown on demand).
+  char& queued_flag(std::size_t vi, int at) {
+    auto& q = queued_[vi];
+    if (q.size() <= static_cast<std::size_t>(at)) {
+      q.resize(static_cast<std::size_t>(at) + 1, 0);
+    }
+    return q[static_cast<std::size_t>(at)];
+  }
+
+  void push_announce(Vertex v, int at) {
     const auto vi = static_cast<std::size_t>(v);
-    if (queued_flag_[vi].insert(root).second) {
-      outbox_[vi].push_back(root);
+    char& f = queued_flag(vi, at);
+    if (f == 0) {
+      f = 1;
+      outbox_[vi].push_back(at);
     }
   }
 
   const graph::WeightedGraph& g_;
   const AdmitFn& admit_;
-  std::vector<std::deque<Vertex>> outbox_;
-  // Roots currently queued in outbox_[v]: dedup so an entry improved twice
-  // before sending is announced once, with the freshest distance.
-  std::vector<std::unordered_set<Vertex>> queued_flag_;
+  const std::vector<Vertex>& roots_;
+  std::vector<int> root_slot_;  // graph vertex -> dense slot, or -1
+  // outbox_[v]: indices into entries_[v] queued for announcement; the flag
+  // dedups so an entry improved twice before sending is announced once,
+  // with the freshest distance.
+  std::vector<std::deque<int>> outbox_;
+  std::vector<std::vector<char>> queued_;
 };
 
 }  // namespace
@@ -94,6 +134,7 @@ ClusterBfResult distributed_cluster_bellman_ford(
   congest::Network net(g, {.edge_capacity = edge_capacity});
   const auto stats = net.run(prog);
   ClusterBfResult r;
+  r.roots = roots;
   r.entries = std::move(prog.entries_);
   r.rounds = stats.rounds;
   r.messages = stats.messages_sent;

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "congest/network.h"
@@ -23,9 +22,14 @@ struct ClusterEntry {
 /// real: each directed edge carries `edge_capacity` messages per round, so
 /// the measured `rounds` reflects the Õ(n^{1/k}) per-iteration overlap
 /// congestion the paper analyses via Claim 2.
+///
+/// Roots are identified by a dense slot id (their index in the input root
+/// list); per-vertex state is a short flat list of (slot, record) pairs —
+/// cluster overlap is Õ(n^{1/k}) whp, so a linear scan beats hashing.
 struct ClusterBfResult {
-  // entries[v]: root -> membership record.
-  std::vector<std::unordered_map<graph::Vertex, ClusterEntry>> entries;
+  std::vector<graph::Vertex> roots;  // slot -> root vertex (input order)
+  // entries[v]: (root slot, membership record), in join order.
+  std::vector<std::vector<std::pair<int, ClusterEntry>>> entries;
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
   std::int64_t max_link_backlog = 0;

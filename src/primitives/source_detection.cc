@@ -1,8 +1,10 @@
 #include "primitives/source_detection.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/radix.h"
+#include "util/threads.h"
 
 namespace nors::primitives {
 
@@ -112,11 +114,184 @@ SweepOutcome run_scale(const graph::WeightedGraph& g, Vertex src,
   return out;
 }
 
+/// Scratch for the exact-scale fast path (DESIGN.md §7): a bucket-queue
+/// (Dial) Dijkstra that reconstructs the Bellman–Ford sweep's committed
+/// layers and winning parent ports *during relaxation* — every shortest-path
+/// predecessor of v settles (and therefore relaxes v) strictly before v
+/// settles, so the first-writer tie-break resolves with one lexicographic
+/// candidate update on equal proposals, and the hot loop does no more work
+/// than a plain Dijkstra. A compact int32 CSR (8 bytes per half edge, port
+/// order preserved) is built once per source_detection call so the sweep's
+/// working set stays cache-resident; everything else resets through
+/// `touched`, so a run costs O(region + max distance), never O(n).
+struct FastScratch {
+  struct Cell {
+    std::int32_t dist;   // INT32_MAX at rest
+    std::int32_t layer;  // -1 = not settled; set at settle time
+  };
+  struct Cand {  // pending winner for the current tentative value
+    std::int32_t layer, u, port_at_u, port;
+  };
+  std::vector<Cell> cell;
+  std::vector<Cand> cand;  // needs no rest state: strict improvements reset it
+  std::vector<Vertex> touched;
+  std::vector<std::vector<Vertex>> buckets;
+  int max_layer = 0;
+  // Compact CSR (built lazily, same indexing as the graph's half edges).
+  bool csr_built = false;
+  bool csr_ok = false;
+  std::vector<std::int64_t> off;
+  struct Edge {
+    std::int32_t to, w;
+  };
+  std::vector<Edge> edges;
+  std::vector<std::int32_t> rev;
+
+  explicit FastScratch(std::size_t n)
+      : cell(n, {INT32_MAX, -1}), cand(n, {0, 0, 0, 0}) {}
+
+  void build_csr(const graph::WeightedGraph& g) {
+    csr_built = true;
+    if (g.max_weight() > INT32_MAX) return;  // csr_ok stays false
+    const int n = g.n();
+    off.resize(static_cast<std::size_t>(n) + 1);
+    edges.reserve(g.total_half_edges());
+    rev.reserve(g.total_half_edges());
+    for (Vertex v = 0; v < n; ++v) {
+      off[static_cast<std::size_t>(v)] = static_cast<std::int64_t>(edges.size());
+      for (const auto& e : g.neighbors(v)) {
+        edges.push_back({e.to, static_cast<std::int32_t>(e.w)});
+        rev.push_back(e.rev);
+      }
+    }
+    off[static_cast<std::size_t>(n)] = static_cast<std::int64_t>(edges.size());
+    csr_ok = true;
+  }
+
+  void reset() {
+    for (const Vertex v : touched) {
+      cell[static_cast<std::size_t>(v)] = {INT32_MAX, -1};
+    }
+    touched.clear();
+  }
+};
+
+/// Exact-quantum fast path. A q=1 scale whose sweep never hits `cap` and
+/// converges within the hop bound computes the plain single-source shortest
+/// paths — so run the Dial Dijkstra above and reproduce the sweep's outputs
+/// exactly:
+///
+///   * distances — identical by optimality;
+///   * iterations — the sweep commits v's final value at iteration
+///     L(v) − 1, where L(v) = 1 + min over shortest-path predecessors
+///     (L(src) = 0), so its iteration count is max_v L(v);
+///   * parent ports — the sweep's winner is the first relaxation achieving
+///     the final value: the predecessor with minimal (L(u), u), and among
+///     parallel edges of that u the one with the smallest port at u. Only
+///     exact-valued predecessors can ever propose a final value, so the
+///     candidate kept on equal proposals is exact, not heuristic.
+///
+/// Sound only when no proposal can exceed `cap` (else the sweep would set
+/// `truncated`): every value the sweep commits at iteration t is the weight
+/// of a ≤(t+1)-hop path, so proposals are bounded by max_w · (max_layer+1).
+/// Returns false — leaving no state behind — when that margin, the hop
+/// bound, or the cap itself fails; the caller falls back to the sweep. On
+/// success, f.cell/f.cand hold the sweep's exact output for f.touched.
+bool run_fast_exact(const graph::WeightedGraph& g, Vertex src,
+                    std::int64_t hop_bound, Dist cap, FastScratch& f) {
+  if (!f.csr_built) f.build_csr(g);
+  // Distances live in int32 cells; a window past 2^30 cannot overflow-check
+  // cheaply, so leave it to the reference sweep.
+  if (!f.csr_ok || cap >= (Dist{1} << 30)) return false;
+  const auto cap32 = static_cast<std::int32_t>(cap);
+  f.max_layer = 0;
+  f.cell[static_cast<std::size_t>(src)].dist = 0;
+  f.cand[static_cast<std::size_t>(src)].port = graph::kNoPort;
+  f.touched.push_back(src);
+  if (f.buckets.empty()) f.buckets.resize(1);
+  f.buckets[0].push_back(src);
+  std::int32_t max_seen = 0;
+  bool failed = false;
+  for (std::int32_t d = 0; d <= max_seen && !failed; ++d) {
+    // Index f.buckets afresh on every access: pushes below may grow (and
+    // relocate) the outer bucket array.
+    for (std::size_t bi = 0;
+         bi < f.buckets[static_cast<std::size_t>(d)].size(); ++bi) {
+      const Vertex v = f.buckets[static_cast<std::size_t>(d)][bi];
+      const auto vi = static_cast<std::size_t>(v);
+      if (f.cell[vi].dist != d || f.cell[vi].layer >= 0) continue;  // stale
+      // Settle v: every shortest-path predecessor has already relaxed v, so
+      // its committed layer and winning port are final in f.cand.
+      const std::int32_t lv =
+          v == src ? 0 : f.cand[vi].layer + 1;
+      f.cell[vi].layer = lv;
+      f.max_layer = std::max(f.max_layer, static_cast<int>(lv));
+      const std::int64_t b0 = f.off[vi];
+      const std::int64_t b1 = f.off[vi + 1];
+      for (std::int64_t ei = b0; ei < b1; ++ei) {
+        const auto [to, w] = f.edges[static_cast<std::size_t>(ei)];
+        const std::int64_t nd64 = static_cast<std::int64_t>(d) + w;
+        if (nd64 > cap32) {
+          // Outside the scale window: the sweep could truncate here, so
+          // the fast path is not provably equivalent. Clean up and bail.
+          for (std::int32_t dd = d; dd <= max_seen; ++dd) {
+            f.buckets[static_cast<std::size_t>(dd)].clear();
+          }
+          failed = true;
+          break;
+        }
+        const auto nd = static_cast<std::int32_t>(nd64);
+        const auto toi = static_cast<std::size_t>(to);
+        const std::int32_t cur = f.cell[toi].dist;
+        if (nd < cur) {
+          if (cur == INT32_MAX) f.touched.push_back(to);
+          f.cell[toi].dist = nd;
+          f.cand[toi] = {lv, v, static_cast<std::int32_t>(ei - b0),
+                         f.rev[static_cast<std::size_t>(ei)]};
+          if (nd > max_seen) {
+            max_seen = nd;
+            if (f.buckets.size() <= static_cast<std::size_t>(nd)) {
+              f.buckets.resize(static_cast<std::size_t>(nd) + 1);
+            }
+          }
+          f.buckets[static_cast<std::size_t>(nd)].push_back(to);
+        } else if (nd == cur) {
+          // Equal proposal: keep the sweep's first writer — lexicographic
+          // min over (committed layer, predecessor id, port at pred).
+          auto& c = f.cand[toi];
+          const std::int32_t p_at_u = static_cast<std::int32_t>(ei - b0);
+          if (lv < c.layer ||
+              (lv == c.layer &&
+               (v < c.u || (v == c.u && p_at_u < c.port_at_u)))) {
+            c = {lv, v, p_at_u, f.rev[static_cast<std::size_t>(ei)]};
+          }
+        }
+      }
+    }
+    f.buckets[static_cast<std::size_t>(d)].clear();
+  }
+
+  // Equivalence margin: the sweep must have converged strictly within the
+  // hop bound and no proposal may have reached the cap.
+  const Dist max_w = std::max<Dist>(1, g.max_weight());
+  if (!failed &&
+      (f.max_layer >= hop_bound ||
+       max_w * (static_cast<Dist>(f.max_layer) + 1) > cap)) {
+    failed = true;
+  }
+  if (failed) {
+    f.reset();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 SourceDetectionResult source_detection(
     const graph::WeightedGraph& g, const std::vector<Vertex>& sources,
-    std::int64_t hop_bound, const util::Epsilon& eps, int bfs_height) {
+    std::int64_t hop_bound, const util::Epsilon& eps, int bfs_height,
+    int threads) {
   NORS_CHECK(!sources.empty());
   NORS_CHECK(hop_bound >= 1);
   const auto n = static_cast<std::size_t>(g.n());
@@ -156,12 +331,42 @@ SourceDetectionResult source_detection(
   // the scales it would have run source-major — the per-source early exit
   // below (and therefore every output, including the round charge, which
   // counts source 0's scales only) is order-independent.
+  //
+  // Exact (q=1) scales take the Dial fast path when its equivalence margin
+  // holds (run_fast_exact above) — the common case for the preprocessing
+  // and middle-level calls, whose hop bounds dwarf the true distances; the
+  // quantized reference sweep remains the general path and the ground
+  // truth the fast path is tested against.
   std::int64_t cost = 0;
   int executed = 0;
   std::vector<char> src_active(sources.size(), 1);
   std::size_t remaining = sources.size();
-  ScaleScratch scratch(n);
+  // Validation escape hatch: NORS_SD_DISABLE_FAST=1 forces every sweep
+  // through the reference Bellman–Ford. The fast path is *defined* as
+  // bit-identical to the sweep; test_primitives pins the equivalence by
+  // diffing full results across this knob.
+  const char* no_fast = std::getenv("NORS_SD_DISABLE_FAST");
+  const bool fast_enabled = no_fast == nullptr || std::atoi(no_fast) == 0;
+  // Caps at which the fast path already failed per source: a failure only
+  // heals once the scale window grows past it.
+  std::vector<Dist> fast_failed_cap(sources.size(), -1);
   std::vector<Dist> wq(g.total_half_edges());
+
+  // Worker arenas: one ScaleScratch/FastScratch pair per worker thread.
+  // Sources are independent — each owns a disjoint output row and its own
+  // bookkeeping — so the pool size changes wall-clock only; the serial fold
+  // below consumes per-source outcomes in source order either way.
+  const int nthreads = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(util::resolve_threads(threads)),
+      sources.size()));
+  std::vector<std::unique_ptr<ScaleScratch>> scale_scratch;
+  std::vector<std::unique_ptr<FastScratch>> fast_scratch;
+  for (int t = 0; t < std::max(1, nthreads); ++t) {
+    scale_scratch.push_back(std::make_unique<ScaleScratch>(n));
+    fast_scratch.push_back(std::make_unique<FastScratch>(n));
+  }
+  std::vector<SweepOutcome> outcome(sources.size());
+
   for (const auto& sc : scales) {
     if (remaining == 0) break;
     {
@@ -172,10 +377,66 @@ SourceDetectionResult source_detection(
         }
       }
     }
-    for (std::size_t si = 0; si < sources.size(); ++si) {
-      if (!src_active[si]) continue;
+    auto sweep_one = [&](std::size_t si, ScaleScratch& scratch,
+                         FastScratch& fast) {
+      Dist* row_d = out.dist.data() + si * n;
+      std::int32_t* row_p = out.parent_port.data() + si * n;
+      if (fast_enabled && sc.q == 1 && fast_failed_cap[si] < sc.cap &&
+          run_fast_exact(g, sources[si], hop_bound, sc.cap, fast)) {
+        if (fast.touched.size() * 2 >= n) {
+          // Dense region: one sequential pass over the cells beats chasing
+          // the touched list in discovery order; it restores the rest state
+          // as it reads, replacing the touched-driven reset.
+          for (std::size_t v = 0; v < n; ++v) {
+            const std::int32_t dv = fast.cell[v].dist;
+            if (dv == INT32_MAX) continue;
+            fast.cell[v] = {INT32_MAX, -1};
+            if (dv < row_d[v]) {
+              row_d[v] = dv;
+              row_p[v] = fast.cand[v].port;
+            }
+          }
+          fast.touched.clear();
+        } else {
+          for (const Vertex tv : fast.touched) {
+            const auto v = static_cast<std::size_t>(tv);
+            const Dist d = fast.cell[v].dist;
+            if (d < row_d[v]) {
+              row_d[v] = d;
+              row_p[v] = fast.cand[v].port;
+            }
+          }
+          fast.reset();
+        }
+        outcome[si] = {fast.max_layer, false};
+        return;
+      }
+      if (sc.q == 1) fast_failed_cap[si] = sc.cap;
       const SweepOutcome run =
           run_scale(g, sources[si], hop_bound, wq, sc.cap, scratch);
+      for (const Vertex tv : scratch.touched) {
+        const auto v = static_cast<std::size_t>(tv);
+        const Dist d = scratch.cur[v] * sc.q;
+        if (d < row_d[v]) {
+          row_d[v] = d;
+          row_p[v] = scratch.cur_port[v];
+        }
+      }
+      scratch.reset();
+      outcome[si] = run;
+    };
+
+    util::parallel_for(nthreads, sources.size(), [&](int t, std::size_t si) {
+      if (!src_active[si]) return;
+      sweep_one(si, *scale_scratch[static_cast<std::size_t>(t)],
+                *fast_scratch[static_cast<std::size_t>(t)]);
+    });
+
+    // Serial fold in source order: round charge (source 0's scales only),
+    // iteration maxima, and the per-source early exit.
+    for (std::size_t si = 0; si < sources.size(); ++si) {
+      if (!src_active[si]) continue;
+      const SweepOutcome& run = outcome[si];
       if (si == 0) {
         // Round charge per executed scale (the pipelined [Nan14] schedule
         // runs all sources of one scale together): |S| + hop layers + D.
@@ -186,16 +447,6 @@ SourceDetectionResult source_detection(
         ++executed;
       }
       out.max_iterations = std::max(out.max_iterations, run.iterations);
-      for (const Vertex tv : scratch.touched) {
-        const auto v = static_cast<std::size_t>(tv);
-        const Dist d = scratch.cur[v] * sc.q;
-        auto& cell = out.dist[si * n + v];
-        if (d < cell) {
-          cell = d;
-          out.parent_port[si * n + v] = scratch.cur_port[v];
-        }
-      }
-      scratch.reset();
       // Early exit: an untruncated, fully converged exact-quantum sweep is
       // the complete d^(B); coarser scales can never improve on it.
       if (sc.q == 1 && !run.truncated && run.iterations < hop_bound) {

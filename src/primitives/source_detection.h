@@ -62,10 +62,14 @@ struct SourceDetectionResult {
   std::size_t n_ = 0;  // vertices per source row (set by the builder)
 };
 
+/// `threads`: worker threads for the per-source sweeps (sources are
+/// independent — disjoint output rows, per-source bookkeeping — so any pool
+/// size yields bit-identical results and round charges). 0 consults the
+/// NORS_THREADS environment variable; 1 is serial.
 SourceDetectionResult source_detection(const graph::WeightedGraph& g,
                                        const std::vector<graph::Vertex>& sources,
                                        std::int64_t hop_bound,
                                        const util::Epsilon& eps,
-                                       int bfs_height);
+                                       int bfs_height, int threads = 0);
 
 }  // namespace nors::primitives

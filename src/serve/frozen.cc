@@ -115,13 +115,11 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
     f.tree_level_.push_back(t.level);
   }
 
-  // Sorted member list per tree (ClusterTree::members is a hash map; every
-  // slab below must be order-deterministic).
+  // Member list per tree: flat cluster trees are already vertex-sorted
+  // (DESIGN.md §7), so every slab below is order-deterministic as-is.
   std::vector<std::vector<Vertex>> members(trees.size());
   for (std::size_t ti = 0; ti < trees.size(); ++ti) {
-    members[ti].reserve(trees[ti].members.size());
-    for (const auto& [v, mem] : trees[ti].members) members[ti].push_back(v);
-    std::sort(members[ti].begin(), members[ti].end());
+    members[ti] = trees[ti].members;
   }
 
   auto put_lights = [&f](const treeroute::TzTreeScheme::Label& l,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "primitives/pipelined.h"
+#include "util/threads.h"
 
 namespace nors::treeroute {
 
@@ -11,112 +12,131 @@ namespace {
 
 using graph::Vertex;
 
-/// Flat, position-indexed view of a TreeSpec: members in BFS order from the
-/// root (parents precede children), with parent links as positions into
-/// `order`. Built once per tree, it replaces per-member hash lookups in
-/// every pass below.
-struct IndexedTree {
-  std::vector<Vertex> order;             // BFS order, order[0] == root
-  std::vector<int> parent_pos;           // position of parent; -1 at root
-  std::vector<std::int32_t> parent_port; // port toward parent; root: kNoPort
-};
-
-IndexedTree index_tree(const TreeSpec& t) {
+/// Flat, position-indexed view of a TreeSpec written into the scratch
+/// arenas: members in BFS order from the root (parents precede children),
+/// parent links as positions into `order`, and the (spec position → sorted
+/// index) map the assembly pass uses. Replaces every per-member hash lookup
+/// with a binary search over the sorted member permutation.
+void index_tree(const TreeSpec& t, TreeBuildScratch& s) {
   const std::size_t sz = t.members.size();
   NORS_CHECK_MSG(t.parent.size() == sz && t.parent_port.size() == sz,
                  "TreeSpec parent arrays must parallel members");
-  std::unordered_map<Vertex, int> pos;
-  pos.reserve(sz * 2);
+  s.perm.resize(sz);
   for (std::size_t i = 0; i < sz; ++i) {
-    pos.emplace(t.members[i], static_cast<int>(i));
+    s.perm[i] = static_cast<std::int32_t>(i);
   }
-  // Parent position + port per member position.
-  std::vector<int> par(sz, -1);
-  std::vector<std::int32_t> pport(sz, graph::kNoPort);
-  for (std::size_t i = 0; i < sz; ++i) {
-    const Vertex v = t.members[i];
-    if (v == t.root) continue;
-    auto it = pos.find(t.parent[i]);
-    // A parent outside the members leaves v unreachable; the size check
-    // after BFS reports it.
-    if (it != pos.end()) par[i] = it->second;
-    pport[i] = t.parent_port[i];
-  }
-  // Children in CSR layout, buckets sorted by child vertex id (the
-  // deterministic order every traversal below inherits).
-  std::vector<int> cnt(sz, 0);
-  for (std::size_t i = 0; i < sz; ++i) {
-    if (par[i] >= 0 && t.members[i] != t.root) ++cnt[static_cast<std::size_t>(par[i])];
-  }
-  std::vector<int> off(sz + 1, 0);
-  for (std::size_t i = 0; i < sz; ++i) off[i + 1] = off[i] + cnt[i];
-  std::vector<int> child(static_cast<std::size_t>(off.back()));
-  {
-    std::vector<int> cursor(off.begin(), off.end() - 1);
-    for (std::size_t i = 0; i < sz; ++i) {
-      if (par[i] >= 0 && t.members[i] != t.root) {
-        child[static_cast<std::size_t>(
-            cursor[static_cast<std::size_t>(par[i])]++)] = static_cast<int>(i);
-      }
-    }
-  }
-  for (std::size_t i = 0; i < sz; ++i) {
-    std::sort(child.begin() + off[i], child.begin() + off[i + 1],
-              [&](int a, int b) {
+  // Specs straight off the cluster builders arrive vertex-sorted
+  // (DESIGN.md §7), so the identity permutation usually survives as-is.
+  if (!std::is_sorted(t.members.begin(), t.members.end())) {
+    std::sort(s.perm.begin(), s.perm.end(),
+              [&](std::int32_t a, std::int32_t b) {
                 return t.members[static_cast<std::size_t>(a)] <
                        t.members[static_cast<std::size_t>(b)];
               });
   }
+  for (std::size_t i = 1; i < sz; ++i) {
+    NORS_CHECK_MSG(t.members[static_cast<std::size_t>(s.perm[i - 1])] !=
+                       t.members[static_cast<std::size_t>(s.perm[i])],
+                   "duplicate member in TreeSpec");
+  }
+  s.sorted_of_orig.resize(sz);
+  for (std::size_t j = 0; j < sz; ++j) {
+    s.sorted_of_orig[static_cast<std::size_t>(s.perm[j])] =
+        static_cast<int>(j);
+  }
+  const auto find_pos = [&](Vertex v) -> int {
+    const auto it = std::lower_bound(
+        s.perm.begin(), s.perm.end(), v,
+        [&](std::int32_t a, Vertex val) {
+          return t.members[static_cast<std::size_t>(a)] < val;
+        });
+    if (it == s.perm.end() ||
+        t.members[static_cast<std::size_t>(*it)] != v) {
+      return -1;
+    }
+    return *it;
+  };
+
+  // Parent position + port per member position.
+  s.par.assign(sz, -1);
+  for (std::size_t i = 0; i < sz; ++i) {
+    if (t.members[i] == t.root) continue;
+    // A parent outside the members leaves v unreachable; the size check
+    // after BFS reports it.
+    s.par[i] = find_pos(t.parent[i]);
+  }
+  // Children in CSR layout; filling in sorted-vertex order leaves every
+  // bucket sorted by child vertex id (the deterministic order every
+  // traversal below inherits).
+  s.cnt.assign(sz, 0);
+  for (std::size_t i = 0; i < sz; ++i) {
+    if (s.par[i] >= 0 && t.members[i] != t.root) {
+      ++s.cnt[static_cast<std::size_t>(s.par[i])];
+    }
+  }
+  s.off.assign(sz + 1, 0);
+  for (std::size_t i = 0; i < sz; ++i) s.off[i + 1] = s.off[i] + s.cnt[i];
+  s.child.resize(static_cast<std::size_t>(s.off[sz]));
+  s.cursor.assign(s.off.begin(), s.off.end() - 1);
+  for (std::size_t j = 0; j < sz; ++j) {
+    const auto i = static_cast<std::size_t>(s.perm[j]);
+    if (s.par[i] >= 0 && t.members[i] != t.root) {
+      s.child[static_cast<std::size_t>(
+          s.cursor[static_cast<std::size_t>(s.par[i])]++)] =
+          static_cast<int>(i);
+    }
+  }
   // BFS from the root over member positions.
-  IndexedTree out;
-  auto rit = pos.find(t.root);
-  std::vector<int> bfs;
-  bfs.reserve(sz);
-  if (rit != pos.end()) {
-    bfs.push_back(rit->second);
-    for (std::size_t h = 0; h < bfs.size(); ++h) {
-      const auto v = static_cast<std::size_t>(bfs[h]);
-      for (int c = off[v]; c < off[v + 1]; ++c) {
-        bfs.push_back(child[static_cast<std::size_t>(c)]);
+  const int root_pos = find_pos(t.root);
+  s.bfs.clear();
+  s.bfs.reserve(sz);
+  if (root_pos >= 0) {
+    s.bfs.push_back(root_pos);
+    for (std::size_t h = 0; h < s.bfs.size(); ++h) {
+      const auto v = static_cast<std::size_t>(s.bfs[h]);
+      for (int c = s.off[v]; c < s.off[v + 1]; ++c) {
+        s.bfs.push_back(s.child[static_cast<std::size_t>(c)]);
       }
     }
   }
-  NORS_CHECK_MSG(bfs.size() == sz,
+  NORS_CHECK_MSG(s.bfs.size() == sz,
                  "TreeSpec is not a single tree rooted at " << t.root);
   // Re-index from member positions to BFS positions.
-  std::vector<int> bfs_pos(sz);
+  s.bfs_pos.resize(sz);
   for (std::size_t i = 0; i < sz; ++i) {
-    bfs_pos[static_cast<std::size_t>(bfs[i])] = static_cast<int>(i);
+    s.bfs_pos[static_cast<std::size_t>(s.bfs[i])] = static_cast<int>(i);
   }
-  out.order.resize(sz);
-  out.parent_pos.resize(sz);
-  out.parent_port.resize(sz);
+  s.order.resize(sz);
+  s.parent_pos.resize(sz);
+  s.parent_port.resize(sz);
+  s.orig_pos.resize(sz);
   for (std::size_t i = 0; i < sz; ++i) {
-    const auto m = static_cast<std::size_t>(bfs[i]);
-    out.order[i] = t.members[m];
-    out.parent_pos[i] =
-        par[m] < 0 ? -1 : bfs_pos[static_cast<std::size_t>(par[m])];
-    out.parent_port[i] = pport[m];
+    const auto m = static_cast<std::size_t>(s.bfs[i]);
+    s.order[i] = t.members[m];
+    s.parent_pos[i] =
+        s.par[m] < 0 ? -1 : s.bfs_pos[static_cast<std::size_t>(s.par[m])];
+    s.parent_port[i] =
+        s.order[i] == t.root ? graph::kNoPort : t.parent_port[m];
+    s.orig_pos[i] = static_cast<int>(m);
   }
-  return out;
 }
 
-/// Subtree decomposition of an indexed tree under the sample U: w_pos[i] is
-/// the position of the nearest root-or-U ancestor (inclusive) of member i,
-/// depth[i] its distance below it. Returns the maximum depth.
-int subtree_roots(const IndexedTree& it, graph::Vertex root,
+/// Subtree decomposition under the sample U: w_pos[i] is the position of
+/// the nearest root-or-U ancestor (inclusive) of member i, depth[i] its
+/// distance below it. Returns the maximum depth.
+int subtree_roots(const TreeBuildScratch& s, graph::Vertex root,
                   const std::vector<char>& in_u, std::vector<int>& w_pos,
                   std::vector<int>& depth) {
-  const std::size_t sz = it.order.size();
+  const std::size_t sz = s.order.size();
   w_pos.resize(sz);
   depth.assign(sz, 0);
   int max_depth = 0;
   for (std::size_t i = 0; i < sz; ++i) {
-    const Vertex v = it.order[i];
+    const Vertex v = s.order[i];
     if (v == root || in_u[static_cast<std::size_t>(v)]) {
       w_pos[i] = static_cast<int>(i);
     } else {
-      const auto p = static_cast<std::size_t>(it.parent_pos[i]);
+      const auto p = static_cast<std::size_t>(s.parent_pos[i]);
       w_pos[i] = w_pos[p];
       depth[i] = depth[p] + 1;
       max_depth = std::max(max_depth, depth[i]);
@@ -130,189 +150,283 @@ int subtree_roots(const IndexedTree& it, graph::Vertex root,
 DistTreeScheme DistTreeScheme::build(const graph::WeightedGraph& g,
                                      const TreeSpec& tree,
                                      const std::vector<char>& in_u) {
-  DistTreeScheme s;
-  s.root_ = tree.root;
-  const IndexedTree it = index_tree(tree);
-  const std::size_t sz = it.order.size();
+  TreeBuildScratch scratch;
+  return build(g, tree, in_u, scratch, nullptr);
+}
+
+DistTreeScheme DistTreeScheme::build(const graph::WeightedGraph& g,
+                                     const TreeSpec& tree,
+                                     const std::vector<char>& in_u,
+                                     TreeBuildScratch& s,
+                                     TreeSchedule* sched_out) {
+  DistTreeScheme out;
+  out.root_ = tree.root;
+  index_tree(tree, s);
+  const std::size_t sz = s.order.size();
 
   // Subtree root w(v): nearest ancestor (inclusive) in U(T) = (U ∩ T) ∪ {z},
-  // as a position into it.order; plus the depth below it.
-  std::vector<int> w_pos, depth;
-  s.max_subtree_depth_ = subtree_roots(it, tree.root, in_u, w_pos, depth);
+  // as a position into s.order; plus the depth below it.
+  out.max_subtree_depth_ = subtree_roots(s, tree.root, in_u, s.w_pos, s.depth);
 
   // Members of each subtree in BFS order (parents precede children), CSR
-  // over the subtree-root positions.
-  std::vector<int> sub_cnt(sz, 0);
-  for (std::size_t i = 0; i < sz; ++i) ++sub_cnt[static_cast<std::size_t>(w_pos[i])];
-  std::vector<int> roots;  // subtree-root positions, ascending (= BFS order)
+  // over the subtree-root positions; member_rank is the position of each
+  // member inside its own subtree (= its index in the local TZ scheme).
+  s.sub_cnt.assign(sz, 0);
   for (std::size_t i = 0; i < sz; ++i) {
-    if (w_pos[i] == static_cast<int>(i)) roots.push_back(static_cast<int>(i));
+    ++s.sub_cnt[static_cast<std::size_t>(s.w_pos[i])];
   }
-  s.u_count_ = static_cast<int>(roots.size());
-  std::vector<int> sub_off(sz + 1, 0);
-  for (std::size_t i = 0; i < sz; ++i) sub_off[i + 1] = sub_off[i] + sub_cnt[i];
-  std::vector<int> sub_members(sz);
-  {
-    std::vector<int> cursor(sub_off.begin(), sub_off.end() - 1);
-    for (std::size_t i = 0; i < sz; ++i) {
-      sub_members[static_cast<std::size_t>(
-          cursor[static_cast<std::size_t>(w_pos[i])]++)] = static_cast<int>(i);
+  s.roots.clear();  // subtree-root positions, ascending (= BFS order)
+  s.slot_of_pos.assign(sz, -1);
+  for (std::size_t i = 0; i < sz; ++i) {
+    if (s.w_pos[i] == static_cast<int>(i)) {
+      s.slot_of_pos[i] = static_cast<int>(s.roots.size());
+      s.roots.push_back(static_cast<int>(i));
     }
   }
+  const int r = static_cast<int>(s.roots.size());
+  out.u_count_ = r;
+  s.sub_off.assign(sz + 1, 0);
+  for (std::size_t i = 0; i < sz; ++i) {
+    s.sub_off[i + 1] = s.sub_off[i] + s.sub_cnt[i];
+  }
+  s.sub_members.resize(sz);
+  s.member_rank.resize(sz);
+  s.cursor.assign(s.sub_off.begin(), s.sub_off.end() - 1);
+  for (std::size_t i = 0; i < sz; ++i) {
+    const int at = s.cursor[static_cast<std::size_t>(s.w_pos[i])]++;
+    s.sub_members[static_cast<std::size_t>(at)] = static_cast<int>(i);
+    s.member_rank[i] = at - s.sub_off[static_cast<std::size_t>(s.w_pos[i])];
+  }
 
-  // Local TZ scheme per subtree, via the index-based overload (no map
-  // marshalling).
-  std::unordered_map<Vertex, TzTreeScheme> local;
-  local.reserve(roots.size() * 2);
-  {
-    std::vector<Vertex> mem, mpar;
-    std::vector<std::int32_t> mport;
-    for (const int w : roots) {
-      const auto wi = static_cast<std::size_t>(w);
-      mem.clear();
-      mpar.clear();
-      mport.clear();
-      for (int c = sub_off[wi]; c < sub_off[wi + 1]; ++c) {
-        const auto i = static_cast<std::size_t>(
-            sub_members[static_cast<std::size_t>(c)]);
-        mem.push_back(it.order[i]);
-        if (static_cast<int>(i) == w) {
-          mpar.push_back(graph::kNoVertex);
-          mport.push_back(graph::kNoPort);
-        } else {
-          mpar.push_back(it.order[static_cast<std::size_t>(it.parent_pos[i])]);
-          mport.push_back(it.parent_port[i]);
+  // Local TZ schemes per subtree slot, built straight into flat tree-sized
+  // arrays aligned with the subtree CSR (DESIGN.md §7): member vertices,
+  // parent ranks and ports per flat index, plus the in-subtree rank lists
+  // in ascending vertex order — one pass over the global sorted permutation
+  // fills all of them, because sorted order restricted to a subtree is that
+  // subtree's sorted order.
+  s.sub_mem.resize(sz);
+  s.sub_par.resize(sz);
+  s.sub_port.resize(sz);
+  s.sub_sorted.resize(sz);
+  s.sorted_to_pos.resize(sz);
+  for (std::size_t i = 0; i < sz; ++i) {
+    s.sorted_to_pos[static_cast<std::size_t>(
+        s.sorted_of_orig[static_cast<std::size_t>(s.orig_pos[i])])] =
+        static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < sz; ++i) {
+    const auto wpos = static_cast<std::size_t>(s.w_pos[i]);
+    const int at = s.sub_off[wpos] + s.member_rank[i];
+    s.sub_mem[static_cast<std::size_t>(at)] = s.order[i];
+    if (i == wpos) {
+      s.sub_par[static_cast<std::size_t>(at)] = -1;
+      s.sub_port[static_cast<std::size_t>(at)] = graph::kNoPort;
+    } else {
+      s.sub_par[static_cast<std::size_t>(at)] =
+          s.member_rank[static_cast<std::size_t>(s.parent_pos[i])];
+      s.sub_port[static_cast<std::size_t>(at)] = s.parent_port[i];
+    }
+  }
+  s.cursor.assign(s.sub_off.begin(), s.sub_off.end() - 1);
+  for (std::size_t j = 0; j < sz; ++j) {
+    const auto i = static_cast<std::size_t>(s.sorted_to_pos[j]);
+    s.sub_sorted[static_cast<std::size_t>(
+        s.cursor[static_cast<std::size_t>(s.w_pos[i])]++)] =
+        s.member_rank[i];
+  }
+  s.tz_tables.assign(sz, TzTreeScheme::Table{});
+  s.tz_labels.assign(sz, TzTreeScheme::Label{});
+  for (int slot = 0; slot < r; ++slot) {
+    const auto wi = static_cast<std::size_t>(s.roots[static_cast<std::size_t>(slot)]);
+    const int off = s.sub_off[wi];
+    const int cnt = s.sub_off[wi + 1] - off;
+    NORS_CHECK(s.sub_par[static_cast<std::size_t>(off)] == -1);
+    TzTreeScheme::build_core(
+        g, s.sub_mem.data() + off, s.sub_par.data() + off,
+        s.sub_port.data() + off, cnt, /*root_pos=*/0,
+        s.sub_sorted.data() + off, s.tz, s.tz_tables.data() + off,
+        s.tz_labels.data() + off);
+  }
+
+  // Virtual tree T' over subtree slots. parent'(u) = w(p_T(u)); the portal
+  // of u is its T-parent. Buckets sorted by child root vertex id (the
+  // historical deterministic order; slot 0 is always the tree root).
+  s.t_parent_slot.assign(static_cast<std::size_t>(r), -1);
+  for (int slot = 1; slot < r; ++slot) {
+    const auto wi = static_cast<std::size_t>(s.roots[static_cast<std::size_t>(slot)]);
+    const auto portal_pos = static_cast<std::size_t>(s.parent_pos[wi]);
+    s.t_parent_slot[static_cast<std::size_t>(slot)] =
+        s.slot_of_pos[static_cast<std::size_t>(s.w_pos[portal_pos])];
+  }
+  s.t_child_off.assign(static_cast<std::size_t>(r) + 1, 0);
+  for (int slot = 1; slot < r; ++slot) {
+    ++s.t_child_off[static_cast<std::size_t>(
+        s.t_parent_slot[static_cast<std::size_t>(slot)]) + 1];
+  }
+  for (int i = 0; i < r; ++i) {
+    s.t_child_off[static_cast<std::size_t>(i) + 1] +=
+        s.t_child_off[static_cast<std::size_t>(i)];
+  }
+  s.t_child_list.resize(static_cast<std::size_t>(r > 0 ? r - 1 : 0));
+  s.t_child_cursor.assign(s.t_child_off.begin(), s.t_child_off.end() - 1);
+  for (int slot = 1; slot < r; ++slot) {
+    const int p = s.t_parent_slot[static_cast<std::size_t>(slot)];
+    s.t_child_list[static_cast<std::size_t>(
+        s.t_child_cursor[static_cast<std::size_t>(p)]++)] = slot;
+  }
+  for (int i = 0; i < r; ++i) {
+    std::sort(s.t_child_list.begin() + s.t_child_off[static_cast<std::size_t>(i)],
+              s.t_child_list.begin() +
+                  s.t_child_off[static_cast<std::size_t>(i) + 1],
+              [&](int a, int b) {
+                return s.order[static_cast<std::size_t>(
+                           s.roots[static_cast<std::size_t>(a)])] <
+                       s.order[static_cast<std::size_t>(
+                           s.roots[static_cast<std::size_t>(b)])];
+              });
+  }
+
+  // Sizes, heavy child, DFS intervals on T' (all keyed by slot).
+  s.t_size.assign(static_cast<std::size_t>(r), 0);
+  s.t_heavy.assign(static_cast<std::size_t>(r), -1);
+  s.stack.clear();
+  if (r > 0) s.stack.push_back({0, 0});
+  while (!s.stack.empty()) {
+    auto& [v, idx] = s.stack.back();
+    const auto vi = static_cast<std::size_t>(v);
+    if (idx < s.t_child_off[vi + 1] - s.t_child_off[vi]) {
+      ++idx;
+      s.stack.push_back(
+          {s.t_child_list[static_cast<std::size_t>(s.t_child_off[vi]) +
+                          static_cast<std::size_t>(idx) - 1],
+           0});
+    } else {
+      std::int64_t sz_v = 1;
+      int heavy = -1;
+      std::int64_t best = -1;
+      for (int c = s.t_child_off[vi]; c < s.t_child_off[vi + 1]; ++c) {
+        const int ch = s.t_child_list[static_cast<std::size_t>(c)];
+        sz_v += s.t_size[static_cast<std::size_t>(ch)];
+        if (s.t_size[static_cast<std::size_t>(ch)] > best) {
+          best = s.t_size[static_cast<std::size_t>(ch)];
+          heavy = ch;
         }
       }
-      local.emplace(it.order[wi],
-                    TzTreeScheme::build(g, mem, mpar, mport, it.order[wi]));
+      s.t_size[vi] = sz_v;
+      s.t_heavy[vi] = heavy;
+      s.stack.pop_back();
     }
   }
-
-  // Virtual tree T' over subtree roots. parent'(u) = w(p_T(u)); the portal
-  // of u is its T-parent.
-  std::unordered_map<Vertex, std::vector<Vertex>> t_children;
-  t_children.reserve(roots.size() * 2);
-  for (const int w : roots) {
-    const auto wi = static_cast<std::size_t>(w);
-    const Vertex wv = it.order[wi];
-    t_children[wv];
-    if (wv == tree.root) continue;
-    const auto portal_pos = static_cast<std::size_t>(it.parent_pos[wi]);
-    const Vertex wp = it.order[static_cast<std::size_t>(w_pos[portal_pos])];
-    t_children[wp].push_back(wv);
-  }
-  for (auto& [w, ch] : t_children) std::sort(ch.begin(), ch.end());
-
-  // Per-root lookup helpers shared by the two T' walks below.
-  std::unordered_map<Vertex, int> root_pos_of;  // root vertex -> position
-  root_pos_of.reserve(roots.size() * 2);
-  for (const int w : roots) root_pos_of.emplace(it.order[static_cast<std::size_t>(w)], w);
-  auto portal_of = [&](Vertex w) {
-    // p_T(w): w's tree parent, the portal into w's subtree.
-    const auto wp = static_cast<std::size_t>(root_pos_of.at(w));
-    return it.order[static_cast<std::size_t>(it.parent_pos[wp])];
-  };
-  auto up_port_of = [&](Vertex w) {
-    return it.parent_port[static_cast<std::size_t>(root_pos_of.at(w))];
-  };
-
-  // Sizes, heavy child, DFS intervals on T'.
-  std::unordered_map<Vertex, std::int64_t> t_size;
-  std::unordered_map<Vertex, Vertex> t_heavy;
-  t_size.reserve(roots.size() * 2);
-  t_heavy.reserve(roots.size() * 2);
-  {
-    std::vector<std::pair<Vertex, std::size_t>> stack{{tree.root, 0}};
-    while (!stack.empty()) {
-      auto [v, idx] = stack.back();
-      auto& ch = t_children[v];
-      if (idx < ch.size()) {
-        ++stack.back().second;
-        stack.push_back({ch[idx], 0});
-      } else {
-        std::int64_t sz_v = 1;
-        Vertex heavy = graph::kNoVertex;
-        std::int64_t best = -1;
-        for (Vertex c : ch) {
-          sz_v += t_size[c];
-          if (t_size[c] > best) {
-            best = t_size[c];
-            heavy = c;
-          }
-        }
-        t_size[v] = sz_v;
-        t_heavy[v] = heavy;
-        stack.pop_back();
-      }
-    }
-  }
-  std::unordered_map<Vertex, std::int64_t> a_prime, b_prime;
-  std::unordered_map<Vertex, std::vector<GlobalHop>> t_label;
-  a_prime.reserve(roots.size() * 2);
-  b_prime.reserve(roots.size() * 2);
-  t_label.reserve(roots.size() * 2);
+  s.a_prime.assign(static_cast<std::size_t>(r), 0);
+  s.b_prime.assign(static_cast<std::size_t>(r), 0);
+  s.t_label.assign(static_cast<std::size_t>(r), {});
   {
     std::int64_t clock = 0;
-    std::vector<std::pair<Vertex, std::size_t>> stack{{tree.root, 0}};
-    t_label[tree.root] = {};
-    while (!stack.empty()) {
-      auto [v, idx] = stack.back();
-      auto& ch = t_children[v];
-      if (idx == 0) a_prime[v] = clock++;
-      if (idx < ch.size()) {
-        ++stack.back().second;
-        const Vertex c = ch[idx];
-        std::vector<GlobalHop> lbl = t_label[v];
-        if (c != t_heavy[v]) {
+    s.stack.clear();
+    if (r > 0) s.stack.push_back({0, 0});
+    while (!s.stack.empty()) {
+      auto& [v, idx] = s.stack.back();
+      const auto vi = static_cast<std::size_t>(v);
+      if (idx == 0) s.a_prime[vi] = clock++;
+      if (idx < s.t_child_off[vi + 1] - s.t_child_off[vi]) {
+        ++idx;
+        const int c =
+            s.t_child_list[static_cast<std::size_t>(s.t_child_off[vi]) +
+                           static_cast<std::size_t>(idx) - 1];
+        const auto ci = static_cast<std::size_t>(c);
+        std::vector<GlobalHop> lbl = s.t_label[vi];
+        if (c != s.t_heavy[vi]) {
+          const auto c_pos =
+              static_cast<std::size_t>(s.roots[ci]);  // position of w_i
+          const auto portal_pos = static_cast<std::size_t>(s.parent_pos[c_pos]);
           GlobalHop hop;
-          hop.vi = v;
-          hop.wi = c;
-          hop.portal = portal_of(c);
-          hop.portal_label = local.at(v).label(hop.portal);
-          hop.port = g.edge(c, up_port_of(c)).rev;
+          hop.vi = s.order[static_cast<std::size_t>(s.roots[vi])];
+          hop.wi = s.order[c_pos];
+          hop.portal = s.order[portal_pos];
+          hop.portal_label = s.tz_labels[static_cast<std::size_t>(
+              s.sub_off[static_cast<std::size_t>(s.roots[vi])] +
+              s.member_rank[portal_pos])];
+          hop.port = g.edge(hop.wi, s.parent_port[c_pos]).rev;
           lbl.push_back(std::move(hop));
         }
-        t_label[c] = std::move(lbl);
-        stack.push_back({c, 0});
+        s.t_label[ci] = std::move(lbl);
+        s.stack.push_back({c, 0});
       } else {
-        b_prime[v] = clock;
-        stack.pop_back();
+        s.b_prime[vi] = clock;
+        s.stack.pop_back();
       }
     }
   }
 
-  // Assemble per-member tables and labels.
-  s.info_.reserve(sz * 2);
-  s.labels_.reserve(sz * 2);
-  for (std::size_t i = 0; i < sz; ++i) {
-    const Vertex v = it.order[i];
-    const Vertex w = it.order[static_cast<std::size_t>(w_pos[i])];
-    const TzTreeScheme& loc = local.at(w);
-    NodeInfo ni;
-    ni.subtree_root = w;
-    ni.local = loc.table(v);
-    ni.a_prime = a_prime.at(w);
-    ni.b_prime = b_prime.at(w);
-    ni.heavy_prime = t_heavy.at(w);
-    if (ni.heavy_prime != graph::kNoVertex) {
-      ni.heavy_portal = portal_of(ni.heavy_prime);
-      ni.heavy_portal_label = loc.label(ni.heavy_portal);
-      ni.heavy_port = g.edge(ni.heavy_prime, up_port_of(ni.heavy_prime)).rev;
-    }
-    if (w != tree.root) {
-      // At the subtree root, the way "up" in T leaves the subtree.
-      ni.up_port = (v == w) ? it.parent_port[i] : graph::kNoPort;
-    }
-    s.info_[v] = std::move(ni);
-
-    VLabel lbl;
-    lbl.a_prime = a_prime.at(w);
-    lbl.global_light = t_label.at(w);
-    lbl.local = loc.label(v);
-    s.labels_[v] = std::move(lbl);
+  // Per-slot heavy-portal labels, copied out *before* assembly: assembly
+  // moves each member's own local label out of the flat arena, and the
+  // heavy portal is itself a member.
+  s.heavy_label.assign(static_cast<std::size_t>(r), TzTreeScheme::Label{});
+  for (int slot = 0; slot < r; ++slot) {
+    const int heavy_slot = s.t_heavy[static_cast<std::size_t>(slot)];
+    if (heavy_slot < 0) continue;
+    const auto h_pos =
+        static_cast<std::size_t>(s.roots[static_cast<std::size_t>(heavy_slot)]);
+    const auto portal_pos = static_cast<std::size_t>(s.parent_pos[h_pos]);
+    s.heavy_label[static_cast<std::size_t>(slot)] =
+        s.tz_labels[static_cast<std::size_t>(
+            s.sub_off[static_cast<std::size_t>(
+                s.roots[static_cast<std::size_t>(slot)])] +
+            s.member_rank[portal_pos])];
   }
-  return s;
+
+  // Assemble per-member tables and labels into the vertex-sorted arrays.
+  // Each member's local label is consumed exactly once, so it moves out of
+  // the flat arena instead of being copied.
+  out.members_.resize(sz);
+  for (std::size_t j = 0; j < sz; ++j) {
+    out.members_[j] = tree.members[static_cast<std::size_t>(s.perm[j])];
+  }
+  out.info_.assign(sz, NodeInfo{});
+  out.labels_.assign(sz, VLabel{});
+  for (std::size_t i = 0; i < sz; ++i) {
+    const auto wpos = static_cast<std::size_t>(s.w_pos[i]);
+    const auto wslot = static_cast<std::size_t>(s.slot_of_pos[wpos]);
+    const auto flat =
+        static_cast<std::size_t>(s.sub_off[wpos] + s.member_rank[i]);
+    NodeInfo ni;
+    ni.subtree_root = s.order[wpos];
+    ni.local = s.tz_tables[flat];
+    ni.a_prime = s.a_prime[wslot];
+    ni.b_prime = s.b_prime[wslot];
+    const int heavy_slot = s.t_heavy[wslot];
+    if (heavy_slot >= 0) {
+      const auto h_pos =
+          static_cast<std::size_t>(s.roots[static_cast<std::size_t>(heavy_slot)]);
+      const auto portal_pos = static_cast<std::size_t>(s.parent_pos[h_pos]);
+      ni.heavy_prime = s.order[h_pos];
+      ni.heavy_portal = s.order[portal_pos];
+      ni.heavy_portal_label = s.heavy_label[wslot];
+      ni.heavy_port = g.edge(ni.heavy_prime, s.parent_port[h_pos]).rev;
+    }
+    if (s.order[wpos] != tree.root) {
+      // At the subtree root, the way "up" in T leaves the subtree.
+      ni.up_port = (i == wpos) ? s.parent_port[i] : graph::kNoPort;
+    }
+    VLabel lbl;
+    lbl.a_prime = s.a_prime[wslot];
+    lbl.global_light = s.t_label[wslot];
+    lbl.local = std::move(s.tz_labels[flat]);
+    out.max_label_words_ = std::max(out.max_label_words_, lbl.words());
+    const auto sidx =
+        static_cast<std::size_t>(s.sorted_of_orig[static_cast<std::size_t>(
+            s.orig_pos[i])]);
+    out.info_[sidx] = std::move(ni);
+    out.labels_[sidx] = std::move(lbl);
+  }
+
+  if (sched_out != nullptr) {
+    sched_out->order = s.order;
+    sched_out->parent_pos = s.parent_pos;
+    sched_out->w_pos = s.w_pos;
+    sched_out->depth = s.depth;
+  }
+  return out;
 }
 
 std::int32_t DistTreeScheme::next_hop(Vertex x, const VLabel& dest) const {
@@ -350,16 +464,22 @@ std::int32_t DistTreeScheme::next_hop_to_root(Vertex x) const {
   return nx.up_port;  // kNoPort at the global root
 }
 
+int DistTreeScheme::find(Vertex v) const {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), v);
+  if (it == members_.end() || *it != v) return -1;
+  return static_cast<int>(it - members_.begin());
+}
+
 const DistTreeScheme::VLabel& DistTreeScheme::label(Vertex v) const {
-  auto it = labels_.find(v);
-  NORS_CHECK_MSG(it != labels_.end(), "vertex " << v << " not in tree");
-  return it->second;
+  const int i = find(v);
+  NORS_CHECK_MSG(i >= 0, "vertex " << v << " not in tree");
+  return labels_[static_cast<std::size_t>(i)];
 }
 
 const DistTreeScheme::NodeInfo& DistTreeScheme::info(Vertex v) const {
-  auto it = info_.find(v);
-  NORS_CHECK_MSG(it != info_.end(), "vertex " << v << " not in tree");
-  return it->second;
+  const int i = find(v);
+  NORS_CHECK_MSG(i >= 0, "vertex " << v << " not in tree");
+  return info_[static_cast<std::size_t>(i)];
 }
 
 DistTreeBatch build_dist_tree_batch(const graph::WeightedGraph& g,
@@ -388,18 +508,31 @@ DistTreeBatch build_dist_tree_batch(const graph::WeightedGraph& g,
   for (Vertex v = 0; v < n; ++v) in_u[static_cast<std::size_t>(v)] =
       rng.bernoulli(p_u) ? 1 : 0;
 
-  out.schemes.reserve(specs.size());
+  // Per-tree builds: independent, so they run on the worker pool with one
+  // scratch arena per thread. Every result lands in its spec's slot and all
+  // folds below run serially in spec order, so schemes, stats and ledger
+  // are bit-identical for any pool size (DESIGN.md §7).
+  out.schemes.resize(specs.size());
+  std::vector<TreeSchedule> sched(specs.size());
+  const int nthreads = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(util::resolve_threads(params.threads)),
+      std::max<std::size_t>(specs.size(), 1)));
+  std::vector<TreeBuildScratch> scratches(
+      static_cast<std::size_t>(std::max(1, nthreads)));
+  util::parallel_for(nthreads, specs.size(), [&](int t, std::size_t i) {
+    out.schemes[i] = DistTreeScheme::build(
+        g, specs[i], in_u, scratches[static_cast<std::size_t>(t)], &sched[i]);
+  });
+
+  // Serial fold in spec order: the running max_label_words enters each
+  // tree's phase-2 charge, so the order is part of the ledger contract.
   std::int64_t phase2_words = 0;
   std::int64_t max_label_words = 1;
-  for (const auto& t : specs) {
-    out.schemes.push_back(DistTreeScheme::build(g, t, in_u));
-    const auto& s = out.schemes.back();
+  for (const auto& s : out.schemes) {
     out.max_subtree_depth =
         std::max(out.max_subtree_depth, s.max_subtree_depth());
     out.u_total += s.u_count();
-    for (Vertex v : t.members) {
-      max_label_words = std::max(max_label_words, s.label(v).words());
-    }
+    max_label_words = std::max(max_label_words, s.max_label_words());
     // Phase 2 broadcast: two messages per T' node (report edge + receive
     // table/label), each of O(log² n) words.
     phase2_words += 2LL * s.u_count() * max_label_words;
@@ -407,26 +540,8 @@ DistTreeBatch build_dist_tree_batch(const graph::WeightedGraph& g,
 
   // Remark-3 schedule verification: each subtree broadcast occupies its
   // edges at stage start(w)+depth(edge); count collisions per (edge, stage).
-  // The per-tree structure (BFS order, subtree roots, depths) does not
-  // depend on the attempt, so index it once up front; an attempt only
-  // redraws the start stages.
-  struct TreeSchedule {
-    std::vector<Vertex> order;   // BFS order
-    std::vector<int> parent_pos;
-    std::vector<int> w_pos;      // subtree-root position per member
-    std::vector<int> depth;      // depth below the subtree root
-  };
-  std::vector<TreeSchedule> sched;
-  sched.reserve(specs.size());
-  for (const auto& t : specs) {
-    IndexedTree it = index_tree(t);
-    TreeSchedule ts;
-    subtree_roots(it, t.root, in_u, ts.w_pos, ts.depth);
-    ts.order = std::move(it.order);
-    ts.parent_pos = std::move(it.parent_pos);
-    sched.push_back(std::move(ts));
-  }
-
+  // The per-tree structure (BFS order, subtree roots, depths) came out of
+  // the builds above; an attempt only redraws the start stages.
   const std::int64_t ln_n = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(std::log(std::max(2, n))));
   std::int64_t range = std::max<std::int64_t>(
@@ -434,20 +549,41 @@ DistTreeBatch build_dist_tree_batch(const graph::WeightedGraph& g,
                                              out.max_overlap)) *
              ln_n);
   std::int64_t stages = 0;
-  struct KeyHash {
-    std::size_t operator()(const std::pair<std::int64_t, std::int64_t>& k) const {
-      // splitmix-style combine; exact keys, so collisions only cost probes.
-      std::uint64_t h = static_cast<std::uint64_t>(k.first) * 0x9E3779B97F4A7C15ull;
-      h ^= static_cast<std::uint64_t>(k.second) + 0x9E3779B97F4A7C15ull +
-           (h << 6) + (h >> 2);
-      return static_cast<std::size_t>(h);
+  // Open-addressed (edge, stage) collision counter: exact keys with linear
+  // probing over a power-of-two table at ≤ 50% load — the verifier inserts
+  // one key per forest edge per attempt, so probe cost dominates, not
+  // rehash/allocation (this loop used to be the batch's hash hotspot).
+  struct LoadSlot {
+    std::int64_t edge = 0;  // (child << 32) | parent; 0 is impossible
+    std::int64_t stage = 0;
+    std::int32_t cnt = 0;
+  };
+  std::size_t total_edges = 0;
+  for (const TreeSchedule& ts : sched) total_edges += ts.order.size();
+  std::size_t table_sz = 64;
+  while (table_sz < 2 * total_edges + 1) table_sz *= 2;
+  std::vector<LoadSlot> load(table_sz);
+  const auto probe_count = [&](std::int64_t edge, std::int64_t stage) {
+    std::uint64_t h = static_cast<std::uint64_t>(edge) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<std::uint64_t>(stage) + 0x9E3779B97F4A7C15ull +
+         (h << 6) + (h >> 2);
+    std::size_t at = static_cast<std::size_t>(h) & (table_sz - 1);
+    for (;;) {
+      LoadSlot& s = load[at];
+      if (s.cnt == 0) {
+        s.edge = edge;
+        s.stage = stage;
+        s.cnt = 1;
+        return 1;
+      }
+      if (s.edge == edge && s.stage == stage) return ++s.cnt;
+      at = (at + 1) & (table_sz - 1);
     }
   };
-  std::unordered_map<std::pair<std::int64_t, std::int64_t>, int, KeyHash> load;
   std::vector<std::int64_t> start;
   for (int attempt = 0;; ++attempt) {
     NORS_CHECK_MSG(attempt < 20, "staged schedule failed to decongest");
-    load.clear();
+    if (attempt > 0) std::fill(load.begin(), load.end(), LoadSlot{});
     bool ok = true;
     stages = 0;
     util::Rng sched_rng = rng.fork(static_cast<std::uint64_t>(attempt) + 99);
@@ -467,11 +603,10 @@ DistTreeBatch build_dist_tree_batch(const graph::WeightedGraph& g,
           stages = std::max(stages, stage + 1);
           // Edge identity: (child, parent) — the same child vertex can hang
           // off different parents in different trees.
-          const auto key = std::make_pair(
+          const std::int64_t edge =
               (static_cast<std::int64_t>(v) << 32) |
-                  static_cast<std::uint32_t>(p),
-              stage);
-          if (++load[key] > params.alpha) {
+              static_cast<std::uint32_t>(p);
+          if (probe_count(edge, stage) > params.alpha) {
             ok = false;
             break;
           }

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "congest/ledger.h"
@@ -23,12 +22,20 @@ struct TreeSpec {
   std::vector<std::int32_t> parent_port;
 };
 
+struct TreeBuildScratch;
+struct TreeSchedule;
+
 /// The paper's Section-6 tree routing scheme (Theorem 7): sampled vertices
 /// U split the tree into depth-O(n/γ·log n) subtrees; a local TZ interval
 /// scheme routes inside each subtree T_w, and a global TZ scheme over the
 /// virtual tree T' (whose nodes are the subtree roots) stitches them
 /// together through portal vertices. Routing is exact (stretch 1 on the
 /// tree metric); tables are O(log n) words and labels O(log² n) words.
+///
+/// Storage is flat (DESIGN.md §7): tables and labels live in arrays
+/// parallel to a vertex-sorted member list, per-vertex lookups are a binary
+/// search, and construction keys every virtual-tree structure by a dense
+/// subtree-root slot id instead of hashing vertices.
 class DistTreeScheme {
  public:
   /// One light T'-edge on the path from the T'-root to w(v), together with
@@ -75,6 +82,16 @@ class DistTreeScheme {
                               const TreeSpec& tree,
                               const std::vector<char>& in_u);
 
+  /// Hot-path overload: reuses `scratch` across trees (one shared
+  /// LCA/size/DFS allocation per worker thread) and, when `sched_out` is
+  /// non-null, exports the per-tree data the batch's staged-schedule
+  /// verifier needs so it never re-indexes the tree.
+  static DistTreeScheme build(const graph::WeightedGraph& g,
+                              const TreeSpec& tree,
+                              const std::vector<char>& in_u,
+                              TreeBuildScratch& scratch,
+                              TreeSchedule* sched_out);
+
   /// Next port from x toward the destination labelled `dest`; kNoPort when
   /// x is the destination. The walk follows the unique tree path.
   std::int32_t next_hop(graph::Vertex x, const VLabel& dest) const;
@@ -83,21 +100,75 @@ class DistTreeScheme {
   /// destination label). kNoPort when x is the root.
   std::int32_t next_hop_to_root(graph::Vertex x) const;
 
-  bool contains(graph::Vertex v) const { return info_.count(v) > 0; }
+  bool contains(graph::Vertex v) const { return find(v) >= 0; }
   const VLabel& label(graph::Vertex v) const;
   const NodeInfo& info(graph::Vertex v) const;
   graph::Vertex root() const { return root_; }
 
+  /// Vertex-sorted member list; tables/labels are parallel to it.
+  const std::vector<graph::Vertex>& members() const { return members_; }
+  /// Index of v in members(), or -1 (binary search).
+  int find(graph::Vertex v) const;
+  const VLabel& label_at(std::size_t i) const { return labels_[i]; }
+  const NodeInfo& info_at(std::size_t i) const { return info_[i]; }
+
   // Measured construction quantities (consumed by the Remark-3 cost model).
   int max_subtree_depth() const { return max_subtree_depth_; }
   int u_count() const { return u_count_; }
+  /// max over members of label(v).words(), ≥ 1 (batch phase-2 accounting).
+  std::int64_t max_label_words() const { return max_label_words_; }
 
  private:
   graph::Vertex root_ = graph::kNoVertex;
-  std::unordered_map<graph::Vertex, NodeInfo> info_;
-  std::unordered_map<graph::Vertex, VLabel> labels_;
+  std::vector<graph::Vertex> members_;  // sorted ascending
+  std::vector<NodeInfo> info_;          // parallel to members_
+  std::vector<VLabel> labels_;          // parallel to members_
   int max_subtree_depth_ = 0;
   int u_count_ = 0;
+  std::int64_t max_label_words_ = 1;
+};
+
+/// Per-tree construction view reused by the batch scheduler: members in BFS
+/// order with parent positions, subtree-root positions and depths.
+struct TreeSchedule {
+  std::vector<graph::Vertex> order;  // BFS order, order[0] == root
+  std::vector<int> parent_pos;       // position of parent; -1 at root
+  std::vector<int> w_pos;            // subtree-root position per member
+  std::vector<int> depth;            // depth below the subtree root
+};
+
+/// Reusable construction arenas: one instance per worker thread, reused
+/// across every tree that worker builds (DESIGN.md §7). All vectors keep
+/// their peak capacity between trees, so steady-state tree construction
+/// performs no allocation beyond the finished scheme's own storage.
+struct TreeBuildScratch {
+  // Flat indexing of the TreeSpec (BFS order, children CSR).
+  std::vector<std::int32_t> perm;  // spec positions sorted by vertex
+  std::vector<int> sorted_of_orig;
+  std::vector<int> par, cnt, off, cursor, child, bfs, bfs_pos;
+  std::vector<graph::Vertex> order;
+  std::vector<int> parent_pos, orig_pos;
+  std::vector<std::int32_t> parent_port;
+  // Subtree decomposition under U.
+  std::vector<int> w_pos, depth;
+  std::vector<int> sub_cnt, sub_off, sub_members, member_rank, slot_of_pos;
+  std::vector<int> roots;  // subtree-root positions, ascending
+  // Local TZ schemes, flattened: tables/labels of subtree slot `s` live at
+  // [sub_off[roots[s]] + rank], so one pair of tree-sized arrays serves
+  // every subtree (no temporary TzTreeScheme objects).
+  TzTreeScheme::BuildScratch tz;
+  std::vector<TzTreeScheme::Table> tz_tables;
+  std::vector<TzTreeScheme::Label> tz_labels;
+  std::vector<graph::Vertex> sub_mem;  // member vertex per flat index
+  std::vector<int> sub_par, sub_sorted, sorted_to_pos;
+  std::vector<std::int32_t> sub_port;
+  // Virtual tree T' keyed by root slot.
+  std::vector<int> t_parent_slot, t_child_off, t_child_list, t_child_cursor,
+      t_heavy;
+  std::vector<std::int64_t> t_size, a_prime, b_prime;
+  std::vector<std::vector<DistTreeScheme::GlobalHop>> t_label;
+  std::vector<TzTreeScheme::Label> heavy_label;  // per slot: ℓ(heavy portal)
+  std::vector<std::pair<int, int>> stack;
 };
 
 /// Batched construction over many trees (paper Remark 3): one shared sample
@@ -108,6 +179,11 @@ struct DistTreeBatchParams {
   double gamma = 0;  // 0 ⇒ γ = sqrt(n / s) as in Remark 3
   int alpha = 20;    // stage length in rounds
   std::uint64_t seed = 7;
+  /// Worker threads for the per-tree builds: independent trees build
+  /// concurrently with per-thread scratch arenas and are merged in spec
+  /// order, so every output (schemes, stats, ledger) is bit-identical for
+  /// any value. 0 ⇒ the NORS_THREADS environment variable (default 1).
+  int threads = 0;
 };
 
 struct DistTreeBatch {

@@ -32,6 +32,137 @@ TzTreeScheme TzTreeScheme::build(
   return build(g, members, parent_of, port_of, root);
 }
 
+void TzTreeScheme::build_core(const graph::WeightedGraph& g,
+                              const Vertex* members, const int* par_pos,
+                              const std::int32_t* port_of, int sz,
+                              int root_pos, const int* sorted_pos,
+                              BuildScratch& s, Table* tables, Label* labels) {
+  // Children in CSR layout; filling positions in sorted-vertex order leaves
+  // every bucket sorted by child vertex id (the historical deterministic
+  // order).
+  s.child_cnt.assign(static_cast<std::size_t>(sz), 0);
+  for (int i = 0; i < sz; ++i) {
+    if (i != root_pos && par_pos[i] >= 0) {
+      ++s.child_cnt[static_cast<std::size_t>(par_pos[i])];
+    }
+  }
+  s.child_off.assign(static_cast<std::size_t>(sz) + 1, 0);
+  for (int i = 0; i < sz; ++i) {
+    s.child_off[static_cast<std::size_t>(i) + 1] =
+        s.child_off[static_cast<std::size_t>(i)] +
+        s.child_cnt[static_cast<std::size_t>(i)];
+  }
+  s.child_list.resize(static_cast<std::size_t>(
+      s.child_off[static_cast<std::size_t>(sz)]));
+  s.cursor.assign(s.child_off.begin(), s.child_off.end() - 1);
+  for (int si = 0; si < sz; ++si) {
+    const int i = sorted_pos[si];
+    const int p = par_pos[i];
+    if (i != root_pos && p >= 0) {
+      s.child_list[static_cast<std::size_t>(
+          s.cursor[static_cast<std::size_t>(p)]++)] = i;
+    }
+  }
+
+  // BFS reachability + order from the root; doubles as the tree check.
+  s.bfs.clear();
+  s.bfs.reserve(static_cast<std::size_t>(sz));
+  if (root_pos >= 0) {
+    s.bfs.push_back(root_pos);
+    for (std::size_t h = 0; h < s.bfs.size(); ++h) {
+      const int v = s.bfs[h];
+      for (int c = s.child_off[static_cast<std::size_t>(v)];
+           c < s.child_off[static_cast<std::size_t>(v) + 1]; ++c) {
+        s.bfs.push_back(s.child_list[static_cast<std::size_t>(c)]);
+      }
+    }
+  }
+  NORS_CHECK_MSG(static_cast<int>(s.bfs.size()) == sz,
+                 "parent pointers do not form one tree rooted at position "
+                     << root_pos);
+
+  // Subtree sizes (children precede parents in reverse BFS order), then the
+  // heavy child: the smallest-id child of maximal size, moved to the front
+  // of its bucket by a single swap — the historical order the DFS visits.
+  s.size.assign(static_cast<std::size_t>(sz), 1);
+  for (std::size_t h = s.bfs.size(); h-- > 1;) {
+    const int v = s.bfs[h];
+    s.size[static_cast<std::size_t>(par_pos[v])] +=
+        s.size[static_cast<std::size_t>(v)];
+  }
+  s.heavy.assign(static_cast<std::size_t>(sz), -1);
+  for (int i = 0; i < sz; ++i) {
+    std::int64_t best = -1;
+    int at = -1;
+    for (int c = s.child_off[static_cast<std::size_t>(i)];
+         c < s.child_off[static_cast<std::size_t>(i) + 1]; ++c) {
+      const int ch = s.child_list[static_cast<std::size_t>(c)];
+      if (s.size[static_cast<std::size_t>(ch)] > best) {
+        best = s.size[static_cast<std::size_t>(ch)];
+        s.heavy[static_cast<std::size_t>(i)] = ch;
+        at = c;
+      }
+    }
+    if (at >= 0) {
+      std::swap(s.child_list[static_cast<std::size_t>(
+                    s.child_off[static_cast<std::size_t>(i)])],
+                s.child_list[static_cast<std::size_t>(at)]);
+    }
+  }
+
+  // DFS entry/exit times and label construction (iterative pre-order; the
+  // label of a child extends the parent's label by one light entry unless
+  // the child is heavy).
+  std::int64_t clock = 0;
+  s.stack.clear();
+  s.stack.push_back({root_pos, 0});
+  while (!s.stack.empty()) {
+    auto& [v, idx] = s.stack.back();
+    const std::size_t vi = static_cast<std::size_t>(v);
+    if (idx == 0) {
+      Table t;
+      t.self = members[vi];
+      if (v != root_pos) {
+        t.parent = members[static_cast<std::size_t>(par_pos[vi])];
+        t.parent_port = port_of[vi];
+      }
+      t.a = clock++;
+      tables[vi] = t;
+    }
+    const int ci = s.child_off[vi] + idx;
+    if (ci < s.child_off[vi + 1]) {
+      ++idx;
+      const int c = s.child_list[static_cast<std::size_t>(ci)];
+      Label lc = labels[vi];
+      if (c != s.heavy[vi]) {
+        // Port at v toward c: reverse of c's parent_port.
+        lc.light.emplace_back(
+            members[vi],
+            g.edge(members[static_cast<std::size_t>(c)],
+                   port_of[static_cast<std::size_t>(c)])
+                .rev);
+      }
+      labels[static_cast<std::size_t>(c)] = std::move(lc);
+      s.stack.push_back({c, 0});
+    } else {
+      tables[vi].b = clock;
+      s.stack.pop_back();
+    }
+  }
+  for (int i = 0; i < sz; ++i) {
+    const std::size_t vi = static_cast<std::size_t>(i);
+    labels[vi].a = tables[vi].a;
+    const int h = s.heavy[vi];
+    if (h >= 0) {
+      tables[vi].heavy = members[static_cast<std::size_t>(h)];
+      tables[vi].heavy_port =
+          g.edge(members[static_cast<std::size_t>(h)],
+                 port_of[static_cast<std::size_t>(h)])
+              .rev;
+    }
+  }
+}
+
 TzTreeScheme TzTreeScheme::build(const graph::WeightedGraph& g,
                                  const std::vector<Vertex>& members,
                                  const std::vector<Vertex>& parent_of,
@@ -46,164 +177,44 @@ TzTreeScheme TzTreeScheme::build(const graph::WeightedGraph& g,
   const auto sz = static_cast<int>(members.size());
 
   // Local indexing: everything below works on positions into `members`.
-  std::unordered_map<Vertex, int> pos;
-  pos.reserve(members.size() * 2);
-  for (int i = 0; i < sz; ++i) pos.emplace(members[i], i);
-  int root_pos = -1;
-  {
-    auto it = pos.find(root);
-    if (it != pos.end()) root_pos = it->second;
+  // The sorted (vertex -> position) index doubles as the lookup structure
+  // the finished scheme keeps.
+  s.sorted_pos_.resize(static_cast<std::size_t>(sz));
+  for (int i = 0; i < sz; ++i) s.sorted_pos_[static_cast<std::size_t>(i)] = i;
+  std::sort(s.sorted_pos_.begin(), s.sorted_pos_.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return members[static_cast<std::size_t>(a)] <
+                     members[static_cast<std::size_t>(b)];
+            });
+  s.sorted_v_.resize(static_cast<std::size_t>(sz));
+  for (int i = 0; i < sz; ++i) {
+    s.sorted_v_[static_cast<std::size_t>(i)] =
+        members[static_cast<std::size_t>(s.sorted_pos_[static_cast<std::size_t>(i)])];
   }
+  for (int i = 1; i < sz; ++i) {
+    NORS_CHECK_MSG(s.sorted_v_[static_cast<std::size_t>(i - 1)] !=
+                       s.sorted_v_[static_cast<std::size_t>(i)],
+                   "duplicate member " << s.sorted_v_[static_cast<std::size_t>(i)]);
+  }
+  const int root_pos = s.find(root);
   std::vector<int> par(static_cast<std::size_t>(sz), -1);
+  std::vector<int> sorted_pos_int(static_cast<std::size_t>(sz));
   for (int i = 0; i < sz; ++i) {
+    sorted_pos_int[static_cast<std::size_t>(i)] =
+        s.sorted_pos_[static_cast<std::size_t>(i)];
     if (members[static_cast<std::size_t>(i)] == root) continue;
-    auto it = pos.find(parent_of[static_cast<std::size_t>(i)]);
     // A parent outside the member set leaves this node unreachable from the
-    // root; the reachability check below reports it.
+    // root; the reachability check in build_core reports it.
     par[static_cast<std::size_t>(i)] =
-        it == pos.end() ? -1 : it->second;
+        s.find(parent_of[static_cast<std::size_t>(i)]);
   }
 
-  // Children in CSR layout, each bucket sorted by child vertex id (the
-  // historical deterministic order).
-  std::vector<int> child_cnt(static_cast<std::size_t>(sz), 0);
-  for (int i = 0; i < sz; ++i) {
-    if (i != root_pos && par[static_cast<std::size_t>(i)] >= 0) {
-      ++child_cnt[static_cast<std::size_t>(par[static_cast<std::size_t>(i)])];
-    }
-  }
-  std::vector<int> child_off(static_cast<std::size_t>(sz) + 1, 0);
-  for (int i = 0; i < sz; ++i) {
-    child_off[static_cast<std::size_t>(i) + 1] =
-        child_off[static_cast<std::size_t>(i)] +
-        child_cnt[static_cast<std::size_t>(i)];
-  }
-  std::vector<int> child_list(static_cast<std::size_t>(child_off.back()));
-  {
-    std::vector<int> cursor(child_off.begin(), child_off.end() - 1);
-    for (int i = 0; i < sz; ++i) {
-      const int p = par[static_cast<std::size_t>(i)];
-      if (i != root_pos && p >= 0) {
-        child_list[static_cast<std::size_t>(cursor[static_cast<std::size_t>(p)]++)] = i;
-      }
-    }
-  }
-  for (int i = 0; i < sz; ++i) {
-    std::sort(child_list.begin() + child_off[static_cast<std::size_t>(i)],
-              child_list.begin() + child_off[static_cast<std::size_t>(i) + 1],
-              [&](int a, int b) {
-                return members[static_cast<std::size_t>(a)] <
-                       members[static_cast<std::size_t>(b)];
-              });
-  }
-
-  // BFS reachability + order from the root; doubles as the tree check.
-  std::vector<int> bfs;
-  bfs.reserve(static_cast<std::size_t>(sz));
-  if (root_pos >= 0) {
-    bfs.push_back(root_pos);
-    for (std::size_t h = 0; h < bfs.size(); ++h) {
-      const int v = bfs[h];
-      for (int c = child_off[static_cast<std::size_t>(v)];
-           c < child_off[static_cast<std::size_t>(v) + 1]; ++c) {
-        bfs.push_back(child_list[static_cast<std::size_t>(c)]);
-      }
-    }
-  }
-  NORS_CHECK_MSG(static_cast<int>(bfs.size()) == sz,
-                 "parent pointers do not form one tree rooted at " << root);
-
-  // Subtree sizes (children precede parents in reverse BFS order), then the
-  // heavy child: the smallest-id child of maximal size, moved to the front
-  // of its bucket by a single swap — the historical order the DFS visits.
-  std::vector<std::int64_t> size(static_cast<std::size_t>(sz), 1);
-  for (std::size_t h = bfs.size(); h-- > 1;) {
-    const int v = bfs[h];
-    size[static_cast<std::size_t>(par[static_cast<std::size_t>(v)])] +=
-        size[static_cast<std::size_t>(v)];
-  }
-  std::vector<int> heavy(static_cast<std::size_t>(sz), -1);
-  for (int i = 0; i < sz; ++i) {
-    std::int64_t best = -1;
-    int at = -1;
-    for (int c = child_off[static_cast<std::size_t>(i)];
-         c < child_off[static_cast<std::size_t>(i) + 1]; ++c) {
-      const int ch = child_list[static_cast<std::size_t>(c)];
-      if (size[static_cast<std::size_t>(ch)] > best) {
-        best = size[static_cast<std::size_t>(ch)];
-        heavy[static_cast<std::size_t>(i)] = ch;
-        at = c;
-      }
-    }
-    if (at >= 0) {
-      std::swap(child_list[static_cast<std::size_t>(
-                    child_off[static_cast<std::size_t>(i)])],
-                child_list[static_cast<std::size_t>(at)]);
-    }
-  }
-
-  // DFS entry/exit times and label construction (iterative pre-order; the
-  // label of a child extends the parent's label by one light entry unless
-  // the child is heavy).
-  std::vector<Table> tables(static_cast<std::size_t>(sz));
-  std::vector<Label> labels(static_cast<std::size_t>(sz));
-  std::int64_t clock = 0;
-  {
-    std::vector<std::pair<int, int>> stack{{root_pos, 0}};
-    while (!stack.empty()) {
-      auto& [v, idx] = stack.back();
-      const std::size_t vi = static_cast<std::size_t>(v);
-      if (idx == 0) {
-        Table t;
-        t.self = members[vi];
-        if (v != root_pos) {
-          t.parent = parent_of[vi];
-          t.parent_port = port_of[vi];
-        }
-        t.a = clock++;
-        tables[vi] = t;
-      }
-      const int ci = child_off[vi] + idx;
-      if (ci < child_off[vi + 1]) {
-        ++idx;
-        const int c = child_list[static_cast<std::size_t>(ci)];
-        Label lc = labels[vi];
-        if (c != heavy[vi]) {
-          // Port at v toward c: reverse of c's parent_port.
-          lc.light.emplace_back(
-              members[vi],
-              g.edge(members[static_cast<std::size_t>(c)],
-                     port_of[static_cast<std::size_t>(c)])
-                  .rev);
-        }
-        labels[static_cast<std::size_t>(c)] = std::move(lc);
-        stack.push_back({c, 0});
-      } else {
-        tables[vi].b = clock;
-        stack.pop_back();
-      }
-    }
-  }
-  for (int i = 0; i < sz; ++i) {
-    const std::size_t vi = static_cast<std::size_t>(i);
-    labels[vi].a = tables[vi].a;
-    const int h = heavy[vi];
-    if (h >= 0) {
-      tables[vi].heavy = members[static_cast<std::size_t>(h)];
-      tables[vi].heavy_port =
-          g.edge(members[static_cast<std::size_t>(h)],
-                 port_of[static_cast<std::size_t>(h)])
-              .rev;
-    }
-  }
-
-  s.tables_.reserve(members.size() * 2);
-  s.labels_.reserve(members.size() * 2);
-  for (int i = 0; i < sz; ++i) {
-    const std::size_t vi = static_cast<std::size_t>(i);
-    s.tables_.emplace(members[vi], std::move(tables[vi]));
-    s.labels_.emplace(members[vi], std::move(labels[vi]));
-  }
+  s.tables_.assign(static_cast<std::size_t>(sz), Table{});
+  s.labels_.assign(static_cast<std::size_t>(sz), Label{});
+  BuildScratch scratch;
+  build_core(g, members.data(), par.data(), port_of.data(), sz, root_pos,
+             sorted_pos_int.data(), scratch, s.tables_.data(),
+             s.labels_.data());
   return s;
 }
 
@@ -224,16 +235,22 @@ std::int32_t TzTreeScheme::next_hop(const Table& tx, const Label& dest) {
   return tx.heavy_port;
 }
 
+int TzTreeScheme::find(Vertex v) const {
+  const auto it = std::lower_bound(sorted_v_.begin(), sorted_v_.end(), v);
+  if (it == sorted_v_.end() || *it != v) return -1;
+  return sorted_pos_[static_cast<std::size_t>(it - sorted_v_.begin())];
+}
+
 const TzTreeScheme::Table& TzTreeScheme::table(Vertex v) const {
-  auto it = tables_.find(v);
-  NORS_CHECK_MSG(it != tables_.end(), "vertex " << v << " not in tree");
-  return it->second;
+  const int i = find(v);
+  NORS_CHECK_MSG(i >= 0, "vertex " << v << " not in tree");
+  return tables_[static_cast<std::size_t>(i)];
 }
 
 const TzTreeScheme::Label& TzTreeScheme::label(Vertex v) const {
-  auto it = labels_.find(v);
-  NORS_CHECK_MSG(it != labels_.end(), "vertex " << v << " not in tree");
-  return it->second;
+  const int i = find(v);
+  NORS_CHECK_MSG(i >= 0, "vertex " << v << " not in tree");
+  return labels_[static_cast<std::size_t>(i)];
 }
 
 }  // namespace nors::treeroute

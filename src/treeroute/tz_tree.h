@@ -15,6 +15,10 @@ namespace nors::treeroute {
 ///
 /// The tree is an arbitrary subgraph of a WeightedGraph given by parent
 /// pointers over a member subset; all ports refer to the underlying graph.
+///
+/// Storage is flat (DESIGN.md §7): tables and labels live in arrays
+/// parallel to `members()`, and per-vertex lookups are a binary search over
+/// a sorted (vertex → position) index — no hash map survives construction.
 class TzTreeScheme {
  public:
   struct Table {
@@ -63,17 +67,45 @@ class TzTreeScheme {
   /// toward the destination owning `dest`, or kNoPort if arrived.
   static std::int32_t next_hop(const Table& tx, const Label& dest);
 
+  /// Reusable arenas for build_core (one per worker thread in batch paths).
+  struct BuildScratch {
+    std::vector<int> child_cnt, child_off, child_list, cursor, bfs, heavy;
+    std::vector<std::int64_t> size;
+    std::vector<std::pair<int, int>> stack;
+  };
+
+  /// Core of build(), exposed for hot batch paths (treeroute/dist_tree):
+  /// position-parallel inputs — par_pos[i] is the position of i's parent
+  /// (-1 at root_pos), sorted_pos lists positions in ascending
+  /// member-vertex order — and tables/labels outputs parallel to members.
+  /// Produces exactly what build() stores, with zero per-call allocation
+  /// beyond the labels themselves.
+  static void build_core(const graph::WeightedGraph& g,
+                         const graph::Vertex* members, const int* par_pos,
+                         const std::int32_t* port_of, int sz, int root_pos,
+                         const int* sorted_pos, BuildScratch& s,
+                         Table* tables, Label* labels);
+
   graph::Vertex root() const { return root_; }
-  bool contains(graph::Vertex v) const { return tables_.count(v) > 0; }
+  bool contains(graph::Vertex v) const { return find(v) >= 0; }
   const Table& table(graph::Vertex v) const;
   const Label& label(graph::Vertex v) const;
   const std::vector<graph::Vertex>& members() const { return members_; }
 
+  /// Position of v in members() (the index of its table/label), or -1.
+  int find(graph::Vertex v) const;
+
+  /// Table/label of the member at position i in members().
+  const Table& table_at(std::size_t i) const { return tables_[i]; }
+  const Label& label_at(std::size_t i) const { return labels_[i]; }
+
  private:
   graph::Vertex root_ = graph::kNoVertex;
-  std::vector<graph::Vertex> members_;
-  std::unordered_map<graph::Vertex, Table> tables_;
-  std::unordered_map<graph::Vertex, Label> labels_;
+  std::vector<graph::Vertex> members_;     // caller's order
+  std::vector<Table> tables_;              // parallel to members_
+  std::vector<Label> labels_;              // parallel to members_
+  std::vector<graph::Vertex> sorted_v_;    // members, ascending
+  std::vector<std::int32_t> sorted_pos_;   // position in members_ per sorted_v_
 };
 
 }  // namespace nors::treeroute

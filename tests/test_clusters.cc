@@ -58,7 +58,9 @@ class ClusterInvariants : public ::testing::TestWithParam<Case> {
 TEST_P(ClusterInvariants, Claim7ParentsAndNoPruning) {
   EXPECT_EQ(scheme_->pruned_members(), 0);
   for (const auto& t : scheme_->trees()) {
-    for (const auto& [v, mem] : t.members) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const Vertex v = t.members[i];
+      const auto& mem = t.info[i];
       if (v == t.root) {
         EXPECT_EQ(mem.b, 0);
         continue;
@@ -67,10 +69,10 @@ TEST_P(ClusterInvariants, Claim7ParentsAndNoPruning) {
       ASSERT_NE(mem.parent_port, graph::kNoPort);
       const auto& e = g_.edge(v, mem.parent_port);
       ASSERT_EQ(e.to, mem.parent);
-      const auto pit = t.members.find(mem.parent);
-      ASSERT_TRUE(pit != t.members.end())
-          << "root=" << t.root << " v=" << v << " parent not member";
-      EXPECT_GE(mem.b, e.w + pit->second.b);
+      const int pi = t.find(mem.parent);
+      ASSERT_GE(pi, 0) << "root=" << t.root << " v=" << v
+                       << " parent not member";
+      EXPECT_GE(mem.b, e.w + t.info[static_cast<std::size_t>(pi)].b);
     }
   }
 }
@@ -83,7 +85,7 @@ TEST_P(ClusterInvariants, SandwichNine) {
     for (Vertex v = 0; v < g_.n(); ++v) {
       const Dist duv = sp.dist[static_cast<std::size_t>(v)];
       const Dist lim = limit[static_cast<std::size_t>(v)];
-      const bool member = t.members.count(v) > 0;
+      const bool member = t.contains(v);
       // Right inclusion C̃(u) ⊆ C(u): members satisfy d(u,v) < d(v,A_{i+1}).
       if (member && !graph::is_inf(lim)) {
         EXPECT_LT(duv, lim) << "root=" << t.root << " v=" << v;
@@ -108,14 +110,16 @@ TEST_P(ClusterInvariants, TreeDistancePreservationTen) {
   const auto eps = scheme_->params().epsilon();
   for (const auto& t : scheme_->trees()) {
     const auto sp = graph::dijkstra(g_, t.root);
-    for (const auto& [v, mem] : t.members) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const Vertex v = t.members[i];
+      const auto& mem = t.info[i];
       if (v == t.root) continue;
       // Walk the parent chain to the root, summing real edge weights.
       Dist chain = 0;
       Vertex x = v;
       int guard = 0;
       while (x != t.root) {
-        const auto& m = t.members.at(x);
+        const auto& m = t.member(x);
         const auto& e = g_.edge(x, m.parent_port);
         chain += e.w;
         x = e.to;
@@ -160,7 +164,7 @@ TEST_P(ClusterInvariants, TopLevelTreesSpanEverything) {
   for (const auto& t : scheme_->trees()) {
     if (t.level != k - 1) continue;
     ++top_trees;
-    EXPECT_EQ(t.members.size(), static_cast<std::size_t>(g_.n()));
+    EXPECT_EQ(t.size(), static_cast<std::size_t>(g_.n()));
   }
   EXPECT_GE(top_trees, 1);
 }

@@ -96,23 +96,32 @@ TEST(ClusterBf, ComputesExactClustersUnderLimit) {
     return b < lim.dist[static_cast<std::size_t>(v)];
   };
   const auto res = primitives::distributed_cluster_bellman_ford(g, roots, admit);
+  // Entries name roots by dense slot; scan a vertex's flat list for one.
+  const auto entry_of = [&](Vertex v,
+                            int slot) -> const primitives::ClusterEntry* {
+    for (const auto& [s, e] : res.entries[static_cast<std::size_t>(v)]) {
+      if (s == slot) return &e;
+    }
+    return nullptr;
+  };
 
   // Ground truth: v ∈ C(u) iff d(u,v) < lim(v), with exact distance; the
   // cluster-BF tree must find exactly those members at exact distances
   // (every prefix vertex of the shortest path is itself admitted, so the
   // exploration cannot be blocked).
-  for (Vertex u : roots) {
+  for (std::size_t slot = 0; slot < roots.size(); ++slot) {
+    const Vertex u = res.roots[slot];
+    EXPECT_EQ(u, roots[slot]);
     const auto sp = graph::dijkstra(g, u);
     for (Vertex v = 0; v < g.n(); ++v) {
       const bool in_cluster =
           sp.dist[static_cast<std::size_t>(v)] <
           lim.dist[static_cast<std::size_t>(v)];
-      const auto& entries = res.entries[static_cast<std::size_t>(v)];
-      const auto it = entries.find(u);
+      const auto* e = entry_of(v, static_cast<int>(slot));
       if (in_cluster) {
-        ASSERT_TRUE(it != entries.end()) << "u=" << u << " v=" << v;
-        EXPECT_EQ(it->second.dist, sp.dist[static_cast<std::size_t>(v)]);
-      } else if (it != entries.end()) {
+        ASSERT_TRUE(e != nullptr) << "u=" << u << " v=" << v;
+        EXPECT_EQ(e->dist, sp.dist[static_cast<std::size_t>(v)]);
+      } else if (e != nullptr) {
         // A member may exist only if its own shortest-path prefix admitted
         // it; with exact BF this should coincide with the definition.
         ADD_FAILURE() << "vertex " << v << " wrongly joined cluster of " << u;
@@ -122,16 +131,63 @@ TEST(ClusterBf, ComputesExactClustersUnderLimit) {
 
   // Tree property: parents are members with consistent distances.
   for (Vertex v = 0; v < g.n(); ++v) {
-    for (const auto& [root, e] : res.entries[static_cast<std::size_t>(v)]) {
-      if (v == root) continue;
+    for (const auto& [slot, e] : res.entries[static_cast<std::size_t>(v)]) {
+      if (v == res.roots[static_cast<std::size_t>(slot)]) continue;
       ASSERT_NE(e.parent_port, graph::kNoPort);
       const auto& edge = g.edge(v, e.parent_port);
       EXPECT_EQ(edge.to, e.parent);
-      const auto& pentries = res.entries[static_cast<std::size_t>(e.parent)];
-      const auto pit = pentries.find(root);
-      ASSERT_TRUE(pit != pentries.end());
-      EXPECT_EQ(e.dist, pit->second.dist + edge.w);
+      const auto* pe = entry_of(e.parent, slot);
+      ASSERT_TRUE(pe != nullptr);
+      EXPECT_EQ(e.dist, pe->dist + edge.w);
     }
+  }
+}
+
+TEST(SourceDetection, DialFastPathBitIdenticalToReferenceSweep) {
+  // The exact-scale fast path (Dial Dijkstra + first-writer reconstruction)
+  // is *defined* as bit-identical to the reference Bellman–Ford sweep —
+  // distances, parent-port tie-breaks, iteration counts and round charges.
+  // Pin the equivalence by diffing complete results across the
+  // NORS_SD_DISABLE_FAST escape hatch, on regimes where the fast path
+  // engages (small weights, generous hop bound), where it must fall back
+  // (huge weights break the margin), and across thread counts.
+  struct Regime {
+    int n;
+    std::int64_t extra;
+    graph::Weight max_w;
+    std::int64_t hop_bound;
+    std::uint64_t seed;
+  };
+  for (const Regime r : {Regime{400, 900, 6, 400, 91},
+                         Regime{300, 700, 50000, 300, 92},
+                         Regime{250, 500, 12, 7, 93}}) {
+    util::Rng rng(r.seed);
+    const auto g = graph::connected_gnm(
+        r.n, r.extra, graph::WeightSpec::uniform(1, r.max_w), rng);
+    std::vector<Vertex> sources;
+    for (Vertex v = 0; v < g.n(); v += 17) sources.push_back(v);
+    const util::Epsilon eps(1, 6);
+
+    setenv("NORS_SD_DISABLE_FAST", "1", 1);
+    const auto ref =
+        primitives::source_detection(g, sources, r.hop_bound, eps, 5);
+    setenv("NORS_SD_DISABLE_FAST", "0", 1);
+    const auto fast =
+        primitives::source_detection(g, sources, r.hop_bound, eps, 5);
+    const auto threaded = primitives::source_detection(
+        g, sources, r.hop_bound, eps, 5, /*threads=*/3);
+    unsetenv("NORS_SD_DISABLE_FAST");
+
+    EXPECT_EQ(ref.dist, fast.dist) << "seed=" << r.seed;
+    EXPECT_EQ(ref.parent_port, fast.parent_port) << "seed=" << r.seed;
+    EXPECT_EQ(ref.round_cost, fast.round_cost) << "seed=" << r.seed;
+    EXPECT_EQ(ref.max_iterations, fast.max_iterations) << "seed=" << r.seed;
+    EXPECT_EQ(ref.executed_scales, fast.executed_scales) << "seed=" << r.seed;
+    EXPECT_EQ(ref.dist, threaded.dist) << "seed=" << r.seed;
+    EXPECT_EQ(ref.parent_port, threaded.parent_port) << "seed=" << r.seed;
+    EXPECT_EQ(ref.round_cost, threaded.round_cost) << "seed=" << r.seed;
+    EXPECT_EQ(ref.max_iterations, threaded.max_iterations)
+        << "seed=" << r.seed;
   }
 }
 

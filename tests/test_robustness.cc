@@ -65,6 +65,33 @@ TEST(Robustness, RetryEnlargesHopBoundUntilCovered) {
   EXPECT_GT(s.coverage_retries(), 0);
 }
 
+TEST(Robustness, RetryDoublesHopBoundOnPathGraph) {
+  // Second deterministic adversarial instance (beyond the lollipop above):
+  // a pure path has hop diameter n-1, so a starved initial B cannot let the
+  // V'-source detection reach everyone and top-level coverage fails until
+  // the retry loop has doubled B enough times. This pins the doubled-B
+  // branch structurally — not probabilistically — and checks the repaired
+  // scheme still routes every sampled pair over real edges.
+  util::Rng rng(1013);
+  const auto g = graph::path(180, graph::WeightSpec::unit(), rng);
+  core::SchemeParams p;
+  p.k = 2;
+  p.seed = 23;
+  p.hit_constant = 0.02;
+  p.max_b_retries = 12;
+  const auto s = core::RoutingScheme::build(g, p);
+  EXPECT_GE(s.coverage_retries(), 2);
+  for (Vertex u = 0; u < g.n(); u += 13) {
+    const auto sp = graph::dijkstra(g, u);
+    for (Vertex v = 1; v < g.n(); v += 17) {
+      if (u == v) continue;
+      const auto r = s.route(u, v);
+      ASSERT_TRUE(r.ok) << "u=" << u << " v=" << v;
+      EXPECT_GE(r.length, sp.dist[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
 TEST(Robustness, PaperConstantsNeedNoRepair) {
   // Regression guard for the Phase-2 min-semantics fix: across seeds and
   // weight scales, zero pruned members and zero retries.

@@ -39,6 +39,31 @@ graph::WeightedGraph make_graph(const char* topology, std::uint64_t seed) {
   NORS_CHECK_MSG(false, "unknown topology " << topology);
 }
 
+TEST(SchemeStructure, ClusterTreesAndTreeSpecsStayVertexSorted) {
+  // Regression guard for the flat construction path: to_spec() emits the
+  // Section-6 TreeSpec as a straight column copy of the cluster tree, so
+  // cluster members — and with them every spec and every tree scheme's
+  // member list — must be (and stay) strictly vertex-sorted.
+  const auto g = make_graph("gnm", 511);
+  core::SchemeParams p;
+  p.k = 3;
+  p.seed = 511;
+  const auto s = core::RoutingScheme::build(g, p);
+  ASSERT_FALSE(s.trees().empty());
+  for (std::size_t ti = 0; ti < s.trees().size(); ++ti) {
+    const auto& t = s.trees()[ti];
+    ASSERT_FALSE(t.members.empty());
+    for (std::size_t i = 1; i < t.members.size(); ++i) {
+      ASSERT_LT(t.members[i - 1], t.members[i])
+          << "tree " << ti << " members not strictly sorted";
+    }
+    ASSERT_EQ(t.members.size(), t.info.size());
+    // The tree scheme built from the spec carries the identical sorted
+    // member list — no re-sort happened anywhere on the way.
+    EXPECT_EQ(s.tree_scheme(ti).members(), t.members) << "tree " << ti;
+  }
+}
+
 class SchemeEndToEnd : public ::testing::TestWithParam<Case> {};
 
 TEST_P(SchemeEndToEnd, RoutesAllSampledPairsWithinBound) {
