@@ -1,12 +1,26 @@
-// Serving workload (DESIGN.md §5): freeze a constructed scheme into flat
-// tables, then rate batched route(u, v) decision queries answered purely
-// from the frozen state — queries/sec and decisions/sec (one decision = one
-// next-hop port evaluation) across thread counts and cache settings, plus
-// sampled per-query tail latency. The Thorup–Zwick distance oracle, frozen
-// the same way, is the sequential-baseline row.
+// Serving workload (DESIGN.md §5, §8): freeze a constructed scheme into
+// flat tables, then rate batched route(u, v) decision queries answered
+// purely from the frozen state — queries/sec and decisions/sec (one
+// decision = one next-hop port evaluation) across thread counts, cache
+// settings and shard counts, plus sampled per-query tail latency. The
+// load path is measured three ways (owning load, zero-copy mmap, and the
+// sharded front-end over the mapped image); the Thorup–Zwick distance
+// oracle, frozen the same way, is the sequential-baseline row.
+//
+// Runtime knobs (all recorded in the emitted JSON):
+//   --threads=T   max worker threads of the RouteServer sweep
+//                 (default: 2 × hardware concurrency)
+//   --shards=K    max shard count of the ShardedRouteServer sweep,
+//                 swept 1, 2, 4, ... K (default 4)
+//   --cache=C     (vertex, tree) cache entries per worker (default 4096)
+//   --seed=S      query-batch RNG seed (default 9)
+//   --queries=Q   batch size (default 200000)
+//   NORS_BENCH_N  graph size (default 2^14)
 //
 // Emits BENCH_serving.json (schema: bench/results/README.md).
 
+#include <cstring>
+#include <string>
 #include <thread>
 
 #include "common.h"
@@ -14,6 +28,7 @@
 #include "serve/frozen.h"
 #include "serve/frozen_tz.h"
 #include "serve/server.h"
+#include "serve/shard.h"
 #include "tz/tz_oracle.h"
 
 namespace {
@@ -36,19 +51,62 @@ std::vector<serve::Query> make_queries(int n, std::size_t count,
   return qs;
 }
 
+/// --key=value flags; anything unrecognized aborts with usage.
+struct Flags {
+  int max_threads = 0;  // 0 = 2 × hardware concurrency
+  int max_shards = 4;
+  int cache = 4096;
+  std::uint64_t seed = 9;
+  std::size_t queries = 200000;
+
+  static Flags parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto val = [&a](const char* key) -> const char* {
+        const std::size_t len = std::strlen(key);
+        return a.compare(0, len, key) == 0 ? a.c_str() + len : nullptr;
+      };
+      if (const char* v = val("--threads=")) {
+        f.max_threads = std::atoi(v);
+      } else if (const char* v = val("--shards=")) {
+        f.max_shards = std::atoi(v);
+      } else if (const char* v = val("--cache=")) {
+        f.cache = std::atoi(v);
+      } else if (const char* v = val("--seed=")) {
+        f.seed = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = val("--queries=")) {
+        f.queries = std::strtoull(v, nullptr, 10);
+      } else {
+        std::fprintf(stderr,
+                     "unknown flag %s\nusage: bench_serving [--threads=T] "
+                     "[--shards=K] [--cache=C] [--seed=S] [--queries=Q]\n",
+                     a.c_str());
+        std::exit(2);
+      }
+    }
+    NORS_CHECK_MSG(f.max_shards >= 1 && f.cache >= 0 && f.queries > 0,
+                   "bad flag value");
+    return f;
+  }
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
   const int n = bench::env_n(1 << 14);
   const int k = 3;
-  const std::size_t num_queries = 200000;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int max_threads =
+      flags.max_threads > 0 ? flags.max_threads : static_cast<int>(2 * hw);
   bench::print_header("serving",
                       "frozen-table route decisions/sec, tail latency, "
-                      "save/load round-trip");
+                      "save/load/mmap round-trip, sharded front-end");
 
   bench::JsonReport report("serving");
 
-  // ---- build, freeze, save/load -----------------------------------------
+  // ---- build, freeze, save/load/map -------------------------------------
   const auto g = bench::bench_graph(n, /*seed=*/17);
   std::printf("graph: n=%d m=%lld; building scheme (k=%d)...\n", n,
               static_cast<long long>(g.m()), k);
@@ -71,44 +129,61 @@ int main() {
   const double load_s = load_t.seconds();
   const bool identical = reloaded.save() == image;
 
-  // Spot-check the reloaded snapshot against the live scheme.
+  // Zero-copy path: mmap the saved image (startup = checksum + validate).
+  const std::string map_path = "bench_serving_tables.frozen";
+  frozen.save_file(map_path);
+  bench::WallTimer map_t;
+  const auto mapped = serve::FrozenScheme::map(map_path);
+  const double map_s = map_t.seconds();
+  const bool map_identical = mapped.save() == image;
+
+  // Spot-check both reloaded snapshots against the live scheme.
   int spot_checked = 0;
   for (const auto& q : make_queries(n, 200, 5)) {
     const auto live = scheme.route(q.u, q.v);
     const auto snap = reloaded.route(q.u, q.v);
+    const auto msnap = mapped.route(q.u, q.v);
     NORS_CHECK_MSG(live.length == snap.length && live.hops == snap.hops,
                    "frozen decision diverged at " << q.u << "->" << q.v);
+    NORS_CHECK_MSG(live.length == msnap.length && live.hops == msnap.hops,
+                   "mapped decision diverged at " << q.u << "->" << q.v);
     ++spot_checked;
   }
 
   std::printf(
       "build %.2fs | freeze %.3fs | image %.1f MiB | save %.3fs | load %.3fs "
-      "| round-trip %s | %d spot checks ok\n\n",
+      "| mmap %.3fs | round-trip %s/%s | %d spot checks ok\n\n",
       build_s, freeze_s, static_cast<double>(image.size()) / (1 << 20),
-      save_s, load_s, identical ? "byte-identical" : "MISMATCH",
-      spot_checked);
+      save_s, load_s, map_s, identical ? "byte-identical" : "MISMATCH",
+      map_identical ? "byte-identical" : "MISMATCH", spot_checked);
   NORS_CHECK_MSG(identical, "save->load->save must be byte-identical");
+  NORS_CHECK_MSG(map_identical, "save->map->save must be byte-identical");
   report.row()
       .field("row", std::string("build"))
       .field("n", n)
       .field("m", static_cast<std::int64_t>(g.m()))
       .field("k", k)
+      .field("seed", static_cast<std::int64_t>(flags.seed))
+      .field("hw_threads", static_cast<std::int64_t>(hw))
       .field("build_s", build_s)
       .field("freeze_s", freeze_s)
       .field("image_bytes", static_cast<std::int64_t>(image.size()))
       .field("save_s", save_s)
       .field("load_s", load_s)
+      .field("map_s", map_s)
       .field("roundtrip_identical", identical ? 1 : 0)
+      .field("map_identical", map_identical ? 1 : 0)
       .field("spot_checked", spot_checked);
 
   // ---- throughput across threads / cache --------------------------------
-  const auto queries = make_queries(n, num_queries, 9);
+  const auto queries = make_queries(n, flags.queries, flags.seed);
   std::vector<serve::Decision> out(queries.size());
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   util::TextTable table({"threads", "cache", "queries/s", "decisions/s",
                          "avg hops", "cache hit%", "wall s"});
-  for (const int cache : {0, 4096}) {
-    for (int threads = 1; threads <= static_cast<int>(2 * hw); threads *= 2) {
+  std::vector<int> cache_settings{0};
+  if (flags.cache != 0) cache_settings.push_back(flags.cache);
+  for (const int cache : cache_settings) {
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
       serve::ServerOptions opt;
       opt.threads = threads;
       opt.cache_entries = cache;
@@ -137,6 +212,7 @@ int main() {
           .field("row", std::string("serve"))
           .field("n", n)
           .field("k", k)
+          .field("seed", static_cast<std::int64_t>(flags.seed))
           .field("threads", threads)
           .field("cache_entries", cache)
           .field("queries", static_cast<std::int64_t>(queries.size()))
@@ -148,6 +224,65 @@ int main() {
     }
   }
   std::printf("%s\n", table.render().c_str());
+
+  // ---- sharded front-end over the mapped image --------------------------
+  // Shards slice the query stream by source vertex; each runs one worker
+  // with its own warm cache over the shared zero-copy image. Aggregate
+  // decisions/s scales with shard count on multi-core hardware (on a
+  // 1-core runner the rows measure dispatch overhead instead).
+  {
+    util::TextTable stable({"shards", "queries/s", "decisions/s", "p50 us",
+                            "p99 us", "balance", "wall s"});
+    for (int shards = 1; shards <= flags.max_shards; shards *= 2) {
+      serve::ShardedOptions opt;
+      opt.shards = shards;
+      opt.cache_entries = flags.cache;
+      serve::ShardedRouteServer server(mapped, opt);
+      bench::WallTimer t;
+      server.serve(queries.data(), queries.size(), out.data());
+      const double wall = t.seconds();
+      const auto totals = server.totals();
+      NORS_CHECK_MSG(totals.queries ==
+                         static_cast<std::int64_t>(queries.size()),
+                     "sharded stats lost queries");
+      const double qps = static_cast<double>(queries.size()) / wall;
+      const double dps = static_cast<double>(totals.hops) / wall;
+      // Load balance: smallest/largest per-shard query share.
+      std::int64_t lo = totals.queries, hi = 0;
+      for (int s = 0; s < server.shards(); ++s) {
+        const auto st = server.shard_stats(s);
+        lo = std::min(lo, st.queries);
+        hi = std::max(hi, st.queries);
+      }
+      const double balance =
+          hi == 0 ? 1.0
+                  : static_cast<double>(lo) / static_cast<double>(hi);
+      stable.add_row(
+          {util::TextTable::fmt(static_cast<std::int64_t>(shards)),
+           util::TextTable::fmt(qps, 0), util::TextTable::fmt(dps, 0),
+           util::TextTable::fmt(totals.p50_us, 2),
+           util::TextTable::fmt(totals.p99_us, 2),
+           util::TextTable::fmt(balance, 2),
+           util::TextTable::fmt(wall, 3)});
+      report.row()
+          .field("row", std::string("sharded"))
+          .field("n", n)
+          .field("k", k)
+          .field("seed", static_cast<std::int64_t>(flags.seed))
+          .field("shards", shards)
+          .field("cache_entries", flags.cache)
+          .field("mapped", 1)
+          .field("queries", static_cast<std::int64_t>(queries.size()))
+          .field("wall_s", wall)
+          .field("qps", qps)
+          .field("decisions_per_sec", dps)
+          .field("p50_us", totals.p50_us)
+          .field("p99_us", totals.p99_us)
+          .field("shard_balance", balance);
+    }
+    std::printf("sharded front-end over the mmap'ed image (cache %d):\n%s\n",
+                flags.cache, stable.render().c_str());
+  }
 
   // ---- tail latency (single thread, per-query timing) -------------------
   {
@@ -173,6 +308,7 @@ int main() {
         .field("row", std::string("latency"))
         .field("n", n)
         .field("k", k)
+        .field("seed", static_cast<std::int64_t>(flags.seed))
         .field("sampled", static_cast<std::int64_t>(sample))
         .field("p50_us", p50)
         .field("p99_us", p99)
@@ -206,6 +342,7 @@ int main() {
         .field("frozen_bytes", ftz.byte_size());
   }
 
+  std::remove(map_path.c_str());
   report.write();
   return 0;
 }

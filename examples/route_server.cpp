@@ -1,11 +1,12 @@
 // Serving walkthrough: build the routing scheme once, freeze it into flat
-// tables, save them to disk, load them back (as a restarted server would),
-// and answer a batch of route queries from the frozen state alone — no
-// graph object, no rebuild.
+// tables, save them to disk, load them back (as a restarted server would —
+// both the owning load and the zero-copy mmap), and answer batches of
+// route queries from the frozen state alone — no graph object, no rebuild,
+// finally through the sharded front-end that scales serving across cores.
 //
 //   $ ./examples/route_server
 //
-// The five steps below are the whole serving life cycle (DESIGN.md §5).
+// The steps below are the whole serving life cycle (DESIGN.md §5, §8).
 
 #include <cstdio>
 
@@ -14,6 +15,7 @@
 #include "graph/shortest_paths.h"
 #include "serve/frozen.h"
 #include "serve/server.h"
+#include "serve/shard.h"
 
 int main() {
   using namespace nors;
@@ -42,10 +44,16 @@ int main() {
   const std::string path = "routing_tables.frozen";
   frozen.save_file(path);
 
-  // 4. Load: what a freshly started server process does.
+  // 4. Load: what a freshly started server process does. Two ways:
+  //    load_file() copies the slabs onto the heap (portable fallback);
+  //    map() mmaps the image and serves straight from the page cache —
+  //    zero-copy startup, ideal when many server processes share one
+  //    table file.
   const auto tables = serve::FrozenScheme::load_file(path);
-  std::printf("reloaded %s (byte-identical: %s)\n", path.c_str(),
-              tables.save() == frozen.save() ? "yes" : "NO");
+  const auto mapped = serve::FrozenScheme::map(path);
+  std::printf("reloaded %s (byte-identical: %s; mmap byte-identical: %s)\n",
+              path.c_str(), tables.save() == frozen.save() ? "yes" : "NO",
+              mapped.save() == frozen.save() ? "yes" : "NO");
 
   // 5. Serve: batched decision queries, answered purely from the frozen
   //    tables — here 2 worker threads with a small (vertex, tree) cache.
@@ -85,6 +93,31 @@ int main() {
   // What a connecting peer would receive: the destination's wire label.
   std::printf("wire label of %d: %zu bytes\n", q.v,
               tables.label_blob(q.v).size());
+
+  // 6. Scale out: the sharded front-end partitions the vertex space into
+  //    contiguous ranges, one worker thread per shard, all serving the
+  //    same mmap'ed image. Answers are identical to step 5 and land in
+  //    submission order; per-shard counters show the traffic split.
+  serve::ShardedOptions sopt;
+  sopt.shards = 2;
+  sopt.cache_entries = 1024;
+  serve::ShardedRouteServer sharded(mapped, sopt);
+  std::vector<serve::Decision> sharded_answers;
+  sharded.serve(batch, sharded_answers);
+  bool same = sharded_answers.size() == answers.size();
+  for (std::size_t i = 0; same && i < answers.size(); ++i) {
+    same = sharded_answers[i].length == answers[i].length &&
+           sharded_answers[i].hops == answers[i].hops;
+  }
+  std::printf("sharded x%d over mmap: identical answers: %s\n",
+              sharded.shards(), same ? "yes" : "NO");
+  for (int s = 0; s < sharded.shards(); ++s) {
+    const auto st = sharded.shard_stats(s);
+    std::printf("  shard %d: %lld queries, %lld decisions, p50 %.1fus "
+                "p99 %.1fus\n",
+                s, static_cast<long long>(st.queries),
+                static_cast<long long>(st.hops), st.p50_us, st.p99_us);
+  }
 
   std::remove(path.c_str());
   return 0;

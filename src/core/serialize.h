@@ -7,6 +7,15 @@
 
 namespace nors::core {
 
+/// Wire labels are emitted in whole little-endian 8-byte words (one per
+/// O(log n)-bit word the paper counts). This is also an alignment
+/// contract with the frozen serving layer: every per-vertex blob is a
+/// multiple of kWireWordBytes, so the byte offsets of FrozenScheme's
+/// packed blob pool stay word-aligned and a memory-mapped image can hand
+/// out label views without copying or re-aligning (DESIGN.md §8.2).
+/// WordReader enforces the invariant on decode.
+inline constexpr std::size_t kWireWordBytes = sizeof(std::int64_t);
+
 /// Wire form of a vertex's complete routing label — what a packet header
 /// carries and what a node hands to peers at connection setup. Decoding
 /// recovers everything a router needs from the destination side; the

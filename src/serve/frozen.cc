@@ -4,6 +4,16 @@
 #include <cstdio>
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define NORS_HAVE_MMAP 1
+#else
+#define NORS_HAVE_MMAP 0
+#endif
+
 #include "core/serialize.h"
 
 namespace nors::serve {
@@ -13,16 +23,38 @@ namespace {
 using graph::Vertex;
 
 // ------------------------------------------------------------ wire format --
-// DESIGN.md §5.2. Fixed header, then every array as (u64 count, raw
-// elements), then a trailing FNV-1a64 checksum of all preceding bytes.
-// Multi-byte values are stored in the host byte order and stamped with an
-// endianness tag; load() rejects a foreign-endian image instead of
-// byte-swapping (the format is defined as little-endian — every platform
-// this repo targets).
+// DESIGN.md §5.2. Fixed 32-byte header, then every array as (u64 count, raw
+// elements, zero padding to the next 8-byte boundary), then a trailing
+// FNV-1a64 checksum of all preceding bytes. The per-section padding is what
+// makes version 2 mappable: the header is 32 bytes and every count field is
+// 8 bytes, so with padded payloads every section's elements start at a file
+// offset that is a multiple of 8 — and mmap() returns page-aligned memory,
+// so an in-place view of any section is correctly aligned for its element
+// type (all slot types have alignment ≤ 8, asserted below). Multi-byte
+// values are stored in the host byte order and stamped with an endianness
+// tag; load() rejects a foreign-endian image instead of byte-swapping (the
+// format is defined as little-endian — every platform this repo targets).
 
 constexpr char kMagic[8] = {'N', 'O', 'R', 'S', 'F', 'R', 'Z', '1'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;  // v2 = v1 + 8-byte section alignment
 constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::size_t kPreambleBytes =
+    sizeof(kMagic) + 2 * sizeof(std::uint32_t);  // magic, version, endian
+constexpr std::size_t kHeaderBytes =
+    kPreambleBytes + 4 * sizeof(std::int32_t);   // + n, k, trick, trees
+static_assert(kHeaderBytes % 8 == 0, "sections must start 8-byte aligned");
+
+// The in-place (mmap) reader casts section bytes to these types directly.
+static_assert(alignof(FrozenScheme::LightSlot) <= 8);
+static_assert(alignof(FrozenScheme::HopSlot) <= 8);
+static_assert(alignof(FrozenScheme::TableSlot) <= 8);
+static_assert(alignof(FrozenScheme::LabelSlot) <= 8);
+static_assert(alignof(FrozenScheme::TrickRoot) <= 8);
+static_assert(alignof(FrozenScheme::TrickSlot) <= 8);
+
+/// Zero bytes needed after a payload of `len` bytes to reach the next
+/// 8-byte file offset (counts and payloads both start 8-aligned).
+constexpr std::size_t pad8(std::size_t len) { return (8 - len % 8) % 8; }
 
 std::uint64_t fnv1a(const std::uint8_t* p, std::size_t len) {
   std::uint64_t h = 1469598103934665603ull;
@@ -42,16 +74,20 @@ void put_raw(std::vector<std::uint8_t>& out, const void* p, std::size_t len) {
 }
 
 template <typename T>
-void put_vec(std::vector<std::uint8_t>& out, const std::vector<T>& v) {
+void put_span(std::vector<std::uint8_t>& out, std::span<const T> v) {
   const std::uint64_t count = v.size();
   put_raw(out, &count, sizeof(count));
-  if (count > 0) put_raw(out, v.data(), count * sizeof(T));
+  const std::size_t payload = static_cast<std::size_t>(count) * sizeof(T);
+  if (count > 0) put_raw(out, v.data(), payload);
+  out.resize(out.size() + pad8(payload));  // zero padding
 }
 
-/// Bounds-checked cursor over a loaded image.
-class Cursor {
+/// Bounds-checked cursor core shared by both decode paths, so the owning
+/// and mapped readers can never diverge on framing, bounds or padding
+/// semantics (the property test_frozen_fuzz pins).
+class CursorBase {
  public:
-  Cursor(const std::uint8_t* p, std::size_t len) : p_(p), len_(len) {}
+  CursorBase(const std::uint8_t* p, std::size_t len) : p_(p), len_(len) {}
 
   void read(void* dst, std::size_t len) {
     NORS_CHECK_MSG(pos_ + len <= len_, "truncated frozen-table image");
@@ -59,17 +95,30 @@ class Cursor {
     pos_ += len;
   }
 
+  /// Reads a section's u64 element count, bounds-checked against the
+  /// remaining bytes.
   template <typename T>
-  void read_vec(std::vector<T>& v) {
+  std::size_t read_count() {
     std::uint64_t count = 0;
     read(&count, sizeof(count));
     NORS_CHECK_MSG(count <= (len_ - pos_) / sizeof(T),
                    "corrupt frozen-table section length");
-    v.resize(static_cast<std::size_t>(count));
-    if (count > 0) read(v.data(), static_cast<std::size_t>(count) * sizeof(T));
+    return static_cast<std::size_t>(count);
+  }
+
+  void skip_pad(std::size_t payload) {
+    for (std::size_t i = 0; i < pad8(payload); ++i) {
+      std::uint8_t z = 0;
+      read(&z, 1);
+      NORS_CHECK_MSG(z == 0, "nonzero section padding");
+    }
   }
 
   std::size_t pos() const { return pos_; }
+
+ protected:
+  const std::uint8_t* cursor() const { return p_ + pos_; }
+  void advance(std::size_t len) { pos_ += len; }
 
  private:
   const std::uint8_t* p_;
@@ -77,9 +126,65 @@ class Cursor {
   std::size_t pos_ = 0;
 };
 
+/// Copying decoder (the owning load path).
+class Cursor : public CursorBase {
+ public:
+  using CursorBase::CursorBase;
+
+  template <typename T>
+  void read_vec(std::vector<T>& v) {
+    const std::size_t count = read_count<T>();
+    v.resize(count);
+    const std::size_t payload = count * sizeof(T);
+    if (count > 0) read(v.data(), payload);
+    skip_pad(payload);
+  }
+};
+
+/// In-place decoder over a mapped image: sections become views into the
+/// mapping instead of copies.
+class ViewCursor : public CursorBase {
+ public:
+  using CursorBase::CursorBase;
+
+  template <typename T>
+  void read_span(std::span<const T>& v) {
+    const std::size_t count = read_count<T>();
+    NORS_CHECK_MSG(
+        reinterpret_cast<std::uintptr_t>(cursor()) % alignof(T) == 0,
+        "misaligned frozen-table section");
+    v = {reinterpret_cast<const T*>(cursor()), count};
+    const std::size_t payload = count * sizeof(T);
+    advance(payload);
+    skip_pad(payload);
+  }
+};
+
+/// Shared header framing check; returns the payload limit (bytes before
+/// the trailing checksum) after verifying magic/version/endian/checksum.
+std::size_t check_framing(const std::uint8_t* p, std::size_t size) {
+  NORS_CHECK_MSG(size >= kHeaderBytes + sizeof(std::uint64_t),
+                 "frozen-table image too short for a header");
+  NORS_CHECK_MSG(std::memcmp(p, kMagic, sizeof(kMagic)) == 0,
+                 "bad magic: not a frozen routing-table image");
+  std::uint32_t version = 0, endian = 0;
+  std::memcpy(&version, p + sizeof(kMagic), sizeof(version));
+  std::memcpy(&endian, p + sizeof(kMagic) + sizeof(version), sizeof(endian));
+  NORS_CHECK_MSG(version == kVersion,
+                 "unsupported frozen-table version " << version);
+  NORS_CHECK_MSG(endian == kEndianTag,
+                 "endianness mismatch: image written on a foreign-endian "
+                 "machine");
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, p + size - sizeof(stored), sizeof(stored));
+  NORS_CHECK_MSG(fnv1a(p, size - sizeof(stored)) == stored,
+                 "checksum mismatch: corrupt frozen-table image");
+  return size - sizeof(stored);
+}
+
 template <typename Off>
-void check_offsets(const std::vector<Off>& off, std::size_t n,
-                   std::size_t pool, const char* what) {
+void check_offsets(std::span<const Off> off, std::size_t n, std::size_t pool,
+                   const char* what) {
   NORS_CHECK_MSG(off.size() == n + 1, what << ": offset array size");
   NORS_CHECK_MSG(off.front() == 0, what << ": offsets must start at 0");
   for (std::size_t i = 0; i + 1 < off.size(); ++i) {
@@ -91,10 +196,37 @@ void check_offsets(const std::vector<Off>& off, std::size_t n,
 
 }  // namespace
 
+FrozenScheme::Mapping::~Mapping() {
+#if NORS_HAVE_MMAP
+  if (addr != nullptr) ::munmap(addr, len);
+#endif
+}
+
+void FrozenScheme::bind_owned() {
+  const Storage& s = *storage_;
+  level_ = s.level;
+  tree_root_ = s.tree_root;
+  tree_level_ = s.tree_level;
+  table_off_ = s.table_off;
+  tables_ = s.tables;
+  labels_ = s.labels;
+  hops_ = s.hops;
+  lights_ = s.lights;
+  trick_roots_ = s.trick_roots;
+  tricks_ = s.tricks;
+  adj_off_ = s.adj_off;
+  adj_to_ = s.adj_to;
+  adj_w_ = s.adj_w;
+  blob_off_ = s.blob_off;
+  blobs_ = s.blobs;
+}
+
 FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
   const graph::WeightedGraph& g = scheme.graph();
   NORS_CHECK_MSG(g.frozen(), "freeze() needs the CSR (frozen) graph");
   FrozenScheme f;
+  f.storage_ = std::make_unique<Storage>();
+  Storage& st = *f.storage_;
   const int n = g.n();
   const int k = scheme.params().k;
   f.n_ = n;
@@ -103,33 +235,30 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
   const auto& trees = scheme.trees();
   f.num_trees_ = static_cast<std::int32_t>(trees.size());
 
-  f.level_.resize(static_cast<std::size_t>(n));
+  st.level.resize(static_cast<std::size_t>(n));
   for (Vertex v = 0; v < n; ++v) {
-    f.level_[static_cast<std::size_t>(v)] =
+    st.level[static_cast<std::size_t>(v)] =
         static_cast<std::int32_t>(scheme.vertex_level(v));
   }
-  f.tree_root_.reserve(trees.size());
-  f.tree_level_.reserve(trees.size());
+  st.tree_root.reserve(trees.size());
+  st.tree_level.reserve(trees.size());
   for (const auto& t : trees) {
-    f.tree_root_.push_back(t.root);
-    f.tree_level_.push_back(t.level);
+    st.tree_root.push_back(t.root);
+    st.tree_level.push_back(t.level);
   }
 
-  // Member list per tree: flat cluster trees are already vertex-sorted
-  // (DESIGN.md §7), so every slab below is order-deterministic as-is.
-  std::vector<std::vector<Vertex>> members(trees.size());
-  for (std::size_t ti = 0; ti < trees.size(); ++ti) {
-    members[ti] = trees[ti].members;
-  }
+  // Flat cluster trees keep their members vertex-sorted (DESIGN.md §7),
+  // so every slab below is order-deterministic reading trees[ti].members
+  // in place.
 
-  auto put_lights = [&f](const treeroute::TzTreeScheme::Label& l,
-                         std::int32_t& off, std::int32_t& len) {
-    NORS_CHECK(f.lights_.size() < 0x7fffffff);
-    off = static_cast<std::int32_t>(f.lights_.size());
+  auto put_lights = [&st](const treeroute::TzTreeScheme::Label& l,
+                          std::int32_t& off, std::int32_t& len) {
+    NORS_CHECK(st.lights.size() < 0x7fffffff);
+    off = static_cast<std::int32_t>(st.lights.size());
     len = static_cast<std::int32_t>(l.light.size());
-    for (const auto& [v, p] : l.light) f.lights_.push_back({v, p});
+    for (const auto& [v, p] : l.light) st.lights.push_back({v, p});
   };
-  auto put_vlabel = [&f, &put_lights](
+  auto put_vlabel = [&st, &put_lights](
                         const treeroute::DistTreeScheme::VLabel& l,
                         std::int64_t& a_prime, std::int64_t& local_a,
                         std::int32_t& lloff, std::int32_t& lllen,
@@ -137,8 +266,8 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
     a_prime = l.a_prime;
     local_a = l.local.a;
     put_lights(l.local, lloff, lllen);
-    NORS_CHECK(f.hops_.size() < 0x7fffffff);
-    hoff = static_cast<std::int32_t>(f.hops_.size());
+    NORS_CHECK(st.hops.size() < 0x7fffffff);
+    hoff = static_cast<std::int32_t>(st.hops.size());
     hlen = static_cast<std::int32_t>(l.global_light.size());
     for (const auto& hop : l.global_light) {
       HopSlot h;
@@ -146,7 +275,7 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
       h.vi = hop.vi;
       h.port = hop.port;
       put_lights(hop.portal_label, h.light_off, h.light_len);
-      f.hops_.push_back(h);
+      st.hops.push_back(h);
     }
   };
 
@@ -159,7 +288,7 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
     };
     std::vector<Ref> refs;
     for (std::size_t ti = 0; ti < trees.size(); ++ti) {
-      for (Vertex v : members[ti]) {
+      for (Vertex v : trees[ti].members) {
         refs.push_back({v, static_cast<std::int32_t>(ti)});
       }
     }
@@ -167,12 +296,12 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
       return a.v != b.v ? a.v < b.v : a.ti < b.ti;
     });
     NORS_CHECK_MSG(refs.size() < 0x7fffffff, "table slab index overflow");
-    f.tables_.reserve(refs.size());
-    f.table_off_.resize(static_cast<std::size_t>(n) + 1);
+    st.tables.reserve(refs.size());
+    st.table_off.resize(static_cast<std::size_t>(n) + 1);
     std::size_t idx = 0;
     for (Vertex v = 0; v < n; ++v) {
-      f.table_off_[static_cast<std::size_t>(v)] =
-          static_cast<std::int64_t>(f.tables_.size());
+      st.table_off[static_cast<std::size_t>(v)] =
+          static_cast<std::int64_t>(st.tables.size());
       for (; idx < refs.size() && refs[idx].v == v; ++idx) {
         const auto ti = static_cast<std::size_t>(refs[idx].ti);
         const auto& info = scheme.tree_scheme(ti).info(v);
@@ -191,15 +320,15 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
         put_lights(info.heavy_portal_label, s.heavy_light_off,
                    s.heavy_light_len);
         s.up_port = info.up_port;
-        f.tables_.push_back(s);
+        st.tables.push_back(s);
       }
     }
-    f.table_off_[static_cast<std::size_t>(n)] =
-        static_cast<std::int64_t>(f.tables_.size());
+    st.table_off[static_cast<std::size_t>(n)] =
+        static_cast<std::int64_t>(st.tables.size());
   }
 
   // Destination labels, flat stride-k (mirrors the live label arena).
-  f.labels_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  st.labels.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
   for (Vertex v = 0; v < n; ++v) {
     for (int i = 0; i < k; ++i) {
       const auto& le = scheme.label_entry(v, i);
@@ -214,7 +343,7 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
         put_vlabel(le.tree_label, s.a_prime, s.local_a, s.local_light_off,
                    s.local_light_len, s.hop_off, s.hop_len);
       }
-      f.labels_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+      st.labels[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
                 static_cast<std::size_t>(i)] = s;
     }
   }
@@ -228,60 +357,62 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
       // The tree the live route() walks from this root: tree_index(root),
       // which may differ from ti if the same vertex roots several trees.
       tr.tree = static_cast<std::int32_t>(scheme.tree_index(trees[ti].root));
-      tr.off = static_cast<std::int64_t>(f.tricks_.size());
-      tr.len = static_cast<std::int64_t>(members[ti].size());
-      for (Vertex v : members[ti]) {
+      tr.off = static_cast<std::int64_t>(st.tricks.size());
+      tr.len = static_cast<std::int64_t>(trees[ti].members.size());
+      for (Vertex v : trees[ti].members) {
         TrickSlot s;
         s.dest = v;
         put_vlabel(scheme.tree_scheme(ti).label(v), s.a_prime, s.local_a,
                    s.local_light_off, s.local_light_len, s.hop_off,
                    s.hop_len);
-        f.tricks_.push_back(s);
+        st.tricks.push_back(s);
       }
-      f.trick_roots_.push_back(tr);
+      st.trick_roots.push_back(tr);
     }
-    std::sort(f.trick_roots_.begin(), f.trick_roots_.end(),
+    std::sort(st.trick_roots.begin(), st.trick_roots.end(),
               [](const TrickRoot& a, const TrickRoot& b) {
                 return a.root < b.root;
               });
-    for (std::size_t i = 0; i + 1 < f.trick_roots_.size(); ++i) {
-      NORS_CHECK_MSG(f.trick_roots_[i].root != f.trick_roots_[i + 1].root,
+    for (std::size_t i = 0; i + 1 < st.trick_roots.size(); ++i) {
+      NORS_CHECK_MSG(st.trick_roots[i].root != st.trick_roots[i + 1].root,
                      "two level-0 trees share root "
-                         << f.trick_roots_[i].root);
+                         << st.trick_roots[i].root);
     }
   }
 
   // The link map: port p of v resolves to (adj_to_, adj_w_) at
   // adj_off_[v] + p — the router's physical interfaces, snapshotted so the
   // serving walk never touches the WeightedGraph.
-  f.adj_off_.resize(static_cast<std::size_t>(n) + 1);
-  f.adj_to_.reserve(g.total_half_edges());
-  f.adj_w_.reserve(g.total_half_edges());
+  st.adj_off.resize(static_cast<std::size_t>(n) + 1);
+  st.adj_to.reserve(g.total_half_edges());
+  st.adj_w.reserve(g.total_half_edges());
   for (Vertex v = 0; v < n; ++v) {
-    f.adj_off_[static_cast<std::size_t>(v)] =
-        static_cast<std::int64_t>(f.adj_to_.size());
+    st.adj_off[static_cast<std::size_t>(v)] =
+        static_cast<std::int64_t>(st.adj_to.size());
     for (const auto& e : g.neighbors(v)) {
-      f.adj_to_.push_back(e.to);
-      f.adj_w_.push_back(e.w);
+      st.adj_to.push_back(e.to);
+      st.adj_w.push_back(e.w);
     }
   }
-  f.adj_off_[static_cast<std::size_t>(n)] =
-      static_cast<std::int64_t>(f.adj_to_.size());
+  st.adj_off[static_cast<std::size_t>(n)] =
+      static_cast<std::int64_t>(st.adj_to.size());
 
   // Packed wire-label blobs (connection-setup handouts).
-  f.blob_off_.resize(static_cast<std::size_t>(n) + 1);
+  st.blob_off.resize(static_cast<std::size_t>(n) + 1);
   util::WordWriter w;
   for (Vertex v = 0; v < n; ++v) {
-    f.blob_off_[static_cast<std::size_t>(v)] =
-        static_cast<std::int64_t>(f.blobs_.size());
+    st.blob_off[static_cast<std::size_t>(v)] =
+        static_cast<std::int64_t>(st.blobs.size());
     w.clear();
     core::encode_vertex_label(scheme, v, w);
     const auto* b = reinterpret_cast<const std::uint8_t*>(w.words().data());
-    f.blobs_.insert(f.blobs_.end(), b, b + w.word_count() * 8);
+    st.blobs.insert(st.blobs.end(), b,
+                    b + w.word_count() * core::kWireWordBytes);
   }
-  f.blob_off_[static_cast<std::size_t>(n)] =
-      static_cast<std::int64_t>(f.blobs_.size());
+  st.blob_off[static_cast<std::size_t>(n)] =
+      static_cast<std::int64_t>(st.blobs.size());
 
+  f.bind_owned();
   f.validate();
   return f;
 }
@@ -339,9 +470,13 @@ void FrozenScheme::validate() const {
                    "trick directory not sorted");
     NORS_CHECK_MSG(tr.tree >= 0 && tr.tree < num_trees_,
                    "trick tree id out of range");
+    // Overflow-safe form: tr.off + tr.len could wrap on an adversarial
+    // (checksum-forged) image, which would be UB before the range check.
     NORS_CHECK_MSG(tr.off >= 0 && tr.len >= 0 &&
-                       static_cast<std::size_t>(tr.off + tr.len) <=
-                           tricks_.size(),
+                       static_cast<std::size_t>(tr.len) <= tricks_.size() &&
+                       static_cast<std::size_t>(tr.off) <=
+                           tricks_.size() -
+                               static_cast<std::size_t>(tr.len),
                    "trick slab out of pool");
     for (std::int64_t j = tr.off; j < tr.off + tr.len; ++j) {
       const auto& ts = tricks_[static_cast<std::size_t>(j)];
@@ -359,7 +494,7 @@ void FrozenScheme::validate() const {
 
 std::vector<std::uint8_t> FrozenScheme::save() const {
   std::vector<std::uint8_t> out;
-  out.reserve(static_cast<std::size_t>(byte_size()) + 256);
+  out.reserve(static_cast<std::size_t>(byte_size()) + 512);
   put_raw(out, kMagic, sizeof(kMagic));
   put_raw(out, &kVersion, sizeof(kVersion));
   put_raw(out, &kEndianTag, sizeof(kEndianTag));
@@ -367,72 +502,57 @@ std::vector<std::uint8_t> FrozenScheme::save() const {
   put_raw(out, &k_, sizeof(k_));
   put_raw(out, &label_trick_, sizeof(label_trick_));
   put_raw(out, &num_trees_, sizeof(num_trees_));
-  put_vec(out, level_);
-  put_vec(out, tree_root_);
-  put_vec(out, tree_level_);
-  put_vec(out, table_off_);
-  put_vec(out, tables_);
-  put_vec(out, labels_);
-  put_vec(out, hops_);
-  put_vec(out, lights_);
-  put_vec(out, trick_roots_);
-  put_vec(out, tricks_);
-  put_vec(out, adj_off_);
-  put_vec(out, adj_to_);
-  put_vec(out, adj_w_);
-  put_vec(out, blob_off_);
-  put_vec(out, blobs_);
+  put_span(out, level_);
+  put_span(out, tree_root_);
+  put_span(out, tree_level_);
+  put_span(out, table_off_);
+  put_span(out, tables_);
+  put_span(out, labels_);
+  put_span(out, hops_);
+  put_span(out, lights_);
+  put_span(out, trick_roots_);
+  put_span(out, tricks_);
+  put_span(out, adj_off_);
+  put_span(out, adj_to_);
+  put_span(out, adj_w_);
+  put_span(out, blob_off_);
+  put_span(out, blobs_);
   const std::uint64_t checksum = fnv1a(out.data(), out.size());
   put_raw(out, &checksum, sizeof(checksum));
   return out;
 }
 
 FrozenScheme FrozenScheme::load(const std::vector<std::uint8_t>& bytes) {
-  NORS_CHECK_MSG(bytes.size() >= sizeof(kMagic) + 2 * sizeof(std::uint32_t) +
-                                     4 * sizeof(std::int32_t) +
-                                     sizeof(std::uint64_t),
-                 "frozen-table image too short for a header");
-  char magic[8];
-  std::uint32_t version = 0, endian = 0;
-  Cursor c(bytes.data(), bytes.size() - sizeof(std::uint64_t));
-  c.read(magic, sizeof(magic));
-  NORS_CHECK_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-                 "bad magic: not a frozen routing-table image");
-  c.read(&version, sizeof(version));
-  NORS_CHECK_MSG(version == kVersion,
-                 "unsupported frozen-table version " << version);
-  c.read(&endian, sizeof(endian));
-  NORS_CHECK_MSG(endian == kEndianTag,
-                 "endianness mismatch: image written on a foreign-endian "
-                 "machine");
-  std::uint64_t stored = 0;
-  std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(stored),
-              sizeof(stored));
-  NORS_CHECK_MSG(fnv1a(bytes.data(), bytes.size() - sizeof(stored)) == stored,
-                 "checksum mismatch: corrupt frozen-table image");
+  const std::size_t limit = check_framing(bytes.data(), bytes.size());
+  // check_framing verified the preamble (magic, version, endianness);
+  // decoding starts at the i32 header fields right after it.
+  Cursor c(bytes.data() + kPreambleBytes, limit - kPreambleBytes);
 
   FrozenScheme f;
+  f.storage_ = std::make_unique<Storage>();
+  Storage& st = *f.storage_;
   c.read(&f.n_, sizeof(f.n_));
   c.read(&f.k_, sizeof(f.k_));
   c.read(&f.label_trick_, sizeof(f.label_trick_));
   c.read(&f.num_trees_, sizeof(f.num_trees_));
-  c.read_vec(f.level_);
-  c.read_vec(f.tree_root_);
-  c.read_vec(f.tree_level_);
-  c.read_vec(f.table_off_);
-  c.read_vec(f.tables_);
-  c.read_vec(f.labels_);
-  c.read_vec(f.hops_);
-  c.read_vec(f.lights_);
-  c.read_vec(f.trick_roots_);
-  c.read_vec(f.tricks_);
-  c.read_vec(f.adj_off_);
-  c.read_vec(f.adj_to_);
-  c.read_vec(f.adj_w_);
-  c.read_vec(f.blob_off_);
-  c.read_vec(f.blobs_);
-  NORS_CHECK_MSG(c.pos() == bytes.size() - sizeof(stored),
+  c.read_vec(st.level);
+  c.read_vec(st.tree_root);
+  c.read_vec(st.tree_level);
+  c.read_vec(st.table_off);
+  c.read_vec(st.tables);
+  c.read_vec(st.labels);
+  c.read_vec(st.hops);
+  c.read_vec(st.lights);
+  c.read_vec(st.trick_roots);
+  c.read_vec(st.tricks);
+  c.read_vec(st.adj_off);
+  c.read_vec(st.adj_to);
+  c.read_vec(st.adj_w);
+  c.read_vec(st.blob_off);
+  c.read_vec(st.blobs);
+  NORS_CHECK_MSG(c.pos() == limit - kPreambleBytes,
                  "trailing bytes after the last frozen-table section");
+  f.bind_owned();
   f.validate();
   return f;
 }
@@ -458,6 +578,64 @@ FrozenScheme FrozenScheme::load_file(const std::string& path) {
   std::fclose(fp);
   NORS_CHECK_MSG(got == bytes.size(), "short read from " << path);
   return load(bytes);
+}
+
+FrozenScheme FrozenScheme::map(const std::string& path) {
+#if NORS_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  NORS_CHECK_MSG(fd >= 0, "cannot open " << path);
+  struct stat sb {};
+  if (::fstat(fd, &sb) != 0 || sb.st_size < 0) {
+    ::close(fd);
+    NORS_CHECK_MSG(false, "cannot stat " << path);
+  }
+  const auto size = static_cast<std::size_t>(sb.st_size);
+  auto mapping = std::make_unique<Mapping>();
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    NORS_CHECK_MSG(addr != MAP_FAILED, "mmap failed for " << path);
+    mapping->addr = addr;
+    mapping->len = size;
+  } else {
+    ::close(fd);
+  }
+  const std::uint8_t* p = mapping->data();
+  const std::size_t limit = check_framing(p, size);
+
+  FrozenScheme f;
+  // As in load(): the preamble was verified by check_framing, so the
+  // in-place cursor starts at the i32 header fields (absolute addresses
+  // are preserved, which the alignment checks rely on).
+  ViewCursor c(p + kPreambleBytes, limit - kPreambleBytes);
+  c.read(&f.n_, sizeof(f.n_));
+  c.read(&f.k_, sizeof(f.k_));
+  c.read(&f.label_trick_, sizeof(f.label_trick_));
+  c.read(&f.num_trees_, sizeof(f.num_trees_));
+  c.read_span(f.level_);
+  c.read_span(f.tree_root_);
+  c.read_span(f.tree_level_);
+  c.read_span(f.table_off_);
+  c.read_span(f.tables_);
+  c.read_span(f.labels_);
+  c.read_span(f.hops_);
+  c.read_span(f.lights_);
+  c.read_span(f.trick_roots_);
+  c.read_span(f.tricks_);
+  c.read_span(f.adj_off_);
+  c.read_span(f.adj_to_);
+  c.read_span(f.adj_w_);
+  c.read_span(f.blob_off_);
+  c.read_span(f.blobs_);
+  NORS_CHECK_MSG(c.pos() == limit - kPreambleBytes,
+                 "trailing bytes after the last frozen-table section");
+  f.mapping_ = std::move(mapping);
+  f.validate();
+  return f;
+#else
+  NORS_CHECK_MSG(false, "FrozenScheme::map is not supported on this "
+                        "platform; use load_file(" << path << ")");
+#endif
 }
 
 std::int64_t FrozenScheme::byte_size() const {

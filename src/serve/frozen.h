@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -43,15 +44,27 @@ struct Decision {
 /// arrival. Decisions are bit-identical to RoutingScheme::route() — pinned
 /// by test_serve.
 ///
-/// save()/load() round-trip the snapshot through a versioned little-endian
-/// binary format (magic, version, endianness tag, FNV-1a checksum; format
-/// spec in DESIGN.md §5.2), so tables built once can be reloaded and served
-/// without rebuilding; the round-trip is byte-identical.
+/// Every slab is exposed as a std::span view; the bytes behind the views
+/// are either *owned* (freeze()/load() fill heap vectors) or *mapped*
+/// (map() mmaps a saved image and serves straight from the page cache —
+/// zero-copy startup, DESIGN.md §8.2). The two load paths serve
+/// bit-identical decisions; map() falls back to nothing — callers on
+/// platforms without mmap use load_file(). FrozenScheme is move-only: the
+/// views alias its own storage, so copies are forbidden by construction.
+///
+/// save()/load()/map() share a versioned little-endian binary format
+/// (magic NORSFRZ1, version 2, endianness tag, FNV-1a checksum; every
+/// section payload starts 8-byte aligned so the image can be mapped and
+/// read in place; format spec in DESIGN.md §5.2). save→load→save is
+/// byte-identical, and so is save→map→save.
 class FrozenScheme {
  public:
   // ---------------------------------------------------------- slot PODs --
   // Every slot is padding-free (static_asserted), so the serialized image
   // is exactly the in-memory arrays and save→load→save is byte-identical.
+  // All slots have 8-byte alignment at most — the format's section
+  // alignment — so a mapped image can be read in place (static_asserted
+  // in frozen.cc next to the section writer).
 
   /// One (vertex, port) pair of a TZ light list.
   struct LightSlot {
@@ -134,6 +147,12 @@ class FrozenScheme {
 
   // --------------------------------------------------------- life cycle --
 
+  FrozenScheme() = default;
+  FrozenScheme(FrozenScheme&&) = default;
+  FrozenScheme& operator=(FrozenScheme&&) = default;
+  FrozenScheme(const FrozenScheme&) = delete;
+  FrozenScheme& operator=(const FrozenScheme&) = delete;
+
   /// Snapshots a constructed scheme (and its graph's link map) into flat
   /// slabs. The frozen scheme is self-contained: the RoutingScheme and the
   /// WeightedGraph may be destroyed afterwards.
@@ -144,6 +163,17 @@ class FrozenScheme {
   static FrozenScheme load(const std::vector<std::uint8_t>& bytes);
   void save_file(const std::string& path) const;
   static FrozenScheme load_file(const std::string& path);
+
+  /// Zero-copy load: mmaps the NORSFRZ1 image at `path` read-only,
+  /// validates the checksum against the mapped bytes, and binds every slab
+  /// view directly into the mapping — no slab copies, startup cost is one
+  /// checksum pass and the structural validate(). The mapping lives as
+  /// long as the FrozenScheme. Rejects corrupt images exactly like load().
+  static FrozenScheme map(const std::string& path);
+
+  /// True when the slabs alias an mmap'ed image rather than owned heap
+  /// vectors (inspection/bench reporting only — serving is identical).
+  bool is_mapped() const { return mapping_ != nullptr; }
 
   // ------------------------------------------------------------ serving --
 
@@ -212,7 +242,7 @@ class FrozenScheme {
   int vertex_level(graph::Vertex v) const {
     return level_[static_cast<std::size_t>(v)];
   }
-  const std::vector<TableSlot>& tables() const { return tables_; }
+  std::span<const TableSlot> tables() const { return tables_; }
 
   /// v's packed wire label (core::encode_vertex_label bytes) — what the
   /// serving layer hands to a peer at connection setup.
@@ -298,29 +328,72 @@ class FrozenScheme {
   }
 
   /// Structural sanity of all offsets/ranges; throws on violation. Run
-  /// after freeze() (cheap self-check) and after load() (so a corrupt but
-  /// checksum-valid image can never cause out-of-bounds serving reads).
+  /// after freeze() (cheap self-check) and after load()/map() (so a
+  /// corrupt but checksum-valid image can never cause out-of-bounds
+  /// serving reads).
   void validate() const;
+
+  /// Heap storage behind the views on the owning paths (freeze, load).
+  /// Held by pointer so moving the FrozenScheme never relocates the
+  /// vectors the spans alias.
+  struct Storage {
+    std::vector<std::int32_t> level;
+    std::vector<std::int32_t> tree_root;
+    std::vector<std::int32_t> tree_level;
+    std::vector<std::int64_t> table_off;
+    std::vector<TableSlot> tables;
+    std::vector<LabelSlot> labels;
+    std::vector<HopSlot> hops;
+    std::vector<LightSlot> lights;
+    std::vector<TrickRoot> trick_roots;
+    std::vector<TrickSlot> tricks;
+    std::vector<std::int64_t> adj_off;
+    std::vector<std::int32_t> adj_to;
+    std::vector<std::int64_t> adj_w;
+    std::vector<std::int64_t> blob_off;
+    std::vector<std::uint8_t> blobs;
+  };
+
+  /// RAII read-only mmap of a saved image (the map() path).
+  struct Mapping {
+    Mapping() = default;
+    Mapping(const Mapping&) = delete;
+    Mapping& operator=(const Mapping&) = delete;
+    ~Mapping();
+    const std::uint8_t* data() const {
+      return static_cast<const std::uint8_t*>(addr);
+    }
+    void* addr = nullptr;
+    std::size_t len = 0;
+  };
+
+  /// Points every span at the owned vectors.
+  void bind_owned();
 
   std::int32_t n_ = 0;
   std::int32_t k_ = 0;
   std::int32_t label_trick_ = 0;
   std::int32_t num_trees_ = 0;
-  std::vector<std::int32_t> level_;       // [n] hierarchy level per vertex
-  std::vector<std::int32_t> tree_root_;   // [num_trees]
-  std::vector<std::int32_t> tree_level_;  // [num_trees]
-  std::vector<std::int64_t> table_off_;   // [n+1] slab bounds into tables_
-  std::vector<TableSlot> tables_;         // tree-sorted within each slab
-  std::vector<LabelSlot> labels_;         // [n*k], stride k
-  std::vector<HopSlot> hops_;             // global-hop pool
-  std::vector<LightSlot> lights_;         // light-list pool
-  std::vector<TrickRoot> trick_roots_;    // sorted by root
-  std::vector<TrickSlot> tricks_;         // per root: sorted by dest
-  std::vector<std::int64_t> adj_off_;     // [n+1] link-map offsets
-  std::vector<std::int32_t> adj_to_;      // neighbor behind (v, port)
-  std::vector<std::int64_t> adj_w_;       // weight of that link
-  std::vector<std::int64_t> blob_off_;    // [n+1] byte offsets into blobs_
-  std::vector<std::uint8_t> blobs_;       // packed wire labels
+
+  // Slab views — into storage_ (owning paths) or mapping_ (map()).
+  std::span<const std::int32_t> level_;       // [n] hierarchy level
+  std::span<const std::int32_t> tree_root_;   // [num_trees]
+  std::span<const std::int32_t> tree_level_;  // [num_trees]
+  std::span<const std::int64_t> table_off_;   // [n+1] bounds into tables_
+  std::span<const TableSlot> tables_;         // tree-sorted within each slab
+  std::span<const LabelSlot> labels_;         // [n*k], stride k
+  std::span<const HopSlot> hops_;             // global-hop pool
+  std::span<const LightSlot> lights_;         // light-list pool
+  std::span<const TrickRoot> trick_roots_;    // sorted by root
+  std::span<const TrickSlot> tricks_;         // per root: sorted by dest
+  std::span<const std::int64_t> adj_off_;     // [n+1] link-map offsets
+  std::span<const std::int32_t> adj_to_;      // neighbor behind (v, port)
+  std::span<const std::int64_t> adj_w_;       // weight of that link
+  std::span<const std::int64_t> blob_off_;    // [n+1] byte offsets
+  std::span<const std::uint8_t> blobs_;       // packed wire labels
+
+  std::unique_ptr<Storage> storage_;  // owning paths; null when mapped
+  std::unique_ptr<Mapping> mapping_;  // map() path; null when owned
 };
 
 template <typename TableLookup>

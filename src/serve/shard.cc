@@ -1,0 +1,243 @@
+#include "serve/shard.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "serve/table_cache.h"
+#include "util/latency.h"
+#include "util/queue.h"
+
+namespace nors::serve {
+
+/// Shared completion state of one submitted batch. Workers hold it via
+/// shared_ptr (through their Task copies), so it outlives the ticket even
+/// if the caller drops the Batch without waiting.
+struct ShardedRouteServer::Batch::State {
+  explicit State(std::size_t total) : remaining(total) {}
+  std::atomic<std::size_t> remaining;
+  std::mutex m;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first worker failure; guarded by m
+  // Per-shard query indices (positions into the caller's arrays). Owned
+  // here so the index lists live exactly as long as the slowest worker
+  // needs them.
+  std::vector<std::vector<std::uint32_t>> idx;
+};
+
+/// One enqueued sub-batch: the slice of a submit() owned by one shard.
+struct ShardedRouteServer::Task {
+  std::shared_ptr<Batch::State> state;
+  const Query* queries = nullptr;
+  Decision* out = nullptr;
+  const std::vector<std::uint32_t>* idx = nullptr;  // into state->idx
+};
+
+struct ShardedRouteServer::Shard {
+  graph::Vertex lo = 0, hi = 0;  // owned source-vertex range [lo, hi)
+  util::BatchQueue<Task> queue;
+  std::atomic<std::int64_t> queries{0};
+  std::atomic<std::int64_t> batches{0};
+  std::atomic<std::int64_t> hops{0};
+  std::atomic<std::int64_t> cache_hits{0};
+  std::atomic<std::int64_t> cache_misses{0};
+  util::LatencyHistogram latency;
+  std::thread thread;
+};
+
+void ShardedRouteServer::Batch::wait() {
+  if (!state_) return;
+  std::unique_lock<std::mutex> lk(state_->m);
+  state_->cv.wait(lk, [this] {
+    return state_->remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (state_->error) {
+    // Keep the error: every wait() on a failed batch must throw, or a
+    // second waiter holding a copy of the ticket would read out[] slots
+    // the aborted worker never wrote.
+    std::rethrow_exception(state_->error);
+  }
+}
+
+bool ShardedRouteServer::Batch::done() const {
+  return !state_ ||
+         state_->remaining.load(std::memory_order_acquire) == 0;
+}
+
+ShardedRouteServer::ShardedRouteServer(const FrozenScheme& fs,
+                                       ShardedOptions opt)
+    : fs_(&fs), opt_(opt) {
+  NORS_CHECK_MSG(opt_.shards >= 1, "ShardedRouteServer needs >= 1 shard");
+  NORS_CHECK(opt_.cache_entries >= 0);
+  const int n = fs.n();
+  const int k = std::max(1, std::min(opt_.shards, std::max(1, n)));
+  opt_.shards = k;
+  span_ = static_cast<std::size_t>(
+      (std::max(1, n) + k - 1) / k);
+  shards_.reserve(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->lo = static_cast<graph::Vertex>(
+        std::min<std::size_t>(static_cast<std::size_t>(s) * span_,
+                              static_cast<std::size_t>(n)));
+    sh->hi = s + 1 == k
+                 ? static_cast<graph::Vertex>(n)
+                 : static_cast<graph::Vertex>(std::min<std::size_t>(
+                       static_cast<std::size_t>(s + 1) * span_,
+                       static_cast<std::size_t>(n)));
+    shards_.push_back(std::move(sh));
+  }
+  for (auto& sh : shards_) {
+    sh->thread = std::thread([this, &s = *sh] { worker(s); });
+  }
+}
+
+ShardedRouteServer::~ShardedRouteServer() {
+  // close() lets workers drain queued batches before exiting, so tickets
+  // still in flight complete; destroying the server before wait()ing on
+  // outstanding batches is nevertheless a caller bug (out may dangle).
+  for (auto& sh : shards_) sh->queue.close();
+  for (auto& sh : shards_) {
+    if (sh->thread.joinable()) sh->thread.join();
+  }
+}
+
+void ShardedRouteServer::worker(Shard& s) {
+  using clock = std::chrono::steady_clock;
+  TableCache cache(*fs_, opt_.cache_entries);
+  const bool cached = opt_.cache_entries > 0;
+  std::int64_t hits = 0, misses = 0;
+  auto lookup = [&](graph::Vertex x, std::int32_t tree) {
+    return cache.lookup(x, tree, hits, misses);
+  };
+  // Latency is sampled 1-in-kLatencyStride rather than per query: two
+  // clock reads per decision would cost a measurable slice of a ~µs route
+  // and distort the very throughput the shards exist to scale, while the
+  // log-bucket histogram loses nothing statistically at this volume.
+  constexpr std::uint64_t kLatencyStride = 8;
+  std::uint64_t tick = 0;
+  Task t;
+  while (s.queue.pop(t)) {
+    const std::size_t batch_queries = t.idx->size();
+    std::int64_t done = 0, hops = 0;
+    try {
+      for (const std::uint32_t i : *t.idx) {
+        const bool timed = tick++ % kLatencyStride == 0;
+        const auto t0 = timed ? clock::now() : clock::time_point{};
+        const Query& q = t.queries[i];
+        t.out[i] = cached ? fs_->route_with(q.u, q.v, lookup, nullptr)
+                          : fs_->route(q.u, q.v);
+        hops += t.out[i].hops;
+        ++done;
+        if (timed) {
+          s.latency.record_ns(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  clock::now() - t0)
+                  .count());
+        }
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(t.state->m);
+      if (!t.state->error) t.state->error = std::current_exception();
+    }
+    s.queries.fetch_add(done, std::memory_order_relaxed);
+    s.hops.fetch_add(hops, std::memory_order_relaxed);
+    s.batches.fetch_add(1, std::memory_order_relaxed);
+    if (cached) {
+      s.cache_hits.fetch_add(hits, std::memory_order_relaxed);
+      s.cache_misses.fetch_add(misses, std::memory_order_relaxed);
+      hits = misses = 0;
+    }
+    // Credit the whole sub-batch (answered or aborted by the exception);
+    // the last task over the finish line wakes the waiters. notify under
+    // the mutex so the State can't be destroyed mid-notify — the Task's
+    // shared_ptr keeps it alive until this scope ends.
+    if (t.state->remaining.fetch_sub(batch_queries,
+                                     std::memory_order_acq_rel) ==
+        batch_queries) {
+      std::lock_guard<std::mutex> lk(t.state->m);
+      t.state->cv.notify_all();
+    }
+    t = Task{};  // release the State before blocking on the next pop
+  }
+}
+
+ShardedRouteServer::Batch ShardedRouteServer::submit(const Query* queries,
+                                                     std::size_t count,
+                                                     Decision* out) {
+  auto state = std::make_shared<Batch::State>(count);
+  Batch ticket;
+  ticket.state_ = state;
+  if (count == 0) return ticket;
+  NORS_CHECK_MSG(queries != nullptr && out != nullptr,
+                 "submit() needs query and output arrays");
+  // Index lists are u32; a larger batch would wrap and silently corrupt
+  // the answer placement, so refuse it loudly (split the batch instead).
+  NORS_CHECK_MSG(count <= 0xffffffffull,
+                 "batch too large: split submissions beyond 2^32 queries");
+  state->idx.resize(shards_.size());
+  for (auto& v : state->idx) {
+    v.reserve(count / shards_.size() + 1);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    // Dispatch by source vertex. Out-of-range sources still go to *some*
+    // shard (negative ones — including the kNoVertex sentinel — to shard
+    // 0, too-large ones clamped to the last shard), so the worker raises
+    // the same error the direct route() call would.
+    const graph::Vertex u = queries[i].u;
+    const int s = u < 0 ? 0 : shard_of(u);
+    state->idx[static_cast<std::size_t>(s)].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (state->idx[s].empty()) continue;
+    shards_[s]->queue.push(Task{state, queries, out, &state->idx[s]});
+  }
+  return ticket;
+}
+
+void ShardedRouteServer::serve(const Query* queries, std::size_t count,
+                               Decision* out) {
+  submit(queries, count, out).wait();
+}
+
+void ShardedRouteServer::serve(const std::vector<Query>& queries,
+                               std::vector<Decision>& out) {
+  out.resize(queries.size());
+  serve(queries.data(), queries.size(), out.data());
+}
+
+ShardStats ShardedRouteServer::shard_stats(int shard) const {
+  NORS_CHECK(shard >= 0 && shard < shards());
+  const Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  ShardStats st;
+  st.queries = s.queries.load(std::memory_order_relaxed);
+  st.batches = s.batches.load(std::memory_order_relaxed);
+  st.hops = s.hops.load(std::memory_order_relaxed);
+  st.cache_hits = s.cache_hits.load(std::memory_order_relaxed);
+  st.cache_misses = s.cache_misses.load(std::memory_order_relaxed);
+  st.p50_us = s.latency.quantile_us(0.5);
+  st.p99_us = s.latency.quantile_us(0.99);
+  return st;
+}
+
+ShardStats ShardedRouteServer::totals() const {
+  ShardStats t;
+  util::LatencyHistogram::Counts merged{};
+  for (const auto& sh : shards_) {
+    t.queries += sh->queries.load(std::memory_order_relaxed);
+    t.batches += sh->batches.load(std::memory_order_relaxed);
+    t.hops += sh->hops.load(std::memory_order_relaxed);
+    t.cache_hits += sh->cache_hits.load(std::memory_order_relaxed);
+    t.cache_misses += sh->cache_misses.load(std::memory_order_relaxed);
+    const auto c = sh->latency.snapshot();
+    for (std::size_t b = 0; b < c.size(); ++b) merged[b] += c[b];
+  }
+  t.p50_us = util::LatencyHistogram::quantile_us(merged, 0.5);
+  t.p99_us = util::LatencyHistogram::quantile_us(merged, 0.99);
+  return t;
+}
+
+}  // namespace nors::serve

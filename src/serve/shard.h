@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/frozen.h"
+#include "serve/server.h"
+
+namespace nors::serve {
+
+struct ShardedOptions {
+  /// Number of shards K; each shard owns a contiguous vertex range
+  /// (queries are dispatched by source vertex) and one worker thread.
+  /// Clamped to [1, n].
+  int shards = 1;
+
+  /// Per-shard-worker entries of the (vertex, tree) → table-slot cache
+  /// (serve/table_cache.h; 0 disables). Shard workers are long-lived, so
+  /// unlike RouteServer's per-call caches these stay warm across batches.
+  int cache_entries = 0;
+};
+
+/// Everything one shard has counted since construction. p50/p99 come from
+/// a log-bucketed latency histogram (util/latency.h) over a 1-in-8 sample
+/// of queries (per-query clocking would tax the hot path) — estimates
+/// with sub-bucket resolution, not exact order statistics.
+struct ShardStats {
+  std::int64_t queries = 0;
+  std::int64_t batches = 0;      // sub-batches executed
+  std::int64_t hops = 0;         // next-hop decisions evaluated
+  std::int64_t cache_hits = 0;   // 0 unless cache_entries > 0
+  std::int64_t cache_misses = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// Horizontally sharded serving front-end over one FrozenScheme
+/// (DESIGN.md §8). The vertex space is partitioned into K contiguous
+/// ranges; shard s serves the queries whose *source* falls in its range,
+/// reading the shared frozen image (owned or mmap'ed — shards never copy
+/// slab data, they slice the query stream, not the tables). Each shard
+/// runs one long-lived worker thread fed by a lock-light batch queue, so
+/// aggregate throughput scales with shards on multi-core hardware while
+/// each worker's cache stays hot on its own vertex range.
+///
+/// submit() is async: it partitions a batch by shard, enqueues one task
+/// per shard, and returns a Batch ticket; wait() blocks until every query
+/// is answered. Responses land at out[i] for queries[i] — callers always
+/// see submission order, regardless of shard interleaving (the "response
+/// reordering" is positional: workers write answers straight into the
+/// caller's slots). Answers are bit-identical to FrozenScheme::route()
+/// for any shard count (test_serve pins this).
+///
+/// The caller must keep `queries` and `out` alive and untouched until
+/// wait() returns. Worker exceptions (bad query, corrupt state) are
+/// captured and rethrown by wait() on the submitting thread; the batch
+/// still completes its accounting, so the server stays usable.
+class ShardedRouteServer {
+ public:
+  explicit ShardedRouteServer(const FrozenScheme& fs,
+                              ShardedOptions opt = {});
+  ~ShardedRouteServer();
+  ShardedRouteServer(const ShardedRouteServer&) = delete;
+  ShardedRouteServer& operator=(const ShardedRouteServer&) = delete;
+
+  /// Completion ticket of one submit(). Copyable (shared state); a
+  /// default-constructed Batch is already done.
+  class Batch {
+   public:
+    Batch() = default;
+
+    /// Blocks until every query of the batch is answered, then rethrows
+    /// the first worker exception, if any. May be called repeatedly and
+    /// from several holders of the ticket: a failed batch throws on every
+    /// wait(), so no holder can mistake aborted output for answers.
+    void wait();
+
+    /// True when every query has been answered (non-blocking).
+    bool done() const;
+
+   private:
+    friend class ShardedRouteServer;
+    struct State;
+    std::shared_ptr<State> state_;
+  };
+
+  /// Async: dispatch the batch across shard queues and return immediately.
+  Batch submit(const Query* queries, std::size_t count, Decision* out);
+
+  /// Blocking convenience: submit + wait.
+  void serve(const Query* queries, std::size_t count, Decision* out);
+  void serve(const std::vector<Query>& queries, std::vector<Decision>& out);
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+  /// The shard whose vertex range contains u (valid u only).
+  int shard_of(graph::Vertex u) const {
+    const auto s = static_cast<std::size_t>(u) / span_;
+    return static_cast<int>(
+        s < shards_.size() ? s : shards_.size() - 1);
+  }
+
+  ShardStats shard_stats(int shard) const;
+
+  /// Counters summed across shards; p50/p99 over the merged histograms.
+  ShardStats totals() const;
+
+  const FrozenScheme& frozen() const { return *fs_; }
+  const ShardedOptions& options() const { return opt_; }
+
+ private:
+  struct Task;
+  struct Shard;
+  void worker(Shard& s);
+
+  const FrozenScheme* fs_;
+  ShardedOptions opt_;
+  std::size_t span_ = 1;  // vertices per shard (last shard takes the rest)
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace nors::serve

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/frozen.h"
+
+namespace nors::serve {
+
+/// Two-way set-associative LRU cache for (vertex, tree) → table-slot index
+/// — the slab binary search is the serving walk's only non-constant step,
+/// and hot cluster trees (the top-level trees contain all of V) resolve in
+/// one probe once cached. Owned per worker (RouteServer chunk threads,
+/// ShardedRouteServer shard workers): the frozen scheme stays untouched
+/// and shared read-only. A set's way 0 is the most recently used; a hit in
+/// way 1 swaps the ways. Caching is transparent: a cached "not a member"
+/// (idx -1) answers exactly like FrozenScheme::table_index().
+class TableCache {
+ public:
+  TableCache(const FrozenScheme& fs, int entries) : fs_(&fs) {
+    int sets = 1;
+    while (2 * sets < entries) sets *= 2;
+    mask_ = static_cast<std::uint64_t>(sets) - 1;
+    slots_.assign(static_cast<std::size_t>(sets) * 2, {kEmpty, -1});
+  }
+
+  const FrozenScheme::TableSlot* lookup(graph::Vertex x, std::int32_t tree,
+                                        std::int64_t& hits,
+                                        std::int64_t& misses) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32) |
+        static_cast<std::uint32_t>(tree);
+    // Fibonacci hash of the packed key picks the set.
+    const std::size_t set =
+        static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ull) >> 32 & mask_)
+        * 2;
+    Entry& e0 = slots_[set];
+    Entry& e1 = slots_[set + 1];
+    if (e0.key == key) {
+      ++hits;
+      return slot_ptr(e0.idx);
+    }
+    if (e1.key == key) {
+      ++hits;
+      std::swap(e0, e1);  // promote to MRU
+      return slot_ptr(e0.idx);
+    }
+    ++misses;
+    const std::int32_t idx = fs_->table_index(x, tree);
+    e1 = e0;  // old MRU becomes LRU, old LRU is evicted
+    e0 = {key, idx};
+    return slot_ptr(idx);
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~0ull;
+
+  struct Entry {
+    std::uint64_t key;
+    std::int32_t idx;  // -1 = cached "not a member"
+  };
+
+  const FrozenScheme::TableSlot* slot_ptr(std::int32_t idx) const {
+    return idx < 0 ? nullptr
+                   : fs_->tables().data() + static_cast<std::size_t>(idx);
+  }
+
+  const FrozenScheme* fs_;
+  std::uint64_t mask_;
+  std::vector<Entry> slots_;
+};
+
+}  // namespace nors::serve

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace nors::util {
+
+/// Fixed-footprint latency recorder: log₂-bucketed counts over nanosecond
+/// samples (bucket b covers [2^(b-1), 2^b) ns), with linear interpolation
+/// inside the quantile bucket. One writer per instance (a shard worker)
+/// records with a relaxed atomic increment — ~no overhead on the serving
+/// path and no allocation, ever; readers may snapshot from any thread.
+/// Quantiles are estimates with sub-bucket (≪2×) resolution — the right
+/// tool for p50/p99 stat counters, not for microbenchmark timing.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 48;  // 2^47 ns ≈ 39 h: saturating top
+  using Counts = std::array<std::int64_t, kBuckets>;
+
+  void record_ns(std::int64_t ns) {
+    int b = ns <= 0 ? 0
+                    : std::bit_width(static_cast<std::uint64_t>(ns));
+    if (b >= kBuckets) b = kBuckets - 1;
+    counts_[static_cast<std::size_t>(b)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  Counts snapshot() const {
+    Counts c{};
+    for (int b = 0; b < kBuckets; ++b) {
+      c[static_cast<std::size_t>(b)] =
+          counts_[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+    }
+    return c;
+  }
+
+  double quantile_us(double q) const { return quantile_us(snapshot(), q); }
+
+  /// Quantile over a (possibly merged) snapshot, in microseconds; 0 when
+  /// empty. q is clamped to [0, 1].
+  static double quantile_us(const Counts& c, double q) {
+    std::int64_t total = 0;
+    for (const auto x : c) total += x;
+    if (total == 0) return 0.0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    // The sample with (1-based) rank ceil(q * total), walked bucket by
+    // bucket; inside the bucket, interpolate by rank fraction.
+    const double target = q * static_cast<double>(total);
+    std::int64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      const std::int64_t in_bucket = c[static_cast<std::size_t>(b)];
+      if (in_bucket == 0) continue;
+      if (static_cast<double>(seen + in_bucket) >= target) {
+        const double lo_ns = b == 0 ? 0.0 : static_cast<double>(1ll << (b - 1));
+        const double hi_ns = b == 0 ? 1.0 : static_cast<double>(2ll << (b - 1));
+        const double frac =
+            (target - static_cast<double>(seen)) /
+            static_cast<double>(in_bucket);
+        return (lo_ns + (hi_ns - lo_ns) * frac) / 1000.0;
+      }
+      seen += in_bucket;
+    }
+    return static_cast<double>(1ll << (kBuckets - 1)) / 1000.0;
+  }
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> counts_{};
+};
+
+}  // namespace nors::util

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace nors::util {
+
+/// Blocking multi-producer work queue for the sharded serving front-end.
+/// Lock-light by design: items are whole sub-batch descriptors, so the
+/// mutex is taken once per batch (not per query) and every critical
+/// section is an O(1) deque move. pop() blocks until an item arrives or
+/// close() is called; after close() the consumer drains the remaining
+/// items and then pop() returns false — no submitted work is dropped on
+/// shutdown.
+template <typename T>
+class BatchQueue {
+ public:
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      NORS_CHECK_MSG(!closed_, "push to a closed BatchQueue");
+      q_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks for the next item. Returns false once the queue is closed and
+  /// fully drained.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [this] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace nors::util

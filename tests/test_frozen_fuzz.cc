@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "serve/frozen.h"
+
+// Property/fuzz hardening pass over the NORSFRZ1 frozen-table format: take
+// valid images, corrupt them (single-bit flips, truncations, multi-byte
+// splats, garbage tails), and assert every corruption is rejected with a
+// clean std::logic_error — never a crash, hang, or out-of-bounds read.
+// CI runs this binary under ASan+UBSan, so "no UB" is machine-checked,
+// not asserted. Both decode paths are covered: the owning load() and the
+// zero-copy mmap path (map()), which parses the image in place and must
+// therefore be exactly as strict.
+
+namespace nors {
+namespace {
+
+std::vector<std::uint8_t> make_image(int n, int k, bool label_trick,
+                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto g = graph::connected_gnm(
+      n, 3LL * n, graph::WeightSpec::uniform(1, 16), rng);
+  core::SchemeParams p;
+  p.k = k;
+  p.seed = seed + 1;
+  p.label_trick = label_trick;
+  return serve::FrozenScheme::freeze(core::RoutingScheme::build(g, p)).save();
+}
+
+/// Writes bytes to a temp file, expects map() to reject them, cleans up.
+void expect_map_rejects(const std::vector<std::uint8_t>& bytes,
+                        const char* what) {
+  const std::string path = ::testing::TempDir() + "/nors_fuzz_map.bin";
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(fp, nullptr);
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), fp), bytes.size());
+  }
+  std::fclose(fp);
+  EXPECT_THROW(serve::FrozenScheme::map(path), std::logic_error) << what;
+  std::remove(path.c_str());
+}
+
+class FrozenFuzz : public ::testing::Test {
+ protected:
+  // One modest image per fixture instantiation; the per-test loops below
+  // drive hundreds of corruptions against it. A second image with
+  // different shape parameters guards against "rejection only works for
+  // one layout" bugs.
+  static const std::vector<std::uint8_t>& image() {
+    static const std::vector<std::uint8_t> img =
+        make_image(70, 2, /*label_trick=*/true, 7001);
+    return img;
+  }
+  static const std::vector<std::uint8_t>& image2() {
+    static const std::vector<std::uint8_t> img =
+        make_image(90, 3, /*label_trick=*/false, 7002);
+    return img;
+  }
+};
+
+TEST_F(FrozenFuzz, PristineImagesLoadOnBothPaths) {
+  for (const auto* img : {&image(), &image2()}) {
+    EXPECT_NO_THROW(serve::FrozenScheme::load(*img));
+    const std::string path = ::testing::TempDir() + "/nors_fuzz_ok.bin";
+    std::FILE* fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    ASSERT_EQ(std::fwrite(img->data(), 1, img->size(), fp), img->size());
+    std::fclose(fp);
+    EXPECT_NO_THROW(serve::FrozenScheme::map(path));
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(FrozenFuzz, EverySingleBitFlipIsRejected) {
+  // Random positions across many seeds; the trailing-checksum bytes are
+  // included on purpose (a flipped checksum must mismatch the payload).
+  const auto& bytes = image();
+  util::Rng rng(424242);
+  int mapped_probes = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    auto bad = bytes;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(static_cast<std::uint64_t>(bytes.size())));
+    const auto bit = static_cast<int>(rng.uniform(8));
+    bad[pos] ^= static_cast<std::uint8_t>(1u << bit);
+    EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error)
+        << "bit " << bit << " at byte " << pos << " slipped through";
+    // The mmap path must reject identically; probing a subset keeps the
+    // test fast (file round-trip per probe).
+    if (trial % 16 == 0) {
+      expect_map_rejects(bad, "mapped bit flip");
+      ++mapped_probes;
+    }
+  }
+  EXPECT_GE(mapped_probes, 25);
+}
+
+TEST_F(FrozenFuzz, EverySingleBitFlipIsRejectedOnSecondLayout) {
+  const auto& bytes = image2();
+  util::Rng rng(434343);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bad = bytes;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(static_cast<std::uint64_t>(bytes.size())));
+    bad[pos] ^= static_cast<std::uint8_t>(
+        1u << static_cast<int>(rng.uniform(8)));
+    EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error)
+        << "byte " << pos;
+  }
+}
+
+TEST_F(FrozenFuzz, EveryTruncationIsRejected) {
+  const auto& bytes = image();
+  util::Rng rng(555555);
+  // Deterministic short prefixes (0..64 walks the whole header region
+  // byte by byte), then random cuts across the payload.
+  for (std::size_t len = 0; len < 64 && len < bytes.size(); ++len) {
+    const std::vector<std::uint8_t> bad(bytes.begin(),
+                                        bytes.begin() +
+                                            static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error)
+        << "prefix " << len;
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto len = static_cast<std::size_t>(
+        rng.uniform(static_cast<std::uint64_t>(bytes.size())));
+    const std::vector<std::uint8_t> bad(bytes.begin(),
+                                        bytes.begin() +
+                                            static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error)
+        << "cut at " << len;
+    if (trial % 16 == 0) expect_map_rejects(bad, "mapped truncation");
+  }
+  expect_map_rejects({}, "empty file");
+}
+
+TEST_F(FrozenFuzz, MultiByteSplatsAreRejected) {
+  // Overwrite a random 8-byte window with random bytes — the shape of a
+  // corrupted section length or a forged offset. The checksum catches it
+  // before any length is believed; this test pins that ordering (no
+  // allocation-of-2^60-elements on the way to the rejection).
+  const auto& bytes = image();
+  util::Rng rng(777777);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bad = bytes;
+    const auto pos = static_cast<std::size_t>(rng.uniform(
+        static_cast<std::uint64_t>(bytes.size() - 8)));
+    bool changed = false;
+    for (int j = 0; j < 8; ++j) {
+      const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+      changed |= bad[pos + static_cast<std::size_t>(j)] != b;
+      bad[pos + static_cast<std::size_t>(j)] = b;
+    }
+    if (!changed) continue;
+    EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error)
+        << "splat at " << pos;
+    if (trial % 16 == 0) expect_map_rejects(bad, "mapped splat");
+  }
+}
+
+TEST_F(FrozenFuzz, GarbageTailsAndForeignFilesAreRejected) {
+  const auto& bytes = image();
+  util::Rng rng(888888);
+
+  // Appended garbage breaks the framing even when the prefix is intact.
+  for (const std::size_t extra : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}}) {
+    auto bad = bytes;
+    for (std::size_t i = 0; i < extra; ++i) {
+      bad.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+    }
+    EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error)
+        << "tail of " << extra;
+  }
+
+  // Pure noise of various sizes — not even a magic number.
+  for (const std::size_t len : {std::size_t{16}, std::size_t{100},
+                                std::size_t{4096}}) {
+    std::vector<std::uint8_t> noise(len);
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng.uniform(256));
+    EXPECT_THROW(serve::FrozenScheme::load(noise), std::logic_error)
+        << "noise of " << len;
+    expect_map_rejects(noise, "mapped noise");
+  }
+
+  // Noise that *starts* with a valid header prefix but decays into junk.
+  {
+    auto bad = bytes;
+    for (std::size_t i = 48; i < bad.size(); ++i) {
+      bad[i] = static_cast<std::uint8_t>(rng.uniform(256));
+    }
+    EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error);
+    expect_map_rejects(bad, "mapped junk body");
+  }
+}
+
+TEST_F(FrozenFuzz, RejectionsLeaveNoPartiallyConstructedState) {
+  // A rejected image must not poison later loads — decode into fresh
+  // state each time (regression guard for static/global scratch).
+  const auto& bytes = image();
+  auto bad = bytes;
+  bad[bytes.size() / 3] ^= 0x10;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error);
+    const auto ok = serve::FrozenScheme::load(bytes);
+    EXPECT_EQ(ok.save(), bytes);
+  }
+}
+
+}  // namespace
+}  // namespace nors
