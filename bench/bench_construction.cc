@@ -1,20 +1,29 @@
-// Construction-pipeline scaling bench (DESIGN.md §7): wall-clock and peak
-// RSS of the full RoutingScheme::build at k=3 on the workhorse G(n, 3n)
-// workload, n = 2^12 .. 2^16, serial vs thread-pooled rows. The threaded
-// rows must report bit-identical round counts — the pool only moves
-// wall-clock (the determinism suite enforces the same for tables, labels
-// and ledgers). Results land in BENCH_construction.json; the committed
-// snapshot lives in bench/results/ (schema: bench/results/README.md).
+// Construction-pipeline scaling bench (DESIGN.md §7/§9): wall-clock, peak
+// RSS and arena-pool traffic of the full RoutingScheme::build at k=3 on the
+// workhorse G(n, 3n) workload, n = 2^12 .. 2^16, serial vs thread-pooled
+// rows. The threaded rows must report bit-identical round counts — the pool
+// only moves wall-clock (the determinism suite enforces the same for
+// tables, labels and ledgers). Results land in BENCH_construction.json; the
+// committed snapshot lives in bench/results/ (schema:
+// bench/results/README.md).
 //
-// NORS_BENCH_N caps the largest n for smoke runs (e.g. CI sets 4096);
+// NORS_BENCH_N caps the largest n for smoke runs (e.g. CI sets 8192);
 // NORS_BENCH_THREADS overrides the threaded row's pool size (default 8).
+// Note resolve_threads clamps pools to the hardware concurrency, so on a
+// 1-core container the pooled row runs serial — the recorded hw_threads
+// makes that interpretable in committed snapshots.
 
 #include <sys/resource.h>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include <thread>
 
 #include "common.h"
 #include "core/scheme.h"
+#include "util/arena.h"
 
 namespace {
 
@@ -38,26 +47,42 @@ int threaded_pool_size() {
 
 int main() {
   bench::print_header("BENCH construction",
-                      "scheme_build wall-clock + peak RSS, serial vs "
-                      "thread-pooled (k=3, G(n, 3n), w in [1,32])");
+                      "scheme_build wall-clock + peak RSS + arena traffic, "
+                      "serial vs thread-pooled (k=3, G(n, 3n), w in [1,32])");
   bench::JsonReport report("construction");
-  util::TextTable table(
-      {"n", "threads", "wall_s", "rounds", "trees", "peak_rss_mb"});
+  util::TextTable table({"n", "threads", "wall_s", "rounds", "trees",
+                         "peak_rss_mb", "alloc_mb", "arena_reuse_pct"});
 
   const int max_n = bench::env_n(1 << 16);
   const int pool = threaded_pool_size();
+  const int hw_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
   for (int n = 1 << 12; n <= max_n; n *= 2) {
     const auto g = bench::bench_graph(n, 911);
     std::int64_t serial_rounds = 0;
     for (const int threads : {1, pool}) {
+      {
       core::SchemeParams p;
       p.k = 3;
       p.seed = 7;
       p.threads = threads;
+      const util::ArenaStats pool_before = util::SlabPool::global().stats();
       const bench::WallTimer t;
       const auto s = core::RoutingScheme::build(g, p);
       const double wall = t.seconds();
       const double rss = peak_rss_mb();
+      const util::ArenaStats pool_after = util::SlabPool::global().stats();
+      // Fresh OS memory the arena pool mapped during this row, and the
+      // fraction of slab bytes it served by recycling instead (the delta
+      // snapshot scoped to this row — util/arena.h).
+      util::ArenaStats row_stats;
+      row_stats.bytes_reused =
+          pool_after.bytes_reused - pool_before.bytes_reused;
+      row_stats.bytes_mapped =
+          pool_after.bytes_mapped - pool_before.bytes_mapped;
+      const double alloc_mb =
+          static_cast<double>(row_stats.bytes_mapped) / (1024.0 * 1024.0);
+      const double reuse_pct = row_stats.reuse_pct();
       if (threads == 1) {
         serial_rounds = s.total_rounds();
       } else {
@@ -71,16 +96,29 @@ int main() {
                      util::TextTable::fmt(s.total_rounds()),
                      util::TextTable::fmt(
                          static_cast<std::int64_t>(s.trees().size())),
-                     util::TextTable::fmt(rss)});
+                     util::TextTable::fmt(rss),
+                     util::TextTable::fmt(alloc_mb),
+                     util::TextTable::fmt(reuse_pct)});
       report.row()
           .field("row", "construction")
           .field("n", n)
           .field("k", 3)
           .field("threads", threads)
+          .field("hw_threads", hw_threads)
           .field("wall_s", wall)
           .field("rounds", s.total_rounds())
           .field("trees", static_cast<std::int64_t>(s.trees().size()))
-          .field("peak_rss_mb", rss);
+          .field("peak_rss_mb", rss)
+          .field("alloc_mb", alloc_mb)
+          .field("arena_reuse_pct", reuse_pct);
+      }
+      // Row isolation: the scheme just went out of scope — release its
+      // heap pages so the next row's peak reflects its own footprint, not
+      // inherited free-list garbage (peak_rss_mb stays process-monotonic;
+      // this keeps later rows honest rather than cumulative).
+#if defined(__GLIBC__)
+      ::malloc_trim(0);
+#endif
     }
   }
   std::printf("%s", table.render().c_str());

@@ -65,10 +65,11 @@ Sdp15Sketches Sdp15Sketches::build(const graph::WeightedGraph& g,
                   congest::CostKind::kSimulated, res.rounds, res.messages,
                   "roots=" + std::to_string(roots.size()));
     for (Vertex v = 0; v < n; ++v) {
-      for (const auto& [slot, entry] :
-           res.entries[static_cast<std::size_t>(v)]) {
+      for (std::size_t e = res.off[static_cast<std::size_t>(v)];
+           e < res.off[static_cast<std::size_t>(v) + 1]; ++e) {
         s.bunch_[static_cast<std::size_t>(v)]
-                [res.roots[static_cast<std::size_t>(slot)]] = entry.dist;
+                [res.roots[static_cast<std::size_t>(res.slot[e])]] =
+            res.rec[e].dist;
       }
     }
   }

@@ -4,6 +4,8 @@
 #include <exception>
 #include <thread>
 
+#include "util/radix.h"
+
 namespace nors::congest {
 
 void Sender::send(std::int32_t port, const Message& m) {
@@ -23,25 +25,28 @@ Network::Network(const graph::WeightedGraph& g, Options opt)
   NORS_CHECK(opt_.threads >= 1);
   NORS_CHECK_MSG(g.frozen(), "Network requires a frozen graph");
   const auto n = static_cast<std::size_t>(g.n());
-  link_offset_.resize(n + 1, 0);
+  link_offset_.ensure(n + 1);
+  link_offset_[0] = 0;
   for (graph::Vertex v = 0; v < g.n(); ++v) {
     link_offset_[static_cast<std::size_t>(v) + 1] =
         link_offset_[static_cast<std::size_t>(v)] +
         static_cast<std::size_t>(g.degree(v));
   }
-  const std::size_t links = link_offset_.back();
-  target_.resize(links);
+  const std::size_t links = link_offset_[n];
+  NORS_CHECK_MSG(links < static_cast<std::size_t>(INT32_MAX),
+                 "link ids must fit an int32");
+  target_.ensure(links);
   for (graph::Vertex v = 0; v < g.n(); ++v) {
     std::size_t l = link_offset_[static_cast<std::size_t>(v)];
     for (const graph::HalfEdge& e : g.neighbors(v)) target_[l++] = {e.to, e.rev};
   }
-  link_begin_.assign(links, 0);
-  next_begin_.assign(links, 0);
-  link_count_.assign(links, 0);
-  pend_count_.assign(links, 0);
-  awake_.assign(n, 0);
-  inbox_end_.assign(n, 0);
-  inbox_cnt_.assign(n, 0);
+  link_begin_.assign_fill(links, 0);
+  next_begin_.assign_fill(links, 0);
+  link_count_.assign_fill(links, 0);
+  pend_count_.assign_fill(links, 0);
+  awake_.assign_fill(n, 0);
+  inbox_end_.assign_fill(n, 0);
+  inbox_cnt_.assign_fill(n, 0);
 }
 
 void Network::wake(graph::Vertex v) {
@@ -62,7 +67,7 @@ void Network::stage_send(internal::Outbox& ob, graph::Vertex from,
   Message staged = m;
   staged.from = from;
   staged.arrival_port = target_[l].arrival_port;
-  ob.link.push_back(l);
+  ob.link.push_back(static_cast<std::int32_t>(l));
   ob.msg.push_back(staged);
   ++ob.sent;
 }
@@ -74,14 +79,15 @@ void Network::deliver_round(std::vector<graph::Vertex>& to_run) {
   receivers_.clear();
   const auto cap = static_cast<std::int32_t>(opt_.edge_capacity);
   std::size_t total = 0;
-  for (const std::size_t l : active_links_) {
+  for (const std::int32_t li : active_links_) {
+    const auto l = static_cast<std::size_t>(li);
     const std::int32_t d = std::min(cap, link_count_[l]);
     const auto dst = static_cast<std::size_t>(target_[l].dst);
     if (inbox_cnt_[dst] == 0) receivers_.push_back(target_[l].dst);
     inbox_cnt_[dst] += d;
     total += static_cast<std::size_t>(d);
   }
-  inbox_.resize(total);
+  inbox_.ensure(total);
   std::size_t off = 0;
   for (const graph::Vertex v : receivers_) {
     // inbox_end_ doubles as the scatter cursor below; after the scatter it
@@ -90,8 +96,9 @@ void Network::deliver_round(std::vector<graph::Vertex>& to_run) {
     off += static_cast<std::size_t>(inbox_cnt_[static_cast<std::size_t>(v)]);
   }
 
-  std::size_t leftover = 0;  // compact active_links_ in place
-  for (const std::size_t l : active_links_) {
+  std::size_t leftover = 0;  // compact active_links_ in place (stays sorted)
+  for (const std::int32_t li : active_links_) {
+    const auto l = static_cast<std::size_t>(li);
     const std::int32_t d = std::min(cap, link_count_[l]);
     const auto dst = static_cast<std::size_t>(target_[l].dst);
     std::size_t w = inbox_end_[dst];
@@ -104,7 +111,7 @@ void Network::deliver_round(std::vector<graph::Vertex>& to_run) {
     link_count_[l] -= d;
     queued_ -= d;
     stats_.messages_delivered += d;
-    if (link_count_[l] > 0) active_links_[leftover++] = l;
+    if (link_count_[l] > 0) active_links_[leftover++] = li;
     if (!awake_[dst]) {
       awake_[dst] = 1;
       to_run.push_back(target_[l].dst);
@@ -116,11 +123,13 @@ void Network::deliver_round(std::vector<graph::Vertex>& to_run) {
 /// Phase 3: merge undelivered leftovers and the round's outboxes into the
 /// other slab of the double buffer, regrouping by link.
 void Network::merge_outboxes(int nthreads, std::vector<graph::Vertex>& to_run) {
+  new_links_.clear();
   for (int t = 0; t < nthreads; ++t) {
     internal::Outbox& ob = outboxes_[static_cast<std::size_t>(t)];
-    for (const std::size_t l : ob.link) {
+    for (const std::int32_t li : ob.link) {
+      const auto l = static_cast<std::size_t>(li);
       if (pend_count_[l]++ == 0 && link_count_[l] == 0) {
-        active_links_.push_back(l);
+        new_links_.push_back(li);
       }
     }
     stats_.messages_sent += ob.sent;
@@ -128,11 +137,28 @@ void Network::merge_outboxes(int nthreads, std::vector<graph::Vertex>& to_run) {
   }
   // Delivery iterates active links in ascending link order; keep that order
   // canonical so runs are deterministic regardless of outbox interleaving.
-  std::sort(active_links_.begin(), active_links_.end());
+  // The surviving actives are already ascending (delivery compacts them in
+  // place), so only this round's newly activated links need ordering: they
+  // arrive grouped by sending vertex in execution order — ascending across
+  // vertices and, for every program that emits ports in order, ascending
+  // within one — so the is_sorted fast path usually wins; announcement
+  // bursts that don't fall back to a radix pass. One linear merge then
+  // replaces the historical full-list std::sort.
+  if (!new_links_.empty()) {
+    if (!std::is_sorted(new_links_.begin(), new_links_.end())) {
+      util::radix_sort(new_links_, sort_scratch_,
+                       static_cast<std::int32_t>(link_count_.size() - 1));
+    }
+    merged_links_.resize(active_links_.size() + new_links_.size());
+    std::merge(active_links_.begin(), active_links_.end(), new_links_.begin(),
+               new_links_.end(), merged_links_.begin());
+    active_links_.swap(merged_links_);
+  }
 
-  next_.resize(static_cast<std::size_t>(queued_));
+  next_.ensure(static_cast<std::size_t>(queued_));
   std::size_t off = 0;
-  for (const std::size_t l : active_links_) {
+  for (const std::int32_t li : active_links_) {
+    const auto l = static_cast<std::size_t>(li);
     next_begin_[l] = off;
     off += static_cast<std::size_t>(link_count_[l]) +
            static_cast<std::size_t>(pend_count_[l]);
@@ -141,7 +167,8 @@ void Network::merge_outboxes(int nthreads, std::vector<graph::Vertex>& to_run) {
   // outboxes in thread order — which is vertex order, because threads own
   // contiguous chunks of the sorted run list. A directed link has a unique
   // sending vertex, so per-link FIFO order is independent of the chunking.
-  for (const std::size_t l : active_links_) {
+  for (const std::int32_t li : active_links_) {
+    const auto l = static_cast<std::size_t>(li);
     const std::size_t b = link_begin_[l];
     std::size_t w = next_begin_[l];
     for (std::int32_t i = 0; i < link_count_[l]; ++i) {
@@ -152,7 +179,7 @@ void Network::merge_outboxes(int nthreads, std::vector<graph::Vertex>& to_run) {
   for (int t = 0; t < nthreads; ++t) {
     internal::Outbox& ob = outboxes_[static_cast<std::size_t>(t)];
     for (std::size_t i = 0; i < ob.link.size(); ++i) {
-      next_[next_begin_[ob.link[i]]++] = ob.msg[i];
+      next_[next_begin_[static_cast<std::size_t>(ob.link[i])]++] = ob.msg[i];
     }
     for (const graph::Vertex w : ob.wakes) {
       if (!awake_[static_cast<std::size_t>(w)]) {
@@ -162,7 +189,8 @@ void Network::merge_outboxes(int nthreads, std::vector<graph::Vertex>& to_run) {
     }
     ob.clear();
   }
-  for (const std::size_t l : active_links_) {
+  for (const std::int32_t li : active_links_) {
+    const auto l = static_cast<std::size_t>(li);
     const std::int32_t total = link_count_[l] + pend_count_[l];
     link_count_[l] = total;
     pend_count_[l] = 0;
@@ -178,11 +206,11 @@ NetworkStats Network::run(NodeProgram& prog) {
   queued_ = 0;
   cur_.clear();
   next_.clear();
-  std::fill(link_count_.begin(), link_count_.end(), 0);
-  std::fill(pend_count_.begin(), pend_count_.end(), 0);
-  std::fill(inbox_cnt_.begin(), inbox_cnt_.end(), 0);
+  std::fill(link_count_.data(), link_count_.data() + link_count_.size(), 0);
+  std::fill(pend_count_.data(), pend_count_.data() + pend_count_.size(), 0);
+  std::fill(inbox_cnt_.data(), inbox_cnt_.data() + inbox_cnt_.size(), 0);
   active_links_.clear();
-  std::fill(awake_.begin(), awake_.end(), 0);
+  std::fill(awake_.data(), awake_.data() + awake_.size(), 0);
   wake_list_.clear();
 
   const int nthreads = opt_.threads;
@@ -205,8 +233,9 @@ NetworkStats Network::run(NodeProgram& prog) {
 
     deliver_round(to_run);
 
-    // Phase 2: run every scheduled vertex (deterministic order).
-    std::sort(to_run.begin(), to_run.end());
+    // Phase 2: run every scheduled vertex (deterministic order; radix keeps
+    // this linear in the schedule size instead of O(A log A) per round).
+    util::radix_sort(to_run, sort_scratch_, g_.n() - 1);
     running = std::move(to_run);
     to_run.clear();
     for (const graph::Vertex v : running) {

@@ -6,6 +6,7 @@
 
 #include "congest/message.h"
 #include "graph/graph.h"
+#include "util/arena.h"
 
 namespace nors::congest {
 
@@ -24,7 +25,7 @@ namespace internal {
 /// Per-thread staging buffer for one round's sends and wakes; merged into
 /// the shared queue arena at the round barrier.
 struct Outbox {
-  std::vector<std::size_t> link;  // destination link per staged message
+  std::vector<std::int32_t> link;  // destination link per staged message
   std::vector<Message> msg;
   std::vector<graph::Vertex> wakes;
   std::int64_t sent = 0;
@@ -88,12 +89,20 @@ class NodeProgram {
 ///   2. every scheduled vertex runs on_round (in vertex order, optionally
 ///      chunked across a thread pool with per-thread outboxes),
 ///   3. undelivered leftovers and the round's outboxes are merged into the
-///      next queue slab (double buffer) at the round barrier.
+///      next queue slab (double buffer) at the round barrier. The active
+///      link list stays sorted by construction: delivery compacts the
+///      (already ascending) survivors in place and the round's newly
+///      activated links are sorted alone — is_sorted fast path for the
+///      common ascending staging order, radix for large batches — then
+///      merged with the survivors. No O(A log A) re-sort of the full list.
 /// Execution stops when no messages are queued and no vertex is awake.
 ///
 /// Per-round work is proportional to the number of active links and
 /// scheduled vertices — never to n or m — and steady-state execution
-/// performs no allocation once slab capacities have peaked.
+/// performs no allocation once slab capacities have peaked. Message slabs
+/// and link tables draw from the arena pool (util/arena.h), so consecutive
+/// simulations recycle one another's high-water slabs instead of growing
+/// the heap (DESIGN.md §9).
 class Network {
  public:
   struct Options {
@@ -137,26 +146,30 @@ class Network {
   Options opt_;
 
   // Static link topology (CSR-aligned: link = link_offset_[v] + port).
-  std::vector<std::size_t> link_offset_;  // n+1
-  std::vector<LinkTarget> target_;        // one per directed link
+  util::PooledBuf<std::size_t> link_offset_;  // n+1
+  util::PooledBuf<LinkTarget> target_;        // one per directed link
 
   // In-flight queue arena, double buffered. cur_ holds all queued messages
   // grouped by link: link l owns cur_[link_begin_[l] .. +link_count_[l]).
-  // Only links listed in active_links_ have nonzero counts.
-  std::vector<Message> cur_, next_;
-  std::vector<std::size_t> link_begin_;
-  std::vector<std::size_t> next_begin_;
-  std::vector<std::int32_t> link_count_;
-  std::vector<std::int32_t> pend_count_;  // this round's staged sends per link
-  std::vector<std::size_t> active_links_;
+  // Only links listed in active_links_ have nonzero counts; the list is
+  // kept ascending across rounds (see the class comment).
+  util::PooledBuf<Message> cur_, next_;
+  util::PooledBuf<std::size_t> link_begin_;
+  util::PooledBuf<std::size_t> next_begin_;
+  util::PooledBuf<std::int32_t> link_count_;
+  util::PooledBuf<std::int32_t> pend_count_;  // this round's staged sends
+  std::vector<std::int32_t> active_links_;    // ascending
+  std::vector<std::int32_t> new_links_;       // links activated this round
+  std::vector<std::int32_t> merged_links_;    // merge double buffer
+  std::vector<std::int32_t> sort_scratch_;
 
   // Per-round inbox slab, grouped by receiver.
-  std::vector<Message> inbox_;
-  std::vector<std::size_t> inbox_end_;   // per vertex: one past its window
-  std::vector<std::int32_t> inbox_cnt_;  // per vertex: window length
+  util::PooledBuf<Message> inbox_;
+  util::PooledBuf<std::size_t> inbox_end_;   // per vertex: one past window
+  util::PooledBuf<std::int32_t> inbox_cnt_;  // per vertex: window length
   std::vector<graph::Vertex> receivers_;
 
-  std::vector<char> awake_;
+  util::PooledBuf<char> awake_;
   std::vector<graph::Vertex> wake_list_;
   std::mutex wake_mu_;
   std::vector<internal::Outbox> outboxes_;  // one per worker thread

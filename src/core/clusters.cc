@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "graph/properties.h"
 #include "primitives/cluster_bf.h"
 #include "primitives/pipelined.h"
+#include "util/arena.h"
 
 namespace nors::core {
 
@@ -225,13 +227,14 @@ std::vector<ClusterTree> build_small_level_trees(
     trees[s].level = level;
   }
   for (Vertex v = 0; v < n; ++v) {
-    for (const auto& [slot, entry] :
-         result.entries[static_cast<std::size_t>(v)]) {
+    for (std::size_t e = result.off[static_cast<std::size_t>(v)];
+         e < result.off[static_cast<std::size_t>(v) + 1]; ++e) {
+      const auto& entry = result.rec[e];
       ClusterMember mem;
       mem.b = entry.dist;
       mem.parent = entry.parent;
       mem.parent_port = entry.parent_port;
-      trees[static_cast<std::size_t>(slot)].add(v, mem);
+      trees[static_cast<std::size_t>(result.slot[e])].add(v, mem);
     }
   }
   return trees;
@@ -254,38 +257,43 @@ std::vector<ClusterTree> build_middle_level_trees(
       static_cast<double>(ln_ceil(n)));
   b = std::min<std::int64_t>(std::max<std::int64_t>(1, b), n);
 
-  const auto sd = primitives::source_detection(g, roots, b, params.epsilon(),
-                                               bfs_height, params.threads);
-  ledger.add("clusters/middle level " + std::to_string(level),
-             congest::CostKind::kAccounted, sd.round_cost, 0,
-             "|S|=" + std::to_string(roots.size()) + " B=" + std::to_string(b));
-
+  // Streaming source detection (DESIGN.md §9): rows arrive source-major and
+  // each root's tree is built straight from its row — the |S| × n distance
+  // slab that used to dominate peak RSS at this level never exists. Every
+  // root owns its tree slot, so the sink is safe under any pool size and
+  // the trees come out bit-identical to the slab-based construction.
   const std::size_t row = static_cast<std::size_t>(level + 1) * n;
-  trees.reserve(roots.size());
-  for (std::size_t si = 0; si < roots.size(); ++si) {
-    const Vertex u = roots[si];
-    ClusterTree t;
-    t.root = u;
-    t.level = level;
-    for (Vertex v = 0; v < n; ++v) {
-      const Dist bv = sd.d(static_cast<int>(si), v);
-      if (graph::is_inf(bv)) continue;
-      const bool is_root = (v == u);
-      if (!is_root &&
-          bv >= pivots.dist[row + static_cast<std::size_t>(v)]) {
-        continue;  // join condition b_v(u) < d(v, A_{i+1})
-      }
-      ClusterMember mem;
-      mem.b = bv;
-      if (!is_root) {
-        mem.parent_port = sd.port(static_cast<int>(si), v);
-        NORS_CHECK(mem.parent_port != graph::kNoPort);
-        mem.parent = g.edge(v, mem.parent_port).to;
-      }
-      t.add(v, mem);
-    }
-    trees.push_back(std::move(t));
-  }
+  trees.resize(roots.size());
+  const auto stats = primitives::source_detection_stream(
+      g, roots, b, params.epsilon(), bfs_height, params.threads,
+      [&](int si, std::span<const Dist> dist,
+          std::span<const std::int32_t> port) {
+        const Vertex u = roots[static_cast<std::size_t>(si)];
+        ClusterTree t;
+        t.root = u;
+        t.level = level;
+        for (Vertex v = 0; v < n; ++v) {
+          const Dist bv = dist[static_cast<std::size_t>(v)];
+          if (graph::is_inf(bv)) continue;
+          const bool is_root = (v == u);
+          if (!is_root &&
+              bv >= pivots.dist[row + static_cast<std::size_t>(v)]) {
+            continue;  // join condition b_v(u) < d(v, A_{i+1})
+          }
+          ClusterMember mem;
+          mem.b = bv;
+          if (!is_root) {
+            mem.parent_port = port[static_cast<std::size_t>(v)];
+            NORS_CHECK(mem.parent_port != graph::kNoPort);
+            mem.parent = g.edge(v, mem.parent_port).to;
+          }
+          t.add(v, mem);
+        }
+        trees[static_cast<std::size_t>(si)] = std::move(t);
+      });
+  ledger.add("clusters/middle level " + std::to_string(level),
+             congest::CostKind::kAccounted, stats.round_cost, 0,
+             "|S|=" + std::to_string(roots.size()) + " B=" + std::to_string(b));
   return trees;
 }
 
@@ -318,7 +326,8 @@ std::vector<ClusterTree> build_large_level_trees(
   // Phase-1 state per (V' index, root slot): b value and virtual parent,
   // in one dense m × r slot arena (b == kDistInf marks "absent"; real b
   // values are finite). Large-level roots lie in V', so r ≤ m and the
-  // arena is O(|V'|²) — tiny compared to the n×|V'| source-detection slab.
+  // arena is O(|V'|²). The slab draws from the arena pool and recycles
+  // across levels and attempts (DESIGN.md §9).
   struct VState {
     Dist b = graph::kDistInf;
     int vparent = -1;    // V' index of the virtual parent
@@ -329,8 +338,9 @@ std::vector<ClusterTree> build_large_level_trees(
     return static_cast<std::size_t>(v) * static_cast<std::size_t>(r) +
            static_cast<std::size_t>(s);
   };
-  std::vector<VState> state(static_cast<std::size_t>(m) *
-                            static_cast<std::size_t>(r));
+  util::PooledBuf<VState> state;
+  state.assign_fill(
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(r), VState{});
   std::vector<std::pair<int, int>> frontier;  // (V' index, root slot)
   for (int s = 0; s < r; ++s) {
     const int idx = pre.vp_index[static_cast<std::size_t>(roots[s])];
@@ -377,9 +387,14 @@ std::vector<ClusterTree> build_large_level_trees(
   // Candidates are computed from a snapshot of the phase-1 values, applied
   // with min, so the set of final b values is order-independent (paper
   // semantics); tied candidates resolve in the canonical (V' index, slot)
-  // scan order.
-  const std::vector<VState> snapshot = state;
+  // scan order. The snapshot is scoped to this phase: it returns to the
+  // pool before the phase-2 extension allocates, so the two never overlap
+  // in RSS.
   std::int64_t fixups = 0;
+  {
+  util::PooledBuf<VState> snapshot;
+  std::memcpy(snapshot.ensure(state.size()), state.data(),
+              state.size() * sizeof(VState));
   for (int v = 0; v < m; ++v) {
     for (int s = 0; s < r; ++s) {
       const VState& st = snapshot[cell(v, s)];
@@ -413,6 +428,7 @@ std::vector<ClusterTree> build_large_level_trees(
       }
     }
   }
+  }  // snapshot released to the pool here
   ledger.add("clusters/large level " + std::to_string(level) + " phase1.5",
              congest::CostKind::kAccounted,
              primitives::pipelined_broadcast_rounds(

@@ -1,9 +1,13 @@
 #include "core/scheme.h"
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include <algorithm>
 
 #include "graph/properties.h"
 #include "primitives/bfs_tree.h"
+#include "util/arena.h"
 
 namespace nors::core {
 
@@ -111,6 +115,13 @@ RoutingScheme RoutingScheme::build(const graph::WeightedGraph& g,
     }
 
     s.pruned_ = sanitize_trees(g, s.trees_);
+    // The member/info columns were grown by push_back; give back the
+    // geometric-growth slack now — the trees stay resident for the
+    // scheme's lifetime and the batch peak sits on top of them (§9.2).
+    for (auto& t : s.trees_) {
+      t.members.shrink_to_fit();
+      t.info.shrink_to_fit();
+    }
 
     // Coverage: every top-level tree must span all of V (the find-tree loop
     // terminates at level k-1 only then).
@@ -143,8 +154,19 @@ RoutingScheme RoutingScheme::build(const graph::WeightedGraph& g,
   tp.seed = rng.next();
   tp.threads = params.threads;
   util::Rng tree_rng(tp.seed);
+  // Construction scratch (network slabs, detection rows, cluster chains) is
+  // done: hand the pooled slabs back to the OS before the Section-6 batch
+  // grows the scheme to its resident peak (DESIGN.md §9). malloc_trim
+  // returns what the heap itself can release (e.g. growth churn from the
+  // cluster-tree columns) — without it the freed pages stay resident under
+  // the batch's peak.
+  util::SlabPool::global().trim();
+#if defined(__GLIBC__)
+  ::malloc_trim(0);
+#endif
   s.tree_schemes_ = std::make_shared<treeroute::DistTreeBatch>(
-      treeroute::build_dist_tree_batch(g, specs, tp, height, tree_rng));
+      treeroute::build_dist_tree_batch(g, std::move(specs), tp, height,
+                                       tree_rng));
   s.ledger_.merge(s.tree_schemes_->ledger);
 
   // Labels: per vertex, per level, the pivot and the tree label (if the
@@ -174,6 +196,15 @@ RoutingScheme RoutingScheme::build(const graph::WeightedGraph& g,
   // The 4k-5 trick labels (level-0 roots holding their members' tree
   // labels) need no build step: they are exactly the member labels of the
   // root's own tree scheme, served via trick_label().
+
+  // Release any remaining pooled construction slabs: the finished scheme
+  // owns its own storage, and a serving process should not keep the
+  // builder's high-water arenas (or the heap's construction churn)
+  // resident.
+  util::SlabPool::global().trim();
+#if defined(__GLIBC__)
+  ::malloc_trim(0);
+#endif
   return s;
 }
 
@@ -246,7 +277,7 @@ std::int64_t RoutingScheme::table_words(Vertex v) const {
     const auto& scheme = tree_schemes_->schemes[ti];
     const int pos = scheme.find(v);
     if (pos >= 0) {
-      words += 2 + scheme.info_at(static_cast<std::size_t>(pos)).words();
+      words += 2 + scheme.table_words_at(static_cast<std::size_t>(pos));
     }
   }
   if (params_.label_trick && level_[static_cast<std::size_t>(v)] == 0) {

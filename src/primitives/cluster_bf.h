@@ -24,15 +24,25 @@ struct ClusterEntry {
 /// congestion the paper analyses via Claim 2.
 ///
 /// Roots are identified by a dense slot id (their index in the input root
-/// list); per-vertex state is a short flat list of (slot, record) pairs —
-/// cluster overlap is Õ(n^{1/k}) whp, so a linear scan beats hashing.
+/// list). Membership records come back as one CSR over vertices — per
+/// vertex, its (root slot, record) pairs in join order — flattened from the
+/// program's arena-chunked per-vertex lists (DESIGN.md §9), so the result
+/// is three flat arrays rather than n heap vectors.
 struct ClusterBfResult {
   std::vector<graph::Vertex> roots;  // slot -> root vertex (input order)
-  // entries[v]: (root slot, membership record), in join order.
-  std::vector<std::vector<std::pair<int, ClusterEntry>>> entries;
+  // CSR by vertex: v's records are (slot[e], rec[e]) for
+  // e in [off[v], off[v+1]), in join order.
+  std::vector<std::size_t> off;        // n+1
+  std::vector<std::int32_t> slot;      // root slot per record
+  std::vector<ClusterEntry> rec;       // parallel to slot
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
   std::int64_t max_link_backlog = 0;
+
+  std::size_t entry_count(graph::Vertex v) const {
+    return off[static_cast<std::size_t>(v) + 1] -
+           off[static_cast<std::size_t>(v)];
+  }
 };
 
 /// admit(v, root, dist): may v join root's cluster at this distance?

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 
+#include "util/arena.h"
 #include "util/radix.h"
 #include "util/threads.h"
 
@@ -17,22 +19,25 @@ using graph::Vertex;
 /// sweep allocates nothing and costs O(region explored), not O(n): between
 /// runs the arrays hold their rest state (inf / kNoPort) and only the
 /// entries named in `touched` are dirty, so each run resets exactly what it
-/// wrote.
+/// wrote. The n-sized arrays draw from the arena pool, so worker scratch
+/// recycles across calls (per level, per attempt, per bench row) instead of
+/// being reallocated.
 struct ScaleScratch {
-  std::vector<Dist> cur, next;           // committed / tentative, in q units
-  std::vector<std::int32_t> cur_port;    // committed parent port
-  std::vector<std::int32_t> next_port;   // tentative parent port
+  util::PooledBuf<Dist> cur, next;           // committed / tentative, q units
+  util::PooledBuf<std::int32_t> cur_port;    // committed parent port
+  util::PooledBuf<std::int32_t> next_port;   // tentative parent port
   std::vector<Vertex> frontier, changed;
-  std::vector<Vertex> touched;           // every vertex written this run
-  std::vector<char> in_touched;
+  std::vector<Vertex> touched;               // every vertex written this run
+  util::PooledBuf<char> in_touched;
   std::vector<Vertex> sort_scratch;
 
-  explicit ScaleScratch(std::size_t n)
-      : cur(n, graph::kDistInf),
-        next(n, graph::kDistInf),
-        cur_port(n, graph::kNoPort),
-        next_port(n, graph::kNoPort),
-        in_touched(n, 0) {}
+  explicit ScaleScratch(std::size_t n) {
+    cur.assign_fill(n, graph::kDistInf);
+    next.assign_fill(n, graph::kDistInf);
+    cur_port.assign_fill(n, graph::kNoPort);
+    next_port.assign_fill(n, graph::kNoPort);
+    in_touched.assign_fill(n, 0);
+  }
 
   void touch(Vertex v) {
     if (!in_touched[static_cast<std::size_t>(v)]) {
@@ -59,7 +64,8 @@ struct ScaleScratch {
 
 /// One distance scale of the [Nan14] rounding scheme: exact hop-bounded
 /// Bellman–Ford under quantized weights wq (ceil(w/q), precomputed per
-/// scale, aligned with the CSR half-edge array), truncated at `cap`
+/// scale, aligned with the CSR half-edge array; wq == nullptr means q == 1,
+/// where the quantized weight is the weight itself), truncated at `cap`
 /// quantized units (the scale only covers its distance window — this is
 /// what bounds the number of distinct distance levels, and what makes the
 /// scheme genuinely approximate instead of collapsing into one exact
@@ -70,9 +76,10 @@ struct SweepOutcome {
   bool truncated = false;  // some relaxation hit the cap
 };
 
-SweepOutcome run_scale(const graph::WeightedGraph& g, Vertex src,
-                       std::int64_t hop_bound, const std::vector<Dist>& wq,
-                       Dist cap, ScaleScratch& s) {
+template <bool kUnitQuantum>
+SweepOutcome run_scale_impl(const graph::WeightedGraph& g, Vertex src,
+                            std::int64_t hop_bound, const Dist* wq, Dist cap,
+                            ScaleScratch& s) {
   SweepOutcome out;
   s.cur[static_cast<std::size_t>(src)] = 0;
   s.next[static_cast<std::size_t>(src)] = 0;
@@ -85,7 +92,7 @@ SweepOutcome run_scale(const graph::WeightedGraph& g, Vertex src,
       const std::size_t base = g.edge_base(v);
       const auto nbrs = g.neighbors(v);
       for (std::size_t p = 0; p < nbrs.size(); ++p) {
-        const Dist nd = dv + wq[base + p];
+        const Dist nd = dv + (kUnitQuantum ? nbrs[p].w : wq[base + p]);
         if (nd > cap) {
           out.truncated = true;
           continue;
@@ -114,6 +121,14 @@ SweepOutcome run_scale(const graph::WeightedGraph& g, Vertex src,
   return out;
 }
 
+SweepOutcome run_scale(const graph::WeightedGraph& g, Vertex src,
+                       std::int64_t hop_bound, const Dist* wq, Dist cap,
+                       ScaleScratch& s) {
+  return wq == nullptr
+             ? run_scale_impl<true>(g, src, hop_bound, nullptr, cap, s)
+             : run_scale_impl<false>(g, src, hop_bound, wq, cap, s);
+}
+
 /// Scratch for the exact-scale fast path (DESIGN.md §7): a bucket-queue
 /// (Dial) Dijkstra that reconstructs the Bellman–Ford sweep's committed
 /// layers and winning parent ports *during relaxation* — every shortest-path
@@ -123,7 +138,8 @@ SweepOutcome run_scale(const graph::WeightedGraph& g, Vertex src,
 /// than a plain Dijkstra. A compact int32 CSR (8 bytes per half edge, port
 /// order preserved) is built once per source_detection call so the sweep's
 /// working set stays cache-resident; everything else resets through
-/// `touched`, so a run costs O(region + max distance), never O(n).
+/// `touched`, so a run costs O(region + max distance), never O(n). All
+/// n- and m-sized arrays draw from the arena pool and recycle across calls.
 struct FastScratch {
   struct Cell {
     std::int32_t dist;   // INT32_MAX at rest
@@ -132,39 +148,43 @@ struct FastScratch {
   struct Cand {  // pending winner for the current tentative value
     std::int32_t layer, u, port_at_u, port;
   };
-  std::vector<Cell> cell;
-  std::vector<Cand> cand;  // needs no rest state: strict improvements reset it
+  util::PooledBuf<Cell> cell;
+  util::PooledBuf<Cand> cand;  // needs no rest state: improvements reset it
   std::vector<Vertex> touched;
   std::vector<std::vector<Vertex>> buckets;
   int max_layer = 0;
   // Compact CSR (built lazily, same indexing as the graph's half edges).
   bool csr_built = false;
   bool csr_ok = false;
-  std::vector<std::int64_t> off;
+  util::PooledBuf<std::int64_t> off;
   struct Edge {
     std::int32_t to, w;
   };
-  std::vector<Edge> edges;
-  std::vector<std::int32_t> rev;
+  util::PooledBuf<Edge> edges;
+  util::PooledBuf<std::int32_t> rev;
 
-  explicit FastScratch(std::size_t n)
-      : cell(n, {INT32_MAX, -1}), cand(n, {0, 0, 0, 0}) {}
+  explicit FastScratch(std::size_t n) {
+    cell.assign_fill(n, {INT32_MAX, -1});
+    cand.assign_fill(n, {0, 0, 0, 0});
+  }
 
   void build_csr(const graph::WeightedGraph& g) {
     csr_built = true;
     if (g.max_weight() > INT32_MAX) return;  // csr_ok stays false
     const int n = g.n();
-    off.resize(static_cast<std::size_t>(n) + 1);
-    edges.reserve(g.total_half_edges());
-    rev.reserve(g.total_half_edges());
+    off.ensure(static_cast<std::size_t>(n) + 1);
+    edges.ensure(g.total_half_edges());
+    rev.ensure(g.total_half_edges());
+    std::size_t at = 0;
     for (Vertex v = 0; v < n; ++v) {
-      off[static_cast<std::size_t>(v)] = static_cast<std::int64_t>(edges.size());
+      off[static_cast<std::size_t>(v)] = static_cast<std::int64_t>(at);
       for (const auto& e : g.neighbors(v)) {
-        edges.push_back({e.to, static_cast<std::int32_t>(e.w)});
-        rev.push_back(e.rev);
+        edges[at] = {e.to, static_cast<std::int32_t>(e.w)};
+        rev[at] = e.rev;
+        ++at;
       }
     }
-    off[static_cast<std::size_t>(n)] = static_cast<std::int64_t>(edges.size());
+    off[static_cast<std::size_t>(n)] = static_cast<std::int64_t>(at);
     csr_ok = true;
   }
 
@@ -286,23 +306,21 @@ bool run_fast_exact(const graph::WeightedGraph& g, Vertex src,
   return true;
 }
 
+struct Scale {
+  Dist q;
+  Dist cap;
+};
+
 }  // namespace
 
-SourceDetectionResult source_detection(
+SourceDetectionStats source_detection_stream(
     const graph::WeightedGraph& g, const std::vector<Vertex>& sources,
     std::int64_t hop_bound, const util::Epsilon& eps, int bfs_height,
-    int threads) {
+    int threads, const SourceRowSink& sink) {
   NORS_CHECK(!sources.empty());
   NORS_CHECK(hop_bound >= 1);
   const auto n = static_cast<std::size_t>(g.n());
-  SourceDetectionResult out;
-  out.n_ = n;
-  out.sources = sources;
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    out.source_index[sources[i]] = static_cast<int>(i);
-  }
-  out.dist.assign(sources.size() * n, graph::kDistInf);
-  out.parent_port.assign(sources.size() * n, graph::kNoPort);
+  SourceDetectionStats out;
 
   // Scales 2^s up to the largest possible B-hop distance. Scale s uses
   // quantum q_s = max(1, floor(ε·2^s / (2B))) and covers rounded distances
@@ -311,10 +329,6 @@ SourceDetectionResult source_detection(
   const Dist max_dist = std::min<Dist>(
       graph::kDistInf / 4,
       static_cast<Dist>(hop_bound) * std::max<Dist>(1, g.max_weight()));
-  struct Scale {
-    Dist q;
-    Dist cap;
-  };
   std::vector<Scale> scales;
   for (Dist scale = 1; scale > 0 && scale / 2 <= max_dist; scale *= 2) {
     const __int128 num = static_cast<__int128>(eps.num()) * scale;
@@ -325,79 +339,130 @@ SourceDetectionResult source_detection(
   }
   out.distinct_scales = static_cast<int>(scales.size());
 
-  // Scale-major execution: the quantized weights depend only on the scale,
-  // so one pass per scale over the CSR half-edge array serves every source
-  // and the relaxation loop never divides. Each source still runs exactly
-  // the scales it would have run source-major — the per-source early exit
-  // below (and therefore every output, including the round charge, which
-  // counts source 0's scales only) is order-independent.
+  // Source-major execution: every source runs exactly the scale sequence it
+  // would have run scale-major — its early exit and fast-path failure cap
+  // depend only on its own outcomes — so each source's row can be finalized
+  // (min over its scales) and handed to the sink before the next source
+  // starts, and the |sources| × n slab never exists. Quantized weights for
+  // the few q > 1 scales are shared read-only across sources (built once,
+  // on first use); q = 1 scales read the CSR weights directly.
   //
   // Exact (q=1) scales take the Dial fast path when its equivalence margin
   // holds (run_fast_exact above) — the common case for the preprocessing
   // and middle-level calls, whose hop bounds dwarf the true distances; the
   // quantized reference sweep remains the general path and the ground
   // truth the fast path is tested against.
-  std::int64_t cost = 0;
-  int executed = 0;
-  std::vector<char> src_active(sources.size(), 1);
-  std::size_t remaining = sources.size();
+  //
   // Validation escape hatch: NORS_SD_DISABLE_FAST=1 forces every sweep
   // through the reference Bellman–Ford. The fast path is *defined* as
   // bit-identical to the sweep; test_primitives pins the equivalence by
   // diffing full results across this knob.
   const char* no_fast = std::getenv("NORS_SD_DISABLE_FAST");
   const bool fast_enabled = no_fast == nullptr || std::atoi(no_fast) == 0;
-  // Caps at which the fast path already failed per source: a failure only
-  // heals once the scale window grows past it.
-  std::vector<Dist> fast_failed_cap(sources.size(), -1);
-  std::vector<Dist> wq(g.total_half_edges());
 
-  // Worker arenas: one ScaleScratch/FastScratch pair per worker thread.
-  // Sources are independent — each owns a disjoint output row and its own
-  // bookkeeping — so the pool size changes wall-clock only; the serial fold
-  // below consumes per-source outcomes in source order either way.
-  const int nthreads = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(util::resolve_threads(threads)),
-      sources.size()));
-  std::vector<std::unique_ptr<ScaleScratch>> scale_scratch;
-  std::vector<std::unique_ptr<FastScratch>> fast_scratch;
-  for (int t = 0; t < std::max(1, nthreads); ++t) {
-    scale_scratch.push_back(std::make_unique<ScaleScratch>(n));
-    fast_scratch.push_back(std::make_unique<FastScratch>(n));
+  // Lazily built per-scale quantized weights (only q > 1 scales need them).
+  std::vector<util::PooledBuf<Dist>> wq(scales.size());
+  std::vector<std::unique_ptr<std::once_flag>> wq_once;
+  for (std::size_t s = 0; s < scales.size(); ++s) {
+    wq_once.push_back(std::make_unique<std::once_flag>());
   }
-  std::vector<SweepOutcome> outcome(sources.size());
-
-  for (const auto& sc : scales) {
-    if (remaining == 0) break;
-    {
+  const auto wq_for = [&](std::size_t sc_idx) -> const Dist* {
+    if (scales[sc_idx].q == 1) return nullptr;
+    std::call_once(*wq_once[sc_idx], [&] {
+      const Dist q = scales[sc_idx].q;
+      Dist* w = wq[sc_idx].ensure(g.total_half_edges());
       std::size_t idx = 0;
       for (Vertex v = 0; v < g.n(); ++v) {
         for (const auto& e : g.neighbors(v)) {
-          wq[idx++] = sc.q == 1 ? e.w : (e.w + sc.q - 1) / sc.q;
+          w[idx++] = (e.w + q - 1) / q;
         }
       }
-    }
-    auto sweep_one = [&](std::size_t si, ScaleScratch& scratch,
-                         FastScratch& fast) {
-      Dist* row_d = out.dist.data() + si * n;
-      std::int32_t* row_p = out.parent_port.data() + si * n;
-      if (fast_enabled && sc.q == 1 && fast_failed_cap[si] < sc.cap &&
-          run_fast_exact(g, sources[si], hop_bound, sc.cap, fast)) {
+    });
+    return wq[sc_idx].data();
+  };
+
+  // Worker arenas: one ScaleScratch/FastScratch pair plus one output row
+  // per worker thread. Sources are independent — each owns its sink slot
+  // and its own bookkeeping — so the pool size changes wall-clock only; the
+  // serial fold below consumes per-source records in a fixed order.
+  const int nthreads = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(util::resolve_threads(threads)),
+      sources.size()));
+  const int nworkers = std::max(1, nthreads);
+  struct Worker {
+    std::unique_ptr<ScaleScratch> scale;
+    std::unique_ptr<FastScratch> fast;
+    util::PooledBuf<Dist> row_d;
+    util::PooledBuf<std::int32_t> row_p;
+    int max_iterations = 0;
+  };
+  std::vector<Worker> workers(static_cast<std::size_t>(nworkers));
+  for (Worker& w : workers) {
+    w.scale = std::make_unique<ScaleScratch>(n);
+    w.fast = std::make_unique<FastScratch>(n);
+    w.row_d.ensure(n);
+    w.row_p.ensure(n);
+  }
+  // Source 0's per-scale outcomes drive the round charge (the pipelined
+  // [Nan14] schedule runs all sources of one scale together), recorded by
+  // whichever worker runs source 0 and folded serially below.
+  std::vector<SweepOutcome> outcomes0;
+  outcomes0.reserve(scales.size());
+
+  util::parallel_for(nthreads, sources.size(), [&](int t, std::size_t si) {
+    Worker& w = workers[static_cast<std::size_t>(t)];
+    Dist* row_d = w.row_d.data();
+    std::int32_t* row_p = w.row_p.data();
+    // The row holds the previous source's values until the first executed
+    // scale overwrites or resets it: a dense first scale writes every slot
+    // in one fused pass (no separate fill + min-merge), a sparse first
+    // scale resets the row before its merge. Later scales min-merge. This
+    // is value-identical to fill-then-merge-every-scale — the first
+    // executed scale's merge wins every slot against an all-∞ row.
+    bool row_virgin = true;
+    const auto reset_row = [&] {
+      std::fill(row_d, row_d + n, graph::kDistInf);
+      std::fill(row_p, row_p + n, graph::kNoPort);
+    };
+    // Cap at which the fast path already failed: a failure only heals once
+    // the scale window grows past it.
+    Dist fast_failed_cap = -1;
+    for (std::size_t sc_idx = 0; sc_idx < scales.size(); ++sc_idx) {
+      const Scale& sc = scales[sc_idx];
+      SweepOutcome run;
+      if (fast_enabled && sc.q == 1 && fast_failed_cap < sc.cap &&
+          run_fast_exact(g, sources[si], hop_bound, sc.cap, *w.fast)) {
+        FastScratch& fast = *w.fast;
         if (fast.touched.size() * 2 >= n) {
           // Dense region: one sequential pass over the cells beats chasing
           // the touched list in discovery order; it restores the rest state
           // as it reads, replacing the touched-driven reset.
-          for (std::size_t v = 0; v < n; ++v) {
-            const std::int32_t dv = fast.cell[v].dist;
-            if (dv == INT32_MAX) continue;
-            fast.cell[v] = {INT32_MAX, -1};
-            if (dv < row_d[v]) {
+          if (row_virgin) {
+            for (std::size_t v = 0; v < n; ++v) {
+              const std::int32_t dv = fast.cell[v].dist;
+              if (dv == INT32_MAX) {
+                row_d[v] = graph::kDistInf;
+                row_p[v] = graph::kNoPort;
+                continue;
+              }
+              fast.cell[v] = {INT32_MAX, -1};
               row_d[v] = dv;
               row_p[v] = fast.cand[v].port;
+            }
+          } else {
+            for (std::size_t v = 0; v < n; ++v) {
+              const std::int32_t dv = fast.cell[v].dist;
+              if (dv == INT32_MAX) continue;
+              fast.cell[v] = {INT32_MAX, -1};
+              if (dv < row_d[v]) {
+                row_d[v] = dv;
+                row_p[v] = fast.cand[v].port;
+              }
             }
           }
           fast.touched.clear();
         } else {
+          if (row_virgin) reset_row();
           for (const Vertex tv : fast.touched) {
             const auto v = static_cast<std::size_t>(tv);
             const Dist d = fast.cell[v].dist;
@@ -408,55 +473,80 @@ SourceDetectionResult source_detection(
           }
           fast.reset();
         }
-        outcome[si] = {fast.max_layer, false};
-        return;
-      }
-      if (sc.q == 1) fast_failed_cap[si] = sc.cap;
-      const SweepOutcome run =
-          run_scale(g, sources[si], hop_bound, wq, sc.cap, scratch);
-      for (const Vertex tv : scratch.touched) {
-        const auto v = static_cast<std::size_t>(tv);
-        const Dist d = scratch.cur[v] * sc.q;
-        if (d < row_d[v]) {
-          row_d[v] = d;
-          row_p[v] = scratch.cur_port[v];
+        run = {fast.max_layer, false};
+      } else {
+        if (sc.q == 1) fast_failed_cap = sc.cap;
+        ScaleScratch& scratch = *w.scale;
+        run = run_scale(g, sources[si], hop_bound, wq_for(sc_idx), sc.cap,
+                        scratch);
+        if (row_virgin) reset_row();
+        for (const Vertex tv : scratch.touched) {
+          const auto v = static_cast<std::size_t>(tv);
+          const Dist d = scratch.cur[v] * sc.q;
+          if (d < row_d[v]) {
+            row_d[v] = d;
+            row_p[v] = scratch.cur_port[v];
+          }
         }
+        scratch.reset();
       }
-      scratch.reset();
-      outcome[si] = run;
-    };
-
-    util::parallel_for(nthreads, sources.size(), [&](int t, std::size_t si) {
-      if (!src_active[si]) return;
-      sweep_one(si, *scale_scratch[static_cast<std::size_t>(t)],
-                *fast_scratch[static_cast<std::size_t>(t)]);
-    });
-
-    // Serial fold in source order: round charge (source 0's scales only),
-    // iteration maxima, and the per-source early exit.
-    for (std::size_t si = 0; si < sources.size(); ++si) {
-      if (!src_active[si]) continue;
-      const SweepOutcome& run = outcome[si];
-      if (si == 0) {
-        // Round charge per executed scale (the pipelined [Nan14] schedule
-        // runs all sources of one scale together): |S| + hop layers + D.
-        cost += static_cast<std::int64_t>(sources.size()) +
-                std::min<std::int64_t>(hop_bound,
-                                       std::max(1, run.iterations)) +
-                2 * static_cast<std::int64_t>(bfs_height);
-        ++executed;
-      }
-      out.max_iterations = std::max(out.max_iterations, run.iterations);
+      row_virgin = false;
+      if (si == 0) outcomes0.push_back(run);
+      w.max_iterations = std::max(w.max_iterations, run.iterations);
       // Early exit: an untruncated, fully converged exact-quantum sweep is
       // the complete d^(B); coarser scales can never improve on it.
-      if (sc.q == 1 && !run.truncated && run.iterations < hop_bound) {
-        src_active[si] = 0;
-        --remaining;
-      }
+      if (sc.q == 1 && !run.truncated && run.iterations < hop_bound) break;
     }
+    if (row_virgin) reset_row();  // no scale executed (impossible today,
+                                  // but the sink contract is a full row)
+    sink(static_cast<int>(si), {row_d, n}, {row_p, n});
+  });
+
+  // Serial fold: the round charge per scale source 0 executed — the
+  // pipelined schedule runs all sources of one scale together, so each
+  // charge is |S| + hop layers + D — plus the iteration maximum.
+  for (const SweepOutcome& run : outcomes0) {
+    out.round_cost +=
+        static_cast<std::int64_t>(sources.size()) +
+        std::min<std::int64_t>(hop_bound, std::max(1, run.iterations)) +
+        2 * static_cast<std::int64_t>(bfs_height);
+    ++out.executed_scales;
   }
-  out.executed_scales = executed;
-  out.round_cost = cost;
+  for (const Worker& w : workers) {
+    out.max_iterations = std::max(out.max_iterations, w.max_iterations);
+  }
+  return out;
+}
+
+SourceDetectionResult source_detection(
+    const graph::WeightedGraph& g, const std::vector<Vertex>& sources,
+    std::int64_t hop_bound, const util::Epsilon& eps, int bfs_height,
+    int threads) {
+  const auto n = static_cast<std::size_t>(g.n());
+  SourceDetectionResult out;
+  out.n_ = n;
+  out.sources = sources;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    out.source_index[sources[i]] = static_cast<int>(i);
+  }
+  out.dist.resize(sources.size() * n);
+  out.parent_port.resize(sources.size() * n);
+  const SourceDetectionStats stats = source_detection_stream(
+      g, sources, hop_bound, eps, bfs_height, threads,
+      [&](int si, std::span<const Dist> dist,
+          std::span<const std::int32_t> port) {
+        std::copy(dist.begin(), dist.end(),
+                  out.dist.begin() + static_cast<std::ptrdiff_t>(
+                                         static_cast<std::size_t>(si) * n));
+        std::copy(port.begin(), port.end(),
+                  out.parent_port.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          static_cast<std::size_t>(si) * n));
+      });
+  out.round_cost = stats.round_cost;
+  out.distinct_scales = stats.distinct_scales;
+  out.executed_scales = stats.executed_scales;
+  out.max_iterations = stats.max_iterations;
   return out;
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +36,38 @@ namespace nors::primitives {
 /// used) + 2·bfs_height — the pipelined schedule of [Nan14] evaluated on
 /// measured quantities. Scales stop early once an untruncated quantum-1
 /// sweep has converged (its values are the complete exact d^(B)).
+
+/// Measured quantities of one source-detection call (the ledger inputs).
+struct SourceDetectionStats {
+  std::int64_t round_cost = 0;
+  int distinct_scales = 0;  // scales in the schedule
+  int executed_scales = 0;  // scales actually run (early exit)
+  int max_iterations = 0;
+};
+
+/// Streaming row consumer: called exactly once per source index with that
+/// source's finalized distance/parent-port row (length n, min over scales).
+/// Rows are produced source-major, so the |sources| × n slab is never
+/// materialized — the row buffers recycle through the arena pool
+/// (DESIGN.md §9). With threads > 1 the sink runs concurrently on distinct
+/// source indices from pool workers; it must write only state owned by its
+/// source index. Row contents are bit-identical to the slab-materializing
+/// overload for every source regardless of the pool size or the execution
+/// order (per-source sweeps are independent, and each source's scale
+/// schedule depends only on its own outcomes).
+using SourceRowSink =
+    std::function<void(int si, std::span<const graph::Dist> dist,
+                       std::span<const std::int32_t> parent_port)>;
+
+SourceDetectionStats source_detection_stream(
+    const graph::WeightedGraph& g, const std::vector<graph::Vertex>& sources,
+    std::int64_t hop_bound, const util::Epsilon& eps, int bfs_height,
+    int threads, const SourceRowSink& sink);
+
+/// Slab-materializing result of source_detection() below — kept for callers
+/// that genuinely need all-pairs access (the §3.3.1 preprocessing, whose
+/// |V'| is Õ(n^{1/2}) at most). The construction's middle levels consume
+/// rows through source_detection_stream instead.
 struct SourceDetectionResult {
   std::vector<graph::Vertex> sources;
   std::unordered_map<graph::Vertex, int> source_index;

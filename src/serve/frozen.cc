@@ -304,7 +304,12 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
           static_cast<std::int64_t>(st.tables.size());
       for (; idx < refs.size() && refs[idx].v == v; ++idx) {
         const auto ti = static_cast<std::size_t>(refs[idx].ti);
-        const auto& info = scheme.tree_scheme(ti).info(v);
+        const auto& tree_scheme = scheme.tree_scheme(ti);
+        const int pos = tree_scheme.find(v);
+        NORS_CHECK(pos >= 0);
+        const auto& info = tree_scheme.info_at(static_cast<std::size_t>(pos));
+        const auto& heavy_label =
+            tree_scheme.heavy_portal_label_at(static_cast<std::size_t>(pos));
         TableSlot s;
         s.tree = refs[idx].ti;
         s.subtree_root = info.subtree_root;
@@ -316,9 +321,8 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
         s.b_prime = info.b_prime;
         s.heavy_prime = info.heavy_prime;
         s.heavy_cross_port = info.heavy_port;
-        s.heavy_portal_a = info.heavy_portal_label.a;
-        put_lights(info.heavy_portal_label, s.heavy_light_off,
-                   s.heavy_light_len);
+        s.heavy_portal_a = heavy_label.a;
+        put_lights(heavy_label, s.heavy_light_off, s.heavy_light_len);
         s.up_port = info.up_port;
         st.tables.push_back(s);
       }

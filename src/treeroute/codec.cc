@@ -86,28 +86,36 @@ DistTreeScheme::VLabel decode_vlabel(util::WordReader& r) {
   return label;
 }
 
-void encode(const DistTreeScheme::NodeInfo& info, util::WordWriter& w) {
+void encode(const DistTreeScheme::NodeInfo& info,
+            const TzTreeScheme::Label& heavy_portal_label,
+            util::WordWriter& w) {
   w.put(info.subtree_root);
   encode(info.local, w);
   w.put(info.a_prime);
   w.put(info.b_prime);
   w.put(info.heavy_prime);
   w.put(info.heavy_port);
-  encode(info.heavy_portal_label, w);
+  encode(heavy_portal_label, w);
   w.put(info.heavy_portal);
   w.put(info.up_port);
 }
 
-DistTreeScheme::NodeInfo decode_node_info(graph::Vertex self,
-                                          util::WordReader& r) {
+DistTreeScheme::NodeInfo decode_node_info(
+    graph::Vertex self, util::WordReader& r,
+    TzTreeScheme::Label& heavy_portal_label) {
+  // The decoded info is standalone: subtree_slot stays -1 because slot ids
+  // only mean something inside the scheme that owns the slot tables, so the
+  // slot-indexed accessors (heavy_portal_label_at / table_words_at) must
+  // not be fed a decoded info — the heavy-portal label travels through the
+  // out-parameter instead.
   DistTreeScheme::NodeInfo info;
   info.subtree_root = static_cast<graph::Vertex>(r.get());
   info.local = decode_table(self, r);
-  info.a_prime = r.get();
-  info.b_prime = r.get();
+  info.a_prime = static_cast<std::int32_t>(r.get());
+  info.b_prime = static_cast<std::int32_t>(r.get());
   info.heavy_prime = static_cast<graph::Vertex>(r.get());
   info.heavy_port = static_cast<std::int32_t>(r.get());
-  info.heavy_portal_label = decode_label(r);
+  heavy_portal_label = decode_label(r);
   info.heavy_portal = static_cast<graph::Vertex>(r.get());
   info.up_port = static_cast<std::int32_t>(r.get());
   return info;

@@ -27,10 +27,16 @@ std::int64_t vlabel_overhead_words(const DistTreeScheme::VLabel& l);
 void encode(const DistTreeScheme::VLabel& label, util::WordWriter& w);
 DistTreeScheme::VLabel decode_vlabel(util::WordReader& r);
 
-/// Overhead: one label overhead for the heavy-portal label.
+/// Overhead: one label overhead for the heavy-portal label. The label is
+/// passed alongside the info (the scheme stores it once per subtree slot —
+/// DistTreeScheme::heavy_portal_label_at); decode returns it through
+/// `heavy_portal_label` so the wire format is unchanged.
 inline constexpr std::int64_t kNodeInfoOverheadWords = kLabelOverheadWords;
-void encode(const DistTreeScheme::NodeInfo& info, util::WordWriter& w);
-DistTreeScheme::NodeInfo decode_node_info(graph::Vertex self,
-                                          util::WordReader& r);
+void encode(const DistTreeScheme::NodeInfo& info,
+            const TzTreeScheme::Label& heavy_portal_label,
+            util::WordWriter& w);
+DistTreeScheme::NodeInfo decode_node_info(
+    graph::Vertex self, util::WordReader& r,
+    TzTreeScheme::Label& heavy_portal_label);
 
 }  // namespace nors::treeroute

@@ -360,15 +360,17 @@ DistTreeScheme DistTreeScheme::build(const graph::WeightedGraph& g,
 
   // Per-slot heavy-portal labels, copied out *before* assembly: assembly
   // moves each member's own local label out of the flat arena, and the
-  // heavy portal is itself a member.
-  s.heavy_label.assign(static_cast<std::size_t>(r), TzTreeScheme::Label{});
+  // heavy portal is itself a member. These are the scheme's shared labels
+  // (one per slot, not per member — DESIGN.md §9).
+  out.slot_heavy_label_.assign(static_cast<std::size_t>(r),
+                               TzTreeScheme::Label{});
   for (int slot = 0; slot < r; ++slot) {
     const int heavy_slot = s.t_heavy[static_cast<std::size_t>(slot)];
     if (heavy_slot < 0) continue;
     const auto h_pos =
         static_cast<std::size_t>(s.roots[static_cast<std::size_t>(heavy_slot)]);
     const auto portal_pos = static_cast<std::size_t>(s.parent_pos[h_pos]);
-    s.heavy_label[static_cast<std::size_t>(slot)] =
+    out.slot_heavy_label_[static_cast<std::size_t>(slot)] =
         s.tz_labels[static_cast<std::size_t>(
             s.sub_off[static_cast<std::size_t>(
                 s.roots[static_cast<std::size_t>(slot)])] +
@@ -392,8 +394,9 @@ DistTreeScheme DistTreeScheme::build(const graph::WeightedGraph& g,
     NodeInfo ni;
     ni.subtree_root = s.order[wpos];
     ni.local = s.tz_tables[flat];
-    ni.a_prime = s.a_prime[wslot];
-    ni.b_prime = s.b_prime[wslot];
+    ni.a_prime = static_cast<std::int32_t>(s.a_prime[wslot]);
+    ni.b_prime = static_cast<std::int32_t>(s.b_prime[wslot]);
+    ni.subtree_slot = static_cast<std::int32_t>(wslot);
     const int heavy_slot = s.t_heavy[wslot];
     if (heavy_slot >= 0) {
       const auto h_pos =
@@ -401,7 +404,6 @@ DistTreeScheme DistTreeScheme::build(const graph::WeightedGraph& g,
       const auto portal_pos = static_cast<std::size_t>(s.parent_pos[h_pos]);
       ni.heavy_prime = s.order[h_pos];
       ni.heavy_portal = s.order[portal_pos];
-      ni.heavy_portal_label = s.heavy_label[wslot];
       ni.heavy_port = g.edge(ni.heavy_prime, s.parent_port[h_pos]).rev;
     }
     if (s.order[wpos] != tree.root) {
@@ -412,6 +414,10 @@ DistTreeScheme DistTreeScheme::build(const graph::WeightedGraph& g,
     lbl.a_prime = s.a_prime[wslot];
     lbl.global_light = s.t_label[wslot];
     lbl.local = std::move(s.tz_labels[flat]);
+    // The light list was built by appends (capacity ≈ 2× size for any
+    // label that extended its parent's); these labels stay resident for
+    // the scheme's lifetime, so trade one exact-fit copy for the slack.
+    lbl.local.light.shrink_to_fit();
     out.max_label_words_ = std::max(out.max_label_words_, lbl.words());
     const auto sidx =
         static_cast<std::size_t>(s.sorted_of_orig[static_cast<std::size_t>(
@@ -453,8 +459,9 @@ std::int32_t DistTreeScheme::next_hop(Vertex x, const VLabel& dest) const {
   }
   NORS_CHECK_MSG(nx.heavy_prime != graph::kNoVertex,
                  "descend requested but w(x) has no T' children");
-  const std::int32_t p =
-      TzTreeScheme::next_hop(nx.local, nx.heavy_portal_label);
+  const std::int32_t p = TzTreeScheme::next_hop(
+      nx.local,
+      slot_heavy_label_[static_cast<std::size_t>(nx.subtree_slot)]);
   return p == graph::kNoPort ? nx.heavy_port : p;
 }
 
@@ -482,8 +489,15 @@ const DistTreeScheme::NodeInfo& DistTreeScheme::info(Vertex v) const {
   return info_[static_cast<std::size_t>(i)];
 }
 
+const TzTreeScheme::Label& DistTreeScheme::heavy_portal_label(
+    Vertex v) const {
+  const int i = find(v);
+  NORS_CHECK_MSG(i >= 0, "vertex " << v << " not in tree");
+  return heavy_portal_label_at(static_cast<std::size_t>(i));
+}
+
 DistTreeBatch build_dist_tree_batch(const graph::WeightedGraph& g,
-                                    const std::vector<TreeSpec>& specs,
+                                    std::vector<TreeSpec> specs,
                                     const DistTreeBatchParams& params,
                                     int bfs_height, util::Rng& rng) {
   DistTreeBatch out;
@@ -522,6 +536,9 @@ DistTreeBatch build_dist_tree_batch(const graph::WeightedGraph& g,
   util::parallel_for(nthreads, specs.size(), [&](int t, std::size_t i) {
     out.schemes[i] = DistTreeScheme::build(
         g, specs[i], in_u, scratches[static_cast<std::size_t>(t)], &sched[i]);
+    // The spec is consumed: release its storage now so the spec arrays and
+    // the finished schemes never coexist at the batch's RSS peak.
+    specs[i] = TreeSpec{};
   });
 
   // Serial fold in spec order: the running max_label_words enters each

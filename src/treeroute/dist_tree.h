@@ -61,20 +61,24 @@ class DistTreeScheme {
     }
   };
 
-  /// The routing table stored at each member x.
+  /// The routing table stored at each member x. The heavy-portal label
+  /// ℓ(y) is identical for every member of one subtree T_w, so it is
+  /// stored once per subtree slot in the owning scheme
+  /// (heavy_portal_label_at) and referenced here by `subtree_slot` —
+  /// millions of resident per-member copies otherwise dominate a built
+  /// scheme's footprint (DESIGN.md §9). Word accounting that includes the
+  /// label lives in DistTreeScheme::table_words_at.
   struct NodeInfo {
     graph::Vertex subtree_root = graph::kNoVertex;  // w with x ∈ T_w
     TzTreeScheme::Table local;                      // table within T_w
-    std::int64_t a_prime = 0, b_prime = 0;          // interval of w in T'
+    // Interval of w in T' (int32 for the same footprint reason as
+    // TzTreeScheme::Table: T' has at most |T| nodes).
+    std::int32_t a_prime = 0, b_prime = 0;
+    std::int32_t subtree_slot = -1;                 // slot of w in T'
     graph::Vertex heavy_prime = graph::kNoVertex;   // h'(w)
     graph::Vertex heavy_portal = graph::kNoVertex;  // y = p_T(h'(w)) ∈ T_w
-    TzTreeScheme::Label heavy_portal_label;         // ℓ(y) within T_w
     std::int32_t heavy_port = graph::kNoPort;       // e(y, h'(w))
     std::int32_t up_port = graph::kNoPort;  // at w: port toward p_T(w)
-
-    std::int64_t words() const {
-      return 1 + local.words() + 2 + 1 + 1 + heavy_portal_label.words() + 2;
-    }
   };
 
   /// Builds the scheme for one tree; in_u marks the globally sampled U.
@@ -105,6 +109,22 @@ class DistTreeScheme {
   const NodeInfo& info(graph::Vertex v) const;
   graph::Vertex root() const { return root_; }
 
+  /// ℓ(p_T(h'(w))) within T_w for the member at position i — the label
+  /// next_hop routes toward when descending via the heavy T'-child (an
+  /// empty label when w has no T' children). Stored once per subtree slot.
+  const TzTreeScheme::Label& heavy_portal_label_at(std::size_t i) const {
+    return slot_heavy_label_[static_cast<std::size_t>(
+        info_[i].subtree_slot)];
+  }
+  const TzTreeScheme::Label& heavy_portal_label(graph::Vertex v) const;
+
+  /// Words of the member's routing table (paper accounting): ids, ports,
+  /// intervals and the shared heavy-portal label.
+  std::int64_t table_words_at(std::size_t i) const {
+    return 1 + info_[i].local.words() + 2 + 1 + 1 +
+           heavy_portal_label_at(i).words() + 2;
+  }
+
   /// Vertex-sorted member list; tables/labels are parallel to it.
   const std::vector<graph::Vertex>& members() const { return members_; }
   /// Index of v in members(), or -1 (binary search).
@@ -123,6 +143,9 @@ class DistTreeScheme {
   std::vector<graph::Vertex> members_;  // sorted ascending
   std::vector<NodeInfo> info_;          // parallel to members_
   std::vector<VLabel> labels_;          // parallel to members_
+  // Per subtree slot: ℓ(heavy portal) within that subtree (empty when the
+  // slot has no T' children); shared by all of the subtree's members.
+  std::vector<TzTreeScheme::Label> slot_heavy_label_;
   int max_subtree_depth_ = 0;
   int u_count_ = 0;
   std::int64_t max_label_words_ = 1;
@@ -167,7 +190,6 @@ struct TreeBuildScratch {
       t_heavy;
   std::vector<std::int64_t> t_size, a_prime, b_prime;
   std::vector<std::vector<DistTreeScheme::GlobalHop>> t_label;
-  std::vector<TzTreeScheme::Label> heavy_label;  // per slot: ℓ(heavy portal)
   std::vector<std::pair<int, int>> stack;
 };
 
@@ -194,8 +216,12 @@ struct DistTreeBatch {
   int max_overlap = 0;  // s: max #trees sharing a vertex
 };
 
+/// `specs` is consumed: each spec's storage is released as soon as its tree
+/// has been built (the spec arrays and the finished schemes would otherwise
+/// overlap at the batch's RSS peak — DESIGN.md §9). Pass std::move(specs)
+/// on hot paths; a copy is made otherwise.
 DistTreeBatch build_dist_tree_batch(const graph::WeightedGraph& g,
-                                    const std::vector<TreeSpec>& specs,
+                                    std::vector<TreeSpec> specs,
                                     const DistTreeBatchParams& params,
                                     int bfs_height, util::Rng& rng);
 

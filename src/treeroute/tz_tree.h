@@ -27,8 +27,11 @@ class TzTreeScheme {
     std::int32_t parent_port = graph::kNoPort; // port at self toward parent
     graph::Vertex heavy = graph::kNoVertex;    // kNoVertex at leaves
     std::int32_t heavy_port = graph::kNoPort;  // port at self toward heavy
-    std::int64_t a = 0;  // DFS entry time
-    std::int64_t b = 0;  // DFS exit time: subtree is [a, b)
+    // DFS entry/exit times: subtree is [a, b). Clocks count tree members,
+    // so int32 holds them; millions of tables stay resident in a built
+    // scheme, and the narrow fields cut its footprint (DESIGN.md §9).
+    std::int32_t a = 0;
+    std::int32_t b = 0;
 
     /// Words of routing state (paper: O(1)): ids+ports+times.
     std::int64_t words() const { return 6; }

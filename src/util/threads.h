@@ -16,13 +16,29 @@
 
 namespace nors::util {
 
-/// Resolves a `threads` parameter: a positive request wins; 0 consults the
-/// NORS_THREADS environment variable; unset or unparsable means 1 (serial).
+/// Resolves a `threads` parameter: a positive request is taken as-is up to
+/// the hardware clamp below; 0 consults the NORS_THREADS environment
+/// variable; unset or unparsable means 1 (serial).
+///
+/// The resolved count is clamped to the hardware concurrency: requesting 8
+/// workers on a 1-core container makes every pooled phase *slower* than
+/// serial (context-switch churn plus eight cold scratch arenas thrashing
+/// one cache), and because determinism is structural — pool size never
+/// changes a table, label, round count, or ledger entry — the clamp is
+/// unobservable except in wall-clock. Set NORS_THREADS_OVERSUBSCRIBE=1 to
+/// restore exact pool sizes (the determinism suite does, so real 8-worker
+/// pools are exercised even on small machines).
 inline int resolve_threads(int requested) {
-  if (requested > 0) return requested;
-  const char* e = std::getenv("NORS_THREADS");
-  if (e == nullptr) return 1;
-  return std::max(1, std::atoi(e));
+  int t = requested;
+  if (t <= 0) {
+    const char* e = std::getenv("NORS_THREADS");
+    t = e == nullptr ? 1 : std::max(1, std::atoi(e));
+  }
+  const char* oversub = std::getenv("NORS_THREADS_OVERSUBSCRIBE");
+  if (oversub != nullptr && std::atoi(oversub) != 0) return t;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) t = std::min(t, static_cast<int>(hw));
+  return std::max(1, t);
 }
 
 /// Runs `body(worker, index)` for every index in [0, count) across

@@ -16,6 +16,15 @@ namespace {
 
 using graph::Vertex;
 
+// resolve_threads clamps pool sizes to the hardware concurrency (a perf
+// guard — oversubscription only loses on small containers). This suite's
+// whole point is exercising *real* 2- and 8-worker pools, so opt out before
+// the first build; determinism must hold for any pool size regardless.
+const int kForceRealPools = [] {
+  setenv("NORS_THREADS_OVERSUBSCRIBE", "1", 1);
+  return 1;
+}();
+
 graph::WeightedGraph make_graph(int family, std::uint64_t seed) {
   util::Rng rng(seed);
   switch (family) {
@@ -86,6 +95,46 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Case{0, 2}, Case{0, 3}, Case{0, 4}, Case{1, 2},
                       Case{1, 3}, Case{1, 4}, Case{2, 2}, Case{2, 3},
                       Case{2, 4}));
+
+// Golden round counts, pinned from the committed BENCH_rounds_scaling.json
+// snapshot (bench/results/): the same graphs (bench_graph seeds 911+n /
+// the E1 path series) and build parameters must reproduce the committed
+// `rounds` column bit-for-bit. This is the regression net for the arena /
+// scheduler work — an engine or allocation change that perturbs even one
+// delivery order shows up here as a round-count drift long before anything
+// else notices. Update these values ONLY alongside a deliberate,
+// documented change to the simulation itself.
+TEST(GoldenRounds, MatchesCommittedRoundsScalingSnapshot) {
+  struct Row {
+    bool path;
+    int k;
+    int n;
+    std::int64_t rounds;
+  };
+  // Subset of the committed snapshot chosen to keep this test under a
+  // second while covering both series, both k values and 8× size range.
+  const Row rows[] = {
+      {false, 3, 256, 65284},   {false, 3, 512, 125770},
+      {false, 3, 1024, 226936}, {false, 3, 2048, 468644},
+      {false, 4, 256, 53368},   {false, 4, 512, 123744},
+      {false, 4, 1024, 191608}, {true, 3, 256, 66515},
+      {true, 3, 512, 145280},   {true, 3, 1024, 248325},
+  };
+  for (const Row& row : rows) {
+    util::Rng rng(911 + static_cast<std::uint64_t>(row.n));
+    const graph::WeightedGraph g =
+        row.path
+            ? graph::path(row.n, graph::WeightSpec::uniform(1, 8), rng)
+            : graph::connected_gnm(row.n, 3LL * row.n,
+                                   graph::WeightSpec::uniform(1, 32), rng);
+    core::SchemeParams p;
+    p.k = row.k;
+    p.seed = 7;
+    const auto s = core::RoutingScheme::build(g, p);
+    EXPECT_EQ(s.total_rounds(), row.rounds)
+        << (row.path ? "path" : "gnm") << " n=" << row.n << " k=" << row.k;
+  }
+}
 
 TEST(ThreadedDeterminism, CoverageRetryPathIsPoolSizeInvariant) {
   // The doubled-hop-bound retry loop (RoutingScheme::build) interacts with

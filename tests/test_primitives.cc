@@ -96,11 +96,12 @@ TEST(ClusterBf, ComputesExactClustersUnderLimit) {
     return b < lim.dist[static_cast<std::size_t>(v)];
   };
   const auto res = primitives::distributed_cluster_bellman_ford(g, roots, admit);
-  // Entries name roots by dense slot; scan a vertex's flat list for one.
+  // Entries name roots by dense slot; scan a vertex's CSR window for one.
   const auto entry_of = [&](Vertex v,
                             int slot) -> const primitives::ClusterEntry* {
-    for (const auto& [s, e] : res.entries[static_cast<std::size_t>(v)]) {
-      if (s == slot) return &e;
+    for (std::size_t e = res.off[static_cast<std::size_t>(v)];
+         e < res.off[static_cast<std::size_t>(v) + 1]; ++e) {
+      if (res.slot[e] == slot) return &res.rec[e];
     }
     return nullptr;
   };
@@ -131,7 +132,10 @@ TEST(ClusterBf, ComputesExactClustersUnderLimit) {
 
   // Tree property: parents are members with consistent distances.
   for (Vertex v = 0; v < g.n(); ++v) {
-    for (const auto& [slot, e] : res.entries[static_cast<std::size_t>(v)]) {
+    for (std::size_t ei = res.off[static_cast<std::size_t>(v)];
+         ei < res.off[static_cast<std::size_t>(v) + 1]; ++ei) {
+      const int slot = res.slot[ei];
+      const auto& e = res.rec[ei];
       if (v == res.roots[static_cast<std::size_t>(slot)]) continue;
       ASSERT_NE(e.parent_port, graph::kNoPort);
       const auto& edge = g.edge(v, e.parent_port);

@@ -223,7 +223,9 @@ TEST(DistTree, LabelAndTableWordBounds) {
   const auto s = treeroute::DistTreeScheme::build(g, f.spec, in_u);
   const double log2n = 10.0;  // log2(1024)
   for (Vertex v = 0; v < n; ++v) {
-    EXPECT_LE(s.info(v).words(), 15 + 2 * log2n) << "v=" << v;
+    EXPECT_LE(s.table_words_at(static_cast<std::size_t>(s.find(v))),
+              15 + 2 * log2n)
+        << "v=" << v;
     EXPECT_LE(s.label(v).words(), 2 + 5 * log2n * log2n) << "v=" << v;
   }
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""CI peak-RSS budget check (DESIGN.md §9).
+
+Compares the peak_rss_mb column of a fresh BENCH_construction.json against
+the committed budget in bench/results/rss_budget.json, so construction
+memory regressions fail CI exactly like correctness regressions.
+
+Usage: check_rss_budget.py <BENCH_construction.json> <rss_budget.json>
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        bench = json.load(f)
+    with open(sys.argv[2]) as f:
+        budget = json.load(f)
+
+    n = budget["n"]
+    limit = budget["budget_peak_rss_mb"]
+    rows = [r for r in bench.get("rows", []) if r.get("n") == n]
+    if not rows:
+        print(f"FAIL: no construction rows at n={n} in {sys.argv[1]} — "
+              "was the smoke run executed with the expected NORS_BENCH_N?",
+              file=sys.stderr)
+        return 1
+
+    # peak_rss_mb is process-monotonic, so the last row at the budgeted n is
+    # the honest high-water mark of the smoke run.
+    worst = max(float(r["peak_rss_mb"]) for r in rows)
+    status = "OK" if worst <= limit else "FAIL"
+    print(f"{status}: peak_rss_mb {worst:.1f} MB vs budget {limit} MB "
+          f"(n={n}, {len(rows)} rows)")
+    if worst > limit:
+        print("Construction peak RSS exceeded the committed budget. If the "
+              "increase is intentional, bump bench/results/rss_budget.json "
+              "in the same PR and document why.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
