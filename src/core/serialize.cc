@@ -49,4 +49,28 @@ std::int64_t vertex_label_overhead_words(const RoutingScheme& scheme,
   return overhead;
 }
 
+const std::uint8_t* get_uvarint(const std::uint8_t* p,
+                                const std::uint8_t* end, std::uint64_t& x) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    NORS_CHECK_MSG(p != end, "truncated varint");
+    const std::uint8_t b = *p++;
+    if (i == 9) {
+      // Tenth byte: only one value bit may remain for a 64-bit payload.
+      NORS_CHECK_MSG(b <= 1, "varint overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      // Canonical form: a multi-byte encoding must need its last byte.
+      NORS_CHECK_MSG(i == 0 || b != 0, "over-long varint encoding");
+      x = v;
+      return p;
+    }
+    shift += 7;
+  }
+  NORS_CHECK_MSG(false, "unterminated varint");
+  return p;  // unreachable
+}
+
 }  // namespace nors::core

@@ -48,4 +48,38 @@ DecodedVertexLabel decode_vertex_label(const std::vector<std::uint8_t>& bytes);
 std::int64_t vertex_label_overhead_words(const RoutingScheme& scheme,
                                          graph::Vertex v);
 
+// ---------------------------------------------------------------- varint --
+// LEB128-style varint + zigzag codec for the frozen-table v3 port-column
+// sections (DESIGN.md §10). The encoding is canonical — exactly one byte
+// sequence per value, enforced on decode — which is what lets a decoded
+// image re-encode byte-identically (save→load→save and save→map→save stay
+// byte-for-byte equal per format version). Pinned by test_codec.
+
+/// Appends x as a little-endian base-128 varint: 7 value bits per byte,
+/// high bit = continuation. At most 10 bytes for 64-bit values.
+inline void put_uvarint(std::vector<std::uint8_t>& out, std::uint64_t x) {
+  while (x >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(x) | 0x80u);
+    x >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(x));
+}
+
+/// Decodes one canonical varint from [p, end); returns the cursor after
+/// it. Throws std::logic_error on truncation, on 64-bit overflow, and on
+/// any non-minimal (over-long) encoding — e.g. {0x80, 0x00} for 0.
+const std::uint8_t* get_uvarint(const std::uint8_t* p,
+                                const std::uint8_t* end, std::uint64_t& x);
+
+/// Zigzag mapping: small-magnitude signed values (ports, deltas) become
+/// small unsigned varints. 0→0, -1→1, 1→2, -2→3, ...
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t unzigzag(std::uint64_t u) {
+  return static_cast<std::int64_t>(u >> 1) ^
+         -static_cast<std::int64_t>(u & 1);
+}
+
 }  // namespace nors::core

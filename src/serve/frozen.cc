@@ -1,7 +1,9 @@
 #include "serve/frozen.h"
 
 #include <algorithm>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -23,10 +25,10 @@ namespace {
 using graph::Vertex;
 
 // ------------------------------------------------------------ wire format --
-// DESIGN.md §5.2. Fixed 32-byte header, then every array as (u64 count, raw
-// elements, zero padding to the next 8-byte boundary), then a trailing
+// DESIGN.md §5.2/§10. Fixed 32-byte header, then every array as (u64 count,
+// raw elements, zero padding to the next 8-byte boundary), then a trailing
 // FNV-1a64 checksum of all preceding bytes. The per-section padding is what
-// makes version 2 mappable: the header is 32 bytes and every count field is
+// makes the image mappable: the header is 32 bytes and every count field is
 // 8 bytes, so with padded payloads every section's elements start at a file
 // offset that is a multiple of 8 — and mmap() returns page-aligned memory,
 // so an in-place view of any section is correctly aligned for its element
@@ -34,9 +36,24 @@ using graph::Vertex;
 // values are stored in the host byte order and stamped with an endianness
 // tag; load() rejects a foreign-endian image instead of byte-swapping (the
 // format is defined as little-endian — every platform this repo targets).
+//
+// Two format versions share this framing and differ only in the table
+// sections (between table_off and labels):
+//   v2: one section of fixed 80-byte TableSlotV2 records;
+//   v3: the i32 tree-key column as a raw section (zero-copy on map, SIMD-
+//       scannable in place), then the remaining slot fields as one
+//       delta/varint byte section — canonical LEB128+zigzag per field
+//       (core/serialize.h), interval widths and light-offset deltas instead
+//       of absolutes, so the section is a fraction of the v2 size.
+// Per version, save→load→save and save→map→save are byte-identical: the
+// varint codec is canonical (exactly one encoding per value) and every
+// transform below is bijective. Both loaders range-check the int64→int32
+// narrowing — DFS clocks are bounded by n, itself an int32, so legitimate
+// images always fit; a checksum-forged one is rejected.
 
 constexpr char kMagic[8] = {'N', 'O', 'R', 'S', 'F', 'R', 'Z', '1'};
-constexpr std::uint32_t kVersion = 2;  // v2 = v1 + 8-byte section alignment
+constexpr std::uint32_t kVersionV2 = 2;      // fixed 80-byte table slots
+constexpr std::uint32_t kVersionLatest = 3;  // split + varint table sections
 constexpr std::uint32_t kEndianTag = 0x01020304u;
 constexpr std::size_t kPreambleBytes =
     sizeof(kMagic) + 2 * sizeof(std::uint32_t);  // magic, version, endian
@@ -51,6 +68,30 @@ static_assert(alignof(FrozenScheme::TableSlot) <= 8);
 static_assert(alignof(FrozenScheme::LabelSlot) <= 8);
 static_assert(alignof(FrozenScheme::TrickRoot) <= 8);
 static_assert(alignof(FrozenScheme::TrickSlot) <= 8);
+
+/// The version-2 wire record of one table-slab entry: the in-memory packed
+/// TableSlot plus its tree key, with the five DFS-interval fields widened
+/// to int64 (the historical layout; kept so v2 images keep round-tripping
+/// byte-identically).
+struct TableSlotV2 {
+  std::int64_t local_a = 0;
+  std::int64_t local_b = 0;
+  std::int64_t a_prime = 0;
+  std::int64_t b_prime = 0;
+  std::int64_t heavy_portal_a = 0;
+  std::int32_t tree = -1;
+  std::int32_t subtree_root = graph::kNoVertex;
+  std::int32_t parent_port = graph::kNoPort;
+  std::int32_t heavy_child_port = graph::kNoPort;
+  std::int32_t heavy_prime = graph::kNoVertex;
+  std::int32_t heavy_cross_port = graph::kNoPort;
+  std::int32_t heavy_light_off = 0;
+  std::int32_t heavy_light_len = 0;
+  std::int32_t up_port = graph::kNoPort;
+  std::int32_t pad = 0;
+};
+static_assert(sizeof(TableSlotV2) == 80);
+static_assert(alignof(TableSlotV2) <= 8);
 
 /// Zero bytes needed after a payload of `len` bytes to reach the next
 /// 8-byte file offset (counts and payloads both start 8-aligned).
@@ -80,6 +121,116 @@ void put_span(std::vector<std::uint8_t>& out, std::span<const T> v) {
   const std::size_t payload = static_cast<std::size_t>(count) * sizeof(T);
   if (count > 0) put_raw(out, v.data(), payload);
   out.resize(out.size() + pad8(payload));  // zero padding
+}
+
+// ------------------------------------------------- v3 table-entry codec --
+
+std::int32_t narrow_i32(std::int64_t v) {
+  NORS_CHECK_MSG(v >= INT32_MIN && v <= INT32_MAX,
+                 "frozen table field out of int32 range");
+  return static_cast<std::int32_t>(v);
+}
+
+/// Appends one packed slot to the v3 varint section. Field order and
+/// transforms are part of the format: intervals as (start, width), light
+/// offsets as deltas against the previous entry (they grow monotonically
+/// in freeze order), everything zigzagged so sentinel -1s cost one byte.
+void encode_table_entry(std::vector<std::uint8_t>& out,
+                        const FrozenScheme::TableSlot& t,
+                        std::int64_t& prev_light_off) {
+  auto put = [&out](std::int64_t v) {
+    core::put_uvarint(out, core::zigzag(v));
+  };
+  put(t.local_a);
+  put(static_cast<std::int64_t>(t.local_b) - t.local_a);
+  put(t.a_prime);
+  put(static_cast<std::int64_t>(t.b_prime) - t.a_prime);
+  put(t.heavy_portal_a);
+  put(t.subtree_root);
+  put(t.parent_port);
+  put(t.heavy_child_port);
+  put(t.heavy_prime);
+  put(t.heavy_cross_port);
+  put(static_cast<std::int64_t>(t.heavy_light_off) - prev_light_off);
+  put(t.heavy_light_len);
+  put(t.up_port);
+  prev_light_off = t.heavy_light_off;
+}
+
+/// Decodes one entry; throws (core::get_uvarint / narrow_i32) on truncated
+/// tails, over-long encodings and values outside int32. Delta sums are
+/// computed in uint64 so a forged image cannot trigger signed overflow —
+/// a wrapped sum lands outside int32 and is rejected.
+const std::uint8_t* decode_table_entry(const std::uint8_t* p,
+                                       const std::uint8_t* end,
+                                       FrozenScheme::TableSlot& t,
+                                       std::int64_t& prev_light_off) {
+  auto get = [&p, end]() {
+    std::uint64_t u = 0;
+    p = core::get_uvarint(p, end, u);
+    return core::unzigzag(u);
+  };
+  auto add = [](std::int64_t base, std::int64_t delta) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(base) +
+                                     static_cast<std::uint64_t>(delta));
+  };
+  t.local_a = narrow_i32(get());
+  t.local_b = narrow_i32(add(t.local_a, get()));
+  t.a_prime = narrow_i32(get());
+  t.b_prime = narrow_i32(add(t.a_prime, get()));
+  t.heavy_portal_a = narrow_i32(get());
+  t.subtree_root = narrow_i32(get());
+  t.parent_port = narrow_i32(get());
+  t.heavy_child_port = narrow_i32(get());
+  t.heavy_prime = narrow_i32(get());
+  t.heavy_cross_port = narrow_i32(get());
+  t.heavy_light_off = narrow_i32(add(prev_light_off, get()));
+  t.heavy_light_len = narrow_i32(get());
+  t.up_port = narrow_i32(get());
+  t.pad = 0;
+  prev_light_off = t.heavy_light_off;
+  return p;
+}
+
+/// Inflates a whole v3 varint section (`entries` comes from the tree-key
+/// column's count). The section must be consumed exactly.
+void decode_table_blob(const std::uint8_t* p, std::size_t len,
+                       std::size_t entries,
+                       std::vector<FrozenScheme::TableSlot>& out) {
+  const std::uint8_t* end = p + len;
+  out.resize(entries);
+  std::int64_t prev_light_off = 0;
+  for (auto& t : out) p = decode_table_entry(p, end, t, prev_light_off);
+  NORS_CHECK_MSG(p == end,
+                 "frozen-table varint section length mismatch");
+}
+
+/// v2 → packed: splits the wide records into the tree-key column and the
+/// int32 slot array, range-checking the narrowing.
+void unzip_tables(std::span<const TableSlotV2> wide,
+                  std::vector<std::int32_t>& keys,
+                  std::vector<FrozenScheme::TableSlot>& slots) {
+  keys.resize(wide.size());
+  slots.resize(wide.size());
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    const TableSlotV2& w = wide[i];
+    keys[i] = w.tree;
+    FrozenScheme::TableSlot& t = slots[i];
+    t.local_a = narrow_i32(w.local_a);
+    t.local_b = narrow_i32(w.local_b);
+    t.a_prime = narrow_i32(w.a_prime);
+    t.b_prime = narrow_i32(w.b_prime);
+    t.heavy_portal_a = narrow_i32(w.heavy_portal_a);
+    t.subtree_root = w.subtree_root;
+    t.parent_port = w.parent_port;
+    t.heavy_child_port = w.heavy_child_port;
+    t.heavy_prime = w.heavy_prime;
+    t.heavy_cross_port = w.heavy_cross_port;
+    t.heavy_light_off = w.heavy_light_off;
+    t.heavy_light_len = w.heavy_light_len;
+    t.up_port = w.up_port;
+    t.pad = 0;
+  }
 }
 
 /// Bounds-checked cursor core shared by both decode paths, so the owning
@@ -161,8 +312,10 @@ class ViewCursor : public CursorBase {
 };
 
 /// Shared header framing check; returns the payload limit (bytes before
-/// the trailing checksum) after verifying magic/version/endian/checksum.
-std::size_t check_framing(const std::uint8_t* p, std::size_t size) {
+/// the trailing checksum) after verifying magic/version/endian/checksum,
+/// and reports which supported format version the image carries.
+std::size_t check_framing(const std::uint8_t* p, std::size_t size,
+                          std::uint32_t& version_out) {
   NORS_CHECK_MSG(size >= kHeaderBytes + sizeof(std::uint64_t),
                  "frozen-table image too short for a header");
   NORS_CHECK_MSG(std::memcmp(p, kMagic, sizeof(kMagic)) == 0,
@@ -170,7 +323,7 @@ std::size_t check_framing(const std::uint8_t* p, std::size_t size) {
   std::uint32_t version = 0, endian = 0;
   std::memcpy(&version, p + sizeof(kMagic), sizeof(version));
   std::memcpy(&endian, p + sizeof(kMagic) + sizeof(version), sizeof(endian));
-  NORS_CHECK_MSG(version == kVersion,
+  NORS_CHECK_MSG(version == kVersionV2 || version == kVersionLatest,
                  "unsupported frozen-table version " << version);
   NORS_CHECK_MSG(endian == kEndianTag,
                  "endianness mismatch: image written on a foreign-endian "
@@ -179,6 +332,7 @@ std::size_t check_framing(const std::uint8_t* p, std::size_t size) {
   std::memcpy(&stored, p + size - sizeof(stored), sizeof(stored));
   NORS_CHECK_MSG(fnv1a(p, size - sizeof(stored)) == stored,
                  "checksum mismatch: corrupt frozen-table image");
+  version_out = version;
   return size - sizeof(stored);
 }
 
@@ -194,12 +348,94 @@ void check_offsets(std::span<const Off> off, std::size_t n, std::size_t pool,
                  what << ": offsets do not cover the pool");
 }
 
+// --------------------------------------------------------- hugepage copy --
+
+/// NORS_HUGEPAGES opt-in: unset or "0" means off.
+bool hugepages_requested() {
+  const char* e = std::getenv("NORS_HUGEPAGES");
+  return e != nullptr && e[0] != '\0' && !(e[0] == '0' && e[1] == '\0');
+}
+
+#if NORS_HAVE_MMAP
+
+/// Bytes available from the kernel's reserved (pre-allocated) hugepage
+/// pool, per /proc/meminfo — MAP_HUGETLB mmap can succeed with an empty
+/// pool and then SIGBUS on first touch, so only try it when the pool
+/// actually covers the image.
+std::size_t hugetlb_free_bytes() {
+  std::FILE* fp = std::fopen("/proc/meminfo", "r");
+  if (fp == nullptr) return 0;
+  std::size_t free_pages = 0, page_kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), fp) != nullptr) {
+    unsigned long long val = 0;
+    if (std::sscanf(line, "HugePages_Free: %llu", &val) == 1) {
+      free_pages = static_cast<std::size_t>(val);
+    } else if (std::sscanf(line, "Hugepagesize: %llu kB", &val) == 1) {
+      page_kb = static_cast<std::size_t>(val);
+    }
+  }
+  std::fclose(fp);
+  return free_pages * page_kb * 1024;
+}
+
+/// Copies the image into hugepage-backed anonymous memory (DESIGN.md
+/// §10.4): explicit MAP_HUGETLB when the reserved pool covers the image,
+/// else transparent-hugepage advice on a plain anonymous mapping. Returns
+/// false — leaving the outputs untouched — when neither backing nor the
+/// file read works; the caller falls back to the ordinary file mapping.
+bool map_hugepage_copy(int fd, std::size_t size, void*& addr_out,
+                       std::size_t& map_len_out, bool& huge_out) {
+  constexpr std::size_t kHugeBytes = std::size_t{2} << 20;
+  const std::size_t rounded =
+      (size + kHugeBytes - 1) / kHugeBytes * kHugeBytes;
+  void* addr = MAP_FAILED;
+  bool huge = false;
+#if defined(MAP_HUGETLB)
+  if (hugetlb_free_bytes() >= rounded) {
+    addr = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    huge = addr != MAP_FAILED;
+  }
+#endif
+  if (addr == MAP_FAILED) {
+    addr = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (addr == MAP_FAILED) return false;
+#if defined(MADV_HUGEPAGE)
+    huge = ::madvise(addr, rounded, MADV_HUGEPAGE) == 0;
+#endif
+  }
+  auto* dst = static_cast<std::uint8_t*>(addr);
+  std::size_t got = 0;
+  while (got < size) {
+    const ::ssize_t r =
+        ::pread(fd, dst + got, size - got, static_cast<::off_t>(got));
+    if (r <= 0) {
+      ::munmap(addr, rounded);
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  ::mprotect(addr, rounded, PROT_READ);  // views are read-only from here
+  addr_out = addr;
+  map_len_out = rounded;
+  huge_out = huge;
+  return true;
+}
+
+#endif  // NORS_HAVE_MMAP
+
 }  // namespace
 
 FrozenScheme::Mapping::~Mapping() {
 #if NORS_HAVE_MMAP
-  if (addr != nullptr) ::munmap(addr, len);
+  if (addr != nullptr) ::munmap(addr, map_len != 0 ? map_len : len);
 #endif
+}
+
+bool FrozenScheme::hugepage_backed() const {
+  return mapping_ != nullptr && mapping_->huge;
 }
 
 void FrozenScheme::bind_owned() {
@@ -208,6 +444,7 @@ void FrozenScheme::bind_owned() {
   tree_root_ = s.tree_root;
   tree_level_ = s.tree_level;
   table_off_ = s.table_off;
+  table_tree_ = s.table_tree;
   tables_ = s.tables;
   labels_ = s.labels;
   hops_ = s.hops;
@@ -221,10 +458,23 @@ void FrozenScheme::bind_owned() {
   blobs_ = s.blobs;
 }
 
+void FrozenScheme::build_derived() {
+  // Fuse the serialized (to, weight) columns into 16-byte LinkSlots so the
+  // walk reads one cache line per hop. Derived, never serialized — both
+  // wire versions keep the split columns.
+  links_.resize(adj_to_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    links_[i].w = adj_w_[i];
+    links_[i].to = adj_to_[i];
+    links_[i].pad = 0;
+  }
+}
+
 FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
   const graph::WeightedGraph& g = scheme.graph();
   NORS_CHECK_MSG(g.frozen(), "freeze() needs the CSR (frozen) graph");
   FrozenScheme f;
+  f.format_version_ = kVersionLatest;
   f.storage_ = std::make_unique<Storage>();
   Storage& st = *f.storage_;
   const int n = g.n();
@@ -279,8 +529,10 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
     }
   };
 
-  // Per-vertex table slabs: one TableSlot per (vertex, tree) membership,
-  // grouped by vertex and tree-sorted within the slab.
+  // Per-vertex table slabs: one packed TableSlot (+ its tree key in the
+  // parallel column) per (vertex, tree) membership, grouped by vertex and
+  // tree-sorted within the slab. Every DFS-interval field provably fits
+  // int32 (clocks are bounded by the tree size ≤ n), checked as it lands.
   {
     struct Ref {
       Vertex v;
@@ -297,6 +549,7 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
     });
     NORS_CHECK_MSG(refs.size() < 0x7fffffff, "table slab index overflow");
     st.tables.reserve(refs.size());
+    st.table_tree.reserve(refs.size());
     st.table_off.resize(static_cast<std::size_t>(n) + 1);
     std::size_t idx = 0;
     for (Vertex v = 0; v < n; ++v) {
@@ -311,19 +564,19 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
         const auto& heavy_label =
             tree_scheme.heavy_portal_label_at(static_cast<std::size_t>(pos));
         TableSlot s;
-        s.tree = refs[idx].ti;
         s.subtree_root = info.subtree_root;
-        s.local_a = info.local.a;
-        s.local_b = info.local.b;
+        s.local_a = narrow_i32(info.local.a);
+        s.local_b = narrow_i32(info.local.b);
         s.parent_port = info.local.parent_port;
         s.heavy_child_port = info.local.heavy_port;
-        s.a_prime = info.a_prime;
-        s.b_prime = info.b_prime;
+        s.a_prime = narrow_i32(info.a_prime);
+        s.b_prime = narrow_i32(info.b_prime);
         s.heavy_prime = info.heavy_prime;
         s.heavy_cross_port = info.heavy_port;
-        s.heavy_portal_a = heavy_label.a;
+        s.heavy_portal_a = narrow_i32(heavy_label.a);
         put_lights(heavy_label, s.heavy_light_off, s.heavy_light_len);
         s.up_port = info.up_port;
+        st.table_tree.push_back(refs[idx].ti);
         st.tables.push_back(s);
       }
     }
@@ -417,6 +670,7 @@ FrozenScheme FrozenScheme::freeze(const core::RoutingScheme& scheme) {
       static_cast<std::int64_t>(st.blobs.size());
 
   f.bind_owned();
+  f.build_derived();
   f.validate();
   return f;
 }
@@ -432,6 +686,11 @@ void FrozenScheme::validate() const {
   NORS_CHECK_MSG(labels_.size() == n * static_cast<std::size_t>(k_),
                  "label arena size");
   check_offsets(table_off_, n, tables_.size(), "table slabs");
+  // table_index() narrows slab indices to int32 (the cacheable key of the
+  // serving-side table cache), so the table arena must fit.
+  NORS_CHECK_MSG(tables_.size() <= 0x7fffffff, "table arena too large");
+  NORS_CHECK_MSG(table_tree_.size() == tables_.size(),
+                 "table key column size");
   check_offsets(adj_off_, n, adj_to_.size(), "link map");
   NORS_CHECK_MSG(adj_w_.size() == adj_to_.size(), "link map weight column");
   // Link targets feed back into every per-vertex array as the walk's next
@@ -449,10 +708,22 @@ void FrozenScheme::validate() const {
                        static_cast<std::size_t>(off) + len <= lights_.size(),
                    what << ": light range out of pool");
   };
-  for (const auto& t : tables_) {
-    NORS_CHECK_MSG(t.tree >= 0 && t.tree < num_trees_,
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    NORS_CHECK_MSG(table_tree_[i] >= 0 && table_tree_[i] < num_trees_,
                    "table slot tree id out of range");
-    check_lights(t.heavy_light_off, t.heavy_light_len, "table slot");
+    check_lights(tables_[i].heavy_light_off, tables_[i].heavy_light_len,
+                 "table slot");
+  }
+  // The SIMD lower-bound lookup requires each slab's key run to be
+  // strictly sorted — enforce it so a forged image degrades to a thrown
+  // error, never to a wrong or divergent lookup.
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto lo = static_cast<std::size_t>(table_off_[v]);
+    const auto hi = static_cast<std::size_t>(table_off_[v + 1]);
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      NORS_CHECK_MSG(table_tree_[i - 1] < table_tree_[i],
+                     "table slab not tree-sorted");
+    }
   }
   auto check_hops = [this](std::int32_t off, std::int32_t len,
                            const char* what) {
@@ -497,10 +768,16 @@ void FrozenScheme::validate() const {
 }
 
 std::vector<std::uint8_t> FrozenScheme::save() const {
+  return save_as(format_version_);
+}
+
+std::vector<std::uint8_t> FrozenScheme::save_as(std::uint32_t version) const {
+  NORS_CHECK_MSG(version == kVersionV2 || version == kVersionLatest,
+                 "unsupported frozen-table version " << version);
   std::vector<std::uint8_t> out;
   out.reserve(static_cast<std::size_t>(byte_size()) + 512);
   put_raw(out, kMagic, sizeof(kMagic));
-  put_raw(out, &kVersion, sizeof(kVersion));
+  put_raw(out, &version, sizeof(version));
   put_raw(out, &kEndianTag, sizeof(kEndianTag));
   put_raw(out, &n_, sizeof(n_));
   put_raw(out, &k_, sizeof(k_));
@@ -510,7 +787,39 @@ std::vector<std::uint8_t> FrozenScheme::save() const {
   put_span(out, tree_root_);
   put_span(out, tree_level_);
   put_span(out, table_off_);
-  put_span(out, tables_);
+  if (version == kVersionV2) {
+    // Re-zip the packed slots into the historical 80-byte wire records.
+    std::vector<TableSlotV2> wide(tables_.size());
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      const TableSlot& t = tables_[i];
+      TableSlotV2& w = wide[i];
+      w.local_a = t.local_a;
+      w.local_b = t.local_b;
+      w.a_prime = t.a_prime;
+      w.b_prime = t.b_prime;
+      w.heavy_portal_a = t.heavy_portal_a;
+      w.tree = table_tree_[i];
+      w.subtree_root = t.subtree_root;
+      w.parent_port = t.parent_port;
+      w.heavy_child_port = t.heavy_child_port;
+      w.heavy_prime = t.heavy_prime;
+      w.heavy_cross_port = t.heavy_cross_port;
+      w.heavy_light_off = t.heavy_light_off;
+      w.heavy_light_len = t.heavy_light_len;
+      w.up_port = t.up_port;
+      w.pad = 0;
+    }
+    put_span(out, std::span<const TableSlotV2>(wide));
+  } else {
+    put_span(out, table_tree_);
+    std::vector<std::uint8_t> blob;
+    blob.reserve(tables_.size() * 16);
+    std::int64_t prev_light_off = 0;
+    for (const auto& t : tables_) {
+      encode_table_entry(blob, t, prev_light_off);
+    }
+    put_span(out, std::span<const std::uint8_t>(blob));
+  }
   put_span(out, labels_);
   put_span(out, hops_);
   put_span(out, lights_);
@@ -527,12 +836,14 @@ std::vector<std::uint8_t> FrozenScheme::save() const {
 }
 
 FrozenScheme FrozenScheme::load(const std::vector<std::uint8_t>& bytes) {
-  const std::size_t limit = check_framing(bytes.data(), bytes.size());
+  std::uint32_t version = 0;
+  const std::size_t limit = check_framing(bytes.data(), bytes.size(), version);
   // check_framing verified the preamble (magic, version, endianness);
   // decoding starts at the i32 header fields right after it.
   Cursor c(bytes.data() + kPreambleBytes, limit - kPreambleBytes);
 
   FrozenScheme f;
+  f.format_version_ = version;
   f.storage_ = std::make_unique<Storage>();
   Storage& st = *f.storage_;
   c.read(&f.n_, sizeof(f.n_));
@@ -543,7 +854,17 @@ FrozenScheme FrozenScheme::load(const std::vector<std::uint8_t>& bytes) {
   c.read_vec(st.tree_root);
   c.read_vec(st.tree_level);
   c.read_vec(st.table_off);
-  c.read_vec(st.tables);
+  if (version == kVersionV2) {
+    std::vector<TableSlotV2> wide;
+    c.read_vec(wide);
+    unzip_tables(wide, st.table_tree, st.tables);
+  } else {
+    c.read_vec(st.table_tree);
+    std::vector<std::uint8_t> blob;
+    c.read_vec(blob);
+    decode_table_blob(blob.data(), blob.size(), st.table_tree.size(),
+                      st.tables);
+  }
   c.read_vec(st.labels);
   c.read_vec(st.hops);
   c.read_vec(st.lights);
@@ -557,6 +878,7 @@ FrozenScheme FrozenScheme::load(const std::vector<std::uint8_t>& bytes) {
   NORS_CHECK_MSG(c.pos() == limit - kPreambleBytes,
                  "trailing bytes after the last frozen-table section");
   f.bind_owned();
+  f.build_derived();
   f.validate();
   return f;
 }
@@ -596,18 +918,30 @@ FrozenScheme FrozenScheme::map(const std::string& path) {
   const auto size = static_cast<std::size_t>(sb.st_size);
   auto mapping = std::make_unique<Mapping>();
   if (size > 0) {
-    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-    ::close(fd);
-    NORS_CHECK_MSG(addr != MAP_FAILED, "mmap failed for " << path);
-    mapping->addr = addr;
-    mapping->len = size;
-  } else {
-    ::close(fd);
+    bool bound = false;
+    if (hugepages_requested()) {
+      bound = map_hugepage_copy(fd, size, mapping->addr, mapping->map_len,
+                                mapping->huge);
+      if (bound) mapping->len = size;
+    }
+    if (!bound) {
+      void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (addr == MAP_FAILED) {
+        ::close(fd);
+        NORS_CHECK_MSG(false, "mmap failed for " << path);
+      }
+      mapping->addr = addr;
+      mapping->len = size;
+      mapping->map_len = size;
+    }
   }
+  ::close(fd);
   const std::uint8_t* p = mapping->data();
-  const std::size_t limit = check_framing(p, size);
+  std::uint32_t version = 0;
+  const std::size_t limit = check_framing(p, size, version);
 
   FrozenScheme f;
+  f.format_version_ = version;
   // As in load(): the preamble was verified by check_framing, so the
   // in-place cursor starts at the i32 header fields (absolute addresses
   // are preserved, which the alignment checks rely on).
@@ -620,7 +954,25 @@ FrozenScheme FrozenScheme::map(const std::string& path) {
   c.read_span(f.tree_root_);
   c.read_span(f.tree_level_);
   c.read_span(f.table_off_);
-  c.read_span(f.tables_);
+  // The table slots are the one piece the mapped path decodes into owned
+  // memory on both versions (v2 narrows the wide records, v3 inflates the
+  // varint section) — the packed in-memory form is what the hot path
+  // wants, and re-deriving it beats paging 80-byte slots forever. The v3
+  // tree-key column is served zero-copy straight from the image.
+  f.storage_ = std::make_unique<Storage>();
+  if (version == kVersionV2) {
+    std::span<const TableSlotV2> wide;
+    c.read_span(wide);
+    unzip_tables(wide, f.storage_->table_tree, f.storage_->tables);
+    f.table_tree_ = f.storage_->table_tree;
+  } else {
+    c.read_span(f.table_tree_);
+    std::span<const std::uint8_t> blob;
+    c.read_span(blob);
+    decode_table_blob(blob.data(), blob.size(), f.table_tree_.size(),
+                      f.storage_->tables);
+  }
+  f.tables_ = f.storage_->tables;
   c.read_span(f.labels_);
   c.read_span(f.hops_);
   c.read_span(f.lights_);
@@ -634,6 +986,7 @@ FrozenScheme FrozenScheme::map(const std::string& path) {
   NORS_CHECK_MSG(c.pos() == limit - kPreambleBytes,
                  "trailing bytes after the last frozen-table section");
   f.mapping_ = std::move(mapping);
+  f.build_derived();
   f.validate();
   return f;
 #else
@@ -649,9 +1002,10 @@ std::int64_t FrozenScheme::byte_size() const {
   };
   return static_cast<std::int64_t>(4 * sizeof(std::int32_t)) + bytes(level_) +
          bytes(tree_root_) + bytes(tree_level_) + bytes(table_off_) +
-         bytes(tables_) + bytes(labels_) + bytes(hops_) + bytes(lights_) +
-         bytes(trick_roots_) + bytes(tricks_) + bytes(adj_off_) +
-         bytes(adj_to_) + bytes(adj_w_) + bytes(blob_off_) + bytes(blobs_);
+         bytes(table_tree_) + bytes(tables_) + bytes(labels_) + bytes(hops_) +
+         bytes(lights_) + bytes(trick_roots_) + bytes(tricks_) +
+         bytes(adj_off_) + bytes(adj_to_) + bytes(adj_w_) + bytes(blob_off_) +
+         bytes(blobs_);
 }
 
 }  // namespace nors::serve

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/scheme.h"
+#include "util/simd.h"
 
 namespace nors::serve {
 
@@ -23,48 +24,73 @@ struct Decision {
   graph::Dist length = 0;
 };
 
+/// One route decision request (shared by every serving front-end).
+struct Query {
+  graph::Vertex u = graph::kNoVertex;
+  graph::Vertex v = graph::kNoVertex;
+};
+
+/// Counters a batch engine run reports back (route_batch and the cached
+/// variant). `completed`/`hops` cover queries answered so far, so on a
+/// mid-batch exception they describe exactly the prefix that finished.
+struct BatchStats {
+  std::int64_t completed = 0;
+  std::int64_t hops = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+};
+
 /// An immutable, flat-memory snapshot of a constructed RoutingScheme — the
-/// serving-side artifact (DESIGN.md §5). freeze() packs everything a router
-/// network needs to answer route(u, v) into arena-style slabs:
+/// serving-side artifact (DESIGN.md §5, §10). freeze() packs everything a
+/// router network needs to answer route(u, v) into arena-style slabs:
 ///
-///   - per-vertex *table slabs*: one fixed-width TableSlot per cluster tree
-///     containing the vertex (its NodeInfo from treeroute/dist_tree.h),
-///     tree-sorted so membership tests are a binary search over the slab;
+///   - per-vertex *table slabs*: one packed TableSlot per cluster tree
+///     containing the vertex, tree-sorted, with the sort key split into a
+///     parallel i32 key column (table_tree()) so membership tests are a
+///     branch-light SIMD lower-bound scan over a few contiguous cache
+///     lines instead of a pointer-chasing binary search over wide slots;
 ///   - per-vertex *label slots*: the k LabelEntry rows, stride-k flat, with
 ///     variable-length pieces (light lists, global hops) in shared pools;
 ///   - the 4k-5 trick slabs at level-0 cluster roots;
 ///   - the port→(neighbor, weight) link map (a router's physical
-///     interfaces), so the walk simulation never touches WeightedGraph;
+///     interfaces), so the walk simulation never touches WeightedGraph —
+///     served from a fused {weight, neighbor} column (one cache line per
+///     hop instead of two);
 ///   - packed wire-label blobs (core::encode_vertex_label bytes, one pool)
 ///     — what a node hands to connecting peers.
 ///
 /// The hot path is allocation-free and graph-free: a query resolves the
 /// destination's cluster tree from label/trick slots, then repeats
-/// {binary-search x's slab, evaluate next port, follow the link map} until
+/// {search x's slab, evaluate next port, follow the link map} until
 /// arrival. Decisions are bit-identical to RoutingScheme::route() — pinned
-/// by test_serve.
+/// by test_serve. route_batch() answers many queries through a software
+/// pipeline (stage machine per in-flight query with explicit prefetch one
+/// stage ahead), so the table-lookup cache misses of different queries
+/// overlap instead of serializing — the throughput path every serving
+/// front-end (RouteServer, ShardedRouteServer) runs on.
 ///
 /// Every slab is exposed as a std::span view; the bytes behind the views
 /// are either *owned* (freeze()/load() fill heap vectors) or *mapped*
-/// (map() mmaps a saved image and serves straight from the page cache —
-/// zero-copy startup, DESIGN.md §8.2). The two load paths serve
-/// bit-identical decisions; map() falls back to nothing — callers on
-/// platforms without mmap use load_file(). FrozenScheme is move-only: the
-/// views alias its own storage, so copies are forbidden by construction.
+/// (map() mmaps a saved image and serves straight from the page cache).
+/// The two load paths serve bit-identical decisions. FrozenScheme is
+/// move-only: the views alias its own storage, so copies are forbidden by
+/// construction.
 ///
 /// save()/load()/map() share a versioned little-endian binary format
-/// (magic NORSFRZ1, version 2, endianness tag, FNV-1a checksum; every
-/// section payload starts 8-byte aligned so the image can be mapped and
-/// read in place; format spec in DESIGN.md §5.2). save→load→save is
-/// byte-identical, and so is save→map→save.
+/// (magic NORSFRZ1, endianness tag, FNV-1a checksum; format spec in
+/// DESIGN.md §5.2/§10). Two on-disk versions are supported: version 2
+/// (fixed 80-byte table slots, fully mappable in place) and version 3
+/// (split table sections: raw i32 tree-key column + delta/varint-
+/// compressed slot columns — a substantially smaller image). load() and
+/// map() accept both; save() re-emits the version the instance came from
+/// (freeze() produces the latest), and save_as() converts. Per version,
+/// save→load→save and save→map→save are byte-identical.
 class FrozenScheme {
  public:
   // ---------------------------------------------------------- slot PODs --
-  // Every slot is padding-free (static_asserted), so the serialized image
-  // is exactly the in-memory arrays and save→load→save is byte-identical.
-  // All slots have 8-byte alignment at most — the format's section
-  // alignment — so a mapped image can be read in place (static_asserted
-  // in frozen.cc next to the section writer).
+  // Every slot is padding-free (static_asserted) with alignment ≤ 8 — the
+  // format's section alignment — so sections of a mapped image can be read
+  // in place (static_asserted in frozen.cc next to the section writer).
 
   /// One (vertex, port) pair of a TZ light list.
   struct LightSlot {
@@ -83,14 +109,19 @@ class FrozenScheme {
   };
 
   /// One entry of a vertex's table slab: the vertex's routing state inside
-  /// cluster tree `tree` (DistTreeScheme::NodeInfo, flattened).
+  /// one cluster tree (DistTreeScheme::NodeInfo, flattened and packed).
+  /// The slab's sort key — the cluster-tree index — lives in the parallel
+  /// table_tree() column, and all DFS-interval fields are int32: a DFS
+  /// clock is bounded by the tree size, which is bounded by n, which is
+  /// itself an int32 (the narrowing is range-checked when a version-2
+  /// image, which stores these fields as int64, is decoded). 56 bytes =
+  /// at most two cache lines per decision, usually one.
   struct TableSlot {
-    std::int64_t local_a = 0;         // TZ interval of x in T_{w(x)}
-    std::int64_t local_b = 0;
-    std::int64_t a_prime = 0;         // interval of w(x) in T'
-    std::int64_t b_prime = 0;
-    std::int64_t heavy_portal_a = 0;  // ℓ(y).a, y = p_T(h'(w)) ∈ T_w
-    std::int32_t tree = -1;           // cluster-tree index (slab sort key)
+    std::int32_t local_a = 0;         // TZ interval of x in T_{w(x)}
+    std::int32_t local_b = 0;
+    std::int32_t a_prime = 0;         // interval of w(x) in T'
+    std::int32_t b_prime = 0;
+    std::int32_t heavy_portal_a = 0;  // ℓ(y).a, y = p_T(h'(w)) ∈ T_w
     std::int32_t subtree_root = graph::kNoVertex;  // w with x ∈ T_w
     std::int32_t parent_port = graph::kNoPort;  // toward subtree parent
     std::int32_t heavy_child_port = graph::kNoPort;  // local TZ heavy child
@@ -138,12 +169,23 @@ class FrozenScheme {
     std::int32_t pad = 0;
   };
 
+  /// Fused link-map entry: the weight and target of one (vertex, port)
+  /// interface in a single 16-byte read. Derived at bind time from the
+  /// serialized adj_to/adj_w columns (not itself a wire section) — the
+  /// walk pays one cache line per hop for the link instead of two.
+  struct LinkSlot {
+    graph::Dist w = 0;
+    graph::Vertex to = graph::kNoVertex;
+    std::int32_t pad = 0;
+  };
+
   static_assert(sizeof(LightSlot) == 8);
   static_assert(sizeof(HopSlot) == 24);
-  static_assert(sizeof(TableSlot) == 80);
+  static_assert(sizeof(TableSlot) == 56);
   static_assert(sizeof(LabelSlot) == 56);
   static_assert(sizeof(TrickRoot) == 24);
   static_assert(sizeof(TrickSlot) == 40);
+  static_assert(sizeof(LinkSlot) == 16);
 
   // --------------------------------------------------------- life cycle --
 
@@ -158,22 +200,42 @@ class FrozenScheme {
   /// WeightedGraph may be destroyed afterwards.
   static FrozenScheme freeze(const core::RoutingScheme& scheme);
 
-  /// Versioned binary image (format: DESIGN.md §5.2).
+  /// Versioned binary image (format: DESIGN.md §5.2/§10). save() writes
+  /// the instance's own format version — the one it was loaded from, or
+  /// the latest for freeze() outputs; save_as() converts explicitly.
   std::vector<std::uint8_t> save() const;
+  std::vector<std::uint8_t> save_as(std::uint32_t version) const;
   static FrozenScheme load(const std::vector<std::uint8_t>& bytes);
   void save_file(const std::string& path) const;
   static FrozenScheme load_file(const std::string& path);
 
   /// Zero-copy load: mmaps the NORSFRZ1 image at `path` read-only,
-  /// validates the checksum against the mapped bytes, and binds every slab
-  /// view directly into the mapping — no slab copies, startup cost is one
-  /// checksum pass and the structural validate(). The mapping lives as
-  /// long as the FrozenScheme. Rejects corrupt images exactly like load().
+  /// validates the checksum against the mapped bytes, and binds slab
+  /// views directly into the mapping wherever the wire layout matches the
+  /// in-memory one (labels, pools, tricks, link columns, blobs — and the
+  /// v3 tree-key column). Table slots are decoded/packed into owned
+  /// memory on both versions (v2 narrows 80-byte slots, v3 inflates the
+  /// varint columns). Rejects corrupt images exactly like load().
+  ///
+  /// Opt-in hugepage backing: with NORS_HUGEPAGES=1 in the environment,
+  /// the image is copied into hugepage-backed anonymous memory instead of
+  /// being file-mapped (MAP_HUGETLB when the system has reserved huge
+  /// pages, transparent-hugepage advice otherwise, plain pages as the
+  /// last resort) — trading zero-copy startup for far fewer TLB misses on
+  /// the ~100 MB serving working set. Serving behavior is identical.
   static FrozenScheme map(const std::string& path);
 
   /// True when the slabs alias an mmap'ed image rather than owned heap
   /// vectors (inspection/bench reporting only — serving is identical).
   bool is_mapped() const { return mapping_ != nullptr; }
+
+  /// True when map() placed the image in hugepage-backed memory
+  /// (NORS_HUGEPAGES=1 and at least the transparent-hugepage fallback
+  /// succeeded).
+  bool hugepage_backed() const;
+
+  /// The on-disk format version save() will emit (2 or 3).
+  std::uint32_t format_version() const { return format_version_; }
 
   // ------------------------------------------------------------ serving --
 
@@ -200,23 +262,46 @@ class FrozenScheme {
         path);
   }
 
+  /// Software-pipelined batch engine (DESIGN.md §10): answers queries[i]
+  /// into out[i] with up to kBatchLanes queries in flight, each advanced
+  /// one stage per engine round — label decode, slab prefetch, table
+  /// lookup, port emit — with the next stage's cache lines prefetched one
+  /// round ahead, so the lookup misses of different queries overlap.
+  /// Decisions are identical to route() per query; exceptions (bad query,
+  /// corrupt state) propagate like route()'s, leaving out[] slots of
+  /// unfinished queries unspecified (`stats`, if given, describes exactly
+  /// the completed prefix).
+  void route_batch(const Query* queries, std::size_t count, Decision* out,
+                   BatchStats* stats = nullptr) const {
+    NoTableCache none;
+    route_batch_impl(queries, count, out, none, stats);
+  }
+
+  /// As route_batch(), resolving (vertex, tree) slab lookups through a
+  /// caller-owned cache first (serve/table_cache.h shape: probe()/
+  /// insert()); hit/miss counts land in `stats`.
+  template <typename Cache>
+  void route_batch_cached(const Query* queries, std::size_t count,
+                          Decision* out, Cache& cache,
+                          BatchStats* stats = nullptr) const {
+    route_batch_impl(queries, count, out, cache, stats);
+  }
+
+  /// Queries in flight per route_batch() engine round.
+  static constexpr int kBatchLanes = 16;
+
   /// Index into tables() of x's slab entry for cluster tree `tree`, or -1
-  /// when x is not in that tree. O(log slab) binary search — the lookup
+  /// when x is not in that tree — a SIMD lower-bound scan over the slab's
+  /// run of the tree-key column (util/simd.h). This is the lookup
   /// RouteServer's (vertex, tree) cache memoizes.
   std::int32_t table_index(graph::Vertex x, std::int32_t tree) const {
     const std::int64_t lo = table_off_[static_cast<std::size_t>(x)];
     const std::int64_t hi = table_off_[static_cast<std::size_t>(x) + 1];
-    std::int64_t a = lo, b = hi;
-    while (a < b) {
-      const std::int64_t mid = (a + b) / 2;
-      if (tables_[static_cast<std::size_t>(mid)].tree < tree) {
-        a = mid + 1;
-      } else {
-        b = mid;
-      }
-    }
-    if (a < hi && tables_[static_cast<std::size_t>(a)].tree == tree) {
-      return static_cast<std::int32_t>(a);
+    const auto* keys = table_tree_.data() + lo;
+    const auto len = static_cast<std::int32_t>(hi - lo);
+    const std::int32_t rel = util::simd::lower_bound_i32(keys, len, tree);
+    if (rel < len && keys[rel] == tree) {
+      return static_cast<std::int32_t>(lo) + rel;
     }
     return -1;
   }
@@ -227,8 +312,8 @@ class FrozenScheme {
   }
 
   /// The core walk, parameterized over the (vertex, tree) → TableSlot*
-  /// lookup so RouteServer can interpose its cache. Lookup must return
-  /// nullptr exactly when table_index() returns -1.
+  /// lookup so callers can interpose a cache. Lookup must return nullptr
+  /// exactly when table_index() returns -1.
   template <typename TableLookup>
   Decision route_with(graph::Vertex u, graph::Vertex v, TableLookup&& lookup,
                       std::vector<graph::Vertex>* path) const;
@@ -244,6 +329,11 @@ class FrozenScheme {
   }
   std::span<const TableSlot> tables() const { return tables_; }
 
+  /// The table-slab sort-key column, parallel to tables(): entry i of
+  /// tables() describes the vertex's state in cluster tree
+  /// table_tree()[i]; tree-sorted within each vertex's slab.
+  std::span<const std::int32_t> table_tree() const { return table_tree_; }
+
   /// v's packed wire label (core::encode_vertex_label bytes) — what the
   /// serving layer hands to a peer at connection setup.
   std::span<const std::uint8_t> label_blob(graph::Vertex v) const {
@@ -251,7 +341,8 @@ class FrozenScheme {
             blobs_.data() + blob_off_[static_cast<std::size_t>(v) + 1]};
   }
 
-  /// Total bytes of frozen state (what save() writes, minus framing).
+  /// Total bytes of in-memory frozen state behind the serving views
+  /// (section payloads; framing and the derived fused link map excluded).
   std::int64_t byte_size() const;
 
  private:
@@ -327,20 +418,44 @@ class FrozenScheme {
             s.local_light_len, s.hop_off, s.hop_len};
   }
 
+  /// Finds the cluster tree a (u, v) walk uses — the 4k-5 trick slab at a
+  /// level-0 u, else the label scan (Algorithm 1 order, exactly as the
+  /// live route()). Returns the tree (or -1: coverage failure), fills
+  /// `dest` and the decision's tree fields. `lookup` answers "is u in
+  /// tree t" (index or -1), letting callers interpose a cache.
+  template <typename IndexLookup>
+  std::int32_t find_tree(graph::Vertex u, graph::Vertex v,
+                         IndexLookup&& lookup, DestView& dest,
+                         Decision& r) const;
+
+  /// Cache stub for the uncached batch engine: never hits.
+  struct NoTableCache {
+    bool probe(graph::Vertex, std::int32_t, std::int32_t&) const {
+      return false;
+    }
+    void insert(graph::Vertex, std::int32_t, std::int32_t) const {}
+  };
+
+  template <typename Cache>
+  void route_batch_impl(const Query* queries, std::size_t count,
+                        Decision* out, Cache& cache, BatchStats* stats) const;
+
   /// Structural sanity of all offsets/ranges; throws on violation. Run
   /// after freeze() (cheap self-check) and after load()/map() (so a
   /// corrupt but checksum-valid image can never cause out-of-bounds
   /// serving reads).
   void validate() const;
 
-  /// Heap storage behind the views on the owning paths (freeze, load).
-  /// Held by pointer so moving the FrozenScheme never relocates the
-  /// vectors the spans alias.
+  /// Heap storage behind the views on the owning paths (freeze, load) —
+  /// and, on the map() path, behind the packed table slots, which are
+  /// decoded out of the image rather than aliased. Held by pointer so
+  /// moving the FrozenScheme never relocates the vectors the spans alias.
   struct Storage {
     std::vector<std::int32_t> level;
     std::vector<std::int32_t> tree_root;
     std::vector<std::int32_t> tree_level;
     std::vector<std::int64_t> table_off;
+    std::vector<std::int32_t> table_tree;
     std::vector<TableSlot> tables;
     std::vector<LabelSlot> labels;
     std::vector<HopSlot> hops;
@@ -354,7 +469,9 @@ class FrozenScheme {
     std::vector<std::uint8_t> blobs;
   };
 
-  /// RAII read-only mmap of a saved image (the map() path).
+  /// RAII image memory of the map() path: a read-only file mapping, or —
+  /// with NORS_HUGEPAGES=1 — an anonymous hugepage-backed copy of the
+  /// file (DESIGN.md §10.4).
   struct Mapping {
     Mapping() = default;
     Mapping(const Mapping&) = delete;
@@ -364,22 +481,30 @@ class FrozenScheme {
       return static_cast<const std::uint8_t*>(addr);
     }
     void* addr = nullptr;
-    std::size_t len = 0;
+    std::size_t len = 0;        // image bytes
+    std::size_t map_len = 0;    // mapped bytes (≥ len; hugepage rounding)
+    bool huge = false;          // hugepage-backed (MAP_HUGETLB or THP)
   };
 
   /// Points every span at the owned vectors.
   void bind_owned();
 
+  /// Builds the derived serving structures (the fused link map) from the
+  /// bound adj views; called on every load path after binding.
+  void build_derived();
+
   std::int32_t n_ = 0;
   std::int32_t k_ = 0;
   std::int32_t label_trick_ = 0;
   std::int32_t num_trees_ = 0;
+  std::uint32_t format_version_ = 0;  // set by freeze()/load()/map()
 
   // Slab views — into storage_ (owning paths) or mapping_ (map()).
   std::span<const std::int32_t> level_;       // [n] hierarchy level
   std::span<const std::int32_t> tree_root_;   // [num_trees]
   std::span<const std::int32_t> tree_level_;  // [num_trees]
   std::span<const std::int64_t> table_off_;   // [n+1] bounds into tables_
+  std::span<const std::int32_t> table_tree_;  // slab sort-key column
   std::span<const TableSlot> tables_;         // tree-sorted within each slab
   std::span<const LabelSlot> labels_;         // [n*k], stride k
   std::span<const HopSlot> hops_;             // global-hop pool
@@ -392,29 +517,18 @@ class FrozenScheme {
   std::span<const std::int64_t> blob_off_;    // [n+1] byte offsets
   std::span<const std::uint8_t> blobs_;       // packed wire labels
 
-  std::unique_ptr<Storage> storage_;  // owning paths; null when mapped
+  std::vector<LinkSlot> links_;  // derived fused link map (build_derived)
+
+  std::unique_ptr<Storage> storage_;  // owned sections; null iff all mapped
   std::unique_ptr<Mapping> mapping_;  // map() path; null when owned
 };
 
-template <typename TableLookup>
-Decision FrozenScheme::route_with(graph::Vertex u, graph::Vertex v,
-                                  TableLookup&& lookup,
-                                  std::vector<graph::Vertex>* path) const {
-  NORS_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
-  Decision r;
-  if (path != nullptr) {
-    path->clear();
-    path->push_back(u);
-  }
-  if (u == v) {
-    r.ok = true;
-    return r;
-  }
-
+template <typename IndexLookup>
+std::int32_t FrozenScheme::find_tree(graph::Vertex u, graph::Vertex v,
+                                     IndexLookup&& lookup, DestView& dest,
+                                     Decision& r) const {
   // Find the tree (Algorithm 1 + the 4k-5 trick), mirroring the live
   // RoutingScheme::route() decision order exactly.
-  std::int32_t tree = -1;
-  DestView dest;
   if (label_trick_ != 0 && level_[static_cast<std::size_t>(u)] == 0) {
     // Is u a level-0 cluster root holding v's tree label locally?
     std::size_t a = 0, b = trick_roots_.size();
@@ -439,30 +553,54 @@ Decision FrozenScheme::route_with(graph::Vertex u, graph::Vertex v,
       }
       if (lo < tr.off + tr.len &&
           tricks_[static_cast<std::size_t>(lo)].dest == v) {
-        tree = tr.tree;
         dest = view_of(tricks_[static_cast<std::size_t>(lo)]);
         r.tree_root = u;
         r.tree_level = 0;
         r.via_trick = true;
+        return tr.tree;
       }
     }
   }
-  if (tree < 0) {
-    const LabelSlot* lv = labels_.data() +
-                          static_cast<std::size_t>(v) *
-                              static_cast<std::size_t>(k_);
-    for (std::int32_t i = 0; i < k_; ++i) {
-      const LabelSlot& ls = lv[i];
-      if (ls.member == 0) continue;  // v ∉ C̃(ẑ_i(v)): keep searching
-      if (ls.tree < 0) continue;     // pivot has no cluster tree
-      if (lookup(u, ls.tree) == nullptr) continue;  // u ∉ C̃(ẑ_i(v))
-      tree = ls.tree;
-      dest = view_of(ls);
-      r.tree_root = ls.pivot;
-      r.tree_level = i;
-      break;
-    }
+  const LabelSlot* lv = labels_.data() +
+                        static_cast<std::size_t>(v) *
+                            static_cast<std::size_t>(k_);
+  for (std::int32_t i = 0; i < k_; ++i) {
+    const LabelSlot& ls = lv[i];
+    if (ls.member == 0) continue;  // v ∉ C̃(ẑ_i(v)): keep searching
+    if (ls.tree < 0) continue;     // pivot has no cluster tree
+    if (lookup(u, ls.tree) < 0) continue;  // u ∉ C̃(ẑ_i(v))
+    dest = view_of(ls);
+    r.tree_root = ls.pivot;
+    r.tree_level = i;
+    return ls.tree;
   }
+  return -1;  // coverage failure (prevented by build)
+}
+
+template <typename TableLookup>
+Decision FrozenScheme::route_with(graph::Vertex u, graph::Vertex v,
+                                  TableLookup&& lookup,
+                                  std::vector<graph::Vertex>* path) const {
+  NORS_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  Decision r;
+  if (path != nullptr) {
+    path->clear();
+    path->push_back(u);
+  }
+  if (u == v) {
+    r.ok = true;
+    return r;
+  }
+
+  DestView dest;
+  const std::int32_t tree = find_tree(
+      u, v,
+      [&lookup](graph::Vertex x, std::int32_t t) {
+        // find_tree wants an index-or-negative probe; adapt the slot
+        // lookup (nullptr ⟺ not a member, per the route_with contract).
+        return lookup(x, t) == nullptr ? -1 : 0;
+      },
+      dest, r);
   if (tree < 0) return r;  // coverage failure (prevented by build)
 
   // Walk the unique tree path over the frozen link map.
@@ -478,14 +616,227 @@ Decision FrozenScheme::route_with(graph::Vertex u, graph::Vertex v,
     NORS_CHECK_MSG(
         port >= 0 && base + port < adj_off_[static_cast<std::size_t>(x) + 1],
         "bad port " << port << " at vertex " << x);
-    r.length += adj_w_[static_cast<std::size_t>(base + port)];
+    const LinkSlot& link = links_[static_cast<std::size_t>(base + port)];
+    r.length += link.w;
     ++r.hops;
-    x = adj_to_[static_cast<std::size_t>(base + port)];
+    x = link.to;
     if (path != nullptr) path->push_back(x);
     NORS_CHECK_MSG(r.hops <= 4 * n_, "routing loop detected");
   }
   r.ok = true;
   return r;
+}
+
+template <typename Cache>
+void FrozenScheme::route_batch_impl(const Query* queries, std::size_t count,
+                                    Decision* out, Cache& cache,
+                                    BatchStats* stats) const {
+  // Stage machine per in-flight query (DESIGN.md §10.2). A hop costs three
+  // engine rounds — kPrep (slab bounds + key/link prefetch), kSearch (SIMD
+  // key scan + slot prefetch), kDecide (port emit + link follow) — so the
+  // DRAM misses of ~kBatchLanes/3 queries are outstanding at every point
+  // instead of one query's miss chain serializing.
+  auto touch = [](const void* p) { __builtin_prefetch(p, 0, 3); };
+
+  struct Lane {
+    enum class St : std::uint8_t { kIdle, kFind, kPrep, kSearch, kDecide };
+    St state = St::kIdle;
+    graph::Vertex u = 0, v = 0, x = 0;
+    std::int32_t tree = -1;
+    std::int64_t slab_lo = 0, slab_hi = 0;
+    const TableSlot* slot = nullptr;
+    DestView dest;
+    Decision d;
+    std::size_t pos = 0;
+  };
+
+  BatchStats local;
+  BatchStats& bs = stats != nullptr ? *stats : local;
+
+  // Synchronous (vertex, tree) → index probe for the find-tree scan: the
+  // scan's candidate trees are data-dependent, so it is not pipelined —
+  // it costs one round per query, not per decision.
+  auto lookup_idx = [&](graph::Vertex x, std::int32_t tree) {
+    std::int32_t idx = 0;
+    if (cache.probe(x, tree, idx)) {
+      ++bs.cache_hits;
+      return idx;
+    }
+    idx = table_index(x, tree);
+    cache.insert(x, tree, idx);
+    ++bs.cache_misses;
+    return idx;
+  };
+
+  std::size_t next = 0;
+  int active = 0;
+  Lane lanes[kBatchLanes];
+
+  // Admits queries into `L` until one needs the pipeline (u != v); trivial
+  // u == v queries retire immediately, like route(). Returns false when
+  // the query stream is exhausted.
+  auto admit = [&](Lane& L) {
+    while (next < count) {
+      const std::size_t i = next++;
+      const graph::Vertex u = queries[i].u;
+      const graph::Vertex v = queries[i].v;
+      NORS_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+      if (u == v) {
+        Decision r;
+        r.ok = true;
+        out[i] = r;
+        ++bs.completed;
+        continue;
+      }
+      L.state = Lane::St::kFind;
+      L.u = u;
+      L.v = v;
+      L.x = u;
+      L.d = Decision{};
+      L.pos = i;
+      // One round of lead time for the find-tree reads: u's level and
+      // slab bounds, v's label row (k slots ≤ 3 lines), u's link row
+      // bounds.
+      touch(&level_[static_cast<std::size_t>(u)]);
+      touch(&table_off_[static_cast<std::size_t>(u)]);
+      touch(&adj_off_[static_cast<std::size_t>(u)]);
+      const auto* lv = labels_.data() + static_cast<std::size_t>(v) *
+                                            static_cast<std::size_t>(k_);
+      const auto* lb = reinterpret_cast<const char*>(lv);
+      const std::size_t lbytes = static_cast<std::size_t>(k_) *
+                                 sizeof(LabelSlot);
+      for (std::size_t b = 0; b < lbytes; b += 64) touch(lb + b);
+      return true;
+    }
+    L.state = Lane::St::kIdle;
+    return false;
+  };
+
+  auto retire = [&](Lane& L) {
+    L.d.ok = true;
+    out[L.pos] = L.d;
+    ++bs.completed;
+    bs.hops += L.d.hops;
+    if (!admit(L)) --active;
+  };
+
+  // Prefetches the first lines of x's link row and of the key run
+  // [slab_lo, slab_hi) — issued as soon as the bounds are known.
+  auto touch_row = [&](Lane& L) {
+    const auto* keys = reinterpret_cast<const char*>(
+        table_tree_.data() + L.slab_lo);
+    const std::size_t kbytes =
+        static_cast<std::size_t>(L.slab_hi - L.slab_lo) * sizeof(std::int32_t);
+    for (std::size_t b = 0; b < kbytes && b < 256; b += 64) touch(keys + b);
+    const std::int64_t base = adj_off_[static_cast<std::size_t>(L.x)];
+    touch(links_.data() + base);
+    touch(links_.data() + base + 4);
+  };
+
+  for (int l = 0; l < kBatchLanes; ++l) {
+    if (admit(lanes[l])) ++active;
+  }
+
+  while (active > 0) {
+    for (int l = 0; l < kBatchLanes; ++l) {
+      Lane& L = lanes[l];
+      switch (L.state) {
+        case Lane::St::kIdle:
+          break;
+
+        case Lane::St::kFind: {
+          L.tree = find_tree(L.u, L.v, lookup_idx, L.dest, L.d);
+          if (L.tree < 0) {
+            // Coverage failure: report !ok, exactly like route().
+            out[L.pos] = L.d;
+            ++bs.completed;
+            if (!admit(L)) --active;
+            break;
+          }
+          // The walk's first lookup, (u, tree): the label scan just
+          // searched u's slab (bounds prefetched at admit), so resolve it
+          // synchronously and give the decide stage a round of lead time
+          // on the slot, the destination's hop list and u's link row.
+          const std::int32_t idx = lookup_idx(L.x, L.tree);
+          NORS_CHECK_MSG(idx >= 0, "walk left cluster tree " << L.tree);
+          L.slot = &tables_[static_cast<std::size_t>(idx)];
+          touch(L.slot);
+          touch(reinterpret_cast<const char*>(L.slot) + 55);
+          touch(hops_.data() + L.dest.hop_off);
+          const std::int64_t base = adj_off_[static_cast<std::size_t>(L.x)];
+          touch(links_.data() + base);
+          L.state = Lane::St::kDecide;
+          break;
+        }
+
+        case Lane::St::kPrep: {
+          // Bounds lines were prefetched when the hop landed on x.
+          L.slab_lo = table_off_[static_cast<std::size_t>(L.x)];
+          L.slab_hi = table_off_[static_cast<std::size_t>(L.x) + 1];
+          touch_row(L);
+          std::int32_t idx = 0;
+          if (cache.probe(L.x, L.tree, idx)) {
+            ++bs.cache_hits;
+            NORS_CHECK_MSG(idx >= 0, "walk left cluster tree " << L.tree);
+            L.slot = &tables_[static_cast<std::size_t>(idx)];
+            touch(L.slot);
+            touch(reinterpret_cast<const char*>(L.slot) + 55);
+            L.state = Lane::St::kDecide;
+            break;
+          }
+          L.state = Lane::St::kSearch;
+          break;
+        }
+
+        case Lane::St::kSearch: {
+          const auto* keys = table_tree_.data() + L.slab_lo;
+          const auto len = static_cast<std::int32_t>(L.slab_hi - L.slab_lo);
+          const std::int32_t rel =
+              util::simd::lower_bound_i32(keys, len, L.tree);
+          const bool found = rel < len && keys[rel] == L.tree;
+          const std::int32_t idx =
+              found ? static_cast<std::int32_t>(L.slab_lo) + rel : -1;
+          cache.insert(L.x, L.tree, idx);
+          ++bs.cache_misses;
+          NORS_CHECK_MSG(found, "walk left cluster tree " << L.tree);
+          L.slot = &tables_[static_cast<std::size_t>(idx)];
+          touch(L.slot);
+          touch(reinterpret_cast<const char*>(L.slot) + 55);
+          L.state = Lane::St::kDecide;
+          break;
+        }
+
+        case Lane::St::kDecide: {
+          const TableSlot& t = *L.slot;
+          const std::int32_t port = next_port(t, L.x, L.dest);
+          NORS_CHECK_MSG(port != graph::kNoPort,
+                         "router stalled before arrival");
+          const std::int64_t base =
+              adj_off_[static_cast<std::size_t>(L.x)];
+          NORS_CHECK_MSG(
+              port >= 0 &&
+                  base + port <
+                      adj_off_[static_cast<std::size_t>(L.x) + 1],
+              "bad port " << port << " at vertex " << L.x);
+          const LinkSlot& link =
+              links_[static_cast<std::size_t>(base + port)];
+          L.d.length += link.w;
+          ++L.d.hops;
+          L.x = link.to;
+          NORS_CHECK_MSG(L.d.hops <= 4 * n_, "routing loop detected");
+          if (L.x == L.v) {
+            retire(L);
+            break;
+          }
+          // Next hop: warm the new vertex's bounds lines one round early.
+          touch(&table_off_[static_cast<std::size_t>(L.x)]);
+          touch(&adj_off_[static_cast<std::size_t>(L.x)]);
+          L.state = Lane::St::kPrep;
+          break;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace nors::serve

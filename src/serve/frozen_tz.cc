@@ -65,6 +65,112 @@ FrozenTzOracle::Result FrozenTzOracle::query(Vertex u, Vertex v) const {
   }
 }
 
+void FrozenTzOracle::query_batch(const Query* queries, std::size_t count,
+                                 Result* out) const {
+  // Same lane engine as FrozenScheme::route_batch (DESIGN.md §10), with a
+  // two-stage iteration: kPrep reads v's slab bounds (prefetched one round
+  // earlier) and warms the key/dist lines, kSearch scans and either
+  // retires or swaps sides exactly like the serial query().
+  auto touch = [](const void* p) { __builtin_prefetch(p, 0, 3); };
+
+  struct Lane {
+    enum class St : std::uint8_t { kIdle, kPrep, kSearch };
+    St state = St::kIdle;
+    Vertex u = 0, v = 0, w = 0;
+    Dist d_uw = 0;
+    std::int64_t lo = 0, hi = 0;
+    int iter = 0;
+    std::size_t pos = 0;
+  };
+
+  std::size_t next = 0;
+  int active = 0;
+  Lane lanes[kBatchLanes];
+
+  auto admit = [&](Lane& L) {
+    if (next >= count) {
+      L.state = Lane::St::kIdle;
+      return false;
+    }
+    const std::size_t i = next++;
+    L.state = Lane::St::kPrep;
+    L.u = queries[i].u;
+    L.v = queries[i].v;
+    L.w = L.u;
+    L.d_uw = 0;
+    L.iter = 0;
+    L.pos = i;
+    touch(&bunch_off_[static_cast<std::size_t>(L.v)]);
+    return true;
+  };
+
+  auto step = [&](Lane& L) {
+    // One engine round of one lane; returns false when the lane retired
+    // and no query was left to admit.
+    switch (L.state) {
+      case Lane::St::kIdle:
+        return true;
+      case Lane::St::kPrep: {
+        L.lo = bunch_off_[static_cast<std::size_t>(L.v)];
+        L.hi = bunch_off_[static_cast<std::size_t>(L.v) + 1];
+        const auto* keys =
+            reinterpret_cast<const char*>(bunch_w_.data() + L.lo);
+        const std::size_t kbytes =
+            static_cast<std::size_t>(L.hi - L.lo) * sizeof(Vertex);
+        for (std::size_t b = 0; b < kbytes && b < 256; b += 64) {
+          touch(keys + b);
+        }
+        touch(bunch_d_.data() + L.lo);
+        // The side-swap of a miss reads pivot row i+1 at the *current* v.
+        if (L.iter + 1 < k_) {
+          const std::size_t at =
+              static_cast<std::size_t>(L.iter + 1) * n_ +
+              static_cast<std::size_t>(L.v);
+          touch(&pivot_[at]);
+          touch(&pivot_dist_[at]);
+        }
+        L.state = Lane::St::kSearch;
+        return true;
+      }
+      case Lane::St::kSearch: {
+        const std::int32_t len = static_cast<std::int32_t>(L.hi - L.lo);
+        const std::int32_t rel =
+            util::simd::lower_bound_i32(bunch_w_.data() + L.lo, len, L.w);
+        if (rel < len &&
+            bunch_w_[static_cast<std::size_t>(L.lo + rel)] == L.w) {
+          Result r;
+          r.estimate =
+              L.d_uw + bunch_d_[static_cast<std::size_t>(L.lo + rel)];
+          r.iterations = L.iter + 1;
+          out[L.pos] = r;
+          return admit(L);
+        }
+        NORS_CHECK_MSG(L.iter + 1 < k_,
+                       "oracle loop exceeded k iterations");
+        std::swap(L.u, L.v);
+        L.w = pivot_[static_cast<std::size_t>(L.iter + 1) * n_ +
+                     static_cast<std::size_t>(L.u)];
+        L.d_uw = pivot_dist_[static_cast<std::size_t>(L.iter + 1) * n_ +
+                             static_cast<std::size_t>(L.u)];
+        ++L.iter;
+        touch(&bunch_off_[static_cast<std::size_t>(L.v)]);
+        L.state = Lane::St::kPrep;
+        return true;
+      }
+    }
+    return true;
+  };
+
+  for (int l = 0; l < kBatchLanes; ++l) {
+    if (admit(lanes[l])) ++active;
+  }
+  while (active > 0) {
+    for (int l = 0; l < kBatchLanes; ++l) {
+      if (!step(lanes[l])) --active;
+    }
+  }
+}
+
 std::int64_t FrozenTzOracle::byte_size() const {
   return static_cast<std::int64_t>(
       pivot_.size() * sizeof(Vertex) + pivot_dist_.size() * sizeof(Dist) +

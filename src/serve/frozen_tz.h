@@ -3,7 +3,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "serve/frozen.h"
 #include "tz/tz_oracle.h"
+#include "util/simd.h"
 
 namespace nors::serve {
 
@@ -11,8 +13,12 @@ namespace nors::serve {
 /// the sequential baseline served the same way FrozenScheme serves the
 /// paper's scheme, so bench_serving compares like against like: the live
 /// oracle answers from per-vertex hash maps, the frozen one from sorted
-/// (w, d) bunch slabs with binary-search membership tests. Estimates are
-/// identical to the live oracle's (same iteration, same pivots).
+/// (w, d) bunch slabs with SIMD lower-bound membership tests, and
+/// query_batch() runs the same software-pipelined lane engine
+/// route_batch() uses (DESIGN.md §10) so the oracle-vs-scheme gap the
+/// bench reports is algorithmic, not an engine artifact. Estimates are
+/// identical to the live oracle's (same iteration, same pivots). Never
+/// serialized — the in-memory layout is free to change.
 class FrozenTzOracle {
  public:
   static FrozenTzOracle freeze(const tz::TzDistanceOracle& oracle, int n);
@@ -23,24 +29,26 @@ class FrozenTzOracle {
   };
   Result query(graph::Vertex u, graph::Vertex v) const;
 
+  /// Pipelined batch query: answers queries[i] into out[i], identical to
+  /// query() per element, with up to kBatchLanes queries in flight so
+  /// bunch-slab misses of different queries overlap.
+  void query_batch(const Query* queries, std::size_t count,
+                   Result* out) const;
+
+  static constexpr int kBatchLanes = FrozenScheme::kBatchLanes;
+
   int k() const { return k_; }
   std::int64_t byte_size() const;
 
  private:
   graph::Dist bunch_dist(graph::Vertex v, graph::Vertex w) const {
-    std::int64_t lo = bunch_off_[static_cast<std::size_t>(v)];
-    std::int64_t hi = bunch_off_[static_cast<std::size_t>(v) + 1];
-    while (lo < hi) {
-      const std::int64_t mid = (lo + hi) / 2;
-      if (bunch_w_[static_cast<std::size_t>(mid)] < w) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    if (lo < bunch_off_[static_cast<std::size_t>(v) + 1] &&
-        bunch_w_[static_cast<std::size_t>(lo)] == w) {
-      return bunch_d_[static_cast<std::size_t>(lo)];
+    const std::int64_t lo = bunch_off_[static_cast<std::size_t>(v)];
+    const std::int64_t hi = bunch_off_[static_cast<std::size_t>(v) + 1];
+    const std::int32_t len = static_cast<std::int32_t>(hi - lo);
+    const std::int32_t rel =
+        util::simd::lower_bound_i32(bunch_w_.data() + lo, len, w);
+    if (rel < len && bunch_w_[static_cast<std::size_t>(lo + rel)] == w) {
+      return bunch_d_[static_cast<std::size_t>(lo + rel)];
     }
     return graph::kDistInf;
   }

@@ -16,21 +16,19 @@ RouteServer::RouteServer(const FrozenScheme& fs, ServerOptions opt)
 void RouteServer::serve_chunk(const Query* queries, std::size_t count,
                               Decision* out, ChunkStats& cs) const {
   const FrozenScheme& fs = *fs_;
+  BatchStats bs;
   if (opt_.cache_entries > 0) {
     TableCache cache(fs, opt_.cache_entries);
-    auto lookup = [&](graph::Vertex x, std::int32_t tree) {
-      return cache.lookup(x, tree, cs.cache_hits, cs.cache_misses);
-    };
-    for (std::size_t i = 0; i < count; ++i) {
-      out[i] = fs.route_with(queries[i].u, queries[i].v, lookup, nullptr);
-      cs.hops += out[i].hops;
-    }
+    fs.route_batch_cached(queries, count, out, cache, &bs);
+    cs.cache_hits += bs.cache_hits;
+    cs.cache_misses += bs.cache_misses;
   } else {
-    for (std::size_t i = 0; i < count; ++i) {
-      out[i] = fs.route(queries[i].u, queries[i].v);
-      cs.hops += out[i].hops;
-    }
+    // The uncached engine still counts every slab search as a miss in its
+    // own stats; the server reports cache counters only when a cache is
+    // actually configured.
+    fs.route_batch(queries, count, out, &bs);
   }
+  cs.hops += bs.hops;
 }
 
 void RouteServer::serve(const Query* queries, std::size_t count,

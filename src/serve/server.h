@@ -8,11 +8,8 @@
 
 namespace nors::serve {
 
-/// One route decision request.
-struct Query {
-  graph::Vertex u = graph::kNoVertex;
-  graph::Vertex v = graph::kNoVertex;
-};
+// Query lives in serve/frozen.h next to Decision — it is the input type of
+// FrozenScheme::route_batch(), which every front-end here drives.
 
 struct ServerOptions {
   /// Worker threads per serve() call; 1 = run on the caller.
@@ -27,11 +24,12 @@ struct ServerOptions {
 };
 
 /// Batched query driver over a FrozenScheme: splits a batch into contiguous
-/// chunks, answers each chunk on a worker thread purely from the frozen
-/// slabs (read-only, so workers share the snapshot with no locking), and
-/// aggregates counters. Answers are identical to FrozenScheme::route() —
-/// and therefore to the live RoutingScheme — regardless of thread count or
-/// caching (test_serve pins this).
+/// chunks, answers each chunk on a worker thread through the software-
+/// pipelined FrozenScheme::route_batch() engine (read-only slabs, so
+/// workers share the snapshot with no locking), and aggregates counters.
+/// Answers are identical to FrozenScheme::route() — and therefore to the
+/// live RoutingScheme — regardless of thread count, batching or caching
+/// (test_serve pins this).
 class RouteServer {
  public:
   explicit RouteServer(const FrozenScheme& fs, ServerOptions opt = {});

@@ -9,6 +9,7 @@
 #include "serve/table_cache.h"
 #include "util/latency.h"
 #include "util/queue.h"
+#include "util/threads.h"
 
 namespace nors::serve {
 
@@ -28,22 +29,33 @@ struct ShardedRouteServer::Batch::State {
 };
 
 /// One enqueued sub-batch: the slice of a submit() owned by one shard.
+/// Carries the shard so the serving worker (which may run several shards
+/// on a low-core machine) attributes counters to the right range.
 struct ShardedRouteServer::Task {
   std::shared_ptr<Batch::State> state;
+  Shard* shard = nullptr;
   const Query* queries = nullptr;
   Decision* out = nullptr;
   const std::vector<std::uint32_t>* idx = nullptr;  // into state->idx
 };
 
+/// A vertex-range partition and its accounting. Pure data — the threads
+/// live in Worker, so the shard count (and with it ranges, dispatch and
+/// per-range stats) is independent of how many cores serve them.
 struct ShardedRouteServer::Shard {
   graph::Vertex lo = 0, hi = 0;  // owned source-vertex range [lo, hi)
-  util::BatchQueue<Task> queue;
   std::atomic<std::int64_t> queries{0};
   std::atomic<std::int64_t> batches{0};
   std::atomic<std::int64_t> hops{0};
   std::atomic<std::int64_t> cache_hits{0};
   std::atomic<std::int64_t> cache_misses{0};
   util::LatencyHistogram latency;
+};
+
+/// One serving thread: pops tasks (possibly from several shards, mapped
+/// round-robin) and answers them through the batch engine.
+struct ShardedRouteServer::Worker {
+  util::BatchQueue<Task> queue;
   std::thread thread;
 };
 
@@ -89,8 +101,17 @@ ShardedRouteServer::ShardedRouteServer(const FrozenScheme& fs,
                        static_cast<std::size_t>(n)));
     shards_.push_back(std::move(sh));
   }
-  for (auto& sh : shards_) {
-    sh->thread = std::thread([this, &s = *sh] { worker(s); });
+  // Serving threads: one per shard up to the hardware clamp
+  // (NORS_THREADS_OVERSUBSCRIBE=1 restores exact counts — the equivalence
+  // sweep relies on shard *ranges*, never on thread count, so the clamp is
+  // unobservable except in wall-clock and p99).
+  const int w = std::min(k, util::resolve_threads(k));
+  workers_.reserve(static_cast<std::size_t>(w));
+  for (int i = 0; i < w; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (auto& wk : workers_) {
+    wk->thread = std::thread([this, &ww = *wk] { worker(ww); });
   }
 }
 
@@ -98,45 +119,59 @@ ShardedRouteServer::~ShardedRouteServer() {
   // close() lets workers drain queued batches before exiting, so tickets
   // still in flight complete; destroying the server before wait()ing on
   // outstanding batches is nevertheless a caller bug (out may dangle).
-  for (auto& sh : shards_) sh->queue.close();
-  for (auto& sh : shards_) {
-    if (sh->thread.joinable()) sh->thread.join();
+  for (auto& wk : workers_) wk->queue.close();
+  for (auto& wk : workers_) {
+    if (wk->thread.joinable()) wk->thread.join();
   }
 }
 
-void ShardedRouteServer::worker(Shard& s) {
+void ShardedRouteServer::worker(Worker& w) {
   using clock = std::chrono::steady_clock;
-  TableCache cache(*fs_, opt_.cache_entries);
   const bool cached = opt_.cache_entries > 0;
-  std::int64_t hits = 0, misses = 0;
-  auto lookup = [&](graph::Vertex x, std::int32_t tree) {
-    return cache.lookup(x, tree, hits, misses);
-  };
-  // Latency is sampled 1-in-kLatencyStride rather than per query: two
-  // clock reads per decision would cost a measurable slice of a ~µs route
-  // and distort the very throughput the shards exist to scale, while the
-  // log-bucket histogram loses nothing statistically at this volume.
-  constexpr std::uint64_t kLatencyStride = 8;
-  std::uint64_t tick = 0;
+  std::unique_ptr<TableCache> cache;
+  if (cached) cache = std::make_unique<TableCache>(*fs_, opt_.cache_entries);
+  // Sub-batches run through the pipelined engine in blocks: gather up to
+  // kBlock queries into a dense buffer, answer them with one route_batch
+  // call (kBatchLanes in flight), scatter the decisions back to the
+  // caller's submission-order slots. One clock pair per block feeds the
+  // latency histogram with the block's per-query mean — per-query timing
+  // inside an interleaved engine would measure the interleaving, not the
+  // query (and two clock reads per ~µs route would tax the hot path).
+  constexpr std::size_t kBlock = 128;
+  std::vector<Query> qbuf(kBlock);
+  std::vector<Decision> dbuf(kBlock);
   Task t;
-  while (s.queue.pop(t)) {
+  while (w.queue.pop(t)) {
+    Shard& s = *t.shard;
     const std::size_t batch_queries = t.idx->size();
-    std::int64_t done = 0, hops = 0;
+    const auto& idx = *t.idx;
+    std::int64_t done = 0, hops = 0, hits = 0, misses = 0;
     try {
-      for (const std::uint32_t i : *t.idx) {
-        const bool timed = tick++ % kLatencyStride == 0;
-        const auto t0 = timed ? clock::now() : clock::time_point{};
-        const Query& q = t.queries[i];
-        t.out[i] = cached ? fs_->route_with(q.u, q.v, lookup, nullptr)
-                          : fs_->route(q.u, q.v);
-        hops += t.out[i].hops;
-        ++done;
-        if (timed) {
-          s.latency.record_ns(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  clock::now() - t0)
-                  .count());
+      for (std::size_t b = 0; b < idx.size(); b += kBlock) {
+        const std::size_t m = std::min(kBlock, idx.size() - b);
+        for (std::size_t j = 0; j < m; ++j) {
+          qbuf[j] = t.queries[idx[b + j]];
         }
+        BatchStats bs;
+        const auto t0 = clock::now();
+        if (cached) {
+          fs_->route_batch_cached(qbuf.data(), m, dbuf.data(), *cache, &bs);
+        } else {
+          fs_->route_batch(qbuf.data(), m, dbuf.data(), &bs);
+        }
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            clock::now() - t0)
+                            .count();
+        for (std::size_t j = 0; j < m; ++j) {
+          t.out[idx[b + j]] = dbuf[j];
+        }
+        done += static_cast<std::int64_t>(m);
+        hops += bs.hops;
+        if (cached) {
+          hits += bs.cache_hits;
+          misses += bs.cache_misses;
+        }
+        s.latency.record_ns(ns / static_cast<std::int64_t>(m));
       }
     } catch (...) {
       std::lock_guard<std::mutex> lk(t.state->m);
@@ -148,7 +183,6 @@ void ShardedRouteServer::worker(Shard& s) {
     if (cached) {
       s.cache_hits.fetch_add(hits, std::memory_order_relaxed);
       s.cache_misses.fetch_add(misses, std::memory_order_relaxed);
-      hits = misses = 0;
     }
     // Credit the whole sub-batch (answered or aborted by the exception);
     // the last task over the finish line wakes the waiters. notify under
@@ -193,7 +227,11 @@ ShardedRouteServer::Batch ShardedRouteServer::submit(const Query* queries,
   }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (state->idx[s].empty()) continue;
-    shards_[s]->queue.push(Task{state, queries, out, &state->idx[s]});
+    // Shard → worker round-robin; with one worker per shard this is the
+    // identity, on a clamped machine several shards share a thread.
+    Worker& w = *workers_[s % workers_.size()];
+    w.queue.push(
+        Task{state, shards_[s].get(), queries, out, &state->idx[s]});
   }
   return ticket;
 }

@@ -11,20 +11,26 @@ namespace nors::serve {
 
 struct ShardedOptions {
   /// Number of shards K; each shard owns a contiguous vertex range
-  /// (queries are dispatched by source vertex) and one worker thread.
-  /// Clamped to [1, n].
+  /// (queries are dispatched by source vertex). Clamped to [1, n]. The
+  /// number of *worker threads* serving the shards is resolved separately
+  /// — util::resolve_threads clamps it to the hardware concurrency
+  /// (NORS_THREADS_OVERSUBSCRIBE=1 restores one thread per shard), so K
+  /// shards on a small machine keep their ranges and accounting without
+  /// oversubscribing cores; shards map round-robin onto workers.
   int shards = 1;
 
-  /// Per-shard-worker entries of the (vertex, tree) → table-slot cache
-  /// (serve/table_cache.h; 0 disables). Shard workers are long-lived, so
-  /// unlike RouteServer's per-call caches these stay warm across batches.
+  /// Per-worker entries of the (vertex, tree) → table-slot cache
+  /// (serve/table_cache.h; 0 disables). Workers are long-lived, so unlike
+  /// RouteServer's per-call caches these stay warm across batches.
   int cache_entries = 0;
 };
 
 /// Everything one shard has counted since construction. p50/p99 come from
-/// a log-bucketed latency histogram (util/latency.h) over a 1-in-8 sample
-/// of queries (per-query clocking would tax the hot path) — estimates
-/// with sub-bucket resolution, not exact order statistics.
+/// a log-bucketed latency histogram (util/latency.h) fed one sample per
+/// batch-engine block (~the per-query mean of up to 128 queries answered
+/// in one pipelined route_batch call; per-query clocking inside the
+/// interleaved engine is meaningless) — estimates with sub-bucket
+/// resolution, not exact order statistics.
 struct ShardStats {
   std::int64_t queries = 0;
   std::int64_t batches = 0;      // sub-batches executed
@@ -39,10 +45,13 @@ struct ShardStats {
 /// (DESIGN.md §8). The vertex space is partitioned into K contiguous
 /// ranges; shard s serves the queries whose *source* falls in its range,
 /// reading the shared frozen image (owned or mmap'ed — shards never copy
-/// slab data, they slice the query stream, not the tables). Each shard
-/// runs one long-lived worker thread fed by a lock-light batch queue, so
-/// aggregate throughput scales with shards on multi-core hardware while
-/// each worker's cache stays hot on its own vertex range.
+/// slab data, they slice the query stream, not the tables). Shards map
+/// round-robin onto long-lived worker threads fed by lock-light batch
+/// queues — one worker per shard up to the hardware concurrency (see
+/// ShardedOptions::shards) — and every worker answers its sub-batches
+/// through the pipelined FrozenScheme::route_batch() engine in blocks, so
+/// aggregate throughput scales with cores while each worker's cache stays
+/// hot on its own vertex ranges.
 ///
 /// submit() is async: it partitions a batch by shard, enqueues one task
 /// per shard, and returns a Batch ticket; wait() blocks until every query
@@ -94,6 +103,10 @@ class ShardedRouteServer {
 
   int shards() const { return static_cast<int>(shards_.size()); }
 
+  /// Worker threads actually serving the shards (≤ shards(); see
+  /// ShardedOptions::shards for the clamp rules).
+  int workers() const { return static_cast<int>(workers_.size()); }
+
   /// The shard whose vertex range contains u (valid u only).
   int shard_of(graph::Vertex u) const {
     const auto s = static_cast<std::size_t>(u) / span_;
@@ -112,12 +125,14 @@ class ShardedRouteServer {
  private:
   struct Task;
   struct Shard;
-  void worker(Shard& s);
+  struct Worker;
+  void worker(Worker& w);
 
   const FrozenScheme* fs_;
   ShardedOptions opt_;
   std::size_t span_ = 1;  // vertices per shard (last shard takes the rest)
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Worker>> workers_;
 };
 
 }  // namespace nors::serve

@@ -27,29 +27,45 @@ class TableCache {
   const FrozenScheme::TableSlot* lookup(graph::Vertex x, std::int32_t tree,
                                         std::int64_t& hits,
                                         std::int64_t& misses) {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32) |
-        static_cast<std::uint32_t>(tree);
-    // Fibonacci hash of the packed key picks the set.
-    const std::size_t set =
-        static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ull) >> 32 & mask_)
-        * 2;
+    std::int32_t idx = 0;
+    if (probe(x, tree, idx)) {
+      ++hits;
+      return slot_ptr(idx);
+    }
+    ++misses;
+    idx = fs_->table_index(x, tree);
+    insert(x, tree, idx);
+    return slot_ptr(idx);
+  }
+
+  /// Cache-only probe: true (and the cached index, -1 = cached "not a
+  /// member") on a hit, false otherwise — no slab search, no insertion.
+  /// This is the half the batch engine calls in its prefetch stage;
+  /// insert() publishes the engine's own search result afterwards.
+  bool probe(graph::Vertex x, std::int32_t tree, std::int32_t& idx) {
+    const std::uint64_t key = pack(x, tree);
+    const std::size_t set = set_of(key);
     Entry& e0 = slots_[set];
     Entry& e1 = slots_[set + 1];
     if (e0.key == key) {
-      ++hits;
-      return slot_ptr(e0.idx);
+      idx = e0.idx;
+      return true;
     }
     if (e1.key == key) {
-      ++hits;
       std::swap(e0, e1);  // promote to MRU
-      return slot_ptr(e0.idx);
+      idx = e0.idx;
+      return true;
     }
-    ++misses;
-    const std::int32_t idx = fs_->table_index(x, tree);
-    e1 = e0;  // old MRU becomes LRU, old LRU is evicted
-    e0 = {key, idx};
-    return slot_ptr(idx);
+    return false;
+  }
+
+  /// Publishes a search result into (x, tree)'s set as the MRU way; the
+  /// set's LRU way is evicted.
+  void insert(graph::Vertex x, std::int32_t tree, std::int32_t idx) {
+    const std::uint64_t key = pack(x, tree);
+    const std::size_t set = set_of(key);
+    slots_[set + 1] = slots_[set];  // old MRU becomes LRU, LRU is evicted
+    slots_[set] = {key, idx};
   }
 
  private:
@@ -59,6 +75,17 @@ class TableCache {
     std::uint64_t key;
     std::int32_t idx;  // -1 = cached "not a member"
   };
+
+  static std::uint64_t pack(graph::Vertex x, std::int32_t tree) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32) |
+           static_cast<std::uint32_t>(tree);
+  }
+
+  // Fibonacci hash of the packed key picks the set.
+  std::size_t set_of(std::uint64_t key) const {
+    return static_cast<std::size_t>(
+               (key * 0x9e3779b97f4a7c15ull) >> 32 & mask_) * 2;
+  }
 
   const FrozenScheme::TableSlot* slot_ptr(std::int32_t idx) const {
     return idx < 0 ? nullptr

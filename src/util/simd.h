@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+
+// Portable branch-light SIMD helpers for the serving hot path (DESIGN.md
+// §10). Only small, flat primitives live here — wide enough to matter on
+// the decision path, narrow enough that the scalar fallback is obviously
+// equivalent. SSE2 is baseline on x86-64 and NEON on aarch64, so in
+// practice one of the vector paths is always compiled in; the scalar
+// branch-free fallback keeps other targets correct (and is what the
+// sanitizers exercise when vector extensions are off).
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define NORS_SIMD_SSE2 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define NORS_SIMD_NEON 1
+#endif
+
+namespace nors::util::simd {
+
+/// Number of elements of a sorted i32 run that compare < key — i.e. the
+/// lower-bound index — computed by a branchless counting scan: every
+/// element is compared, compare masks are accumulated, and no
+/// data-dependent branch is issued. For the short runs this is built for
+/// (frozen table slabs, tens of entries), the predictable full scan beats
+/// a binary search whose every probe is a potential mispredict + cache
+/// miss. Reads exactly [keys, keys + count); count == 0 returns 0.
+inline std::int32_t count_less_i32(const std::int32_t* keys,
+                                   std::int32_t count, std::int32_t key) {
+  std::int32_t i = 0;
+  std::int32_t less = 0;
+#if defined(NORS_SIMD_SSE2)
+  const __m128i needle = _mm_set1_epi32(key);
+  __m128i acc = _mm_setzero_si128();
+  for (; i + 4 <= count; i += 4) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(keys + i));
+    // cmplt lanes are 0 or -1; subtracting accumulates a per-lane count.
+    acc = _mm_sub_epi32(acc, _mm_cmplt_epi32(v, needle));
+  }
+  alignas(16) std::int32_t lanes[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  less = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+#elif defined(NORS_SIMD_NEON)
+  const int32x4_t needle = vdupq_n_s32(key);
+  int32x4_t acc = vdupq_n_s32(0);
+  for (; i + 4 <= count; i += 4) {
+    const int32x4_t v = vld1q_s32(keys + i);
+    acc = vsubq_s32(acc, vreinterpretq_s32_u32(vcltq_s32(v, needle)));
+  }
+  less = vaddvq_s32(acc);
+#endif
+  for (; i < count; ++i) {
+    // Branch-free tail (and the whole scalar fallback).
+    less += keys[i] < key ? 1 : 0;
+  }
+  return less;
+}
+
+/// Lower bound over a sorted i32 run: the first index whose element is
+/// >= key, count if none. Equivalent to std::lower_bound(keys, keys +
+/// count, key) - keys for every input (pinned in test_util). Long runs
+/// are first narrowed by a branchless binary search so the counting scan
+/// touches at most ~64 contiguous elements (4 cache lines) — table slabs
+/// are usually far below the threshold and take the pure scan.
+inline std::int32_t lower_bound_i32(const std::int32_t* keys,
+                                    std::int32_t count, std::int32_t key) {
+  std::int32_t lo = 0;
+  std::int32_t n = count;
+  while (n > 64) {
+    const std::int32_t half = n / 2;
+    // Conditional-move shaped: no unpredictable branch on the comparison.
+    lo = keys[lo + half - 1] < key ? lo + half : lo;
+    n -= half;
+  }
+  return lo + count_less_i32(keys + lo, n, key);
+}
+
+}  // namespace nors::util::simd

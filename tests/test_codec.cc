@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/serialize.h"
 #include "graph/generators.h"
 #include "graph/shortest_paths.h"
@@ -144,6 +146,103 @@ TEST(Codec, RoutingFromDecodedLabelMatchesInMemoryRoute) {
       }
       EXPECT_EQ(len, expect.length) << "u=" << u << " v=" << v;
     }
+  }
+}
+
+// ---- varint / zigzag (frozen-table v3 port columns, DESIGN.md §10) ------
+// These pin the wire bytes, not just the round-trip: the v3 image format
+// depends on this exact canonical encoding staying frozen forever.
+
+std::uint64_t decode_one(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t x = 0;
+  const std::uint8_t* p =
+      core::get_uvarint(bytes.data(), bytes.data() + bytes.size(), x);
+  EXPECT_EQ(p, bytes.data() + bytes.size()) << "trailing bytes unread";
+  return x;
+}
+
+TEST(Varint, PinnedByteSequences) {
+  // Exact LEB128 bytes for representative values — a codec change that
+  // round-trips but shifts bytes must fail here, not in a format bump.
+  const struct {
+    std::uint64_t value;
+    std::vector<std::uint8_t> bytes;
+  } cases[] = {
+      {0, {0x00}},
+      {1, {0x01}},
+      {127, {0x7f}},
+      {128, {0x80, 0x01}},
+      {300, {0xac, 0x02}},
+      {16383, {0xff, 0x7f}},
+      {16384, {0x80, 0x80, 0x01}},
+      {0xffffffffull, {0xff, 0xff, 0xff, 0xff, 0x0f}},
+      {0xffffffffffffffffull,
+       {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}},
+  };
+  for (const auto& c : cases) {
+    std::vector<std::uint8_t> out;
+    core::put_uvarint(out, c.value);
+    EXPECT_EQ(out, c.bytes) << "value " << c.value;
+    EXPECT_EQ(decode_one(c.bytes), c.value);
+  }
+}
+
+TEST(Varint, RoundTripSweep) {
+  // Dense sweep around every 7-bit boundary plus random 64-bit values.
+  util::Rng rng(9001);
+  std::vector<std::uint64_t> values;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint64_t base = 1ull << shift;
+    for (std::int64_t d = -2; d <= 2; ++d) {
+      values.push_back(base + static_cast<std::uint64_t>(d));
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(rng.next() >> static_cast<int>(rng.uniform(64)));
+  }
+  std::vector<std::uint8_t> buf;
+  for (const auto v : values) core::put_uvarint(buf, v);
+  const std::uint8_t* p = buf.data();
+  const std::uint8_t* end = buf.data() + buf.size();
+  for (const auto v : values) {
+    std::uint64_t back = 0;
+    p = core::get_uvarint(p, end, back);
+    EXPECT_EQ(back, v);
+  }
+  EXPECT_EQ(p, end);
+}
+
+TEST(Varint, RejectsTruncatedOverlongAndOverflowing) {
+  std::uint64_t x = 0;
+  auto reject = [&](std::vector<std::uint8_t> bytes) {
+    EXPECT_THROW(
+        core::get_uvarint(bytes.data(), bytes.data() + bytes.size(), x),
+        std::logic_error);
+  };
+  reject({});                  // empty input
+  reject({0x80});              // continuation bit with no next byte
+  reject({0xff, 0xff});        // truncated mid-value
+  reject({0x80, 0x00});        // over-long zero (canonical form is {0x00})
+  reject({0xff, 0x00});        // over-long 127
+  reject({0x80, 0x80, 0x00});  // over-long with longer tail
+  // 11 bytes: too long for any 64-bit value.
+  reject({0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01});
+  // 10 bytes but the top byte carries more than the 1 remaining bit.
+  reject({0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02});
+}
+
+TEST(Varint, ZigzagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(core::zigzag(0), 0u);
+  EXPECT_EQ(core::zigzag(-1), 1u);
+  EXPECT_EQ(core::zigzag(1), 2u);
+  EXPECT_EQ(core::zigzag(-2), 3u);
+  EXPECT_EQ(core::zigzag(2), 4u);
+  EXPECT_EQ(core::zigzag(std::numeric_limits<std::int64_t>::min()),
+            std::numeric_limits<std::uint64_t>::max());
+  util::Rng rng(9002);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next());
+    EXPECT_EQ(core::unzigzag(core::zigzag(v)), v);
   }
 }
 

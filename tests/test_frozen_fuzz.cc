@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -197,6 +198,179 @@ TEST_F(FrozenFuzz, GarbageTailsAndForeignFilesAreRejected) {
     EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error);
     expect_map_rejects(bad, "mapped junk body");
   }
+}
+
+// ---- v3 varint-section corruption ---------------------------------------
+// The blind corruptions above are caught by the trailing FNV-1a checksum
+// before the varint decoder ever runs. These cases re-patch the checksum
+// after corrupting, so the *decoder's own* guards (truncated varints,
+// over-long encodings, section-length mismatches) are what must reject —
+// the threat model is a forged image, not an accidental flip.
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t len) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void repatch_checksum(std::vector<std::uint8_t>& bytes) {
+  ASSERT_GE(bytes.size(), 8u);
+  const std::uint64_t sum = fnv1a(bytes.data(), bytes.size() - 8);
+  std::memcpy(bytes.data() + bytes.size() - 8, &sum, 8);
+}
+
+/// Offsets of the v3 varint blob section's payload ([begin, end)) and of
+/// its u64 count field, found by walking the section chain: 32-byte
+/// header, then (count, padded payload) sections of known element sizes —
+/// level i32, tree_root i32, tree_level i32, table_off i64, table_tree
+/// i32 — with the blob next.
+struct BlobRange {
+  std::size_t count_at = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+BlobRange locate_varint_blob(const std::vector<std::uint8_t>& bytes) {
+  auto count_of = [&](std::size_t pos) {
+    std::uint64_t c = 0;
+    std::memcpy(&c, bytes.data() + pos, 8);
+    return c;
+  };
+  std::size_t pos = 32;
+  for (const std::size_t elem : {std::size_t{4}, std::size_t{4},
+                                 std::size_t{4}, std::size_t{8},
+                                 std::size_t{4}}) {
+    pos += 8 + (count_of(pos) * elem + 7) / 8 * 8;
+  }
+  BlobRange r;
+  r.count_at = pos;
+  r.begin = pos + 8;
+  r.end = r.begin + count_of(pos);
+  return r;
+}
+
+void expect_both_paths_reject(const std::vector<std::uint8_t>& bad,
+                              const char* what) {
+  EXPECT_THROW(serve::FrozenScheme::load(bad), std::logic_error) << what;
+  expect_map_rejects(bad, what);
+}
+
+TEST_F(FrozenFuzz, VarintSectionTruncatedTailIsRejected) {
+  const auto& bytes = image();
+  const auto blob = locate_varint_blob(bytes);
+  ASSERT_GT(blob.end, blob.begin + 16) << "expected a non-trivial blob";
+  ASSERT_LE(blob.end + 8, bytes.size());
+
+  // Continuation bit forced onto the final blob byte: the last varint
+  // never terminates inside the section.
+  {
+    auto bad = bytes;
+    bad[blob.end - 1] |= 0x80;
+    repatch_checksum(bad);
+    expect_both_paths_reject(bad, "unterminated final varint");
+  }
+  // 0xff splat over the tail: a run of continuation bytes racing off the
+  // section end (and past the 10-byte varint cap if the run is long).
+  {
+    auto bad = bytes;
+    for (std::size_t i = blob.end - 12; i < blob.end; ++i) bad[i] = 0xff;
+    repatch_checksum(bad);
+    expect_both_paths_reject(bad, "continuation splat tail");
+  }
+}
+
+TEST_F(FrozenFuzz, VarintSectionOverlongEncodingIsRejected) {
+  // Turn a terminal byte b (0 < b < 0x80) plus its successor into
+  // {b | 0x80, 0x00}: the same value encoded with a trailing zero byte —
+  // exactly the over-long shape the canonical decoder must refuse.
+  const auto& bytes = image();
+  const auto blob = locate_varint_blob(bytes);
+  int patched = 0;
+  for (std::size_t at = blob.begin; at + 1 < blob.end && patched < 8; ++at) {
+    const std::uint8_t b = bytes[at];
+    if (b == 0 || b >= 0x80) continue;
+    auto bad = bytes;
+    bad[at] = static_cast<std::uint8_t>(b | 0x80);
+    bad[at + 1] = 0x00;
+    repatch_checksum(bad);
+    expect_both_paths_reject(bad, "over-long encoding");
+    ++patched;
+    at += 16;  // spread probes across the section
+  }
+  EXPECT_GE(patched, 4);
+}
+
+TEST_F(FrozenFuzz, VarintSectionLengthMismatchIsRejected) {
+  // Shrink/grow the blob's count field by an amount that keeps the padded
+  // section size identical, so every later section still parses at its
+  // old offset and the checksum (re-patched) passes — only the exact-
+  // consumption check in the varint decoder can catch the lie.
+  const auto& bytes = image();
+  const auto blob = locate_varint_blob(bytes);
+  const std::uint64_t len =
+      static_cast<std::uint64_t>(blob.end - blob.begin);
+  auto padded = [](std::uint64_t c) { return (c + 7) / 8 * 8; };
+  int tested = 0;
+  for (const std::int64_t delta : {-1, 1, -3, 3, -7, 7}) {
+    const std::uint64_t forged = len + static_cast<std::uint64_t>(delta);
+    if (delta < 0 && len < static_cast<std::uint64_t>(-delta)) continue;
+    if (padded(forged) != padded(len)) continue;
+    auto bad = bytes;
+    std::memcpy(bad.data() + blob.count_at, &forged, 8);
+    repatch_checksum(bad);
+    expect_both_paths_reject(bad, "forged blob length");
+    ++tested;
+  }
+  EXPECT_GE(tested, 2) << "padding math should admit both directions";
+}
+
+TEST_F(FrozenFuzz, VarintBodyBitFlipsAreRejectedOrDecodeToRejectedTables) {
+  // Checksum-repatched bit flips inside the blob body: the decoder either
+  // trips a varint guard, a narrowing check, the exact-consumption check,
+  // or — when the flip decodes to in-range but wrong values — validate()'s
+  // structural checks (sorted slabs, port ranges). None may crash, and a
+  // flip that slips through *all* of those must still produce an image
+  // whose save() differs (no silent canonical collision).
+  const auto& bytes = image();
+  const auto blob = locate_varint_blob(bytes);
+  util::Rng rng(999999);
+  int rejected = 0, survived = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    auto bad = bytes;
+    const auto pos =
+        blob.begin + static_cast<std::size_t>(rng.uniform(
+                         static_cast<std::uint64_t>(blob.end - blob.begin)));
+    bad[pos] ^= static_cast<std::uint8_t>(
+        1u << static_cast<int>(rng.uniform(8)));
+    repatch_checksum(bad);
+    try {
+      const auto f = serve::FrozenScheme::load(bad);
+      EXPECT_NE(f.save(), bytes) << "flip at " << pos << " vanished";
+      ++survived;
+    } catch (const std::logic_error&) {
+      ++rejected;
+    }
+    if (trial % 24 == 0) {
+      // The mapped path must agree (reject or accept; never crash).
+      const std::string path =
+          ::testing::TempDir() + "/nors_fuzz_varint.bin";
+      std::FILE* fp = std::fopen(path.c_str(), "wb");
+      ASSERT_NE(fp, nullptr);
+      ASSERT_EQ(std::fwrite(bad.data(), 1, bad.size(), fp), bad.size());
+      std::fclose(fp);
+      try {
+        const auto m = serve::FrozenScheme::map(path);
+        EXPECT_NE(m.save(), bytes);
+      } catch (const std::logic_error&) {
+      }
+      std::remove(path.c_str());
+    }
+  }
+  EXPECT_GT(rejected, 0) << "no flip tripped any decoder guard?";
+  EXPECT_EQ(rejected + survived, 120);
 }
 
 TEST_F(FrozenFuzz, RejectionsLeaveNoPartiallyConstructedState) {

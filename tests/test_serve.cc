@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -10,6 +12,7 @@
 #include "serve/frozen_tz.h"
 #include "serve/server.h"
 #include "serve/shard.h"
+#include "serve/table_cache.h"
 
 namespace nors {
 namespace {
@@ -557,6 +560,192 @@ TEST(ShardedRouteServer, ShardRangesPartitionTheVertexSpace) {
       last = sh;
     }
     EXPECT_EQ(last, k - 1);  // every shard owns at least one vertex
+  }
+}
+
+TEST(FrozenScheme, RouteBatchMatchesSerialRoutes) {
+  // The pipelined engine must answer exactly like the serial route() for
+  // every lane-count shape: empty, shorter than the lane ring, a
+  // non-multiple tail, and u==v self-queries mixed in.
+  const auto g = test_graph(130, 6100);
+  const auto s = build_scheme(g, 3, true, 83);
+  const auto f = serve::FrozenScheme::freeze(s);
+
+  util::Rng rng(6101);
+  std::vector<serve::Query> queries;
+  for (int i = 0; i < 997; ++i) {  // odd count: partial final lanes
+    serve::Query q;
+    q.u = static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(g.n())));
+    q.v = i % 17 == 0
+              ? q.u  // self-query retires in the admit stage
+              : static_cast<Vertex>(
+                    rng.uniform(static_cast<std::uint64_t>(g.n())));
+    queries.push_back(q);
+  }
+  for (const std::size_t count :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7},
+        static_cast<std::size_t>(serve::FrozenScheme::kBatchLanes),
+        queries.size()}) {
+    std::vector<serve::Decision> out(count + 1);
+    out[count].hops = -7;  // canary: the engine must not write past count
+    serve::BatchStats bs;
+    f.route_batch(queries.data(), count, out.data(), &bs);
+    EXPECT_EQ(bs.completed, static_cast<std::int64_t>(count));
+    std::int64_t hops = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto expect = f.route(queries[i].u, queries[i].v);
+      EXPECT_EQ(expect.ok, out[i].ok);
+      EXPECT_EQ(expect.length, out[i].length);
+      EXPECT_EQ(expect.hops, out[i].hops);
+      EXPECT_EQ(expect.via_trick, out[i].via_trick);
+      EXPECT_EQ(expect.tree_root, out[i].tree_root);
+      hops += expect.hops;
+    }
+    EXPECT_EQ(bs.hops, hops);
+    EXPECT_EQ(out[count].hops, -7);
+  }
+
+  // The cached engine agrees too, and its hit/miss accounting is total.
+  serve::TableCache cache(f, 512);
+  std::vector<serve::Decision> out(queries.size());
+  serve::BatchStats bs;
+  f.route_batch_cached(queries.data(), queries.size(), out.data(), cache,
+                       &bs);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto expect = f.route(queries[i].u, queries[i].v);
+    EXPECT_EQ(expect.length, out[i].length) << "i=" << i;
+    EXPECT_EQ(expect.hops, out[i].hops) << "i=" << i;
+  }
+  EXPECT_GT(bs.cache_hits, 0);
+  EXPECT_GT(bs.cache_misses, 0);
+}
+
+TEST(FrozenScheme, BothImageVersionsRoundTripByteIdentically) {
+  const auto g = test_graph(110, 6200);
+  const auto s = build_scheme(g, 3, true, 89);
+  const auto f = serve::FrozenScheme::freeze(s);
+  EXPECT_EQ(f.format_version(), 3u);
+
+  const auto v3 = f.save_as(3);
+  const auto v2 = f.save_as(2);
+  EXPECT_EQ(f.save(), v3);  // latest is the default
+  EXPECT_LT(v3.size(), v2.size()) << "varint columns should shrink the image";
+
+  // Each version survives load()→save() byte-for-byte — load remembers
+  // which version it decoded and save() re-emits it.
+  const auto l3 = serve::FrozenScheme::load(v3);
+  EXPECT_EQ(l3.format_version(), 3u);
+  EXPECT_EQ(l3.save(), v3);
+  const auto l2 = serve::FrozenScheme::load(v2);
+  EXPECT_EQ(l2.format_version(), 2u);
+  EXPECT_EQ(l2.save(), v2);
+
+  // Cross-version: a v2 load re-encodes to the exact v3 bytes and back.
+  EXPECT_EQ(l2.save_as(3), v3);
+  EXPECT_EQ(l3.save_as(2), v2);
+
+  // And both serve identical decisions.
+  for (Vertex u = 0; u < g.n(); u += 9) {
+    for (Vertex v = 1; v < g.n(); v += 8) {
+      expect_same_decision(s.route(u, v), l2.route(u, v), u, v);
+      expect_same_decision(s.route(u, v), l3.route(u, v), u, v);
+    }
+  }
+
+  // The mmap path round-trips both versions too (save→map→save).
+  for (const std::uint32_t version : {2u, 3u}) {
+    const auto bytes = f.save_as(version);
+    const std::string path = ::testing::TempDir() + "/nors_ver_" +
+                             std::to_string(version) + ".bin";
+    std::FILE* fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), fp), bytes.size());
+    std::fclose(fp);
+    const auto mapped = serve::FrozenScheme::map(path);
+    EXPECT_EQ(mapped.format_version(), version);
+    EXPECT_EQ(mapped.save(), bytes);
+    std::remove(path.c_str());
+  }
+
+  EXPECT_THROW(f.save_as(1), std::logic_error);
+  EXPECT_THROW(f.save_as(4), std::logic_error);
+}
+
+TEST(FrozenSchemeMap, HugepageEnvSmoke) {
+  // NORS_HUGEPAGES=1 must never change behavior — only the backing. On
+  // machines without a hugepage pool the copy falls back to a regular
+  // anonymous mapping (or plain file mmap), so this runs everywhere.
+  const auto g = test_graph(90, 6300);
+  const auto s = build_scheme(g, 2, true, 97);
+  const auto f = serve::FrozenScheme::freeze(s);
+  ::setenv("NORS_HUGEPAGES", "1", 1);
+  with_mapped(f, "huge", [&](const serve::FrozenScheme& mapped) {
+    EXPECT_EQ(mapped.save(), f.save());
+    for (Vertex u = 0; u < g.n(); u += 13) {
+      for (Vertex v = 3; v < g.n(); v += 11) {
+        expect_same_decision(s.route(u, v), mapped.route(u, v), u, v);
+      }
+    }
+  });
+  ::unsetenv("NORS_HUGEPAGES");
+}
+
+TEST(ShardedRouteServer, WorkerCountIsClampedToHardware) {
+  const auto g = test_graph(64, 6400);
+  const auto s = build_scheme(g, 2, true, 101);
+  const auto f = serve::FrozenScheme::freeze(s);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  for (const int k : {1, 2, 8}) {
+    serve::ShardedOptions opt;
+    opt.shards = k;
+    serve::ShardedRouteServer server(f, opt);
+    EXPECT_EQ(server.shards(), k) << "shard count must stay as requested";
+    EXPECT_EQ(server.workers(), std::min(k, std::max(1, hw)));
+    EXPECT_GE(server.workers(), 1);
+    EXPECT_LE(server.workers(), server.shards());
+  }
+  // Oversubscription opt-out restores one worker per shard.
+  ::setenv("NORS_THREADS_OVERSUBSCRIBE", "1", 1);
+  {
+    serve::ShardedOptions opt;
+    opt.shards = 8;
+    serve::ShardedRouteServer server(f, opt);
+    EXPECT_EQ(server.workers(), 8);
+    // Still correct with many shards per core — spot-check the answers.
+    std::vector<serve::Query> queries;
+    for (Vertex u = 0; u < g.n(); u += 5) {
+      for (Vertex v = 1; v < g.n(); v += 7) queries.push_back({u, v});
+    }
+    std::vector<serve::Decision> out;
+    server.serve(queries, out);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      expect_same_decision(s.route(queries[i].u, queries[i].v), out[i],
+                           queries[i].u, queries[i].v);
+    }
+  }
+  ::unsetenv("NORS_THREADS_OVERSUBSCRIBE");
+}
+
+TEST(FrozenTzOracle, QueryBatchMatchesSerialQueries) {
+  const auto g = test_graph(140, 6500);
+  tz::TzDistanceOracle::Params p;
+  p.k = 3;
+  p.seed = 7;
+  const auto oracle = tz::TzDistanceOracle::build(g, p);
+  const auto frozen = serve::FrozenTzOracle::freeze(oracle, g.n());
+  util::Rng rng(6501);
+  std::vector<serve::Query> queries;
+  for (int i = 0; i < 731; ++i) {  // partial final lane ring
+    queries.push_back(
+        {static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(g.n()))),
+         static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(g.n())))});
+  }
+  std::vector<serve::FrozenTzOracle::Result> results(queries.size());
+  frozen.query_batch(queries.data(), queries.size(), results.data());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto expect = frozen.query(queries[i].u, queries[i].v);
+    EXPECT_EQ(results[i].estimate, expect.estimate) << "i=" << i;
+    EXPECT_EQ(results[i].iterations, expect.iterations) << "i=" << i;
   }
 }
 

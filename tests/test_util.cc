@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <vector>
 
+#include "util/latency.h"
 #include "util/random.h"
 #include "util/ratio.h"
+#include "util/simd.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -122,6 +127,72 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(util::percentile(v, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(util::percentile(v, 1.0), 5.0);
   EXPECT_DOUBLE_EQ(util::percentile(v, 0.5), 3.0);
+}
+
+TEST(Simd, LowerBoundMatchesStdOnExhaustiveSmallRuns) {
+  // Every length 0..20, every key position including below-min/above-max,
+  // with duplicates: the vector path, the scalar tail and the branchless
+  // binary narrowing must all agree with std::lower_bound exactly.
+  for (std::int32_t len = 0; len <= 20; ++len) {
+    std::vector<std::int32_t> keys;
+    for (std::int32_t i = 0; i < len; ++i) {
+      keys.push_back(3 * i + (i % 2));  // gaps and an uneven stride
+    }
+    if (len >= 4) keys[2] = keys[1];  // duplicate run
+    std::sort(keys.begin(), keys.end());
+    for (std::int32_t key = -2; key <= 3 * len + 2; ++key) {
+      const auto expect = static_cast<std::int32_t>(
+          std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+      EXPECT_EQ(util::simd::lower_bound_i32(keys.data(), len, key), expect)
+          << "len=" << len << " key=" << key;
+      EXPECT_EQ(util::simd::count_less_i32(keys.data(), len, key), expect);
+    }
+  }
+}
+
+TEST(Simd, LowerBoundMatchesStdOnRandomLongRuns) {
+  // Long runs cross the binary-narrowing threshold (>64) and exercise the
+  // negative range and INT32 extremes.
+  util::Rng rng(606060);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto len = static_cast<std::int32_t>(1 + rng.uniform(500));
+    std::vector<std::int32_t> keys;
+    keys.reserve(static_cast<std::size_t>(len));
+    for (std::int32_t i = 0; i < len; ++i) {
+      keys.push_back(static_cast<std::int32_t>(rng.next()));
+    }
+    std::sort(keys.begin(), keys.end());
+    for (int probe = 0; probe < 40; ++probe) {
+      std::int32_t key;
+      if (probe == 0) {
+        key = std::numeric_limits<std::int32_t>::min();
+      } else if (probe == 1) {
+        key = std::numeric_limits<std::int32_t>::max();
+      } else if (probe % 2 == 0) {
+        key = keys[rng.uniform(static_cast<std::uint64_t>(len))];
+      } else {
+        key = static_cast<std::int32_t>(rng.next());
+      }
+      const auto expect = static_cast<std::int32_t>(
+          std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+      EXPECT_EQ(util::simd::lower_bound_i32(keys.data(), len, key), expect);
+    }
+  }
+}
+
+TEST(Latency, HistogramQuantilesBracketTheSamples) {
+  util::LatencyHistogram h;
+  // 1000 samples at 1µs, 10 at 100µs: p50 must sit near 1µs, p999 near
+  // the tail bucket; log2 buckets guarantee only ≪2× resolution.
+  for (int i = 0; i < 1000; ++i) h.record_ns(1000);
+  for (int i = 0; i < 10; ++i) h.record_ns(100000);
+  const double p50 = h.quantile_us(0.5);
+  EXPECT_GE(p50, 0.5);
+  EXPECT_LE(p50, 2.0);
+  const double p999 = h.quantile_us(0.999);
+  EXPECT_GE(p999, 64.0);
+  EXPECT_LE(p999, 256.0);
+  EXPECT_EQ(util::LatencyHistogram().quantile_us(0.5), 0.0);
 }
 
 TEST(Table, RendersAlignedCells) {

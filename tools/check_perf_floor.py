@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""CI serving-throughput floor check (DESIGN.md §10).
+
+Compares the single-thread *uncached* decisions_per_sec of a fresh
+BENCH_serving.json against the committed floor in
+bench/results/perf_floor.json, so decision-path performance regressions
+fail CI exactly like correctness regressions. The uncached row is the one
+checked because it exercises the whole pipeline — label decode, slab
+prefetch, SIMD table search, port emit — with no cache masking a
+slowdown.
+
+The floor is deliberately loose (~2x below a healthy run) to absorb
+runner jitter; a failure therefore means the hot path got *severely*
+slower, not noisy.
+
+Usage: check_perf_floor.py <BENCH_serving.json> <perf_floor.json>
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        bench = json.load(f)
+    with open(sys.argv[2]) as f:
+        floor = json.load(f)
+
+    n = floor["n"]
+    limit = floor["floor_decisions_per_sec"]
+    rows = [
+        r
+        for r in bench.get("rows", [])
+        if r.get("row") == "serve"
+        and r.get("n") == n
+        and r.get("threads") == 1
+        and r.get("cache_entries") == 0
+    ]
+    if not rows:
+        print(
+            f"FAIL: no threads=1 uncached serve row at n={n} in "
+            f"{sys.argv[1]} — was the smoke run executed with the expected "
+            "NORS_BENCH_N?",
+            file=sys.stderr,
+        )
+        return 1
+
+    best = max(float(r["decisions_per_sec"]) for r in rows)
+    status = "OK" if best >= limit else "FAIL"
+    print(
+        f"{status}: decisions_per_sec {best:,.0f} vs floor {limit:,.0f} "
+        f"(n={n}, threads=1, uncached)"
+    )
+    if best < limit:
+        print(
+            "Single-thread serving throughput fell below the committed "
+            "floor. If a slowdown is intentional, lower "
+            "bench/results/perf_floor.json in the same PR and document why.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
