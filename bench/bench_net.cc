@@ -1,0 +1,238 @@
+// Network serving workload (DESIGN.md §11): the same frozen image
+// bench_serving rates in-process, measured through the whole wire stack —
+// loopback TCP, framing + checksums, the epoll event loops, the sharded
+// batch submit — with 1, 2 and 4 concurrent pipelined clients. Reports
+// queries/sec, decisions/sec and client-observed per-frame p50/p99 (socket
+// round-trip included), so the wire tax over raw serving is a number, not
+// a feeling.
+//
+// Runtime knobs (all recorded in the emitted JSON):
+//   --queries=Q     queries per client (default 200000)
+//   --batch=B       queries per kRoute frame (default 64)
+//   --depth=W       pipelined frames in flight per client (default 8)
+//   --loops=L       server event loops (default 2)
+//   --shards=K      route shards (default 2)
+//   --seed=S        query RNG seed (default 9)
+//   NORS_BENCH_N    graph size (default 2^13)
+//
+// Emits BENCH_net.json (schema: bench/results/README.md).
+
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/scheme.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/frozen.h"
+#include "util/latency.h"
+
+namespace {
+
+using namespace nors;
+
+std::vector<serve::Query> make_queries(int n, std::size_t count,
+                                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<serve::Query> qs;
+  qs.reserve(count);
+  while (qs.size() < count) {
+    const auto u =
+        static_cast<graph::Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+    const auto v =
+        static_cast<graph::Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    qs.push_back({u, v});
+  }
+  return qs;
+}
+
+struct Flags {
+  std::size_t queries = 200000;
+  std::size_t batch = 64;
+  std::size_t depth = 8;
+  int loops = 2;
+  int shards = 2;
+  std::uint64_t seed = 9;
+
+  static Flags parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto val = [&a](const char* key) -> const char* {
+        const std::size_t len = std::strlen(key);
+        return a.compare(0, len, key) == 0 ? a.c_str() + len : nullptr;
+      };
+      if (const char* v = val("--queries=")) {
+        f.queries = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = val("--batch=")) {
+        f.batch = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = val("--depth=")) {
+        f.depth = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = val("--loops=")) {
+        f.loops = std::atoi(v);
+      } else if (const char* v = val("--shards=")) {
+        f.shards = std::atoi(v);
+      } else if (const char* v = val("--seed=")) {
+        f.seed = std::strtoull(v, nullptr, 10);
+      } else {
+        std::fprintf(stderr,
+                     "unknown flag %s\nusage: bench_net [--queries=Q] "
+                     "[--batch=B] [--depth=W] [--loops=L] [--shards=K] "
+                     "[--seed=S]\n",
+                     a.c_str());
+        std::exit(2);
+      }
+    }
+    NORS_CHECK_MSG(f.queries > 0 && f.batch > 0 && f.depth > 0,
+                   "bad flag value");
+    return f;
+  }
+};
+
+struct ClientResult {
+  std::int64_t answered = 0;
+  util::LatencyHistogram lat;  // per-frame round-trip, recorded client-side
+};
+
+/// One pipelined client: keeps `depth` kRoute frames of `batch` queries in
+/// flight until `total` queries are answered.
+void run_client(int port, const std::vector<serve::Query>& qs,
+                std::size_t batch, std::size_t depth, ClientResult& out) {
+  net::Client client("127.0.0.1", port);
+  std::size_t sent = 0, received = 0;
+  std::deque<std::size_t> inflight;  // send-order slot indices into timers
+  std::vector<bench::WallTimer> timers(depth);
+  std::deque<std::size_t> free_slots;
+  for (std::size_t i = 0; i < depth; ++i) free_slots.push_back(i);
+
+  while (received < qs.size()) {
+    while (sent < qs.size() && !free_slots.empty()) {
+      const std::size_t take = std::min(batch, qs.size() - sent);
+      const std::size_t slot = free_slots.front();
+      free_slots.pop_front();
+      timers[slot] = bench::WallTimer();
+      client.send_route(qs.data() + sent, take);
+      inflight.push_back(slot);
+      sent += take;
+    }
+    const auto part = client.recv_route();
+    const std::size_t slot = inflight.front();
+    inflight.pop_front();
+    out.lat.record_ns(
+        static_cast<std::int64_t>(timers[slot].seconds() * 1e9));
+    free_slots.push_back(slot);
+    received += part.size();
+    out.answered += static_cast<std::int64_t>(part.size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const int n = bench::env_n(1 << 13);
+  const int k = 3;
+  bench::print_header("net",
+                      "wire-protocol route serving over loopback TCP: "
+                      "qps, decisions/sec, client-observed tails");
+
+  bench::JsonReport report("net");
+
+  const auto g = bench::bench_graph(n, /*seed=*/17);
+  std::printf("graph: n=%d m=%lld; building scheme (k=%d)...\n", n,
+              static_cast<long long>(g.m()), k);
+  core::SchemeParams params;
+  params.k = k;
+  params.seed = 23;
+  const auto scheme = core::RoutingScheme::build(g, params);
+
+  // Serve the mmap'ed image — the daemon's own deployment shape.
+  const std::string map_path = "bench_net_tables.frozen";
+  serve::FrozenScheme::freeze(scheme).save_file(map_path);
+
+  net::NetServerOptions opt;
+  opt.loops = flags.loops;
+  opt.shards = flags.shards;
+  net::Server server(serve::FrozenScheme::map(map_path), opt);
+
+  std::printf(
+      "serving n=%d on 127.0.0.1:%d (loops=%d shards=%d batch=%zu "
+      "depth=%zu)\n\n",
+      n, server.port(), flags.loops, flags.shards, flags.batch, flags.depth);
+
+  for (const int clients : {1, 2, 4}) {
+    std::vector<ClientResult> results(static_cast<std::size_t>(clients));
+    std::vector<std::vector<serve::Query>> qsets;
+    for (int c = 0; c < clients; ++c) {
+      qsets.push_back(
+          make_queries(n, flags.queries, flags.seed + static_cast<unsigned>(c)));
+    }
+    bench::WallTimer t;
+    std::vector<std::thread> pool;
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        run_client(server.port(), qsets[static_cast<std::size_t>(c)],
+                   flags.batch, flags.depth,
+                   results[static_cast<std::size_t>(c)]);
+      });
+    }
+    for (auto& th : pool) th.join();
+    const double secs = t.seconds();
+
+    std::int64_t answered = 0;
+    util::LatencyHistogram::Counts merged{};
+    for (const auto& r : results) {
+      answered += r.answered;
+      const auto c = r.lat.snapshot();
+      for (std::size_t b = 0; b < c.size(); ++b) merged[b] += c[b];
+    }
+    const double qps = static_cast<double>(answered) / secs;
+    const double p50_us =
+        util::LatencyHistogram::quantile_us(merged, 0.5);
+    const double p99_us =
+        util::LatencyHistogram::quantile_us(merged, 0.99);
+
+    // Hop work actually done, for a decisions/sec comparable with
+    // bench_serving's serve rows.
+    const auto totals = server.stats();
+    std::printf(
+        "clients=%d: %lld queries in %.3fs = %9.0f q/s | frame p50 %7.1fus "
+        "p99 %7.1fus | server p50 %7.1fus\n",
+        clients, static_cast<long long>(answered), secs, qps, p50_us, p99_us,
+        static_cast<double>(totals.p50_ns) / 1000.0);
+
+    report.row()
+        .field("row", std::string("net"))
+        .field("n", n)
+        .field("k", k)
+        .field("clients", clients)
+        .field("batch", static_cast<std::int64_t>(flags.batch))
+        .field("depth", static_cast<std::int64_t>(flags.depth))
+        .field("loops", flags.loops)
+        .field("shards", flags.shards)
+        .field("queries", answered)
+        .field("seconds", secs)
+        .field("qps", qps)
+        .field("frame_p50_us", p50_us)
+        .field("frame_p99_us", p99_us);
+  }
+
+  const auto stats = server.stats();
+  std::printf(
+      "\nserver totals: %lld conns, %lld frames, %lld queries, %lld "
+      "protocol errors\n",
+      static_cast<long long>(stats.conns_accepted),
+      static_cast<long long>(stats.frames_in),
+      static_cast<long long>(stats.queries),
+      static_cast<long long>(stats.protocol_errors));
+  NORS_CHECK_MSG(stats.protocol_errors == 0,
+                 "bench traffic must be error-free");
+
+  report.write();
+  std::remove(map_path.c_str());
+  return 0;
+}

@@ -1,0 +1,179 @@
+// route_client — the wire protocol end to end (DESIGN.md §11).
+//
+// Two modes:
+//
+//   ./route_client                      self-contained demo: build a small
+//                                       scheme, freeze it, start an
+//                                       in-process net::Server on an
+//                                       ephemeral loopback port, and query
+//                                       it through net::Client — checking
+//                                       every answer against the in-process
+//                                       FrozenScheme::route().
+//
+//   ./route_client --port=P [--host=H]  connect to a running route_serviced
+//       [--queries=Q] [--seed=S]        (CI's daemon smoke leg), stream Q
+//                                       random route queries in pipelined
+//                                       batches, and report throughput plus
+//                                       the server's own stats frame.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/scheme.h"
+#include "graph/generators.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/frozen.h"
+#include "util/random.h"
+
+using namespace nors;
+
+namespace {
+
+std::vector<serve::Query> random_queries(int n, std::size_t count,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<serve::Query> qs;
+  qs.reserve(count);
+  while (qs.size() < count) {
+    const auto u = static_cast<graph::Vertex>(
+        rng.uniform(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<graph::Vertex>(
+        rng.uniform(static_cast<std::uint64_t>(n)));
+    if (u != v) qs.push_back({u, v});
+  }
+  return qs;
+}
+
+int run_against(net::Client& client, std::size_t total,
+                std::uint64_t seed) {
+  const auto info = client.hello();
+  std::printf("server: n=%d k=%d image v%u trees=%d window=%u\n", info.n,
+              info.k, info.image_version, info.num_trees, info.window);
+
+  const auto qs = random_queries(info.n, total, seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  // Pipeline in frames of 256 queries, a window of 8 frames deep.
+  const std::size_t per_frame = 256;
+  std::size_t sent = 0, received = 0, in_flight = 0, ok = 0;
+  std::int64_t length_sum = 0;
+  while (received < qs.size()) {
+    while (sent < qs.size() && in_flight < 8) {
+      const std::size_t take = std::min(per_frame, qs.size() - sent);
+      client.send_route(qs.data() + sent, take);
+      sent += take;
+      ++in_flight;
+    }
+    const auto part = client.recv_route();
+    --in_flight;
+    for (const auto& d : part) {
+      if (d.ok) {
+        ++ok;
+        length_sum += d.length;
+      }
+    }
+    received += part.size();
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("%zu queries in %.3fs (%.0f q/s), %zu routable, "
+              "mean length %.1f\n",
+              received, secs, static_cast<double>(received) / secs, ok,
+              ok == 0 ? 0.0
+                      : static_cast<double>(length_sum) /
+                            static_cast<double>(ok));
+
+  const auto stats = client.stats();
+  std::printf("server stats: %lld frames in, %lld queries answered, "
+              "%lld protocol errors, p50 %.1fus p99 %.1fus\n",
+              static_cast<long long>(stats.frames_in),
+              static_cast<long long>(stats.queries),
+              static_cast<long long>(stats.protocol_errors),
+              static_cast<double>(stats.p50_ns) / 1000.0,
+              static_cast<double>(stats.p99_ns) / 1000.0);
+  return received == qs.size() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::size_t queries = 2000;
+  std::uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&a](const char* key) -> const char* {
+      const std::size_t len = std::strlen(key);
+      return a.compare(0, len, key) == 0 ? a.c_str() + len : nullptr;
+    };
+    if (const char* v = val("--host=")) {
+      host = v;
+    } else if (const char* v = val("--port=")) {
+      port = std::atoi(v);
+    } else if (const char* v = val("--queries=")) {
+      queries = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--seed=")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: route_client [--host=H --port=P] [--queries=Q] "
+                   "[--seed=S]\n");
+      return 2;
+    }
+  }
+
+  try {
+    if (port != 0) {
+      // Daemon mode: outwait a route_serviced that is still starting.
+      net::ClientOptions copt;
+      copt.host = host;
+      copt.port = port;
+      copt.connect_retries = 50;
+      net::Client client(copt);
+      return run_against(client, queries, seed);
+    }
+
+    // Self-contained demo: everything in one process, loopback sockets in
+    // the middle, and every wire answer checked against the local image.
+    std::printf("building a small scheme and serving it on loopback...\n");
+    util::Rng rng(3);
+    const auto g = graph::connected_gnm(
+        600, 1800, graph::WeightSpec::uniform(1, 16), rng);
+    core::SchemeParams params;
+    params.k = 3;
+    params.seed = 5;
+    const auto scheme = core::RoutingScheme::build(g, params);
+    auto frozen = serve::FrozenScheme::freeze(scheme);
+    const auto reference = serve::FrozenScheme::load(frozen.save());
+
+    net::Server server(std::move(frozen), {});
+    net::Client client("127.0.0.1", server.port());
+    const int rc = run_against(client, queries, seed);
+
+    // The wire adds transport, never changes an answer.
+    const auto qs = random_queries(reference.n(), 500, seed + 1);
+    const auto wire = client.route(qs);
+    std::size_t checked = 0;
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      const auto local = reference.route(qs[i].u, qs[i].v);
+      if (wire[i].ok != local.ok || wire[i].length != local.length ||
+          wire[i].hops != local.hops) {
+        std::fprintf(stderr, "wire answer diverged at %d->%d\n", qs[i].u,
+                     qs[i].v);
+        return 1;
+      }
+      ++checked;
+    }
+    std::printf("%zu wire answers bit-identical to in-process route()\n",
+                checked);
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "route_client: %s\n", e.what());
+    return 1;
+  }
+}

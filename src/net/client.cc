@@ -1,0 +1,183 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/check.h"
+
+namespace nors::net {
+
+namespace {
+
+int connect_once(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(ClientOptions opt) {
+  for (int attempt = 0;; ++attempt) {
+    fd_ = connect_once(opt.host, opt.port);
+    if (fd_ >= 0) return;
+    if (attempt >= opt.connect_retries) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opt.retry_delay_ms));
+  }
+  throw std::runtime_error("cannot connect to " + opt.host + ":" +
+                           std::to_string(opt.port));
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::shutdown_send() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::send_bytes(const std::uint8_t* data, std::size_t len) {
+  NORS_CHECK_MSG(fd_ >= 0, "client not connected");
+  std::size_t off = 0;
+  while (off < len) {
+    const auto wr = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    if (wr < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("send failed: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(wr);
+  }
+}
+
+std::uint32_t Client::send_frame(FrameType type,
+                                 std::span<const std::uint8_t> body) {
+  const std::uint32_t id = next_id_++;
+  scratch_.clear();
+  append_frame(scratch_, type, id, body);
+  send_bytes(scratch_.data(), scratch_.size());
+  return id;
+}
+
+bool Client::recv_frame_or_eof(Frame& out) {
+  NORS_CHECK_MSG(fd_ >= 0, "client not connected");
+  for (;;) {
+    const auto pr = parse_frame(inbuf_.data(), inbuf_.size());
+    if (pr.status == ParseResult::Status::kFrame) {
+      out = std::move(const_cast<ParseResult&>(pr).frame);
+      inbuf_.erase(inbuf_.begin(),
+                   inbuf_.begin() + static_cast<std::ptrdiff_t>(pr.consumed));
+      return true;
+    }
+    if (pr.status == ParseResult::Status::kBad) {
+      throw std::runtime_error("broken response stream from server");
+    }
+    std::uint8_t buf[65536];
+    const auto rd = ::recv(fd_, buf, sizeof(buf), 0);
+    if (rd == 0) return false;
+    if (rd < 0) {
+      if (errno == EINTR) continue;
+      // A peer that closed hard (RST after our half-close, or mid-fuzz)
+      // reads as ECONNRESET — the tests treat that like EOF.
+      if (errno == ECONNRESET) return false;
+      throw std::runtime_error(std::string("recv failed: ") +
+                               std::strerror(errno));
+    }
+    inbuf_.insert(inbuf_.end(), buf, buf + rd);
+  }
+}
+
+Frame Client::recv_frame() {
+  Frame f;
+  if (!recv_frame_or_eof(f)) {
+    throw std::runtime_error("server closed the connection");
+  }
+  return f;
+}
+
+Frame Client::expect(FrameType want) {
+  Frame f = recv_frame();
+  if (f.type == FrameType::kError) {
+    const WireError e = decode_error(f.body);
+    throw ProtocolError(e.code, e.message);
+  }
+  NORS_CHECK_MSG(f.type == want, "unexpected response frame type");
+  return f;
+}
+
+ServerInfo Client::hello() {
+  send_frame(FrameType::kHello, {});
+  return decode_hello_ack(expect(FrameType::kHelloAck).body);
+}
+
+std::uint32_t Client::send_route(const serve::Query* qs, std::size_t count) {
+  scratch_.clear();
+  std::vector<std::uint8_t> body;
+  encode_route_request(body, qs, count);
+  return send_frame(FrameType::kRoute, body);
+}
+
+std::vector<serve::Decision> Client::recv_route() {
+  return decode_route_response(expect(FrameType::kRouteAck).body);
+}
+
+std::vector<serve::Decision> Client::route(
+    const std::vector<serve::Query>& qs) {
+  // Split oversized batches into max-width frames and pipeline them; the
+  // in-order response guarantee makes reassembly a concatenation.
+  std::size_t sent = 0, frames = 0;
+  while (sent < qs.size() || frames == 0) {
+    const std::size_t take =
+        std::min(qs.size() - sent, kMaxQueriesPerFrame);
+    send_route(qs.data() + sent, take);
+    sent += take;
+    ++frames;
+    if (qs.empty()) break;
+  }
+  std::vector<serve::Decision> out;
+  out.reserve(qs.size());
+  for (std::size_t i = 0; i < frames; ++i) {
+    auto part = recv_route();
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Client::label(graph::Vertex v) {
+  std::vector<std::uint8_t> body;
+  encode_label_request(body, v);
+  send_frame(FrameType::kLabel, body);
+  return decode_label_response(expect(FrameType::kLabelAck).body);
+}
+
+WireStats Client::stats() {
+  send_frame(FrameType::kStats, {});
+  return decode_stats_ack(expect(FrameType::kStatsAck).body);
+}
+
+}  // namespace nors::net

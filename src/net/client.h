@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "serve/frozen.h"
+
+namespace nors::net {
+
+/// A kError response frame, surfaced as an exception by the typed calls.
+/// Recoverable codes (kBadBody, kBadQuery, ...) leave the connection
+/// usable — catch, fix the request, keep going; fatal codes mean the
+/// server is about to close the socket (see wire.h's taxonomy).
+struct ProtocolError : std::runtime_error {
+  ProtocolError(ErrorCode c, const std::string& msg)
+      : std::runtime_error(msg), code(c) {}
+  ErrorCode code;
+};
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Extra connect attempts before giving up — lets a client outwait a
+  /// daemon that is still binding its socket.
+  int connect_retries = 0;
+  int retry_delay_ms = 100;
+};
+
+/// Blocking client for the route_serviced wire protocol (net/wire.h): a
+/// single TCP connection, synchronous typed calls (hello / route / label /
+/// stats), and a split async pair (send_route / recv_route) for
+/// pipelining — the server answers strictly in request order, so N sends
+/// followed by N recvs line up positionally. The raw send_bytes /
+/// send_frame / recv_frame layer exists for the wire-fuzz and protocol
+/// tests; production callers want the typed calls. Not thread-safe: one
+/// Client per thread (connections are cheap; the server pins each to one
+/// event loop anyway).
+class Client {
+ public:
+  /// Connects (with retries per the options); throws std::runtime_error
+  /// when the server cannot be reached.
+  explicit Client(ClientOptions opt);
+  Client(const std::string& host, int port)
+      : Client(ClientOptions{host, port}) {}
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // ------------------------------------------------------- typed calls --
+  ServerInfo hello();
+
+  /// Routes a batch: splits it into kRoute frames of at most
+  /// kMaxQueriesPerFrame queries, pipelines them, and reassembles the
+  /// decisions in query order. Throws ProtocolError on a kError response.
+  std::vector<serve::Decision> route(const std::vector<serve::Query>& qs);
+
+  std::vector<std::uint8_t> label(graph::Vertex v);
+  WireStats stats();
+
+  // ------------------------------------------- pipelined route frames --
+  /// Sends one kRoute frame (count ≤ kMaxQueriesPerFrame) without waiting;
+  /// returns the request id used.
+  std::uint32_t send_route(const serve::Query* qs, std::size_t count);
+
+  /// Receives the next response frame, which must be the kRouteAck (or
+  /// kError → ProtocolError) for the oldest unanswered send_route.
+  std::vector<serve::Decision> recv_route();
+
+  // ------------------------------------------------------- raw access --
+  /// Writes raw bytes to the socket — the fuzz tests' door for malformed
+  /// framing. Throws when the connection is gone.
+  void send_bytes(const std::uint8_t* data, std::size_t len);
+
+  /// Encodes and sends a well-formed frame with an arbitrary body.
+  std::uint32_t send_frame(FrameType type, std::span<const std::uint8_t> body);
+
+  /// Blocks for the next complete frame. Throws std::runtime_error if the
+  /// peer closes or the stream breaks instead.
+  Frame recv_frame();
+
+  /// As recv_frame(), but a clean peer close returns false instead of
+  /// throwing — how tests assert "the server hung up".
+  bool recv_frame_or_eof(Frame& out);
+
+  /// Half-close: no more requests, but responses still flow. drain tests
+  /// use this to say "done sending" without dropping in-flight replies.
+  void shutdown_send();
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Frame expect(FrameType want);
+
+  int fd_ = -1;
+  std::uint32_t next_id_ = 1;
+  std::vector<std::uint8_t> inbuf_;
+  std::vector<std::uint8_t> scratch_;
+};
+
+}  // namespace nors::net

@@ -1,0 +1,709 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/shard.h"
+#include "util/check.h"
+#include "util/latency.h"
+#include "util/threads.h"
+
+namespace nors::net {
+
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+[[noreturn]] void sys_fail(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// fetch_max for the high-water stats.
+void raise_max(std::atomic<std::int64_t>& a, std::int64_t v) {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+struct Server::Impl {
+  // ------------------------------------------------------- generations --
+  /// One serving image + its sharded compute. Route pendings hold a
+  /// shared_ptr, so a reload() never invalidates an in-flight batch: the
+  /// old generation (image, shard workers and all) lives until its last
+  /// response is encoded.
+  struct Gen {
+    Gen(serve::FrozenScheme f, const NetServerOptions& o)
+        : fs(std::move(f)) {
+      serve::ShardedOptions so;
+      so.shards = o.shards;
+      so.cache_entries = o.cache_entries;
+      srv = std::make_unique<serve::ShardedRouteServer>(fs, so);
+    }
+    serve::FrozenScheme fs;
+    std::unique_ptr<serve::ShardedRouteServer> srv;
+  };
+
+  struct Conn;
+
+  /// One response-in-waiting, queued per connection in request order.
+  /// Sync frames (hello/label/stats/errors) are born encoded; route
+  /// frames become encodable when their batch ticket completes.
+  struct Pending {
+    std::uint32_t request_id = 0;
+    FrameType resp_type = FrameType::kError;
+    std::vector<std::uint8_t> resp_body;
+    bool is_route = false;
+    bool encoded = false;      // resp_body is final
+    bool close_after = false;  // fatal: close once this response flushes
+    // Route-only state. The queries/decisions arrays are owned here so a
+    // shard worker can keep writing decisions even if the connection dies
+    // mid-batch — the Pending (held by the completion callback) outlives
+    // the socket.
+    std::vector<serve::Query> queries;
+    std::vector<serve::Decision> decisions;
+    serve::ShardedRouteServer::Batch batch;
+    std::shared_ptr<Gen> gen;
+    std::weak_ptr<Conn> conn;
+    clock_t_::time_point t0;
+  };
+
+  struct Conn : std::enable_shared_from_this<Conn> {
+    int fd = -1;
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+    std::deque<std::shared_ptr<Pending>> pipeline;
+    std::uint32_t events = 0;   // current epoll interest mask
+    bool closing = false;       // flush remaining output, then close
+    bool stop_parse = false;    // stream poisoned by an envelope error
+  };
+
+  /// Cross-thread mailbox of one event loop: freshly accepted sockets
+  /// (from the acceptor) and completed batches (from shard workers), each
+  /// delivery paired with an eventfd wake. Held by shared_ptr from every
+  /// completion callback, so a late completion after the loop has exited
+  /// lands in a closed mailbox instead of freed memory.
+  struct Inbox {
+    std::mutex m;
+    std::vector<int> fds;
+    std::vector<std::shared_ptr<Pending>> done;
+    int wakefd = -1;
+    bool open = true;
+
+    void wake() {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const auto r = ::write(wakefd, &one, sizeof(one));
+    }
+    ~Inbox() {
+      if (wakefd >= 0) ::close(wakefd);
+    }
+  };
+
+  struct Loop {
+    std::shared_ptr<Inbox> inbox = std::make_shared<Inbox>();
+    std::thread thread;
+    std::unordered_map<int, std::shared_ptr<Conn>> conns;
+    util::LatencyHistogram latency;  // route request parse → response
+    std::atomic<std::int64_t> active{0};
+    int ep = -1;
+  };
+
+  // ------------------------------------------------------------- state --
+  NetServerOptions opt;
+  int listen_fd = -1;
+  int bound_port = 0;
+  std::shared_ptr<Inbox> accept_inbox = std::make_shared<Inbox>();
+  std::thread accept_thread;
+  std::vector<std::unique_ptr<Loop>> loops;
+
+  std::mutex gen_m;
+  std::shared_ptr<Gen> gen;
+  /// Every generation ever created, retained until drain(). A Gen's
+  /// destructor joins its shard workers, so the *last* reference must
+  /// never be dropped from one of those workers — pinning retired
+  /// generations here (idle threads + a mapped image each; reloads are
+  /// rare) lets drain() quiesce them all from the draining thread.
+  std::vector<std::shared_ptr<Gen>> all_gens;
+
+  /// Where a completion callback parks its Pending when the owning loop
+  /// has already exited (post-drain straggler): disposal is deferred to
+  /// drain(), after every worker is joined.
+  std::mutex grave_m;
+  std::vector<std::shared_ptr<Pending>> grave;
+
+  std::atomic<bool> draining{false};
+  std::mutex drain_m;
+  bool drained = false;
+
+  std::atomic<std::int64_t> conns_accepted{0};
+  std::atomic<std::int64_t> frames_in{0};
+  std::atomic<std::int64_t> frames_out{0};
+  std::atomic<std::int64_t> queries{0};
+  std::atomic<std::int64_t> protocol_errors{0};
+  std::atomic<std::int64_t> reloads{0};
+  std::atomic<std::int64_t> max_inflight{0};
+
+  // ---------------------------------------------------------- lifecycle --
+  Impl(serve::FrozenScheme fs, NetServerOptions o) : opt(std::move(o)) {
+    NORS_CHECK_MSG(opt.window >= 1, "window must be >= 1");
+    gen = std::make_shared<Gen>(std::move(fs), opt);
+    all_gens.push_back(gen);
+
+    listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+    if (listen_fd < 0) sys_fail("socket");
+    int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt.port));
+    if (::inet_pton(AF_INET, opt.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(listen_fd);
+      throw std::runtime_error("bad bind address: " + opt.host);
+    }
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd, 128) != 0) {
+      const int e = errno;
+      ::close(listen_fd);
+      errno = e;
+      sys_fail("bind/listen");
+    }
+    socklen_t alen = sizeof(addr);
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &alen);
+    bound_port = ntohs(addr.sin_port);
+
+    const int nloops =
+        std::min(std::max(1, opt.loops), util::resolve_threads(opt.loops));
+    for (int i = 0; i < nloops; ++i) {
+      loops.push_back(std::make_unique<Loop>());
+      loops.back()->inbox->wakefd =
+          ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+      if (loops.back()->inbox->wakefd < 0) sys_fail("eventfd");
+    }
+    accept_inbox->wakefd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (accept_inbox->wakefd < 0) sys_fail("eventfd");
+
+    for (auto& l : loops) {
+      l->thread = std::thread([this, lp = l.get()] { run_loop(*lp); });
+    }
+    accept_thread = std::thread([this] { run_acceptor(); });
+  }
+
+  ~Impl() { drain(); }
+
+  void drain() {
+    std::lock_guard<std::mutex> lk(drain_m);
+    if (drained) return;
+    draining.store(true, std::memory_order_release);
+    accept_inbox->wake();
+    for (auto& l : loops) l->inbox->wake();
+    if (accept_thread.joinable()) accept_thread.join();
+    for (auto& l : loops) {
+      if (l->thread.joinable()) l->thread.join();
+    }
+    // Quiesce every generation from *this* thread: ~ShardedRouteServer
+    // joins its workers, which must never happen on one of them. After
+    // the joins, every completion callback has fully run, so the grave
+    // is complete and safe to clear.
+    std::vector<std::shared_ptr<Gen>> gens;
+    {
+      std::lock_guard<std::mutex> glk(gen_m);
+      gens.swap(all_gens);
+      gen.reset();
+    }
+    for (auto& g : gens) g->srv.reset();
+    {
+      std::lock_guard<std::mutex> glk(grave_m);
+      grave.clear();
+    }
+    gens.clear();
+    drained = true;
+  }
+
+  void reload(serve::FrozenScheme fs) {
+    auto next = std::make_shared<Gen>(std::move(fs), opt);
+    {
+      std::lock_guard<std::mutex> lk(gen_m);
+      if (draining.load(std::memory_order_acquire)) return;  // too late
+      gen = next;
+      all_gens.push_back(std::move(next));
+    }
+    reloads.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<Gen> current_gen() {
+    std::lock_guard<std::mutex> lk(gen_m);
+    return gen;
+  }
+
+  WireStats snapshot_stats() const {
+    WireStats s;
+    s.conns_accepted = conns_accepted.load(std::memory_order_relaxed);
+    s.frames_in = frames_in.load(std::memory_order_relaxed);
+    s.frames_out = frames_out.load(std::memory_order_relaxed);
+    s.queries = queries.load(std::memory_order_relaxed);
+    s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    s.reloads = reloads.load(std::memory_order_relaxed);
+    s.max_inflight = max_inflight.load(std::memory_order_relaxed);
+    util::LatencyHistogram::Counts merged{};
+    for (const auto& l : loops) {
+      s.conns_active += l->active.load(std::memory_order_relaxed);
+      const auto c = l->latency.snapshot();
+      for (std::size_t b = 0; b < c.size(); ++b) merged[b] += c[b];
+    }
+    s.p50_ns = static_cast<std::int64_t>(
+        util::LatencyHistogram::quantile_us(merged, 0.5) * 1000.0);
+    s.p99_ns = static_cast<std::int64_t>(
+        util::LatencyHistogram::quantile_us(merged, 0.99) * 1000.0);
+    return s;
+  }
+
+  // ---------------------------------------------------------- acceptor --
+  void run_acceptor() {
+    const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd;
+    ::epoll_ctl(ep, EPOLL_CTL_ADD, listen_fd, &ev);
+    ev.data.fd = accept_inbox->wakefd;
+    ::epoll_ctl(ep, EPOLL_CTL_ADD, accept_inbox->wakefd, &ev);
+    std::size_t next_loop = 0;
+    epoll_event events[16];
+    while (!draining.load(std::memory_order_acquire)) {
+      const int nev = ::epoll_wait(ep, events, 16, -1);
+      if (nev < 0 && errno == EINTR) continue;
+      for (int i = 0; i < nev; ++i) {
+        if (events[i].data.fd != listen_fd) continue;  // wake: loop around
+        for (;;) {
+          const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (fd < 0) break;
+          set_nodelay(fd);
+          conns_accepted.fetch_add(1, std::memory_order_relaxed);
+          Loop& l = *loops[next_loop++ % loops.size()];
+          {
+            std::lock_guard<std::mutex> lk(l.inbox->m);
+            l.inbox->fds.push_back(fd);
+          }
+          l.inbox->wake();
+        }
+      }
+    }
+    ::close(listen_fd);
+    listen_fd = -1;
+    ::close(ep);
+  }
+
+  // --------------------------------------------------------- event loop --
+  void update_interest(Loop& l, const std::shared_ptr<Conn>& c) {
+    const bool want_write = c->out.size() > c->out_off;
+    const bool want_read =
+        !c->closing && !c->stop_parse &&
+        !draining.load(std::memory_order_relaxed) &&
+        c->pipeline.size() < static_cast<std::size_t>(opt.window) &&
+        c->out.size() - c->out_off < opt.outbuf_limit;
+    const std::uint32_t mask = (want_read ? EPOLLIN : 0u) |
+                               (want_write ? EPOLLOUT : 0u);
+    if (mask == c->events) return;
+    epoll_event ev{};
+    ev.events = mask;
+    ev.data.fd = c->fd;
+    ::epoll_ctl(l.ep, EPOLL_CTL_MOD, c->fd, &ev);
+    c->events = mask;
+  }
+
+  void close_conn(Loop& l, const std::shared_ptr<Conn>& c) {
+    if (c->fd < 0) return;
+    ::epoll_ctl(l.ep, EPOLL_CTL_DEL, c->fd, nullptr);
+    ::close(c->fd);
+    l.conns.erase(c->fd);
+    c->fd = -1;
+    c->pipeline.clear();  // in-flight Pendings stay alive via callbacks
+    l.active.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<Pending> make_error(std::uint32_t request_id,
+                                      ErrorCode code, const char* msg) {
+    auto p = std::make_shared<Pending>();
+    p->request_id = request_id;
+    p->resp_type = FrameType::kError;
+    p->encoded = true;
+    p->close_after = is_fatal(code);
+    encode_error(p->resp_body, code, msg);
+    protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    return p;
+  }
+
+  void dispatch(Loop& l, const std::shared_ptr<Conn>& c, Frame&& f) {
+    frames_in.fetch_add(1, std::memory_order_relaxed);
+    auto p = std::make_shared<Pending>();
+    p->request_id = f.request_id;
+    switch (f.type) {
+      case FrameType::kHello: {
+        const auto g = current_gen();
+        ServerInfo info;
+        info.n = g->fs.n();
+        info.k = g->fs.k();
+        info.image_version = g->fs.format_version();
+        info.num_trees = g->fs.num_trees();
+        info.window = static_cast<std::uint32_t>(opt.window);
+        p->resp_type = FrameType::kHelloAck;
+        encode_hello_ack(p->resp_body, info);
+        p->encoded = true;
+        break;
+      }
+      case FrameType::kStats: {
+        p->resp_type = FrameType::kStatsAck;
+        encode_stats_ack(p->resp_body, snapshot_stats());
+        p->encoded = true;
+        break;
+      }
+      case FrameType::kLabel: {
+        try {
+          const graph::Vertex v = decode_label_request(f.body);
+          const auto g = current_gen();
+          if (v < 0 || v >= g->fs.n()) {
+            p = make_error(f.request_id, ErrorCode::kBadQuery,
+                           "label vertex out of range");
+            break;
+          }
+          p->resp_type = FrameType::kLabelAck;
+          encode_label_response(p->resp_body, g->fs.label_blob(v));
+          p->encoded = true;
+        } catch (const std::logic_error&) {
+          p = make_error(f.request_id, ErrorCode::kBadBody,
+                         "malformed label request");
+        }
+        break;
+      }
+      case FrameType::kRoute: {
+        try {
+          p->queries = decode_route_request(f.body);
+        } catch (const std::logic_error&) {
+          p = make_error(f.request_id, ErrorCode::kBadBody,
+                         "malformed route request");
+          break;
+        }
+        const auto g = current_gen();
+        for (const auto& q : p->queries) {
+          if (q.u < 0 || q.u >= g->fs.n() || q.v < 0 || q.v >= g->fs.n()) {
+            p = make_error(f.request_id, ErrorCode::kBadQuery,
+                           "route vertex out of range");
+            break;
+          }
+        }
+        if (p->resp_type == FrameType::kError && p->encoded) break;
+        p->is_route = true;
+        p->resp_type = FrameType::kRouteAck;
+        p->gen = g;
+        p->conn = c;
+        p->t0 = clock_t_::now();
+        p->decisions.resize(p->queries.size());
+        break;
+      }
+      default:
+        // A checksummed frame of a response-only type from a client.
+        p = make_error(f.request_id, ErrorCode::kBadType,
+                       "not a request frame type");
+        break;
+    }
+
+    c->pipeline.push_back(p);
+    raise_max(max_inflight,
+              static_cast<std::int64_t>(c->pipeline.size()));
+    if (p->is_route) {
+      // Submit after queueing so the completion (delivered back to this
+      // loop through the inbox) always finds the pending in order. The
+      // callback MOVES its Pending reference out — a shard worker must
+      // never end up holding the last reference to a generation (its
+      // destructor would self-join; see all_gens).
+      auto inbox = l.inbox;
+      p->batch = p->gen->srv->submit(
+          p->queries.data(), p->queries.size(), p->decisions.data(),
+          [this, p, inbox]() mutable {
+            auto mine = std::move(p);
+            {
+              std::lock_guard<std::mutex> lk(inbox->m);
+              if (inbox->open) {
+                inbox->done.push_back(std::move(mine));
+                inbox->wake();
+                return;
+              }
+            }
+            std::lock_guard<std::mutex> lk(grave_m);
+            grave.push_back(std::move(mine));
+          });
+    }
+  }
+
+  /// Encodes and flushes every answerable response at the head of the
+  /// pipeline — strictly in request order — then pushes bytes to the
+  /// socket.
+  void flush_pipeline(Loop& l, const std::shared_ptr<Conn>& c) {
+    while (!c->pipeline.empty()) {
+      const auto& p = c->pipeline.front();
+      if (p->is_route && !p->encoded) {
+        if (!p->batch.done()) break;
+        try {
+          p->batch.wait();  // already done: only rethrows worker errors
+          encode_route_response(p->resp_body, p->decisions.data(),
+                                p->decisions.size());
+          queries.fetch_add(
+              static_cast<std::int64_t>(p->decisions.size()),
+              std::memory_order_relaxed);
+        } catch (const std::exception& e) {
+          p->resp_type = FrameType::kError;
+          p->resp_body.clear();
+          encode_error(p->resp_body, ErrorCode::kServerError, e.what());
+          p->close_after = true;
+          protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        p->encoded = true;
+        l.latency.record_ns(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock_t_::now() - p->t0)
+                .count());
+      }
+      if (!p->encoded) break;
+      append_frame(c->out, p->resp_type, p->request_id, p->resp_body);
+      frames_out.fetch_add(1, std::memory_order_relaxed);
+      if (p->close_after) c->closing = true;
+      c->pipeline.pop_front();
+      if (c->closing) break;
+    }
+    handle_write(l, c);
+  }
+
+  void handle_write(Loop& l, const std::shared_ptr<Conn>& c) {
+    if (c->fd < 0) return;
+    while (c->out_off < c->out.size()) {
+      const auto wr =
+          ::send(c->fd, c->out.data() + c->out_off,
+                 c->out.size() - c->out_off, MSG_NOSIGNAL);
+      if (wr > 0) {
+        c->out_off += static_cast<std::size_t>(wr);
+        continue;
+      }
+      if (wr < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (wr < 0 && errno == EINTR) continue;
+      close_conn(l, c);  // peer vanished mid-write
+      return;
+    }
+    if (c->out_off == c->out.size()) {
+      c->out.clear();
+      c->out_off = 0;
+      if (c->closing && c->pipeline.empty()) {
+        close_conn(l, c);
+        return;
+      }
+    }
+    update_interest(l, c);
+  }
+
+  /// Parses buffered input into dispatched frames — but never past the
+  /// in-flight window, so max_inflight is a real bound, not just a read
+  /// throttle. Leftover bytes wait in `in` until responses free room.
+  void parse_available(Loop& l, const std::shared_ptr<Conn>& c) {
+    std::size_t off = 0;
+    while (!c->stop_parse && !c->closing &&
+           !draining.load(std::memory_order_relaxed) &&
+           c->pipeline.size() < static_cast<std::size_t>(opt.window)) {
+      const auto pr = parse_frame(c->in.data() + off, c->in.size() - off);
+      if (pr.status == ParseResult::Status::kNeedMore) break;
+      if (pr.status == ParseResult::Status::kBad) {
+        c->pipeline.push_back(make_error(
+            pr.request_id, pr.error,
+            is_fatal(pr.error) ? "broken frame envelope; closing"
+                               : "unknown frame type"));
+        if (is_fatal(pr.error)) {
+          // The stream can't be resynced: answer, then close.
+          c->stop_parse = true;
+          break;
+        }
+        off += pr.consumed;  // checksummed frame of unknown type: skip it
+        continue;
+      }
+      off += pr.consumed;
+      Frame f = std::move(const_cast<ParseResult&>(pr).frame);
+      dispatch(l, c, std::move(f));
+    }
+    if (off > 0) {
+      c->in.erase(c->in.begin(),
+                  c->in.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+  }
+
+  /// Parse → flush, repeated while flushing frees window room for more
+  /// buffered frames. Called on new input and on batch completion.
+  void pump(Loop& l, const std::shared_ptr<Conn>& c) {
+    for (;;) {
+      parse_available(l, c);
+      const std::size_t before = c->pipeline.size();
+      flush_pipeline(l, c);
+      if (c->fd < 0 || c->in.empty() || c->pipeline.size() == before) {
+        break;
+      }
+    }
+  }
+
+  void handle_read(Loop& l, const std::shared_ptr<Conn>& c) {
+    std::uint8_t buf[65536];
+    const auto rd = ::recv(c->fd, buf, sizeof(buf), 0);
+    if (rd == 0) {
+      // Abrupt peer close — possibly mid-batch. Drop the socket; any
+      // in-flight batches finish into their own Pending buffers.
+      close_conn(l, c);
+      return;
+    }
+    if (rd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      close_conn(l, c);
+      return;
+    }
+    c->in.insert(c->in.end(), buf, buf + rd);
+    pump(l, c);
+  }
+
+  void run_loop(Loop& l) {
+    l.ep = ::epoll_create1(EPOLL_CLOEXEC);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = l.inbox->wakefd;
+    ::epoll_ctl(l.ep, EPOLL_CTL_ADD, l.inbox->wakefd, &ev);
+
+    bool drain_seen = false;
+    clock_t_::time_point deadline{};
+    epoll_event events[64];
+    for (;;) {
+      const bool dr = draining.load(std::memory_order_acquire);
+      if (dr && !drain_seen) {
+        drain_seen = true;
+        deadline = clock_t_::now() +
+                   std::chrono::milliseconds(opt.drain_timeout_ms);
+        // Stop reading everywhere; finish what's parsed, flush, close.
+        for (auto& [fd, c] : l.conns) update_interest(l, c);
+      }
+      if (drain_seen) {
+        // Close connections with nothing left to answer or flush.
+        std::vector<std::shared_ptr<Conn>> done;
+        for (auto& [fd, c] : l.conns) {
+          if ((c->pipeline.empty() && c->out_off == c->out.size()) ||
+              clock_t_::now() >= deadline) {
+            done.push_back(c);
+          }
+        }
+        for (auto& c : done) close_conn(l, c);
+        if (l.conns.empty()) break;
+      }
+
+      const int nev =
+          ::epoll_wait(l.ep, events, 64, drain_seen ? 50 : -1);
+      if (nev < 0 && errno == EINTR) continue;
+
+      // Mailbox first: adopt new sockets, finish completed batches.
+      std::vector<int> fds;
+      std::vector<std::shared_ptr<Pending>> done;
+      {
+        std::lock_guard<std::mutex> lk(l.inbox->m);
+        fds.swap(l.inbox->fds);
+        done.swap(l.inbox->done);
+      }
+      std::uint64_t tick = 0;
+      [[maybe_unused]] const auto r =
+          ::read(l.inbox->wakefd, &tick, sizeof(tick));
+      for (const int fd : fds) {
+        if (draining.load(std::memory_order_relaxed)) {
+          ::close(fd);
+          continue;
+        }
+        auto c = std::make_shared<Conn>();
+        c->fd = fd;
+        c->events = EPOLLIN;
+        epoll_event cev{};
+        cev.events = EPOLLIN;
+        cev.data.fd = fd;
+        ::epoll_ctl(l.ep, EPOLL_CTL_ADD, fd, &cev);
+        l.conns.emplace(fd, std::move(c));
+        l.active.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (const auto& p : done) {
+        if (const auto c = p->conn.lock(); c && c->fd >= 0) {
+          pump(l, c);
+        }
+      }
+
+      for (int i = 0; i < nev; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == l.inbox->wakefd) continue;
+        const auto it = l.conns.find(fd);
+        if (it == l.conns.end()) continue;
+        auto c = it->second;  // keep alive across close_conn
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+          close_conn(l, c);
+          continue;
+        }
+        if ((events[i].events & EPOLLOUT) != 0) handle_write(l, c);
+        if (c->fd >= 0 && (events[i].events & EPOLLIN) != 0) {
+          handle_read(l, c);
+        }
+      }
+    }
+
+    for (auto it = l.conns.begin(); it != l.conns.end();) {
+      auto c = (it++)->second;
+      close_conn(l, c);
+    }
+    {
+      std::lock_guard<std::mutex> lk(l.inbox->m);
+      l.inbox->open = false;
+      for (const int fd : l.inbox->fds) ::close(fd);
+      l.inbox->fds.clear();
+      l.inbox->done.clear();
+    }
+    ::close(l.ep);
+  }
+};
+
+Server::Server(serve::FrozenScheme fs, NetServerOptions opt)
+    : impl_(std::make_unique<Impl>(std::move(fs), std::move(opt))) {}
+
+Server::~Server() = default;
+
+int Server::port() const { return impl_->bound_port; }
+
+void Server::drain() { impl_->drain(); }
+
+void Server::reload(serve::FrozenScheme fs) { impl_->reload(std::move(fs)); }
+
+WireStats Server::stats() const { return impl_->snapshot_stats(); }
+
+const NetServerOptions& Server::options() const { return impl_->opt; }
+
+}  // namespace nors::net

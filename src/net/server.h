@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/wire.h"
+#include "serve/frozen.h"
+
+namespace nors::net {
+
+struct NetServerOptions {
+  /// Bind address. Defaults to loopback; serving beyond the host is a
+  /// deliberate choice.
+  std::string host = "127.0.0.1";
+
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+
+  /// Worker event loops. Connections are assigned round-robin at accept
+  /// and stay pinned to their loop — no cross-loop locking on the hot
+  /// path. Clamped to [1, hardware concurrency] like the serving pools
+  /// (util::resolve_threads; NORS_THREADS_OVERSUBSCRIBE=1 opts out).
+  int loops = 1;
+
+  /// ShardedRouteServer geometry per generation (see serve/shard.h).
+  int shards = 1;
+  int cache_entries = 0;
+
+  /// Per-connection in-flight window: at most this many unanswered frames
+  /// may be pipelined on one connection. At the limit the loop simply
+  /// stops reading that socket (level-triggered interest drop), so
+  /// backpressure propagates to the client through TCP flow control and
+  /// the server's memory stays bounded per connection.
+  int window = 64;
+
+  /// Second backpressure bound: when a connection's pending response
+  /// bytes exceed this, reading stops until the client drains them.
+  std::size_t outbuf_limit = 4u << 20;
+
+  /// Graceful-drain deadline: after this many ms, connections that still
+  /// cannot flush (a client that stopped reading) are closed anyway so
+  /// drain() always terminates.
+  int drain_timeout_ms = 5000;
+};
+
+/// The network front door over the frozen serving stack (DESIGN.md §11):
+/// one acceptor plus `loops` epoll event loops (level-triggered), each
+/// owning its connections outright, over a ShardedRouteServer per image
+/// generation. Route frames are decoded, validated and submitted
+/// asynchronously (serve/shard.h's completion-callback submit); the
+/// answering shard worker wakes the owning loop through an eventfd, and
+/// responses are written strictly in per-connection request order, so a
+/// pipelining client needs no correlation logic. Hello/label/stats frames
+/// are answered inline but flow through the same ordered pipeline.
+///
+/// Life cycle: the server starts serving on construction. drain() is the
+/// SIGTERM path — stop accepting, stop reading, answer every frame already
+/// parsed, flush, close, join (idempotent; the destructor drains if the
+/// caller didn't). reload() is the SIGHUP path — atomically swap in a new
+/// FrozenScheme generation; frames in flight finish on the generation they
+/// were submitted to (kept alive by shared ownership), new frames route on
+/// the new image, and no response is ever dropped or torn by a swap
+/// (test_net pins this).
+class Server {
+ public:
+  /// Takes ownership of the frozen image (FrozenScheme is move-only) and
+  /// starts accepting immediately. Throws std::runtime_error when the
+  /// socket cannot be bound.
+  explicit Server(serve::FrozenScheme fs, NetServerOptions opt = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (the ephemeral one when options.port == 0).
+  int port() const;
+
+  /// Graceful shutdown: see class comment. Safe to call from any thread,
+  /// including a signal-handling thread; returns once everything is
+  /// closed and joined.
+  void drain();
+
+  /// Swap the serving image (class comment). Safe from any thread.
+  void reload(serve::FrozenScheme fs);
+  void reload_file(const std::string& path) {
+    reload(serve::FrozenScheme::map(path));
+  }
+
+  /// Cumulative counters (the same numbers a kStats frame reports).
+  WireStats stats() const;
+
+  const NetServerOptions& options() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nors::net

@@ -1,0 +1,314 @@
+#include "net/wire.h"
+
+#include "core/serialize.h"
+#include "util/check.h"
+
+namespace nors::net {
+
+namespace {
+
+// Little-endian fixed-width header accessors. memcpy keeps the reads
+// alignment-safe; the repo targets little-endian hosts (the frozen-image
+// loader rejects big-endian images the same way).
+template <typename T>
+T read_le(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void write_le(std::uint8_t* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+bool known_request_type(std::uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kHello:
+    case FrameType::kHelloAck:
+    case FrameType::kRoute:
+    case FrameType::kRouteAck:
+    case FrameType::kLabel:
+    case FrameType::kLabelAck:
+    case FrameType::kStats:
+    case FrameType::kStatsAck:
+    case FrameType::kError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Body decode cursor with the exact-consumption discipline of the frozen
+/// v3 sections: every getter throws via core::get_uvarint's guards, and
+/// finish() rejects trailing bytes, so a body either decodes completely
+/// and canonically or not at all.
+class BodyReader {
+ public:
+  explicit BodyReader(std::span<const std::uint8_t> body)
+      : p_(body.data()), end_(body.data() + body.size()) {}
+
+  std::uint64_t u64() {
+    std::uint64_t x = 0;
+    p_ = core::get_uvarint(p_, end_, x);
+    return x;
+  }
+
+  std::int64_t i64() { return core::unzigzag(u64()); }
+
+  std::int32_t i32() {
+    const std::int64_t x = i64();
+    NORS_CHECK_MSG(x >= INT32_MIN && x <= INT32_MAX,
+                   "wire field out of int32 range");
+    return static_cast<std::int32_t>(x);
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t len) {
+    NORS_CHECK_MSG(static_cast<std::size_t>(end_ - p_) >= len,
+                   "wire body truncated");
+    const auto* at = p_;
+    p_ += len;
+    return {at, len};
+  }
+
+  void finish() const {
+    NORS_CHECK_MSG(p_ == end_, "trailing bytes after wire body");
+  }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+}  // namespace
+
+ParseResult parse_frame(const std::uint8_t* data, std::size_t len) {
+  ParseResult r;
+  // Reject envelope fields as soon as their bytes arrive, so garbage is
+  // caught without waiting for (or allocating) a "body" the length prefix
+  // promises.
+  if (len >= 4 && read_le<std::uint32_t>(data) != kMagic) {
+    r.status = ParseResult::Status::kBad;
+    r.error = ErrorCode::kBadMagic;
+    return r;
+  }
+  if (len >= 5 && data[4] != kProtoVersion) {
+    r.status = ParseResult::Status::kBad;
+    r.error = ErrorCode::kBadVersion;
+    return r;
+  }
+  if (len >= 8 && read_le<std::uint16_t>(data + 6) != 0) {
+    r.status = ParseResult::Status::kBad;
+    r.error = ErrorCode::kBadFlags;
+    return r;
+  }
+  if (len < kHeaderBytes) return r;  // kNeedMore
+
+  r.request_id = read_le<std::uint32_t>(data + 8);
+  const std::uint32_t body_len = read_le<std::uint32_t>(data + 12);
+  if (body_len > kMaxBody) {
+    r.status = ParseResult::Status::kBad;
+    r.error = ErrorCode::kBadLength;
+    return r;
+  }
+  const std::size_t total = kHeaderBytes + body_len + kChecksumBytes;
+  if (len < total) return r;  // kNeedMore
+
+  const std::uint64_t want =
+      read_le<std::uint64_t>(data + kHeaderBytes + body_len);
+  if (fnv1a(data, kHeaderBytes + body_len) != want) {
+    r.status = ParseResult::Status::kBad;
+    r.error = ErrorCode::kBadChecksum;
+    return r;
+  }
+  if (!known_request_type(data[5])) {
+    // Checksummed, so it's a well-formed frame of an unknown type: a
+    // recoverable error (the stream stays in sync).
+    r.status = ParseResult::Status::kBad;
+    r.error = ErrorCode::kBadType;
+    r.consumed = total;
+    return r;
+  }
+
+  r.status = ParseResult::Status::kFrame;
+  r.consumed = total;
+  r.frame.type = static_cast<FrameType>(data[5]);
+  r.frame.request_id = r.request_id;
+  r.frame.body.assign(data + kHeaderBytes, data + kHeaderBytes + body_len);
+  return r;
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint32_t request_id,
+                  std::span<const std::uint8_t> body) {
+  NORS_CHECK_MSG(body.size() <= kMaxBody, "frame body exceeds kMaxBody");
+  const std::size_t at = out.size();
+  out.resize(at + kHeaderBytes + body.size() + kChecksumBytes);
+  std::uint8_t* p = out.data() + at;
+  write_le<std::uint32_t>(p, kMagic);
+  p[4] = kProtoVersion;
+  p[5] = static_cast<std::uint8_t>(type);
+  write_le<std::uint16_t>(p + 6, 0);
+  write_le<std::uint32_t>(p + 8, request_id);
+  write_le<std::uint32_t>(p + 12, static_cast<std::uint32_t>(body.size()));
+  if (!body.empty()) {
+    std::memcpy(p + kHeaderBytes, body.data(), body.size());
+  }
+  write_le<std::uint64_t>(p + kHeaderBytes + body.size(),
+                          fnv1a(p, kHeaderBytes + body.size()));
+}
+
+void encode_route_request(std::vector<std::uint8_t>& body,
+                          const serve::Query* queries, std::size_t count) {
+  NORS_CHECK_MSG(count <= kMaxQueriesPerFrame,
+                 "route frame too large: split the batch");
+  core::put_uvarint(body, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    core::put_uvarint(body, core::zigzag(queries[i].u));
+    core::put_uvarint(body, core::zigzag(queries[i].v));
+  }
+}
+
+std::vector<serve::Query> decode_route_request(
+    std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  const std::uint64_t count = r.u64();
+  NORS_CHECK_MSG(count <= kMaxQueriesPerFrame,
+                 "route frame count exceeds the per-frame cap");
+  std::vector<serve::Query> qs(static_cast<std::size_t>(count));
+  for (auto& q : qs) {
+    q.u = r.i32();
+    q.v = r.i32();
+  }
+  r.finish();
+  return qs;
+}
+
+void encode_route_response(std::vector<std::uint8_t>& body,
+                           const serve::Decision* decisions,
+                           std::size_t count) {
+  core::put_uvarint(body, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const serve::Decision& d = decisions[i];
+    const std::uint64_t flags = (d.ok ? 1u : 0u) | (d.via_trick ? 2u : 0u);
+    core::put_uvarint(body, flags);
+    core::put_uvarint(body, core::zigzag(d.hops));
+    core::put_uvarint(body, core::zigzag(d.tree_level));
+    core::put_uvarint(body, core::zigzag(d.tree_root));
+    core::put_uvarint(body, core::zigzag(d.length));
+  }
+}
+
+std::vector<serve::Decision> decode_route_response(
+    std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  const std::uint64_t count = r.u64();
+  NORS_CHECK_MSG(count <= kMaxQueriesPerFrame, "response count over cap");
+  std::vector<serve::Decision> ds(static_cast<std::size_t>(count));
+  for (auto& d : ds) {
+    const std::uint64_t flags = r.u64();
+    NORS_CHECK_MSG(flags <= 3, "unknown decision flags");
+    d.ok = (flags & 1) != 0;
+    d.via_trick = (flags & 2) != 0;
+    d.hops = r.i32();
+    d.tree_level = r.i32();
+    d.tree_root = r.i32();
+    d.length = r.i64();
+  }
+  r.finish();
+  return ds;
+}
+
+void encode_hello_ack(std::vector<std::uint8_t>& body, const ServerInfo& i) {
+  core::put_uvarint(body, i.proto_version);
+  core::put_uvarint(body, core::zigzag(i.n));
+  core::put_uvarint(body, core::zigzag(i.k));
+  core::put_uvarint(body, i.image_version);
+  core::put_uvarint(body, core::zigzag(i.num_trees));
+  core::put_uvarint(body, i.window);
+}
+
+ServerInfo decode_hello_ack(std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  ServerInfo i;
+  i.proto_version = static_cast<std::uint32_t>(r.u64());
+  i.n = r.i32();
+  i.k = r.i32();
+  i.image_version = static_cast<std::uint32_t>(r.u64());
+  i.num_trees = r.i32();
+  i.window = static_cast<std::uint32_t>(r.u64());
+  r.finish();
+  return i;
+}
+
+void encode_label_request(std::vector<std::uint8_t>& body, graph::Vertex v) {
+  core::put_uvarint(body, core::zigzag(v));
+}
+
+graph::Vertex decode_label_request(std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  const graph::Vertex v = r.i32();
+  r.finish();
+  return v;
+}
+
+void encode_label_response(std::vector<std::uint8_t>& body,
+                           std::span<const std::uint8_t> label) {
+  core::put_uvarint(body, label.size());
+  body.insert(body.end(), label.begin(), label.end());
+}
+
+std::vector<std::uint8_t> decode_label_response(
+    std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  const std::uint64_t len = r.u64();
+  NORS_CHECK_MSG(len <= kMaxBody, "label length over body cap");
+  const auto bytes = r.bytes(static_cast<std::size_t>(len));
+  r.finish();
+  return {bytes.begin(), bytes.end()};
+}
+
+void encode_stats_ack(std::vector<std::uint8_t>& body, const WireStats& s) {
+  for (const std::int64_t v :
+       {s.conns_accepted, s.conns_active, s.frames_in, s.frames_out,
+        s.queries, s.protocol_errors, s.reloads, s.max_inflight, s.p50_ns,
+        s.p99_ns}) {
+    core::put_uvarint(body, core::zigzag(v));
+  }
+}
+
+WireStats decode_stats_ack(std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  WireStats s;
+  for (std::int64_t* v :
+       {&s.conns_accepted, &s.conns_active, &s.frames_in, &s.frames_out,
+        &s.queries, &s.protocol_errors, &s.reloads, &s.max_inflight,
+        &s.p50_ns, &s.p99_ns}) {
+    *v = r.i64();
+  }
+  r.finish();
+  return s;
+}
+
+void encode_error(std::vector<std::uint8_t>& body, ErrorCode code,
+                  const std::string& message) {
+  core::put_uvarint(body, static_cast<std::uint64_t>(code));
+  core::put_uvarint(body, message.size());
+  body.insert(body.end(), message.begin(), message.end());
+}
+
+WireError decode_error(std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  WireError e;
+  const std::uint64_t code = r.u64();
+  NORS_CHECK_MSG(code <= 0xff, "error code out of range");
+  e.code = static_cast<ErrorCode>(code);
+  const std::uint64_t len = r.u64();
+  NORS_CHECK_MSG(len <= kMaxBody, "error message over body cap");
+  const auto bytes = r.bytes(static_cast<std::size_t>(len));
+  e.message.assign(bytes.begin(), bytes.end());
+  r.finish();
+  return e;
+}
+
+}  // namespace nors::net

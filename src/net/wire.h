@@ -1,0 +1,197 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/frozen.h"
+
+namespace nors::net {
+
+// The route_serviced wire protocol (DESIGN.md §11): a versioned,
+// length-prefixed, checksummed binary framing over a TCP byte stream.
+// Everything is little-endian, like the NORSFRZ1 image format. A frame is
+//
+//   offset  size
+//   0       4     magic "NRW1"
+//   4       1     protocol version (kProtoVersion)
+//   5       1     frame type (FrameType)
+//   6       2     flags — must be zero (reserved)
+//   8       4     request id — client-chosen, echoed verbatim in the
+//                 response; responses on one connection always arrive in
+//                 request order, so the id is a convenience, not a
+//                 correlation requirement
+//   12      4     body length in bytes (≤ kMaxBody)
+//   16      ...   body (type-specific, varint-coded via core/serialize.h)
+//   16+len  8     FNV-1a 64 over bytes [0, 16+len)
+//
+// Bodies reuse the canonical LEB128+zigzag codec of the frozen-image v3
+// sections (core::put_uvarint / get_uvarint / zigzag), so a route
+// query/response stays a handful of cache lines on the wire — the
+// small-message discipline of Lenzen–Patt-Shamir applied to serving.
+//
+// Failure taxonomy (pinned by test_wire_fuzz): *envelope* errors — bad
+// magic, unknown version, nonzero flags, oversized length prefix,
+// checksum mismatch — poison the byte stream (there is no way to resync),
+// so the server answers with a kError frame and closes the connection.
+// *Body* errors — a frame whose envelope and checksum are valid but whose
+// payload is malformed (truncated or over-long varints, count lies,
+// trailing bytes, out-of-range vertices) — are answered with kError and
+// the connection keeps serving. Neither may ever terminate the server.
+
+inline constexpr std::uint32_t kMagic = 0x3157524Eu;  // "NRW1"
+inline constexpr std::uint8_t kProtoVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;
+inline constexpr std::size_t kChecksumBytes = 8;
+
+/// Body-size cap: an honest frame never needs more (kMaxQueriesPerFrame
+/// queries at ≤ 10 varint bytes per vertex), and rejecting the length
+/// prefix *before* buffering means a forged 2^31 length costs nothing.
+inline constexpr std::size_t kMaxBody = 1u << 20;
+inline constexpr std::size_t kMaxFrameBytes =
+    kHeaderBytes + kMaxBody + kChecksumBytes;
+
+/// Queries per kRoute frame (the client library splits larger batches).
+inline constexpr std::size_t kMaxQueriesPerFrame = 1u << 15;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,     // client → server: empty body
+  kHelloAck = 2,  // ServerInfo
+  kRoute = 3,     // batched route queries
+  kRouteAck = 4,  // one Decision per query, submission order
+  kLabel = 5,     // uvarint vertex
+  kLabelAck = 6,  // the vertex's packed wire label bytes
+  kStats = 7,     // empty body
+  kStatsAck = 8,  // WireStats
+  kError = 15,    // uvarint code + message; response to any broken frame
+};
+
+enum class ErrorCode : std::uint8_t {
+  kNone = 0,
+  kBadMagic = 1,
+  kBadVersion = 2,
+  kBadChecksum = 3,
+  kBadLength = 4,   // body length prefix beyond kMaxBody
+  kBadFlags = 5,    // reserved flags set
+  kBadType = 6,     // unknown or response-only frame type
+  kBadBody = 7,     // payload undecodable (varint guard, count lie, tail)
+  kBadQuery = 8,    // decodable but out-of-range vertex
+  kServerError = 9, // serving-side failure (corrupt image state)
+  kDraining = 10,   // server is draining; no new work accepted
+};
+
+/// True for errors that poison the byte stream: the server closes the
+/// connection after sending the kError frame (see taxonomy above).
+inline bool is_fatal(ErrorCode c) {
+  return c == ErrorCode::kBadMagic || c == ErrorCode::kBadVersion ||
+         c == ErrorCode::kBadChecksum || c == ErrorCode::kBadLength ||
+         c == ErrorCode::kBadFlags;
+}
+
+/// The FNV-1a 64 the frozen-image format trailer uses, applied per frame.
+inline std::uint64_t fnv1a(const std::uint8_t* p, std::size_t len) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// A decoded frame envelope; body bytes are copied out of the stream
+/// buffer so the buffer can compact independently of frame lifetime.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::uint32_t request_id = 0;
+  std::vector<std::uint8_t> body;
+};
+
+/// Incremental frame parser verdict over a byte-stream prefix.
+struct ParseResult {
+  enum class Status { kNeedMore, kFrame, kBad };
+  Status status = Status::kNeedMore;
+  std::size_t consumed = 0;  // bytes to drop from the stream (kFrame only)
+  Frame frame;               // valid when status == kFrame
+  ErrorCode error = ErrorCode::kNone;  // set when status == kBad
+  std::uint32_t request_id = 0;  // best-effort id for the error response
+};
+
+/// Examines the stream prefix [data, data+len). Envelope fields are
+/// checked as soon as their bytes are available — a bad magic or an
+/// oversized length prefix is rejected long before a full frame (or any
+/// allocation proportional to the forged length) happens. Never throws.
+ParseResult parse_frame(const std::uint8_t* data, std::size_t len);
+
+/// Appends one complete frame (header + body + checksum) to `out`.
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint32_t request_id,
+                  std::span<const std::uint8_t> body);
+
+// ------------------------------------------------------- body payloads --
+// Encoders append varint fields to a body vector; decoders throw
+// std::logic_error (the codec's own guard) on any malformed body,
+// including bodies with undecoded trailing bytes. The server maps those
+// throws to kBadBody error frames.
+
+/// What kHelloAck carries: enough for a client to size and validate its
+/// requests without ever seeing the image.
+struct ServerInfo {
+  std::uint32_t proto_version = kProtoVersion;
+  std::int32_t n = 0;
+  std::int32_t k = 0;
+  std::uint32_t image_version = 0;  // frozen-format version behind serving
+  std::int32_t num_trees = 0;
+  std::uint32_t window = 0;  // per-connection in-flight frame window
+};
+
+/// What kStatsAck carries — the server's cumulative counters, so tests
+/// can pin exact sums over concurrent clients from outside the process.
+struct WireStats {
+  std::int64_t conns_accepted = 0;
+  std::int64_t conns_active = 0;
+  std::int64_t frames_in = 0;
+  std::int64_t frames_out = 0;
+  std::int64_t queries = 0;
+  std::int64_t protocol_errors = 0;
+  std::int64_t reloads = 0;
+  std::int64_t max_inflight = 0;  // high-water in-flight frames, any conn
+  std::int64_t p50_ns = 0;        // request latency (parse → response)
+  std::int64_t p99_ns = 0;
+};
+
+void encode_route_request(std::vector<std::uint8_t>& body,
+                          const serve::Query* queries, std::size_t count);
+std::vector<serve::Query> decode_route_request(
+    std::span<const std::uint8_t> body);
+
+void encode_route_response(std::vector<std::uint8_t>& body,
+                           const serve::Decision* decisions,
+                           std::size_t count);
+std::vector<serve::Decision> decode_route_response(
+    std::span<const std::uint8_t> body);
+
+void encode_hello_ack(std::vector<std::uint8_t>& body, const ServerInfo& i);
+ServerInfo decode_hello_ack(std::span<const std::uint8_t> body);
+
+void encode_label_request(std::vector<std::uint8_t>& body, graph::Vertex v);
+graph::Vertex decode_label_request(std::span<const std::uint8_t> body);
+
+void encode_label_response(std::vector<std::uint8_t>& body,
+                           std::span<const std::uint8_t> label);
+std::vector<std::uint8_t> decode_label_response(
+    std::span<const std::uint8_t> body);
+
+void encode_stats_ack(std::vector<std::uint8_t>& body, const WireStats& s);
+WireStats decode_stats_ack(std::span<const std::uint8_t> body);
+
+void encode_error(std::vector<std::uint8_t>& body, ErrorCode code,
+                  const std::string& message);
+struct WireError {
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+};
+WireError decode_error(std::span<const std::uint8_t> body);
+
+}  // namespace nors::net

@@ -22,6 +22,10 @@ struct ShardedRouteServer::Batch::State {
   std::mutex m;
   std::condition_variable cv;
   std::exception_ptr error;  // first worker failure; guarded by m
+  // Completion hook of the callback submit() overload; guarded by m.
+  // Swapped out (and thereby released) before it runs, so a callback that
+  // captures the Batch ticket cannot form a State↔callback cycle.
+  std::function<void()> on_complete;
   // Per-shard query indices (positions into the caller's arrays). Owned
   // here so the index lists live exactly as long as the slowest worker
   // needs them.
@@ -191,11 +195,39 @@ void ShardedRouteServer::worker(Worker& w) {
     if (t.state->remaining.fetch_sub(batch_queries,
                                      std::memory_order_acq_rel) ==
         batch_queries) {
-      std::lock_guard<std::mutex> lk(t.state->m);
-      t.state->cv.notify_all();
+      std::function<void()> cb;
+      {
+        std::lock_guard<std::mutex> lk(t.state->m);
+        t.state->cv.notify_all();
+        cb.swap(t.state->on_complete);
+      }
+      if (cb) cb();
     }
     t = Task{};  // release the State before blocking on the next pop
   }
+}
+
+ShardedRouteServer::Batch ShardedRouteServer::submit(
+    const Query* queries, std::size_t count, Decision* out,
+    std::function<void()> on_complete) {
+  if (count == 0) {
+    // Nothing to enqueue: the completion contract ("exactly once") is met
+    // inline, and the ticket below is already done.
+    if (on_complete) on_complete();
+    return submit(queries, count, out);
+  }
+  auto ticket = submit(queries, count, out);
+  bool already_done = false;
+  {
+    std::lock_guard<std::mutex> lk(ticket.state_->m);
+    if (ticket.state_->remaining.load(std::memory_order_acquire) == 0) {
+      already_done = true;  // workers beat us to it: run the hook here
+    } else {
+      ticket.state_->on_complete = std::move(on_complete);
+    }
+  }
+  if (already_done && on_complete) on_complete();
+  return ticket;
 }
 
 ShardedRouteServer::Batch ShardedRouteServer::submit(const Query* queries,

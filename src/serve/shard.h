@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -96,6 +97,19 @@ class ShardedRouteServer {
 
   /// Async: dispatch the batch across shard queues and return immediately.
   Batch submit(const Query* queries, std::size_t count, Decision* out);
+
+  /// As submit(), and additionally invokes `on_complete` exactly once when
+  /// every query of the batch is answered — the completion hook the
+  /// network front-end (src/net) uses to finish a request without parking
+  /// a thread in wait(). The callback runs on the worker thread that
+  /// retires the batch's last sub-batch, after all accounting (an empty
+  /// batch invokes it inline on the submitting thread). It must not throw
+  /// and must not block; calling the ticket's wait() from inside it is
+  /// fine (the batch is already done, so wait() returns — or rethrows the
+  /// first worker error — immediately). The callback is dropped as soon as
+  /// it has run, so state captured by it does not outlive the batch.
+  Batch submit(const Query* queries, std::size_t count, Decision* out,
+               std::function<void()> on_complete);
 
   /// Blocking convenience: submit + wait.
   void serve(const Query* queries, std::size_t count, Decision* out);

@@ -1,0 +1,274 @@
+// Network-frame fuzzing (DESIGN.md §11's failure taxonomy, the wire
+// sibling of test_frozen_fuzz): every malformed byte sequence a client
+// can send — noise, bad envelope fields, oversized length prefixes,
+// truncations, checksum-repatched garbage bodies, version skew, seeded
+// bit flips — must produce a clean kError frame (and, for recoverable
+// body errors, a connection that keeps serving). No input may ever
+// terminate the server's connection loop. CI runs this under
+// ASan+UBSan, where a single over-read or uninitialized decode aborts.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/scheme.h"
+#include "graph/generators.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/frozen.h"
+#include "util/random.h"
+
+namespace nors {
+namespace {
+
+using net::ErrorCode;
+using net::Frame;
+using net::FrameType;
+
+/// One server for the whole file — the point is precisely that no fuzz
+/// case below can kill it (gtest runs our TESTs in declaration order
+/// within the file, and the final test re-validates serving).
+struct Fixture {
+  serve::FrozenScheme reference;
+  net::Server server;
+  int n;
+
+  static Fixture& get() {
+    static Fixture* f = [] {
+      util::Rng rng(3);
+      const auto g = graph::connected_gnm(
+          150, 450, graph::WeightSpec::uniform(1, 16), rng);
+      core::SchemeParams p;
+      p.k = 2;
+      p.seed = 5;
+      auto frozen =
+          serve::FrozenScheme::freeze(core::RoutingScheme::build(g, p));
+      auto ref = serve::FrozenScheme::load(frozen.save());
+      return new Fixture{std::move(ref), net::Server(std::move(frozen), {}),
+                         0};
+    }();
+    f->n = f->reference.n();
+    return *f;
+  }
+};
+
+net::Client connect() {
+  return net::Client("127.0.0.1", Fixture::get().server.port());
+}
+
+/// Proves the connection still serves: a valid route frame answered
+/// bit-identically to the in-process image.
+void expect_still_serving(net::Client& client) {
+  auto& f = Fixture::get();
+  const std::vector<serve::Query> qs = {{1, f.n - 2}, {f.n / 2, 3}};
+  const auto got = client.route(qs);
+  ASSERT_EQ(got.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto local = f.reference.route(qs[i].u, qs[i].v);
+    ASSERT_EQ(got[i].ok, local.ok);
+    ASSERT_EQ(got[i].length, local.length);
+    ASSERT_EQ(got[i].hops, local.hops);
+  }
+}
+
+/// The server is alive if a brand-new connection serves correctly.
+void expect_server_alive() {
+  auto client = connect();
+  expect_still_serving(client);
+}
+
+/// Sends raw bytes, expects exactly one kError frame with `code`, then —
+/// for fatal codes — a close; for recoverable codes the same connection
+/// must keep serving.
+void expect_error_for(const std::vector<std::uint8_t>& bytes,
+                      ErrorCode code) {
+  auto client = connect();
+  client.send_bytes(bytes.data(), bytes.size());
+  const Frame f = client.recv_frame();
+  ASSERT_EQ(f.type, FrameType::kError);
+  const auto err = net::decode_error(f.body);
+  EXPECT_EQ(err.code, code) << err.message;
+  if (net::is_fatal(code)) {
+    Frame more;
+    EXPECT_FALSE(client.recv_frame_or_eof(more))
+        << "fatal protocol error must close the connection";
+  } else {
+    expect_still_serving(client);
+  }
+  expect_server_alive();
+}
+
+/// A well-formed envelope (magic, version, checksum all valid) around an
+/// arbitrary — typically garbage — body.
+std::vector<std::uint8_t> checksummed(FrameType type,
+                                      const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> out;
+  net::append_frame(out, type, /*request_id=*/77, body);
+  return out;
+}
+
+std::vector<std::uint8_t> valid_route_frame() {
+  const std::vector<serve::Query> qs = {{2, 9}, {11, 4}};
+  std::vector<std::uint8_t> body;
+  net::encode_route_request(body, qs.data(), qs.size());
+  return checksummed(FrameType::kRoute, body);
+}
+
+// ---- envelope (fatal) cases --------------------------------------------
+
+TEST(WireFuzz, PureNoiseIsBadMagic) {
+  util::Rng rng(99);
+  std::vector<std::uint8_t> noise(64);
+  for (auto& b : noise) b = static_cast<std::uint8_t>(rng.uniform(256));
+  noise[0] = 'X';  // guarantee the magic really is wrong
+  expect_error_for(noise, ErrorCode::kBadMagic);
+}
+
+TEST(WireFuzz, VersionSkewIsBadVersion) {
+  auto frame = valid_route_frame();
+  frame[4] = net::kProtoVersion + 1;  // a future client
+  expect_error_for(frame, ErrorCode::kBadVersion);
+  frame[4] = 0;  // an ancient one
+  expect_error_for(frame, ErrorCode::kBadVersion);
+}
+
+TEST(WireFuzz, ReservedFlagsAreBadFlags) {
+  auto frame = valid_route_frame();
+  frame[6] = 0x01;
+  expect_error_for(frame, ErrorCode::kBadFlags);
+}
+
+TEST(WireFuzz, OversizedLengthPrefixRejectedFromHeaderAlone) {
+  // Only 16 header bytes advertising a ~2 GiB body: the server must
+  // reject from the prefix without ever buffering toward that length.
+  std::vector<std::uint8_t> header(net::kHeaderBytes, 0);
+  const std::uint32_t magic = net::kMagic;
+  std::memcpy(header.data(), &magic, 4);
+  header[4] = net::kProtoVersion;
+  header[5] = static_cast<std::uint8_t>(FrameType::kRoute);
+  const std::uint32_t huge = 0x7fffffffu;
+  std::memcpy(header.data() + 12, &huge, 4);
+  expect_error_for(header, ErrorCode::kBadLength);
+}
+
+TEST(WireFuzz, ChecksumMismatchIsFatal) {
+  auto frame = valid_route_frame();
+  frame[net::kHeaderBytes] ^= 0x40;  // flip a body bit, keep stale checksum
+  expect_error_for(frame, ErrorCode::kBadChecksum);
+}
+
+TEST(WireFuzz, TruncatedFramesNeverAnsweredNeverCrash) {
+  const auto frame = valid_route_frame();
+  // Every proper prefix: the server waits for more, we hang up instead.
+  for (std::size_t cut = 1; cut + 1 < frame.size(); cut += 3) {
+    auto client = connect();
+    client.send_bytes(frame.data(), cut);
+    client.shutdown_send();
+    Frame f;
+    EXPECT_FALSE(client.recv_frame_or_eof(f))
+        << "a truncated frame must not be answered (cut=" << cut << ")";
+  }
+  expect_server_alive();
+}
+
+// ---- body (recoverable) cases ------------------------------------------
+
+TEST(WireFuzz, RepatchedGarbageBodiesAreBadBodyAndSurvivable) {
+  // Valid envelope + checksum, deliberately undecodable bodies: the
+  // connection must answer kError(kBadBody) and keep serving.
+  const std::vector<std::vector<std::uint8_t>> bodies = {
+      {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80},
+      {0x05},                    // count 5, zero queries follow
+      {0x01, 0x02, 0x04, 0xff},  // one query + trailing byte
+      {0x00, 0x00},              // count 0 + trailing byte
+      {0x80, 0x00},              // non-minimal varint (codec rejects)
+  };
+  for (const auto& body : bodies) {
+    expect_error_for(checksummed(FrameType::kRoute, body),
+                     ErrorCode::kBadBody);
+  }
+  // Same discipline on the label body decoder.
+  expect_error_for(checksummed(FrameType::kLabel, {0x02, 0x02}),
+                   ErrorCode::kBadBody);
+}
+
+TEST(WireFuzz, OutOfRangeVerticesAreBadQueryAndSurvivable) {
+  auto& f = Fixture::get();
+  const std::vector<serve::Query> beyond = {{0, f.n + 5}};
+  std::vector<std::uint8_t> body;
+  net::encode_route_request(body, beyond.data(), beyond.size());
+  expect_error_for(checksummed(FrameType::kRoute, body),
+                   ErrorCode::kBadQuery);
+
+  const std::vector<serve::Query> negative = {{-3, 1}};
+  body.clear();
+  net::encode_route_request(body, negative.data(), negative.size());
+  expect_error_for(checksummed(FrameType::kRoute, body),
+                   ErrorCode::kBadQuery);
+
+  expect_error_for(checksummed(FrameType::kLabel, {0x09}),  // v = -5
+                   ErrorCode::kBadQuery);
+}
+
+TEST(WireFuzz, UnknownAndResponseOnlyTypesAreBadTypeAndSurvivable) {
+  expect_error_for(checksummed(static_cast<FrameType>(0x0b), {}),
+                   ErrorCode::kBadType);
+  // A client "responding" to the server: well-formed, wrong direction.
+  expect_error_for(checksummed(FrameType::kRouteAck, {0x00}),
+                   ErrorCode::kBadType);
+  expect_error_for(checksummed(FrameType::kHelloAck, {}),
+                   ErrorCode::kBadType);
+}
+
+// ---- seeded bit flips ---------------------------------------------------
+
+TEST(WireFuzz, TwoHundredSeededBitFlipsNeverKillTheServer) {
+  const auto pristine = valid_route_frame();
+  util::Rng rng(20260808);
+  int errors = 0, acks = 0, closes = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    auto frame = pristine;
+    const int flips = 1 + static_cast<int>(rng.uniform(3));
+    for (int b = 0; b < flips; ++b) {
+      const auto bit = rng.uniform(frame.size() * 8);
+      frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    auto client = connect();
+    client.send_bytes(frame.data(), frame.size());
+    client.shutdown_send();
+    // Whatever happened — error frame, miraculous valid ack, silent
+    // close on a truncation-like mutation — the stream must end cleanly
+    // and the server must keep running.
+    try {
+      Frame f;
+      while (client.recv_frame_or_eof(f)) {
+        if (f.type == FrameType::kError) ++errors;
+        if (f.type == FrameType::kRouteAck) ++acks;
+      }
+    } catch (const std::exception&) {
+      ++closes;  // broken response stream == connection torn down hard
+    }
+  }
+  // The distribution is seed-dependent but bit flips overwhelmingly land
+  // in checksummed bytes: most mutations must have been *answered*.
+  EXPECT_GT(errors, 100) << "errors=" << errors << " acks=" << acks
+                         << " closes=" << closes;
+  expect_server_alive();
+}
+
+// ---- epilogue -----------------------------------------------------------
+
+TEST(WireFuzz, ServerStillServesBitIdenticallyAfterAllOfTheAbove) {
+  auto& f = Fixture::get();
+  expect_server_alive();
+  const auto stats = f.server.stats();
+  EXPECT_GT(stats.protocol_errors, 0);
+  // Fuzzing never leaks into accounting: every connection above was
+  // accepted and every valid probe answered.
+  EXPECT_GT(stats.conns_accepted, 200);
+  EXPECT_EQ(stats.reloads, 0);
+}
+
+}  // namespace
+}  // namespace nors

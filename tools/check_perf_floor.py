@@ -1,68 +1,94 @@
 #!/usr/bin/env python3
-"""CI serving-throughput floor check (DESIGN.md §10).
+"""CI throughput floor check (DESIGN.md §10, §11).
 
-Compares the single-thread *uncached* decisions_per_sec of a fresh
-BENCH_serving.json against the committed floor in
-bench/results/perf_floor.json, so decision-path performance regressions
-fail CI exactly like correctness regressions. The uncached row is the one
-checked because it exercises the whole pipeline — label decode, slab
-prefetch, SIMD table search, port emit — with no cache masking a
-slowdown.
+Compares fresh BENCH_*.json reports against the committed floors in
+bench/results/perf_floor.json, so hot-path performance regressions fail
+CI exactly like correctness regressions.
 
-The floor is deliberately loose (~2x below a healthy run) to absorb
-runner jitter; a failure therefore means the hot path got *severely*
-slower, not noisy.
+The floor file holds a list of checks:
 
-Usage: check_perf_floor.py <BENCH_serving.json> <perf_floor.json>
+    {"checks": [
+        {"file":   "BENCH_serving.json",     # which report to look in
+         "row":    "serve",                  # row type to select
+         "match":  {"n": 2048, "threads": 1},  # fields rows must equal
+         "metric": "decisions_per_sec",      # value compared to the floor
+         "floor":  3800000,                  # minimum acceptable best row
+         "note":   "why this floor"},
+        ...]}
+
+Every check must find at least one matching row in its report, and the
+best (max) value of the metric across matching rows must reach the floor.
+Floors are deliberately loose (~2x below a healthy run) to absorb runner
+jitter; a failure therefore means the path got *severely* slower.
+
+Usage: check_perf_floor.py <perf_floor.json> <BENCH_*.json> [more...]
 """
 
 import json
+import os
 import sys
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1]) as f:
-        bench = json.load(f)
-    with open(sys.argv[2]) as f:
-        floor = json.load(f)
+def run_check(check, reports):
+    name = check["file"]
+    if name not in reports:
+        print(
+            f"FAIL: {name} not among the provided reports "
+            f"({', '.join(sorted(reports))}) — was its bench smoke run?",
+            file=sys.stderr,
+        )
+        return False
 
-    n = floor["n"]
-    limit = floor["floor_decisions_per_sec"]
+    want = dict(check.get("match", {}))
+    want["row"] = check["row"]
     rows = [
         r
-        for r in bench.get("rows", [])
-        if r.get("row") == "serve"
-        and r.get("n") == n
-        and r.get("threads") == 1
-        and r.get("cache_entries") == 0
+        for r in reports[name].get("rows", [])
+        if all(r.get(k) == v for k, v in want.items())
     ]
     if not rows:
         print(
-            f"FAIL: no threads=1 uncached serve row at n={n} in "
-            f"{sys.argv[1]} — was the smoke run executed with the expected "
-            "NORS_BENCH_N?",
+            f"FAIL: no row matching {want} in {name} — was the smoke run "
+            "executed with the expected size flags?",
             file=sys.stderr,
         )
-        return 1
+        return False
 
-    best = max(float(r["decisions_per_sec"]) for r in rows)
-    status = "OK" if best >= limit else "FAIL"
+    metric = check["metric"]
+    floor = float(check["floor"])
+    best = max(float(r[metric]) for r in rows)
+    ok = best >= floor
+    label = ", ".join(f"{k}={v}" for k, v in sorted(want.items()))
     print(
-        f"{status}: decisions_per_sec {best:,.0f} vs floor {limit:,.0f} "
-        f"(n={n}, threads=1, uncached)"
+        f"{'OK' if ok else 'FAIL'}: {name} {metric} {best:,.0f} vs floor "
+        f"{floor:,.0f} ({label})"
     )
-    if best < limit:
+    if not ok:
         print(
-            "Single-thread serving throughput fell below the committed "
-            "floor. If a slowdown is intentional, lower "
-            "bench/results/perf_floor.json in the same PR and document why.",
+            f"{metric} fell below the committed floor. If a slowdown is "
+            "intentional, lower bench/results/perf_floor.json in the same "
+            "PR and document why.",
             file=sys.stderr,
         )
-        return 1
-    return 0
+    return ok
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        floors = json.load(f)
+
+    reports = {}
+    for path in sys.argv[2:]:
+        with open(path) as f:
+            reports[os.path.basename(path)] = json.load(f)
+
+    checks = floors["checks"]
+    failed = [c for c in checks if not run_check(c, reports)]
+    print(f"{len(checks) - len(failed)}/{len(checks)} floor checks passed")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,189 @@
+// route_serviced — the network daemon over the frozen serving stack
+// (DESIGN.md §11): mmap (or generate) a NORSFRZ1 image, serve the wire
+// protocol of net/wire.h on TCP, and speak the usual daemon signal
+// language:
+//
+//   SIGTERM / SIGINT   graceful drain: stop accepting, answer every frame
+//                      already parsed, flush, close, exit 0
+//   SIGHUP             reload: re-map the image file and atomically swap
+//                      it under serving; in-flight batches finish on the
+//                      old image, no response is dropped
+//
+// Flags:
+//   --image=PATH       serve this frozen image (reloaded on SIGHUP)
+//   --generate-n=N     no image? generate a connected G(n, 3n) workload,
+//   --generate-k=K     build the scheme, freeze it, and save the image to
+//   --seed=S           route_serviced_<pid>.frozen so SIGHUP still works
+//   --host= --port=    bind address (default 127.0.0.1:0 = ephemeral)
+//   --loops=L          epoll event loops   (default 1)
+//   --shards=K         route shards        (default 1)
+//   --cache=C          per-worker table-cache entries (default 4096)
+//   --window=W         per-connection in-flight frame window (default 64)
+//
+// Prints exactly one "route_serviced listening on HOST:PORT" line once
+// the socket is bound — scripts (CI's smoke leg) wait for it.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/scheme.h"
+#include "graph/generators.h"
+#include "net/server.h"
+#include "serve/frozen.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace nors;
+
+struct Flags {
+  std::string image;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int generate_n = 0;
+  int generate_k = 2;
+  std::uint64_t seed = 17;
+  int loops = 1;
+  int shards = 1;
+  int cache = 4096;
+  int window = 64;
+};
+
+[[noreturn]] void usage(const char* bad) {
+  std::fprintf(stderr,
+               "unknown flag %s\nusage: route_serviced [--image=PATH | "
+               "--generate-n=N --generate-k=K --seed=S] [--host=H] "
+               "[--port=P] [--loops=L] [--shards=K] [--cache=C] "
+               "[--window=W]\n",
+               bad);
+  std::exit(2);
+}
+
+Flags parse(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&a](const char* key) -> const char* {
+      const std::size_t len = std::strlen(key);
+      return a.compare(0, len, key) == 0 ? a.c_str() + len : nullptr;
+    };
+    if (const char* v = val("--image=")) {
+      f.image = v;
+    } else if (const char* v = val("--host=")) {
+      f.host = v;
+    } else if (const char* v = val("--port=")) {
+      f.port = std::atoi(v);
+    } else if (const char* v = val("--generate-n=")) {
+      f.generate_n = std::atoi(v);
+    } else if (const char* v = val("--generate-k=")) {
+      f.generate_k = std::atoi(v);
+    } else if (const char* v = val("--seed=")) {
+      f.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--loops=")) {
+      f.loops = std::atoi(v);
+    } else if (const char* v = val("--shards=")) {
+      f.shards = std::atoi(v);
+    } else if (const char* v = val("--cache=")) {
+      f.cache = std::atoi(v);
+    } else if (const char* v = val("--window=")) {
+      f.window = std::atoi(v);
+    } else {
+      usage(a.c_str());
+    }
+  }
+  if (f.image.empty() && f.generate_n < 4) {
+    std::fprintf(stderr,
+                 "need --image=PATH or --generate-n=N (N >= 4)\n");
+    std::exit(2);
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = parse(argc, argv);
+
+  // Block the control signals process-wide *before* the server spawns its
+  // threads, so every thread inherits the mask and sigwait below is the
+  // only consumer.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGHUP);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  try {
+    if (flags.image.empty()) {
+      // Generated mode: build → freeze → save, then serve the *file* so
+      // SIGHUP has something to re-map.
+      std::fprintf(stderr,
+                   "generating n=%d k=%d seed=%llu workload...\n",
+                   flags.generate_n, flags.generate_k,
+                   static_cast<unsigned long long>(flags.seed));
+      util::Rng rng(flags.seed);
+      const auto g = graph::connected_gnm(
+          flags.generate_n, 3LL * flags.generate_n,
+          graph::WeightSpec::uniform(1, 32), rng);
+      core::SchemeParams params;
+      params.k = flags.generate_k;
+      params.seed = flags.seed + 1;
+      const auto scheme = core::RoutingScheme::build(g, params);
+      flags.image = "route_serviced_" + std::to_string(::getpid()) +
+                    ".frozen";
+      serve::FrozenScheme::freeze(scheme).save_file(flags.image);
+      std::fprintf(stderr, "image saved to %s\n", flags.image.c_str());
+    }
+
+    net::NetServerOptions opt;
+    opt.host = flags.host;
+    opt.port = flags.port;
+    opt.loops = flags.loops;
+    opt.shards = flags.shards;
+    opt.cache_entries = flags.cache;
+    opt.window = flags.window;
+    net::Server server(serve::FrozenScheme::map(flags.image), opt);
+
+    std::printf("route_serviced listening on %s:%d\n", flags.host.c_str(),
+                server.port());
+    std::fflush(stdout);
+
+    for (;;) {
+      int sig = 0;
+      if (sigwait(&sigs, &sig) != 0) continue;
+      if (sig == SIGHUP) {
+        try {
+          server.reload_file(flags.image);
+          std::fprintf(stderr, "reloaded %s\n", flags.image.c_str());
+        } catch (const std::exception& e) {
+          // A broken image on disk must not take serving down; keep the
+          // current generation and say why.
+          std::fprintf(stderr, "reload failed, keeping old image: %s\n",
+                       e.what());
+        }
+        continue;
+      }
+      std::fprintf(stderr, "signal %d: draining...\n", sig);
+      server.drain();
+      break;
+    }
+    const auto s = server.stats();
+    std::fprintf(stderr,
+                 "drained: %lld conns, %lld frames in, %lld queries, "
+                 "%lld protocol errors\n",
+                 static_cast<long long>(s.conns_accepted),
+                 static_cast<long long>(s.frames_in),
+                 static_cast<long long>(s.queries),
+                 static_cast<long long>(s.protocol_errors));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "route_serviced: fatal: %s\n", e.what());
+    return 1;
+  }
+}
