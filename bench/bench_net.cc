@@ -130,6 +130,50 @@ void run_client(int port, const std::vector<serve::Query>& qs,
   }
 }
 
+struct OverloadResult {
+  std::int64_t answered = 0;   // queries served
+  std::int64_t shed = 0;       // queries rejected with kOverloaded
+  util::LatencyHistogram lat;  // served frames only
+};
+
+/// An unthrottled client for the overload row: keeps `depth` frames in
+/// flight and does NOT retry shed frames — the point is to measure how
+/// the server behaves at ~2x its admission capacity, so rejected work is
+/// counted, not resent.
+void run_overload_client(int port, const std::vector<serve::Query>& qs,
+                         std::size_t batch, std::size_t depth,
+                         OverloadResult& out) {
+  net::Client client("127.0.0.1", port);
+  struct Inflight {
+    bench::WallTimer timer;
+    std::size_t take = 0;
+  };
+  std::deque<Inflight> inflight;
+  std::size_t sent = 0;
+  while (sent < qs.size() || !inflight.empty()) {
+    while (sent < qs.size() && inflight.size() < depth) {
+      const std::size_t take = std::min(batch, qs.size() - sent);
+      client.send_route(qs.data() + sent, take);
+      inflight.push_back({bench::WallTimer(), take});
+      sent += take;
+    }
+    const net::Frame f = client.recv_frame();
+    const Inflight fl = inflight.front();
+    inflight.pop_front();
+    if (f.type == net::FrameType::kRouteAck) {
+      const auto part = net::decode_route_response(f.body);
+      out.answered += static_cast<std::int64_t>(part.size());
+      out.lat.record_ns(
+          static_cast<std::int64_t>(fl.timer.seconds() * 1e9));
+    } else {
+      const auto err = net::decode_error(f.body);
+      NORS_CHECK_MSG(err.code == net::ErrorCode::kOverloaded,
+                     "overload bench saw an unexpected error frame");
+      out.shed += static_cast<std::int64_t>(fl.take);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,6 +275,88 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.protocol_errors));
   NORS_CHECK_MSG(stats.protocol_errors == 0,
                  "bench traffic must be error-free");
+
+  // ---- overload row: offered load ~2x the admission budget -------------
+  // A second server with a deliberately small in-flight query budget
+  // (4 frames' worth) against 4 clients each keeping `depth` frames in
+  // flight: offered in-flight load is clients*depth frames vs a budget of
+  // 4, so admission control must shed — the row records how much, and
+  // what the surviving traffic's tail looks like while shedding.
+  {
+    constexpr int kOverClients = 4;
+    net::NetServerOptions oopt;
+    oopt.loops = flags.loops;
+    oopt.shards = flags.shards;
+    oopt.max_inflight_queries =
+        static_cast<std::int64_t>(4 * flags.batch);
+    oopt.retry_after_ms = 1;
+    net::Server oserver(serve::FrozenScheme::map(map_path), oopt);
+
+    std::vector<OverloadResult> results(kOverClients);
+    std::vector<std::vector<serve::Query>> qsets;
+    for (int c = 0; c < kOverClients; ++c) {
+      qsets.push_back(make_queries(
+          n, flags.queries, flags.seed + 100 + static_cast<unsigned>(c)));
+    }
+    bench::WallTimer t;
+    std::vector<std::thread> pool;
+    for (int c = 0; c < kOverClients; ++c) {
+      pool.emplace_back([&, c] {
+        run_overload_client(oserver.port(),
+                            qsets[static_cast<std::size_t>(c)], flags.batch,
+                            flags.depth,
+                            results[static_cast<std::size_t>(c)]);
+      });
+    }
+    for (auto& th : pool) th.join();
+    const double secs = t.seconds();
+
+    std::int64_t served = 0, shed = 0;
+    util::LatencyHistogram::Counts merged{};
+    for (const auto& r : results) {
+      served += r.answered;
+      shed += r.shed;
+      const auto c = r.lat.snapshot();
+      for (std::size_t b = 0; b < c.size(); ++b) merged[b] += c[b];
+    }
+    const std::int64_t offered = served + shed;
+    const double offered_qps = static_cast<double>(offered) / secs;
+    const double served_qps = static_cast<double>(served) / secs;
+    const double shed_rate =
+        offered > 0 ? static_cast<double>(shed) / static_cast<double>(offered)
+                    : 0.0;
+    const double served_p99_us =
+        util::LatencyHistogram::quantile_us(merged, 0.99);
+    const auto ostats = oserver.stats();
+    std::printf(
+        "\noverload (budget=%lld queries): offered %9.0f q/s, served "
+        "%9.0f q/s, shed %.1f%% | served frame p99 %7.1fus | server shed "
+        "count %lld\n",
+        static_cast<long long>(oopt.max_inflight_queries), offered_qps,
+        served_qps, 100.0 * shed_rate, served_p99_us,
+        static_cast<long long>(ostats.shed));
+    NORS_CHECK_MSG(ostats.protocol_errors == 0,
+                   "kOverloaded must not count as a protocol error");
+
+    report.row()
+        .field("row", std::string("overload"))
+        .field("n", n)
+        .field("k", k)
+        .field("clients", kOverClients)
+        .field("batch", static_cast<std::int64_t>(flags.batch))
+        .field("depth", static_cast<std::int64_t>(flags.depth))
+        .field("loops", flags.loops)
+        .field("shards", flags.shards)
+        .field("budget", oopt.max_inflight_queries)
+        .field("offered_queries", offered)
+        .field("served_queries", served)
+        .field("shed_queries", shed)
+        .field("seconds", secs)
+        .field("offered_qps", offered_qps)
+        .field("served_qps", served_qps)
+        .field("shed_rate", shed_rate)
+        .field("served_p99_us", served_p99_us);
+  }
 
   report.write();
   std::remove(map_path.c_str());

@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -16,6 +18,8 @@
 namespace nors::net {
 
 namespace {
+
+using clock_t_ = std::chrono::steady_clock;
 
 int connect_once(const std::string& host, int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -34,18 +38,92 @@ int connect_once(const std::string& host, int port) {
   return fd;
 }
 
+std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Exponential backoff with jitter: the nth delay is drawn uniformly from
+/// [d/2, d], d = min(base << n, cap). The jitter decorrelates a herd of
+/// clients that all hit the same overloaded server (or the same not-yet-
+/// bound daemon) at once — without it they would retry in lockstep and
+/// collide again every round.
+class Backoff {
+ public:
+  Backoff(int base_ms, int cap_ms, std::uint64_t& rng)
+      : next_ms_(std::max(1, base_ms)), cap_ms_(std::max(1, cap_ms)),
+        rng_(rng) {}
+
+  /// The next sleep duration in ms (advances the schedule).
+  int next() {
+    const int d = next_ms_;
+    next_ms_ = std::min(cap_ms_, next_ms_ * 2);
+    const int half = std::max(1, d / 2);
+    return half + static_cast<int>(splitmix64(rng_) %
+                                   static_cast<std::uint64_t>(d - half + 1));
+  }
+
+ private:
+  int next_ms_;
+  const int cap_ms_;
+  std::uint64_t& rng_;
+};
+
+/// poll() for `events` (POLLIN/POLLOUT) until `deadline` (zero time_point
+/// = no deadline). Throws TimeoutError when the deadline passes first.
+void wait_ready(int fd, short events, clock_t_::time_point deadline,
+                const char* what) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline != clock_t_::time_point{}) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - clock_t_::now());
+      if (left.count() <= 0) {
+        throw TimeoutError(std::string(what) + " timed out");
+      }
+      timeout_ms = static_cast<int>(left.count());
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r > 0) return;  // ready (or error/hup: let recv/send report it)
+    if (r == 0) throw TimeoutError(std::string(what) + " timed out");
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("poll failed: ") +
+                             std::strerror(errno));
+  }
+}
+
 }  // namespace
 
-Client::Client(ClientOptions opt) {
+Client::Client(ClientOptions opt) : opt_(std::move(opt)) {
+  jitter_rng_ = 0x6e6f72735f636c74ull ^
+                (static_cast<std::uint64_t>(::getpid()) << 32) ^
+                reinterpret_cast<std::uintptr_t>(this);
+  const auto deadline =
+      opt_.connect_deadline_ms > 0
+          ? clock_t_::now() + std::chrono::milliseconds(opt_.connect_deadline_ms)
+          : clock_t_::time_point{};
+  Backoff backoff(opt_.backoff_base_ms, opt_.backoff_cap_ms, jitter_rng_);
   for (int attempt = 0;; ++attempt) {
-    fd_ = connect_once(opt.host, opt.port);
+    fd_ = connect_once(opt_.host, opt_.port);
     if (fd_ >= 0) return;
-    if (attempt >= opt.connect_retries) break;
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(opt.retry_delay_ms));
+    if (attempt >= opt_.connect_retries) break;
+    auto sleep_ms = std::chrono::milliseconds(backoff.next());
+    if (deadline != clock_t_::time_point{}) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - clock_t_::now());
+      if (left.count() <= 0) break;  // budget exhausted: stop retrying
+      sleep_ms = std::min(sleep_ms, left);
+    }
+    std::this_thread::sleep_for(sleep_ms);
   }
-  throw std::runtime_error("cannot connect to " + opt.host + ":" +
-                           std::to_string(opt.port));
+  throw std::runtime_error("cannot connect to " + opt_.host + ":" +
+                           std::to_string(opt_.port));
 }
 
 Client::~Client() { close(); }
@@ -63,11 +141,20 @@ void Client::shutdown_send() {
 
 void Client::send_bytes(const std::uint8_t* data, std::size_t len) {
   NORS_CHECK_MSG(fd_ >= 0, "client not connected");
+  const auto deadline =
+      opt_.request_timeout_ms > 0
+          ? clock_t_::now() + std::chrono::milliseconds(opt_.request_timeout_ms)
+          : clock_t_::time_point{};
   std::size_t off = 0;
   while (off < len) {
-    const auto wr = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    const auto wr =
+        ::send(fd_, data + off, len - off, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (wr < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_ready(fd_, POLLOUT, deadline, "send");
+        continue;
+      }
       throw std::runtime_error(std::string("send failed: ") +
                                std::strerror(errno));
     }
@@ -86,6 +173,10 @@ std::uint32_t Client::send_frame(FrameType type,
 
 bool Client::recv_frame_or_eof(Frame& out) {
   NORS_CHECK_MSG(fd_ >= 0, "client not connected");
+  const auto deadline =
+      opt_.request_timeout_ms > 0
+          ? clock_t_::now() + std::chrono::milliseconds(opt_.request_timeout_ms)
+          : clock_t_::time_point{};
   for (;;) {
     const auto pr = parse_frame(inbuf_.data(), inbuf_.size());
     if (pr.status == ParseResult::Status::kFrame) {
@@ -98,10 +189,14 @@ bool Client::recv_frame_or_eof(Frame& out) {
       throw std::runtime_error("broken response stream from server");
     }
     std::uint8_t buf[65536];
-    const auto rd = ::recv(fd_, buf, sizeof(buf), 0);
+    const auto rd = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
     if (rd == 0) return false;
     if (rd < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_ready(fd_, POLLIN, deadline, "recv");
+        continue;
+      }
       // A peer that closed hard (RST after our half-close, or mid-fuzz)
       // reads as ECONNRESET — the tests treat that like EOF.
       if (errno == ECONNRESET) return false;
@@ -124,6 +219,9 @@ Frame Client::expect(FrameType want) {
   Frame f = recv_frame();
   if (f.type == FrameType::kError) {
     const WireError e = decode_error(f.body);
+    if (e.code == ErrorCode::kOverloaded) {
+      throw OverloadedError(e.message, e.retry_after_ms);
+    }
     throw ProtocolError(e.code, e.message);
   }
   NORS_CHECK_MSG(f.type == want, "unexpected response frame type");
@@ -148,21 +246,59 @@ std::vector<serve::Decision> Client::recv_route() {
 
 std::vector<serve::Decision> Client::route(
     const std::vector<serve::Query>& qs) {
-  // Split oversized batches into max-width frames and pipeline them; the
-  // in-order response guarantee makes reassembly a concatenation.
-  std::size_t sent = 0, frames = 0;
-  while (sent < qs.size() || frames == 0) {
-    const std::size_t take =
-        std::min(qs.size() - sent, kMaxQueriesPerFrame);
-    send_route(qs.data() + sent, take);
+  // Split oversized batches into max-width frames. Each round pipelines
+  // every still-unanswered chunk (the in-order response guarantee lines
+  // results up positionally), collects the kOverloaded rejections, then
+  // sleeps max(server hint, jittered backoff) and resends just those.
+  // Shed frames were never executed server-side and route queries are
+  // read-only, so a retried run's decisions are bit-identical to an
+  // unthrottled one.
+  struct Chunk {
+    std::size_t at = 0;
+    std::size_t count = 0;
+  };
+  std::vector<Chunk> chunks;
+  std::size_t sent = 0;
+  while (sent < qs.size() || chunks.empty()) {
+    const std::size_t take = std::min(qs.size() - sent, kMaxQueriesPerFrame);
+    chunks.push_back({sent, take});
     sent += take;
-    ++frames;
     if (qs.empty()) break;
   }
+
+  std::vector<std::vector<serve::Decision>> parts(chunks.size());
+  std::vector<std::size_t> todo(chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) todo[i] = i;
+
+  Backoff backoff(opt_.backoff_base_ms, opt_.backoff_cap_ms, jitter_rng_);
+  int retries_left = std::max(0, opt_.overload_retries);
+  while (!todo.empty()) {
+    for (const std::size_t i : todo) {
+      send_route(qs.data() + chunks[i].at, chunks[i].count);
+    }
+    std::vector<std::size_t> shed;
+    std::uint32_t hint_ms = 0;
+    std::string last_msg;
+    for (const std::size_t i : todo) {
+      try {
+        parts[i] = recv_route();
+      } catch (const OverloadedError& e) {
+        shed.push_back(i);
+        hint_ms = std::max(hint_ms, e.retry_after_ms);
+        last_msg = e.what();
+      }
+    }
+    if (shed.empty()) break;
+    if (retries_left-- <= 0) throw OverloadedError(last_msg, hint_ms);
+    const int sleep_ms =
+        std::max(static_cast<int>(hint_ms), backoff.next());
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    todo = std::move(shed);
+  }
+
   std::vector<serve::Decision> out;
   out.reserve(qs.size());
-  for (std::size_t i = 0; i < frames; ++i) {
-    auto part = recv_route();
+  for (auto& part : parts) {
     out.insert(out.end(), part.begin(), part.end());
   }
   return out;

@@ -21,13 +21,56 @@ struct ProtocolError : std::runtime_error {
   ErrorCode code;
 };
 
+/// The admission-control rejection (kOverloaded), carrying the server's
+/// retry-after hint. The connection stays usable; the request was never
+/// executed, and route/label/stats are read-only, so resending the
+/// identical request is always safe. route() retries these itself when
+/// ClientOptions::overload_retries > 0.
+struct OverloadedError : ProtocolError {
+  OverloadedError(const std::string& msg, std::uint32_t hint_ms)
+      : ProtocolError(ErrorCode::kOverloaded, msg),
+        retry_after_ms(hint_ms) {}
+  std::uint32_t retry_after_ms;
+};
+
+/// A per-request deadline expired (ClientOptions::request_timeout_ms)
+/// before the server produced the expected bytes. The connection state is
+/// indeterminate after a timeout — a late response may still arrive and
+/// would desynchronize the request/response pairing — so callers should
+/// close() and reconnect.
+struct TimeoutError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 struct ClientOptions {
   std::string host = "127.0.0.1";
   int port = 0;
+
   /// Extra connect attempts before giving up — lets a client outwait a
-  /// daemon that is still binding its socket.
+  /// daemon that is still binding its socket. Attempts are spaced by
+  /// exponential backoff with jitter: the nth sleep is drawn uniformly
+  /// from [d/2, d] where d = min(backoff_base_ms << n, backoff_cap_ms).
   int connect_retries = 0;
-  int retry_delay_ms = 100;
+
+  /// Overall wall-clock budget for connecting, across all attempts and
+  /// backoff sleeps. 0 = no deadline (retries alone bound the loop).
+  int connect_deadline_ms = 0;
+
+  /// Backoff shape shared by connect retries and route()'s kOverloaded
+  /// retries.
+  int backoff_base_ms = 20;
+  int backoff_cap_ms = 1000;
+
+  /// Per-request deadline (ms) for every blocking receive and send: when
+  /// the server doesn't produce (or accept) the expected bytes in time,
+  /// the call throws TimeoutError. 0 = wait forever.
+  int request_timeout_ms = 0;
+
+  /// How many times route() resends a frame the server shed with
+  /// kOverloaded before giving up and rethrowing OverloadedError. Each
+  /// retry sleeps max(server hint, jittered backoff). Safe because route
+  /// queries are read-only (see OverloadedError). 0 = don't retry.
+  int overload_retries = 0;
 };
 
 /// Blocking client for the route_serviced wire protocol (net/wire.h): a
@@ -42,7 +85,7 @@ struct ClientOptions {
 class Client {
  public:
   /// Connects (with retries per the options); throws std::runtime_error
-  /// when the server cannot be reached.
+  /// when the server cannot be reached within the retry/deadline budget.
   explicit Client(ClientOptions opt);
   Client(const std::string& host, int port)
       : Client(ClientOptions{host, port}) {}
@@ -55,7 +98,12 @@ class Client {
 
   /// Routes a batch: splits it into kRoute frames of at most
   /// kMaxQueriesPerFrame queries, pipelines them, and reassembles the
-  /// decisions in query order. Throws ProtocolError on a kError response.
+  /// decisions in query order. Frames the server sheds with kOverloaded
+  /// are retried up to overload_retries times (sleeping max(hint,
+  /// backoff) between rounds); the result is bit-identical to an
+  /// unthrottled run because shed frames were never executed. Throws
+  /// ProtocolError on any other kError response, OverloadedError when
+  /// retries are exhausted, TimeoutError past request_timeout_ms.
   std::vector<serve::Decision> route(const std::vector<serve::Query>& qs);
 
   std::vector<std::uint8_t> label(graph::Vertex v);
@@ -67,19 +115,22 @@ class Client {
   std::uint32_t send_route(const serve::Query* qs, std::size_t count);
 
   /// Receives the next response frame, which must be the kRouteAck (or
-  /// kError → ProtocolError) for the oldest unanswered send_route.
+  /// kError → ProtocolError / OverloadedError) for the oldest unanswered
+  /// send_route.
   std::vector<serve::Decision> recv_route();
 
   // ------------------------------------------------------- raw access --
   /// Writes raw bytes to the socket — the fuzz tests' door for malformed
-  /// framing. Throws when the connection is gone.
+  /// framing. Throws when the connection is gone, TimeoutError when the
+  /// socket stays unwritable past request_timeout_ms.
   void send_bytes(const std::uint8_t* data, std::size_t len);
 
   /// Encodes and sends a well-formed frame with an arbitrary body.
   std::uint32_t send_frame(FrameType type, std::span<const std::uint8_t> body);
 
   /// Blocks for the next complete frame. Throws std::runtime_error if the
-  /// peer closes or the stream breaks instead.
+  /// peer closes or the stream breaks instead, TimeoutError when no frame
+  /// completes within request_timeout_ms.
   Frame recv_frame();
 
   /// As recv_frame(), but a clean peer close returns false instead of
@@ -96,8 +147,10 @@ class Client {
  private:
   Frame expect(FrameType want);
 
+  ClientOptions opt_;
   int fd_ = -1;
   std::uint32_t next_id_ = 1;
+  std::uint64_t jitter_rng_ = 0;
   std::vector<std::uint8_t> inbuf_;
   std::vector<std::uint8_t> scratch_;
 };

@@ -22,6 +22,7 @@
 
 #include "serve/shard.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/latency.h"
 #include "util/threads.h"
 
@@ -91,6 +92,7 @@ struct Server::Impl {
     std::shared_ptr<Gen> gen;
     std::weak_ptr<Conn> conn;
     clock_t_::time_point t0;
+    std::int64_t charged = 0;  // queries held against the global budget
   };
 
   struct Conn : std::enable_shared_from_this<Conn> {
@@ -102,6 +104,8 @@ struct Server::Impl {
     std::uint32_t events = 0;   // current epoll interest mask
     bool closing = false;       // flush remaining output, then close
     bool stop_parse = false;    // stream poisoned by an envelope error
+    bool stall_armed = false;   // unflushed output is waiting on the peer
+    clock_t_::time_point stall_since{};  // last write progress while armed
   };
 
   /// Cross-thread mailbox of one event loop: freshly accepted sockets
@@ -131,6 +135,7 @@ struct Server::Impl {
     std::unordered_map<int, std::shared_ptr<Conn>> conns;
     util::LatencyHistogram latency;  // route request parse → response
     std::atomic<std::int64_t> active{0};
+    std::int64_t pending = 0;  // responses in flight, loop-thread only
     int ep = -1;
   };
 
@@ -168,6 +173,14 @@ struct Server::Impl {
   std::atomic<std::int64_t> protocol_errors{0};
   std::atomic<std::int64_t> reloads{0};
   std::atomic<std::int64_t> max_inflight{0};
+  /// Route queries submitted to the shards and not yet completed — the
+  /// quantity max_inflight_queries budgets. Charged at admission,
+  /// released by the batch completion callback (the shard side is done
+  /// then; the encoded response is bounded separately by the outbuf cap).
+  std::atomic<std::int64_t> inflight_queries{0};
+  std::atomic<std::int64_t> shed{0};
+  std::atomic<std::int64_t> timeouts{0};
+  std::atomic<std::int64_t> stalls{0};
 
   // ---------------------------------------------------------- lifecycle --
   Impl(serve::FrozenScheme fs, NetServerOptions o) : opt(std::move(o)) {
@@ -272,6 +285,9 @@ struct Server::Impl {
     s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
     s.reloads = reloads.load(std::memory_order_relaxed);
     s.max_inflight = max_inflight.load(std::memory_order_relaxed);
+    s.shed = shed.load(std::memory_order_relaxed);
+    s.timeouts = timeouts.load(std::memory_order_relaxed);
+    s.stalls = stalls.load(std::memory_order_relaxed);
     util::LatencyHistogram::Counts merged{};
     for (const auto& l : loops) {
       s.conns_active += l->active.load(std::memory_order_relaxed);
@@ -305,7 +321,15 @@ struct Server::Impl {
           const int fd = ::accept4(listen_fd, nullptr, nullptr,
                                    SOCK_NONBLOCK | SOCK_CLOEXEC);
           if (fd < 0) break;
+          if (util::failpoint("net.accept") == util::FpAction::kError) {
+            ::close(fd);  // injected accept-time failure: drop the socket
+            continue;
+          }
           set_nodelay(fd);
+          if (opt.sndbuf_bytes > 0) {
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opt.sndbuf_bytes,
+                         sizeof(opt.sndbuf_bytes));
+          }
           conns_accepted.fetch_add(1, std::memory_order_relaxed);
           Loop& l = *loops[next_loop++ % loops.size()];
           {
@@ -345,8 +369,20 @@ struct Server::Impl {
     ::close(c->fd);
     l.conns.erase(c->fd);
     c->fd = -1;
+    l.pending -= static_cast<std::int64_t>(c->pipeline.size());
     c->pipeline.clear();  // in-flight Pendings stay alive via callbacks
     l.active.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// The single site that queues a response-in-waiting, so the per-loop
+  /// pending count (the max_pending_per_loop admission input) can't
+  /// drift from the pipelines it describes.
+  void enqueue(Loop& l, const std::shared_ptr<Conn>& c,
+               std::shared_ptr<Pending> p) {
+    c->pipeline.push_back(std::move(p));
+    ++l.pending;
+    raise_max(max_inflight,
+              static_cast<std::int64_t>(c->pipeline.size()));
   }
 
   std::shared_ptr<Pending> make_error(std::uint32_t request_id,
@@ -359,6 +395,38 @@ struct Server::Impl {
     encode_error(p->resp_body, code, msg);
     protocol_errors.fetch_add(1, std::memory_order_relaxed);
     return p;
+  }
+
+  /// Admission-control rejection: recoverable, carries the retry hint,
+  /// and counts as shed load — not as a protocol error (the request was
+  /// well-formed; the server simply declined the work).
+  std::shared_ptr<Pending> make_overloaded(std::uint32_t request_id) {
+    auto p = std::make_shared<Pending>();
+    p->request_id = request_id;
+    p->resp_type = FrameType::kError;
+    p->encoded = true;
+    encode_overloaded(p->resp_body,
+                      static_cast<std::uint32_t>(
+                          std::max(0, opt.retry_after_ms)),
+                      "overloaded: in-flight budget exhausted, retry later");
+    shed.fetch_add(1, std::memory_order_relaxed);
+    return p;
+  }
+
+  /// True when accepting `nq` more route queries would exceed a
+  /// configured admission bound (or the net.overload failpoint forces a
+  /// rejection). Loop-local pending is read on the loop thread only.
+  bool over_budget(const Loop& l, std::int64_t nq) {
+    if (util::failpoint("net.overload") == util::FpAction::kError) {
+      return true;
+    }
+    if (opt.max_inflight_queries > 0 &&
+        inflight_queries.load(std::memory_order_relaxed) + nq >
+            opt.max_inflight_queries) {
+      return true;
+    }
+    return opt.max_pending_per_loop > 0 &&
+           l.pending >= static_cast<std::int64_t>(opt.max_pending_per_loop);
   }
 
   void dispatch(Loop& l, const std::shared_ptr<Conn>& c, Frame&& f) {
@@ -420,11 +488,18 @@ struct Server::Impl {
           }
         }
         if (p->resp_type == FrameType::kError && p->encoded) break;
+        const auto nq = static_cast<std::int64_t>(p->queries.size());
+        if (over_budget(l, nq)) {
+          p = make_overloaded(f.request_id);
+          break;
+        }
         p->is_route = true;
         p->resp_type = FrameType::kRouteAck;
         p->gen = g;
         p->conn = c;
         p->t0 = clock_t_::now();
+        p->charged = nq;
+        inflight_queries.fetch_add(nq, std::memory_order_relaxed);
         p->decisions.resize(p->queries.size());
         break;
       }
@@ -435,9 +510,7 @@ struct Server::Impl {
         break;
     }
 
-    c->pipeline.push_back(p);
-    raise_max(max_inflight,
-              static_cast<std::int64_t>(c->pipeline.size()));
+    enqueue(l, c, p);
     if (p->is_route) {
       // Submit after queueing so the completion (delivered back to this
       // loop through the inbox) always finds the pending in order. The
@@ -448,6 +521,10 @@ struct Server::Impl {
       p->batch = p->gen->srv->submit(
           p->queries.data(), p->queries.size(), p->decisions.data(),
           [this, p, inbox]() mutable {
+            // The shards are done with this batch: release its budget
+            // charge whether or not the connection is still there.
+            inflight_queries.fetch_sub(p->charged,
+                                       std::memory_order_relaxed);
             auto mine = std::move(p);
             {
               std::lock_guard<std::mutex> lk(inbox->m);
@@ -496,6 +573,7 @@ struct Server::Impl {
       frames_out.fetch_add(1, std::memory_order_relaxed);
       if (p->close_after) c->closing = true;
       c->pipeline.pop_front();
+      --l.pending;
       if (c->closing) break;
     }
     handle_write(l, c);
@@ -503,12 +581,21 @@ struct Server::Impl {
 
   void handle_write(Loop& l, const std::shared_ptr<Conn>& c) {
     if (c->fd < 0) return;
+    const auto fp = util::failpoint("net.write");
+    if (fp == util::FpAction::kError) {
+      close_conn(l, c);  // injected write failure
+      return;
+    }
+    bool progressed = false;
     while (c->out_off < c->out.size()) {
-      const auto wr =
-          ::send(c->fd, c->out.data() + c->out_off,
-                 c->out.size() - c->out_off, MSG_NOSIGNAL);
+      std::size_t len = c->out.size() - c->out_off;
+      if (fp == util::FpAction::kPartial) len = 1;
+      const auto wr = ::send(c->fd, c->out.data() + c->out_off, len,
+                             MSG_NOSIGNAL);
       if (wr > 0) {
         c->out_off += static_cast<std::size_t>(wr);
+        progressed = true;
+        if (fp == util::FpAction::kPartial) break;  // one byte, re-poll
         continue;
       }
       if (wr < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -519,10 +606,17 @@ struct Server::Impl {
     if (c->out_off == c->out.size()) {
       c->out.clear();
       c->out_off = 0;
+      c->stall_armed = false;
       if (c->closing && c->pipeline.empty()) {
         close_conn(l, c);
         return;
       }
+    } else if (opt.stall_timeout_ms > 0 &&
+               (progressed || !c->stall_armed)) {
+      // Unflushed bytes remain: (re)start the stall clock from the last
+      // moment the peer made progress.
+      c->stall_armed = true;
+      c->stall_since = clock_t_::now();
     }
     update_interest(l, c);
   }
@@ -538,9 +632,10 @@ struct Server::Impl {
       const auto pr = parse_frame(c->in.data() + off, c->in.size() - off);
       if (pr.status == ParseResult::Status::kNeedMore) break;
       if (pr.status == ParseResult::Status::kBad) {
-        c->pipeline.push_back(make_error(
-            pr.request_id, pr.error,
-            is_fatal(pr.error) ? "broken frame envelope; closing"
+        enqueue(l, c,
+                make_error(pr.request_id, pr.error,
+                           is_fatal(pr.error)
+                               ? "broken frame envelope; closing"
                                : "unknown frame type"));
         if (is_fatal(pr.error)) {
           // The stream can't be resynced: answer, then close.
@@ -574,8 +669,18 @@ struct Server::Impl {
   }
 
   void handle_read(Loop& l, const std::shared_ptr<Conn>& c) {
+    const auto fp = util::failpoint("net.read");
+    if (fp == util::FpAction::kError) {
+      close_conn(l, c);  // injected read failure
+      return;
+    }
     std::uint8_t buf[65536];
-    const auto rd = ::recv(c->fd, buf, sizeof(buf), 0);
+    // Partial-io: read one byte per event-loop pass — no data is lost,
+    // the stream just arrives maximally fragmented (level-triggered
+    // interest re-fires until the socket drains).
+    const std::size_t cap =
+        fp == util::FpAction::kPartial ? 1 : sizeof(buf);
+    const auto rd = ::recv(c->fd, buf, cap, 0);
     if (rd == 0) {
       // Abrupt peer close — possibly mid-batch. Drop the socket; any
       // in-flight batches finish into their own Pending buffers.
@@ -589,6 +694,36 @@ struct Server::Impl {
     }
     c->in.insert(c->in.end(), buf, buf + rd);
     pump(l, c);
+  }
+
+  /// Force-closes connections that broke a time bound (§12): a
+  /// head-of-line route response still not computed past the request
+  /// deadline (nothing behind it could be answered anyway — responses
+  /// are strictly ordered), or a write-stalled peer past the stall
+  /// timeout. Runs on the loop thread between epoll waits.
+  void check_timers(Loop& l) {
+    if (opt.request_deadline_ms <= 0 && opt.stall_timeout_ms <= 0) return;
+    const auto now = clock_t_::now();
+    std::vector<std::shared_ptr<Conn>> victims;
+    for (auto& [fd, c] : l.conns) {
+      if (opt.request_deadline_ms > 0 && !c->pipeline.empty()) {
+        const auto& p = c->pipeline.front();
+        if (p->is_route && !p->encoded &&
+            now - p->t0 >
+                std::chrono::milliseconds(opt.request_deadline_ms)) {
+          timeouts.fetch_add(1, std::memory_order_relaxed);
+          victims.push_back(c);
+          continue;
+        }
+      }
+      if (opt.stall_timeout_ms > 0 && c->stall_armed &&
+          now - c->stall_since >
+              std::chrono::milliseconds(opt.stall_timeout_ms)) {
+        stalls.fetch_add(1, std::memory_order_relaxed);
+        victims.push_back(c);
+      }
+    }
+    for (auto& c : victims) close_conn(l, c);
   }
 
   void run_loop(Loop& l) {
@@ -623,8 +758,12 @@ struct Server::Impl {
         if (l.conns.empty()) break;
       }
 
-      const int nev =
-          ::epoll_wait(l.ep, events, 64, drain_seen ? 50 : -1);
+      // Timers demand periodic wakeups; otherwise block indefinitely.
+      const bool timers =
+          (opt.request_deadline_ms > 0 || opt.stall_timeout_ms > 0) &&
+          !l.conns.empty();
+      const int nev = ::epoll_wait(l.ep, events, 64,
+                                   (drain_seen || timers) ? 50 : -1);
       if (nev < 0 && errno == EINTR) continue;
 
       // Mailbox first: adopt new sockets, finish completed batches.
@@ -674,6 +813,8 @@ struct Server::Impl {
           handle_read(l, c);
         }
       }
+
+      check_timers(l);
     }
 
     for (auto it = l.conns.begin(); it != l.conns.end();) {

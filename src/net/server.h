@@ -42,6 +42,45 @@ struct NetServerOptions {
   /// cannot flush (a client that stopped reading) are closed anyway so
   /// drain() always terminates.
   int drain_timeout_ms = 5000;
+
+  // ------------------------------------------- overload control (§12) --
+  /// Global in-flight query budget: the sum of route queries submitted to
+  /// the shards but not yet completed, across all connections and loops.
+  /// A kRoute frame that would push the sum past the budget is rejected
+  /// with a recoverable kOverloaded frame (carrying retry_after_ms)
+  /// instead of queueing — under sustained overload the server sheds
+  /// excess offered load and keeps serving at capacity rather than
+  /// growing queues without bound. 0 = unlimited.
+  std::int64_t max_inflight_queries = 0;
+
+  /// Per-loop admission cap: a loop with this many pending responses
+  /// (across its connections) sheds further route frames with
+  /// kOverloaded. Bounds per-loop memory independently of how many
+  /// connections split the per-connection window. 0 = unlimited.
+  int max_pending_per_loop = 0;
+
+  /// The retry-after hint (ms) carried by kOverloaded frames.
+  int retry_after_ms = 25;
+
+  /// Per-connection request deadline: if the response to the oldest
+  /// in-flight request is still not computed after this many ms (a wedged
+  /// shard, an injected stall), the connection is force-closed and
+  /// counted in WireStats::timeouts — in-order delivery means nothing
+  /// behind the head could be answered anyway. 0 = no deadline.
+  int request_deadline_ms = 0;
+
+  /// Slow-peer write-stall timer, the outbuf-cap companion: a connection
+  /// whose pending output makes no write progress for this many ms (a
+  /// peer that stopped reading) is force-closed and counted in
+  /// WireStats::stalls. The outbuf cap bounds how much such a peer can
+  /// queue; this timer bounds for how long. 0 = disabled.
+  int stall_timeout_ms = 0;
+
+  /// SO_SNDBUF for accepted sockets (0 = kernel default). Chiefly a
+  /// chaos/test knob: a small send buffer makes a non-reading peer wedge
+  /// the connection quickly instead of hiding behind megabytes of kernel
+  /// buffering.
+  int sndbuf_bytes = 0;
 };
 
 /// The network front door over the frozen serving stack (DESIGN.md §11):

@@ -272,7 +272,7 @@ void encode_stats_ack(std::vector<std::uint8_t>& body, const WireStats& s) {
   for (const std::int64_t v :
        {s.conns_accepted, s.conns_active, s.frames_in, s.frames_out,
         s.queries, s.protocol_errors, s.reloads, s.max_inflight, s.p50_ns,
-        s.p99_ns}) {
+        s.p99_ns, s.shed, s.timeouts, s.stalls}) {
     core::put_uvarint(body, core::zigzag(v));
   }
 }
@@ -283,7 +283,7 @@ WireStats decode_stats_ack(std::span<const std::uint8_t> body) {
   for (std::int64_t* v :
        {&s.conns_accepted, &s.conns_active, &s.frames_in, &s.frames_out,
         &s.queries, &s.protocol_errors, &s.reloads, &s.max_inflight,
-        &s.p50_ns, &s.p99_ns}) {
+        &s.p50_ns, &s.p99_ns, &s.shed, &s.timeouts, &s.stalls}) {
     *v = r.i64();
   }
   r.finish();
@@ -292,7 +292,19 @@ WireStats decode_stats_ack(std::span<const std::uint8_t> body) {
 
 void encode_error(std::vector<std::uint8_t>& body, ErrorCode code,
                   const std::string& message) {
+  NORS_CHECK_MSG(code != ErrorCode::kOverloaded,
+                 "kOverloaded frames carry a hint: use encode_overloaded");
   core::put_uvarint(body, static_cast<std::uint64_t>(code));
+  core::put_uvarint(body, message.size());
+  body.insert(body.end(), message.begin(), message.end());
+}
+
+void encode_overloaded(std::vector<std::uint8_t>& body,
+                       std::uint32_t retry_after_ms,
+                       const std::string& message) {
+  core::put_uvarint(body,
+                    static_cast<std::uint64_t>(ErrorCode::kOverloaded));
+  core::put_uvarint(body, retry_after_ms);
   core::put_uvarint(body, message.size());
   body.insert(body.end(), message.begin(), message.end());
 }
@@ -303,6 +315,11 @@ WireError decode_error(std::span<const std::uint8_t> body) {
   const std::uint64_t code = r.u64();
   NORS_CHECK_MSG(code <= 0xff, "error code out of range");
   e.code = static_cast<ErrorCode>(code);
+  if (e.code == ErrorCode::kOverloaded) {
+    const std::uint64_t hint = r.u64();
+    NORS_CHECK_MSG(hint <= 0xffffffffull, "retry-after hint out of range");
+    e.retry_after_ms = static_cast<std::uint32_t>(hint);
+  }
   const std::uint64_t len = r.u64();
   NORS_CHECK_MSG(len <= kMaxBody, "error message over body cap");
   const auto bytes = r.bytes(static_cast<std::size_t>(len));

@@ -80,6 +80,12 @@ enum class ErrorCode : std::uint8_t {
   kBadQuery = 8,    // decodable but out-of-range vertex
   kServerError = 9, // serving-side failure (corrupt image state)
   kDraining = 10,   // server is draining; no new work accepted
+  /// Admission control shed this request: the in-flight query budget or
+  /// the per-loop pending cap is exhausted (DESIGN.md §12). Recoverable
+  /// — the connection stays open — and *retryable*: the error body
+  /// carries a retry-after hint (ms), and route/label/stats are
+  /// read-only, so resending the identical request is always safe.
+  kOverloaded = 11,
 };
 
 /// True for errors that poison the byte stream: the server closes the
@@ -159,6 +165,14 @@ struct WireStats {
   std::int64_t max_inflight = 0;  // high-water in-flight frames, any conn
   std::int64_t p50_ns = 0;        // request latency (parse → response)
   std::int64_t p99_ns = 0;
+  // Failure-domain counters (DESIGN.md §12). shed counts route frames
+  // rejected with kOverloaded by admission control; timeouts counts
+  // connections force-closed because their head request outlived the
+  // request deadline; stalls counts connections force-closed by the
+  // slow-peer write-stall timer.
+  std::int64_t shed = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t stalls = 0;
 };
 
 void encode_route_request(std::vector<std::uint8_t>& body,
@@ -188,9 +202,20 @@ WireStats decode_stats_ack(std::span<const std::uint8_t> body);
 
 void encode_error(std::vector<std::uint8_t>& body, ErrorCode code,
                   const std::string& message);
+
+/// The kOverloaded body: code, then a uvarint retry-after hint (ms),
+/// then the message. decode_error() understands both layouts — the hint
+/// field exists only when code == kOverloaded, and a truncated or
+/// malformed hint throws the codec's std::logic_error like any other
+/// bad body (test_wire_fuzz pins this).
+void encode_overloaded(std::vector<std::uint8_t>& body,
+                       std::uint32_t retry_after_ms,
+                       const std::string& message);
+
 struct WireError {
   ErrorCode code = ErrorCode::kNone;
   std::string message;
+  std::uint32_t retry_after_ms = 0;  // kOverloaded only
 };
 WireError decode_error(std::span<const std::uint8_t> body);
 

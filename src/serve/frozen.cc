@@ -17,6 +17,7 @@
 #endif
 
 #include "core/serialize.h"
+#include "util/failpoint.h"
 
 namespace nors::serve {
 
@@ -836,6 +837,9 @@ std::vector<std::uint8_t> FrozenScheme::save_as(std::uint32_t version) const {
 }
 
 FrozenScheme FrozenScheme::load(const std::vector<std::uint8_t>& bytes) {
+  if (util::failpoint("frozen.load") == util::FpAction::kError) {
+    throw std::runtime_error("injected failure: frozen.load failpoint");
+  }
   std::uint32_t version = 0;
   const std::size_t limit = check_framing(bytes.data(), bytes.size(), version);
   // check_framing verified the preamble (magic, version, endianness);
@@ -907,6 +911,9 @@ FrozenScheme FrozenScheme::load_file(const std::string& path) {
 }
 
 FrozenScheme FrozenScheme::map(const std::string& path) {
+  if (util::failpoint("frozen.map") == util::FpAction::kError) {
+    throw std::runtime_error("injected failure: frozen.map failpoint");
+  }
 #if NORS_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
   NORS_CHECK_MSG(fd >= 0, "cannot open " << path);

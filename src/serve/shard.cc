@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "serve/table_cache.h"
+#include "util/failpoint.h"
 #include "util/latency.h"
 #include "util/queue.h"
 #include "util/threads.h"
@@ -151,6 +152,9 @@ void ShardedRouteServer::worker(Worker& w) {
     const auto& idx = *t.idx;
     std::int64_t done = 0, hops = 0, hits = 0, misses = 0;
     try {
+      if (util::failpoint("serve.batch") == util::FpAction::kError) {
+        throw std::runtime_error("injected failure: serve.batch failpoint");
+      }
       for (std::size_t b = 0; b < idx.size(); b += kBlock) {
         const std::size_t m = std::min(kBlock, idx.size() - b);
         for (std::size_t j = 0; j < m; ++j) {

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace nors::util {
+
+// Fault-injection registry (DESIGN.md §12): named failpoints threaded
+// through the serving stack's I/O and compute paths so tests — and
+// operators chasing a production incident — can *provoke* the failures
+// the code claims to survive, instead of waiting for the network to
+// oblige.
+//
+// Activation is environmental or programmatic:
+//
+//   NORS_FAILPOINTS=name:mode:rate[:arg][,name:mode:rate[:arg]...]
+//   util::Failpoints::configure("net.read:partial:0.5");  // tests
+//
+// Modes (`rate` is a firing probability in [0, 1] unless noted):
+//
+//   error     error-return: the caller injects its natural failure
+//             (close the connection, throw, refuse the accept)
+//   delay     sleep `arg` milliseconds inside the evaluation (arg
+//             defaults to 10); the caller sees kNone
+//   partial   partial I/O: the caller truncates the operation to a
+//             single byte, maximally fragmenting the stream
+//   oneshot   error-return exactly once, on the `rate`-th evaluation
+//             (1-based integer; fires once, then disarms)
+//
+// The catalog of instrumented sites lives in DESIGN.md §12; unknown
+// names are legal and simply never fire, so a spec can outlive the code
+// it targets without breaking startup.
+//
+// Cost model: when nothing is configured, util::failpoint() is a single
+// relaxed atomic load and a predicted-not-taken branch — cheap enough
+// for per-syscall hot paths. Armed evaluation takes a registry mutex
+// (failure injection is not a throughput feature).
+
+enum class FpAction : std::uint8_t {
+  kNone = 0,     // proceed normally
+  kError = 1,    // inject the caller's error path
+  kPartial = 2,  // truncate the I/O to one byte
+};
+
+class Failpoints {
+ public:
+  /// Replaces the active set with `spec` (the NORS_FAILPOINTS grammar
+  /// above). An empty spec clears. Throws std::logic_error on a
+  /// malformed spec — a typo'd chaos run must fail loudly, not silently
+  /// test nothing.
+  static void configure(const std::string& spec);
+
+  /// Disarms every failpoint (tests call this in teardown).
+  static void clear();
+
+  /// True when any failpoint is configured — the fast-path gate.
+  static bool armed() {
+    return active_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Slow path: roll the named failpoint. Executes delay modes inline
+  /// (sleeps, then returns kNone); returns the action for error/partial
+  /// modes. Unknown names return kNone. Thread-safe.
+  static FpAction eval(const char* name);
+
+  /// Total fires (any mode) since process start — chaos tests assert
+  /// the injection actually happened.
+  static std::int64_t trips();
+
+ private:
+  static std::atomic<int> active_;
+};
+
+/// The instrumentation macro-in-function-clothing: zero overhead when
+/// disarmed, one registry roll when armed.
+inline FpAction failpoint(const char* name) {
+  if (!Failpoints::armed()) return FpAction::kNone;
+  return Failpoints::eval(name);
+}
+
+}  // namespace nors::util

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace nors::util {
 
@@ -19,6 +20,10 @@ template <typename T>
 class BatchQueue {
  public:
   void push(T item) {
+    // Chaos hook: only the delay mode is meaningful here (a slow producer
+    // handoff); error/partial evaluate but change nothing — push never
+    // drops work.
+    failpoint("serve.queue");
     {
       std::lock_guard<std::mutex> lk(m_);
       NORS_CHECK_MSG(!closed_, "push to a closed BatchQueue");

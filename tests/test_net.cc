@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -277,6 +281,64 @@ TEST(NetDrain, DrainAnswersEveryParsedFrameThenCloses) {
   net::Frame leftover;
   EXPECT_FALSE(client.recv_frame_or_eof(leftover))
       << "drained server must close after the last response";
+}
+
+// ---- drain deadline: a wedged peer cannot hold shutdown hostage --------
+
+TEST(NetDrain, DrainForcedCloseAfterDeadlineExpires) {
+  const auto g = family_graph(0, 77);
+  auto frozen = build_frozen(g, 2, 23);
+  const int n = frozen.n();
+
+  net::NetServerOptions opt;
+  opt.drain_timeout_ms = 250;
+  // Small kernel buffers so a non-reading peer wedges the flush with a
+  // few frames instead of hiding behind autotuned TCP buffering.
+  opt.sndbuf_bytes = 8192;
+  net::Server server(std::move(frozen), opt);
+
+  // An adversarial peer: a tiny receive window, plenty of pipelined
+  // work, and it never reads a byte of the responses.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const auto qs = random_queries(n, 4096, 31);
+  std::vector<std::uint8_t> body, frame;
+  net::encode_route_request(body, qs.data(), qs.size());
+  net::append_frame(frame, net::FrameType::kRoute, 1, body);
+  for (int f = 0; f < 8; ++f) {
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const auto wr = ::send(fd, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+      if (wr <= 0) break;
+      off += static_cast<std::size_t>(wr);
+    }
+  }
+  // Let the responses wedge against the full socket buffers.
+  for (int spin = 0; server.stats().frames_in < 8 && spin < 10000; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // drain() must terminate via the forced-close branch — at the deadline,
+  // not at the peer's leisure, and not hang.
+  const auto t0 = std::chrono::steady_clock::now();
+  server.drain();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_GE(ms, 200) << "deadline branch should be what ends this drain";
+  EXPECT_LT(ms, 5000) << "drain must not outlive its deadline by much";
+  ::close(fd);
 }
 
 // ---- live reload: responses are never dropped or torn ------------------

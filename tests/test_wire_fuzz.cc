@@ -17,6 +17,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "serve/frozen.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 
 namespace nors {
@@ -219,6 +220,67 @@ TEST(WireFuzz, UnknownAndResponseOnlyTypesAreBadTypeAndSurvivable) {
                    ErrorCode::kBadType);
   expect_error_for(checksummed(FrameType::kHelloAck, {}),
                    ErrorCode::kBadType);
+}
+
+// ---- the kOverloaded frame (retry-after hint layout) --------------------
+
+TEST(WireFuzz, OverloadedFrameRoundTripsWithHint) {
+  std::vector<std::uint8_t> body;
+  net::encode_overloaded(body, 125, "busy");
+  const auto err = net::decode_error(body);
+  EXPECT_EQ(err.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(err.retry_after_ms, 125u);
+  EXPECT_EQ(err.message, "busy");
+  // Recoverable by design: shedding must not cost the connection.
+  EXPECT_FALSE(net::is_fatal(ErrorCode::kOverloaded));
+}
+
+TEST(WireFuzz, MalformedOverloadHintsAreRejectedByTheCodec) {
+  const auto reject = [](std::vector<std::uint8_t> bytes) {
+    EXPECT_THROW(net::decode_error(bytes), std::logic_error);
+  };
+  // code 11 (kOverloaded) with no hint field at all.
+  reject({0x0b});
+  // Hint varint overlong / unterminated.
+  reject({0x0b, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+          0x80, 0x80});
+  // Hint beyond 32 bits (0x1_0000_0000).
+  reject({0x0b, 0x80, 0x80, 0x80, 0x80, 0x10, 0x00});
+  // Valid hint, message length lies past the body end.
+  reject({0x0b, 0x19, 0x05, 'h', 'i'});
+  // Trailing bytes after a well-formed overload body.
+  std::vector<std::uint8_t> body;
+  net::encode_overloaded(body, 1, "x");
+  body.push_back(0x00);
+  EXPECT_THROW(net::decode_error(body), std::logic_error);
+  // And the ordinary two-field layout must NOT carry a hint: a plain
+  // error body reinterpreted as kOverloaded (first byte patched) is
+  // torn apart by the exact-consumption discipline, not misread.
+  std::vector<std::uint8_t> plain;
+  net::encode_error(plain, ErrorCode::kBadBody, "zz");
+  plain[0] = 0x0b;
+  EXPECT_THROW(net::decode_error(plain), std::logic_error);
+}
+
+TEST(WireFuzz, ForcedOverloadSurfacesTypedErrorAndConnectionSurvives) {
+  // The net.overload failpoint forces one admission rejection on the
+  // live fixture server; the client must surface the typed error with
+  // the server's configured hint (default retry_after_ms = 25) and the
+  // connection must keep serving afterwards.
+  util::Failpoints::configure("net.overload:oneshot:1");
+  auto client = connect();
+  try {
+    const std::vector<serve::Query> qs = {{1, 2}};
+    client.route(qs);
+    util::Failpoints::clear();
+    FAIL() << "forced overload must surface as OverloadedError";
+  } catch (const net::OverloadedError& e) {
+    util::Failpoints::clear();
+    EXPECT_EQ(e.code, ErrorCode::kOverloaded);
+    EXPECT_EQ(e.retry_after_ms, 25u);
+  }
+  expect_still_serving(client);
+  expect_server_alive();
 }
 
 // ---- seeded bit flips ---------------------------------------------------

@@ -20,6 +20,19 @@
 //   --cache=C          per-worker table-cache entries (default 4096)
 //   --window=W         per-connection in-flight frame window (default 64)
 //
+// Overload / failure-domain knobs (DESIGN.md §12):
+//   --budget=Q         global in-flight query budget (default 262144;
+//                      0 = unlimited) — excess kRoute frames are shed
+//                      with a recoverable kOverloaded + retry hint
+//   --pending=P        per-loop pending-response cap (default 4096)
+//   --deadline-ms=D    per-connection request deadline (default 30000)
+//   --stall-ms=S       slow-peer write-stall timeout (default 10000)
+//   --retry-after-ms=R retry hint carried by kOverloaded (default 25)
+//
+// Fault injection: set NORS_FAILPOINTS=name:mode:rate[:arg][,...] in the
+// environment (util/failpoint.h) to exercise the failure paths end to end
+// — CI's chaos smoke leg boots the daemon this way.
+//
 // Prints exactly one "route_serviced listening on HOST:PORT" line once
 // the socket is bound — scripts (CI's smoke leg) wait for it.
 
@@ -52,6 +65,13 @@ struct Flags {
   int shards = 1;
   int cache = 4096;
   int window = 64;
+  // Daemon defaults are protective (unlike the library's opt-in zeros): a
+  // long-lived service should shed rather than queue without bound.
+  long long budget = 262144;
+  int pending = 4096;
+  int deadline_ms = 30000;
+  int stall_ms = 10000;
+  int retry_after_ms = 25;
 };
 
 [[noreturn]] void usage(const char* bad) {
@@ -59,7 +79,8 @@ struct Flags {
                "unknown flag %s\nusage: route_serviced [--image=PATH | "
                "--generate-n=N --generate-k=K --seed=S] [--host=H] "
                "[--port=P] [--loops=L] [--shards=K] [--cache=C] "
-               "[--window=W]\n",
+               "[--window=W] [--budget=Q] [--pending=P] "
+               "[--deadline-ms=D] [--stall-ms=S] [--retry-after-ms=R]\n",
                bad);
   std::exit(2);
 }
@@ -92,6 +113,16 @@ Flags parse(int argc, char** argv) {
       f.cache = std::atoi(v);
     } else if (const char* v = val("--window=")) {
       f.window = std::atoi(v);
+    } else if (const char* v = val("--budget=")) {
+      f.budget = std::atoll(v);
+    } else if (const char* v = val("--pending=")) {
+      f.pending = std::atoi(v);
+    } else if (const char* v = val("--deadline-ms=")) {
+      f.deadline_ms = std::atoi(v);
+    } else if (const char* v = val("--stall-ms=")) {
+      f.stall_ms = std::atoi(v);
+    } else if (const char* v = val("--retry-after-ms=")) {
+      f.retry_after_ms = std::atoi(v);
     } else {
       usage(a.c_str());
     }
@@ -148,6 +179,11 @@ int main(int argc, char** argv) {
     opt.shards = flags.shards;
     opt.cache_entries = flags.cache;
     opt.window = flags.window;
+    opt.max_inflight_queries = flags.budget;
+    opt.max_pending_per_loop = flags.pending;
+    opt.request_deadline_ms = flags.deadline_ms;
+    opt.stall_timeout_ms = flags.stall_ms;
+    opt.retry_after_ms = flags.retry_after_ms;
     net::Server server(serve::FrozenScheme::map(flags.image), opt);
 
     std::printf("route_serviced listening on %s:%d\n", flags.host.c_str(),
@@ -176,11 +212,15 @@ int main(int argc, char** argv) {
     const auto s = server.stats();
     std::fprintf(stderr,
                  "drained: %lld conns, %lld frames in, %lld queries, "
-                 "%lld protocol errors\n",
+                 "%lld protocol errors, %lld shed, %lld timeouts, "
+                 "%lld stalls\n",
                  static_cast<long long>(s.conns_accepted),
                  static_cast<long long>(s.frames_in),
                  static_cast<long long>(s.queries),
-                 static_cast<long long>(s.protocol_errors));
+                 static_cast<long long>(s.protocol_errors),
+                 static_cast<long long>(s.shed),
+                 static_cast<long long>(s.timeouts),
+                 static_cast<long long>(s.stalls));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "route_serviced: fatal: %s\n", e.what());
