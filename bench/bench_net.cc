@@ -23,10 +23,13 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "common.h"
 #include "core/scheme.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "serve/delta.h"
 #include "serve/frozen.h"
 #include "util/latency.h"
 
@@ -356,6 +359,124 @@ int main(int argc, char** argv) {
         .field("served_qps", served_qps)
         .field("shed_rate", shed_rate)
         .field("served_p99_us", served_p99_us);
+  }
+
+  // ---- update row: delta generations published under query load --------
+  // A fresh server with 4 pipelined query clients running flat out while
+  // an admin connection applies kUpdate batches back-to-back (each one a
+  // hash-table rebuild + generation publish; DESIGN.md §13). The row
+  // records both sides of the trade: update batches/sec sustained, and
+  // the query p99 *while the table is churning* — compare against the
+  // clients=4 row above for the cost of liveness.
+  {
+    constexpr int kUpdClients = 4;
+    net::NetServerOptions uopt;
+    uopt.loops = flags.loops;
+    uopt.shards = flags.shards;
+    net::Server userver(serve::FrozenScheme::map(map_path), uopt);
+
+    // A pool of real edges to churn. Batches alternate doubling and
+    // restoring a stride of weights, so every event hits the repair path
+    // but the override set stays small and the journal keeps converging
+    // back toward the base image.
+    struct PoolEdge {
+      graph::Vertex u, v;
+      graph::Dist w;
+    };
+    std::vector<PoolEdge> pool;
+    for (graph::Vertex u = 0; u < g.n() && pool.size() < 256; ++u) {
+      for (const auto& he : g.neighbors(u)) {
+        if (he.to > u) pool.push_back({u, he.to, he.w});
+        if (pool.size() >= 256) break;
+      }
+    }
+    constexpr std::size_t kEventsPerBatch = 64;
+
+    std::vector<ClientResult> results(kUpdClients);
+    std::vector<std::vector<serve::Query>> qsets;
+    for (int c = 0; c < kUpdClients; ++c) {
+      qsets.push_back(make_queries(
+          n, flags.queries, flags.seed + 200 + static_cast<unsigned>(c)));
+    }
+
+    std::atomic<bool> stop{false};
+    std::int64_t batches = 0, applied = 0;
+    std::thread updater([&] {
+      net::Client admin("127.0.0.1", userver.port());
+      std::vector<serve::EdgeUpdate> batch;
+      for (bool doubled = false; !stop.load(std::memory_order_acquire);
+           doubled = !doubled) {
+        batch.clear();
+        for (std::size_t i = 0; i < kEventsPerBatch; ++i) {
+          const PoolEdge& e =
+              pool[(static_cast<std::size_t>(batches) * kEventsPerBatch + i) %
+                   pool.size()];
+          batch.push_back(serve::EdgeUpdate::weight(
+              e.u, e.v, doubled ? e.w : e.w * 2));
+        }
+        const auto ack = admin.update(batch);
+        ++batches;
+        applied += ack.applied;
+      }
+    });
+
+    bench::WallTimer t;
+    std::vector<std::thread> pool_threads;
+    for (int c = 0; c < kUpdClients; ++c) {
+      pool_threads.emplace_back([&, c] {
+        run_client(userver.port(), qsets[static_cast<std::size_t>(c)],
+                   flags.batch, flags.depth,
+                   results[static_cast<std::size_t>(c)]);
+      });
+    }
+    for (auto& th : pool_threads) th.join();
+    const double secs = t.seconds();
+    stop.store(true, std::memory_order_release);
+    updater.join();
+
+    std::int64_t answered = 0;
+    util::LatencyHistogram::Counts merged{};
+    for (const auto& r : results) {
+      answered += r.answered;
+      const auto c = r.lat.snapshot();
+      for (std::size_t b = 0; b < c.size(); ++b) merged[b] += c[b];
+    }
+    const double qps = static_cast<double>(answered) / secs;
+    const double batches_per_sec = static_cast<double>(batches) / secs;
+    const double updates_per_sec = static_cast<double>(applied) / secs;
+    const double p99_us = util::LatencyHistogram::quantile_us(merged, 0.99);
+    const auto ustats = userver.stats();
+    std::printf(
+        "\nupdates (batch=%zu events): %lld generations = %7.0f batches/s, "
+        "%8.0f events/s | query %9.0f q/s, frame p99 %7.1fus | repaired "
+        "answers %lld\n",
+        kEventsPerBatch, static_cast<long long>(batches), batches_per_sec,
+        updates_per_sec, qps, p99_us,
+        static_cast<long long>(ustats.repaired));
+    NORS_CHECK_MSG(ustats.protocol_errors == 0,
+                   "update bench traffic must be error-free");
+    NORS_CHECK_MSG(ustats.updates == batches,
+                   "every applied batch must be a published generation");
+
+    report.row()
+        .field("row", std::string("update"))
+        .field("n", n)
+        .field("k", k)
+        .field("clients", kUpdClients)
+        .field("batch", static_cast<std::int64_t>(flags.batch))
+        .field("depth", static_cast<std::int64_t>(flags.depth))
+        .field("loops", flags.loops)
+        .field("shards", flags.shards)
+        .field("events_per_batch", static_cast<std::int64_t>(kEventsPerBatch))
+        .field("update_batches", batches)
+        .field("updates_applied", applied)
+        .field("update_batches_per_sec", batches_per_sec)
+        .field("updates_per_sec", updates_per_sec)
+        .field("queries", answered)
+        .field("seconds", secs)
+        .field("qps", qps)
+        .field("frame_p99_us", p99_us)
+        .field("repaired_answers", ustats.repaired);
   }
 
   report.write();

@@ -15,6 +15,14 @@
 //                                       random route queries in pipelined
 //                                       batches, and report throughput plus
 //                                       the server's own stats frame.
+//
+// Live-update flags (daemon mode, DESIGN.md §13) — applied as one kUpdate
+// admin frame *before* the query stream, so the answers exercise the
+// published delta generation:
+//   --fail-edge=U,V        journal a link failure
+//   --update-weight=U,V,W  journal a weight change
+//   --updates-file=PATH    replay a whole journal file (serve/delta.h
+//                          format), one kUpdate frame per commit batch
 
 #include <chrono>
 #include <cstdio>
@@ -26,6 +34,7 @@
 #include "graph/generators.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "serve/delta.h"
 #include "serve/frozen.h"
 #include "util/random.h"
 
@@ -98,6 +107,44 @@ int run_against(net::Client& client, std::size_t total,
   return received == qs.size() ? 0 : 1;
 }
 
+// Parses "U,V" or "U,V,W" into ints; exits with a usage error otherwise.
+std::vector<long long> parse_ints(const char* v, std::size_t want,
+                                  const char* flag) {
+  std::vector<long long> out;
+  std::string s(v);
+  std::size_t at = 0;
+  while (at <= s.size()) {
+    const std::size_t comma = s.find(',', at);
+    const std::string tok =
+        s.substr(at, comma == std::string::npos ? comma : comma - at);
+    if (tok.empty()) break;
+    out.push_back(std::atoll(tok.c_str()));
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  if (out.size() != want) {
+    std::fprintf(stderr, "%s wants %zu comma-separated ints, got \"%s\"\n",
+                 flag, want, v);
+    std::exit(2);
+  }
+  return out;
+}
+
+void apply_updates(net::Client& client,
+                   const std::vector<std::vector<serve::EdgeUpdate>>& batches) {
+  for (const auto& batch : batches) {
+    const auto ack = client.update(batch);
+    std::printf("update ack: gen %llu — %lld applied, %lld unknown, "
+                "%lld overrides, %lld failed links, %lld masked trees\n",
+                static_cast<unsigned long long>(ack.seq),
+                static_cast<long long>(ack.applied),
+                static_cast<long long>(ack.unknown_edges),
+                static_cast<long long>(ack.overrides),
+                static_cast<long long>(ack.failed_links),
+                static_cast<long long>(ack.masked_trees));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +152,8 @@ int main(int argc, char** argv) {
   int port = 0;
   std::size_t queries = 2000;
   std::uint64_t seed = 7;
+  std::vector<std::vector<serve::EdgeUpdate>> update_batches;
+  std::vector<serve::EdgeUpdate> flag_updates;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto val = [&a](const char* key) -> const char* {
@@ -119,13 +168,34 @@ int main(int argc, char** argv) {
       queries = std::strtoull(v, nullptr, 10);
     } else if (const char* v = val("--seed=")) {
       seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--fail-edge=")) {
+      const auto uv = parse_ints(v, 2, "--fail-edge");
+      flag_updates.push_back(serve::EdgeUpdate::fail(
+          static_cast<graph::Vertex>(uv[0]),
+          static_cast<graph::Vertex>(uv[1])));
+    } else if (const char* v = val("--update-weight=")) {
+      const auto uvw = parse_ints(v, 3, "--update-weight");
+      flag_updates.push_back(serve::EdgeUpdate::weight(
+          static_cast<graph::Vertex>(uvw[0]),
+          static_cast<graph::Vertex>(uvw[1]),
+          static_cast<graph::Dist>(uvw[2])));
+    } else if (const char* v = val("--updates-file=")) {
+      try {
+        auto file_batches = serve::load_update_journal(v);
+        for (auto& b : file_batches) update_batches.push_back(std::move(b));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--updates-file: %s\n", e.what());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: route_client [--host=H --port=P] [--queries=Q] "
-                   "[--seed=S]\n");
+                   "[--seed=S] [--fail-edge=U,V] [--update-weight=U,V,W] "
+                   "[--updates-file=PATH]\n");
       return 2;
     }
   }
+  if (!flag_updates.empty()) update_batches.push_back(std::move(flag_updates));
 
   try {
     if (port != 0) {
@@ -135,6 +205,7 @@ int main(int argc, char** argv) {
       copt.port = port;
       copt.connect_retries = 50;
       net::Client client(copt);
+      apply_updates(client, update_batches);
       return run_against(client, queries, seed);
     }
 

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -38,39 +39,25 @@ int connect_once(const std::string& host, int port) {
   return fd;
 }
 
-std::uint64_t splitmix64(std::uint64_t& s) {
-  s += 0x9e3779b97f4a7c15ull;
-  std::uint64_t z = s;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
+/// Derives a jitter seed no two live clients share: a per-process counter
+/// guarantees distinctness outright, and the clock / address / pid terms
+/// decorrelate clients across processes and restarts. Everything funnels
+/// through one splitmix64 step so near-identical inputs (two clients
+/// constructed back to back) still land in unrelated streams. The old
+/// seed — a compile-time constant XOR pid XOR this — collided whenever an
+/// allocator handed a new client its predecessor's address, putting a
+/// reconnect herd in backoff lockstep.
+std::uint64_t fresh_jitter_seed(const void* self) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t s = 0x6e6f72735f636c74ull;
+  s ^= counter.fetch_add(1, std::memory_order_relaxed) *
+       0x9e3779b97f4a7c15ull;
+  s ^= static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  s ^= static_cast<std::uint64_t>(::getpid()) << 32;
+  s ^= reinterpret_cast<std::uintptr_t>(self);
+  return splitmix64(s);
 }
-
-/// Exponential backoff with jitter: the nth delay is drawn uniformly from
-/// [d/2, d], d = min(base << n, cap). The jitter decorrelates a herd of
-/// clients that all hit the same overloaded server (or the same not-yet-
-/// bound daemon) at once — without it they would retry in lockstep and
-/// collide again every round.
-class Backoff {
- public:
-  Backoff(int base_ms, int cap_ms, std::uint64_t& rng)
-      : next_ms_(std::max(1, base_ms)), cap_ms_(std::max(1, cap_ms)),
-        rng_(rng) {}
-
-  /// The next sleep duration in ms (advances the schedule).
-  int next() {
-    const int d = next_ms_;
-    next_ms_ = std::min(cap_ms_, next_ms_ * 2);
-    const int half = std::max(1, d / 2);
-    return half + static_cast<int>(splitmix64(rng_) %
-                                   static_cast<std::uint64_t>(d - half + 1));
-  }
-
- private:
-  int next_ms_;
-  const int cap_ms_;
-  std::uint64_t& rng_;
-};
 
 /// poll() for `events` (POLLIN/POLLOUT) until `deadline` (zero time_point
 /// = no deadline). Throws TimeoutError when the deadline passes first.
@@ -101,9 +88,8 @@ void wait_ready(int fd, short events, clock_t_::time_point deadline,
 }  // namespace
 
 Client::Client(ClientOptions opt) : opt_(std::move(opt)) {
-  jitter_rng_ = 0x6e6f72735f636c74ull ^
-                (static_cast<std::uint64_t>(::getpid()) << 32) ^
-                reinterpret_cast<std::uintptr_t>(this);
+  jitter_seed_ = fresh_jitter_seed(this);
+  jitter_rng_ = jitter_seed_;
   const auto deadline =
       opt_.connect_deadline_ms > 0
           ? clock_t_::now() + std::chrono::milliseconds(opt_.connect_deadline_ms)
@@ -291,7 +277,7 @@ std::vector<serve::Decision> Client::route(
     if (shed.empty()) break;
     if (retries_left-- <= 0) throw OverloadedError(last_msg, hint_ms);
     const int sleep_ms =
-        std::max(static_cast<int>(hint_ms), backoff.next());
+        overload_sleep_ms(hint_ms, opt_.retry_hint_cap_ms, backoff.next());
     std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     todo = std::move(shed);
   }
@@ -314,6 +300,15 @@ std::vector<std::uint8_t> Client::label(graph::Vertex v) {
 WireStats Client::stats() {
   send_frame(FrameType::kStats, {});
   return decode_stats_ack(expect(FrameType::kStatsAck).body);
+}
+
+UpdateAck Client::update(std::span<const serve::EdgeUpdate> updates) {
+  NORS_CHECK_MSG(updates.size() <= kMaxUpdatesPerFrame,
+                 "update batch exceeds kMaxUpdatesPerFrame");
+  std::vector<std::uint8_t> body;
+  encode_update_request(body, updates);
+  send_frame(FrameType::kUpdate, body);
+  return decode_update_ack(expect(FrameType::kUpdateAck).body);
 }
 
 }  // namespace nors::net

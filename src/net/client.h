@@ -1,7 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -71,6 +73,51 @@ struct ClientOptions {
   /// retry sleeps max(server hint, jittered backoff). Safe because route
   /// queries are read-only (see OverloadedError). 0 = don't retry.
   int overload_retries = 0;
+
+  /// Ceiling on the server's kOverloaded retry-after hint (ms). The hint
+  /// is a uint32 chosen by the *peer*: unclamped, a large or hostile
+  /// value would either park the client for days or — as in the bug this
+  /// knob fixes — overflow the int conversion, go negative, lose to the
+  /// backoff in max(), and defeat the overload sleep entirely. Hints
+  /// above the cap sleep exactly the cap.
+  int retry_hint_cap_ms = 10'000;
+};
+
+/// splitmix64: the client's jitter PRNG step (public so tests can
+/// replay a schedule from a captured seed).
+inline std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Exponential backoff with jitter: the nth delay is drawn uniformly from
+/// [d/2, d], d = min(base << n, cap). The jitter decorrelates a herd of
+/// clients that all hit the same overloaded server (or the same not-yet-
+/// bound daemon) at once — without it they would retry in lockstep and
+/// collide again every round. Public (with Client::jitter_seed()) so
+/// test_chaos can pin that two concurrent clients' schedules diverge.
+class Backoff {
+ public:
+  Backoff(int base_ms, int cap_ms, std::uint64_t& rng)
+      : next_ms_(std::max(1, base_ms)), cap_ms_(std::max(1, cap_ms)),
+        rng_(rng) {}
+
+  /// The next sleep duration in ms (advances the schedule).
+  int next() {
+    const int d = next_ms_;
+    next_ms_ = std::min(cap_ms_, next_ms_ * 2);
+    const int half = std::max(1, d / 2);
+    return half + static_cast<int>(splitmix64(rng_) %
+                                   static_cast<std::uint64_t>(d - half + 1));
+  }
+
+ private:
+  int next_ms_;
+  const int cap_ms_;
+  std::uint64_t& rng_;
 };
 
 /// Blocking client for the route_serviced wire protocol (net/wire.h): a
@@ -109,6 +156,12 @@ class Client {
   std::vector<std::uint8_t> label(graph::Vertex v);
   WireStats stats();
 
+  /// Applies a journaled edge-update batch (≤ kMaxUpdatesPerFrame events)
+  /// via a kUpdate admin frame; returns the published generation's shape.
+  /// Throws ProtocolError on rejection (kBadQuery for out-of-range
+  /// vertices, kDraining on a draining server).
+  UpdateAck update(std::span<const serve::EdgeUpdate> updates);
+
   // ------------------------------------------- pipelined route frames --
   /// Sends one kRoute frame (count ≤ kMaxQueriesPerFrame) without waiting;
   /// returns the request id used.
@@ -144,12 +197,31 @@ class Client {
   void close();
   bool connected() const { return fd_ >= 0; }
 
+  /// This connection's jitter seed — mixed from a per-process counter,
+  /// the clock, the instance address and the pid, so concurrent clients
+  /// (same binary, same machine, same instant) draw distinct backoff
+  /// schedules and an overload herd actually decorrelates. Exposed so
+  /// tests can assert the divergence by replaying schedules.
+  std::uint64_t jitter_seed() const { return jitter_seed_; }
+
+  /// The overload-retry sleep: max(clamped server hint, jittered
+  /// backoff). Static and pure so the clamp is directly testable — the
+  /// uint32 hint is narrowed to int only *after* the cap, closing the
+  /// overflow path where a huge hint went negative and lost the max().
+  static int overload_sleep_ms(std::uint32_t hint_ms, int hint_cap_ms,
+                               int backoff_ms) {
+    const auto cap =
+        static_cast<std::uint32_t>(std::max(0, hint_cap_ms));
+    return std::max(static_cast<int>(std::min(hint_ms, cap)), backoff_ms);
+  }
+
  private:
   Frame expect(FrameType want);
 
   ClientOptions opt_;
   int fd_ = -1;
   std::uint32_t next_id_ = 1;
+  std::uint64_t jitter_seed_ = 0;
   std::uint64_t jitter_rng_ = 0;
   std::vector<std::uint8_t> inbuf_;
   std::vector<std::uint8_t> scratch_;

@@ -54,20 +54,30 @@ void raise_max(std::atomic<std::int64_t>& a, std::int64_t v) {
 
 struct Server::Impl {
   // ------------------------------------------------------- generations --
-  /// One serving image + its sharded compute. Route pendings hold a
-  /// shared_ptr, so a reload() never invalidates an in-flight batch: the
-  /// old generation (image, shard workers and all) lives until its last
-  /// response is encoded.
+  /// One serving view: an image, its sharded compute, and (possibly) a
+  /// delta overlay. Route pendings hold a shared_ptr, so a swap never
+  /// invalidates an in-flight batch: the generation that admitted it
+  /// lives until its last response is encoded.
+  ///
+  /// Two kinds of swap publish a new Gen. reload() (SIGHUP) builds a
+  /// fresh image + fresh shard workers. apply_updates() (kUpdate /
+  /// --updates) *shares* the image and compute with its predecessor and
+  /// swaps only the immutable DeltaSet — a delta generation costs a hash
+  /// table, not a thread pool, so update batches can be frequent.
   struct Gen {
     Gen(serve::FrozenScheme f, const NetServerOptions& o)
-        : fs(std::move(f)) {
+        : fs(std::make_shared<serve::FrozenScheme>(std::move(f))) {
       serve::ShardedOptions so;
       so.shards = o.shards;
       so.cache_entries = o.cache_entries;
-      srv = std::make_unique<serve::ShardedRouteServer>(fs, so);
+      srv = std::make_shared<serve::ShardedRouteServer>(*fs, so);
     }
-    serve::FrozenScheme fs;
-    std::unique_ptr<serve::ShardedRouteServer> srv;
+    /// Delta successor: same image and compute, new overlay.
+    Gen(const Gen& base, std::shared_ptr<const serve::DeltaSet> d)
+        : fs(base.fs), srv(base.srv), delta(std::move(d)) {}
+    std::shared_ptr<serve::FrozenScheme> fs;
+    std::shared_ptr<serve::ShardedRouteServer> srv;
+    std::shared_ptr<const serve::DeltaSet> delta;  // null = unpatched
   };
 
   struct Conn;
@@ -147,13 +157,16 @@ struct Server::Impl {
   std::thread accept_thread;
   std::vector<std::unique_ptr<Loop>> loops;
 
-  std::mutex gen_m;
+  mutable std::mutex gen_m;
   std::shared_ptr<Gen> gen;
-  /// Every generation ever created, retained until drain(). A Gen's
-  /// destructor joins its shard workers, so the *last* reference must
-  /// never be dropped from one of those workers — pinning retired
-  /// generations here (idle threads + a mapped image each; reloads are
-  /// rare) lets drain() quiesce them all from the draining thread.
+  /// Every live generation. A ShardedRouteServer's destructor joins its
+  /// workers, so the *last* reference to one must never be dropped from
+  /// one of those workers — pinning generations here lets drain() quiesce
+  /// them all from the draining thread. Retired *delta* generations are
+  /// pruned on each swap (prune_gens_locked): a delta Gen holds no
+  /// threads of its own, and it is only erased while its srv is still
+  /// co-owned by a surviving Gen, so pruning never destroys a shard pool.
+  /// Retired *image* generations (reloads are rare) stay until drain().
   std::vector<std::shared_ptr<Gen>> all_gens;
 
   /// Where a completion callback parks its Pending when the owning loop
@@ -181,6 +194,7 @@ struct Server::Impl {
   std::atomic<std::int64_t> shed{0};
   std::atomic<std::int64_t> timeouts{0};
   std::atomic<std::int64_t> stalls{0};
+  std::atomic<std::int64_t> updates{0};
 
   // ---------------------------------------------------------- lifecycle --
   Impl(serve::FrozenScheme fs, NetServerOptions o) : opt(std::move(o)) {
@@ -267,8 +281,46 @@ struct Server::Impl {
       if (draining.load(std::memory_order_acquire)) return;  // too late
       gen = next;
       all_gens.push_back(std::move(next));
+      prune_gens_locked();
     }
     reloads.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Erases retired generations nothing references anymore — but only
+  /// while their shard pool is co-owned by a surviving generation, so the
+  /// erase can never destroy a ShardedRouteServer (whose destructor joins
+  /// threads) from here. Runs under gen_m on whatever thread swapped.
+  void prune_gens_locked() {
+    std::erase_if(all_gens, [this](const std::shared_ptr<Gen>& g) {
+      return g != gen && g.use_count() == 1 && g->srv.use_count() > 1;
+    });
+  }
+
+  UpdateAck apply_updates(std::span<const serve::EdgeUpdate> batch) {
+    serve::DeltaStats ds;
+    std::uint64_t seq = 0;
+    {
+      std::lock_guard<std::mutex> lk(gen_m);
+      NORS_CHECK_MSG(gen != nullptr &&
+                         !draining.load(std::memory_order_acquire),
+                     "apply_updates on a draining server");
+      auto delta =
+          serve::DeltaSet::apply(*gen->fs, gen->delta.get(), batch, &ds);
+      seq = delta->seq();
+      auto next = std::make_shared<Gen>(*gen, std::move(delta));
+      gen = next;
+      all_gens.push_back(std::move(next));
+      prune_gens_locked();
+    }
+    updates.fetch_add(1, std::memory_order_release);
+    UpdateAck a;
+    a.seq = seq;
+    a.applied = ds.applied;
+    a.unknown_edges = ds.unknown_edges;
+    a.overrides = ds.overrides;
+    a.failed_links = ds.failed_links;
+    a.masked_trees = ds.masked_trees;
+    return a;
   }
 
   std::shared_ptr<Gen> current_gen() {
@@ -276,28 +328,61 @@ struct Server::Impl {
     return gen;
   }
 
+  /// Counter coherence (pinned by test_chaos): every counter is
+  /// monotonically non-decreasing except conns_active, and this snapshot
+  /// additionally guarantees the cross-counter bounds
+  ///
+  ///   frames_out ≤ frames_in
+  ///   queries    ≤ frames_in · kMaxQueriesPerFrame
+  ///   shed       ≤ frames_in
+  ///   conns_active ≤ conns_accepted
+  ///
+  /// even while the server is under concurrent load. The argument is a
+  /// happens-before chain per event: the "late" counter of each pair is
+  /// incremented with release order strictly after the "early" one
+  /// (frames_out/queries after that frame's frames_in; shed after
+  /// frames_in; a loop's active after the acceptor's conns_accepted, via
+  /// the inbox mutex), and the snapshot acquire-loads the late counters
+  /// *first* — so any late event it observes has its early increment
+  /// visible by the time the early counter is read.
   WireStats snapshot_stats() const {
     WireStats s;
-    s.conns_accepted = conns_accepted.load(std::memory_order_relaxed);
-    s.frames_in = frames_in.load(std::memory_order_relaxed);
-    s.frames_out = frames_out.load(std::memory_order_relaxed);
-    s.queries = queries.load(std::memory_order_relaxed);
-    s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
-    s.reloads = reloads.load(std::memory_order_relaxed);
-    s.max_inflight = max_inflight.load(std::memory_order_relaxed);
-    s.shed = shed.load(std::memory_order_relaxed);
-    s.timeouts = timeouts.load(std::memory_order_relaxed);
-    s.stalls = stalls.load(std::memory_order_relaxed);
+    // Late counters first (acquire)...
+    s.frames_out = frames_out.load(std::memory_order_acquire);
+    s.queries = queries.load(std::memory_order_acquire);
+    s.shed = shed.load(std::memory_order_acquire);
     util::LatencyHistogram::Counts merged{};
     for (const auto& l : loops) {
-      s.conns_active += l->active.load(std::memory_order_relaxed);
+      s.conns_active += l->active.load(std::memory_order_acquire);
       const auto c = l->latency.snapshot();
       for (std::size_t b = 0; b < c.size(); ++b) merged[b] += c[b];
     }
+    // ...then their upper bounds.
+    s.frames_in = frames_in.load(std::memory_order_relaxed);
+    s.conns_accepted = conns_accepted.load(std::memory_order_relaxed);
+    s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    s.reloads = reloads.load(std::memory_order_relaxed);
+    s.updates = updates.load(std::memory_order_relaxed);
+    s.max_inflight = max_inflight.load(std::memory_order_relaxed);
+    s.timeouts = timeouts.load(std::memory_order_relaxed);
+    s.stalls = stalls.load(std::memory_order_relaxed);
     s.p50_ns = static_cast<std::int64_t>(
         util::LatencyHistogram::quantile_us(merged, 0.5) * 1000.0);
     s.p99_ns = static_cast<std::int64_t>(
         util::LatencyHistogram::quantile_us(merged, 0.99) * 1000.0);
+    // Overlay-serving counters, attributed per shard pool: generations
+    // sharing one pool share its counts, so sum over *distinct* pools.
+    {
+      std::lock_guard<std::mutex> lk(gen_m);
+      const serve::ShardedRouteServer* last = nullptr;
+      for (const auto& g : all_gens) {
+        if (g->srv.get() == last) continue;  // delta chain: same pool
+        last = g->srv.get();
+        const auto t = g->srv->totals();
+        s.masked += t.masked;
+        s.repaired += t.repaired;
+      }
+    }
     return s;
   }
 
@@ -409,7 +494,8 @@ struct Server::Impl {
                       static_cast<std::uint32_t>(
                           std::max(0, opt.retry_after_ms)),
                       "overloaded: in-flight budget exhausted, retry later");
-    shed.fetch_add(1, std::memory_order_relaxed);
+    // Release: pairs with snapshot_stats' acquire so shed ≤ frames_in.
+    shed.fetch_add(1, std::memory_order_release);
     return p;
   }
 
@@ -437,10 +523,10 @@ struct Server::Impl {
       case FrameType::kHello: {
         const auto g = current_gen();
         ServerInfo info;
-        info.n = g->fs.n();
-        info.k = g->fs.k();
-        info.image_version = g->fs.format_version();
-        info.num_trees = g->fs.num_trees();
+        info.n = g->fs->n();
+        info.k = g->fs->k();
+        info.image_version = g->fs->format_version();
+        info.num_trees = g->fs->num_trees();
         info.window = static_cast<std::uint32_t>(opt.window);
         p->resp_type = FrameType::kHelloAck;
         encode_hello_ack(p->resp_body, info);
@@ -457,13 +543,13 @@ struct Server::Impl {
         try {
           const graph::Vertex v = decode_label_request(f.body);
           const auto g = current_gen();
-          if (v < 0 || v >= g->fs.n()) {
+          if (v < 0 || v >= g->fs->n()) {
             p = make_error(f.request_id, ErrorCode::kBadQuery,
                            "label vertex out of range");
             break;
           }
           p->resp_type = FrameType::kLabelAck;
-          encode_label_response(p->resp_body, g->fs.label_blob(v));
+          encode_label_response(p->resp_body, g->fs->label_blob(v));
           p->encoded = true;
         } catch (const std::logic_error&) {
           p = make_error(f.request_id, ErrorCode::kBadBody,
@@ -481,7 +567,8 @@ struct Server::Impl {
         }
         const auto g = current_gen();
         for (const auto& q : p->queries) {
-          if (q.u < 0 || q.u >= g->fs.n() || q.v < 0 || q.v >= g->fs.n()) {
+          if (q.u < 0 || q.u >= g->fs->n() || q.v < 0 ||
+              q.v >= g->fs->n()) {
             p = make_error(f.request_id, ErrorCode::kBadQuery,
                            "route vertex out of range");
             break;
@@ -503,6 +590,44 @@ struct Server::Impl {
         p->decisions.resize(p->queries.size());
         break;
       }
+      case FrameType::kUpdate: {
+        // Admin frame: apply the edge batch and publish it as a new delta
+        // generation. Answered inline (the apply is a hash-table build,
+        // not a route computation) and in pipeline order like everything
+        // else; route frames already admitted keep their old generation.
+        std::vector<serve::EdgeUpdate> ups;
+        try {
+          ups = decode_update_request(f.body);
+        } catch (const std::logic_error&) {
+          p = make_error(f.request_id, ErrorCode::kBadBody,
+                         "malformed update request");
+          break;
+        }
+        const auto g = current_gen();
+        for (const auto& e : ups) {
+          if (e.u < 0 || e.u >= g->fs->n() || e.v < 0 ||
+              e.v >= g->fs->n()) {
+            p = make_error(f.request_id, ErrorCode::kBadQuery,
+                           "update vertex out of range");
+            break;
+          }
+        }
+        if (p->resp_type == FrameType::kError && p->encoded) break;
+        if (draining.load(std::memory_order_acquire)) {
+          p = make_error(f.request_id, ErrorCode::kDraining,
+                         "draining: updates not accepted");
+          break;
+        }
+        try {
+          const UpdateAck a = apply_updates(ups);
+          p->resp_type = FrameType::kUpdateAck;
+          encode_update_ack(p->resp_body, a);
+          p->encoded = true;
+        } catch (const std::exception& e) {
+          p = make_error(f.request_id, ErrorCode::kServerError, e.what());
+        }
+        break;
+      }
       default:
         // A checksummed frame of a response-only type from a client.
         p = make_error(f.request_id, ErrorCode::kBadType,
@@ -520,7 +645,7 @@ struct Server::Impl {
       auto inbox = l.inbox;
       p->batch = p->gen->srv->submit(
           p->queries.data(), p->queries.size(), p->decisions.data(),
-          [this, p, inbox]() mutable {
+          p->gen->delta, [this, p, inbox]() mutable {
             // The shards are done with this batch: release its budget
             // charge whether or not the connection is still there.
             inflight_queries.fetch_sub(p->charged,
@@ -552,9 +677,12 @@ struct Server::Impl {
           p->batch.wait();  // already done: only rethrows worker errors
           encode_route_response(p->resp_body, p->decisions.data(),
                                 p->decisions.size());
+          // Release: pairs with snapshot_stats' acquire so queries ≤
+          // frames_in · kMaxQueriesPerFrame (the frame's frames_in
+          // increment happened-before this).
           queries.fetch_add(
               static_cast<std::int64_t>(p->decisions.size()),
-              std::memory_order_relaxed);
+              std::memory_order_release);
         } catch (const std::exception& e) {
           p->resp_type = FrameType::kError;
           p->resp_body.clear();
@@ -570,7 +698,9 @@ struct Server::Impl {
       }
       if (!p->encoded) break;
       append_frame(c->out, p->resp_type, p->request_id, p->resp_body);
-      frames_out.fetch_add(1, std::memory_order_relaxed);
+      // Release: pairs with snapshot_stats' acquire (frames_out ≤
+      // frames_in).
+      frames_out.fetch_add(1, std::memory_order_release);
       if (p->close_after) c->closing = true;
       c->pipeline.pop_front();
       --l.pending;
@@ -790,7 +920,10 @@ struct Server::Impl {
         cev.data.fd = fd;
         ::epoll_ctl(l.ep, EPOLL_CTL_ADD, fd, &cev);
         l.conns.emplace(fd, std::move(c));
-        l.active.fetch_add(1, std::memory_order_relaxed);
+        // Release: the acceptor's conns_accepted increment happened-before
+        // this (inbox mutex handoff), so snapshot_stats' acquire read of
+        // `active` keeps conns_active ≤ conns_accepted.
+        l.active.fetch_add(1, std::memory_order_release);
       }
       for (const auto& p : done) {
         if (const auto c = p->conn.lock(); c && c->fd >= 0) {
@@ -842,6 +975,10 @@ int Server::port() const { return impl_->bound_port; }
 void Server::drain() { impl_->drain(); }
 
 void Server::reload(serve::FrozenScheme fs) { impl_->reload(std::move(fs)); }
+
+UpdateAck Server::apply_updates(std::span<const serve::EdgeUpdate> updates) {
+  return impl_->apply_updates(updates);
+}
 
 WireStats Server::stats() const { return impl_->snapshot_stats(); }
 

@@ -4,7 +4,10 @@
 #include <memory>
 #include <string>
 
+#include <span>
+
 #include "net/wire.h"
+#include "serve/delta.h"
 #include "serve/frozen.h"
 
 namespace nors::net {
@@ -124,6 +127,17 @@ class Server {
   void reload_file(const std::string& path) {
     reload(serve::FrozenScheme::map(path));
   }
+
+  /// Applies a journaled edge-update batch (DESIGN.md §13) and publishes
+  /// the result as a new refcounted generation — the kUpdate frame's
+  /// in-process twin (route_serviced's --updates replay drives this).
+  /// Unlike reload(), a delta generation shares the frozen image and the
+  /// shard compute with its predecessor; only the immutable DeltaSet is
+  /// swapped, so applying a batch never spawns or joins threads. Frames in
+  /// flight finish on the generation that admitted them. Safe from any
+  /// thread; throws std::runtime_error when called on a draining server
+  /// or with out-of-range vertices.
+  UpdateAck apply_updates(std::span<const serve::EdgeUpdate> updates);
 
   /// Cumulative counters (the same numbers a kStats frame reports).
   WireStats stats() const;

@@ -32,6 +32,8 @@ bool known_request_type(std::uint8_t t) {
     case FrameType::kLabelAck:
     case FrameType::kStats:
     case FrameType::kStatsAck:
+    case FrameType::kUpdate:
+    case FrameType::kUpdateAck:
     case FrameType::kError:
       return true;
     default:
@@ -272,7 +274,8 @@ void encode_stats_ack(std::vector<std::uint8_t>& body, const WireStats& s) {
   for (const std::int64_t v :
        {s.conns_accepted, s.conns_active, s.frames_in, s.frames_out,
         s.queries, s.protocol_errors, s.reloads, s.max_inflight, s.p50_ns,
-        s.p99_ns, s.shed, s.timeouts, s.stalls}) {
+        s.p99_ns, s.shed, s.timeouts, s.stalls, s.updates, s.masked,
+        s.repaired}) {
     core::put_uvarint(body, core::zigzag(v));
   }
 }
@@ -283,11 +286,68 @@ WireStats decode_stats_ack(std::span<const std::uint8_t> body) {
   for (std::int64_t* v :
        {&s.conns_accepted, &s.conns_active, &s.frames_in, &s.frames_out,
         &s.queries, &s.protocol_errors, &s.reloads, &s.max_inflight,
-        &s.p50_ns, &s.p99_ns, &s.shed, &s.timeouts, &s.stalls}) {
+        &s.p50_ns, &s.p99_ns, &s.shed, &s.timeouts, &s.stalls, &s.updates,
+        &s.masked, &s.repaired}) {
     *v = r.i64();
   }
   r.finish();
   return s;
+}
+
+void encode_update_request(std::vector<std::uint8_t>& body,
+                           std::span<const serve::EdgeUpdate> updates) {
+  NORS_CHECK_MSG(updates.size() <= kMaxUpdatesPerFrame,
+                 "update frame too large: split the batch");
+  core::put_uvarint(body, updates.size());
+  for (const serve::EdgeUpdate& e : updates) {
+    core::put_uvarint(body, e.is_fail() ? 1u : 0u);
+    core::put_uvarint(body, core::zigzag(e.u));
+    core::put_uvarint(body, core::zigzag(e.v));
+    if (!e.is_fail()) core::put_uvarint(body, core::zigzag(e.w));
+  }
+}
+
+std::vector<serve::EdgeUpdate> decode_update_request(
+    std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  const std::uint64_t count = r.u64();
+  NORS_CHECK_MSG(count <= kMaxUpdatesPerFrame,
+                 "update frame count exceeds the per-frame cap");
+  std::vector<serve::EdgeUpdate> us(static_cast<std::size_t>(count));
+  for (auto& e : us) {
+    const std::uint64_t flag = r.u64();
+    NORS_CHECK_MSG(flag <= 1, "unknown update flags");
+    e.u = r.i32();
+    e.v = r.i32();
+    if (flag == 1) {
+      e.w = serve::EdgeUpdate::kFail;
+    } else {
+      e.w = r.i64();
+      NORS_CHECK_MSG(e.w >= 0, "negative update weight");
+    }
+  }
+  r.finish();
+  return us;
+}
+
+void encode_update_ack(std::vector<std::uint8_t>& body, const UpdateAck& a) {
+  core::put_uvarint(body, a.seq);
+  for (const std::int64_t v : {a.applied, a.unknown_edges, a.overrides,
+                               a.failed_links, a.masked_trees}) {
+    core::put_uvarint(body, core::zigzag(v));
+  }
+}
+
+UpdateAck decode_update_ack(std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  UpdateAck a;
+  a.seq = r.u64();
+  for (std::int64_t* v : {&a.applied, &a.unknown_edges, &a.overrides,
+                          &a.failed_links, &a.masked_trees}) {
+    *v = r.i64();
+  }
+  r.finish();
+  return a;
 }
 
 void encode_error(std::vector<std::uint8_t>& body, ErrorCode code,

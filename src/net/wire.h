@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/delta.h"
 #include "serve/frozen.h"
 
 namespace nors::net {
@@ -56,16 +57,21 @@ inline constexpr std::size_t kMaxFrameBytes =
 /// Queries per kRoute frame (the client library splits larger batches).
 inline constexpr std::size_t kMaxQueriesPerFrame = 1u << 15;
 
+/// Edge events per kUpdate frame (same cap discipline as queries).
+inline constexpr std::size_t kMaxUpdatesPerFrame = 1u << 15;
+
 enum class FrameType : std::uint8_t {
-  kHello = 1,     // client → server: empty body
-  kHelloAck = 2,  // ServerInfo
-  kRoute = 3,     // batched route queries
-  kRouteAck = 4,  // one Decision per query, submission order
-  kLabel = 5,     // uvarint vertex
-  kLabelAck = 6,  // the vertex's packed wire label bytes
-  kStats = 7,     // empty body
-  kStatsAck = 8,  // WireStats
-  kError = 15,    // uvarint code + message; response to any broken frame
+  kHello = 1,      // client → server: empty body
+  kHelloAck = 2,   // ServerInfo
+  kRoute = 3,      // batched route queries
+  kRouteAck = 4,   // one Decision per query, submission order
+  kLabel = 5,      // uvarint vertex
+  kLabelAck = 6,   // the vertex's packed wire label bytes
+  kStats = 7,      // empty body
+  kStatsAck = 8,   // WireStats
+  kUpdate = 9,     // admin: batched edge updates (DESIGN.md §13)
+  kUpdateAck = 10, // UpdateAck: the published generation's shape
+  kError = 15,     // uvarint code + message; response to any broken frame
 };
 
 enum class ErrorCode : std::uint8_t {
@@ -173,6 +179,23 @@ struct WireStats {
   std::int64_t shed = 0;
   std::int64_t timeouts = 0;
   std::int64_t stalls = 0;
+  // Live-update counters (DESIGN.md §13): update batches applied and
+  // published as generations; answers that fell back past a masked tree;
+  // answers that crossed a weight-patched link.
+  std::int64_t updates = 0;
+  std::int64_t masked = 0;
+  std::int64_t repaired = 0;
+};
+
+/// What kUpdateAck carries: the shape of the delta generation the batch
+/// was published as (serve::DeltaStats plus the generation sequence).
+struct UpdateAck {
+  std::uint64_t seq = 0;           // published generation (base image = 0)
+  std::int64_t applied = 0;        // batch events accepted
+  std::int64_t unknown_edges = 0;  // batch events naming absent edges
+  std::int64_t overrides = 0;      // cumulative patched link directions
+  std::int64_t failed_links = 0;   // cumulative failed link directions
+  std::int64_t masked_trees = 0;   // trees masked under the failures
 };
 
 void encode_route_request(std::vector<std::uint8_t>& body,
@@ -199,6 +222,17 @@ std::vector<std::uint8_t> decode_label_response(
 
 void encode_stats_ack(std::vector<std::uint8_t>& body, const WireStats& s);
 WireStats decode_stats_ack(std::span<const std::uint8_t> body);
+
+/// kUpdate body: uvarint count, then per event a flag (0 = weight,
+/// 1 = fail), zigzag u, zigzag v, and — weight events only — the zigzag
+/// weight (≥ 0 enforced on decode).
+void encode_update_request(std::vector<std::uint8_t>& body,
+                           std::span<const serve::EdgeUpdate> updates);
+std::vector<serve::EdgeUpdate> decode_update_request(
+    std::span<const std::uint8_t> body);
+
+void encode_update_ack(std::vector<std::uint8_t>& body, const UpdateAck& a);
+UpdateAck decode_update_ack(std::span<const std::uint8_t> body);
 
 void encode_error(std::vector<std::uint8_t>& body, ErrorCode code,
                   const std::string& message);

@@ -33,11 +33,59 @@ struct Query {
 /// Counters a batch engine run reports back (route_batch and the cached
 /// variant). `completed`/`hops` cover queries answered so far, so on a
 /// mid-batch exception they describe exactly the prefix that finished.
+/// `masked`/`repaired` stay zero unless an overlay is interposed
+/// (route_batch_overlay, serve/delta.h): masked counts queries whose
+/// tree choice skipped at least one masked tree (the fallback re-route),
+/// repaired counts queries that crossed at least one weight-patched link.
 struct BatchStats {
   std::int64_t completed = 0;
   std::int64_t hops = 0;
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
+  std::int64_t masked = 0;
+  std::int64_t repaired = 0;
+};
+
+/// Verdict of an overlay's per-link probe (see RouteOverlay concept).
+enum class LinkPatch : std::uint8_t {
+  kNone = 0,    // link unchanged: serve the frozen weight
+  kWeight = 1,  // weight overridden: the overlay wrote the new weight
+  kFailed = 2,  // link failed: the walk must never cross it
+};
+
+/// What one overlay-routed query touched — the per-query view of the
+/// BatchStats masked/repaired counters, reported by route_overlay() so
+/// tests and repair policies can tell exactly which answers the delta
+/// layer altered.
+struct OverlayTouch {
+  bool fell_back = false;  // skipped >= 1 masked tree in the tree scan
+  bool repaired = false;   // crossed >= 1 weight-patched link
+};
+
+/// The null overlay: every route_* entry point without an explicit
+/// overlay runs on this, and `kActive == false` compiles the overlay
+/// probes out of the hot path entirely (pinned by the CI perf floor).
+///
+/// A real overlay (serve/delta.h's DeltaSet) models the *RouteOverlay
+/// concept*: `kActive`, tree_masked(tree) — true when routing must not
+/// use that cluster tree — and link_patch(link_idx, w) over the global
+/// fused-link-map index adj_off()[x] + port, which may rewrite `w` and
+/// returns what kind of patch applied. Overlays are immutable while any
+/// walk reads them; generation swap, not mutation, is the update model.
+struct NoOverlay {
+  static constexpr bool kActive = false;
+  bool tree_masked(std::int32_t) const { return false; }
+  LinkPatch link_patch(std::int64_t, graph::Dist&) const {
+    return LinkPatch::kNone;
+  }
+};
+
+/// Cache stub for the uncached batch engine: never hits.
+struct NoTableCache {
+  bool probe(graph::Vertex, std::int32_t, std::int32_t&) const {
+    return false;
+  }
+  void insert(graph::Vertex, std::int32_t, std::int32_t) const {}
 };
 
 /// An immutable, flat-memory snapshot of a constructed RoutingScheme — the
@@ -274,7 +322,8 @@ class FrozenScheme {
   void route_batch(const Query* queries, std::size_t count, Decision* out,
                    BatchStats* stats = nullptr) const {
     NoTableCache none;
-    route_batch_impl(queries, count, out, none, stats);
+    NoOverlay nov;
+    route_batch_impl(queries, count, out, none, nov, stats);
   }
 
   /// As route_batch(), resolving (vertex, tree) slab lookups through a
@@ -284,7 +333,35 @@ class FrozenScheme {
   void route_batch_cached(const Query* queries, std::size_t count,
                           Decision* out, Cache& cache,
                           BatchStats* stats = nullptr) const {
-    route_batch_impl(queries, count, out, cache, stats);
+    NoOverlay none;
+    route_batch_impl(queries, count, out, cache, none, stats);
+  }
+
+  /// The delta-serving batch engine (DESIGN.md §13): identical pipeline,
+  /// but the tree scan skips trees the overlay masks (fallback re-route
+  /// through the surviving tree set) and every link crossing consults
+  /// link_patch() — failed links are never crossed (masking guarantees
+  /// it; the engine checks), weight patches rewrite the hop's length
+  /// contribution. With NoOverlay this is exactly route_batch_cached().
+  template <typename Cache, typename Overlay>
+  void route_batch_overlay(const Query* queries, std::size_t count,
+                           Decision* out, Cache& cache, const Overlay& ov,
+                           BatchStats* stats = nullptr) const {
+    route_batch_impl(queries, count, out, cache, ov, stats);
+  }
+
+  /// Single-query overlay route; `touch`, if given, reports whether the
+  /// answer fell back past a masked tree or crossed a patched link.
+  template <typename Overlay>
+  Decision route_overlay(graph::Vertex u, graph::Vertex v, const Overlay& ov,
+                         OverlayTouch* touch = nullptr,
+                         std::vector<graph::Vertex>* path = nullptr) const {
+    return route_core(
+        u, v,
+        [this](graph::Vertex x, std::int32_t tree) {
+          return table_slot(x, tree);
+        },
+        ov, touch, path);
   }
 
   /// Queries in flight per route_batch() engine round.
@@ -316,6 +393,18 @@ class FrozenScheme {
   /// exactly when table_index() returns -1.
   template <typename TableLookup>
   Decision route_with(graph::Vertex u, graph::Vertex v, TableLookup&& lookup,
+                      std::vector<graph::Vertex>* path) const {
+    NoOverlay none;
+    return route_core(u, v, std::forward<TableLookup>(lookup), none, nullptr,
+                      path);
+  }
+
+  /// route_with() with an overlay interposed (see NoOverlay for the
+  /// concept): the generalization every route entry point compiles down
+  /// to.
+  template <typename TableLookup, typename Overlay>
+  Decision route_core(graph::Vertex u, graph::Vertex v, TableLookup&& lookup,
+                      const Overlay& ov, OverlayTouch* touch,
                       std::vector<graph::Vertex>* path) const;
 
   // -------------------------------------------------------- inspection --
@@ -344,6 +433,36 @@ class FrozenScheme {
   /// Total bytes of in-memory frozen state behind the serving views
   /// (section payloads; framing and the derived fused link map excluded).
   std::int64_t byte_size() const;
+
+  // ------------------------------------------------- link-map accessors --
+  // The delta layer (serve/delta.h) reads these to journal edge updates
+  // against the frozen image: link indices are adj_off()[x] + port — the
+  // same index the walk hands an overlay's link_patch().
+
+  /// [n+1] offsets bounding each vertex's run of the fused link map.
+  std::span<const std::int64_t> adj_off() const { return adj_off_; }
+
+  /// The fused link map: entry adj_off()[x] + port is the (weight,
+  /// neighbor) behind x's interface `port`.
+  std::span<const LinkSlot> link_map() const { return links_; }
+
+  /// [n+1] offsets bounding each vertex's table slab (parallel to
+  /// tables()/table_tree()).
+  std::span<const std::int64_t> table_off() const { return table_off_; }
+
+  /// x's port toward neighbor `to`, or kNoPort when no such link exists —
+  /// a linear scan of x's link row (degree-bounded; update-apply only,
+  /// never the serving path).
+  std::int32_t find_port(graph::Vertex x, graph::Vertex to) const {
+    const std::int64_t lo = adj_off_[static_cast<std::size_t>(x)];
+    const std::int64_t hi = adj_off_[static_cast<std::size_t>(x) + 1];
+    for (std::int64_t i = lo; i < hi; ++i) {
+      if (links_[static_cast<std::size_t>(i)].to == to) {
+        return static_cast<std::int32_t>(i - lo);
+      }
+    }
+    return graph::kNoPort;
+  }
 
  private:
   /// The destination's tree label as the walk consumes it — a view into
@@ -422,23 +541,18 @@ class FrozenScheme {
   /// level-0 u, else the label scan (Algorithm 1 order, exactly as the
   /// live route()). Returns the tree (or -1: coverage failure), fills
   /// `dest` and the decision's tree fields. `lookup` answers "is u in
-  /// tree t" (index or -1), letting callers interpose a cache.
-  template <typename IndexLookup>
+  /// tree t" (index or -1), letting callers interpose a cache. Trees the
+  /// overlay masks are skipped — the fallback re-route — with
+  /// `fell_back` set when any skip happened for this query.
+  template <typename IndexLookup, typename Overlay>
   std::int32_t find_tree(graph::Vertex u, graph::Vertex v,
-                         IndexLookup&& lookup, DestView& dest,
-                         Decision& r) const;
+                         IndexLookup&& lookup, const Overlay& ov,
+                         bool& fell_back, DestView& dest, Decision& r) const;
 
-  /// Cache stub for the uncached batch engine: never hits.
-  struct NoTableCache {
-    bool probe(graph::Vertex, std::int32_t, std::int32_t&) const {
-      return false;
-    }
-    void insert(graph::Vertex, std::int32_t, std::int32_t) const {}
-  };
-
-  template <typename Cache>
+  template <typename Cache, typename Overlay>
   void route_batch_impl(const Query* queries, std::size_t count,
-                        Decision* out, Cache& cache, BatchStats* stats) const;
+                        Decision* out, Cache& cache, const Overlay& ov,
+                        BatchStats* stats) const;
 
   /// Structural sanity of all offsets/ranges; throws on violation. Run
   /// after freeze() (cheap self-check) and after load()/map() (so a
@@ -523,12 +637,15 @@ class FrozenScheme {
   std::unique_ptr<Mapping> mapping_;  // map() path; null when owned
 };
 
-template <typename IndexLookup>
+template <typename IndexLookup, typename Overlay>
 std::int32_t FrozenScheme::find_tree(graph::Vertex u, graph::Vertex v,
-                                     IndexLookup&& lookup, DestView& dest,
+                                     IndexLookup&& lookup, const Overlay& ov,
+                                     bool& fell_back, DestView& dest,
                                      Decision& r) const {
   // Find the tree (Algorithm 1 + the 4k-5 trick), mirroring the live
-  // RoutingScheme::route() decision order exactly.
+  // RoutingScheme::route() decision order exactly. Masked trees are
+  // skipped in the same order, so the fallback is deterministic: the
+  // first *surviving* tree Algorithm 1 would pick.
   if (label_trick_ != 0 && level_[static_cast<std::size_t>(u)] == 0) {
     // Is u a level-0 cluster root holding v's tree label locally?
     std::size_t a = 0, b = trick_roots_.size();
@@ -542,22 +659,31 @@ std::int32_t FrozenScheme::find_tree(graph::Vertex u, graph::Vertex v,
     }
     if (a < trick_roots_.size() && trick_roots_[a].root == u) {
       const TrickRoot& tr = trick_roots_[a];
-      std::int64_t lo = tr.off, hi = tr.off + tr.len;
-      while (lo < hi) {
-        const std::int64_t mid = (lo + hi) / 2;
-        if (tricks_[static_cast<std::size_t>(mid)].dest < v) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
+      bool usable = true;
+      if constexpr (Overlay::kActive) {
+        if (ov.tree_masked(tr.tree)) {
+          fell_back = true;  // trick tree masked: fall through to labels
+          usable = false;
         }
       }
-      if (lo < tr.off + tr.len &&
-          tricks_[static_cast<std::size_t>(lo)].dest == v) {
-        dest = view_of(tricks_[static_cast<std::size_t>(lo)]);
-        r.tree_root = u;
-        r.tree_level = 0;
-        r.via_trick = true;
-        return tr.tree;
+      if (usable) {
+        std::int64_t lo = tr.off, hi = tr.off + tr.len;
+        while (lo < hi) {
+          const std::int64_t mid = (lo + hi) / 2;
+          if (tricks_[static_cast<std::size_t>(mid)].dest < v) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        if (lo < tr.off + tr.len &&
+            tricks_[static_cast<std::size_t>(lo)].dest == v) {
+          dest = view_of(tricks_[static_cast<std::size_t>(lo)]);
+          r.tree_root = u;
+          r.tree_level = 0;
+          r.via_trick = true;
+          return tr.tree;
+        }
       }
     }
   }
@@ -568,18 +694,25 @@ std::int32_t FrozenScheme::find_tree(graph::Vertex u, graph::Vertex v,
     const LabelSlot& ls = lv[i];
     if (ls.member == 0) continue;  // v ∉ C̃(ẑ_i(v)): keep searching
     if (ls.tree < 0) continue;     // pivot has no cluster tree
+    if constexpr (Overlay::kActive) {
+      if (ov.tree_masked(ls.tree)) {
+        fell_back = true;  // tree damaged by a failure: re-route
+        continue;
+      }
+    }
     if (lookup(u, ls.tree) < 0) continue;  // u ∉ C̃(ẑ_i(v))
     dest = view_of(ls);
     r.tree_root = ls.pivot;
     r.tree_level = i;
     return ls.tree;
   }
-  return -1;  // coverage failure (prevented by build)
+  return -1;  // coverage failure (prevented by build; possible under masks)
 }
 
-template <typename TableLookup>
-Decision FrozenScheme::route_with(graph::Vertex u, graph::Vertex v,
-                                  TableLookup&& lookup,
+template <typename TableLookup, typename Overlay>
+Decision FrozenScheme::route_core(graph::Vertex u, graph::Vertex v,
+                                  TableLookup&& lookup, const Overlay& ov,
+                                  OverlayTouch* touch,
                                   std::vector<graph::Vertex>* path) const {
   NORS_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
   Decision r;
@@ -592,6 +725,7 @@ Decision FrozenScheme::route_with(graph::Vertex u, graph::Vertex v,
     return r;
   }
 
+  bool fell_back = false;
   DestView dest;
   const std::int32_t tree = find_tree(
       u, v,
@@ -600,7 +734,8 @@ Decision FrozenScheme::route_with(graph::Vertex u, graph::Vertex v,
         // lookup (nullptr ⟺ not a member, per the route_with contract).
         return lookup(x, t) == nullptr ? -1 : 0;
       },
-      dest, r);
+      ov, fell_back, dest, r);
+  if (touch != nullptr) touch->fell_back = fell_back;
   if (tree < 0) return r;  // coverage failure (prevented by build)
 
   // Walk the unique tree path over the frozen link map.
@@ -617,7 +752,19 @@ Decision FrozenScheme::route_with(graph::Vertex u, graph::Vertex v,
         port >= 0 && base + port < adj_off_[static_cast<std::size_t>(x) + 1],
         "bad port " << port << " at vertex " << x);
     const LinkSlot& link = links_[static_cast<std::size_t>(base + port)];
-    r.length += link.w;
+    graph::Dist w = link.w;
+    if constexpr (Overlay::kActive) {
+      const LinkPatch lp = ov.link_patch(base + port, w);
+      if (lp != LinkPatch::kNone) {
+        // Masking is exact (every tree edge is some endpoint's parent
+        // edge), so a surviving tree never crosses a failed link.
+        NORS_CHECK_MSG(lp != LinkPatch::kFailed,
+                       "walk crossed a failed link " << x << " port "
+                                                     << port);
+        if (touch != nullptr) touch->repaired = true;
+      }
+    }
+    r.length += w;
     ++r.hops;
     x = link.to;
     if (path != nullptr) path->push_back(x);
@@ -627,9 +774,10 @@ Decision FrozenScheme::route_with(graph::Vertex u, graph::Vertex v,
   return r;
 }
 
-template <typename Cache>
+template <typename Cache, typename Overlay>
 void FrozenScheme::route_batch_impl(const Query* queries, std::size_t count,
                                     Decision* out, Cache& cache,
+                                    const Overlay& ov,
                                     BatchStats* stats) const {
   // Stage machine per in-flight query (DESIGN.md §10.2). A hop costs three
   // engine rounds — kPrep (slab bounds + key/link prefetch), kSearch (SIMD
@@ -648,6 +796,8 @@ void FrozenScheme::route_batch_impl(const Query* queries, std::size_t count,
     DestView dest;
     Decision d;
     std::size_t pos = 0;
+    bool fell_back = false;  // first-choice tree masked, re-routed
+    bool repaired = false;   // walk crossed an overridden-weight link
   };
 
   BatchStats local;
@@ -694,6 +844,8 @@ void FrozenScheme::route_batch_impl(const Query* queries, std::size_t count,
       L.x = u;
       L.d = Decision{};
       L.pos = i;
+      L.fell_back = false;
+      L.repaired = false;
       // One round of lead time for the find-tree reads: u's level and
       // slab bounds, v's label row (k slots ≤ 3 lines), u's link row
       // bounds.
@@ -717,6 +869,8 @@ void FrozenScheme::route_batch_impl(const Query* queries, std::size_t count,
     out[L.pos] = L.d;
     ++bs.completed;
     bs.hops += L.d.hops;
+    if (L.fell_back) ++bs.masked;
+    if (L.repaired) ++bs.repaired;
     if (!admit(L)) --active;
   };
 
@@ -745,11 +899,14 @@ void FrozenScheme::route_batch_impl(const Query* queries, std::size_t count,
           break;
 
         case Lane::St::kFind: {
-          L.tree = find_tree(L.u, L.v, lookup_idx, L.dest, L.d);
+          L.tree =
+              find_tree(L.u, L.v, lookup_idx, ov, L.fell_back, L.dest, L.d);
           if (L.tree < 0) {
-            // Coverage failure: report !ok, exactly like route().
+            // Coverage failure: report !ok, exactly like route(). Under an
+            // overlay this can also mean every covering tree was masked.
             out[L.pos] = L.d;
             ++bs.completed;
+            if (L.fell_back) ++bs.masked;
             if (!admit(L)) --active;
             break;
           }
@@ -820,7 +977,20 @@ void FrozenScheme::route_batch_impl(const Query* queries, std::size_t count,
               "bad port " << port << " at vertex " << L.x);
           const LinkSlot& link =
               links_[static_cast<std::size_t>(base + port)];
-          L.d.length += link.w;
+          graph::Dist w = link.w;
+          if constexpr (Overlay::kActive) {
+            const LinkPatch lp = ov.link_patch(base + port, w);
+            if (lp != LinkPatch::kNone) {
+              // Masking is exact (every tree edge is some endpoint's
+              // parent edge), so a surviving tree never crosses a failed
+              // link.
+              NORS_CHECK_MSG(lp != LinkPatch::kFailed,
+                             "walk crossed a failed link " << L.x << " port "
+                                                           << port);
+              L.repaired = true;
+            }
+          }
+          L.d.length += w;
           ++L.d.hops;
           L.x = link.to;
           NORS_CHECK_MSG(L.d.hops <= 4 * n_, "routing loop detected");

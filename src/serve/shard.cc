@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "serve/delta.h"
 #include "serve/table_cache.h"
 #include "util/failpoint.h"
 #include "util/latency.h"
@@ -42,6 +43,9 @@ struct ShardedRouteServer::Task {
   const Query* queries = nullptr;
   Decision* out = nullptr;
   const std::vector<std::uint32_t>* idx = nullptr;  // into state->idx
+  // Delta overlay for this sub-batch (null = unpatched image). The Task's
+  // shared_ptr pins the generation until the sub-batch retires.
+  std::shared_ptr<const DeltaSet> delta;
 };
 
 /// A vertex-range partition and its accounting. Pure data — the threads
@@ -54,6 +58,8 @@ struct ShardedRouteServer::Shard {
   std::atomic<std::int64_t> hops{0};
   std::atomic<std::int64_t> cache_hits{0};
   std::atomic<std::int64_t> cache_misses{0};
+  std::atomic<std::int64_t> masked{0};
+  std::atomic<std::int64_t> repaired{0};
   util::LatencyHistogram latency;
 };
 
@@ -145,15 +151,24 @@ void ShardedRouteServer::worker(Worker& w) {
   constexpr std::size_t kBlock = 128;
   std::vector<Query> qbuf(kBlock);
   std::vector<Decision> dbuf(kBlock);
+  // Delta sequence the cache was last warmed under (0 = unpatched image):
+  // a different sequence invalidates it before the first block.
+  std::uint64_t cache_seq = 0;
   Task t;
   while (w.queue.pop(t)) {
     Shard& s = *t.shard;
     const std::size_t batch_queries = t.idx->size();
     const auto& idx = *t.idx;
     std::int64_t done = 0, hops = 0, hits = 0, misses = 0;
+    std::int64_t masked = 0, repaired = 0;
     try {
       if (util::failpoint("serve.batch") == util::FpAction::kError) {
         throw std::runtime_error("injected failure: serve.batch failpoint");
+      }
+      const std::uint64_t seq = t.delta ? t.delta->seq() : 0;
+      if (cached && seq != cache_seq) {
+        cache->clear();
+        cache_seq = seq;
       }
       for (std::size_t b = 0; b < idx.size(); b += kBlock) {
         const std::size_t m = std::min(kBlock, idx.size() - b);
@@ -162,7 +177,16 @@ void ShardedRouteServer::worker(Worker& w) {
         }
         BatchStats bs;
         const auto t0 = clock::now();
-        if (cached) {
+        if (t.delta) {
+          if (cached) {
+            fs_->route_batch_overlay(qbuf.data(), m, dbuf.data(), *cache,
+                                     *t.delta, &bs);
+          } else {
+            NoTableCache none;
+            fs_->route_batch_overlay(qbuf.data(), m, dbuf.data(), none,
+                                     *t.delta, &bs);
+          }
+        } else if (cached) {
           fs_->route_batch_cached(qbuf.data(), m, dbuf.data(), *cache, &bs);
         } else {
           fs_->route_batch(qbuf.data(), m, dbuf.data(), &bs);
@@ -175,6 +199,8 @@ void ShardedRouteServer::worker(Worker& w) {
         }
         done += static_cast<std::int64_t>(m);
         hops += bs.hops;
+        masked += bs.masked;
+        repaired += bs.repaired;
         if (cached) {
           hits += bs.cache_hits;
           misses += bs.cache_misses;
@@ -188,6 +214,10 @@ void ShardedRouteServer::worker(Worker& w) {
     s.queries.fetch_add(done, std::memory_order_relaxed);
     s.hops.fetch_add(hops, std::memory_order_relaxed);
     s.batches.fetch_add(1, std::memory_order_relaxed);
+    if (masked != 0) s.masked.fetch_add(masked, std::memory_order_relaxed);
+    if (repaired != 0) {
+      s.repaired.fetch_add(repaired, std::memory_order_relaxed);
+    }
     if (cached) {
       s.cache_hits.fetch_add(hits, std::memory_order_relaxed);
       s.cache_misses.fetch_add(misses, std::memory_order_relaxed);
@@ -211,16 +241,14 @@ void ShardedRouteServer::worker(Worker& w) {
   }
 }
 
-ShardedRouteServer::Batch ShardedRouteServer::submit(
-    const Query* queries, std::size_t count, Decision* out,
-    std::function<void()> on_complete) {
-  if (count == 0) {
-    // Nothing to enqueue: the completion contract ("exactly once") is met
-    // inline, and the ticket below is already done.
+ShardedRouteServer::Batch ShardedRouteServer::attach_hook(
+    Batch ticket, std::function<void()> on_complete) {
+  if (!ticket.state_) {
+    // Nothing was enqueued: the completion contract ("exactly once") is
+    // met inline, and the ticket is already done.
     if (on_complete) on_complete();
-    return submit(queries, count, out);
+    return ticket;
   }
-  auto ticket = submit(queries, count, out);
   bool already_done = false;
   {
     std::lock_guard<std::mutex> lk(ticket.state_->m);
@@ -234,9 +262,36 @@ ShardedRouteServer::Batch ShardedRouteServer::submit(
   return ticket;
 }
 
+ShardedRouteServer::Batch ShardedRouteServer::submit(
+    const Query* queries, std::size_t count, Decision* out,
+    std::function<void()> on_complete) {
+  return attach_hook(submit_impl(queries, count, out, nullptr),
+                     std::move(on_complete));
+}
+
 ShardedRouteServer::Batch ShardedRouteServer::submit(const Query* queries,
                                                      std::size_t count,
                                                      Decision* out) {
+  return submit_impl(queries, count, out, nullptr);
+}
+
+ShardedRouteServer::Batch ShardedRouteServer::submit(
+    const Query* queries, std::size_t count, Decision* out,
+    std::shared_ptr<const DeltaSet> delta) {
+  return submit_impl(queries, count, out, std::move(delta));
+}
+
+ShardedRouteServer::Batch ShardedRouteServer::submit(
+    const Query* queries, std::size_t count, Decision* out,
+    std::shared_ptr<const DeltaSet> delta,
+    std::function<void()> on_complete) {
+  return attach_hook(submit_impl(queries, count, out, std::move(delta)),
+                     std::move(on_complete));
+}
+
+ShardedRouteServer::Batch ShardedRouteServer::submit_impl(
+    const Query* queries, std::size_t count, Decision* out,
+    std::shared_ptr<const DeltaSet> delta) {
   auto state = std::make_shared<Batch::State>(count);
   Batch ticket;
   ticket.state_ = state;
@@ -266,8 +321,8 @@ ShardedRouteServer::Batch ShardedRouteServer::submit(const Query* queries,
     // Shard → worker round-robin; with one worker per shard this is the
     // identity, on a clamped machine several shards share a thread.
     Worker& w = *workers_[s % workers_.size()];
-    w.queue.push(
-        Task{state, shards_[s].get(), queries, out, &state->idx[s]});
+    w.queue.push(Task{state, shards_[s].get(), queries, out, &state->idx[s],
+                      delta});
   }
   return ticket;
 }
@@ -292,6 +347,8 @@ ShardStats ShardedRouteServer::shard_stats(int shard) const {
   st.hops = s.hops.load(std::memory_order_relaxed);
   st.cache_hits = s.cache_hits.load(std::memory_order_relaxed);
   st.cache_misses = s.cache_misses.load(std::memory_order_relaxed);
+  st.masked = s.masked.load(std::memory_order_relaxed);
+  st.repaired = s.repaired.load(std::memory_order_relaxed);
   st.p50_us = s.latency.quantile_us(0.5);
   st.p99_us = s.latency.quantile_us(0.99);
   return st;
@@ -306,6 +363,8 @@ ShardStats ShardedRouteServer::totals() const {
     t.hops += sh->hops.load(std::memory_order_relaxed);
     t.cache_hits += sh->cache_hits.load(std::memory_order_relaxed);
     t.cache_misses += sh->cache_misses.load(std::memory_order_relaxed);
+    t.masked += sh->masked.load(std::memory_order_relaxed);
+    t.repaired += sh->repaired.load(std::memory_order_relaxed);
     const auto c = sh->latency.snapshot();
     for (std::size_t b = 0; b < c.size(); ++b) merged[b] += c[b];
   }

@@ -10,6 +10,8 @@
 
 namespace nors::serve {
 
+class DeltaSet;
+
 struct ShardedOptions {
   /// Number of shards K; each shard owns a contiguous vertex range
   /// (queries are dispatched by source vertex). Clamped to [1, n]. The
@@ -38,6 +40,8 @@ struct ShardStats {
   std::int64_t hops = 0;         // next-hop decisions evaluated
   std::int64_t cache_hits = 0;   // 0 unless cache_entries > 0
   std::int64_t cache_misses = 0;
+  std::int64_t masked = 0;       // answers re-routed past a masked tree
+  std::int64_t repaired = 0;     // answers that crossed a patched link
   double p50_us = 0;
   double p99_us = 0;
 };
@@ -98,6 +102,21 @@ class ShardedRouteServer {
   /// Async: dispatch the batch across shard queues and return immediately.
   Batch submit(const Query* queries, std::size_t count, Decision* out);
 
+  /// As submit(), answering through the delta overlay (serve/delta.h):
+  /// masked trees are skipped with a fallback re-route, patched links
+  /// charge their overridden weight, and the batch pins `delta` until it
+  /// retires — the generation-swap contract net::Server relies on. A null
+  /// delta serves the unpatched image (identical to plain submit()). When
+  /// a worker sees a different delta sequence than its previous batch it
+  /// clears its table cache (indices are delta-invariant today, but the
+  /// invalidation is keyed by generation, not by that implementation
+  /// detail).
+  Batch submit(const Query* queries, std::size_t count, Decision* out,
+               std::shared_ptr<const DeltaSet> delta);
+  Batch submit(const Query* queries, std::size_t count, Decision* out,
+               std::shared_ptr<const DeltaSet> delta,
+               std::function<void()> on_complete);
+
   /// As submit(), and additionally invokes `on_complete` exactly once when
   /// every query of the batch is answered — the completion hook the
   /// network front-end (src/net) uses to finish a request without parking
@@ -141,6 +160,9 @@ class ShardedRouteServer {
   struct Shard;
   struct Worker;
   void worker(Worker& w);
+  Batch submit_impl(const Query* queries, std::size_t count, Decision* out,
+                    std::shared_ptr<const DeltaSet> delta);
+  static Batch attach_hook(Batch ticket, std::function<void()> on_complete);
 
   const FrozenScheme* fs_;
   ShardedOptions opt_;

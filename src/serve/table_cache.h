@@ -59,6 +59,13 @@ class TableCache {
     return false;
   }
 
+  /// Drops every entry — the generation-swap invalidation hook: shard
+  /// workers clear when a batch arrives under a different delta sequence
+  /// than the cache was warmed on (serve/shard.cc).
+  void clear() {
+    std::fill(slots_.begin(), slots_.end(), Entry{kEmpty, -1});
+  }
+
   /// Publishes a search result into (x, tree)'s set as the MRU way; the
   /// set's LRU way is evicted.
   void insert(graph::Vertex x, std::int32_t tree, std::int32_t idx) {

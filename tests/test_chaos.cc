@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -632,6 +633,184 @@ TEST(Chaos, WriteStallTimerForceClosesPeersThatStoppedReading) {
   for (std::size_t i = 0; i < qs.size(); ++i) {
     expect_identical(wire[i], reference.route(qs[i].u, qs[i].v), qs[i]);
   }
+}
+
+// ---- client retry/backoff bug pins --------------------------------------
+
+TEST(ClientBackoff, OverloadSleepClampsHostileHints) {
+  // The bug: static_cast<int>(hint) before std::max — a hint ≥ 2^31 went
+  // negative, lost the max(), and the overload sleep degenerated to bare
+  // backoff. The clamp must narrow only *after* capping.
+  EXPECT_EQ(net::Client::overload_sleep_ms(0xFFFFFFFFu, 10000, 37), 10000);
+  EXPECT_EQ(net::Client::overload_sleep_ms(0x80000000u, 10000, 37), 10000);
+  EXPECT_EQ(net::Client::overload_sleep_ms(0x7FFFFFFFu, 10000, 37), 10000);
+  // Honest hints below the cap pass through; the backoff still floors.
+  EXPECT_EQ(net::Client::overload_sleep_ms(25, 10000, 37), 37);
+  EXPECT_EQ(net::Client::overload_sleep_ms(500, 10000, 37), 500);
+  // Degenerate cap configs stay sane.
+  EXPECT_EQ(net::Client::overload_sleep_ms(0xFFFFFFFFu, 0, 37), 37);
+  EXPECT_EQ(net::Client::overload_sleep_ms(0xFFFFFFFFu, -5, 37), 37);
+}
+
+TEST(ClientBackoff, HugeWireHintSleepsTheCapNotNothingNotForever) {
+  // A hand-rolled server that sheds every route frame with the largest
+  // possible retry-after hint. With the old narrowing bug the client
+  // would sleep only its tiny backoff (~1-2ms); without any cap it would
+  // park for ~49 days. The clamp makes it sleep exactly the configured
+  // ceiling per retry round.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  const int port = ntohs(addr.sin_port);
+
+  std::thread shedder([lfd] {
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) return;
+    std::vector<std::uint8_t> buf, reply, body;
+    std::uint8_t chunk[4096];
+    for (;;) {
+      const auto rd = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (rd <= 0) break;
+      buf.insert(buf.end(), chunk, chunk + rd);
+      for (;;) {
+        const auto pr = net::parse_frame(buf.data(), buf.size());
+        if (pr.status != net::ParseResult::Status::kFrame) break;
+        body.clear();
+        net::encode_overloaded(body, 0xFFFFFFFFu, "always busy");
+        reply.clear();
+        net::append_frame(reply, net::FrameType::kError,
+                          pr.frame.request_id, body);
+        raw_send_all(fd, reply);
+        buf.erase(buf.begin(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(pr.consumed));
+      }
+    }
+    ::close(fd);
+  });
+
+  net::ClientOptions copt;
+  copt.host = "127.0.0.1";
+  copt.port = port;
+  copt.overload_retries = 2;
+  copt.retry_hint_cap_ms = 80;
+  copt.backoff_base_ms = 1;
+  copt.backoff_cap_ms = 2;
+  net::Client client(copt);
+
+  const std::vector<Query> qs = {{0, 1}};
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.route(qs), net::OverloadedError);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  // Two retry rounds at the 80ms cap each: ≥160ms proves the hint was
+  // not negative-skipped; well under a second proves it was clamped.
+  EXPECT_GE(ms, 160);
+  EXPECT_LT(ms, 2000);
+
+  client.close();
+  ::close(lfd);
+  shedder.join();
+}
+
+TEST(ClientBackoff, ConcurrentClientsDrawDivergingJitterSchedules) {
+  // The bug: a seed of constant ^ (pid << 32) ^ this put two clients in
+  // identical backoff streams whenever the allocator reused an address
+  // (and gave near-identical streams either way) — a reconnect herd then
+  // retried in lockstep. Seeds must differ even for clients constructed
+  // back to back at the same address, and the schedules they draw must
+  // diverge.
+  const auto g = small_graph(211);
+  net::Server server(build_frozen(g, 2, 113), {});
+
+  auto a = std::make_unique<net::Client>("127.0.0.1", server.port());
+  const std::uint64_t seed_a = a->jitter_seed();
+  a.reset();  // free the address so the next client may land on it
+  auto b = std::make_unique<net::Client>("127.0.0.1", server.port());
+  const std::uint64_t seed_b = b->jitter_seed();
+  EXPECT_NE(seed_a, seed_b);
+
+  // Replay both schedules from the captured seeds: 20 draws over the
+  // jittered range must not coincide everywhere (probability ~0 with
+  // distinct streams, certainty of failure with the old shared stream).
+  std::uint64_t rng_a = seed_a, rng_b = seed_b;
+  net::Backoff ba(20, 1000, rng_a), bb(20, 1000, rng_b);
+  bool diverged = false;
+  for (int i = 0; i < 20; ++i) {
+    diverged = diverged || ba.next() != bb.next();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+// ---- stats coherence under concurrent load ------------------------------
+
+TEST(Chaos, StatsInvariantsHoldUnderConcurrentLoadAndShed) {
+  // net::Server::stats() used to read its counters as independent relaxed
+  // loads, so a snapshot could transiently report more answers than
+  // frames, or more shed queries than admitted ones. The fixed snapshot
+  // orders its loads (late counters acquire-first), making these
+  // invariants assertable *while* the counters move.
+  const auto g = small_graph(223);
+  auto frozen = build_frozen(g, 2, 127);
+  const int n = frozen.n();
+  net::NetServerOptions opt;
+  opt.loops = 2;
+  opt.max_inflight_queries = 512;  // force shedding under the load below
+  net::Server server(std::move(frozen), opt);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> load;
+  for (int c = 0; c < 4; ++c) {
+    load.emplace_back([&, c] {
+      net::ClientOptions copt;
+      copt.host = "127.0.0.1";
+      copt.port = server.port();
+      copt.overload_retries = 1000000;
+      copt.backoff_base_ms = 1;
+      copt.backoff_cap_ms = 4;
+      net::Client client(copt);
+      // Frames small enough to be admitted alone, big enough that four
+      // concurrent clients overrun the 512-query budget and get shed.
+      const auto qs = random_queries(n, 256, 131 + static_cast<unsigned>(c));
+      while (!stop.load(std::memory_order_relaxed)) {
+        client.route(qs);
+      }
+    });
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  std::int64_t snapshots = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto s = server.stats();
+    ++snapshots;
+    const auto cap = static_cast<std::int64_t>(net::kMaxQueriesPerFrame);
+    if (s.frames_out > s.frames_in) violations.fetch_add(1);
+    if (s.queries > s.frames_in * cap) violations.fetch_add(1);
+    if (s.shed > s.frames_in) violations.fetch_add(1);
+    if (s.conns_active > s.conns_accepted) violations.fetch_add(1);
+    if (s.frames_in < 0 || s.frames_out < 0 || s.queries < 0 || s.shed < 0 ||
+        s.conns_active < 0) {
+      violations.fetch_add(1);
+    }
+  }
+  stop.store(true);
+  for (auto& t : load) t.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(snapshots, 100);
+  EXPECT_GT(server.stats().shed, 0)
+      << "the load must actually exercise admission control";
 }
 
 }  // namespace

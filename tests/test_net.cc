@@ -12,13 +12,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/scheme.h"
 #include "graph/generators.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "serve/delta.h"
 #include "serve/frozen.h"
 #include "util/random.h"
 
@@ -423,6 +426,155 @@ TEST(NetReload, SwapNeverTearsAResponse) {
       << "every response must match exactly one image generation";
   EXPECT_GT(matched_b.load(), 0) << "reload must actually take effect";
   EXPECT_EQ(server.stats().reloads, 5);
+}
+
+// ---- delta generations under load (DESIGN.md §13) -----------------------
+
+// Update batches and a SIGHUP-style reload swap generations under
+// sustained pipelined traffic; every response must be bit-identical to
+// *one* generation's answers — never a mix. The TSan CI leg runs this
+// file, so a torn read of the generation pointer or the delta set would
+// also surface as a race report.
+TEST(NetUpdate, UpdateAndReloadSwapsAreAtomicUnderPipelinedLoad) {
+  const auto g = family_graph(0, 71);
+  auto frozen = build_frozen(g, 3, 23);
+  const auto reference = serve::FrozenScheme::load(frozen.save());
+  const int n = reference.n();
+
+  // Deterministic update batches over real edges: weight doubles, a
+  // failure, and its revival.
+  std::vector<std::pair<graph::Vertex, graph::Vertex>> edge_pool;
+  for (graph::Vertex u = 0; u < g.n() && edge_pool.size() < 64; ++u) {
+    for (const auto& he : g.neighbors(u)) {
+      if (he.to > u) edge_pool.push_back({u, he.to});
+    }
+  }
+  const auto weight_of = [&](std::size_t i) {
+    const auto [a, b] = edge_pool[i];
+    for (const auto& he : g.neighbors(a)) {
+      if (he.to == b) return he.w;
+    }
+    return graph::Weight{0};
+  };
+  std::vector<std::vector<serve::EdgeUpdate>> batches;
+  for (int bidx = 0; bidx < 6; ++bidx) {
+    std::vector<serve::EdgeUpdate> batch;
+    for (std::size_t i = static_cast<std::size_t>(bidx); i < edge_pool.size();
+         i += 6) {
+      const auto [a, b] = edge_pool[i];
+      batch.push_back(serve::EdgeUpdate::weight(a, b, weight_of(i) * 2));
+    }
+    if (bidx == 2) {
+      batch.push_back(serve::EdgeUpdate::fail(edge_pool[0].first,
+                                              edge_pool[0].second));
+    }
+    if (bidx == 4) {  // revive at the original weight
+      batch.push_back(serve::EdgeUpdate::weight(
+          edge_pool[0].first, edge_pool[0].second, weight_of(0)));
+    }
+    batches.push_back(std::move(batch));
+  }
+
+  // Expected answer vector per generation: gen 0 (base), then the chain
+  // after each batch — twice, because the reload drops the deltas and the
+  // chain restarts from the base image.
+  const auto qs = random_queries(n, 64, 31);
+  std::vector<std::vector<Decision>> expected;
+  {
+    std::vector<Decision> base;
+    for (const auto& q : qs) base.push_back(reference.route(q.u, q.v));
+    expected.push_back(std::move(base));
+    std::shared_ptr<const serve::DeltaSet> chain;
+    for (const auto& batch : batches) {
+      chain = serve::DeltaSet::apply(reference, chain.get(), batch);
+      std::vector<Decision> want;
+      for (const auto& q : qs) {
+        want.push_back(reference.route_overlay(q.u, q.v, *chain));
+      }
+      expected.push_back(std::move(want));
+    }
+  }
+  int differing = 0;
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    differing +=
+        expected.front()[i].length != expected.back()[i].length ? 1 : 0;
+  }
+  ASSERT_GT(differing, 0) << "test needs distinguishable generations";
+
+  net::NetServerOptions opt;
+  opt.loops = 2;
+  net::Server server(std::move(frozen), opt);
+
+  const auto matches = [&qs](const std::vector<Decision>& got,
+                             const std::vector<Decision>& want) {
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      if (got[i].ok != want[i].ok || got[i].length != want[i].length ||
+          got[i].hops != want[i].hops ||
+          got[i].tree_root != want[i].tree_root ||
+          got[i].tree_level != want[i].tree_level ||
+          got[i].via_trick != want[i].via_trick) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> matched_head{0};
+  std::vector<std::thread> traffic;
+  for (int c = 0; c < 2; ++c) {
+    traffic.emplace_back([&] {
+      net::Client client("127.0.0.1", server.port());
+      while (!stop.load(std::memory_order_acquire)) {
+        client.send_route(qs.data(), qs.size());
+        client.send_route(qs.data(), qs.size());
+        for (int f = 0; f < 2; ++f) {
+          const auto got = client.recv_route();
+          bool found = false;
+          for (const auto& want : expected) {
+            if (matches(got, want)) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          } else if (matches(got, expected.back())) {
+            matched_head.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  // Chain 1: apply every batch under load.
+  for (const auto& batch : batches) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.apply_updates(batch);
+  }
+  // SIGHUP under load: back to the base generation (deltas dropped)...
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.reload(serve::FrozenScheme::load(reference.save()));
+  // ...and chain 2 rebuilds to the head generation again.
+  for (const auto& batch : batches) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.apply_updates(batch);
+  }
+
+  for (int spin = 0; matched_head.load() == 0 && spin < 10000; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : traffic) t.join();
+
+  EXPECT_EQ(torn.load(), 0)
+      << "every response must match exactly one generation";
+  EXPECT_GT(matched_head.load(), 0)
+      << "the head delta generation must actually serve";
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.updates, 2 * static_cast<std::int64_t>(batches.size()));
+  EXPECT_EQ(stats.reloads, 1);
 }
 
 }  // namespace

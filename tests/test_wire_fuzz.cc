@@ -16,6 +16,7 @@
 #include "graph/generators.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "serve/delta.h"
 #include "serve/frozen.h"
 #include "util/failpoint.h"
 #include "util/random.h"
@@ -279,6 +280,119 @@ TEST(WireFuzz, ForcedOverloadSurfacesTypedErrorAndConnectionSurvives) {
     EXPECT_EQ(e.code, ErrorCode::kOverloaded);
     EXPECT_EQ(e.retry_after_ms, 25u);
   }
+  expect_still_serving(client);
+  expect_server_alive();
+}
+
+TEST(WireFuzz, MaximalHintRoundTripsThroughTheCodecUnclamped) {
+  // The codec carries the full uint32 range verbatim — clamping a
+  // hostile hint is *client* policy (ClientOptions::retry_hint_cap_ms),
+  // not a wire concern, so a server-side cap change can never be
+  // confused with a decode quirk.
+  std::vector<std::uint8_t> body;
+  net::encode_overloaded(body, 0xFFFFFFFFu, "hostile");
+  const auto err = net::decode_error(body);
+  EXPECT_EQ(err.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(err.retry_after_ms, 0xFFFFFFFFu);
+}
+
+// ---- the kUpdate admin frame (DESIGN.md §13) ----------------------------
+
+TEST(WireFuzz, UpdateBodyRoundTrips) {
+  const std::vector<serve::EdgeUpdate> updates = {
+      serve::EdgeUpdate::weight(3, 9, 12),
+      serve::EdgeUpdate::fail(4, 7),
+      serve::EdgeUpdate::weight(0, 1, 1),
+  };
+  std::vector<std::uint8_t> body;
+  net::encode_update_request(body, updates);
+  const auto back = net::decode_update_request(body);
+  ASSERT_EQ(back.size(), updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(back[i].u, updates[i].u);
+    EXPECT_EQ(back[i].v, updates[i].v);
+    EXPECT_EQ(back[i].w, updates[i].w);
+  }
+
+  net::UpdateAck ack;
+  ack.seq = 7;
+  ack.applied = 3;
+  ack.unknown_edges = 1;
+  ack.overrides = 4;
+  ack.failed_links = 2;
+  ack.masked_trees = 5;
+  body.clear();
+  net::encode_update_ack(body, ack);
+  const auto aback = net::decode_update_ack(body);
+  EXPECT_EQ(aback.seq, 7u);
+  EXPECT_EQ(aback.applied, 3);
+  EXPECT_EQ(aback.unknown_edges, 1);
+  EXPECT_EQ(aback.overrides, 4);
+  EXPECT_EQ(aback.failed_links, 2);
+  EXPECT_EQ(aback.masked_trees, 5);
+}
+
+TEST(WireFuzz, MalformedUpdateBodiesAreBadBodyAndSurvivable) {
+  const std::vector<std::vector<std::uint8_t>> bodies = {
+      {0x05},              // count 5, zero events follow
+      {0x01, 0x02},        // flag 2: neither weight nor fail
+      {0x01, 0x00, 0x06},  // weight event truncated before v/w
+      {0x01, 0x01, 0x06, 0x08, 0x00},  // fail event + trailing byte
+      {0x01, 0x00, 0x06, 0x08, 0x03},  // weight = -2 (zigzag 3)
+      {0x80, 0x00},                    // non-minimal count varint
+  };
+  for (const auto& body : bodies) {
+    expect_error_for(checksummed(FrameType::kUpdate, body),
+                     ErrorCode::kBadBody);
+  }
+}
+
+TEST(WireFuzz, OutOfRangeUpdateVerticesAreBadQueryAndSurvivable) {
+  auto& f = Fixture::get();
+  const std::vector<serve::EdgeUpdate> beyond = {
+      serve::EdgeUpdate::fail(0, f.n + 3)};
+  std::vector<std::uint8_t> body;
+  net::encode_update_request(body, beyond);
+  expect_error_for(checksummed(FrameType::kUpdate, body),
+                   ErrorCode::kBadQuery);
+
+  const std::vector<serve::EdgeUpdate> negative = {
+      serve::EdgeUpdate::weight(-2, 1, 4)};
+  body.clear();
+  net::encode_update_request(body, negative);
+  expect_error_for(checksummed(FrameType::kUpdate, body),
+                   ErrorCode::kBadQuery);
+}
+
+TEST(WireFuzz, UpdateAckFromAClientIsBadType) {
+  expect_error_for(checksummed(FrameType::kUpdateAck, {0x00}),
+                   ErrorCode::kBadType);
+}
+
+TEST(WireFuzz, ValidUpdateFramePublishesAGenerationAndServingContinues) {
+  // In-range vertices that are NOT an edge of the fixture image: the
+  // batch is accepted (kUpdateAck, a fresh generation) but applies
+  // nothing, so the bit-identical serving checks of every later test in
+  // this file stay valid.
+  auto& f = Fixture::get();
+  graph::Vertex a = 0, b = -1;
+  for (graph::Vertex v = 1; v < f.n; ++v) {
+    if (f.reference.find_port(0, v) < 0) {
+      b = v;
+      break;
+    }
+  }
+  ASSERT_GE(b, 0) << "fixture vertex 0 is adjacent to everything?";
+
+  auto client = connect();
+  const std::vector<serve::EdgeUpdate> batch = {
+      serve::EdgeUpdate::weight(a, b, 9), serve::EdgeUpdate::fail(a, b)};
+  const auto ack = client.update(batch);
+  EXPECT_GE(ack.seq, 1u);
+  EXPECT_EQ(ack.applied, 0);
+  EXPECT_EQ(ack.unknown_edges, 2);
+  EXPECT_EQ(ack.overrides, 0);
+  EXPECT_EQ(ack.masked_trees, 0);
   expect_still_serving(client);
   expect_server_alive();
 }

@@ -9,6 +9,15 @@
 //                      it under serving; in-flight batches finish on the
 //                      old image, no response is dropped
 //
+// Live tables (DESIGN.md §13): edge updates reach a running daemon two
+// ways. --updates=FILE replays a journal of `commit`-separated batches at
+// boot (each batch is published as one delta generation, its DeltaStats
+// logged), and the serving socket itself accepts kUpdate admin frames at
+// any time (net::Client::update / route_client --fail-edge), so the
+// update path and the query path share one port, one protocol, and one
+// generation mechanism. SIGHUP re-maps the image file and *drops* the
+// accumulated deltas — a reload is the "new ground truth" event.
+//
 // Flags:
 //   --image=PATH       serve this frozen image (reloaded on SIGHUP)
 //   --generate-n=N     no image? generate a connected G(n, 3n) workload,
@@ -19,6 +28,8 @@
 //   --shards=K         route shards        (default 1)
 //   --cache=C          per-worker table-cache entries (default 4096)
 //   --window=W         per-connection in-flight frame window (default 64)
+//   --updates=FILE     replay this edge-update journal at boot (see
+//                      serve/delta.h for the line format)
 //
 // Overload / failure-domain knobs (DESIGN.md §12):
 //   --budget=Q         global in-flight query budget (default 262144;
@@ -47,6 +58,7 @@
 #include "core/scheme.h"
 #include "graph/generators.h"
 #include "net/server.h"
+#include "serve/delta.h"
 #include "serve/frozen.h"
 #include "util/random.h"
 
@@ -56,6 +68,7 @@ using namespace nors;
 
 struct Flags {
   std::string image;
+  std::string updates;
   std::string host = "127.0.0.1";
   int port = 0;
   int generate_n = 0;
@@ -79,7 +92,7 @@ struct Flags {
                "unknown flag %s\nusage: route_serviced [--image=PATH | "
                "--generate-n=N --generate-k=K --seed=S] [--host=H] "
                "[--port=P] [--loops=L] [--shards=K] [--cache=C] "
-               "[--window=W] [--budget=Q] [--pending=P] "
+               "[--window=W] [--updates=FILE] [--budget=Q] [--pending=P] "
                "[--deadline-ms=D] [--stall-ms=S] [--retry-after-ms=R]\n",
                bad);
   std::exit(2);
@@ -95,6 +108,8 @@ Flags parse(int argc, char** argv) {
     };
     if (const char* v = val("--image=")) {
       f.image = v;
+    } else if (const char* v = val("--updates=")) {
+      f.updates = v;
     } else if (const char* v = val("--host=")) {
       f.host = v;
     } else if (const char* v = val("--port=")) {
@@ -186,6 +201,26 @@ int main(int argc, char** argv) {
     opt.retry_after_ms = flags.retry_after_ms;
     net::Server server(serve::FrozenScheme::map(flags.image), opt);
 
+    if (!flags.updates.empty()) {
+      // Replay before announcing the port, so scripts that wait for the
+      // listening line observe a daemon already on the journal's head
+      // generation.
+      const auto batches = serve::load_update_journal(flags.updates);
+      for (const auto& batch : batches) {
+        const auto ack = server.apply_updates(batch);
+        std::fprintf(stderr,
+                     "updates: gen %llu — %lld applied, %lld unknown, "
+                     "%lld overrides, %lld failed links, %lld masked "
+                     "trees\n",
+                     static_cast<unsigned long long>(ack.seq),
+                     static_cast<long long>(ack.applied),
+                     static_cast<long long>(ack.unknown_edges),
+                     static_cast<long long>(ack.overrides),
+                     static_cast<long long>(ack.failed_links),
+                     static_cast<long long>(ack.masked_trees));
+      }
+    }
+
     std::printf("route_serviced listening on %s:%d\n", flags.host.c_str(),
                 server.port());
     std::fflush(stdout);
@@ -213,14 +248,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "drained: %lld conns, %lld frames in, %lld queries, "
                  "%lld protocol errors, %lld shed, %lld timeouts, "
-                 "%lld stalls\n",
+                 "%lld stalls, %lld updates, %lld masked, %lld repaired\n",
                  static_cast<long long>(s.conns_accepted),
                  static_cast<long long>(s.frames_in),
                  static_cast<long long>(s.queries),
                  static_cast<long long>(s.protocol_errors),
                  static_cast<long long>(s.shed),
                  static_cast<long long>(s.timeouts),
-                 static_cast<long long>(s.stalls));
+                 static_cast<long long>(s.stalls),
+                 static_cast<long long>(s.updates),
+                 static_cast<long long>(s.masked),
+                 static_cast<long long>(s.repaired));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "route_serviced: fatal: %s\n", e.what());
