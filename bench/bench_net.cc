@@ -17,6 +17,9 @@
 //
 // Emits BENCH_net.json (schema: bench/results/README.md).
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <cstring>
 #include <deque>
 #include <string>
@@ -477,6 +480,115 @@ int main(int argc, char** argv) {
         .field("qps", qps)
         .field("frame_p99_us", p99_us)
         .field("repaired_answers", ustats.repaired);
+  }
+
+  // ---- durability rows: the WAL tax per fsync policy --------------------
+  // One server per policy, same image, a WAL in a throwaway directory,
+  // and a single admin connection applying kUpdate batches back-to-back
+  // with no query load — isolating what durability costs the update path.
+  // fsync=always pays an fdatasync per acked batch (ack ⇒ durable);
+  // interval amortizes it over the cadence; off measures pure WAL
+  // encoding + append. DESIGN.md §14.
+  {
+    constexpr std::int64_t kDurBatches = 400;
+    constexpr std::size_t kEventsPerBatch = 64;
+    struct PoolEdge {
+      graph::Vertex u, v;
+      graph::Dist w;
+    };
+    std::vector<PoolEdge> pool;
+    for (graph::Vertex u = 0; u < g.n() && pool.size() < 256; ++u) {
+      for (const auto& he : g.neighbors(u)) {
+        if (he.to > u) pool.push_back({u, he.to, he.w});
+        if (pool.size() >= 256) break;
+      }
+    }
+
+    std::printf("\ndurability (%lld kUpdate batches of %zu events, "
+                "WAL on %s):\n",
+                static_cast<long long>(kDurBatches), kEventsPerBatch,
+                "/tmp");
+    for (const std::string fsync : {"always", "interval", "off"}) {
+      char tmpl[] = "/tmp/bench_net_wal_XXXXXX";
+      char* wal_dir = ::mkdtemp(tmpl);
+      NORS_CHECK_MSG(wal_dir != nullptr, "mkdtemp failed");
+
+      net::NetServerOptions dopt;
+      dopt.loops = flags.loops;
+      dopt.shards = flags.shards;
+      dopt.wal_dir = wal_dir;
+      dopt.fsync = serve::parse_fsync_policy(fsync);
+      net::Server dserver(serve::FrozenScheme::map(map_path), dopt);
+
+      net::Client admin("127.0.0.1", dserver.port());
+      util::LatencyHistogram ack_lat;
+      std::vector<serve::EdgeUpdate> batch;
+      std::int64_t applied = 0;
+      bench::WallTimer t;
+      for (std::int64_t b = 0; b < kDurBatches; ++b) {
+        batch.clear();
+        const bool doubled = (b % 2) != 0;
+        for (std::size_t i = 0; i < kEventsPerBatch; ++i) {
+          const PoolEdge& e =
+              pool[(static_cast<std::size_t>(b) * kEventsPerBatch + i) %
+                   pool.size()];
+          batch.push_back(serve::EdgeUpdate::weight(
+              e.u, e.v, doubled ? e.w : e.w * 2));
+        }
+        bench::WallTimer one;
+        const auto ack = admin.update(batch);
+        ack_lat.record_ns(static_cast<std::int64_t>(one.seconds() * 1e9));
+        applied += ack.applied;
+      }
+      const double secs = t.seconds();
+      const auto dstats = dserver.stats();
+      NORS_CHECK_MSG(dstats.wal_records == kDurBatches,
+                     "every acked batch must be a logged record");
+      NORS_CHECK_MSG(dstats.wal_errors == 0,
+                     "durability bench traffic must be error-free");
+
+      const auto counts = ack_lat.snapshot();
+      const double batches_per_sec =
+          static_cast<double>(kDurBatches) / secs;
+      const double updates_per_sec = static_cast<double>(applied) / secs;
+      const double ack_p50_us =
+          util::LatencyHistogram::quantile_us(counts, 0.5);
+      const double ack_p99_us =
+          util::LatencyHistogram::quantile_us(counts, 0.99);
+      std::printf(
+          "  fsync=%-8s %7.0f batches/s, %8.0f events/s | ack p50 "
+          "%7.1fus p99 %7.1fus\n",
+          fsync.c_str(), batches_per_sec, updates_per_sec, ack_p50_us,
+          ack_p99_us);
+
+      report.row()
+          .field("row", std::string("durability"))
+          .field("n", n)
+          .field("k", k)
+          .field("fsync", fsync)
+          .field("events_per_batch",
+                 static_cast<std::int64_t>(kEventsPerBatch))
+          .field("update_batches", kDurBatches)
+          .field("updates_applied", applied)
+          .field("seconds", secs)
+          .field("update_batches_per_sec", batches_per_sec)
+          .field("updates_per_sec", updates_per_sec)
+          .field("ack_p50_us", ack_p50_us)
+          .field("ack_p99_us", ack_p99_us)
+          .field("wal_records", dstats.wal_records);
+
+      dserver.drain();
+      if (DIR* d = ::opendir(wal_dir)) {
+        while (struct dirent* e = ::readdir(d)) {
+          const std::string name = e->d_name;
+          if (name != "." && name != "..") {
+            ::unlink((std::string(wal_dir) + "/" + name).c_str());
+          }
+        }
+        ::closedir(d);
+      }
+      ::rmdir(wal_dir);
+    }
   }
 
   report.write();

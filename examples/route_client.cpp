@@ -23,6 +23,17 @@
 //   --update-weight=U,V,W  journal a weight change
 //   --updates-file=PATH    replay a whole journal file (serve/delta.h
 //                          format), one kUpdate frame per commit batch
+//
+// Durability / replication flags (daemon mode, DESIGN.md §14):
+//   --checkpoint           send a kCheckpoint admin frame (after any
+//                          updates): compact the daemon's delta chain and
+//                          truncate its WAL; prints the ack
+//   --digest               instead of the throughput run, print one
+//                          deterministic FNV-1a digest over every route
+//                          decision (ok/length/hops in query order) — two
+//                          daemons serve identical tables iff their
+//                          digests match (CI's crash-recovery smoke diffs
+//                          a pre-kill digest against the rebooted one)
 
 #include <chrono>
 #include <cstdio>
@@ -55,6 +66,39 @@ std::vector<serve::Query> random_queries(int n, std::size_t count,
     if (u != v) qs.push_back({u, v});
   }
   return qs;
+}
+
+/// Deterministic identity probe: route `total` seeded queries and fold
+/// every decision — plus the server's update sequence — into one
+/// FNV-1a digest. No timing, no counters that drift across restarts:
+/// the output depends only on the served tables and how many update
+/// batches produced them, so equal digests across a daemon kill -9 +
+/// reboot pin crash recovery (a daemon that silently failed to replay
+/// its WAL reports seq 0 and can't match even if no sampled query
+/// crosses an updated edge), and across a primary and its replica pin
+/// replication.
+int run_digest(net::Client& client, std::size_t total, std::uint64_t seed) {
+  const auto info = client.hello();
+  const auto qs = random_queries(info.n, total, seed);
+  const auto ds = client.route(qs);
+  const auto seq = client.stats().update_seq;
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& d : ds) {
+    mix(d.ok ? 1 : 0);
+    mix(static_cast<std::uint64_t>(d.length));
+    mix(static_cast<std::uint64_t>(d.hops));
+  }
+  mix(static_cast<std::uint64_t>(seq));
+  std::printf("digest: %016llx over %zu queries at seq %llu\n",
+              static_cast<unsigned long long>(h), ds.size(),
+              static_cast<unsigned long long>(seq));
+  return ds.size() == qs.size() ? 0 : 1;
 }
 
 int run_against(net::Client& client, std::size_t total,
@@ -154,6 +198,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 7;
   std::vector<std::vector<serve::EdgeUpdate>> update_batches;
   std::vector<serve::EdgeUpdate> flag_updates;
+  bool digest = false;
+  bool checkpoint = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto val = [&a](const char* key) -> const char* {
@@ -187,11 +233,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--updates-file: %s\n", e.what());
         return 2;
       }
+    } else if (a == "--digest") {
+      digest = true;
+    } else if (a == "--checkpoint") {
+      checkpoint = true;
     } else {
       std::fprintf(stderr,
                    "usage: route_client [--host=H --port=P] [--queries=Q] "
                    "[--seed=S] [--fail-edge=U,V] [--update-weight=U,V,W] "
-                   "[--updates-file=PATH]\n");
+                   "[--updates-file=PATH] [--checkpoint] [--digest]\n");
       return 2;
     }
   }
@@ -206,6 +256,16 @@ int main(int argc, char** argv) {
       copt.connect_retries = 50;
       net::Client client(copt);
       apply_updates(client, update_batches);
+      if (checkpoint) {
+        const auto a = client.checkpoint();
+        std::printf("checkpoint ack: seq %llu — %lld squashed, image "
+                    "rebuilt %lld, %lld wal segments\n",
+                    static_cast<unsigned long long>(a.seq),
+                    static_cast<long long>(a.squashed),
+                    static_cast<long long>(a.image_rebuilt),
+                    static_cast<long long>(a.wal_segments));
+      }
+      if (digest) return run_digest(client, queries, seed);
       return run_against(client, queries, seed);
     }
 

@@ -90,14 +90,30 @@ void wait_ready(int fd, short events, clock_t_::time_point deadline,
 Client::Client(ClientOptions opt) : opt_(std::move(opt)) {
   jitter_seed_ = fresh_jitter_seed(this);
   jitter_rng_ = jitter_seed_;
+  endpoints_ = opt_.endpoints;
+  if (endpoints_.empty()) endpoints_.push_back({opt_.host, opt_.port});
+  connect_rotate();
+}
+
+void Client::connect_rotate() {
   const auto deadline =
       opt_.connect_deadline_ms > 0
           ? clock_t_::now() + std::chrono::milliseconds(opt_.connect_deadline_ms)
           : clock_t_::time_point{};
   Backoff backoff(opt_.backoff_base_ms, opt_.backoff_cap_ms, jitter_rng_);
+  // Each attempt tries the next endpoint in rotation; the very first
+  // rotation is back-to-back (no sleep between *distinct* endpoints), so
+  // failing over past one dead server costs one refused connect, not a
+  // backoff. Sleeps only separate full attempts per the retry budget.
   for (int attempt = 0;; ++attempt) {
-    fd_ = connect_once(opt_.host, opt_.port);
-    if (fd_ >= 0) return;
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      const auto& ep = endpoints_[(active_ + i) % endpoints_.size()];
+      fd_ = connect_once(ep.host, ep.port);
+      if (fd_ >= 0) {
+        active_ = (active_ + i) % endpoints_.size();
+        return;
+      }
+    }
     if (attempt >= opt_.connect_retries) break;
     auto sleep_ms = std::chrono::milliseconds(backoff.next());
     if (deadline != clock_t_::time_point{}) {
@@ -108,8 +124,13 @@ Client::Client(ClientOptions opt) : opt_(std::move(opt)) {
     }
     std::this_thread::sleep_for(sleep_ms);
   }
-  throw std::runtime_error("cannot connect to " + opt_.host + ":" +
-                           std::to_string(opt_.port));
+  const auto& ep = endpoints_[active_];
+  throw std::runtime_error(
+      "cannot connect to " + ep.host + ":" + std::to_string(ep.port) +
+      (endpoints_.size() > 1
+           ? " (or any of " + std::to_string(endpoints_.size() - 1) +
+                 " failover endpoints)"
+           : ""));
 }
 
 Client::~Client() { close(); }
@@ -215,8 +236,10 @@ Frame Client::expect(FrameType want) {
 }
 
 ServerInfo Client::hello() {
-  send_frame(FrameType::kHello, {});
-  return decode_hello_ack(expect(FrameType::kHelloAck).body);
+  return with_failover([&] {
+    send_frame(FrameType::kHello, {});
+    return decode_hello_ack(expect(FrameType::kHelloAck).body);
+  });
 }
 
 std::uint32_t Client::send_route(const serve::Query* qs, std::size_t count) {
@@ -231,6 +254,11 @@ std::vector<serve::Decision> Client::recv_route() {
 }
 
 std::vector<serve::Decision> Client::route(
+    const std::vector<serve::Query>& qs) {
+  return with_failover([&] { return route_once(qs); });
+}
+
+std::vector<serve::Decision> Client::route_once(
     const std::vector<serve::Query>& qs) {
   // Split oversized batches into max-width frames. Each round pipelines
   // every still-unanswered chunk (the in-order response guarantee lines
@@ -291,15 +319,19 @@ std::vector<serve::Decision> Client::route(
 }
 
 std::vector<std::uint8_t> Client::label(graph::Vertex v) {
-  std::vector<std::uint8_t> body;
-  encode_label_request(body, v);
-  send_frame(FrameType::kLabel, body);
-  return decode_label_response(expect(FrameType::kLabelAck).body);
+  return with_failover([&] {
+    std::vector<std::uint8_t> body;
+    encode_label_request(body, v);
+    send_frame(FrameType::kLabel, body);
+    return decode_label_response(expect(FrameType::kLabelAck).body);
+  });
 }
 
 WireStats Client::stats() {
-  send_frame(FrameType::kStats, {});
-  return decode_stats_ack(expect(FrameType::kStatsAck).body);
+  return with_failover([&] {
+    send_frame(FrameType::kStats, {});
+    return decode_stats_ack(expect(FrameType::kStatsAck).body);
+  });
 }
 
 UpdateAck Client::update(std::span<const serve::EdgeUpdate> updates) {
@@ -309,6 +341,18 @@ UpdateAck Client::update(std::span<const serve::EdgeUpdate> updates) {
   encode_update_request(body, updates);
   send_frame(FrameType::kUpdate, body);
   return decode_update_ack(expect(FrameType::kUpdateAck).body);
+}
+
+CheckpointAck Client::checkpoint() {
+  send_frame(FrameType::kCheckpoint, {});
+  return decode_checkpoint_ack(expect(FrameType::kCheckpointAck).body);
+}
+
+std::uint64_t Client::subscribe(std::uint64_t have_seq) {
+  std::vector<std::uint8_t> body;
+  encode_subscribe(body, have_seq);
+  send_frame(FrameType::kSubscribe, body);
+  return decode_subscribe_ack(expect(FrameType::kSubscribeAck).body);
 }
 
 }  // namespace nors::net

@@ -44,9 +44,27 @@ struct TimeoutError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// One server address in a failover list.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
 struct ClientOptions {
   std::string host = "127.0.0.1";
   int port = 0;
+
+  /// Failover list (DESIGN.md §14). Empty = just {host, port}. When
+  /// non-empty it replaces host/port entirely: connecting tries the
+  /// endpoints in rotation (connect_retries budgets the whole rotation),
+  /// and a *read-only* call — hello / route / label / stats — that dies
+  /// on a transport error (connection refused, peer closed the socket,
+  /// request timeout) transparently reconnects to the next endpoint and
+  /// retries, visiting each endpoint at most once per call. Safe because
+  /// those calls execute no writes; update() and checkpoint() never fail
+  /// over — they mutate, and a timeout leaves their outcome unknown, so
+  /// the caller must decide.
+  std::vector<Endpoint> endpoints;
 
   /// Extra connect attempts before giving up — lets a client outwait a
   /// daemon that is still binding its socket. Attempts are spaced by
@@ -135,7 +153,7 @@ class Client {
   /// when the server cannot be reached within the retry/deadline budget.
   explicit Client(ClientOptions opt);
   Client(const std::string& host, int port)
-      : Client(ClientOptions{host, port}) {}
+      : Client(ClientOptions{.host = host, .port = port}) {}
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -159,8 +177,23 @@ class Client {
   /// Applies a journaled edge-update batch (≤ kMaxUpdatesPerFrame events)
   /// via a kUpdate admin frame; returns the published generation's shape.
   /// Throws ProtocolError on rejection (kBadQuery for out-of-range
-  /// vertices, kDraining on a draining server).
+  /// vertices, kDraining on a draining server, kWalError when the
+  /// server's log shed the batch, kReadOnly on a replica). Never fails
+  /// over (see ClientOptions::endpoints).
   UpdateAck update(std::span<const serve::EdgeUpdate> updates);
+
+  /// Asks the server to checkpoint (compact its delta chain + truncate
+  /// its WAL; DESIGN.md §14). Never fails over.
+  CheckpointAck checkpoint();
+
+  /// Subscribes this connection to the server's replication stream:
+  /// sends kSubscribe with the seq we already hold, returns the server's
+  /// head seq from the ack. After this, kRepl frames arrive via
+  /// recv_frame() — the connection carries nothing else.
+  std::uint64_t subscribe(std::uint64_t have_seq);
+
+  /// The endpoint the client is currently connected (or pinned) to.
+  const Endpoint& active_endpoint() const { return endpoints_[active_]; }
 
   // ------------------------------------------- pipelined route frames --
   /// Sends one kRoute frame (count ≤ kMaxQueriesPerFrame) without waiting;
@@ -217,8 +250,36 @@ class Client {
 
  private:
   Frame expect(FrameType want);
+  std::vector<serve::Decision> route_once(const std::vector<serve::Query>& qs);
+
+  /// Connect to some endpoint, starting at active_ and rotating, with
+  /// the options' retry/backoff/deadline budget. Throws when the whole
+  /// budget is spent without a connection.
+  void connect_rotate();
+
+  /// Runs `fn` with transparent endpoint failover — read-only calls
+  /// only. ProtocolError (the server *answered*; the connection is fine)
+  /// passes through; any transport error advances to the next endpoint
+  /// and retries until every endpoint has been tried once.
+  template <typename Fn>
+  auto with_failover(Fn&& fn) -> decltype(fn()) {
+    for (std::size_t tried = 0;; ++tried) {
+      try {
+        if (fd_ < 0) connect_rotate();
+        return fn();
+      } catch (const ProtocolError&) {
+        throw;
+      } catch (const std::exception&) {
+        if (tried + 1 >= endpoints_.size()) throw;
+        close();
+        active_ = (active_ + 1) % endpoints_.size();
+      }
+    }
+  }
 
   ClientOptions opt_;
+  std::vector<Endpoint> endpoints_;
+  std::size_t active_ = 0;
   int fd_ = -1;
   std::uint32_t next_id_ = 1;
   std::uint64_t jitter_seed_ = 0;

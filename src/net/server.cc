@@ -1,11 +1,13 @@
 #include "net/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -20,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/client.h"
 #include "serve/shard.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -47,6 +50,57 @@ void raise_max(std::atomic<std::int64_t>& a, std::int64_t v) {
   std::int64_t cur = a.load(std::memory_order_relaxed);
   while (cur < v &&
          !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Splits "host:port" (empty host = loopback) for --replica-of.
+std::pair<std::string, int> parse_host_port(const std::string& s) {
+  const auto colon = s.rfind(':');
+  NORS_CHECK_MSG(colon != std::string::npos && colon + 1 < s.size(),
+                 "expected HOST:PORT, got: " << s);
+  std::string host = s.substr(0, colon);
+  if (host.empty()) host = "127.0.0.1";
+  return {host, std::stoi(s.substr(colon + 1))};
+}
+
+/// Crash-safe whole-file replacement: write to `path + ".tmp"`, fsync,
+/// rename over `path`, fsync the directory — at every instant the old
+/// file or the complete new one is what a reader (or a rebooting daemon)
+/// sees. The checkpoint image rebuild goes through here.
+void write_file_durable(const std::string& path,
+                        std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) sys_fail("open image temp");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const auto wr = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (wr < 0 && errno == EINTR) continue;
+    if (wr <= 0) {
+      const int e = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = e;
+      sys_fail("write image temp");
+    }
+    off += static_cast<std::size_t>(wr);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0 ||
+      ::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int e = errno;
+    ::unlink(tmp.c_str());
+    errno = e;
+    sys_fail("persist image");
+  }
+  const auto slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
 }
 
@@ -127,6 +181,11 @@ struct Server::Impl {
     std::mutex m;
     std::vector<int> fds;
     std::vector<std::shared_ptr<Pending>> done;
+    /// Server-initiated frames (the kRepl stream), already fully framed,
+    /// addressed to one of this loop's connections. Only the loop thread
+    /// touches a Conn, so apply_batch hands the bytes over here.
+    std::vector<std::pair<std::weak_ptr<Conn>, std::vector<std::uint8_t>>>
+        push;
     int wakefd = -1;
     bool open = true;
 
@@ -196,11 +255,52 @@ struct Server::Impl {
   std::atomic<std::int64_t> stalls{0};
   std::atomic<std::int64_t> updates{0};
 
+  // ------------------------------------ durability + replication (§14) --
+  std::unique_ptr<serve::Wal> wal;  // appends under gen_m; null = no WAL
+  /// Durable sequence number of the newest published batch (guarded by
+  /// gen_m). Recovered from the WAL at boot; monotonic across reloads and
+  /// checkpoints for the server's whole life.
+  std::uint64_t update_seq = 0;
+  struct Subscriber {
+    std::weak_ptr<Conn> conn;
+    std::shared_ptr<Inbox> inbox;
+  };
+  std::vector<Subscriber> subscribers;  // guarded by gen_m
+  std::mutex ckpt_m;                    // one checkpoint at a time
+  std::thread follower_thread;          // replica mode only
+  std::atomic<std::uint64_t> repl_head{0};  // primary's head (replica)
+  std::atomic<std::int64_t> wal_errors{0};
+  std::atomic<std::int64_t> checkpoints{0};
+  std::atomic<std::int64_t> repl_applied{0};
+  std::atomic<std::int64_t> batches_since_ckpt{0};
+
   // ---------------------------------------------------------- lifecycle --
   Impl(serve::FrozenScheme fs, NetServerOptions o) : opt(std::move(o)) {
     NORS_CHECK_MSG(opt.window >= 1, "window must be >= 1");
     gen = std::make_shared<Gen>(std::move(fs), opt);
     all_gens.push_back(gen);
+
+    if (!opt.wal_dir.empty()) {
+      // Recover before the first socket exists: replay every logged batch
+      // over the image so the daemon boots into exactly the state a
+      // never-crashed one would serve. No thread has started yet, so the
+      // replay callback may touch `gen` without the lock. A snapshot
+      // record (a checkpoint squash) replaces the accumulated delta
+      // chain — it is applied against the base image.
+      serve::WalOptions wo;
+      wo.fsync = opt.fsync;
+      wo.fsync_interval_ms = opt.fsync_interval_ms;
+      wo.segment_bytes = opt.wal_segment_bytes;
+      wal = std::make_unique<serve::Wal>(
+          opt.wal_dir, wo, [this](const serve::WalRecord& r) {
+            auto delta = serve::DeltaSet::apply(
+                *gen->fs, r.snapshot ? nullptr : gen->delta.get(), r.events);
+            gen = std::make_shared<Gen>(*gen, std::move(delta));
+            all_gens.push_back(gen);
+            prune_gens_locked();
+          });
+      update_seq = wal->last_seq();
+    }
 
     listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                          0);
@@ -241,6 +341,9 @@ struct Server::Impl {
       l->thread = std::thread([this, lp = l.get()] { run_loop(*lp); });
     }
     accept_thread = std::thread([this] { run_acceptor(); });
+    if (!opt.replica_of.empty()) {
+      follower_thread = std::thread([this] { run_follower(); });
+    }
   }
 
   ~Impl() { drain(); }
@@ -255,6 +358,7 @@ struct Server::Impl {
     for (auto& l : loops) {
       if (l->thread.joinable()) l->thread.join();
     }
+    if (follower_thread.joinable()) follower_thread.join();
     // Quiesce every generation from *this* thread: ~ShardedRouteServer
     // joins its workers, which must never happen on one of them. After
     // the joins, every completion callback has fully run, so the grave
@@ -282,6 +386,11 @@ struct Server::Impl {
       gen = next;
       all_gens.push_back(std::move(next));
       prune_gens_locked();
+      // A reload drops the delta chain by design, so the WAL records that
+      // described it are void too: truncate to an empty log at the
+      // current seq. (Replicas of a reloaded primary must be restarted
+      // with the new image — the stream carries deltas, not images.)
+      if (wal != nullptr) wal->reset(update_seq, nullptr);
     }
     reloads.fetch_add(1, std::memory_order_relaxed);
   }
@@ -297,6 +406,21 @@ struct Server::Impl {
   }
 
   UpdateAck apply_updates(std::span<const serve::EdgeUpdate> batch) {
+    return apply_batch(batch, 0, false);
+  }
+
+  /// The one write path (§14). repl_seq == 0: a local/client batch — the
+  /// next durable seq is allocated here. repl_seq > 0: the primary's
+  /// batch applied at *its* seq — a duplicate (seq ≤ update_seq, stream
+  /// re-delivery after a reconnect) is acked without effect, `snapshot`
+  /// batches replace the whole delta chain (applied against the base
+  /// image), and a non-snapshot, non-contiguous seq is a stream gap the
+  /// follower must repair by resubscribing. The order inside the lock is
+  /// the durability contract: append + sync the WAL first, publish the
+  /// generation second — a batch the log rejected is never served, and a
+  /// batch a subscriber sees is always durable on the primary.
+  UpdateAck apply_batch(std::span<const serve::EdgeUpdate> batch,
+                        std::uint64_t repl_seq, bool snapshot) {
     serve::DeltaStats ds;
     std::uint64_t seq = 0;
     {
@@ -304,15 +428,38 @@ struct Server::Impl {
       NORS_CHECK_MSG(gen != nullptr &&
                          !draining.load(std::memory_order_acquire),
                      "apply_updates on a draining server");
-      auto delta =
-          serve::DeltaSet::apply(*gen->fs, gen->delta.get(), batch, &ds);
-      seq = delta->seq();
+      if (repl_seq != 0 && repl_seq <= update_seq) {
+        UpdateAck dup;
+        dup.seq = update_seq;  // already applied: ack, change nothing
+        return dup;
+      }
+      if (repl_seq != 0 && !snapshot) {
+        NORS_CHECK_MSG(repl_seq == update_seq + 1,
+                       "replication gap: resubscribe for a snapshot");
+      }
+      auto delta = serve::DeltaSet::apply(
+          *gen->fs, snapshot ? nullptr : gen->delta.get(), batch, &ds);
+      seq = repl_seq != 0 ? repl_seq : update_seq + 1;
+      if (wal != nullptr) {
+        try {
+          wal->append(seq, snapshot, batch);
+        } catch (const serve::WalError&) {
+          wal_errors.fetch_add(1, std::memory_order_relaxed);
+          throw;  // nothing published: the old generation keeps serving
+        }
+      }
       auto next = std::make_shared<Gen>(*gen, std::move(delta));
       gen = next;
+      update_seq = seq;
       all_gens.push_back(std::move(next));
       prune_gens_locked();
+      push_to_subscribers_locked(seq, snapshot, batch);
     }
     updates.fetch_add(1, std::memory_order_release);
+    if (repl_seq != 0) {
+      repl_applied.fetch_add(1, std::memory_order_relaxed);
+    }
+    maybe_auto_checkpoint();
     UpdateAck a;
     a.seq = seq;
     a.applied = ds.applied;
@@ -321,6 +468,212 @@ struct Server::Impl {
     a.failed_links = ds.failed_links;
     a.masked_trees = ds.masked_trees;
     return a;
+  }
+
+  void maybe_auto_checkpoint() {
+    if (opt.checkpoint_every <= 0 || wal == nullptr) return;
+    if (batches_since_ckpt.fetch_add(1, std::memory_order_relaxed) + 1 <
+        opt.checkpoint_every) {
+      return;
+    }
+    try {
+      checkpoint();
+    } catch (const std::exception&) {
+      // Auto-compaction is advisory: on failure the log keeps its records
+      // (checkpoint() never truncates before the squash lands) and the
+      // next batch retries.
+    }
+  }
+
+  /// Checkpoint compaction (§14): squash the delta chain into one
+  /// snapshot WAL record, rebuild the frozen image with the weight
+  /// overrides baked in (when image_path is set), truncate the log. Runs
+  /// whole under gen_m so the image, the squash and the captured seq are
+  /// one consistent cut — updates queue behind it (a checkpoint is a
+  /// file-write, not a route computation). Failures leave the old log
+  /// intact. Failed links stay in the squash record rather than the
+  /// image: replaying it over either the old or the rebuilt image
+  /// re-masks exactly the same trees, so recovery converges from both.
+  CheckpointAck checkpoint() {
+    std::lock_guard<std::mutex> ck(ckpt_m);
+    std::lock_guard<std::mutex> lk(gen_m);
+    NORS_CHECK_MSG(gen != nullptr &&
+                       !draining.load(std::memory_order_acquire),
+                   "checkpoint on a draining server");
+    CheckpointAck a;
+    a.seq = update_seq;
+    std::vector<serve::EdgeUpdate> snap;
+    const bool dirty =
+        gen->delta != nullptr && gen->delta->override_count() > 0;
+    if (dirty) {
+      snap = gen->delta->as_edge_updates(*gen->fs);
+      a.squashed = gen->delta->override_count();
+      if (!opt.image_path.empty()) {
+        write_file_durable(
+            opt.image_path,
+            gen->fs->save_with_link_weights(gen->delta->sorted_overrides()));
+        a.image_rebuilt = 1;
+      }
+    }
+    if (wal != nullptr) {
+      wal->reset(update_seq, snap.empty() ? nullptr : &snap);
+      a.wal_segments = static_cast<std::int64_t>(wal->segment_count());
+    }
+    checkpoints.fetch_add(1, std::memory_order_relaxed);
+    batches_since_ckpt.store(0, std::memory_order_relaxed);
+    return a;
+  }
+
+  /// Chunks one applied batch into encoded kRepl frame *bodies*. Every
+  /// chunk carries the same seq; all but the last set `more`, and the
+  /// receiver applies the reassembled batch once.
+  static std::vector<std::vector<std::uint8_t>> build_repl_bodies(
+      std::uint64_t seq, std::uint64_t head_seq, bool snapshot,
+      std::span<const serve::EdgeUpdate> events) {
+    std::vector<std::vector<std::uint8_t>> bodies;
+    std::size_t at = 0;
+    do {
+      const std::size_t take =
+          std::min(events.size() - at, kMaxUpdatesPerFrame);
+      ReplFrame rf;
+      rf.seq = seq;
+      rf.head_seq = head_seq;
+      rf.snapshot = snapshot;
+      rf.more = at + take < events.size();
+      rf.events.assign(events.begin() + static_cast<std::ptrdiff_t>(at),
+                       events.begin() + static_cast<std::ptrdiff_t>(at + take));
+      bodies.emplace_back();
+      encode_repl(bodies.back(), rf);
+      at += take;
+    } while (at < events.size());
+    return bodies;
+  }
+
+  /// Fans one applied batch out to every live subscriber, under gen_m (so
+  /// the stream is in apply order, gap-free). The framed bytes travel
+  /// through the owning loop's mailbox — only the loop thread touches a
+  /// Conn. The repl.stream failpoint drops the whole push: followers see
+  /// the gap on the next frame and resubscribe (snapshot catch-up), which
+  /// is exactly the degraded path the chaos tests pin.
+  void push_to_subscribers_locked(std::uint64_t seq, bool snapshot,
+                                  std::span<const serve::EdgeUpdate> events) {
+    if (subscribers.empty()) return;
+    if (util::failpoint("repl.stream") == util::FpAction::kError) return;
+    std::vector<std::vector<std::uint8_t>> frames;
+    for (const auto& body : build_repl_bodies(seq, seq, snapshot, events)) {
+      frames.emplace_back();
+      append_frame(frames.back(), FrameType::kRepl, 0, body);
+    }
+    for (auto it = subscribers.begin(); it != subscribers.end();) {
+      auto c = it->conn.lock();
+      if (!c) {
+        it = subscribers.erase(it);
+        continue;
+      }
+      std::lock_guard<std::mutex> lk(it->inbox->m);
+      if (it->inbox->open) {
+        for (const auto& fb : frames) {
+          it->inbox->push.emplace_back(it->conn, fb);
+        }
+        it->inbox->wake();
+      }
+      ++it;
+    }
+  }
+
+  // ----------------------------------------------------------- follower --
+  /// Replica mode: one background thread holding a subscription to the
+  /// primary. Any stream anomaly — a gap, a decode error, the primary
+  /// dying — tears the connection down and resubscribes with capped
+  /// backoff; the subscribe handshake always rebases us via a snapshot
+  /// when behind, so correctness never depends on the stream staying
+  /// whole, only liveness does.
+  void run_follower() {
+    int backoff_ms = 50;
+    while (!draining.load(std::memory_order_acquire)) {
+      try {
+        follow_once(backoff_ms);
+      } catch (const std::exception&) {
+        // Connect refused / stream broke / gap detected: back off, retry.
+      }
+      for (int slept = 0;
+           slept < backoff_ms && !draining.load(std::memory_order_acquire);
+           slept += 25) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+      backoff_ms = std::min(backoff_ms * 2, 2000);
+    }
+  }
+
+  void follow_once(int& backoff_ms) {
+    const auto [phost, pport] = parse_host_port(opt.replica_of);
+    ClientOptions copt;
+    copt.host = phost;
+    copt.port = pport;
+    copt.request_timeout_ms = 250;  // doubles as the draining poll tick
+    Client cli(copt);
+    std::uint64_t have = 0;
+    {
+      std::lock_guard<std::mutex> lk(gen_m);
+      have = update_seq;
+    }
+    std::vector<std::uint8_t> body;
+    encode_subscribe(body, have);
+    cli.send_frame(FrameType::kSubscribe, body);
+    Frame ack;
+    for (;;) {
+      try {
+        ack = cli.recv_frame();
+        break;
+      } catch (const TimeoutError&) {
+        if (draining.load(std::memory_order_acquire)) return;
+      }
+    }
+    if (ack.type == FrameType::kError) {
+      const WireError e = decode_error(ack.body);
+      throw std::runtime_error("primary rejected subscribe: " + e.message);
+    }
+    NORS_CHECK_MSG(ack.type == FrameType::kSubscribeAck,
+                   "unexpected subscribe response type");
+    repl_head.store(decode_subscribe_ack(ack.body),
+                    std::memory_order_relaxed);
+    backoff_ms = 50;  // the handshake succeeded: reset the retry clock
+
+    std::vector<serve::EdgeUpdate> batch;
+    bool buffering = false;
+    bool batch_snapshot = false;
+    std::uint64_t batch_seq = 0;
+    while (!draining.load(std::memory_order_acquire)) {
+      Frame fr;
+      try {
+        fr = cli.recv_frame();
+      } catch (const TimeoutError&) {
+        continue;  // idle stream: poll the drain flag, keep waiting
+      }
+      NORS_CHECK_MSG(fr.type == FrameType::kRepl,
+                     "unexpected frame on the replication stream");
+      if (util::failpoint("repl.stream") == util::FpAction::kError) {
+        throw std::runtime_error("repl.stream failpoint");
+      }
+      ReplFrame rf = decode_repl(fr.body);
+      repl_head.store(rf.head_seq, std::memory_order_relaxed);
+      if (!buffering) {
+        buffering = true;
+        batch_snapshot = rf.snapshot;
+        batch_seq = rf.seq;
+        batch.clear();
+      } else {
+        NORS_CHECK_MSG(rf.seq == batch_seq && rf.snapshot == batch_snapshot,
+                       "torn chunked repl batch");
+      }
+      batch.insert(batch.end(), rf.events.begin(), rf.events.end());
+      if (rf.more) continue;
+      buffering = false;
+      // Gaps and duplicates are judged inside apply_batch, under the lock
+      // they matter to; a gap throws, landing us back in the resubscribe
+      // path above.
+      apply_batch(batch, batch_seq, batch_snapshot);
+    }
   }
 
   std::shared_ptr<Gen> current_gen() {
@@ -366,6 +719,9 @@ struct Server::Impl {
     s.max_inflight = max_inflight.load(std::memory_order_relaxed);
     s.timeouts = timeouts.load(std::memory_order_relaxed);
     s.stalls = stalls.load(std::memory_order_relaxed);
+    s.wal_errors = wal_errors.load(std::memory_order_relaxed);
+    s.checkpoints = checkpoints.load(std::memory_order_relaxed);
+    s.repl_applied = repl_applied.load(std::memory_order_relaxed);
     s.p50_ns = static_cast<std::int64_t>(
         util::LatencyHistogram::quantile_us(merged, 0.5) * 1000.0);
     s.p99_ns = static_cast<std::int64_t>(
@@ -381,6 +737,17 @@ struct Server::Impl {
         const auto t = g->srv->totals();
         s.masked += t.masked;
         s.repaired += t.repaired;
+      }
+      s.update_seq = static_cast<std::int64_t>(update_seq);
+      if (wal != nullptr) {
+        s.wal_records = wal->stats().appends;
+      }
+      for (const auto& sub : subscribers) {
+        if (!sub.conn.expired()) ++s.subscribers;
+      }
+      const std::uint64_t head = repl_head.load(std::memory_order_relaxed);
+      if (head > update_seq) {
+        s.repl_lag = static_cast<std::int64_t>(head - update_seq);
       }
     }
     return s;
@@ -519,6 +886,9 @@ struct Server::Impl {
     frames_in.fetch_add(1, std::memory_order_relaxed);
     auto p = std::make_shared<Pending>();
     p->request_id = f.request_id;
+    // Frames a request queues *behind* its own response (the subscribe
+    // catch-up snapshot) — enqueued after p, in order.
+    std::vector<std::shared_ptr<Pending>> extras;
     switch (f.type) {
       case FrameType::kHello: {
         const auto g = current_gen();
@@ -603,6 +973,11 @@ struct Server::Impl {
                          "malformed update request");
           break;
         }
+        if (!opt.replica_of.empty()) {
+          p = make_error(f.request_id, ErrorCode::kReadOnly,
+                         "read-only replica: send updates to the primary");
+          break;
+        }
         const auto g = current_gen();
         for (const auto& e : ups) {
           if (e.u < 0 || e.u >= g->fs->n() || e.v < 0 ||
@@ -623,6 +998,94 @@ struct Server::Impl {
           p->resp_type = FrameType::kUpdateAck;
           encode_update_ack(p->resp_body, a);
           p->encoded = true;
+        } catch (const serve::WalError& e) {
+          // The log rejected the batch (disk full, injected fault):
+          // nothing was published, reads keep serving the old generation.
+          // Recoverable, and counted in wal_errors (apply_batch), not
+          // protocol_errors — the request was well-formed.
+          p->resp_type = FrameType::kError;
+          p->resp_body.clear();
+          encode_error(p->resp_body, ErrorCode::kWalError, e.what());
+          p->encoded = true;
+        } catch (const std::exception& e) {
+          p = make_error(f.request_id, ErrorCode::kServerError, e.what());
+        }
+        break;
+      }
+      case FrameType::kSubscribe: {
+        std::uint64_t have = 0;
+        try {
+          have = decode_subscribe(f.body);
+        } catch (const std::logic_error&) {
+          p = make_error(f.request_id, ErrorCode::kBadBody,
+                         "malformed subscribe request");
+          break;
+        }
+        if (!c->pipeline.empty()) {
+          // The stream bypasses the ordered pipeline (pushed frames append
+          // straight to the socket), so it must own its connection.
+          p = make_error(f.request_id, ErrorCode::kBadQuery,
+                         "subscribe requires a dedicated connection");
+          break;
+        }
+        if (draining.load(std::memory_order_acquire)) {
+          p = make_error(f.request_id, ErrorCode::kDraining,
+                         "draining: subscriptions not accepted");
+          break;
+        }
+        std::uint64_t head = 0;
+        std::vector<serve::EdgeUpdate> snap;
+        bool catch_up = false;
+        {
+          // Registration and the head snapshot are one atomic step
+          // against apply_batch: every batch after `head` will be pushed,
+          // and the catch-up snapshot covers everything up to it — no
+          // gap, no double-apply (snapshots replace, not layer).
+          std::lock_guard<std::mutex> lk(gen_m);
+          head = update_seq;
+          if (have < head) {
+            catch_up = true;
+            if (gen->delta != nullptr) {
+              snap = gen->delta->as_edge_updates(*gen->fs);
+            }
+          }
+          subscribers.push_back({c, l.inbox});
+        }
+        p->resp_type = FrameType::kSubscribeAck;
+        encode_subscribe_ack(p->resp_body, head);
+        p->encoded = true;
+        if (catch_up) {
+          // The snapshot rides the same ordered pipeline as the ack (the
+          // pipeline was empty, so both flush before any pushed frame —
+          // pushes enqueued from here on drain only on the *next* loop
+          // iteration).
+          for (auto& body : build_repl_bodies(head, head, true, snap)) {
+            auto e = std::make_shared<Pending>();
+            e->request_id = 0;
+            e->resp_type = FrameType::kRepl;
+            e->resp_body = std::move(body);
+            e->encoded = true;
+            extras.push_back(std::move(e));
+          }
+        }
+        break;
+      }
+      case FrameType::kCheckpoint: {
+        if (!f.body.empty()) {
+          p = make_error(f.request_id, ErrorCode::kBadBody,
+                         "checkpoint takes no body");
+          break;
+        }
+        if (draining.load(std::memory_order_acquire)) {
+          p = make_error(f.request_id, ErrorCode::kDraining,
+                         "draining: checkpoint not accepted");
+          break;
+        }
+        try {
+          const CheckpointAck a = checkpoint();
+          p->resp_type = FrameType::kCheckpointAck;
+          encode_checkpoint_ack(p->resp_body, a);
+          p->encoded = true;
         } catch (const std::exception& e) {
           p = make_error(f.request_id, ErrorCode::kServerError, e.what());
         }
@@ -636,6 +1099,7 @@ struct Server::Impl {
     }
 
     enqueue(l, c, p);
+    for (auto& e : extras) enqueue(l, c, std::move(e));
     if (p->is_route) {
       // Submit after queueing so the completion (delivered back to this
       // loop through the inbox) always finds the pending in order. The
@@ -899,10 +1363,13 @@ struct Server::Impl {
       // Mailbox first: adopt new sockets, finish completed batches.
       std::vector<int> fds;
       std::vector<std::shared_ptr<Pending>> done;
+      std::vector<std::pair<std::weak_ptr<Conn>, std::vector<std::uint8_t>>>
+          pushes;
       {
         std::lock_guard<std::mutex> lk(l.inbox->m);
         fds.swap(l.inbox->fds);
         done.swap(l.inbox->done);
+        pushes.swap(l.inbox->push);
       }
       std::uint64_t tick = 0;
       [[maybe_unused]] const auto r =
@@ -929,6 +1396,21 @@ struct Server::Impl {
         if (const auto c = p->conn.lock(); c && c->fd >= 0) {
           pump(l, c);
         }
+      }
+      for (auto& [wc, bytes] : pushes) {
+        const auto c = wc.lock();
+        if (!c || c->fd < 0) continue;
+        // Server-initiated kRepl bytes, appended behind whatever the
+        // ordered pipeline already flushed. Not counted in frames_out
+        // (which tracks responses, bounded by frames_in). A subscriber
+        // that stopped reading is cut once its queue passes 4× the
+        // outbuf cap — it reconnects and catches up by snapshot.
+        if (c->out.size() - c->out_off > opt.outbuf_limit * 4) {
+          close_conn(l, c);
+          continue;
+        }
+        c->out.insert(c->out.end(), bytes.begin(), bytes.end());
+        handle_write(l, c);
       }
 
       for (int i = 0; i < nev; ++i) {
@@ -960,6 +1442,7 @@ struct Server::Impl {
       for (const int fd : l.inbox->fds) ::close(fd);
       l.inbox->fds.clear();
       l.inbox->done.clear();
+      l.inbox->push.clear();
     }
     ::close(l.ep);
   }
@@ -979,6 +1462,8 @@ void Server::reload(serve::FrozenScheme fs) { impl_->reload(std::move(fs)); }
 UpdateAck Server::apply_updates(std::span<const serve::EdgeUpdate> updates) {
   return impl_->apply_updates(updates);
 }
+
+CheckpointAck Server::checkpoint() { return impl_->checkpoint(); }
 
 WireStats Server::stats() const { return impl_->snapshot_stats(); }
 

@@ -9,6 +9,7 @@
 #include "net/wire.h"
 #include "serve/delta.h"
 #include "serve/frozen.h"
+#include "serve/wal.h"
 
 namespace nors::net {
 
@@ -84,6 +85,38 @@ struct NetServerOptions {
   /// the connection quickly instead of hiding behind megabytes of kernel
   /// buffering.
   int sndbuf_bytes = 0;
+
+  // ---------------------------------- durability + replication (§14) --
+  /// Write-ahead-log directory; empty = no WAL (applied updates die with
+  /// the process, the pre-§14 behavior). With a WAL, construction first
+  /// recovers: every logged batch is replayed over the image before the
+  /// first socket is opened, so a rebooted daemon serves exactly what a
+  /// never-crashed one would. Admitted kUpdate batches are appended (and
+  /// synced, per `fsync`) *before* the new generation is published — a
+  /// batch the log could not hold is shed with a recoverable kWalError
+  /// frame and the old generation keeps serving.
+  std::string wal_dir;
+  serve::FsyncPolicy fsync = serve::FsyncPolicy::kAlways;
+  std::uint32_t fsync_interval_ms = 100;
+  std::uint64_t wal_segment_bytes = 64ull << 20;
+
+  /// Auto-checkpoint cadence: after this many applied batches the server
+  /// runs checkpoint() on its own (0 = manual kCheckpoint frames only).
+  std::int64_t checkpoint_every = 0;
+
+  /// Where checkpoint() rebuilds the compacted frozen image (written to a
+  /// temp file, fsynced, renamed over). Empty = no image rebuild; the WAL
+  /// squash record alone carries the compaction.
+  std::string image_path;
+
+  /// "host:port" of a primary to follow. Non-empty makes this server a
+  /// read-only replica: it subscribes to the primary's update stream,
+  /// applies each batch at the primary's sequence number (logging it to
+  /// its own WAL when one is configured), serves reads, and rejects
+  /// client kUpdate frames with kReadOnly. Reconnects with backoff; a gap
+  /// in the stream forces a fresh subscribe, which catches up via a
+  /// snapshot batch.
+  std::string replica_of;
 };
 
 /// The network front door over the frozen serving stack (DESIGN.md §11):
@@ -138,6 +171,18 @@ class Server {
   /// thread; throws std::runtime_error when called on a draining server
   /// or with out-of-range vertices.
   UpdateAck apply_updates(std::span<const serve::EdgeUpdate> updates);
+
+  /// Checkpoint compaction (DESIGN.md §14), the kCheckpoint frame's
+  /// in-process twin: squash the live delta chain into one snapshot WAL
+  /// record (truncating every older segment), and — when
+  /// options.image_path is set — rebuild the frozen image with the
+  /// current weight overrides baked in (temp file + rename, crash-safe at
+  /// every step). The serving generation is untouched; only the recovery
+  /// artifacts shrink. Runs whole under the update lock, so it
+  /// linearizes against apply_updates. Safe from any thread; throws
+  /// serve::WalError / std::runtime_error on I/O failure (the old log
+  /// keeps its records — nothing is truncated before the squash lands).
+  CheckpointAck checkpoint();
 
   /// Cumulative counters (the same numbers a kStats frame reports).
   WireStats stats() const;

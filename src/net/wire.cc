@@ -34,6 +34,11 @@ bool known_request_type(std::uint8_t t) {
     case FrameType::kStatsAck:
     case FrameType::kUpdate:
     case FrameType::kUpdateAck:
+    case FrameType::kSubscribe:
+    case FrameType::kSubscribeAck:
+    case FrameType::kRepl:
+    case FrameType::kCheckpoint:
+    case FrameType::kCheckpointAck:
     case FrameType::kError:
       return true;
     default:
@@ -75,6 +80,10 @@ class BodyReader {
 
   void finish() const {
     NORS_CHECK_MSG(p_ == end_, "trailing bytes after wire body");
+  }
+
+  std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
   }
 
  private:
@@ -275,7 +284,8 @@ void encode_stats_ack(std::vector<std::uint8_t>& body, const WireStats& s) {
        {s.conns_accepted, s.conns_active, s.frames_in, s.frames_out,
         s.queries, s.protocol_errors, s.reloads, s.max_inflight, s.p50_ns,
         s.p99_ns, s.shed, s.timeouts, s.stalls, s.updates, s.masked,
-        s.repaired}) {
+        s.repaired, s.update_seq, s.wal_records, s.wal_errors,
+        s.checkpoints, s.repl_applied, s.repl_lag, s.subscribers}) {
     core::put_uvarint(body, core::zigzag(v));
   }
 }
@@ -287,7 +297,9 @@ WireStats decode_stats_ack(std::span<const std::uint8_t> body) {
        {&s.conns_accepted, &s.conns_active, &s.frames_in, &s.frames_out,
         &s.queries, &s.protocol_errors, &s.reloads, &s.max_inflight,
         &s.p50_ns, &s.p99_ns, &s.shed, &s.timeouts, &s.stalls, &s.updates,
-        &s.masked, &s.repaired}) {
+        &s.masked, &s.repaired, &s.update_seq, &s.wal_records,
+        &s.wal_errors, &s.checkpoints, &s.repl_applied, &s.repl_lag,
+        &s.subscribers}) {
     *v = r.i64();
   }
   r.finish();
@@ -298,35 +310,18 @@ void encode_update_request(std::vector<std::uint8_t>& body,
                            std::span<const serve::EdgeUpdate> updates) {
   NORS_CHECK_MSG(updates.size() <= kMaxUpdatesPerFrame,
                  "update frame too large: split the batch");
-  core::put_uvarint(body, updates.size());
-  for (const serve::EdgeUpdate& e : updates) {
-    core::put_uvarint(body, e.is_fail() ? 1u : 0u);
-    core::put_uvarint(body, core::zigzag(e.u));
-    core::put_uvarint(body, core::zigzag(e.v));
-    if (!e.is_fail()) core::put_uvarint(body, core::zigzag(e.w));
-  }
+  // The batch bytes are the shared serve:: codec, so a WAL record body
+  // and a kUpdate body are interchangeable (DESIGN.md §14).
+  serve::encode_edge_updates(body, updates);
 }
 
 std::vector<serve::EdgeUpdate> decode_update_request(
     std::span<const std::uint8_t> body) {
-  BodyReader r(body);
-  const std::uint64_t count = r.u64();
-  NORS_CHECK_MSG(count <= kMaxUpdatesPerFrame,
-                 "update frame count exceeds the per-frame cap");
-  std::vector<serve::EdgeUpdate> us(static_cast<std::size_t>(count));
-  for (auto& e : us) {
-    const std::uint64_t flag = r.u64();
-    NORS_CHECK_MSG(flag <= 1, "unknown update flags");
-    e.u = r.i32();
-    e.v = r.i32();
-    if (flag == 1) {
-      e.w = serve::EdgeUpdate::kFail;
-    } else {
-      e.w = r.i64();
-      NORS_CHECK_MSG(e.w >= 0, "negative update weight");
-    }
-  }
-  r.finish();
+  std::vector<serve::EdgeUpdate> us;
+  const std::uint8_t* p = serve::decode_edge_updates(
+      body.data(), body.data() + body.size(), us, kMaxUpdatesPerFrame);
+  NORS_CHECK_MSG(p == body.data() + body.size(),
+                 "trailing bytes after wire body");
   return us;
 }
 
@@ -344,6 +339,80 @@ UpdateAck decode_update_ack(std::span<const std::uint8_t> body) {
   a.seq = r.u64();
   for (std::int64_t* v : {&a.applied, &a.unknown_edges, &a.overrides,
                           &a.failed_links, &a.masked_trees}) {
+    *v = r.i64();
+  }
+  r.finish();
+  return a;
+}
+
+void encode_repl(std::vector<std::uint8_t>& body, const ReplFrame& f) {
+  NORS_CHECK_MSG(f.events.size() <= kMaxUpdatesPerFrame,
+                 "repl frame too large: chunk the batch");
+  core::put_uvarint(body, f.seq);
+  core::put_uvarint(body, f.head_seq);
+  core::put_uvarint(body,
+                    (f.snapshot ? 1u : 0u) | (f.more ? 2u : 0u));
+  serve::encode_edge_updates(body, f.events);
+}
+
+ReplFrame decode_repl(std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  ReplFrame f;
+  f.seq = r.u64();
+  f.head_seq = r.u64();
+  const std::uint64_t flags = r.u64();
+  NORS_CHECK_MSG(flags <= 3, "unknown repl flags");
+  f.snapshot = (flags & 1) != 0;
+  f.more = (flags & 2) != 0;
+  NORS_CHECK_MSG(f.seq <= f.head_seq, "repl seq ahead of head");
+  const std::size_t consumed =
+      static_cast<std::size_t>(body.size()) -
+      static_cast<std::size_t>(r.remaining());
+  const std::uint8_t* p = serve::decode_edge_updates(
+      body.data() + consumed, body.data() + body.size(), f.events,
+      kMaxUpdatesPerFrame);
+  NORS_CHECK_MSG(p == body.data() + body.size(),
+                 "trailing bytes after wire body");
+  return f;
+}
+
+void encode_subscribe(std::vector<std::uint8_t>& body,
+                      std::uint64_t have_seq) {
+  core::put_uvarint(body, have_seq);
+}
+
+std::uint64_t decode_subscribe(std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  const std::uint64_t have = r.u64();
+  r.finish();
+  return have;
+}
+
+void encode_subscribe_ack(std::vector<std::uint8_t>& body,
+                          std::uint64_t head_seq) {
+  core::put_uvarint(body, head_seq);
+}
+
+std::uint64_t decode_subscribe_ack(std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  const std::uint64_t head = r.u64();
+  r.finish();
+  return head;
+}
+
+void encode_checkpoint_ack(std::vector<std::uint8_t>& body,
+                           const CheckpointAck& a) {
+  core::put_uvarint(body, a.seq);
+  for (const std::int64_t v : {a.squashed, a.image_rebuilt, a.wal_segments}) {
+    core::put_uvarint(body, core::zigzag(v));
+  }
+}
+
+CheckpointAck decode_checkpoint_ack(std::span<const std::uint8_t> body) {
+  BodyReader r(body);
+  CheckpointAck a;
+  a.seq = r.u64();
+  for (std::int64_t* v : {&a.squashed, &a.image_rebuilt, &a.wal_segments}) {
     *v = r.i64();
   }
   r.finish();

@@ -71,6 +71,17 @@ enum class FrameType : std::uint8_t {
   kStatsAck = 8,   // WireStats
   kUpdate = 9,     // admin: batched edge updates (DESIGN.md §13)
   kUpdateAck = 10, // UpdateAck: the published generation's shape
+  // Replication + durability (DESIGN.md §14). A replica subscribes with
+  // the highest seq it already holds; the primary acks with its head seq
+  // and then *pushes* kRepl frames — first a snapshot catch-up if the
+  // replica is behind, then every subsequently applied batch, in apply
+  // order. kRepl is the one server-initiated frame type in the protocol;
+  // its request id is always 0.
+  kSubscribe = 11,     // uvarint have_seq
+  kSubscribeAck = 12,  // uvarint head_seq
+  kRepl = 13,          // ReplFrame: seq-numbered applied batch (pushed)
+  kCheckpoint = 14,    // admin: compact deltas + truncate the WAL (empty)
+  kCheckpointAck = 16, // CheckpointAck
   kError = 15,     // uvarint code + message; response to any broken frame
 };
 
@@ -92,6 +103,14 @@ enum class ErrorCode : std::uint8_t {
   /// carries a retry-after hint (ms), and route/label/stats are
   /// read-only, so resending the identical request is always safe.
   kOverloaded = 11,
+  /// The WAL append/fsync for this kUpdate failed (ENOSPC, an I/O error,
+  /// or an armed wal.* failpoint): the update was *shed* — no generation
+  /// was published, nothing was logged — and the connection stays open;
+  /// reads keep serving the old generation (DESIGN.md §14).
+  kWalError = 12,
+  /// kUpdate sent to a replica: replicas are read-only; updates must go
+  /// to the primary. Recoverable; the connection stays open.
+  kReadOnly = 13,
 };
 
 /// True for errors that poison the byte stream: the server closes the
@@ -185,6 +204,17 @@ struct WireStats {
   std::int64_t updates = 0;
   std::int64_t masked = 0;
   std::int64_t repaired = 0;
+  // Durability + replication counters (DESIGN.md §14). update_seq is the
+  // durable sequence number of the newest published batch; repl_lag is
+  // how far this daemon trails the primary it follows (0 when primary or
+  // in sync); subscribers counts attached replica streams.
+  std::int64_t update_seq = 0;
+  std::int64_t wal_records = 0;   // records appended this process
+  std::int64_t wal_errors = 0;    // updates shed by a WAL failure
+  std::int64_t checkpoints = 0;   // compactions completed
+  std::int64_t repl_applied = 0;  // batches applied from a primary
+  std::int64_t repl_lag = 0;
+  std::int64_t subscribers = 0;
 };
 
 /// What kUpdateAck carries: the shape of the delta generation the batch
@@ -233,6 +263,43 @@ std::vector<serve::EdgeUpdate> decode_update_request(
 
 void encode_update_ack(std::vector<std::uint8_t>& body, const UpdateAck& a);
 UpdateAck decode_update_ack(std::span<const std::uint8_t> body);
+
+/// What kRepl carries: one applied batch, sequence-numbered, plus the
+/// primary's head seq at send time (the replica's lag gauge). A snapshot
+/// frame replaces the replica's accumulated delta state instead of
+/// layering over it (catch-up and checkpoint squashes); `more` marks a
+/// chunked snapshot whose events continue in the next frame at the same
+/// seq — the replica buffers until the final chunk.
+struct ReplFrame {
+  std::uint64_t seq = 0;
+  std::uint64_t head_seq = 0;
+  bool snapshot = false;
+  bool more = false;
+  std::vector<serve::EdgeUpdate> events;
+};
+
+void encode_repl(std::vector<std::uint8_t>& body, const ReplFrame& f);
+ReplFrame decode_repl(std::span<const std::uint8_t> body);
+
+void encode_subscribe(std::vector<std::uint8_t>& body,
+                      std::uint64_t have_seq);
+std::uint64_t decode_subscribe(std::span<const std::uint8_t> body);
+
+void encode_subscribe_ack(std::vector<std::uint8_t>& body,
+                          std::uint64_t head_seq);
+std::uint64_t decode_subscribe_ack(std::span<const std::uint8_t> body);
+
+/// What kCheckpointAck carries: the compacted state's shape.
+struct CheckpointAck {
+  std::uint64_t seq = 0;          // durable seq the checkpoint captured
+  std::int64_t squashed = 0;      // override directions in the squash
+  std::int64_t image_rebuilt = 0; // 1 if the frozen image was rewritten
+  std::int64_t wal_segments = 0;  // segments after truncation (0: no WAL)
+};
+
+void encode_checkpoint_ack(std::vector<std::uint8_t>& body,
+                           const CheckpointAck& a);
+CheckpointAck decode_checkpoint_ack(std::span<const std::uint8_t> body);
 
 void encode_error(std::vector<std::uint8_t>& body, ErrorCode code,
                   const std::string& message);

@@ -1,11 +1,13 @@
 #include "serve/delta.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/serialize.h"
 #include "util/check.h"
 
 namespace nors::serve {
@@ -127,6 +129,67 @@ std::vector<std::pair<std::int64_t, graph::Dist>> DeltaSet::sorted_overrides()
   return out;
 }
 
+std::vector<EdgeUpdate> DeltaSet::as_edge_updates(const FrozenScheme& fs) const {
+  const auto adj_off = fs.adj_off();
+  const auto links = fs.link_map();
+  std::vector<EdgeUpdate> out;
+  out.reserve(static_cast<std::size_t>(override_count_) / 2 + 1);
+  // apply() always patches both directions of an edge together, so keeping
+  // only the x < to direction emits each overridden edge exactly once.
+  for (const auto& [idx, w] : sorted_overrides()) {
+    const auto it = std::upper_bound(adj_off.begin(), adj_off.end(), idx);
+    const auto x = static_cast<graph::Vertex>(it - adj_off.begin() - 1);
+    const graph::Vertex to = links[static_cast<std::size_t>(idx)].to;
+    if (x < to) out.push_back({x, to, w});
+  }
+  return out;
+}
+
+void encode_edge_updates(std::vector<std::uint8_t>& out,
+                         std::span<const EdgeUpdate> updates) {
+  core::put_uvarint(out, updates.size());
+  for (const EdgeUpdate& e : updates) {
+    core::put_uvarint(out, e.is_fail() ? 1u : 0u);
+    core::put_uvarint(out, core::zigzag(e.u));
+    core::put_uvarint(out, core::zigzag(e.v));
+    if (!e.is_fail()) core::put_uvarint(out, core::zigzag(e.w));
+  }
+}
+
+const std::uint8_t* decode_edge_updates(const std::uint8_t* p,
+                                        const std::uint8_t* end,
+                                        std::vector<EdgeUpdate>& out,
+                                        std::uint64_t max_events) {
+  auto vertex = [&p, end]() {
+    std::uint64_t x = 0;
+    p = core::get_uvarint(p, end, x);
+    const std::int64_t v = core::unzigzag(x);
+    NORS_CHECK_MSG(v >= INT32_MIN && v <= INT32_MAX,
+                   "update vertex out of int32 range");
+    return static_cast<graph::Vertex>(v);
+  };
+  std::uint64_t count = 0;
+  p = core::get_uvarint(p, end, count);
+  NORS_CHECK_MSG(count <= max_events, "update batch count exceeds the cap");
+  out.assign(static_cast<std::size_t>(count), EdgeUpdate{});
+  for (auto& e : out) {
+    std::uint64_t flag = 0;
+    p = core::get_uvarint(p, end, flag);
+    NORS_CHECK_MSG(flag <= 1, "unknown update flags");
+    e.u = vertex();
+    e.v = vertex();
+    if (flag == 1) {
+      e.w = EdgeUpdate::kFail;
+    } else {
+      std::uint64_t x = 0;
+      p = core::get_uvarint(p, end, x);
+      e.w = core::unzigzag(x);
+      NORS_CHECK_MSG(e.w >= 0, "negative update weight");
+    }
+  }
+  return p;
+}
+
 std::vector<std::vector<EdgeUpdate>> parse_update_journal(
     const std::string& text) {
   std::vector<std::vector<EdgeUpdate>> batches;
@@ -135,8 +198,9 @@ std::vector<std::vector<EdgeUpdate>> parse_update_journal(
   std::string line;
   int lineno = 0;
   auto fail = [&](const std::string& why) {
-    throw std::runtime_error("update journal line " + std::to_string(lineno) +
-                             ": " + why);
+    throw std::runtime_error(
+        "update journal batch " + std::to_string(batches.size() + 1) +
+        ", line " + std::to_string(lineno) + ": " + why);
   };
   while (std::getline(in, line)) {
     ++lineno;
@@ -173,9 +237,21 @@ std::vector<std::vector<EdgeUpdate>> load_update_journal(
   if (!in) {
     throw std::runtime_error("cannot open update journal: " + path);
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return parse_update_journal(buf.str());
+  // Read explicitly and distinguish "the file ended" from "the read
+  // failed": rdbuf() slurping folds an EIO mid-file into a silently
+  // shorter journal, which is exactly the wrong failure mode for data
+  // that feeds the WAL.
+  std::string text;
+  char chunk[1 << 16];
+  do {
+    in.read(chunk, sizeof chunk);
+    text.append(chunk, static_cast<std::size_t>(in.gcount()));
+  } while (in.good());
+  if (in.bad() || (in.fail() && !in.eof())) {
+    throw std::runtime_error("read error in update journal (not EOF): " +
+                             path);
+  }
+  return parse_update_journal(text);
 }
 
 }  // namespace nors::serve

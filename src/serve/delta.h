@@ -116,6 +116,13 @@ class DeltaSet {
   /// apply/inspection path only (tests rebuild reference graphs from it).
   std::vector<std::pair<std::int64_t, graph::Dist>> sorted_overrides() const;
 
+  /// The whole set re-expressed as one EdgeUpdate batch against `fs` (the
+  /// image it was built over): every overridden edge once, u < v,
+  /// link-index order. Applying the result against the unpatched base
+  /// reproduces exactly this set's overrides and mask — the checkpoint
+  /// squash record and the replication catch-up snapshot (DESIGN.md §14).
+  std::vector<EdgeUpdate> as_edge_updates(const FrozenScheme& fs) const;
+
  private:
   struct Slot {
     std::int64_t key = kEmpty;  // global link index: adj_off()[x] + port
@@ -142,8 +149,33 @@ class DeltaSet {
   std::int64_t masked_count_ = 0;
 };
 
+// ------------------------------------------------------- batch codec --
+// The canonical varint encoding of an EdgeUpdate batch — shared verbatim
+// by the kUpdate wire frame (net/wire.cc) and the WAL record body
+// (serve/wal.cc), so a logged batch is byte-identical to the frame that
+// carried it: uvarint count, then per event a flag (0 = weight,
+// 1 = fail), zigzag u, zigzag v, and — weight events only — the zigzag
+// weight (≥ 0 enforced on decode).
+
+/// Appends the batch encoding to `out`. Callers enforce their own count
+/// caps (the wire caps at kMaxUpdatesPerFrame; the WAL body cap is what
+/// bounds a checkpoint squash).
+void encode_edge_updates(std::vector<std::uint8_t>& out,
+                         std::span<const EdgeUpdate> updates);
+
+/// Decodes one batch from [p, end) into `out` (replacing its contents)
+/// and returns the cursor after it. Throws std::logic_error — the
+/// codec's own guard — on truncation, non-minimal varints, a count above
+/// `max_events`, unknown flags, out-of-int32-range vertices, or a
+/// negative weight.
+const std::uint8_t* decode_edge_updates(const std::uint8_t* p,
+                                        const std::uint8_t* end,
+                                        std::vector<EdgeUpdate>& out,
+                                        std::uint64_t max_events);
+
 /// Parses the plain-text update journal route_serviced replays
-/// (`--updates=FILE`; DESIGN.md §13). One event per line:
+/// (`--updates=FILE` / `--import-updates=FILE`; DESIGN.md §13). One event
+/// per line:
 ///
 ///   w U V WEIGHT   set edge {U, V} to WEIGHT (revives a failed link)
 ///   f U V          fail link {U, V}
@@ -151,11 +183,13 @@ class DeltaSet {
 ///
 /// Blank lines and `#` comments are ignored. A trailing open batch is
 /// returned as the last element. Throws std::runtime_error on malformed
-/// lines (with the 1-based line number).
+/// lines, naming the 1-based batch and line number.
 std::vector<std::vector<EdgeUpdate>> parse_update_journal(
     const std::string& text);
 
-/// parse_update_journal() over the contents of `path`.
+/// parse_update_journal() over the contents of `path`. A read error after
+/// a successful open (EIO, a yanked disk) throws — it is never mistaken
+/// for end-of-file.
 std::vector<std::vector<EdgeUpdate>> load_update_journal(
     const std::string& path);
 

@@ -773,6 +773,29 @@ std::vector<std::uint8_t> FrozenScheme::save() const {
 }
 
 std::vector<std::uint8_t> FrozenScheme::save_as(std::uint32_t version) const {
+  return save_impl(version, adj_w_);
+}
+
+std::vector<std::uint8_t> FrozenScheme::save_with_link_weights(
+    std::span<const std::pair<std::int64_t, graph::Dist>> overrides) const {
+  // Checkpoint compaction (DESIGN.md §14): bake the delta's *weight*
+  // overrides into the link-map weight column and re-emit the image
+  // through the ordinary save path. Failed links (w < 0) are skipped —
+  // the image format has no failure notion, and the checkpoint squash
+  // record re-applies them on every boot, so a rebuilt image plus its
+  // squash serves bit-identically to the daemon that wrote them.
+  std::vector<std::int64_t> patched(adj_w_.begin(), adj_w_.end());
+  for (const auto& [link, w] : overrides) {
+    NORS_CHECK_MSG(link >= 0 &&
+                       link < static_cast<std::int64_t>(patched.size()),
+                   "link override outside the link map");
+    if (w >= 0) patched[static_cast<std::size_t>(link)] = w;
+  }
+  return save_impl(format_version_, patched);
+}
+
+std::vector<std::uint8_t> FrozenScheme::save_impl(
+    std::uint32_t version, std::span<const std::int64_t> adj_w) const {
   NORS_CHECK_MSG(version == kVersionV2 || version == kVersionLatest,
                  "unsupported frozen-table version " << version);
   std::vector<std::uint8_t> out;
@@ -828,7 +851,7 @@ std::vector<std::uint8_t> FrozenScheme::save_as(std::uint32_t version) const {
   put_span(out, tricks_);
   put_span(out, adj_off_);
   put_span(out, adj_to_);
-  put_span(out, adj_w_);
+  put_span(out, adj_w);
   put_span(out, blob_off_);
   put_span(out, blobs_);
   const std::uint64_t checksum = fnv1a(out.data(), out.size());

@@ -253,6 +253,15 @@ class FrozenScheme {
   /// the latest for freeze() outputs; save_as() converts explicitly.
   std::vector<std::uint8_t> save() const;
   std::vector<std::uint8_t> save_as(std::uint32_t version) const;
+
+  /// save() with the link-map weight column patched by `overrides`
+  /// ((global link index, weight) pairs; negative weights — failures —
+  /// are skipped, the image format has no failure notion). This is the
+  /// checkpoint-compaction path (DESIGN.md §14): delta weight repairs are
+  /// baked into a fresh image in the instance's own format version, and
+  /// everything else is byte-identical to save().
+  std::vector<std::uint8_t> save_with_link_weights(
+      std::span<const std::pair<std::int64_t, graph::Dist>> overrides) const;
   static FrozenScheme load(const std::vector<std::uint8_t>& bytes);
   void save_file(const std::string& path) const;
   static FrozenScheme load_file(const std::string& path);
@@ -559,6 +568,13 @@ class FrozenScheme {
   /// corrupt but checksum-valid image can never cause out-of-bounds
   /// serving reads).
   void validate() const;
+
+  /// Shared body of save_as()/save_with_link_weights(): emits every
+  /// section from the instance except the link-weight column, which the
+  /// caller supplies (the unpatched adj_w_, or a patched copy).
+  std::vector<std::uint8_t> save_impl(std::uint32_t version,
+                                      std::span<const std::int64_t> adj_w)
+      const;
 
   /// Heap storage behind the views on the owning paths (freeze, load) —
   /// and, on the map() path, behind the packed table slots, which are

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/delta.h"
+
+namespace nors::serve {
+
+// Write-ahead log for live-table updates (DESIGN.md §14). A `Wal` is a
+// directory of append-only segment files; every admitted kUpdate batch is
+// appended — and, per the fsync policy, made durable — *before* the server
+// publishes the generation it produces, so an acked batch survives SIGKILL
+// and a reboot replays image + WAL into a daemon bit-identical to one that
+// never crashed.
+//
+// On-disk format (all little-endian, like NORSFRZ1 and the wire framing):
+//
+//   segment file  wal-<16-hex base seq>.log
+//     0   8   magic "NORSWAL1"
+//     8   4   format version (kWalVersion)
+//     12  4   reserved, zero
+//     16  8   base sequence number (first seq this segment may carry)
+//
+//   record (repeated to EOF)
+//     0   4   record magic "NWR1"
+//     4   4   body length in bytes (≤ kMaxWalBody)
+//     8   8   sequence number — strictly ascending within a segment
+//     16  4   flags (bit 0: snapshot — apply against the base image,
+//              replacing any accumulated delta, not layered over it)
+//     20  4   reserved, zero
+//     24  ..  body: the varint EdgeUpdate batch encoding shared with the
+//              kUpdate wire frame (serve::encode_edge_updates)
+//     ..  8   FNV-1a 64 over every preceding byte of the record
+//
+// Recovery discipline (pinned by test_wal's torn-tail matrix): a record
+// that does not fit in the bytes remaining before EOF — or whose checksum
+// fails exactly at EOF, or whose tail is all zero-fill — is a *torn tail*:
+// the crash interrupted the final append, the file is truncated back to
+// the last complete record, and exactly that record is dropped. Any other
+// damage (bad magic or checksum with valid bytes after it, an undecodable
+// body behind a valid checksum, a non-ascending sequence, torn bytes in a
+// non-final segment) cannot be explained by a crashed append and recovery
+// refuses the log with WalCorrupt rather than serve from silently wrong
+// state. Records whose seq is ≤ the highest already replayed are skipped:
+// that overlap is exactly the window a crash between "write the checkpoint
+// squash" and "delete the old segments" leaves behind, and skipping makes
+// checkpoint crash-safe at every intermediate state.
+
+enum class FsyncPolicy : std::uint8_t {
+  kAlways = 0,    // fdatasync after every append (ack ⇒ durable)
+  kInterval = 1,  // fdatasync at most every fsync_interval_ms
+  kOff = 2,       // never; the OS flushes (durability window = page cache)
+};
+
+/// Parses "always" / "interval" / "off" (the --fsync flag grammar).
+/// Throws std::runtime_error on anything else.
+FsyncPolicy parse_fsync_policy(const std::string& s);
+
+/// A failed append/fsync: recoverable — the record was rolled back (or
+/// never written), the log is still consistent, and the server sheds the
+/// update with a typed error frame while reads keep serving.
+class WalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Unrecoverable log damage found during recovery: mid-log corruption,
+/// which must refuse to boot rather than replay wrong state.
+class WalCorrupt : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One durable record, as handed to the recovery callback in seq order.
+struct WalRecord {
+  std::uint64_t seq = 0;
+  bool snapshot = false;  // replaces accumulated state instead of layering
+  std::vector<EdgeUpdate> events;
+};
+
+struct WalOptions {
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  std::uint32_t fsync_interval_ms = 100;     // kInterval cadence
+  std::uint64_t segment_bytes = 64ull << 20; // rotate past this size
+};
+
+struct WalStats {
+  std::uint64_t records_recovered = 0;  // replayed at open
+  std::uint64_t records_skipped = 0;    // duplicate seq (checkpoint overlap)
+  std::uint64_t torn_bytes_dropped = 0; // truncated torn tail, bytes
+  std::uint64_t appends = 0;            // records appended this process
+  std::uint64_t syncs = 0;              // fdatasync calls issued
+};
+
+class Wal {
+ public:
+  /// Opens (creating the directory if needed) and recovers the log:
+  /// `replay` is invoked for every durable record in ascending seq order
+  /// before the constructor returns. Throws WalCorrupt on mid-log damage
+  /// and WalError if the directory itself cannot be opened. Failpoint:
+  /// `wal.recover` (error mode injects a recovery failure).
+  Wal(std::string dir, WalOptions opt,
+      const std::function<void(const WalRecord&)>& replay);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Durably appends one record; `seq` must exceed last_seq(). On any
+  /// failure — ENOSPC, a short write, an fsync error, or the `wal.append`
+  /// / `wal.fsync` failpoints — the file is truncated back to its
+  /// pre-append size and WalError is thrown: the log never retains a
+  /// record that was not acked and the caller never publishes a
+  /// generation that was not logged. `partial` mode on `wal.append`
+  /// simulates disk-full: a torn prefix is written, then rolled back.
+  void append(std::uint64_t seq, bool snapshot,
+              std::span<const EdgeUpdate> events);
+
+  /// Checkpoint truncation: atomically replaces the whole log with one
+  /// fresh segment — carrying a single snapshot record (`snapshot`
+  /// non-null, written at seq `last_seq`) or nothing (`snapshot` null,
+  /// base seq `last_seq + 1`). The new segment is fsynced before any old
+  /// segment is unlinked, so a crash at any point leaves either the old
+  /// log, both (the overlap recovery skips), or the new one.
+  void reset(std::uint64_t last_seq,
+             const std::vector<EdgeUpdate>* snapshot);
+
+  /// Forces an fdatasync now (rotation/shutdown path). Throws WalError.
+  void sync();
+
+  std::uint64_t last_seq() const { return last_seq_; }
+  const WalStats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+  std::uint64_t segment_count() const { return segments_.size(); }
+
+  // ---- exact on-disk encodings, exposed so tests can craft segments ----
+  static std::vector<std::uint8_t> encode_segment_header(
+      std::uint64_t base_seq);
+  static std::vector<std::uint8_t> encode_record(
+      std::uint64_t seq, bool snapshot, std::span<const EdgeUpdate> events);
+
+  static constexpr std::size_t kSegHeaderBytes = 24;
+  static constexpr std::size_t kRecHeaderBytes = 24;
+  static constexpr std::size_t kRecTrailerBytes = 8;
+  static constexpr std::size_t kMaxWalBody = 1u << 28;
+
+ private:
+  void recover(const std::function<void(const WalRecord&)>& replay);
+  void open_fresh_segment(std::uint64_t base_seq);
+  void maybe_rotate(std::size_t incoming_bytes);
+  void maybe_sync();
+  void do_sync();
+  void rollback_to(std::uint64_t size, const char* why);
+  std::string segment_path(std::uint64_t base_seq) const;
+
+  std::string dir_;
+  WalOptions opt_;
+  std::vector<std::string> segments_;  // ascending base seq; back() is live
+  int fd_ = -1;                        // live segment, positioned at its end
+  std::uint64_t seg_size_ = 0;         // live segment size in bytes
+  std::uint64_t last_seq_ = 0;
+  std::int64_t last_sync_ms_ = 0;      // steady-clock ms of last fdatasync
+  bool dirty_ = false;                 // bytes appended since last sync
+  bool broken_ = false;                // rollback failed: refuse appends
+  WalStats stats_;
+};
+
+}  // namespace nors::serve

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -25,7 +26,9 @@
 #include "graph/generators.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "serve/delta.h"
 #include "serve/frozen.h"
+#include "serve/wal.h"
 #include "util/failpoint.h"
 #include "util/random.h"
 
@@ -811,6 +814,93 @@ TEST(Chaos, StatsInvariantsHoldUnderConcurrentLoadAndShed) {
   EXPECT_GT(snapshots, 100);
   EXPECT_GT(server.stats().shed, 0)
       << "the load must actually exercise admission control";
+}
+
+// ---- disk full under the WAL (DESIGN.md §14) ---------------------------
+// The `partial` mode on wal.append is the ENOSPC shape: a torn prefix
+// lands on disk and the write reports no space. The server must shed the
+// update with a recoverable kWalError — never publish an unlogged
+// generation — and keep serving reads from the old generation throughout.
+
+TEST(Chaos, DiskFullShedsUpdatesButReadsKeepServing) {
+  char tmpl[] = "/tmp/nors_chaos_wal_XXXXXX";
+  char* wal_dir = ::mkdtemp(tmpl);
+  ASSERT_NE(wal_dir, nullptr);
+
+  const auto g = small_graph(211);
+  auto frozen = build_frozen(g, 2, 83);
+  std::vector<serve::EdgeUpdate> batch;
+  for (const auto& he : g.neighbors(0)) {
+    batch.push_back(serve::EdgeUpdate::weight(0, he.to, 2));
+  }
+  ASSERT_FALSE(batch.empty());
+
+  net::NetServerOptions opt;
+  opt.wal_dir = wal_dir;
+  net::Server server(std::move(frozen), opt);
+  net::Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.update(batch).seq, 1u);
+
+  const auto qs = [&] {
+    util::Rng rng(223);
+    const auto n = static_cast<std::uint64_t>(g.n());
+    std::vector<Query> out;
+    for (int i = 0; i < 200; ++i) {
+      out.push_back({static_cast<graph::Vertex>(rng.uniform(n)),
+                     static_cast<graph::Vertex>(rng.uniform(n))});
+    }
+    return out;
+  }();
+  const auto before = client.route(qs);
+
+  {
+    FailpointGuard fp("wal.append:partial:1");
+    for (int round = 0; round < 3; ++round) {
+      try {
+        client.update(batch);
+        FAIL() << "disk-full update should be shed";
+      } catch (const net::ProtocolError& e) {
+        EXPECT_EQ(e.code, net::ErrorCode::kWalError);
+      }
+      // The shed is recoverable and reads are untouched: the same
+      // connection keeps getting bit-identical answers from the
+      // generation published before the disk filled.
+      const auto during = client.route(qs);
+      for (std::size_t i = 0; i < qs.size(); ++i) {
+        ASSERT_EQ(during[i].ok, before[i].ok) << i;
+        ASSERT_EQ(during[i].length, before[i].length) << i;
+        ASSERT_EQ(during[i].hops, before[i].hops) << i;
+      }
+    }
+  }
+  const auto s = server.stats();
+  EXPECT_EQ(s.wal_errors, 3);
+  EXPECT_EQ(s.update_seq, 1);  // nothing unlogged was ever published
+  EXPECT_EQ(s.updates, 1);
+
+  // The disk "drained": the next update lands at the next seq, and the
+  // log is whole — a reboot replays both acked batches, no torn bytes.
+  EXPECT_EQ(client.update(batch).seq, 2u);
+  EXPECT_EQ(server.stats().update_seq, 2);
+
+  {
+    std::vector<serve::WalRecord> recovered;
+    serve::Wal check(
+        wal_dir, {},
+        [&](const serve::WalRecord& r) { recovered.push_back(r); });
+    EXPECT_EQ(recovered.size(), 2u);
+    EXPECT_EQ(check.stats().torn_bytes_dropped, 0u);
+  }
+  if (DIR* d = ::opendir(wal_dir)) {
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") {
+        ::unlink((std::string(wal_dir) + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(wal_dir);
 }
 
 }  // namespace

@@ -214,7 +214,9 @@ TEST(WireFuzz, OutOfRangeVerticesAreBadQueryAndSurvivable) {
 }
 
 TEST(WireFuzz, UnknownAndResponseOnlyTypesAreBadTypeAndSurvivable) {
-  expect_error_for(checksummed(static_cast<FrameType>(0x0b), {}),
+  // 0x11 is past every assigned frame type (0x0b–0x10 became the
+  // replication/checkpoint frames in DESIGN.md §14).
+  expect_error_for(checksummed(static_cast<FrameType>(0x11), {}),
                    ErrorCode::kBadType);
   // A client "responding" to the server: well-formed, wrong direction.
   expect_error_for(checksummed(FrameType::kRouteAck, {0x00}),

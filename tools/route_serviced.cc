@@ -29,7 +29,27 @@
 //   --cache=C          per-worker table-cache entries (default 4096)
 //   --window=W         per-connection in-flight frame window (default 64)
 //   --updates=FILE     replay this edge-update journal at boot (see
-//                      serve/delta.h for the line format)
+//                      serve/delta.h for the line format); alias:
+//                      --import-updates=FILE — with --wal the imported
+//                      batches are logged like any other update
+//
+// Durability + replication (DESIGN.md §14):
+//   --wal=DIR            write-ahead-log directory: admitted updates are
+//                        appended + synced before they are published, and
+//                        boot replays the log so a rebooted (even
+//                        SIGKILLed) daemon serves exactly what it
+//                        acknowledged
+//   --fsync=POLICY       always | interval | off   (default always)
+//   --fsync-interval-ms=N  sync cadence for --fsync=interval (default 100)
+//   --checkpoint-every=N checkpoint after every N applied batches:
+//                        squash the delta chain into one snapshot WAL
+//                        record, rebuild the image file with the weight
+//                        overrides baked in, truncate the log (also
+//                        triggerable any time via route_client
+//                        --checkpoint)
+//   --replica-of=H:P     follow the primary at H:P as a read-only
+//                        replica: subscribe, apply its stream, serve
+//                        reads, reject kUpdate with kReadOnly
 //
 // Overload / failure-domain knobs (DESIGN.md §12):
 //   --budget=Q         global in-flight query budget (default 262144;
@@ -50,6 +70,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +90,11 @@ using namespace nors;
 struct Flags {
   std::string image;
   std::string updates;
+  std::string wal;
+  std::string fsync = "always";
+  std::string replica_of;
+  int fsync_interval_ms = 100;
+  long long checkpoint_every = 0;
   std::string host = "127.0.0.1";
   int port = 0;
   int generate_n = 0;
@@ -92,7 +118,10 @@ struct Flags {
                "unknown flag %s\nusage: route_serviced [--image=PATH | "
                "--generate-n=N --generate-k=K --seed=S] [--host=H] "
                "[--port=P] [--loops=L] [--shards=K] [--cache=C] "
-               "[--window=W] [--updates=FILE] [--budget=Q] [--pending=P] "
+               "[--window=W] [--updates=FILE | --import-updates=FILE] "
+               "[--wal=DIR] [--fsync=always|interval|off] "
+               "[--fsync-interval-ms=N] [--checkpoint-every=N] "
+               "[--replica-of=HOST:PORT] [--budget=Q] [--pending=P] "
                "[--deadline-ms=D] [--stall-ms=S] [--retry-after-ms=R]\n",
                bad);
   std::exit(2);
@@ -110,6 +139,18 @@ Flags parse(int argc, char** argv) {
       f.image = v;
     } else if (const char* v = val("--updates=")) {
       f.updates = v;
+    } else if (const char* v = val("--import-updates=")) {
+      f.updates = v;  // the text journal is the WAL's import door
+    } else if (const char* v = val("--wal=")) {
+      f.wal = v;
+    } else if (const char* v = val("--fsync=")) {
+      f.fsync = v;
+    } else if (const char* v = val("--fsync-interval-ms=")) {
+      f.fsync_interval_ms = std::atoi(v);
+    } else if (const char* v = val("--checkpoint-every=")) {
+      f.checkpoint_every = std::atoll(v);
+    } else if (const char* v = val("--replica-of=")) {
+      f.replica_of = v;
     } else if (const char* v = val("--host=")) {
       f.host = v;
     } else if (const char* v = val("--port=")) {
@@ -145,6 +186,12 @@ Flags parse(int argc, char** argv) {
   if (f.image.empty() && f.generate_n < 4) {
     std::fprintf(stderr,
                  "need --image=PATH or --generate-n=N (N >= 4)\n");
+    std::exit(2);
+  }
+  if (!f.replica_of.empty() && !f.updates.empty()) {
+    std::fprintf(stderr,
+                 "--replica-of excludes --updates/--import-updates: a "
+                 "replica's state comes from its primary\n");
     std::exit(2);
   }
   return f;
@@ -199,8 +246,25 @@ int main(int argc, char** argv) {
     opt.request_deadline_ms = flags.deadline_ms;
     opt.stall_timeout_ms = flags.stall_ms;
     opt.retry_after_ms = flags.retry_after_ms;
+    opt.wal_dir = flags.wal;
+    opt.fsync = serve::parse_fsync_policy(flags.fsync);
+    opt.fsync_interval_ms =
+        static_cast<std::uint32_t>(std::max(1, flags.fsync_interval_ms));
+    opt.checkpoint_every = flags.checkpoint_every;
+    opt.image_path = flags.image;  // checkpoint rebuilds the served file
+    opt.replica_of = flags.replica_of;
     net::Server server(serve::FrozenScheme::map(flags.image), opt);
 
+    if (!flags.updates.empty() && !flags.wal.empty() &&
+        server.stats().update_seq > 0) {
+      // The WAL already holds recovered state: importing the journal
+      // again would re-apply (and re-log) it on every reboot. The
+      // import is a one-time seeding door, not a boot ritual.
+      std::fprintf(stderr,
+                   "skipping --updates import: WAL recovered to seq %lld\n",
+                   static_cast<long long>(server.stats().update_seq));
+      flags.updates.clear();
+    }
     if (!flags.updates.empty()) {
       // Replay before announcing the port, so scripts that wait for the
       // listening line observe a daemon already on the journal's head
@@ -248,7 +312,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "drained: %lld conns, %lld frames in, %lld queries, "
                  "%lld protocol errors, %lld shed, %lld timeouts, "
-                 "%lld stalls, %lld updates, %lld masked, %lld repaired\n",
+                 "%lld stalls, %lld updates, %lld masked, %lld repaired, "
+                 "seq %lld, %lld wal records, %lld wal errors, "
+                 "%lld checkpoints, %lld repl applied\n",
                  static_cast<long long>(s.conns_accepted),
                  static_cast<long long>(s.frames_in),
                  static_cast<long long>(s.queries),
@@ -258,7 +324,12 @@ int main(int argc, char** argv) {
                  static_cast<long long>(s.stalls),
                  static_cast<long long>(s.updates),
                  static_cast<long long>(s.masked),
-                 static_cast<long long>(s.repaired));
+                 static_cast<long long>(s.repaired),
+                 static_cast<long long>(s.update_seq),
+                 static_cast<long long>(s.wal_records),
+                 static_cast<long long>(s.wal_errors),
+                 static_cast<long long>(s.checkpoints),
+                 static_cast<long long>(s.repl_applied));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "route_serviced: fatal: %s\n", e.what());
